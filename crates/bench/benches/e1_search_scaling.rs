@@ -1,0 +1,73 @@
+//! Experiment E1 — search scaling: the paper's hash-table lookup
+//! ("real-time nearest neighbor search", §2.2) versus multi-index hashing,
+//! a brute-force Hamming linear scan, and exact float k-NN, as the archive
+//! grows.  The absolute numbers depend on the machine; the shape to look
+//! for is that the hash-table / MIH query time stays roughly flat while the
+//! two scan baselines grow linearly with the archive size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::{clustered_codes, random_features};
+use eq_hashindex::{
+    DistanceMetric, FloatKnnIndex, HammingIndex, HashTableIndex, LinearScanIndex, MultiIndexHashing,
+};
+use std::hint::black_box;
+
+const CODE_BITS: u32 = 128;
+const FEATURE_DIM: usize = 57;
+const ARCHIVE_SIZES: [usize; 3] = [2_000, 10_000, 40_000];
+const RADIUS: u32 = 4;
+const K: usize = 10;
+
+fn bench_search_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_search_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &n in &ARCHIVE_SIZES {
+        let codes = clustered_codes(n, CODE_BITS, 64, 11);
+        let features = random_features(n, FEATURE_DIM, 11);
+        let query_code = codes[n / 2].clone();
+        let query_feature = features[n / 2].clone();
+
+        let mut table = HashTableIndex::new(CODE_BITS);
+        let mut linear = LinearScanIndex::new(CODE_BITS);
+        let chunks = MultiIndexHashing::recommended_chunks(CODE_BITS, n);
+        let mut mih = MultiIndexHashing::new(CODE_BITS, chunks);
+        let mut float_knn = FloatKnnIndex::new(FEATURE_DIM, DistanceMetric::Euclidean);
+        for (i, code) in codes.iter().enumerate() {
+            table.insert(i as u64, code.clone());
+            linear.insert(i as u64, code.clone());
+            mih.insert(i as u64, code.clone());
+        }
+        for (i, f) in features.iter().enumerate() {
+            float_knn.insert(i as u64, f);
+        }
+        println!(
+            "[E1] n={n}: hash table holds {} buckets, MIH uses {chunks} substrings, radius-{RADIUS} \
+             lookup returns {} images",
+            table.bucket_count(),
+            table.radius_search(&query_code, RADIUS).len()
+        );
+
+        group.bench_with_input(BenchmarkId::new("hash_table_radius", n), &n, |b, _| {
+            b.iter(|| black_box(table.radius_search(black_box(&query_code), RADIUS)))
+        });
+        group.bench_with_input(BenchmarkId::new("mih_radius", n), &n, |b, _| {
+            b.iter(|| black_box(mih.radius_search(black_box(&query_code), RADIUS)))
+        });
+        group.bench_with_input(BenchmarkId::new("hash_table_knn", n), &n, |b, _| {
+            b.iter(|| black_box(table.knn(black_box(&query_code), K)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan_knn", n), &n, |b, _| {
+            b.iter(|| black_box(linear.knn(black_box(&query_code), K)))
+        });
+        group.bench_with_input(BenchmarkId::new("float_exact_knn", n), &n, |b, _| {
+            b.iter(|| black_box(float_knn.knn(black_box(&query_feature), K)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_scaling);
+criterion_main!(benches);

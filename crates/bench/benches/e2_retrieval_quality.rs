@@ -1,0 +1,99 @@
+//! Experiment E2 — retrieval quality and query cost of MiLaN codes versus
+//! the untrained-LSH and exact-float-kNN baselines ("highly accurate
+//! retrieval", §2.2 / Abstract).
+//!
+//! The quality numbers (mAP@10) are printed during setup; Criterion then
+//! measures the per-query latency of each method on the same archive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eq_bench::{archive, trained_model};
+use eq_hashindex::{
+    DistanceMetric, FloatKnnIndex, HammingIndex, HashTableIndex, RandomHyperplaneHasher,
+};
+use eq_milan::{mean_average_precision, FeatureExtractor, Normalizer};
+use std::hint::black_box;
+
+const N: usize = 600;
+const BITS: u32 = 64;
+const K: usize = 10;
+
+fn map_of_ranking(
+    archive: &eq_bigearthnet::Archive,
+    rank: impl Fn(usize) -> Vec<u64>,
+) -> f64 {
+    let mut queries = Vec::new();
+    for q in (0..archive.len()).step_by(12) {
+        let q_labels = archive.patches()[q].meta.labels;
+        let ranked = rank(q);
+        let rel: Vec<bool> = ranked
+            .iter()
+            .filter(|id| **id != q as u64)
+            .map(|id| archive.patches()[*id as usize].meta.labels.intersects(q_labels))
+            .collect();
+        let total = archive
+            .patches()
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| *i != q && p.meta.labels.intersects(q_labels))
+            .count();
+        queries.push((rel, total));
+    }
+    mean_average_precision(&queries, K)
+}
+
+fn bench_retrieval_quality(c: &mut Criterion) {
+    let archive = archive(N, 22);
+    let model = trained_model(&archive, BITS, 22);
+    let milan_codes = model.hash_archive(&archive);
+
+    let extractor = FeatureExtractor::new();
+    let features = extractor.extract_all(&archive);
+    let normalizer = Normalizer::fit(&features);
+    let normalized = normalizer.apply_all(&features);
+    let lsh = RandomHyperplaneHasher::new(normalized[0].len(), BITS, 22);
+    let lsh_codes: Vec<_> = normalized.iter().map(|f| lsh.hash(f)).collect();
+
+    let mut milan_index = HashTableIndex::new(BITS);
+    let mut lsh_index = HashTableIndex::new(BITS);
+    let mut float_index = FloatKnnIndex::new(normalized[0].len(), DistanceMetric::Euclidean);
+    for i in 0..N {
+        milan_index.insert(i as u64, milan_codes[i].clone());
+        lsh_index.insert(i as u64, lsh_codes[i].clone());
+        float_index.insert(i as u64, &normalized[i]);
+    }
+
+    // Print the quality table (the series the paper's claim maps to).
+    let milan_map = map_of_ranking(&archive, |q| {
+        milan_index.knn(&milan_codes[q], K + 1).into_iter().map(|n| n.id).collect()
+    });
+    let lsh_map = map_of_ranking(&archive, |q| {
+        lsh_index.knn(&lsh_codes[q], K + 1).into_iter().map(|n| n.id).collect()
+    });
+    let float_map = map_of_ranking(&archive, |q| {
+        float_index.knn(&normalized[q], K + 1).into_iter().map(|n| n.id).collect()
+    });
+    println!("[E2] mAP@{K} — MiLaN: {milan_map:.3}, untrained LSH: {lsh_map:.3}, exact float kNN: {float_map:.3}");
+
+    let mut group = c.benchmark_group("e2_retrieval_quality");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let q = N / 3;
+    group.bench_function("milan_hash_knn", |b| {
+        b.iter(|| black_box(milan_index.knn(black_box(&milan_codes[q]), K)))
+    });
+    group.bench_function("lsh_hash_knn", |b| {
+        b.iter(|| black_box(lsh_index.knn(black_box(&lsh_codes[q]), K)))
+    });
+    group.bench_function("float_exact_knn", |b| {
+        b.iter(|| black_box(float_index.knn(black_box(&normalized[q]), K)))
+    });
+    group.bench_function("milan_encode_new_image", |b| {
+        let patch = &archive.patches()[q];
+        b.iter(|| black_box(model.hash_patch(black_box(patch))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval_quality);
+criterion_main!(benches);

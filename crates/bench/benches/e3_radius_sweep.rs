@@ -1,0 +1,59 @@
+//! Experiment E3 — Hamming-radius sweep: §3.3 retrieves "all images with
+//! binary codes within a small hamming radius" of the query.  This bench
+//! sweeps the radius, printing how many candidates each radius returns and
+//! what fraction of the true 10 nearest neighbours it recovers, and measures
+//! the lookup latency of the adaptive hash table and of multi-index hashing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::clustered_codes;
+use eq_hashindex::{HammingIndex, HashTableIndex, LinearScanIndex, MultiIndexHashing};
+use std::hint::black_box;
+
+const N: usize = 20_000;
+const BITS: u32 = 128;
+const RADII: [u32; 5] = [0, 2, 4, 8, 16];
+
+fn bench_radius_sweep(c: &mut Criterion) {
+    let codes = clustered_codes(N, BITS, 128, 33);
+    let query = codes[7].clone();
+
+    let mut table = HashTableIndex::new(BITS);
+    let mut mih = MultiIndexHashing::new(BITS, MultiIndexHashing::recommended_chunks(BITS, N));
+    let mut linear = LinearScanIndex::new(BITS);
+    for (i, code) in codes.iter().enumerate() {
+        table.insert(i as u64, code.clone());
+        mih.insert(i as u64, code.clone());
+        linear.insert(i as u64, code.clone());
+    }
+
+    // The true 10-NN (by exhaustive scan) for recall bookkeeping.
+    let truth: Vec<u64> = linear.knn(&query, 10).into_iter().map(|n| n.id).collect();
+
+    let mut group = c.benchmark_group("e3_radius_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &radius in &RADII {
+        let hits = table.radius_search(&query, radius);
+        let recovered = truth.iter().filter(|id| hits.iter().any(|h| h.id == **id)).count();
+        println!(
+            "[E3] radius {radius:>2}: {} images returned, recall of true 10-NN = {:.2}, \
+             enumeration would probe {} buckets",
+            hits.len(),
+            recovered as f64 / truth.len() as f64,
+            table.enumeration_probes(radius)
+        );
+
+        group.bench_with_input(BenchmarkId::new("hash_table", radius), &radius, |b, &r| {
+            b.iter(|| black_box(table.radius_search(black_box(&query), r)))
+        });
+        group.bench_with_input(BenchmarkId::new("multi_index_hashing", radius), &radius, |b, &r| {
+            b.iter(|| black_box(mih.radius_search(black_box(&query), r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radius_sweep);
+criterion_main!(benches);

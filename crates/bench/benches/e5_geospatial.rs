@@ -1,0 +1,69 @@
+//! Experiment E5 — geospatial filtering: §3.2 indexes the `location`
+//! attribute with MongoDB's built-in 2-D geohashing index "to improve query
+//! performance".  This bench compares rectangle queries through the geohash
+//! index against a full collection scan at several selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::metadata;
+use eq_bigearthnet::Country;
+use eq_docstore::{Collection, Filter};
+use eq_earthqube::schema::{fields, metadata_document};
+use eq_geo::{BBox, GeoShape};
+use std::hint::black_box;
+
+const N: usize = 30_000;
+
+fn build(with_geo_index: bool) -> Collection {
+    let metas = metadata(N, 55);
+    let mut coll = Collection::new("metadata", fields::NAME);
+    if with_geo_index {
+        coll.create_geo_index(fields::LOCATION).unwrap();
+    }
+    for meta in &metas {
+        coll.insert(metadata_document(meta)).unwrap();
+    }
+    coll
+}
+
+fn query_shapes() -> Vec<(&'static str, GeoShape)> {
+    vec![
+        // Small: the south-western tip of Portugal (the paper's §4 example).
+        ("sw_portugal", GeoShape::Rect(BBox::new(-9.2, 36.9, -7.8, 38.0).unwrap())),
+        // Medium: all of Portugal.
+        ("portugal", GeoShape::Rect(Country::Portugal.bounding_box())),
+        // Large: most of central Europe.
+        ("central_europe", GeoShape::Rect(BBox::new(2.0, 45.0, 27.0, 56.0).unwrap())),
+    ]
+}
+
+fn bench_geospatial(c: &mut Criterion) {
+    let indexed = build(true);
+    let unindexed = build(false);
+
+    let mut group = c.benchmark_group("e5_geospatial");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for (name, shape) in query_shapes() {
+        let filter = Filter::GeoWithin(fields::LOCATION.into(), shape.clone());
+        let with_index = indexed.find(&filter);
+        let without_index = unindexed.find(&filter);
+        assert_eq!(with_index.plan.matched, without_index.plan.matched, "index changes results!");
+        println!(
+            "[E5] {name}: {} of {N} images match; geo index scanned {} candidates, full scan {} documents",
+            with_index.plan.matched, with_index.plan.scanned, without_index.plan.scanned
+        );
+
+        group.bench_with_input(BenchmarkId::new("geohash_index", name), &filter, |b, f| {
+            b.iter(|| black_box(indexed.find(black_box(f))))
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", name), &filter, |b, f| {
+            b.iter(|| black_box(unindexed.find(black_box(f))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_geospatial);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E6 — loss ablation: §2.2 motivates the triplet, bit-balance
+//! and quantization losses individually.  The setup trains three model
+//! variants and prints the code-quality statistics each variant achieves;
+//! Criterion then measures one training epoch and full-archive encoding for
+//! the full loss, so regressions in the training loop itself are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eq_bench::archive;
+use eq_milan::metrics::quantization_error;
+use eq_milan::{CodeStatistics, LossWeights, Milan, MilanConfig, TrainingDataset};
+use std::hint::black_box;
+
+const N: usize = 300;
+const BITS: u32 = 64;
+
+fn bench_loss_ablation(c: &mut Criterion) {
+    let archive = archive(N, 66);
+    let dataset = TrainingDataset::from_archive(&archive);
+
+    let variants: Vec<(&str, LossWeights)> = vec![
+        ("triplet_only", LossWeights::triplet_only(2.0)),
+        ("triplet_bitbalance", LossWeights { triplet: 1.0, bit_balance: 0.1, quantization: 0.0, margin: 2.0 }),
+        ("full_milan", LossWeights::default()),
+    ];
+    for (name, weights) in &variants {
+        let mut model = Milan::new(MilanConfig {
+            epochs: 12,
+            loss: *weights,
+            ..MilanConfig::fast(BITS, 66)
+        })
+        .expect("valid model configuration");
+        model.train(&dataset);
+        let codes = model.hash_archive(&archive);
+        let stats = CodeStatistics::from_codes(&codes);
+        let q_err = quantization_error(&model.encode_continuous(dataset.features()));
+        println!(
+            "[E6] {name}: balance deviation {:.3}, mean bit correlation {:.3}, quantization error {:.3}, \
+             {} distinct codes over {N} images",
+            stats.balance_deviation, stats.mean_bit_correlation, q_err, stats.distinct_codes
+        );
+    }
+
+    let mut group = c.benchmark_group("e6_loss_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("one_training_epoch_full_loss", |b| {
+        b.iter(|| {
+            let mut model = Milan::new(MilanConfig {
+                epochs: 1,
+                triplets_per_epoch: 64,
+                ..MilanConfig::fast(BITS, 66)
+            })
+            .expect("valid model configuration");
+            black_box(model.train(black_box(&dataset)))
+        })
+    });
+
+    let mut trained = Milan::new(MilanConfig { epochs: 8, ..MilanConfig::fast(BITS, 66) }).unwrap();
+    trained.train(&dataset);
+    group.bench_function("hash_full_archive", |b| {
+        b.iter(|| black_box(trained.hash_archive(black_box(&archive))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss_ablation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment E7 — end-to-end latency of the three demonstration scenarios
+//! of §4: label-based exploration, spatial exploration with
+//! query-by-existing-example, and query-by-new-example.  These are the
+//! interactive operations a demo visitor triggers, so their latency is what
+//! "interactive visual exploration" (Abstract) ultimately means.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eq_bench::archive;
+use eq_bigearthnet::{ArchiveGenerator, Country, GeneratorConfig, Label};
+use eq_earthqube::{EarthQube, EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator};
+use eq_geo::GeoShape;
+use std::hint::black_box;
+
+const N: usize = 1_000;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let archive = archive(N, 77);
+    let mut config = EarthQubeConfig::fast(77);
+    config.milan.epochs = 12;
+    let eq = EarthQube::build(&archive, config).expect("back-end builds");
+
+    // Scenario queries.
+    let label_query = ImageQuery::all().with_labels(LabelFilter::new(
+        LabelOperator::Some,
+        vec![Label::IndustrialOrCommercialUnits, Label::WaterBodies],
+    ));
+    let spatial_query =
+        ImageQuery::all().with_shape(GeoShape::Rect(Country::Portugal.bounding_box()));
+    let spatial_hit = eq
+        .search(&spatial_query)
+        .expect("spatial query")
+        .panel
+        .page(0)
+        .entries
+        .first()
+        .expect("Portugal always has patches")
+        .name
+        .clone();
+    let external = ArchiveGenerator::new(GeneratorConfig::tiny(1, 7777)).unwrap().generate_patch(0);
+
+    println!(
+        "[E7] archive of {N} images: label query matches {}, spatial query matches {}",
+        eq.search(&label_query).unwrap().total(),
+        eq.search(&spatial_query).unwrap().total()
+    );
+
+    let mut group = c.benchmark_group("e7_scenarios");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("label_based_exploration", |b| {
+        b.iter(|| black_box(eq.search(black_box(&label_query)).unwrap()))
+    });
+    group.bench_function("spatial_exploration", |b| {
+        b.iter(|| black_box(eq.search(black_box(&spatial_query)).unwrap()))
+    });
+    group.bench_function("query_by_existing_example", |b| {
+        b.iter(|| black_box(eq.similar_to(black_box(&spatial_hit), 20).unwrap()))
+    });
+    group.bench_function("query_by_new_example", |b| {
+        b.iter(|| black_box(eq.search_by_new_example(black_box(&external), 20).unwrap()))
+    });
+    group.bench_function("label_statistics_rendering", |b| {
+        let response = eq.search(&label_query).unwrap();
+        b.iter(|| black_box(response.statistics.render_bar_chart(15, 40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

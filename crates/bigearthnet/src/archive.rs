@@ -1,0 +1,219 @@
+//! The archive container: patches, splits and summary statistics.
+
+use crate::countries::Country;
+use crate::labels::Label;
+use crate::patch::{Patch, PatchId, PatchMetadata, Season};
+
+/// Train / validation / test split membership.
+///
+/// BigEarthNet ships official splits; the synthetic archive assigns them
+/// deterministically from the patch id with a 60/20/20 ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Split {
+    Train,
+    Validation,
+    Test,
+}
+
+impl Split {
+    /// All three splits.
+    pub const ALL: [Split; 3] = [Split::Train, Split::Validation, Split::Test];
+
+    /// Deterministic split assignment for a patch id (60/20/20).
+    pub fn for_id(id: PatchId) -> Split {
+        // A small multiplicative hash decorrelates the split from the id
+        // order (ids are assigned per-country in generation order).
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        match h % 10 {
+            0..=5 => Split::Train,
+            6 | 7 => Split::Validation,
+            _ => Split::Test,
+        }
+    }
+}
+
+/// Summary statistics of an archive, used by examples and sanity checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveStats {
+    /// Number of patches.
+    pub num_patches: usize,
+    /// Number of patches per label (dense-index order, length 43).
+    pub label_counts: Vec<usize>,
+    /// Number of patches per country (order of [`Country::ALL`]).
+    pub country_counts: Vec<usize>,
+    /// Number of patches per season (order of [`Season::ALL`]).
+    pub season_counts: Vec<usize>,
+    /// Mean number of labels per patch.
+    pub mean_labels_per_patch: f64,
+}
+
+/// An in-memory BigEarthNet-like archive.
+#[derive(Debug, Clone, Default)]
+pub struct Archive {
+    patches: Vec<Patch>,
+}
+
+impl Archive {
+    /// Wraps a list of patches into an archive.
+    pub fn new(patches: Vec<Patch>) -> Self {
+        Self { patches }
+    }
+
+    /// Number of patches.
+    pub fn len(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patches.is_empty()
+    }
+
+    /// All patches.
+    pub fn patches(&self) -> &[Patch] {
+        &self.patches
+    }
+
+    /// The patch with the given id, if present.
+    pub fn get(&self, id: PatchId) -> Option<&Patch> {
+        self.patches.get(id.index()).filter(|p| p.meta.id == id)
+    }
+
+    /// Looks a patch up by its BigEarthNet-style name (linear scan; the
+    /// document store provides the indexed path).
+    pub fn find_by_name(&self, name: &str) -> Option<&Patch> {
+        self.patches.iter().find(|p| p.meta.name == name)
+    }
+
+    /// The metadata of every patch, in id order.
+    pub fn metadata(&self) -> Vec<PatchMetadata> {
+        self.patches.iter().map(|p| p.meta.clone()).collect()
+    }
+
+    /// Ids of the patches belonging to the given split.
+    pub fn split_ids(&self, split: Split) -> Vec<PatchId> {
+        self.patches
+            .iter()
+            .map(|p| p.meta.id)
+            .filter(|id| Split::for_id(*id) == split)
+            .collect()
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> ArchiveStats {
+        let mut label_counts = vec![0usize; Label::COUNT];
+        let mut country_counts = vec![0usize; Country::ALL.len()];
+        let mut season_counts = vec![0usize; Season::ALL.len()];
+        let mut total_labels = 0usize;
+        for p in &self.patches {
+            for l in p.meta.labels.iter() {
+                label_counts[l.index()] += 1;
+            }
+            total_labels += p.meta.labels.len();
+            let ci = Country::ALL.iter().position(|c| *c == p.meta.country).expect("known country");
+            country_counts[ci] += 1;
+            let si = Season::ALL.iter().position(|s| *s == p.meta.season()).expect("known season");
+            season_counts[si] += 1;
+        }
+        ArchiveStats {
+            num_patches: self.patches.len(),
+            label_counts,
+            country_counts,
+            season_counts,
+            mean_labels_per_patch: if self.patches.is_empty() {
+                0.0
+            } else {
+                total_labels as f64 / self.patches.len() as f64
+            },
+        }
+    }
+}
+
+impl std::ops::Index<PatchId> for Archive {
+    type Output = Patch;
+
+    fn index(&self, id: PatchId) -> &Patch {
+        &self.patches[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{ArchiveGenerator, GeneratorConfig};
+
+    fn small_archive() -> Archive {
+        ArchiveGenerator::new(GeneratorConfig::tiny(120, 21)).unwrap().generate()
+    }
+
+    #[test]
+    fn empty_archive() {
+        let a = Archive::default();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.stats().num_patches, 0);
+        assert_eq!(a.stats().mean_labels_per_patch, 0.0);
+        assert!(a.get(PatchId(0)).is_none());
+    }
+
+    #[test]
+    fn get_and_index_by_id() {
+        let a = small_archive();
+        let id = PatchId(17);
+        assert_eq!(a.get(id).unwrap().meta.id, id);
+        assert_eq!(a[id].meta.id, id);
+        assert!(a.get(PatchId(9999)).is_none());
+    }
+
+    #[test]
+    fn find_by_name_roundtrips() {
+        let a = small_archive();
+        let name = a.patches()[5].meta.name.clone();
+        assert_eq!(a.find_by_name(&name).unwrap().meta.id, PatchId(5));
+        assert!(a.find_by_name("no_such_patch").is_none());
+    }
+
+    #[test]
+    fn split_assignment_is_deterministic_and_partitions_ids() {
+        let a = small_archive();
+        let train = a.split_ids(Split::Train);
+        let val = a.split_ids(Split::Validation);
+        let test = a.split_ids(Split::Test);
+        assert_eq!(train.len() + val.len() + test.len(), a.len());
+        // Roughly 60/20/20.
+        assert!(train.len() > val.len());
+        assert!(train.len() > test.len());
+        // Deterministic.
+        assert_eq!(train, a.split_ids(Split::Train));
+        // Disjoint.
+        for id in &train {
+            assert!(!val.contains(id) && !test.contains(id));
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let a = small_archive();
+        let s = a.stats();
+        assert_eq!(s.num_patches, a.len());
+        assert_eq!(s.label_counts.len(), Label::COUNT);
+        assert_eq!(s.country_counts.iter().sum::<usize>(), a.len());
+        assert_eq!(s.season_counts.iter().sum::<usize>(), a.len());
+        assert!(s.mean_labels_per_patch >= 1.0);
+        assert!(s.mean_labels_per_patch <= 5.0);
+        // Label counts sum to the total number of (patch, label) pairs.
+        let pairs: usize = a.patches().iter().map(|p| p.meta.labels.len()).sum();
+        assert_eq!(s.label_counts.iter().sum::<usize>(), pairs);
+    }
+
+    #[test]
+    fn metadata_vector_preserves_order() {
+        let a = small_archive();
+        let m = a.metadata();
+        assert_eq!(m.len(), a.len());
+        for (i, meta) in m.iter().enumerate() {
+            assert_eq!(meta.id.index(), i);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Sentinel-2 and Sentinel-1 band definitions and raster containers.
+//!
+//! Each BigEarthNet Sentinel-2 patch keeps 12 of the 13 multispectral bands
+//! (band 10 carries no surface information and is excluded, §2.1).  Bands
+//! come in three spatial resolutions: 10 m bands are 120 × 120 px sections,
+//! 20 m bands 60 × 60 px, and 60 m bands 20 × 20 px.  Sentinel-1 patches
+//! contain the VV and VH dual-polarised SAR channels at 10 m.
+
+/// Spatial resolution classes of Sentinel-2 bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// 10 m ground sampling distance → 120 × 120 px patch section.
+    R10m,
+    /// 20 m ground sampling distance → 60 × 60 px patch section.
+    R20m,
+    /// 60 m ground sampling distance → 20 × 20 px patch section.
+    R60m,
+}
+
+impl Resolution {
+    /// The patch section side length in pixels for this resolution.
+    pub fn patch_size(self) -> usize {
+        match self {
+            Resolution::R10m => 120,
+            Resolution::R20m => 60,
+            Resolution::R60m => 20,
+        }
+    }
+
+    /// Ground sampling distance in metres.
+    pub fn meters(self) -> u32 {
+        match self {
+            Resolution::R10m => 10,
+            Resolution::R20m => 20,
+            Resolution::R60m => 60,
+        }
+    }
+}
+
+/// The 12 Sentinel-2 bands kept in BigEarthNet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Band {
+    B01,
+    B02,
+    B03,
+    B04,
+    B05,
+    B06,
+    B07,
+    B08,
+    B8A,
+    B09,
+    B11,
+    B12,
+}
+
+/// All 12 Sentinel-2 bands in BigEarthNet order.
+pub const SENTINEL2_BANDS: [Band; 12] = [
+    Band::B01,
+    Band::B02,
+    Band::B03,
+    Band::B04,
+    Band::B05,
+    Band::B06,
+    Band::B07,
+    Band::B08,
+    Band::B8A,
+    Band::B09,
+    Band::B11,
+    Band::B12,
+];
+
+impl Band {
+    /// Number of Sentinel-2 bands per patch.
+    pub const COUNT: usize = 12;
+
+    /// Dense index of the band in `0..12`.
+    pub fn index(self) -> usize {
+        SENTINEL2_BANDS.iter().position(|b| *b == self).expect("band is in SENTINEL2_BANDS")
+    }
+
+    /// Band name as used in BigEarthNet file names, e.g. `"B8A"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Band::B01 => "B01",
+            Band::B02 => "B02",
+            Band::B03 => "B03",
+            Band::B04 => "B04",
+            Band::B05 => "B05",
+            Band::B06 => "B06",
+            Band::B07 => "B07",
+            Band::B08 => "B08",
+            Band::B8A => "B8A",
+            Band::B09 => "B09",
+            Band::B11 => "B11",
+            Band::B12 => "B12",
+        }
+    }
+
+    /// The band's spatial resolution class.
+    pub fn resolution(self) -> Resolution {
+        match self {
+            Band::B02 | Band::B03 | Band::B04 | Band::B08 => Resolution::R10m,
+            Band::B05 | Band::B06 | Band::B07 | Band::B8A | Band::B11 | Band::B12 => Resolution::R20m,
+            Band::B01 | Band::B09 => Resolution::R60m,
+        }
+    }
+
+    /// Central wavelength in nanometres (Sentinel-2A values).
+    pub fn wavelength_nm(self) -> f64 {
+        match self {
+            Band::B01 => 442.7,
+            Band::B02 => 492.4,
+            Band::B03 => 559.8,
+            Band::B04 => 664.6,
+            Band::B05 => 704.1,
+            Band::B06 => 740.5,
+            Band::B07 => 782.8,
+            Band::B08 => 832.8,
+            Band::B8A => 864.7,
+            Band::B09 => 945.1,
+            Band::B11 => 1613.7,
+            Band::B12 => 2202.4,
+        }
+    }
+
+    /// Whether this band is one of the RGB display bands (B04, B03, B02).
+    pub fn is_rgb(self) -> bool {
+        matches!(self, Band::B02 | Band::B03 | Band::B04)
+    }
+}
+
+/// Sentinel-1 dual polarisations available in BigEarthNet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarization {
+    /// Vertical transmit, vertical receive.
+    VV,
+    /// Vertical transmit, horizontal receive.
+    VH,
+}
+
+impl Polarization {
+    /// Both polarisations.
+    pub const ALL: [Polarization; 2] = [Polarization::VV, Polarization::VH];
+
+    /// Channel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Polarization::VV => "VV",
+            Polarization::VH => "VH",
+        }
+    }
+}
+
+/// A single-band raster: `size × size` samples stored row-major as `u16`
+/// digital numbers (the storage type of Sentinel-2 L2A products).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandData {
+    size: usize,
+    pixels: Vec<u16>,
+}
+
+impl BandData {
+    /// Creates a raster filled with zeros.
+    pub fn zeros(size: usize) -> Self {
+        Self { size, pixels: vec![0; size * size] }
+    }
+
+    /// Creates a raster from row-major pixel data.
+    ///
+    /// # Panics
+    /// Panics if `pixels.len() != size * size`.
+    pub fn from_pixels(size: usize, pixels: Vec<u16>) -> Self {
+        assert_eq!(pixels.len(), size * size, "pixel buffer does not match size × size");
+        Self { size, pixels }
+    }
+
+    /// Side length in pixels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Row-major pixel slice.
+    pub fn pixels(&self) -> &[u16] {
+        &self.pixels
+    }
+
+    /// Mutable row-major pixel slice.
+    pub fn pixels_mut(&mut self) -> &mut [u16] {
+        &mut self.pixels
+    }
+
+    /// The pixel at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u16 {
+        self.pixels[row * self.size + col]
+    }
+
+    /// Sets the pixel at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: u16) {
+        self.pixels[row * self.size + col] = v;
+    }
+
+    /// Mean digital number.
+    pub fn mean(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|&p| p as f64).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Population standard deviation of digital numbers.
+    pub fn std_dev(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.pixels.iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>() / self.pixels.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum and maximum digital numbers.
+    pub fn min_max(&self) -> (u16, u16) {
+        let mut lo = u16::MAX;
+        let mut hi = 0u16;
+        for &p in &self.pixels {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        if self.pixels.is_empty() {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// The value at the given percentile (0.0..=100.0) of the pixel
+    /// distribution; used for contrast-stretching when rendering RGB.
+    pub fn percentile(&self, pct: f64) -> u16 {
+        if self.pixels.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.pixels.clone();
+        sorted.sort_unstable();
+        let pct = pct.clamp(0.0, 100.0);
+        let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+
+    /// Mean of a half-open sub-window `[r0, r1) × [c0, c1)`, clamped to the
+    /// raster bounds.  Used by the spatial-pyramid feature extractor.
+    pub fn window_mean(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> f64 {
+        let r1 = r1.min(self.size);
+        let c1 = c1.min(self.size);
+        if r0 >= r1 || c0 >= c1 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for r in r0..r1 {
+            for c in c0..c1 {
+                acc += self.get(r, c) as f64;
+            }
+        }
+        acc / ((r1 - r0) * (c1 - c0)) as f64
+    }
+
+    /// Mean absolute horizontal+vertical gradient; a cheap texture-energy
+    /// statistic used by the feature extractor.
+    pub fn gradient_energy(&self) -> f64 {
+        if self.size < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for r in 0..self.size {
+            for c in 0..self.size - 1 {
+                acc += (self.get(r, c) as f64 - self.get(r, c + 1) as f64).abs();
+                n += 1;
+            }
+        }
+        for r in 0..self.size - 1 {
+            for c in 0..self.size {
+                acc += (self.get(r, c) as f64 - self.get(r + 1, c) as f64).abs();
+                n += 1;
+            }
+        }
+        acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_bands_with_unique_indices_and_names() {
+        assert_eq!(SENTINEL2_BANDS.len(), 12);
+        assert_eq!(Band::COUNT, 12);
+        let mut names: Vec<&str> = SENTINEL2_BANDS.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        for (i, b) in SENTINEL2_BANDS.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+
+    #[test]
+    fn band_resolutions_match_bigearthnet_layout() {
+        // 4 bands at 10 m, 6 at 20 m, 2 at 60 m.
+        let r10 = SENTINEL2_BANDS.iter().filter(|b| b.resolution() == Resolution::R10m).count();
+        let r20 = SENTINEL2_BANDS.iter().filter(|b| b.resolution() == Resolution::R20m).count();
+        let r60 = SENTINEL2_BANDS.iter().filter(|b| b.resolution() == Resolution::R60m).count();
+        assert_eq!((r10, r20, r60), (4, 6, 2));
+        assert_eq!(Resolution::R10m.patch_size(), 120);
+        assert_eq!(Resolution::R20m.patch_size(), 60);
+        assert_eq!(Resolution::R60m.patch_size(), 20);
+        assert_eq!(Resolution::R10m.meters(), 10);
+    }
+
+    #[test]
+    fn rgb_bands_are_b04_b03_b02() {
+        let rgb: Vec<Band> = SENTINEL2_BANDS.iter().copied().filter(|b| b.is_rgb()).collect();
+        assert_eq!(rgb, vec![Band::B02, Band::B03, Band::B04]);
+        for b in rgb {
+            assert_eq!(b.resolution(), Resolution::R10m);
+        }
+    }
+
+    #[test]
+    fn wavelengths_increase_from_b01_to_b12() {
+        assert!(Band::B01.wavelength_nm() < Band::B04.wavelength_nm());
+        assert!(Band::B08.wavelength_nm() < Band::B11.wavelength_nm());
+        assert!(Band::B11.wavelength_nm() < Band::B12.wavelength_nm());
+    }
+
+    #[test]
+    fn polarizations() {
+        assert_eq!(Polarization::ALL.len(), 2);
+        assert_eq!(Polarization::VV.name(), "VV");
+        assert_eq!(Polarization::VH.name(), "VH");
+    }
+
+    #[test]
+    fn band_data_accessors() {
+        let mut d = BandData::zeros(4);
+        assert_eq!(d.size(), 4);
+        assert_eq!(d.pixels().len(), 16);
+        d.set(1, 2, 500);
+        assert_eq!(d.get(1, 2), 500);
+        assert_eq!(d.pixels()[1 * 4 + 2], 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel buffer")]
+    fn from_pixels_panics_on_size_mismatch() {
+        let _ = BandData::from_pixels(3, vec![0u16; 8]);
+    }
+
+    #[test]
+    fn band_data_statistics() {
+        let d = BandData::from_pixels(2, vec![0, 100, 200, 300]);
+        assert!((d.mean() - 150.0).abs() < 1e-9);
+        let (lo, hi) = d.min_max();
+        assert_eq!((lo, hi), (0, 300));
+        assert!(d.std_dev() > 0.0);
+        assert_eq!(d.percentile(0.0), 0);
+        assert_eq!(d.percentile(100.0), 300);
+        assert_eq!(d.percentile(50.0), 200); // nearest-rank rounding
+    }
+
+    #[test]
+    fn empty_band_statistics_are_zero() {
+        let d = BandData::from_pixels(0, vec![]);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.std_dev(), 0.0);
+        assert_eq!(d.min_max(), (0, 0));
+        assert_eq!(d.percentile(50.0), 0);
+        assert_eq!(d.gradient_energy(), 0.0);
+    }
+
+    #[test]
+    fn window_mean_clamps_and_handles_degenerate_windows() {
+        let d = BandData::from_pixels(2, vec![10, 20, 30, 40]);
+        assert!((d.window_mean(0, 2, 0, 2) - 25.0).abs() < 1e-9);
+        assert!((d.window_mean(0, 1, 0, 1) - 10.0).abs() < 1e-9);
+        assert!((d.window_mean(0, 10, 0, 10) - 25.0).abs() < 1e-9); // clamped
+        assert_eq!(d.window_mean(1, 1, 0, 2), 0.0); // empty window
+    }
+
+    #[test]
+    fn gradient_energy_flat_vs_textured() {
+        let flat = BandData::from_pixels(3, vec![100; 9]);
+        assert_eq!(flat.gradient_energy(), 0.0);
+        let textured = BandData::from_pixels(3, vec![0, 200, 0, 200, 0, 200, 0, 200, 0]);
+        assert!(textured.gradient_energy() > 100.0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Deterministic synthetic archive generator.
+//!
+//! The generator replaces the real BigEarthNet acquisition pipeline.  It is
+//! fully deterministic given a seed, so every experiment in
+//! `EXPERIMENTS.md` is reproducible bit-for-bit.
+
+use crate::archive::Archive;
+use crate::bands::{BandData, Polarization, SENTINEL2_BANDS};
+use crate::countries::Country;
+use crate::labels::{Label, LabelSet};
+use crate::patch::{patch_name, AcquisitionDate, Patch, PatchId, PatchMetadata};
+use crate::signature::{label_signature, mixed_signature};
+use eq_geo::{BBox, Point};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of the synthetic archive generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of patches to generate.
+    pub num_patches: usize,
+    /// Random seed; the same seed always produces the same archive.
+    pub seed: u64,
+    /// Divisor applied to the canonical patch sizes (1 = full 120/60/20 px,
+    /// 2 = 60/30/10 px, ...).  Experiments that only need band statistics
+    /// use a larger divisor to keep memory bounded; the band *layout* is
+    /// unchanged.
+    pub size_scale: usize,
+    /// Minimum number of labels per patch (≥ 1).
+    pub min_labels: usize,
+    /// Maximum number of labels per patch.
+    pub max_labels: usize,
+    /// Standard deviation of the additive pixel noise, in digital numbers.
+    pub noise_std: f64,
+    /// Countries to draw patches from; defaults to all ten.
+    pub countries: Vec<Country>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            num_patches: 1_000,
+            seed: 42,
+            size_scale: 6, // 20×20 px 10 m bands by default: fast yet structured
+            min_labels: 1,
+            max_labels: 5,
+            noise_std: 120.0,
+            countries: Country::ALL.to_vec(),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny(num_patches: usize, seed: u64) -> Self {
+        Self { num_patches, seed, size_scale: 12, ..Self::default() }
+    }
+
+    /// A configuration producing full-resolution (120 px) patches.
+    pub fn full_resolution(num_patches: usize, seed: u64) -> Self {
+        Self { num_patches, seed, size_scale: 1, ..Self::default() }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.num_patches == 0 {
+            return Err("num_patches must be > 0".into());
+        }
+        if self.size_scale == 0 || self.size_scale > 20 {
+            return Err(format!("size_scale {} out of range 1..=20", self.size_scale));
+        }
+        if self.min_labels == 0 || self.min_labels > self.max_labels {
+            return Err(format!(
+                "invalid label-count range {}..={}",
+                self.min_labels, self.max_labels
+            ));
+        }
+        if self.max_labels > Label::COUNT {
+            return Err(format!("max_labels {} exceeds {}", self.max_labels, Label::COUNT));
+        }
+        if self.countries.is_empty() {
+            return Err("at least one country is required".into());
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic synthetic BigEarthNet archive generator.
+#[derive(Debug, Clone)]
+pub struct ArchiveGenerator {
+    config: GeneratorConfig,
+}
+
+impl ArchiveGenerator {
+    /// Creates a generator after validating the configuration.
+    pub fn new(config: GeneratorConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the full archive (metadata + pixels).
+    pub fn generate(&self) -> Archive {
+        let patches = (0..self.config.num_patches).map(|i| self.generate_patch(i as u32)).collect();
+        Archive::new(patches)
+    }
+
+    /// Generates only the metadata records (no pixels).  Useful for
+    /// metadata-store experiments at archive scale (hundreds of thousands
+    /// of documents) where pixel data would not fit in memory.
+    ///
+    /// The records are identical to the metadata of [`generate`](Self::generate):
+    /// every patch uses an id-derived RNG stream whose first draws produce
+    /// the metadata, so skipping the pixel draws does not change it.
+    pub fn generate_metadata_only(&self) -> Vec<PatchMetadata> {
+        (0..self.config.num_patches)
+            .map(|i| self.generate_metadata_with(&mut self.patch_rng(i as u32), i as u32))
+            .collect()
+    }
+
+    /// Generates a single patch with an id-derived deterministic stream.
+    ///
+    /// Consecutive ids do not share an RNG stream, so patches can be
+    /// produced independently (e.g. lazily or in parallel) while staying
+    /// reproducible.
+    pub fn generate_patch(&self, id: u32) -> Patch {
+        self.generate_patch_with(&mut self.patch_rng(id), id)
+    }
+
+    fn patch_rng(&self, id: u32) -> StdRng {
+        StdRng::seed_from_u64(
+            self.config.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1),
+        )
+    }
+
+    fn generate_metadata_with(&self, rng: &mut StdRng, id: u32) -> PatchMetadata {
+        let country = self.sample_country(rng);
+        let labels = self.sample_labels(rng);
+        let date = sample_date(rng);
+        let bbox = sample_footprint(rng, country);
+        let name = patch_name(country, date, rng.gen_range(0..120), rng.gen_range(0..120));
+        PatchMetadata { id: PatchId(id), name, bbox, labels, country, date }
+    }
+
+    fn generate_patch_with(&self, rng: &mut StdRng, id: u32) -> Patch {
+        let meta = self.generate_metadata_with(rng, id);
+        let labels: Vec<Label> = meta.labels.iter().collect();
+        let season_gain = match meta.date.season() {
+            crate::patch::Season::Summer => 1.05,
+            crate::patch::Season::Spring => 1.0,
+            crate::patch::Season::Autumn => 0.95,
+            crate::patch::Season::Winter => 0.88,
+        };
+
+        // Assign each quadrant of the patch a (possibly different) label so
+        // that patches have spatial structure, as real mixed patches do.
+        let quadrant_labels: [Label; 4] = std::array::from_fn(|_| {
+            labels[rng.gen_range(0..labels.len())]
+        });
+        let mix = mixed_signature(&labels);
+
+        let s2_bands = SENTINEL2_BANDS
+            .iter()
+            .map(|band| {
+                let size = (band.resolution().patch_size() / self.config.size_scale).max(2);
+                let mut data = BandData::zeros(size);
+                for r in 0..size {
+                    for c in 0..size {
+                        let quadrant = (r >= size / 2) as usize * 2 + (c >= size / 2) as usize;
+                        let sig = label_signature(quadrant_labels[quadrant]);
+                        // Blend the quadrant label with the patch-level mix so
+                        // quadrant borders are not artificially sharp.
+                        let base = 0.65 * sig.band_mean(*band) + 0.35 * mix.band_mean(*band);
+                        let texture_noise =
+                            rng.gen_range(-1.0..1.0) * sig.texture * 600.0;
+                        let noise = sample_gaussian(rng, self.config.noise_std);
+                        let v = (base * season_gain + texture_noise + noise).clamp(0.0, 10_000.0);
+                        data.set(r, c, v as u16);
+                    }
+                }
+                data
+            })
+            .collect();
+
+        let s1_size = (120 / self.config.size_scale).max(2);
+        let s1_bands = Polarization::ALL
+            .iter()
+            .map(|pol| {
+                let mut data = BandData::zeros(s1_size);
+                let gain = match pol {
+                    Polarization::VV => 1.0,
+                    Polarization::VH => 0.55,
+                };
+                for r in 0..s1_size {
+                    for c in 0..s1_size {
+                        let quadrant = (r >= s1_size / 2) as usize * 2 + (c >= s1_size / 2) as usize;
+                        let sig = label_signature(quadrant_labels[quadrant]);
+                        let speckle = rng.gen_range(0.6..1.4); // multiplicative SAR speckle
+                        let v = (sig.sar_backscatter * gain * speckle).clamp(0.0, 10_000.0);
+                        data.set(r, c, v as u16);
+                    }
+                }
+                data
+            })
+            .collect();
+
+        Patch { meta, s2_bands, s1_bands }
+    }
+
+    fn sample_country(&self, rng: &mut StdRng) -> Country {
+        let weights: Vec<f64> = self.config.countries.iter().map(|c| c.patch_share()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (c, w) in self.config.countries.iter().zip(weights.iter()) {
+            if x < *w {
+                return *c;
+            }
+            x -= w;
+        }
+        *self.config.countries.last().expect("validated non-empty")
+    }
+
+    fn sample_labels(&self, rng: &mut StdRng) -> LabelSet {
+        let count = rng.gen_range(self.config.min_labels..=self.config.max_labels);
+        let primary = sample_label_by_prior(rng);
+        let mut set = LabelSet::from_labels([primary]);
+        let mut guard = 0;
+        while set.len() < count && guard < 200 {
+            guard += 1;
+            // 70 %: a label from the same Level-1 family (thematic
+            // co-occurrence, e.g. Sea and ocean + Coastal lagoons);
+            // 30 %: anything, weighted by prior.
+            let candidate = if rng.gen_bool(0.7) {
+                let family: Vec<Label> =
+                    Label::ALL.iter().copied().filter(|l| l.level1() == primary.level1()).collect();
+                family[rng.gen_range(0..family.len())]
+            } else {
+                sample_label_by_prior(rng)
+            };
+            set.insert(candidate);
+        }
+        set
+    }
+}
+
+fn sample_label_by_prior(rng: &mut StdRng) -> Label {
+    let total: f64 = Label::ALL.iter().map(|l| l.prior_weight()).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for l in Label::ALL {
+        if x < l.prior_weight() {
+            return l;
+        }
+        x -= l.prior_weight();
+    }
+    Label::SeaAndOcean
+}
+
+fn sample_date(rng: &mut StdRng) -> AcquisitionDate {
+    // Months June 2017 .. May 2018 (12 months).
+    let month_offset = rng.gen_range(0..12u32);
+    let (year, month) = if month_offset < 7 {
+        (2017u16, (6 + month_offset) as u8)
+    } else {
+        (2018u16, (month_offset - 6) as u8)
+    };
+    let day = rng.gen_range(1..=28u8);
+    AcquisitionDate::new(year, month, day).expect("generated dates are valid")
+}
+
+fn sample_footprint(rng: &mut StdRng, country: Country) -> BBox {
+    let b = country.bounding_box();
+    // Keep a small margin so the 1.2 km footprint stays inside the country box.
+    let lon = rng.gen_range(b.min_lon + 0.05..b.max_lon - 0.05);
+    let lat = rng.gen_range(b.min_lat + 0.05..b.max_lat - 0.05);
+    BBox::square_around(Point::new_unchecked(lon, lat), 1.2)
+}
+
+/// Samples from a zero-mean Gaussian with the given standard deviation
+/// (Box–Muller; avoids a dependency on `rand_distr`).
+fn sample_gaussian(rng: &mut StdRng, std: f64) -> f64 {
+    if std <= 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bands::Band;
+
+    #[test]
+    fn config_validation() {
+        assert!(ArchiveGenerator::new(GeneratorConfig { num_patches: 0, ..Default::default() }).is_err());
+        assert!(ArchiveGenerator::new(GeneratorConfig { size_scale: 0, ..Default::default() }).is_err());
+        assert!(ArchiveGenerator::new(GeneratorConfig { size_scale: 50, ..Default::default() }).is_err());
+        assert!(
+            ArchiveGenerator::new(GeneratorConfig { min_labels: 3, max_labels: 2, ..Default::default() })
+                .is_err()
+        );
+        assert!(
+            ArchiveGenerator::new(GeneratorConfig { min_labels: 0, ..Default::default() }).is_err()
+        );
+        assert!(ArchiveGenerator::new(GeneratorConfig { max_labels: 99, ..Default::default() }).is_err());
+        assert!(
+            ArchiveGenerator::new(GeneratorConfig { countries: vec![], ..Default::default() }).is_err()
+        );
+        assert!(ArchiveGenerator::new(GeneratorConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::tiny(20, 7);
+        let a = ArchiveGenerator::new(cfg.clone()).unwrap().generate();
+        let b = ArchiveGenerator::new(cfg).unwrap().generate();
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.patches().iter().zip(b.patches().iter()) {
+            assert_eq!(pa.meta, pb.meta);
+            assert_eq!(pa.s2_bands, pb.s2_bands);
+            assert_eq!(pa.s1_bands, pb.s1_bands);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ArchiveGenerator::new(GeneratorConfig::tiny(10, 1)).unwrap().generate();
+        let b = ArchiveGenerator::new(GeneratorConfig::tiny(10, 2)).unwrap().generate();
+        let same = a
+            .patches()
+            .iter()
+            .zip(b.patches().iter())
+            .filter(|(x, y)| x.meta.labels == y.meta.labels && x.meta.country == y.meta.country)
+            .count();
+        assert!(same < a.len(), "different seeds produced identical archives");
+    }
+
+    #[test]
+    fn metadata_only_matches_full_generation() {
+        let cfg = GeneratorConfig::tiny(15, 99);
+        let full = ArchiveGenerator::new(cfg.clone()).unwrap().generate();
+        let meta = ArchiveGenerator::new(cfg).unwrap().generate_metadata_only();
+        assert_eq!(full.len(), meta.len());
+        for (p, m) in full.patches().iter().zip(meta.iter()) {
+            assert_eq!(&p.meta, m);
+        }
+    }
+
+    #[test]
+    fn generated_metadata_respects_invariants() {
+        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(200, 3))
+            .unwrap()
+            .generate_metadata_only();
+        for (i, m) in metas.iter().enumerate() {
+            assert_eq!(m.id.index(), i);
+            assert!(!m.labels.is_empty());
+            assert!(m.labels.len() <= 5);
+            assert!(m.date.in_bigearthnet_window(), "{} outside window", m.date);
+            assert!(m.country.bounding_box().intersects(&m.bbox), "footprint outside country");
+            assert!(m.name.starts_with("S2A_MSIL2A_"));
+        }
+        // Names are unique with overwhelming probability; enforce it.
+        let mut names: Vec<&str> = metas.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert!(names.len() >= metas.len() - 2, "too many duplicate names");
+    }
+
+    #[test]
+    fn generated_pixels_reflect_label_semantics() {
+        // Water patches must be darker in NIR than forest patches on average.
+        let cfg = GeneratorConfig { num_patches: 300, seed: 11, size_scale: 12, ..Default::default() };
+        let archive = ArchiveGenerator::new(cfg).unwrap().generate();
+        let mut water_nir = vec![];
+        let mut forest_nir = vec![];
+        for p in archive.patches() {
+            let nir = p.band(Band::B08).mean();
+            let labels = p.meta.labels;
+            let is_water = labels.contains(Label::SeaAndOcean) || labels.contains(Label::WaterBodies);
+            let is_forest =
+                labels.contains(Label::ConiferousForest) || labels.contains(Label::BroadLeavedForest);
+            if is_water && !is_forest {
+                water_nir.push(nir);
+            } else if is_forest && !is_water {
+                forest_nir.push(nir);
+            }
+        }
+        assert!(water_nir.len() > 3 && forest_nir.len() > 3, "not enough samples");
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&forest_nir) > mean(&water_nir) + 500.0,
+            "forest NIR {} not clearly above water NIR {}",
+            mean(&forest_nir),
+            mean(&water_nir)
+        );
+    }
+
+    #[test]
+    fn size_scale_controls_raster_sizes() {
+        let archive = ArchiveGenerator::new(GeneratorConfig {
+            num_patches: 2,
+            seed: 5,
+            size_scale: 2,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate();
+        let p = &archive.patches()[0];
+        assert_eq!(p.band(Band::B02).size(), 60);
+        assert_eq!(p.band(Band::B05).size(), 30);
+        assert_eq!(p.band(Band::B01).size(), 10);
+        assert_eq!(p.polarization(Polarization::VV).size(), 60);
+    }
+
+    #[test]
+    fn full_resolution_patches_validate() {
+        let archive =
+            ArchiveGenerator::new(GeneratorConfig::full_resolution(1, 3)).unwrap().generate();
+        assert_eq!(archive.patches()[0].validate(), Ok(()));
+    }
+
+    #[test]
+    fn generate_patch_by_id_is_deterministic_and_id_stable() {
+        let g = ArchiveGenerator::new(GeneratorConfig::tiny(10, 77)).unwrap();
+        let a = g.generate_patch(3);
+        let b = g.generate_patch(3);
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(a.s2_bands, b.s2_bands);
+        assert_eq!(a.meta.id, PatchId(3));
+        let c = g.generate_patch(4);
+        assert_ne!(a.meta.name, c.meta.name);
+    }
+
+    #[test]
+    fn country_restriction_is_honoured() {
+        let cfg = GeneratorConfig {
+            num_patches: 50,
+            countries: vec![Country::Portugal],
+            ..GeneratorConfig::tiny(50, 8)
+        };
+        let metas = ArchiveGenerator::new(cfg).unwrap().generate_metadata_only();
+        assert!(metas.iter().all(|m| m.country == Country::Portugal));
+    }
+
+    #[test]
+    fn gaussian_sampler_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut rng, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.15, "std {}", var.sqrt());
+        assert_eq!(sample_gaussian(&mut rng, 0.0), 0.0);
+    }
+}

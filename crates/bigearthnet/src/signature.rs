@@ -1,0 +1,251 @@
+//! Per-label spectral signatures used by the synthetic patch generator.
+//!
+//! The real BigEarthNet pixels come from Sentinel-2 L2A products; here we
+//! replace them with synthetic rasters whose band statistics are driven by
+//! the land-cover classes present in the patch.  The signatures below are
+//! coarse but physically plausible surface-reflectance profiles (expressed
+//! as Sentinel-2 digital numbers, i.e. reflectance × 10 000): water is dark
+//! everywhere and darkest in the infrared, vegetation has the classic red
+//! edge (low red, high NIR), urban surfaces are bright and spectrally flat,
+//! bare soil/rock is bright in the short-wave infrared, and so on.
+//!
+//! What matters for the reproduction is not radiometric accuracy but that
+//! (i) patches sharing labels have correlated band statistics and
+//! (ii) patches with disjoint labels are separable — this is the property
+//! the MiLaN metric-learning head exploits.
+
+use crate::bands::Band;
+use crate::labels::Label;
+
+/// A spectral signature: one mean digital number per Sentinel-2 band plus a
+/// texture roughness factor and a Sentinel-1 backscatter level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signature {
+    /// Mean digital number per band (indexed by [`Band::index`]).
+    pub band_means: [f64; 12],
+    /// Texture roughness in `[0, 1]`: 0 = flat (water), 1 = very rough (urban).
+    pub texture: f64,
+    /// Mean Sentinel-1 backscatter digital number (VV); VH is derived.
+    pub sar_backscatter: f64,
+}
+
+/// Base profiles for a handful of canonical surface types; label signatures
+/// are built by blending these.
+fn profile(kind: SurfaceKind) -> Signature {
+    use SurfaceKind::*;
+    // Band order: B01 B02 B03 B04 B05 B06 B07 B08 B8A B09 B11 B12
+    let (band_means, texture, sar): ([f64; 12], f64, f64) = match kind {
+        Water => ([900.0, 800.0, 700.0, 500.0, 400.0, 300.0, 250.0, 200.0, 180.0, 150.0, 100.0, 80.0], 0.04, 300.0),
+        DenseVegetation => {
+            ([400.0, 500.0, 800.0, 600.0, 1200.0, 2600.0, 3200.0, 3500.0, 3600.0, 1200.0, 1800.0, 900.0], 0.35, 1800.0)
+        }
+        Grass => ([500.0, 650.0, 950.0, 900.0, 1500.0, 2400.0, 2800.0, 3000.0, 3100.0, 1100.0, 2200.0, 1300.0], 0.25, 1500.0),
+        Crops => ([550.0, 700.0, 1000.0, 1100.0, 1600.0, 2200.0, 2500.0, 2700.0, 2800.0, 1000.0, 2500.0, 1600.0], 0.45, 1600.0),
+        Urban => ([1400.0, 1600.0, 1800.0, 2000.0, 2100.0, 2200.0, 2300.0, 2400.0, 2450.0, 1300.0, 2600.0, 2500.0], 0.85, 3500.0),
+        BareSoil => ([1100.0, 1300.0, 1600.0, 1900.0, 2100.0, 2300.0, 2400.0, 2500.0, 2600.0, 1400.0, 3200.0, 2900.0], 0.55, 1200.0),
+        Sand => ([1800.0, 2100.0, 2500.0, 2900.0, 3100.0, 3300.0, 3400.0, 3500.0, 3600.0, 1800.0, 3900.0, 3600.0], 0.30, 900.0),
+        Wetland => ([700.0, 800.0, 1000.0, 900.0, 1100.0, 1600.0, 1900.0, 2000.0, 2050.0, 800.0, 1400.0, 900.0], 0.30, 1000.0),
+        Burnt => ([700.0, 750.0, 850.0, 950.0, 1000.0, 1100.0, 1150.0, 1200.0, 1250.0, 700.0, 2000.0, 2300.0], 0.40, 1100.0),
+        Snow => ([4500.0, 4800.0, 4900.0, 5000.0, 5000.0, 5000.0, 5000.0, 4900.0, 4800.0, 3000.0, 1200.0, 900.0], 0.15, 600.0),
+    };
+    Signature { band_means, texture, sar_backscatter: sar }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SurfaceKind {
+    Water,
+    DenseVegetation,
+    Grass,
+    Crops,
+    Urban,
+    BareSoil,
+    Sand,
+    Wetland,
+    Burnt,
+    Snow,
+}
+
+fn blend(parts: &[(SurfaceKind, f64)]) -> Signature {
+    let total: f64 = parts.iter().map(|(_, w)| w).sum();
+    let mut band_means = [0.0f64; 12];
+    let mut texture = 0.0;
+    let mut sar = 0.0;
+    for (kind, w) in parts {
+        let p = profile(*kind);
+        let w = w / total;
+        for (i, m) in p.band_means.iter().enumerate() {
+            band_means[i] += m * w;
+        }
+        texture += p.texture * w;
+        sar += p.sar_backscatter * w;
+    }
+    Signature { band_means, texture, sar_backscatter: sar }
+}
+
+/// Returns the spectral signature of a CLC Level-3 class.
+pub fn label_signature(label: Label) -> Signature {
+    use Label::*;
+    use SurfaceKind::*;
+    match label {
+        ContinuousUrbanFabric => blend(&[(Urban, 0.95), (Grass, 0.05)]),
+        DiscontinuousUrbanFabric => blend(&[(Urban, 0.6), (Grass, 0.3), (DenseVegetation, 0.1)]),
+        IndustrialOrCommercialUnits => blend(&[(Urban, 0.9), (BareSoil, 0.1)]),
+        RoadAndRailNetworks => blend(&[(Urban, 0.7), (BareSoil, 0.2), (Grass, 0.1)]),
+        PortAreas => blend(&[(Urban, 0.6), (Water, 0.4)]),
+        Airports => blend(&[(Urban, 0.5), (Grass, 0.4), (BareSoil, 0.1)]),
+        MineralExtractionSites => blend(&[(BareSoil, 0.8), (Urban, 0.2)]),
+        DumpSites => blend(&[(BareSoil, 0.7), (Urban, 0.3)]),
+        ConstructionSites => blend(&[(BareSoil, 0.6), (Urban, 0.4)]),
+        GreenUrbanAreas => blend(&[(Grass, 0.6), (DenseVegetation, 0.2), (Urban, 0.2)]),
+        SportAndLeisureFacilities => blend(&[(Grass, 0.7), (Urban, 0.3)]),
+        NonIrrigatedArableLand => blend(&[(Crops, 0.8), (BareSoil, 0.2)]),
+        PermanentlyIrrigatedLand => blend(&[(Crops, 0.9), (Water, 0.1)]),
+        RiceFields => blend(&[(Crops, 0.6), (Water, 0.4)]),
+        Vineyards => blend(&[(Crops, 0.6), (BareSoil, 0.4)]),
+        FruitTreesAndBerryPlantations => blend(&[(DenseVegetation, 0.5), (Crops, 0.5)]),
+        OliveGroves => blend(&[(DenseVegetation, 0.4), (BareSoil, 0.4), (Crops, 0.2)]),
+        Pastures => blend(&[(Grass, 0.9), (Crops, 0.1)]),
+        AnnualCropsWithPermanentCrops => blend(&[(Crops, 0.7), (DenseVegetation, 0.3)]),
+        ComplexCultivationPatterns => blend(&[(Crops, 0.6), (Grass, 0.2), (DenseVegetation, 0.2)]),
+        LandPrincipallyOccupiedByAgriculture => blend(&[(Crops, 0.5), (Grass, 0.3), (DenseVegetation, 0.2)]),
+        AgroForestryAreas => blend(&[(DenseVegetation, 0.5), (Crops, 0.3), (Grass, 0.2)]),
+        BroadLeavedForest => blend(&[(DenseVegetation, 1.0)]),
+        ConiferousForest => blend(&[(DenseVegetation, 0.85), (Wetland, 0.15)]),
+        MixedForest => blend(&[(DenseVegetation, 0.92), (Grass, 0.08)]),
+        NaturalGrassland => blend(&[(Grass, 0.9), (BareSoil, 0.1)]),
+        MoorsAndHeathland => blend(&[(Grass, 0.5), (Wetland, 0.3), (BareSoil, 0.2)]),
+        SclerophyllousVegetation => blend(&[(Grass, 0.4), (BareSoil, 0.3), (DenseVegetation, 0.3)]),
+        TransitionalWoodlandShrub => blend(&[(DenseVegetation, 0.6), (Grass, 0.4)]),
+        BeachesDunesSands => blend(&[(Sand, 0.9), (Water, 0.1)]),
+        BareRock => blend(&[(BareSoil, 0.7), (Snow, 0.15), (Sand, 0.15)]),
+        SparselyVegetatedAreas => blend(&[(BareSoil, 0.6), (Grass, 0.4)]),
+        BurntAreas => blend(&[(Burnt, 1.0)]),
+        InlandMarshes => blend(&[(Wetland, 0.8), (Water, 0.2)]),
+        Peatbogs => blend(&[(Wetland, 0.9), (Grass, 0.1)]),
+        SaltMarshes => blend(&[(Wetland, 0.6), (Water, 0.3), (Sand, 0.1)]),
+        Salines => blend(&[(Water, 0.5), (Sand, 0.5)]),
+        IntertidalFlats => blend(&[(Water, 0.5), (BareSoil, 0.3), (Sand, 0.2)]),
+        WaterCourses => blend(&[(Water, 0.95), (Grass, 0.05)]),
+        WaterBodies => blend(&[(Water, 1.0)]),
+        CoastalLagoons => blend(&[(Water, 0.85), (Sand, 0.15)]),
+        Estuaries => blend(&[(Water, 0.8), (Wetland, 0.2)]),
+        SeaAndOcean => blend(&[(Water, 1.0)]),
+    }
+}
+
+/// Blends the signatures of several labels into a single patch-level
+/// signature (uniform weights).
+pub fn mixed_signature(labels: &[Label]) -> Signature {
+    if labels.is_empty() {
+        return profile(SurfaceKind::BareSoil);
+    }
+    let mut band_means = [0.0f64; 12];
+    let mut texture = 0.0;
+    let mut sar = 0.0;
+    for l in labels {
+        let s = label_signature(*l);
+        for i in 0..12 {
+            band_means[i] += s.band_means[i];
+        }
+        texture += s.texture;
+        sar += s.sar_backscatter;
+    }
+    let n = labels.len() as f64;
+    for m in band_means.iter_mut() {
+        *m /= n;
+    }
+    Signature { band_means, texture: texture / n, sar_backscatter: sar / n }
+}
+
+impl Signature {
+    /// The mean digital number of a given band.
+    pub fn band_mean(&self, band: Band) -> f64 {
+        self.band_means[band.index()]
+    }
+
+    /// Euclidean distance between two signatures in band space; a crude
+    /// semantic-distance proxy used in tests.
+    pub fn distance(&self, other: &Signature) -> f64 {
+        self.band_means
+            .iter()
+            .zip(other.band_means.iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bands::SENTINEL2_BANDS;
+
+    #[test]
+    fn every_label_has_a_finite_positive_signature() {
+        for l in Label::ALL {
+            let s = label_signature(l);
+            for b in SENTINEL2_BANDS {
+                let m = s.band_mean(b);
+                assert!(m.is_finite() && m > 0.0, "{l} band {b:?} mean {m}");
+                assert!(m < 10_000.0, "{l} band {b:?} mean {m} too large");
+            }
+            assert!((0.0..=1.0).contains(&s.texture), "{l} texture {}", s.texture);
+            assert!(s.sar_backscatter > 0.0);
+        }
+    }
+
+    #[test]
+    fn water_is_dark_in_nir_vegetation_is_bright() {
+        let water = label_signature(Label::SeaAndOcean);
+        let forest = label_signature(Label::BroadLeavedForest);
+        assert!(water.band_mean(Band::B08) < 500.0);
+        assert!(forest.band_mean(Band::B08) > 2500.0);
+        // Red edge: NIR >> red for vegetation.
+        assert!(forest.band_mean(Band::B08) > 3.0 * forest.band_mean(Band::B04));
+        // Water has no red edge.
+        assert!(water.band_mean(Band::B08) < water.band_mean(Band::B02));
+    }
+
+    #[test]
+    fn urban_is_rough_water_is_smooth() {
+        assert!(label_signature(Label::ContinuousUrbanFabric).texture > 0.7);
+        assert!(label_signature(Label::WaterBodies).texture < 0.1);
+    }
+
+    #[test]
+    fn similar_labels_have_closer_signatures_than_dissimilar_ones() {
+        let conif = label_signature(Label::ConiferousForest);
+        let mixed = label_signature(Label::MixedForest);
+        let sea = label_signature(Label::SeaAndOcean);
+        let urban = label_signature(Label::ContinuousUrbanFabric);
+        assert!(conif.distance(&mixed) < conif.distance(&sea));
+        assert!(conif.distance(&mixed) < conif.distance(&urban));
+        let water_bodies = label_signature(Label::WaterBodies);
+        assert!(sea.distance(&water_bodies) < sea.distance(&urban));
+    }
+
+    #[test]
+    fn mixed_signature_is_between_its_parts() {
+        let sea = label_signature(Label::SeaAndOcean);
+        let beach = label_signature(Label::BeachesDunesSands);
+        let mix = mixed_signature(&[Label::SeaAndOcean, Label::BeachesDunesSands]);
+        for b in SENTINEL2_BANDS {
+            let lo = sea.band_mean(b).min(beach.band_mean(b));
+            let hi = sea.band_mean(b).max(beach.band_mean(b));
+            let m = mix.band_mean(b);
+            assert!(m >= lo - 1e-9 && m <= hi + 1e-9, "band {b:?}: {m} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn mixed_signature_of_empty_slice_is_well_defined() {
+        let s = mixed_signature(&[]);
+        assert!(s.band_means.iter().all(|m| m.is_finite() && *m > 0.0));
+    }
+
+    #[test]
+    fn signature_distance_is_zero_for_identical() {
+        let a = label_signature(Label::Vineyards);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+}

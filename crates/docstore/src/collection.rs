@@ -1,0 +1,491 @@
+//! Collections: document storage, indexes and the query planner.
+
+use std::collections::{BTreeMap, HashMap};
+
+use eq_geo::Point;
+
+use crate::filter::Filter;
+use crate::index::{AttributeIndex, GeoIndex, DEFAULT_GEOHASH_PRECISION};
+use crate::value::{Document, Value};
+use crate::{DocId, StoreError};
+
+/// How a query was executed; returned alongside every result so that the
+/// experiments (E4/E5) can verify which access path was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// The index that drove the scan (`"pk"`, an attribute field name, or
+    /// the geo field), or `None` for a full collection scan.
+    pub index_used: Option<String>,
+    /// Number of candidate documents examined.
+    pub scanned: usize,
+    /// Number of documents that matched the filter.
+    pub matched: usize,
+}
+
+/// The result of a query: matching document ids (in insertion order) plus
+/// the execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Ids of the matching documents.
+    pub ids: Vec<DocId>,
+    /// How the query was executed.
+    pub plan: QueryPlan,
+}
+
+/// Summary statistics of a collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionStats {
+    /// Number of stored documents.
+    pub count: usize,
+    /// Approximate total size in bytes.
+    pub approximate_bytes: usize,
+    /// Names of the secondary attribute indexes.
+    pub attribute_indexes: Vec<String>,
+    /// Whether a geospatial index exists and on which field.
+    pub geo_index: Option<String>,
+}
+
+/// A collection of documents with a mandatory primary key, optional
+/// secondary attribute indexes and an optional geohash 2-D index.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    name: String,
+    primary_key: String,
+    docs: HashMap<DocId, Document>,
+    insertion_order: Vec<DocId>,
+    next_id: DocId,
+    pk_index: BTreeMap<Value, DocId>,
+    attr_indexes: BTreeMap<String, AttributeIndex>,
+    geo_field: Option<String>,
+    geo_index: Option<GeoIndex>,
+}
+
+impl Collection {
+    /// Creates an empty collection whose documents must carry the given
+    /// primary-key field (EarthQube uses the image patch name, §3.2).
+    pub fn new(name: &str, primary_key: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            primary_key: primary_key.to_string(),
+            docs: HashMap::new(),
+            insertion_order: Vec::new(),
+            next_id: 0,
+            pk_index: BTreeMap::new(),
+            attr_indexes: BTreeMap::new(),
+            geo_field: None,
+            geo_index: None,
+        }
+    }
+
+    /// The collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primary-key field.
+    pub fn primary_key(&self) -> &str {
+        &self.primary_key
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Declares a secondary index on a (dotted-path) attribute; existing
+    /// documents are indexed immediately.
+    pub fn create_attribute_index(&mut self, field: &str) {
+        let mut index = AttributeIndex::new();
+        for (&id, doc) in &self.docs {
+            if let Some(v) = doc.get(field) {
+                index.insert(v.clone(), id);
+            }
+        }
+        self.attr_indexes.insert(field.to_string(), index);
+    }
+
+    /// Declares a geohash 2-D index on a point attribute (a `[lon, lat]`
+    /// array field); existing documents are indexed immediately.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::BadIndex`] if a geo index already exists on a
+    /// different field.
+    pub fn create_geo_index(&mut self, field: &str) -> Result<(), StoreError> {
+        if let Some(existing) = &self.geo_field {
+            if existing != field {
+                return Err(StoreError::BadIndex(format!(
+                    "geo index already exists on field {existing}"
+                )));
+            }
+        }
+        let mut index = GeoIndex::new(DEFAULT_GEOHASH_PRECISION);
+        for (&id, doc) in &self.docs {
+            if let Some(p) = point_of(doc, field) {
+                index.insert(id, p);
+            }
+        }
+        self.geo_field = Some(field.to_string());
+        self.geo_index = Some(index);
+        Ok(())
+    }
+
+    /// Whether an attribute index exists on the field.
+    pub fn has_attribute_index(&self, field: &str) -> bool {
+        self.attr_indexes.contains_key(field)
+    }
+
+    /// Inserts a document.
+    ///
+    /// # Errors
+    /// Fails if the primary-key field is missing or already present.
+    pub fn insert(&mut self, doc: Document) -> Result<DocId, StoreError> {
+        let key = doc
+            .get(&self.primary_key)
+            .cloned()
+            .ok_or_else(|| StoreError::MissingPrimaryKey(self.primary_key.clone()))?;
+        if self.pk_index.contains_key(&key) {
+            return Err(StoreError::DuplicateKey(format!("{key:?}")));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        // Update secondary indexes.
+        for (field, index) in self.attr_indexes.iter_mut() {
+            if let Some(v) = doc.get(field) {
+                index.insert(v.clone(), id);
+            }
+        }
+        if let (Some(field), Some(index)) = (&self.geo_field, self.geo_index.as_mut()) {
+            if let Some(p) = point_of(&doc, field) {
+                index.insert(id, p);
+            }
+        }
+        self.pk_index.insert(key, id);
+        self.docs.insert(id, doc);
+        self.insertion_order.push(id);
+        Ok(id)
+    }
+
+    /// The document with the given internal id.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(&id)
+    }
+
+    /// The document with the given primary-key value.
+    pub fn get_by_key(&self, key: &Value) -> Option<&Document> {
+        self.pk_index.get(key).and_then(|id| self.docs.get(id))
+    }
+
+    /// Deletes the document with the given primary-key value.
+    ///
+    /// # Errors
+    /// Fails if no such document exists.
+    pub fn delete_by_key(&mut self, key: &Value) -> Result<(), StoreError> {
+        let id = *self.pk_index.get(key).ok_or_else(|| StoreError::NotFound(format!("{key:?}")))?;
+        let doc = self.docs.remove(&id).expect("pk index and docs are consistent");
+        self.pk_index.remove(key);
+        self.insertion_order.retain(|d| *d != id);
+        for (field, index) in self.attr_indexes.iter_mut() {
+            if let Some(v) = doc.get(field) {
+                index.remove(v, id);
+            }
+        }
+        if let (Some(field), Some(index)) = (&self.geo_field, self.geo_index.as_mut()) {
+            if let Some(p) = point_of(&doc, field) {
+                index.remove(id, p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the document stored under the given primary-key value.
+    ///
+    /// # Errors
+    /// Fails if no such document exists or the new document's key differs.
+    pub fn replace_by_key(&mut self, key: &Value, doc: Document) -> Result<(), StoreError> {
+        if doc.get(&self.primary_key) != Some(key) {
+            return Err(StoreError::MissingPrimaryKey(self.primary_key.clone()));
+        }
+        self.delete_by_key(key)?;
+        self.insert(doc).map(|_| ())
+    }
+
+    /// Runs a query, picking the best available index.
+    ///
+    /// Planner order (mirrors what MongoDB would do for these shapes):
+    /// 1. exact primary-key equality,
+    /// 2. geospatial predicate through the geo index,
+    /// 3. exact equality on an attribute index,
+    /// 4. full collection scan.
+    pub fn find(&self, filter: &Filter) -> QueryResult {
+        // 1. Primary-key point lookup.
+        if let Some(key) = filter.exact_value_for(&self.primary_key) {
+            let mut ids = Vec::new();
+            let mut scanned = 0;
+            if let Some(&id) = self.pk_index.get(key) {
+                scanned = 1;
+                if filter.matches(&self.docs[&id]) {
+                    ids.push(id);
+                }
+            }
+            let matched = ids.len();
+            return QueryResult { ids, plan: QueryPlan { index_used: Some("pk".into()), scanned, matched } };
+        }
+
+        // 2. Geo index.
+        if let (Some((field, shape)), Some(geo_field), Some(index)) =
+            (filter.geo_constraint(), self.geo_field.as_deref(), self.geo_index.as_ref())
+        {
+            if field == geo_field {
+                let (candidates, _cells) = index.candidates_in_shape(shape);
+                let scanned = candidates.len();
+                let ids: Vec<DocId> =
+                    candidates.into_iter().filter(|id| filter.matches(&self.docs[id])).collect();
+                let matched = ids.len();
+                return QueryResult {
+                    ids,
+                    plan: QueryPlan { index_used: Some(geo_field.to_string()), scanned, matched },
+                };
+            }
+        }
+
+        // 3. Attribute index on an exact equality.
+        for (field, index) in &self.attr_indexes {
+            if let Some(value) = filter.exact_value_for(field) {
+                let candidates = index.lookup(value);
+                let scanned = candidates.len();
+                let mut ids: Vec<DocId> =
+                    candidates.into_iter().filter(|id| filter.matches(&self.docs[id])).collect();
+                ids.sort_unstable();
+                let matched = ids.len();
+                return QueryResult {
+                    ids,
+                    plan: QueryPlan { index_used: Some(field.clone()), scanned, matched },
+                };
+            }
+        }
+
+        // 4. Full scan in insertion order.
+        let mut ids = Vec::new();
+        for &id in &self.insertion_order {
+            if filter.matches(&self.docs[&id]) {
+                ids.push(id);
+            }
+        }
+        let matched = ids.len();
+        QueryResult {
+            ids,
+            plan: QueryPlan { index_used: None, scanned: self.insertion_order.len(), matched },
+        }
+    }
+
+    /// Like [`find`](Self::find) but returns document references.
+    pub fn find_docs(&self, filter: &Filter) -> Vec<&Document> {
+        self.find(filter).ids.iter().map(|id| &self.docs[id]).collect()
+    }
+
+    /// Number of documents matching a filter.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.find(filter).plan.matched
+    }
+
+    /// Iterates over all documents in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&DocId, &Document)> {
+        self.insertion_order.iter().map(move |id| (id, &self.docs[id]))
+    }
+
+    /// Collection statistics.
+    pub fn stats(&self) -> CollectionStats {
+        CollectionStats {
+            count: self.docs.len(),
+            approximate_bytes: self.docs.values().map(|d| d.approximate_size()).sum(),
+            attribute_indexes: self.attr_indexes.keys().cloned().collect(),
+            geo_index: self.geo_field.clone(),
+        }
+    }
+}
+
+fn point_of(doc: &Document, field: &str) -> Option<Point> {
+    let arr = doc.get(field)?.as_array()?;
+    if arr.len() != 2 {
+        return None;
+    }
+    Point::new(arr[0].as_float()?, arr[1].as_float()?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_geo::{BBox, GeoShape};
+
+    fn patch_doc(name: &str, country: &str, lon: f64, lat: f64, labels: &str, date: i64) -> Document {
+        Document::new()
+            .with("name", name)
+            .with("country", country)
+            .with("labels", labels)
+            .with("date", Value::Date(date))
+            .with("location", Value::Array(vec![Value::Float(lon), Value::Float(lat)]))
+    }
+
+    fn sample_collection() -> Collection {
+        let mut c = Collection::new("metadata", "name");
+        c.create_attribute_index("country");
+        c.create_geo_index("location").unwrap();
+        c.insert(patch_doc("p1", "Portugal", -8.5, 37.1, "AB", 100)).unwrap();
+        c.insert(patch_doc("p2", "Portugal", -8.6, 37.2, "BC", 200)).unwrap();
+        c.insert(patch_doc("p3", "Austria", 14.0, 47.5, "C", 300)).unwrap();
+        c.insert(patch_doc("p4", "Finland", 25.0, 62.0, "AD", 400)).unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_get_and_primary_key_constraints() {
+        let mut c = sample_collection();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.name(), "metadata");
+        assert_eq!(c.primary_key(), "name");
+        assert!(c.get_by_key(&"p1".into()).is_some());
+        assert!(c.get_by_key(&"nope".into()).is_none());
+        // Duplicate key rejected.
+        let err = c.insert(patch_doc("p1", "Serbia", 20.0, 44.0, "A", 1)).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateKey(_)));
+        // Missing key rejected.
+        let err = c.insert(Document::new().with("country", "Serbia")).unwrap_err();
+        assert!(matches!(err, StoreError::MissingPrimaryKey(_)));
+    }
+
+    #[test]
+    fn get_by_internal_id_and_iteration_order() {
+        let c = sample_collection();
+        let names: Vec<&str> =
+            c.iter().map(|(_, d)| d.get("name").unwrap().as_str().unwrap()).collect();
+        assert_eq!(names, vec!["p1", "p2", "p3", "p4"]);
+        let (first_id, _) = c.iter().next().unwrap();
+        assert!(c.get(*first_id).is_some());
+        assert!(c.get(9999).is_none());
+    }
+
+    #[test]
+    fn primary_key_lookup_uses_pk_index() {
+        let c = sample_collection();
+        let r = c.find(&Filter::Eq("name".into(), "p3".into()));
+        assert_eq!(r.ids.len(), 1);
+        assert_eq!(r.plan.index_used.as_deref(), Some("pk"));
+        assert_eq!(r.plan.scanned, 1);
+        // Missing key: zero scanned/matched, still the pk path.
+        let r = c.find(&Filter::Eq("name".into(), "missing".into()));
+        assert!(r.ids.is_empty());
+        assert_eq!(r.plan.index_used.as_deref(), Some("pk"));
+    }
+
+    #[test]
+    fn attribute_index_is_used_for_equality() {
+        let c = sample_collection();
+        let r = c.find(&Filter::Eq("country".into(), "Portugal".into()));
+        assert_eq!(r.ids.len(), 2);
+        assert_eq!(r.plan.index_used.as_deref(), Some("country"));
+        assert_eq!(r.plan.scanned, 2); // only the posting list, not the whole collection
+        // The same query without the index would scan everything.
+        let mut no_index = Collection::new("metadata", "name");
+        no_index.insert(patch_doc("p1", "Portugal", -8.5, 37.1, "AB", 100)).unwrap();
+        no_index.insert(patch_doc("p3", "Austria", 14.0, 47.5, "C", 300)).unwrap();
+        let r = no_index.find(&Filter::Eq("country".into(), "Portugal".into()));
+        assert_eq!(r.plan.index_used, None);
+        assert_eq!(r.plan.scanned, 2);
+    }
+
+    #[test]
+    fn geo_index_drives_spatial_queries() {
+        let c = sample_collection();
+        let portugal_box = GeoShape::Rect(BBox::new(-9.5, 36.5, -6.0, 42.0).unwrap());
+        let r = c.find(&Filter::GeoWithin("location".into(), portugal_box));
+        assert_eq!(r.ids.len(), 2);
+        assert_eq!(r.plan.index_used.as_deref(), Some("location"));
+        assert!(r.plan.scanned <= 2, "geo index should prune non-candidates");
+    }
+
+    #[test]
+    fn combined_geo_and_attribute_filter() {
+        let c = sample_collection();
+        let shape = GeoShape::Rect(BBox::new(-9.5, 36.5, 26.0, 63.0).unwrap());
+        let f = Filter::GeoWithin("location".into(), shape)
+            .and(Filter::ContainsAny("labels".into(), vec!["A".into()]));
+        let r = c.find(&f);
+        // p1 (labels AB) and p4 (labels AD) match; p2/p3 have no 'A'.
+        assert_eq!(r.ids.len(), 2);
+        assert_eq!(r.plan.index_used.as_deref(), Some("location"));
+    }
+
+    #[test]
+    fn full_scan_fallback_and_count() {
+        let c = sample_collection();
+        let f = Filter::Gt("date".into(), Value::Date(150));
+        let r = c.find(&f);
+        assert_eq!(r.plan.index_used, None);
+        assert_eq!(r.plan.scanned, 4);
+        assert_eq!(r.ids.len(), 3);
+        assert_eq!(c.count(&f), 3);
+        assert_eq!(c.find_docs(&f).len(), 3);
+    }
+
+    #[test]
+    fn delete_and_replace_maintain_indexes() {
+        let mut c = sample_collection();
+        c.delete_by_key(&"p1".into()).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.get_by_key(&"p1".into()).is_none());
+        let r = c.find(&Filter::Eq("country".into(), "Portugal".into()));
+        assert_eq!(r.ids.len(), 1);
+        // Replacing p2 with new country moves it between index postings.
+        c.replace_by_key(&"p2".into(), patch_doc("p2", "Austria", 14.1, 47.6, "B", 250)).unwrap();
+        assert_eq!(c.count(&Filter::Eq("country".into(), "Portugal".into())), 0);
+        assert_eq!(c.count(&Filter::Eq("country".into(), "Austria".into())), 2);
+        // Errors.
+        assert!(c.delete_by_key(&"ghost".into()).is_err());
+        assert!(c
+            .replace_by_key(&"p3".into(), patch_doc("other", "Austria", 1.0, 45.9, "C", 1))
+            .is_err());
+    }
+
+    #[test]
+    fn late_index_creation_indexes_existing_documents() {
+        let mut c = Collection::new("metadata", "name");
+        c.insert(patch_doc("p1", "Portugal", -8.5, 37.1, "AB", 100)).unwrap();
+        c.insert(patch_doc("p2", "Austria", 14.0, 47.5, "C", 300)).unwrap();
+        c.create_attribute_index("country");
+        c.create_geo_index("location").unwrap();
+        assert!(c.has_attribute_index("country"));
+        let r = c.find(&Filter::Eq("country".into(), "Austria".into()));
+        assert_eq!(r.plan.index_used.as_deref(), Some("country"));
+        assert_eq!(r.ids.len(), 1);
+        // A second geo index on a different field is rejected.
+        assert!(matches!(c.create_geo_index("other"), Err(StoreError::BadIndex(_))));
+        // Re-creating on the same field is fine (rebuild).
+        assert!(c.create_geo_index("location").is_ok());
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let c = sample_collection();
+        let s = c.stats();
+        assert_eq!(s.count, 4);
+        assert!(s.approximate_bytes > 0);
+        assert_eq!(s.attribute_indexes, vec!["country".to_string()]);
+        assert_eq!(s.geo_index.as_deref(), Some("location"));
+    }
+
+    #[test]
+    fn documents_without_indexed_fields_are_tolerated() {
+        let mut c = Collection::new("misc", "key");
+        c.create_attribute_index("country");
+        c.create_geo_index("location").unwrap();
+        c.insert(Document::new().with("key", "a")).unwrap();
+        assert_eq!(c.len(), 1);
+        let r = c.find(&Filter::All);
+        assert_eq!(r.ids.len(), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! The query filter AST and its evaluator.
+
+use eq_geo::{GeoShape, Point};
+
+use crate::value::{Document, Value};
+
+/// A query predicate over documents.
+///
+/// Filters compose the comparison, array, logical and geospatial operators
+/// that the EarthQube back-end needs: attribute equality/ranges (dates,
+/// countries, seasons), label-code array predicates (the three label
+/// operators of §3.1) and geospatial containment (the map query shapes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    All,
+    /// Field equals the value.
+    Eq(String, Value),
+    /// Field differs from the value (missing fields match).
+    Ne(String, Value),
+    /// Field is strictly less than the value.
+    Lt(String, Value),
+    /// Field is less than or equal to the value.
+    Lte(String, Value),
+    /// Field is strictly greater than the value.
+    Gt(String, Value),
+    /// Field is greater than or equal to the value.
+    Gte(String, Value),
+    /// Field value is one of the listed values.
+    In(String, Vec<Value>),
+    /// The field exists (even if null).
+    Exists(String),
+    /// The field is an array (or string treated as a set of characters)
+    /// containing **all** of the listed values.
+    ContainsAll(String, Vec<Value>),
+    /// The field is an array (or string) containing **at least one** of the
+    /// listed values.
+    ContainsAny(String, Vec<Value>),
+    /// The field is an array (or string) whose element set is **exactly**
+    /// the listed set (order-insensitive).
+    ContainsExactly(String, Vec<Value>),
+    /// A string field starts with the given prefix.
+    StartsWith(String, String),
+    /// All sub-filters match.
+    And(Vec<Filter>),
+    /// At least one sub-filter matches.
+    Or(Vec<Filter>),
+    /// The sub-filter does not match.
+    Not(Box<Filter>),
+    /// A geospatial point field (a two-element `[lon, lat]` array) lies
+    /// within the shape.
+    GeoWithin(String, GeoShape),
+}
+
+impl Filter {
+    /// Convenience constructor for an AND of two filters, flattening nested ANDs.
+    pub fn and(self, other: Filter) -> Filter {
+        match (self, other) {
+            (Filter::All, f) | (f, Filter::All) => f,
+            (Filter::And(mut a), Filter::And(b)) => {
+                a.extend(b);
+                Filter::And(a)
+            }
+            (Filter::And(mut a), f) => {
+                a.push(f);
+                Filter::And(a)
+            }
+            (f, Filter::And(mut b)) => {
+                b.insert(0, f);
+                Filter::And(b)
+            }
+            (a, b) => Filter::And(vec![a, b]),
+        }
+    }
+
+    /// Evaluates the filter against a document.
+    pub fn matches(&self, doc: &Document) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::Eq(field, v) => doc.get(field) == Some(v),
+            Filter::Ne(field, v) => doc.get(field) != Some(v),
+            Filter::Lt(field, v) => cmp_field(doc, field, v).is_some_and(|o| o.is_lt()),
+            Filter::Lte(field, v) => cmp_field(doc, field, v).is_some_and(|o| o.is_le()),
+            Filter::Gt(field, v) => cmp_field(doc, field, v).is_some_and(|o| o.is_gt()),
+            Filter::Gte(field, v) => cmp_field(doc, field, v).is_some_and(|o| o.is_ge()),
+            Filter::In(field, values) => doc.get(field).is_some_and(|v| values.contains(v)),
+            Filter::Exists(field) => doc.contains(field),
+            Filter::ContainsAll(field, values) => {
+                field_elements(doc, field).is_some_and(|els| values.iter().all(|v| els.contains(v)))
+            }
+            Filter::ContainsAny(field, values) => {
+                field_elements(doc, field).is_some_and(|els| values.iter().any(|v| els.contains(v)))
+            }
+            Filter::ContainsExactly(field, values) => field_elements(doc, field).is_some_and(|els| {
+                els.len() == values.len()
+                    && values.iter().all(|v| els.contains(v))
+                    && els.iter().all(|e| values.contains(e))
+            }),
+            Filter::StartsWith(field, prefix) => {
+                doc.get(field).and_then(Value::as_str).is_some_and(|s| s.starts_with(prefix))
+            }
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+            Filter::Not(f) => !f.matches(doc),
+            Filter::GeoWithin(field, shape) => point_from_field(doc, field)
+                .map(|p| shape.contains(p))
+                .unwrap_or(false),
+        }
+    }
+
+    /// If the filter constrains `field` to an exact value (possibly inside
+    /// an `And`), returns that value — used by the query planner to pick an
+    /// attribute index.
+    pub fn exact_value_for(&self, field: &str) -> Option<&Value> {
+        match self {
+            Filter::Eq(f, v) if f == field => Some(v),
+            Filter::And(fs) => fs.iter().find_map(|f| f.exact_value_for(field)),
+            _ => None,
+        }
+    }
+
+    /// If the filter contains a geospatial predicate (possibly inside an
+    /// `And`), returns its field and shape — used to route through the 2-D
+    /// geohash index.
+    pub fn geo_constraint(&self) -> Option<(&str, &GeoShape)> {
+        match self {
+            Filter::GeoWithin(field, shape) => Some((field, shape)),
+            Filter::And(fs) => fs.iter().find_map(|f| f.geo_constraint()),
+            _ => None,
+        }
+    }
+}
+
+fn cmp_field(doc: &Document, field: &str, v: &Value) -> Option<std::cmp::Ordering> {
+    doc.get(field).map(|dv| dv.cmp(v))
+}
+
+/// The elements of an array field; a string field is treated as its set of
+/// one-character strings, which is how EarthQube stores ASCII-coded labels.
+fn field_elements(doc: &Document, field: &str) -> Option<Vec<Value>> {
+    match doc.get(field)? {
+        Value::Array(a) => Some(a.clone()),
+        Value::Str(s) => Some(s.chars().map(|c| Value::Str(c.to_string())).collect()),
+        _ => None,
+    }
+}
+
+fn point_from_field(doc: &Document, field: &str) -> Option<Point> {
+    let arr = doc.get(field)?.as_array()?;
+    if arr.len() != 2 {
+        return None;
+    }
+    let lon = arr[0].as_float()?;
+    let lat = arr[1].as_float()?;
+    Point::new(lon, lat).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_geo::BBox;
+
+    fn doc() -> Document {
+        Document::new()
+            .with("name", "S2A_patch_7")
+            .with("country", "Portugal")
+            .with("date", Value::Date(750_000))
+            .with("labels", "ABT")
+            .with("bands", vec![2i64, 3, 4])
+            .with("location", Value::Array(vec![Value::Float(-8.5), Value::Float(37.1)]))
+            .with("cloud", Value::Null)
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let d = doc();
+        assert!(Filter::All.matches(&d));
+        assert!(Filter::Eq("country".into(), "Portugal".into()).matches(&d));
+        assert!(!Filter::Eq("country".into(), "Austria".into()).matches(&d));
+        assert!(Filter::Ne("country".into(), "Austria".into()).matches(&d));
+        assert!(Filter::Ne("missing".into(), "x".into()).matches(&d));
+        assert!(Filter::Lt("date".into(), Value::Date(750_001)).matches(&d));
+        assert!(Filter::Lte("date".into(), Value::Date(750_000)).matches(&d));
+        assert!(Filter::Gt("date".into(), Value::Date(749_999)).matches(&d));
+        assert!(Filter::Gte("date".into(), Value::Date(750_000)).matches(&d));
+        assert!(!Filter::Gt("date".into(), Value::Date(750_000)).matches(&d));
+        // Comparisons against missing fields never match.
+        assert!(!Filter::Lt("missing".into(), Value::Int(1)).matches(&d));
+    }
+
+    #[test]
+    fn membership_and_existence() {
+        let d = doc();
+        assert!(Filter::In("country".into(), vec!["Austria".into(), "Portugal".into()]).matches(&d));
+        assert!(!Filter::In("country".into(), vec!["Austria".into()]).matches(&d));
+        assert!(Filter::Exists("cloud".into()).matches(&d));
+        assert!(!Filter::Exists("nope".into()).matches(&d));
+        assert!(Filter::StartsWith("name".into(), "S2A_".into()).matches(&d));
+        assert!(!Filter::StartsWith("name".into(), "S1B_".into()).matches(&d));
+        assert!(!Filter::StartsWith("date".into(), "S".into()).matches(&d));
+    }
+
+    #[test]
+    fn array_and_label_string_operators() {
+        let d = doc();
+        // Array field.
+        assert!(Filter::ContainsAll("bands".into(), vec![2i64.into(), 4i64.into()]).matches(&d));
+        assert!(!Filter::ContainsAll("bands".into(), vec![2i64.into(), 9i64.into()]).matches(&d));
+        assert!(Filter::ContainsAny("bands".into(), vec![9i64.into(), 3i64.into()]).matches(&d));
+        assert!(!Filter::ContainsAny("bands".into(), vec![9i64.into()]).matches(&d));
+        assert!(
+            Filter::ContainsExactly("bands".into(), vec![4i64.into(), 3i64.into(), 2i64.into()]).matches(&d)
+        );
+        assert!(!Filter::ContainsExactly("bands".into(), vec![2i64.into(), 3i64.into()]).matches(&d));
+        // Label string treated as a character set (the ASCII label encoding).
+        assert!(Filter::ContainsAll("labels".into(), vec!["A".into(), "T".into()]).matches(&d));
+        assert!(Filter::ContainsAny("labels".into(), vec!["Z".into(), "B".into()]).matches(&d));
+        assert!(
+            Filter::ContainsExactly("labels".into(), vec!["A".into(), "B".into(), "T".into()]).matches(&d)
+        );
+        assert!(!Filter::ContainsExactly("labels".into(), vec!["A".into(), "B".into()]).matches(&d));
+        // Non-array, non-string fields never match element predicates.
+        assert!(!Filter::ContainsAny("date".into(), vec![Value::Date(750_000)]).matches(&d));
+    }
+
+    #[test]
+    fn logical_operators_compose() {
+        let d = doc();
+        let f = Filter::Eq("country".into(), "Portugal".into())
+            .and(Filter::Gt("date".into(), Value::Date(0)));
+        assert!(f.matches(&d));
+        assert!(Filter::Or(vec![
+            Filter::Eq("country".into(), "Austria".into()),
+            Filter::Eq("country".into(), "Portugal".into()),
+        ])
+        .matches(&d));
+        assert!(!Filter::Or(vec![]).matches(&d));
+        assert!(Filter::And(vec![]).matches(&d));
+        assert!(Filter::Not(Box::new(Filter::Eq("country".into(), "Austria".into()))).matches(&d));
+        assert!(!Filter::Not(Box::new(Filter::All)).matches(&d));
+    }
+
+    #[test]
+    fn and_builder_flattens() {
+        let f = Filter::Eq("a".into(), 1i64.into())
+            .and(Filter::Eq("b".into(), 2i64.into()))
+            .and(Filter::Eq("c".into(), 3i64.into()));
+        match f {
+            Filter::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(Filter::All.and(Filter::Exists("x".into())), Filter::Exists("x".into()));
+    }
+
+    #[test]
+    fn geo_within_checks_the_point() {
+        let d = doc();
+        let hit = GeoShape::Rect(BBox::new(-10.0, 36.0, -6.0, 39.0).unwrap());
+        let miss = GeoShape::Rect(BBox::new(0.0, 0.0, 1.0, 1.0).unwrap());
+        assert!(Filter::GeoWithin("location".into(), hit).matches(&d));
+        assert!(!Filter::GeoWithin("location".into(), miss.clone()).matches(&d));
+        assert!(!Filter::GeoWithin("missing".into(), miss.clone()).matches(&d));
+        // A malformed location never matches.
+        let bad = Document::new().with("location", Value::Array(vec![Value::Float(1.0)]));
+        assert!(!Filter::GeoWithin("location".into(), miss).matches(&bad));
+    }
+
+    #[test]
+    fn planner_helpers_find_constraints_inside_and() {
+        let shape = GeoShape::Rect(BBox::new(0.0, 0.0, 1.0, 1.0).unwrap());
+        let f = Filter::Eq("country".into(), "Portugal".into())
+            .and(Filter::GeoWithin("location".into(), shape.clone()))
+            .and(Filter::Gt("date".into(), Value::Date(1)));
+        assert_eq!(f.exact_value_for("country"), Some(&Value::Str("Portugal".into())));
+        assert_eq!(f.exact_value_for("season"), None);
+        let (field, s) = f.geo_constraint().unwrap();
+        assert_eq!(field, "location");
+        assert_eq!(s, &shape);
+        assert!(Filter::All.geo_constraint().is_none());
+    }
+}

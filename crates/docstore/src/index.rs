@@ -1,0 +1,297 @@
+//! Secondary indexes: ordered attribute indexes and the geohash 2-D index.
+
+use std::collections::BTreeMap;
+
+use eq_geo::{geohash, BBox, GeoShape, Point};
+
+use crate::value::Value;
+use crate::DocId;
+
+/// An ordered secondary index over one (dotted-path) attribute.
+///
+/// Implemented as a B-tree from attribute value to posting list, which
+/// supports exact lookups and ordered range scans — the two access paths the
+/// query planner uses.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeIndex {
+    entries: BTreeMap<Value, Vec<DocId>>,
+    len: usize,
+}
+
+impl AttributeIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed (value, document) postings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds a posting.
+    pub fn insert(&mut self, key: Value, doc: DocId) {
+        self.entries.entry(key).or_default().push(doc);
+        self.len += 1;
+    }
+
+    /// Removes a posting (if present).
+    pub fn remove(&mut self, key: &Value, doc: DocId) {
+        if let Some(list) = self.entries.get_mut(key) {
+            if let Some(pos) = list.iter().position(|d| *d == doc) {
+                list.swap_remove(pos);
+                self.len -= 1;
+            }
+            if list.is_empty() {
+                self.entries.remove(key);
+            }
+        }
+    }
+
+    /// Documents whose attribute equals `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<DocId> {
+        self.entries.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Documents whose attribute lies in `[lo, hi]` (inclusive).
+    pub fn range(&self, lo: &Value, hi: &Value) -> Vec<DocId> {
+        let mut out = Vec::new();
+        for (_, docs) in self.entries.range(lo.clone()..=hi.clone()) {
+            out.extend_from_slice(docs);
+        }
+        out
+    }
+}
+
+/// Default geohash precision of the 2-D index: ~5 characters ≈ 5 km cells,
+/// a good match for EarthQube's typical query extents.
+pub const DEFAULT_GEOHASH_PRECISION: usize = 5;
+
+/// A geohash-based 2-D index over a point attribute, mirroring MongoDB's
+/// built-in geohashing index used by EarthQube (§3.2).
+///
+/// Points are encoded to geohash strings stored in an ordered map; a
+/// rectangle query becomes a handful of prefix scans over covering cells,
+/// followed by exact point-in-shape verification by the caller.
+#[derive(Debug, Clone)]
+pub struct GeoIndex {
+    precision: usize,
+    entries: BTreeMap<String, Vec<(DocId, f64, f64)>>,
+    len: usize,
+}
+
+impl Default for GeoIndex {
+    fn default() -> Self {
+        Self::new(DEFAULT_GEOHASH_PRECISION)
+    }
+}
+
+impl GeoIndex {
+    /// Creates an empty index with the given geohash precision (1..=12).
+    ///
+    /// # Panics
+    /// Panics if the precision is out of range.
+    pub fn new(precision: usize) -> Self {
+        assert!(
+            (1..=geohash::MAX_PRECISION).contains(&precision),
+            "geohash precision {precision} out of range"
+        );
+        Self { precision, entries: BTreeMap::new(), len: 0 }
+    }
+
+    /// The geohash precision in use.
+    pub fn precision(&self) -> usize {
+        self.precision
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indexes a point.
+    pub fn insert(&mut self, doc: DocId, point: Point) {
+        let hash = geohash::encode(point, self.precision).expect("valid precision");
+        self.entries.entry(hash).or_default().push((doc, point.lon, point.lat));
+        self.len += 1;
+    }
+
+    /// Removes a point (if present).
+    pub fn remove(&mut self, doc: DocId, point: Point) {
+        let hash = geohash::encode(point, self.precision).expect("valid precision");
+        if let Some(list) = self.entries.get_mut(&hash) {
+            if let Some(pos) = list.iter().position(|(d, _, _)| *d == doc) {
+                list.swap_remove(pos);
+                self.len -= 1;
+            }
+            if list.is_empty() {
+                self.entries.remove(&hash);
+            }
+        }
+    }
+
+    /// Candidate documents whose point may lie inside `bbox`
+    /// (a superset: exact verification is the caller's job).
+    ///
+    /// Also returns the number of geohash cells scanned, which the query
+    /// planner surfaces in its execution report.
+    pub fn candidates_in_bbox(&self, bbox: &BBox) -> (Vec<DocId>, usize) {
+        let cover = geohash::cover_bbox(bbox, self.precision, 512).expect("valid precision");
+        let mut out = Vec::new();
+        let mut cells_scanned = 0usize;
+        for prefix in &cover {
+            // All stored hashes with this prefix form a contiguous range in
+            // the ordered map.
+            let end = prefix_upper_bound(prefix);
+            for (_, points) in self.entries.range(prefix.clone()..end) {
+                cells_scanned += 1;
+                for (doc, lon, lat) in points {
+                    if bbox.contains(Point::new_unchecked(*lon, *lat)) {
+                        out.push(*doc);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        (out, cells_scanned.max(cover.len()))
+    }
+
+    /// Candidate documents for an arbitrary query shape (uses the shape's
+    /// bounding box for the index scan; exact shape verification is the
+    /// caller's job).
+    pub fn candidates_in_shape(&self, shape: &GeoShape) -> (Vec<DocId>, usize) {
+        self.candidates_in_bbox(&shape.bounding_box())
+    }
+}
+
+/// The smallest string strictly greater than every string with the given
+/// prefix (used to turn a prefix into a `BTreeMap` range bound).
+fn prefix_upper_bound(prefix: &str) -> String {
+    let mut bytes = prefix.as_bytes().to_vec();
+    // Geohash alphabet is ASCII; bumping the last byte is always valid here.
+    if let Some(last) = bytes.last_mut() {
+        *last += 1;
+    }
+    String::from_utf8(bytes).expect("ascii prefix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_index_lookup_and_range() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(Value::Str("Portugal".into()), 1);
+        idx.insert(Value::Str("Portugal".into()), 2);
+        idx.insert(Value::Str("Austria".into()), 3);
+        idx.insert(Value::Date(100), 4);
+        idx.insert(Value::Date(200), 5);
+        idx.insert(Value::Date(300), 6);
+
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx.distinct_keys(), 5);
+        assert_eq!(idx.lookup(&Value::Str("Portugal".into())), vec![1, 2]);
+        assert_eq!(idx.lookup(&Value::Str("Serbia".into())), Vec::<DocId>::new());
+        let mut r = idx.range(&Value::Date(100), &Value::Date(250));
+        r.sort_unstable();
+        assert_eq!(r, vec![4, 5]);
+    }
+
+    #[test]
+    fn attribute_index_remove() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(Value::Int(1), 10);
+        idx.insert(Value::Int(1), 11);
+        idx.remove(&Value::Int(1), 10);
+        assert_eq!(idx.lookup(&Value::Int(1)), vec![11]);
+        idx.remove(&Value::Int(1), 11);
+        assert!(idx.is_empty());
+        assert_eq!(idx.distinct_keys(), 0);
+        // Removing a non-existent posting is a no-op.
+        idx.remove(&Value::Int(1), 99);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn geo_index_rejects_bad_precision() {
+        let _ = GeoIndex::new(0);
+    }
+
+    #[test]
+    fn geo_index_finds_points_in_bbox() {
+        let mut idx = GeoIndex::new(5);
+        // Points around Lisbon and Berlin.
+        idx.insert(1, Point::new(-9.14, 38.72).unwrap());
+        idx.insert(2, Point::new(-9.20, 38.70).unwrap());
+        idx.insert(3, Point::new(13.40, 52.52).unwrap());
+        assert_eq!(idx.len(), 3);
+
+        let lisbon = BBox::new(-9.5, 38.5, -8.9, 38.9).unwrap();
+        let (hits, cells) = idx.candidates_in_bbox(&lisbon);
+        assert_eq!(hits, vec![1, 2]);
+        assert!(cells >= 1);
+
+        let berlin = BBox::new(13.0, 52.0, 14.0, 53.0).unwrap();
+        let (hits, _) = idx.candidates_in_bbox(&berlin);
+        assert_eq!(hits, vec![3]);
+
+        let atlantic = BBox::new(-40.0, 30.0, -30.0, 40.0).unwrap();
+        let (hits, _) = idx.candidates_in_bbox(&atlantic);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn geo_index_remove_and_shape_query() {
+        let mut idx = GeoIndex::default();
+        assert_eq!(idx.precision(), DEFAULT_GEOHASH_PRECISION);
+        let p = Point::new(10.0, 50.0).unwrap();
+        idx.insert(7, p);
+        idx.remove(7, p);
+        assert!(idx.is_empty());
+        idx.insert(8, p);
+        let shape = GeoShape::Circle(eq_geo::Circle::new(p, 10.0).unwrap());
+        let (hits, _) = idx.candidates_in_shape(&shape);
+        assert_eq!(hits, vec![8]);
+    }
+
+    #[test]
+    fn geo_index_candidates_do_not_miss_boundary_points() {
+        // Points near a cell boundary must still be found via covering cells.
+        let mut idx = GeoIndex::new(5);
+        let mut expected = Vec::new();
+        for i in 0..50u64 {
+            let lon = 12.0 + (i as f64) * 0.01;
+            let lat = 51.0 + (i as f64) * 0.005;
+            idx.insert(i, Point::new(lon, lat).unwrap());
+            expected.push(i);
+        }
+        let bbox = BBox::new(11.9, 50.9, 12.6, 51.3).unwrap();
+        let (hits, _) = idx.candidates_in_bbox(&bbox);
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn prefix_upper_bound_is_exclusive_end() {
+        assert_eq!(prefix_upper_bound("u33"), "u34".to_string());
+        assert!(String::from("u33zzz") < prefix_upper_bound("u33"));
+        assert!(String::from("u34") >= prefix_upper_bound("u33"));
+    }
+}

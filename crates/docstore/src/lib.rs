@@ -1,0 +1,76 @@
+//! An embedded document store — the MongoDB substitute of the EarthQube
+//! data tier (§3.2 of the paper).
+//!
+//! EarthQube stores four collections in MongoDB: image metadata, raw image
+//! data, rendered images and user feedback.  The metadata collection is
+//! queried by geospatial extent (through MongoDB's built-in 2-D geohashing
+//! index), by label codes, by acquisition date and by other attributes.
+//! This crate provides the same capabilities as an embedded library:
+//!
+//! * [`Value`] / [`Document`] — a dynamically typed document model,
+//! * [`Filter`] — a query AST with comparison, logical, array and
+//!   geospatial predicates,
+//! * [`Collection`] — storage with a primary-key index, secondary B-tree
+//!   attribute indexes and a geohash-based 2-D index, plus a small query
+//!   planner that picks an index and reports an execution plan,
+//! * [`Database`] — a named set of collections.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod database;
+pub mod filter;
+pub mod index;
+pub mod value;
+
+pub use collection::{Collection, CollectionStats, QueryPlan, QueryResult};
+pub use database::Database;
+pub use filter::Filter;
+pub use index::{AttributeIndex, GeoIndex};
+pub use value::{Document, Value};
+
+/// Internal identifier of a stored document.
+pub type DocId = u64;
+
+/// Errors returned by the document store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A document with the same primary key already exists.
+    DuplicateKey(String),
+    /// The referenced document does not exist.
+    NotFound(String),
+    /// The referenced collection does not exist.
+    NoSuchCollection(String),
+    /// A document is missing the collection's primary-key field.
+    MissingPrimaryKey(String),
+    /// An index was requested on a field with unsupported contents.
+    BadIndex(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            StoreError::NotFound(k) => write!(f, "document not found: {k}"),
+            StoreError::NoSuchCollection(c) => write!(f, "no such collection: {c}"),
+            StoreError::MissingPrimaryKey(field) => write!(f, "document is missing primary key field {field}"),
+            StoreError::BadIndex(msg) => write!(f, "bad index: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        assert!(StoreError::DuplicateKey("a".into()).to_string().contains("duplicate"));
+        assert!(StoreError::NotFound("x".into()).to_string().contains("not found"));
+        assert!(StoreError::NoSuchCollection("c".into()).to_string().contains("no such collection"));
+        assert!(StoreError::MissingPrimaryKey("name".into()).to_string().contains("primary key"));
+        assert!(StoreError::BadIndex("oops".into()).to_string().contains("bad index"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The content-based image retrieval (CBIR) service (§3.3 of the paper).
+//!
+//! For every archive image a 128-bit binary code is inferred with MiLaN.
+//! The service keeps an in-memory hash table mapping each image patch name
+//! to its code (query-by-archive-image path) and a Hamming hash index over
+//! all codes.  For external images the model produces a code on the fly
+//! (query-by-new-example path).  Retrieval returns all images within a
+//! small Hamming radius — or the k nearest — of the query code.
+
+use std::collections::HashMap;
+
+use eq_bigearthnet::patch::{Patch, PatchId};
+use eq_bigearthnet::Archive;
+use eq_hashindex::{BinaryCode, HammingIndex, HashTableIndex, Neighbor};
+use eq_milan::Milan;
+
+use crate::EarthQubeError;
+
+/// Configuration of the CBIR service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CbirConfig {
+    /// Default Hamming radius for radius queries ("a small hamming radius",
+    /// §2.2/§3.3).
+    pub default_radius: u32,
+    /// Default number of results for k-NN queries.
+    pub default_k: usize,
+}
+
+impl Default for CbirConfig {
+    fn default() -> Self {
+        Self { default_radius: 8, default_k: 20 }
+    }
+}
+
+/// One retrieved similar image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimilarImage {
+    /// The dense patch id.
+    pub id: PatchId,
+    /// The BigEarthNet patch name.
+    pub name: String,
+    /// Hamming distance from the query code.
+    pub distance: u32,
+}
+
+/// The MiLaN-backed CBIR service.
+#[derive(Debug, Clone)]
+pub struct CbirService {
+    config: CbirConfig,
+    model: Milan,
+    index: HashTableIndex,
+    /// In-memory hash table: image patch name → binary code (§3.3).
+    name_to_code: HashMap<String, BinaryCode>,
+    id_to_name: Vec<String>,
+}
+
+impl CbirService {
+    /// Builds the service: infers a binary code for every archive image,
+    /// fills the name→code table and the Hamming index.
+    ///
+    /// The model should already be trained; an untrained model still works
+    /// but retrieves poorly (that difference is experiment E2).
+    pub fn build(model: Milan, archive: &Archive, config: CbirConfig) -> Self {
+        let codes = model.hash_archive(archive);
+        let mut index = HashTableIndex::new(model.code_bits());
+        let mut name_to_code = HashMap::with_capacity(codes.len());
+        let mut id_to_name = Vec::with_capacity(codes.len());
+        for (patch, code) in archive.patches().iter().zip(codes.into_iter()) {
+            index.insert(patch.meta.id.0 as u64, code.clone());
+            name_to_code.insert(patch.meta.name.clone(), code);
+            id_to_name.push(patch.meta.name.clone());
+        }
+        Self { config, model, index, name_to_code, id_to_name }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> CbirConfig {
+        self.config
+    }
+
+    /// Number of indexed images.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The code width in bits.
+    pub fn code_bits(&self) -> u32 {
+        self.model.code_bits()
+    }
+
+    /// The stored binary code of an archive image.
+    pub fn code_of(&self, name: &str) -> Option<&BinaryCode> {
+        self.name_to_code.get(name)
+    }
+
+    /// The k most similar archive images to an arbitrary query code.
+    pub fn query_by_code(&self, code: &BinaryCode, k: usize) -> Vec<SimilarImage> {
+        self.to_similar(self.index.knn(code, k))
+    }
+
+    /// All archive images within the given Hamming radius of the query code.
+    pub fn radius_query_by_code(&self, code: &BinaryCode, radius: u32) -> Vec<SimilarImage> {
+        self.to_similar(self.index.radius_search(code, radius))
+    }
+
+    /// Query by an existing archive image (§3.3): looks the image's code up
+    /// in the in-memory table and retrieves its neighbours, excluding the
+    /// query image itself.
+    ///
+    /// # Errors
+    /// Fails if the name is not in the archive.
+    pub fn query_by_archive_image(&self, name: &str, k: usize) -> Result<Vec<SimilarImage>, EarthQubeError> {
+        let code = self
+            .name_to_code
+            .get(name)
+            .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+        // Ask for one extra hit because the query image itself is indexed.
+        let hits = self.query_by_code(code, k + 1);
+        Ok(hits.into_iter().filter(|h| h.name != name).take(k).collect())
+    }
+
+    /// Query by a new external image (§3.3): the model produces a code for
+    /// the uploaded patch on the fly.
+    pub fn query_by_new_example(&self, patch: &Patch, k: usize) -> Vec<SimilarImage> {
+        let code = self.model.hash_patch(patch);
+        self.query_by_code(&code, k)
+    }
+
+    /// The underlying model (e.g. to hash external features directly).
+    pub fn model(&self) -> &Milan {
+        &self.model
+    }
+
+    fn to_similar(&self, neighbors: Vec<Neighbor>) -> Vec<SimilarImage> {
+        neighbors
+            .into_iter()
+            .map(|n| SimilarImage {
+                id: PatchId(n.id as u32),
+                name: self.id_to_name[n.id as usize].clone(),
+                distance: n.distance,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_bigearthnet::{ArchiveGenerator, GeneratorConfig};
+    use eq_milan::MilanConfig;
+
+    fn service(n: usize, seed: u64, train: bool) -> (CbirService, Archive) {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
+        let mut model = Milan::new(MilanConfig::fast(32, seed)).unwrap();
+        if train {
+            model.train_on_archive(&archive);
+        }
+        (CbirService::build(model, &archive, CbirConfig::default()), archive)
+    }
+
+    #[test]
+    fn build_indexes_every_archive_image() {
+        let (svc, archive) = service(40, 31, false);
+        assert_eq!(svc.len(), 40);
+        assert!(!svc.is_empty());
+        assert_eq!(svc.code_bits(), 32);
+        for p in archive.patches() {
+            assert!(svc.code_of(&p.meta.name).is_some());
+        }
+        assert!(svc.code_of("nonexistent").is_none());
+    }
+
+    #[test]
+    fn query_by_archive_image_excludes_the_query_itself() {
+        let (svc, archive) = service(50, 32, true);
+        let name = &archive.patches()[3].meta.name;
+        let hits = svc.query_by_archive_image(name, 10).unwrap();
+        assert!(hits.len() <= 10);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| &h.name != name));
+        // Results are sorted by distance.
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn query_by_unknown_image_errors() {
+        let (svc, _) = service(10, 33, false);
+        assert!(matches!(
+            svc.query_by_archive_image("ghost", 5),
+            Err(EarthQubeError::UnknownImage(_))
+        ));
+    }
+
+    #[test]
+    fn query_by_new_example_returns_neighbours() {
+        let (svc, _) = service(60, 34, true);
+        // Generate a fresh, unseen patch with a different seed.
+        let external =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 999)).unwrap().generate_patch(0);
+        let hits = svc.query_by_new_example(&external, 7);
+        assert_eq!(hits.len(), 7);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn radius_query_returns_only_codes_within_radius() {
+        let (svc, archive) = service(80, 35, true);
+        let name = &archive.patches()[0].meta.name;
+        let code = svc.code_of(name).unwrap().clone();
+        for radius in [0u32, 2, 6, 12] {
+            let hits = svc.radius_query_by_code(&code, radius);
+            assert!(hits.iter().all(|h| h.distance <= radius));
+            // The query image itself (distance 0) is always included.
+            assert!(hits.iter().any(|h| &h.name == name));
+        }
+    }
+
+    #[test]
+    fn similar_images_map_ids_to_names_consistently() {
+        let (svc, archive) = service(30, 36, false);
+        let name = &archive.patches()[5].meta.name;
+        let code = svc.code_of(name).unwrap().clone();
+        let hits = svc.query_by_code(&code, 5);
+        for h in hits {
+            assert_eq!(archive.patches()[h.id.index()].meta.name, h.name);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The EarthQube facade: the back-end server of the three-tier architecture
+//! (§3.2), combining the data tier, the query services and the MiLaN CBIR
+//! integration, and registering everything as AgoraEO assets.
+
+use eq_agora::{asset, AssetKind, AssetRegistry};
+use eq_bigearthnet::patch::{Patch, PatchMetadata};
+use eq_bigearthnet::Archive;
+use eq_docstore::{Database, QueryPlan};
+use eq_milan::{Milan, MilanConfig};
+
+use crate::cbir::{CbirConfig, CbirService};
+use crate::feedback::FeedbackService;
+use crate::ingest::ingest_archive;
+use crate::query::ImageQuery;
+use crate::results::{ResultEntry, ResultPanel};
+use crate::schema::{collections, metadata_from_document};
+use crate::stats::LabelStatistics;
+use crate::EarthQubeError;
+
+/// Configuration of the whole EarthQube back-end.
+#[derive(Debug, Clone)]
+pub struct EarthQubeConfig {
+    /// MiLaN model configuration.
+    pub milan: MilanConfig,
+    /// CBIR service configuration.
+    pub cbir: CbirConfig,
+    /// Result-panel page size.
+    pub page_size: usize,
+    /// Whether to train MiLaN during [`EarthQube::build`] (disable only in
+    /// tests that exercise the untrained baseline).
+    pub train_model: bool,
+}
+
+impl Default for EarthQubeConfig {
+    fn default() -> Self {
+        Self {
+            milan: MilanConfig::default(),
+            cbir: CbirConfig::default(),
+            page_size: 50,
+            train_model: true,
+        }
+    }
+}
+
+impl EarthQubeConfig {
+    /// A small, fast configuration for examples and tests.
+    pub fn fast(seed: u64) -> Self {
+        Self { milan: MilanConfig::fast(64, seed), ..Self::default() }
+    }
+}
+
+/// The response of a metadata search or a similarity search.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// The result panel (pagination, cart source, text rendering).
+    pub panel: ResultPanel,
+    /// Label statistics over the retrieved images (Figure 2-4).
+    pub statistics: LabelStatistics,
+    /// How the metadata query was executed (`None` for pure CBIR queries).
+    pub plan: Option<QueryPlan>,
+}
+
+impl SearchResponse {
+    /// Total number of matching images.
+    pub fn total(&self) -> usize {
+        self.panel.total()
+    }
+}
+
+/// The EarthQube back-end.
+#[derive(Debug)]
+pub struct EarthQube {
+    config: EarthQubeConfig,
+    database: Database,
+    metadata: Vec<PatchMetadata>,
+    cbir: Option<CbirService>,
+    feedback: FeedbackService,
+    registry: AssetRegistry,
+}
+
+impl EarthQube {
+    /// Builds the full back-end from an archive: ingests the four
+    /// collections, trains MiLaN, builds the CBIR index and registers the
+    /// assets in the AgoraEO registry.
+    ///
+    /// # Errors
+    /// Propagates ingestion/model-configuration errors.
+    pub fn build(archive: &Archive, config: EarthQubeConfig) -> Result<Self, EarthQubeError> {
+        let mut database = Database::new();
+        ingest_archive(&mut database, archive)?;
+
+        let mut model =
+            Milan::new(config.milan.clone()).map_err(EarthQubeError::BadRequest)?;
+        if config.train_model {
+            model.train_on_archive(archive);
+        }
+        let cbir = CbirService::build(model, archive, config.cbir);
+
+        let registry = AssetRegistry::new();
+        let _ = registry.offer(asset(
+            "bigearthnet-synthetic",
+            AssetKind::Dataset,
+            "Synthetic BigEarthNet-MM archive",
+            "eq-bigearthnet",
+            &["eo", "sentinel-1", "sentinel-2"],
+        ));
+        let _ = registry.offer(asset(
+            "milan",
+            AssetKind::Model,
+            "Metric-learning deep hashing network (128-bit codes)",
+            "eq-milan",
+            &["hashing", "cbir", "metric-learning"],
+        ));
+        let _ = registry.offer(asset(
+            "hamming-hash-index",
+            AssetKind::Index,
+            "Hash-table index over MiLaN codes with Hamming-radius lookup",
+            "eq-hashindex",
+            &["cbir", "ann"],
+        ));
+        let _ = registry.offer(asset(
+            "earthqube",
+            AssetKind::Service,
+            "EarthQube browser and search engine",
+            "eq-earthqube",
+            &["search", "eo"],
+        ));
+        let _ = registry.compose(
+            "earthqube-cbir",
+            vec![
+                "bigearthnet-synthetic".into(),
+                "milan".into(),
+                "hamming-hash-index".into(),
+                "earthqube".into(),
+            ],
+        );
+
+        Ok(Self {
+            config,
+            database,
+            metadata: archive.metadata(),
+            cbir: Some(cbir),
+            feedback: FeedbackService::new(),
+            registry,
+        })
+    }
+
+    /// The back-end configuration.
+    pub fn config(&self) -> &EarthQubeConfig {
+        &self.config
+    }
+
+    /// The underlying document database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The AgoraEO asset registry this instance registered itself in.
+    pub fn registry(&self) -> &AssetRegistry {
+        &self.registry
+    }
+
+    /// The CBIR service.
+    ///
+    /// # Errors
+    /// Fails if the service was not built.
+    pub fn cbir(&self) -> Result<&CbirService, EarthQubeError> {
+        self.cbir.as_ref().ok_or(EarthQubeError::CbirNotReady)
+    }
+
+    /// Number of images in the archive.
+    pub fn archive_size(&self) -> usize {
+        self.metadata.len()
+    }
+
+    /// The metadata of an archive image.
+    pub fn metadata_of(&self, name: &str) -> Option<&PatchMetadata> {
+        self.metadata.iter().find(|m| m.name == name)
+    }
+
+    /// Runs a query-panel search over the metadata collection (§3.1).
+    ///
+    /// # Errors
+    /// Fails on an invalid query or a store error.
+    pub fn search(&self, query: &ImageQuery) -> Result<SearchResponse, EarthQubeError> {
+        query.validate()?;
+        let coll = self.database.collection(collections::METADATA)?;
+        let result = coll.find(&query.to_filter());
+        let metas: Vec<PatchMetadata> = result
+            .ids
+            .iter()
+            .filter_map(|id| coll.get(*id))
+            .filter_map(metadata_from_document)
+            .collect();
+        let entries: Vec<ResultEntry> =
+            metas.iter().map(|m| ResultEntry::from_metadata(m, None)).collect();
+        let statistics = LabelStatistics::from_label_sets(metas.iter().map(|m| m.labels));
+        Ok(SearchResponse {
+            panel: ResultPanel::new(entries, self.config.page_size),
+            statistics,
+            plan: Some(result.plan),
+        })
+    }
+
+    /// "Retrieve similar images" for an existing archive image (§3.3 /
+    /// Figure 1): the CBIR path plus result-panel/statistics assembly.
+    ///
+    /// # Errors
+    /// Fails if the image is unknown or the CBIR service is missing.
+    pub fn similar_to(&self, name: &str, k: usize) -> Result<SearchResponse, EarthQubeError> {
+        let cbir = self.cbir()?;
+        let hits = cbir.query_by_archive_image(name, k)?;
+        self.response_from_hits(hits)
+    }
+
+    /// Query-by-new-example (§4): encodes an external patch on the fly and
+    /// retrieves its neighbours.
+    ///
+    /// # Errors
+    /// Fails if the CBIR service is missing.
+    pub fn search_by_new_example(&self, patch: &Patch, k: usize) -> Result<SearchResponse, EarthQubeError> {
+        let cbir = self.cbir()?;
+        let hits = cbir.query_by_new_example(patch, k);
+        self.response_from_hits(hits)
+    }
+
+    /// Submits anonymous feedback.
+    ///
+    /// # Errors
+    /// Fails if the text is empty.
+    pub fn submit_feedback(&mut self, text: &str, category: Option<&str>) -> Result<i64, EarthQubeError> {
+        self.feedback.submit(&mut self.database, text, category)
+    }
+
+    /// Lists all stored feedback.
+    ///
+    /// # Errors
+    /// Fails if the feedback collection is missing.
+    pub fn list_feedback(&self) -> Result<Vec<crate::feedback::FeedbackEntry>, EarthQubeError> {
+        self.feedback.list(&self.database)
+    }
+
+    fn response_from_hits(&self, hits: Vec<crate::cbir::SimilarImage>) -> Result<SearchResponse, EarthQubeError> {
+        let mut entries = Vec::with_capacity(hits.len());
+        let mut label_sets = Vec::with_capacity(hits.len());
+        for hit in &hits {
+            let meta = self
+                .metadata
+                .get(hit.id.index())
+                .ok_or_else(|| EarthQubeError::UnknownImage(hit.name.clone()))?;
+            entries.push(ResultEntry::from_metadata(meta, Some(hit.distance)));
+            label_sets.push(meta.labels);
+        }
+        Ok(SearchResponse {
+            panel: ResultPanel::new(entries, self.config.page_size),
+            statistics: LabelStatistics::from_label_sets(label_sets),
+            plan: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{LabelFilter, LabelOperator};
+    use eq_bigearthnet::labels::Label;
+    use eq_bigearthnet::{ArchiveGenerator, Country, GeneratorConfig};
+    use eq_geo::GeoShape;
+
+    fn build(n: usize, seed: u64) -> (EarthQube, Archive) {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
+        let mut cfg = EarthQubeConfig::fast(seed);
+        cfg.milan.epochs = 5;
+        let eq = EarthQube::build(&archive, cfg).unwrap();
+        (eq, archive)
+    }
+
+    #[test]
+    fn build_populates_database_cbir_and_registry() {
+        let (eq, archive) = build(40, 51);
+        assert_eq!(eq.archive_size(), 40);
+        assert_eq!(eq.database().collection(collections::METADATA).unwrap().len(), 40);
+        assert_eq!(eq.cbir().unwrap().len(), 40);
+        assert_eq!(eq.registry().discover_by_kind(eq_agora::AssetKind::Service).len(), 1);
+        assert!(eq.registry().pipeline("earthqube-cbir").is_some());
+        assert!(eq.metadata_of(&archive.patches()[0].meta.name).is_some());
+        assert!(eq.metadata_of("ghost").is_none());
+    }
+
+    #[test]
+    fn metadata_search_filters_by_country_and_labels() {
+        let (eq, archive) = build(120, 52);
+        let query = ImageQuery::all()
+            .with_countries(vec![Country::Finland])
+            .with_labels(LabelFilter::new(
+                LabelOperator::Some,
+                vec![Label::MixedForest, Label::ConiferousForest, Label::BroadLeavedForest],
+            ));
+        let response = eq.search(&query).unwrap();
+        // Cross-check against a direct scan of the archive.
+        let expected = archive
+            .patches()
+            .iter()
+            .filter(|p| {
+                p.meta.country == Country::Finland
+                    && (p.meta.labels.contains(Label::MixedForest)
+                        || p.meta.labels.contains(Label::ConiferousForest)
+                        || p.meta.labels.contains(Label::BroadLeavedForest))
+            })
+            .count();
+        assert_eq!(response.total(), expected);
+        // Statistics only count retrieved images.
+        assert_eq!(response.statistics.image_count(), expected);
+        // The country attribute index drove the query.
+        assert!(response.plan.is_some());
+    }
+
+    #[test]
+    fn spatial_search_uses_the_geo_index() {
+        let (eq, _) = build(80, 53);
+        let portugal = GeoShape::Rect(Country::Portugal.bounding_box());
+        let response = eq.search(&ImageQuery::all().with_shape(portugal)).unwrap();
+        let plan = response.plan.unwrap();
+        assert_eq!(plan.index_used.as_deref(), Some(crate::schema::fields::LOCATION));
+        // Every hit really is in Portugal.
+        for page in 0..response.panel.page_count() {
+            for e in response.panel.page(page).entries {
+                assert_eq!(e.country, "Portugal");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let (eq, _) = build(10, 54);
+        let bad = ImageQuery::all().with_labels(LabelFilter::new(LabelOperator::Some, vec![]));
+        assert!(matches!(eq.search(&bad), Err(EarthQubeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn similar_to_returns_ranked_neighbours_with_statistics() {
+        let (eq, archive) = build(60, 55);
+        let name = &archive.patches()[2].meta.name;
+        let response = eq.similar_to(name, 8).unwrap();
+        assert!(response.total() <= 8);
+        assert!(response.total() > 0);
+        assert!(response.plan.is_none());
+        let page = response.panel.page(0);
+        for e in &page.entries {
+            assert!(e.distance.is_some());
+            assert_ne!(&e.name, name, "query image must not appear in its own results");
+        }
+        assert_eq!(response.statistics.image_count(), response.total());
+        // Unknown query image errors.
+        assert!(matches!(eq.similar_to("ghost", 5), Err(EarthQubeError::UnknownImage(_))));
+    }
+
+    #[test]
+    fn query_by_new_example_round_trips() {
+        let (eq, _) = build(50, 56);
+        let external = ArchiveGenerator::new(GeneratorConfig::tiny(1, 777)).unwrap().generate_patch(0);
+        let response = eq.search_by_new_example(&external, 5).unwrap();
+        assert_eq!(response.total(), 5);
+    }
+
+    #[test]
+    fn feedback_round_trips_through_the_engine() {
+        let (mut eq, _) = build(10, 57);
+        eq.submit_feedback("very nice demo", Some("reaction")).unwrap();
+        eq.submit_feedback("please add NDVI layer", None).unwrap();
+        let all = eq.list_feedback().unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(matches!(eq.submit_feedback("", None), Err(EarthQubeError::BadRequest(_))));
+    }
+}

@@ -1,0 +1,168 @@
+//! Archive ingestion into the document-store collections.
+
+use eq_bigearthnet::patch::PatchMetadata;
+use eq_bigearthnet::Archive;
+use eq_docstore::{Database, Document, Value};
+
+use crate::schema::{collections, fields, metadata_document};
+use crate::EarthQubeError;
+
+/// Summary of an ingestion run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Number of metadata documents written.
+    pub metadata_docs: usize,
+    /// Number of image-data documents written (0 for metadata-only ingest).
+    pub image_docs: usize,
+    /// Number of rendered-image documents written.
+    pub rendered_docs: usize,
+}
+
+fn prepare_collections(db: &mut Database) {
+    let metadata = db.create_collection(collections::METADATA, fields::NAME);
+    if !metadata.has_attribute_index(fields::COUNTRY) {
+        metadata.create_attribute_index(fields::COUNTRY);
+        metadata.create_attribute_index(fields::SEASON);
+        metadata.create_attribute_index(fields::PATCH_ID);
+        metadata
+            .create_geo_index(fields::LOCATION)
+            .expect("fresh metadata collection accepts a geo index");
+    }
+    db.create_collection(collections::IMAGE_DATA, fields::NAME);
+    db.create_collection(collections::RENDERED, fields::NAME);
+    db.create_collection(collections::FEEDBACK, "id");
+}
+
+/// Ingests only patch metadata (no pixels); the path used for large-scale
+/// metadata experiments.
+///
+/// # Errors
+/// Propagates document-store errors (e.g. duplicate patch names).
+pub fn ingest_metadata(db: &mut Database, metadata: &[PatchMetadata]) -> Result<IngestReport, EarthQubeError> {
+    prepare_collections(db);
+    let coll = db.collection_mut(collections::METADATA)?;
+    for meta in metadata {
+        coll.insert(metadata_document(meta))?;
+    }
+    Ok(IngestReport { metadata_docs: metadata.len(), image_docs: 0, rendered_docs: 0 })
+}
+
+/// Ingests a full archive: metadata, raw band data and rendered RGB images,
+/// populating the paper's four collections.
+///
+/// # Errors
+/// Propagates document-store errors (e.g. duplicate patch names).
+pub fn ingest_archive(db: &mut Database, archive: &Archive) -> Result<IngestReport, EarthQubeError> {
+    prepare_collections(db);
+    let mut report = IngestReport { metadata_docs: 0, image_docs: 0, rendered_docs: 0 };
+
+    for patch in archive.patches() {
+        let meta_doc = metadata_document(&patch.meta);
+        db.collection_mut(collections::METADATA)?.insert(meta_doc)?;
+        report.metadata_docs += 1;
+
+        // Image-data document: one bytes field per Sentinel-2 band plus the
+        // two Sentinel-1 polarisations, exactly the layout §3.2 describes.
+        let mut bands = std::collections::BTreeMap::new();
+        for band in eq_bigearthnet::bands::SENTINEL2_BANDS {
+            let data = patch.band(band);
+            bands.insert(
+                band.name().to_string(),
+                Value::Bytes(data.pixels().iter().flat_map(|p| p.to_le_bytes()).collect()),
+            );
+        }
+        let mut sar = std::collections::BTreeMap::new();
+        for pol in eq_bigearthnet::bands::Polarization::ALL {
+            let data = patch.polarization(pol);
+            sar.insert(
+                pol.name().to_string(),
+                Value::Bytes(data.pixels().iter().flat_map(|p| p.to_le_bytes()).collect()),
+            );
+        }
+        let image_doc = Document::new()
+            .with(fields::NAME, patch.meta.name.as_str())
+            .with("bands", Value::Doc(bands))
+            .with("sar", Value::Doc(sar));
+        db.collection_mut(collections::IMAGE_DATA)?.insert(image_doc)?;
+        report.image_docs += 1;
+
+        // Rendered RGB document.
+        let (size, rgb) = patch.render_rgb();
+        let rendered = Document::new()
+            .with(fields::NAME, patch.meta.name.as_str())
+            .with("size", size as i64)
+            .with("rgb", Value::Bytes(rgb));
+        db.collection_mut(collections::RENDERED)?.insert(rendered)?;
+        report.rendered_docs += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_bigearthnet::{ArchiveGenerator, GeneratorConfig};
+    use eq_docstore::Filter;
+
+    #[test]
+    fn metadata_only_ingest_populates_the_metadata_collection() {
+        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(60, 13)).unwrap().generate_metadata_only();
+        let mut db = Database::new();
+        let report = ingest_metadata(&mut db, &metas).unwrap();
+        assert_eq!(report.metadata_docs, 60);
+        assert_eq!(report.image_docs, 0);
+        let coll = db.collection(collections::METADATA).unwrap();
+        assert_eq!(coll.len(), 60);
+        // Indexes exist and are used.
+        let r = coll.find(&Filter::Eq(fields::COUNTRY.into(), "Finland".into()));
+        assert_eq!(r.plan.index_used.as_deref(), Some(fields::COUNTRY));
+        // All four collections exist.
+        assert_eq!(db.collection_names().len(), 4);
+    }
+
+    #[test]
+    fn full_ingest_populates_all_four_collections() {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(8, 14)).unwrap().generate();
+        let mut db = Database::new();
+        let report = ingest_archive(&mut db, &archive).unwrap();
+        assert_eq!(report.metadata_docs, 8);
+        assert_eq!(report.image_docs, 8);
+        assert_eq!(report.rendered_docs, 8);
+        assert_eq!(db.collection(collections::IMAGE_DATA).unwrap().len(), 8);
+        assert_eq!(db.collection(collections::RENDERED).unwrap().len(), 8);
+
+        // The image-data document stores all 12 band buffers.
+        let name = archive.patches()[0].meta.name.clone();
+        let img = db
+            .collection(collections::IMAGE_DATA)
+            .unwrap()
+            .get_by_key(&Value::Str(name.clone()))
+            .unwrap();
+        assert!(img.get("bands.B02").unwrap().as_bytes().unwrap().len() > 0);
+        assert!(img.get("bands.B12").is_some());
+        assert!(img.get("sar.VV").is_some());
+        // The rendered document stores an RGB buffer of size² × 3 bytes.
+        let rendered =
+            db.collection(collections::RENDERED).unwrap().get_by_key(&Value::Str(name)).unwrap();
+        let size = rendered.get("size").unwrap().as_int().unwrap() as usize;
+        assert_eq!(rendered.get("rgb").unwrap().as_bytes().unwrap().len(), size * size * 3);
+    }
+
+    #[test]
+    fn duplicate_ingest_is_rejected() {
+        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(5, 15)).unwrap().generate_metadata_only();
+        let mut db = Database::new();
+        ingest_metadata(&mut db, &metas).unwrap();
+        let err = ingest_metadata(&mut db, &metas).unwrap_err();
+        assert!(matches!(err, EarthQubeError::Store(_)));
+    }
+
+    #[test]
+    fn ingest_is_incremental_across_calls() {
+        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(20, 16)).unwrap().generate_metadata_only();
+        let mut db = Database::new();
+        ingest_metadata(&mut db, &metas[..10]).unwrap();
+        ingest_metadata(&mut db, &metas[10..]).unwrap();
+        assert_eq!(db.collection(collections::METADATA).unwrap().len(), 20);
+    }
+}

@@ -1,0 +1,85 @@
+//! The EarthQube back-end: query, visualise and reverse-search satellite
+//! data (§3 of the paper).
+//!
+//! EarthQube follows a three-tier architecture; this crate is the back-end
+//! tier.  It wires the other workspace crates together:
+//!
+//! * [`schema`] / [`ingest`] — turn a BigEarthNet archive into the four
+//!   document-store collections of §3.2 (metadata, image data, rendered
+//!   images, feedback),
+//! * [`query`] — the query-panel model of §3.1: geospatial shape, date
+//!   range, satellites, seasons, and label filtering with the `Some`,
+//!   `Exactly` and `At least & more` operators over the CLC hierarchy,
+//! * [`cbir`] — the MiLaN-backed content-based image-retrieval service of
+//!   §3.3 (in-memory name→code table, Hamming-radius lookups, query by
+//!   archive image or by a new uploaded image),
+//! * [`stats`] — the label-statistics view of Figure 2-4,
+//! * [`results`] — the result panel: pagination, download cart, rendering,
+//! * [`feedback`] — anonymous user feedback storage,
+//! * [`engine`] — the [`EarthQube`] facade combining all services.
+
+#![warn(missing_docs)]
+
+pub mod cbir;
+pub mod engine;
+pub mod feedback;
+pub mod ingest;
+pub mod query;
+pub mod results;
+pub mod schema;
+pub mod stats;
+
+pub use cbir::{CbirConfig, CbirService, SimilarImage};
+pub use engine::{EarthQube, EarthQubeConfig, SearchResponse};
+pub use feedback::FeedbackService;
+pub use ingest::{ingest_archive, ingest_metadata, IngestReport};
+pub use query::{ImageQuery, LabelFilter, LabelOperator};
+pub use results::{DownloadCart, ResultEntry, ResultPage, ResultPanel};
+pub use schema::{collections, metadata_document, metadata_from_document};
+pub use stats::LabelStatistics;
+
+/// Errors surfaced by the EarthQube back-end services.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EarthQubeError {
+    /// A referenced image patch does not exist in the archive.
+    UnknownImage(String),
+    /// The underlying document store reported an error.
+    Store(String),
+    /// The CBIR service has not been built yet (no trained model / index).
+    CbirNotReady,
+    /// The request was malformed (e.g. an inverted date range).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for EarthQubeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EarthQubeError::UnknownImage(n) => write!(f, "unknown image: {n}"),
+            EarthQubeError::Store(e) => write!(f, "document store error: {e}"),
+            EarthQubeError::CbirNotReady => write!(f, "CBIR service is not ready"),
+            EarthQubeError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EarthQubeError {}
+
+impl From<eq_docstore::StoreError> for EarthQubeError {
+    fn from(e: eq_docstore::StoreError) -> Self {
+        EarthQubeError::Store(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversion() {
+        assert!(EarthQubeError::UnknownImage("p".into()).to_string().contains("unknown image"));
+        assert!(EarthQubeError::CbirNotReady.to_string().contains("not ready"));
+        assert!(EarthQubeError::BadRequest("x".into()).to_string().contains("bad request"));
+        let e: EarthQubeError = eq_docstore::StoreError::NoSuchCollection("m".into()).into();
+        assert!(matches!(e, EarthQubeError::Store(_)));
+    }
+}

@@ -1,0 +1,252 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{GeoError, Point};
+
+/// An axis-aligned WGS-84 bounding rectangle.
+///
+/// BigEarthNet metadata stores the bounding rectangle of every image patch
+/// (the `location` attribute in the paper's metadata collection, §3.2), and
+/// EarthQube's query panel lets users draw rectangles on the map (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Western edge (minimum longitude).
+    pub min_lon: f64,
+    /// Southern edge (minimum latitude).
+    pub min_lat: f64,
+    /// Eastern edge (maximum longitude).
+    pub max_lon: f64,
+    /// Northern edge (maximum latitude).
+    pub max_lat: f64,
+}
+
+impl BBox {
+    /// Creates a bounding box, validating coordinate ranges and ordering.
+    pub fn new(min_lon: f64, min_lat: f64, max_lon: f64, max_lat: f64) -> Result<Self, GeoError> {
+        Point::new(min_lon, min_lat)?;
+        Point::new(max_lon, max_lat)?;
+        if min_lon > max_lon || min_lat > max_lat {
+            return Err(GeoError::InvertedBBox);
+        }
+        Ok(Self { min_lon, min_lat, max_lon, max_lat })
+    }
+
+    /// Creates a bounding box from two opposite corner points (in any order).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self {
+            min_lon: a.lon.min(b.lon),
+            min_lat: a.lat.min(b.lat),
+            max_lon: a.lon.max(b.lon),
+            max_lat: a.lat.max(b.lat),
+        }
+    }
+
+    /// Creates a square box of `side_km` kilometres centred at `center`.
+    ///
+    /// This is how synthetic BigEarthNet patch footprints are derived: a
+    /// 120 × 120 px patch at 10 m resolution covers 1.2 × 1.2 km.
+    pub fn square_around(center: Point, side_km: f64) -> Self {
+        let half_lat = crate::distance::km_to_lat_degrees(side_km / 2.0);
+        let half_lon = crate::distance::km_to_lon_degrees(side_km / 2.0, center.lat);
+        Self {
+            min_lon: (center.lon - half_lon).max(-180.0),
+            min_lat: (center.lat - half_lat).max(-90.0),
+            max_lon: (center.lon + half_lon).min(180.0),
+            max_lat: (center.lat + half_lat).min(90.0),
+        }
+    }
+
+    /// The centre of the box.
+    pub fn center(&self) -> Point {
+        Point::new_unchecked(
+            (self.min_lon + self.max_lon) / 2.0,
+            (self.min_lat + self.max_lat) / 2.0,
+        )
+    }
+
+    /// Width in degrees of longitude.
+    pub fn width(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Height in degrees of latitude.
+    pub fn height(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Whether `p` lies inside or on the edge of the box.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+    }
+
+    /// Whether `other` is fully contained in `self` (edges included).
+    pub fn contains_bbox(&self, other: &BBox) -> bool {
+        other.min_lon >= self.min_lon
+            && other.max_lon <= self.max_lon
+            && other.min_lat >= self.min_lat
+            && other.max_lat <= self.max_lat
+    }
+
+    /// Whether the two boxes share any point.
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_lon <= other.max_lon
+            && self.max_lon >= other.min_lon
+            && self.min_lat <= other.max_lat
+            && self.max_lat >= other.min_lat
+    }
+
+    /// The smallest box containing both boxes.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            min_lon: self.min_lon.min(other.min_lon),
+            min_lat: self.min_lat.min(other.min_lat),
+            max_lon: self.max_lon.max(other.max_lon),
+            max_lat: self.max_lat.max(other.max_lat),
+        }
+    }
+
+    /// The intersection of two boxes, or `None` if they do not overlap.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(BBox {
+            min_lon: self.min_lon.max(other.min_lon),
+            min_lat: self.min_lat.max(other.min_lat),
+            max_lon: self.max_lon.min(other.max_lon),
+            max_lat: self.max_lat.min(other.max_lat),
+        })
+    }
+
+    /// Grows the box by `margin_deg` degrees on every side, clamped to the
+    /// valid coordinate range.
+    pub fn expand(&self, margin_deg: f64) -> BBox {
+        BBox {
+            min_lon: (self.min_lon - margin_deg).max(-180.0),
+            min_lat: (self.min_lat - margin_deg).max(-90.0),
+            max_lon: (self.max_lon + margin_deg).min(180.0),
+            max_lat: (self.max_lat + margin_deg).min(90.0),
+        }
+    }
+
+    /// Area of the box in square degrees (used only for selectivity estimates).
+    pub fn area_deg2(&self) -> f64 {
+        self.width() * self.height()
+    }
+}
+
+impl std::fmt::Display for BBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.4},{:.4} .. {:.4},{:.4}]",
+            self.min_lon, self.min_lat, self.max_lon, self.max_lat
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(a: f64, b_: f64, c: f64, d: f64) -> BBox {
+        BBox::new(a, b_, c, d).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_inverted_boxes() {
+        assert_eq!(BBox::new(10.0, 0.0, 5.0, 1.0), Err(GeoError::InvertedBBox));
+        assert_eq!(BBox::new(0.0, 10.0, 1.0, 5.0), Err(GeoError::InvertedBBox));
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(BBox::new(-200.0, 0.0, 0.0, 1.0).is_err());
+        assert!(BBox::new(0.0, 0.0, 0.0, 100.0).is_err());
+    }
+
+    #[test]
+    fn from_corners_normalizes_order() {
+        let p1 = Point::new(10.0, 50.0).unwrap();
+        let p2 = Point::new(5.0, 55.0).unwrap();
+        let bb = BBox::from_corners(p1, p2);
+        assert_eq!(bb, b(5.0, 50.0, 10.0, 55.0));
+    }
+
+    #[test]
+    fn contains_point_edges_inclusive() {
+        let bb = b(0.0, 0.0, 10.0, 10.0);
+        assert!(bb.contains(Point::new_unchecked(0.0, 0.0)));
+        assert!(bb.contains(Point::new_unchecked(10.0, 10.0)));
+        assert!(bb.contains(Point::new_unchecked(5.0, 5.0)));
+        assert!(!bb.contains(Point::new_unchecked(10.1, 5.0)));
+        assert!(!bb.contains(Point::new_unchecked(5.0, -0.1)));
+    }
+
+    #[test]
+    fn intersects_and_intersection_agree() {
+        let a = b(0.0, 0.0, 10.0, 10.0);
+        let c = b(5.0, 5.0, 15.0, 15.0);
+        let d = b(11.0, 11.0, 12.0, 12.0);
+        assert!(a.intersects(&c));
+        assert_eq!(a.intersection(&c), Some(b(5.0, 5.0, 10.0, 10.0)));
+        assert!(!a.intersects(&d));
+        assert_eq!(a.intersection(&d), None);
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = b(0.0, 0.0, 5.0, 5.0);
+        let c = b(5.0, 0.0, 10.0, 5.0);
+        assert!(a.intersects(&c));
+        let i = a.intersection(&c).unwrap();
+        assert_eq!(i.width(), 0.0);
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = b(0.0, 0.0, 5.0, 5.0);
+        let c = b(7.0, 7.0, 9.0, 9.0);
+        let u = a.union(&c);
+        assert!(u.contains_bbox(&a));
+        assert!(u.contains_bbox(&c));
+    }
+
+    #[test]
+    fn square_around_has_roughly_requested_size() {
+        let center = Point::new(13.0, 52.0).unwrap();
+        let bb = BBox::square_around(center, 1.2);
+        // Height should be ~1.2 km in latitude degrees.
+        let h_km = bb.height() * 110.574;
+        assert!((h_km - 1.2).abs() < 0.01, "height_km={h_km}");
+        assert!(bb.contains(center));
+        let c = bb.center();
+        assert!((c.lon - 13.0).abs() < 1e-9 && (c.lat - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_grows_and_clamps() {
+        let a = b(-179.5, 88.0, 179.5, 89.5);
+        let e = a.expand(1.0);
+        assert_eq!(e.min_lon, -180.0);
+        assert_eq!(e.max_lon, 180.0);
+        assert_eq!(e.max_lat, 90.0);
+        assert!(e.contains_bbox(&a));
+    }
+
+    #[test]
+    fn contains_bbox_is_reflexive_and_antisymmetric_for_strict_nesting() {
+        let outer = b(0.0, 0.0, 10.0, 10.0);
+        let inner = b(2.0, 2.0, 8.0, 8.0);
+        assert!(outer.contains_bbox(&outer));
+        assert!(outer.contains_bbox(&inner));
+        assert!(!inner.contains_bbox(&outer));
+    }
+
+    #[test]
+    fn area_is_width_times_height() {
+        let a = b(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.area_deg2(), 6.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! WGS-84 points.
+
+use crate::GeoError;
+
+/// A WGS-84 coordinate: longitude (x) and latitude (y), in degrees.
+///
+/// The type is `Copy` and very small on purpose: millions of patch centroids
+/// are manipulated when ingesting an archive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Longitude in degrees, in `[-180, 180]`.
+    pub lon: f64,
+    /// Latitude in degrees, in `[-90, 90]`.
+    pub lat: f64,
+}
+
+impl Point {
+    /// Creates a point, validating the coordinate ranges.
+    pub fn new(lon: f64, lat: f64) -> Result<Self, GeoError> {
+        if !(-180.0..=180.0).contains(&lon) || !lon.is_finite() {
+            return Err(GeoError::OutOfRange { what: format!("lon={lon}") });
+        }
+        if !(-90.0..=90.0).contains(&lat) || !lat.is_finite() {
+            return Err(GeoError::OutOfRange { what: format!("lat={lat}") });
+        }
+        Ok(Self { lon, lat })
+    }
+
+    /// Creates a point without validation.
+    ///
+    /// Useful in hot loops where the inputs are already known to be valid
+    /// (e.g. values decoded from a geohash). Invalid values will produce
+    /// nonsensical — but memory-safe — results downstream.
+    #[inline]
+    pub fn new_unchecked(lon: f64, lat: f64) -> Self {
+        Self { lon, lat }
+    }
+
+    /// Returns the great-circle distance to `other` in kilometres.
+    #[inline]
+    pub fn distance_km(&self, other: &Point) -> f64 {
+        crate::distance::haversine_km(*self, *other)
+    }
+
+    /// Returns the midpoint (arithmetic in degree space) between `self` and `other`.
+    ///
+    /// This is accurate enough for the small (kilometre-scale) patch
+    /// footprints that BigEarthNet deals with and avoids spherical math in
+    /// hot ingestion paths.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point { lon: (self.lon + other.lon) / 2.0, lat: (self.lat + other.lat) / 2.0 }
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lon, self.lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_points_are_accepted() {
+        assert!(Point::new(0.0, 0.0).is_ok());
+        assert!(Point::new(-180.0, -90.0).is_ok());
+        assert!(Point::new(180.0, 90.0).is_ok());
+        assert!(Point::new(13.4, 52.5).is_ok()); // Berlin
+    }
+
+    #[test]
+    fn out_of_range_points_are_rejected() {
+        assert!(Point::new(181.0, 0.0).is_err());
+        assert!(Point::new(-181.0, 0.0).is_err());
+        assert!(Point::new(0.0, 91.0).is_err());
+        assert!(Point::new(0.0, -91.0).is_err());
+        assert!(Point::new(f64::NAN, 0.0).is_err());
+        assert!(Point::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn midpoint_is_between() {
+        let a = Point::new(10.0, 50.0).unwrap();
+        let b = Point::new(12.0, 52.0).unwrap();
+        let m = a.midpoint(&b);
+        assert!((m.lon - 11.0).abs() < 1e-12);
+        assert!((m.lat - 51.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(10.0, 50.0).unwrap();
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn display_has_six_decimals() {
+        let p = Point::new(13.4, 52.5).unwrap();
+        assert_eq!(format!("{p}"), "(13.400000, 52.500000)");
+    }
+}

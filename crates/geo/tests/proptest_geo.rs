@@ -1,0 +1,94 @@
+//! Property-based tests for the geospatial substrate.
+
+use eq_geo::{decode_bbox, encode, haversine_km, BBox, Circle, GeoShape, Point, Polygon};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-180.0f64..180.0, -90.0f64..90.0).prop_map(|(lon, lat)| Point::new(lon, lat).unwrap())
+}
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| BBox::from_corners(a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn geohash_roundtrip_contains_point(p in arb_point(), prec in 1usize..=10) {
+        let h = encode(p, prec).unwrap();
+        prop_assert_eq!(h.len(), prec);
+        let cell = decode_bbox(&h).unwrap();
+        prop_assert!(cell.contains(p));
+    }
+
+    #[test]
+    fn geohash_prefix_nesting(p in arb_point(), prec in 2usize..=10) {
+        let long = encode(p, prec).unwrap();
+        let short = encode(p, prec - 1).unwrap();
+        prop_assert!(long.starts_with(&short));
+        let long_cell = decode_bbox(&long).unwrap();
+        let short_cell = decode_bbox(&short).unwrap();
+        prop_assert!(short_cell.contains_bbox(&long_cell));
+    }
+
+    #[test]
+    fn haversine_is_a_metric_sample(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let dab = haversine_km(a, b);
+        let dba = haversine_km(b, a);
+        prop_assert!((dab - dba).abs() < 1e-6);
+        prop_assert!(dab >= 0.0);
+        // Triangle inequality with a generous numerical slack.
+        let dac = haversine_km(a, c);
+        let dcb = haversine_km(c, b);
+        prop_assert!(dab <= dac + dcb + 1e-6);
+    }
+
+    #[test]
+    fn bbox_union_contains_both(a in arb_bbox(), b in arb_bbox()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_bbox(&a));
+        prop_assert!(u.contains_bbox(&b));
+    }
+
+    #[test]
+    fn bbox_intersection_is_contained_in_both(a in arb_bbox(), b in arb_bbox()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_bbox(&i));
+            prop_assert!(b.contains_bbox(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn bbox_contains_center(b in arb_bbox()) {
+        prop_assert!(b.contains(b.center()));
+    }
+
+    #[test]
+    fn circle_contains_implies_bbox_contains(center in arb_point(), r in 1.0f64..500.0, p in arb_point()) {
+        let c = Circle::new(center, r).unwrap();
+        if c.contains(p) {
+            // The bounding box may clip at the antimeridian/poles; skip those edge regions.
+            prop_assume!(center.lat.abs() < 80.0 && center.lon.abs() < 170.0);
+            prop_assert!(c.bounding_box().expand(0.1).contains(p));
+        }
+    }
+
+    #[test]
+    fn polygon_contains_implies_bbox_contains(pts in proptest::collection::vec(arb_point(), 3..8), q in arb_point()) {
+        if let Ok(poly) = Polygon::new(pts) {
+            if poly.contains(q) {
+                prop_assert!(poly.bounding_box().contains(q));
+            }
+        }
+    }
+
+    #[test]
+    fn geoshape_rect_contains_matches_bbox(b in arb_bbox(), p in arb_point()) {
+        let shape = GeoShape::Rect(b);
+        prop_assert_eq!(shape.contains(p), b.contains(p));
+    }
+}

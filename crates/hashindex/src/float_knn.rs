@@ -1,0 +1,238 @@
+//! Exact k-nearest-neighbour search over raw float feature vectors.
+//!
+//! This is the "no hashing at all" baseline of experiments E1/E2: the
+//! archive features are kept as float vectors and every query scans all of
+//! them with an exact distance.  It gives the best possible retrieval
+//! quality for a given feature space at the highest query cost, which is
+//! precisely the trade-off deep hashing addresses.
+
+use crate::{ItemId, Neighbor};
+
+/// Distance metric used by [`FloatKnnIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceMetric {
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Cosine distance (`1 − cosine similarity`).
+    Cosine,
+}
+
+/// A float-vector hit with its distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatNeighbor {
+    /// The indexed item.
+    pub id: ItemId,
+    /// Distance to the query under the index metric.
+    pub distance: f32,
+}
+
+/// Brute-force exact k-NN index over dense float vectors.
+#[derive(Debug, Clone)]
+pub struct FloatKnnIndex {
+    dim: usize,
+    metric: DistanceMetric,
+    ids: Vec<ItemId>,
+    /// Flattened row-major storage, one row per item.
+    data: Vec<f32>,
+    /// Cached L2 norms (used by the cosine metric).
+    norms: Vec<f32>,
+}
+
+impl FloatKnnIndex {
+    /// Creates an empty index for vectors of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, metric: DistanceMetric) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, metric, ids: Vec::new(), data: Vec::new(), norms: Vec::new() }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Inserts a vector.
+    ///
+    /// # Panics
+    /// Panics if `vector.len() != dim`.
+    pub fn insert(&mut self, id: ItemId, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+        self.norms.push(l2_norm(vector));
+    }
+
+    fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn distance(&self, i: usize, query: &[f32], query_norm: f32) -> f32 {
+        let row = self.row(i);
+        match self.metric {
+            DistanceMetric::Euclidean => row
+                .iter()
+                .zip(query.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt(),
+            DistanceMetric::Cosine => {
+                let dot: f32 = row.iter().zip(query.iter()).map(|(a, b)| a * b).sum();
+                let denom = self.norms[i] * query_norm;
+                if denom <= f32::EPSILON {
+                    1.0
+                } else {
+                    1.0 - (dot / denom).clamp(-1.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Returns the `k` nearest vectors, sorted by distance then id.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != dim`.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<FloatNeighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let qn = l2_norm(query);
+        let mut all: Vec<FloatNeighbor> = (0..self.ids.len())
+            .map(|i| FloatNeighbor { id: self.ids[i], distance: self.distance(i, query, qn) })
+            .collect();
+        all.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// Returns all vectors within `max_distance` of the query, sorted by
+    /// distance then id.
+    pub fn range_search(&self, query: &[f32], max_distance: f32) -> Vec<FloatNeighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let qn = l2_norm(query);
+        let mut hits: Vec<FloatNeighbor> = (0..self.ids.len())
+            .filter_map(|i| {
+                let d = self.distance(i, query, qn);
+                (d <= max_distance).then_some(FloatNeighbor { id: self.ids[i], distance: d })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+
+    /// Converts float hits to the integer-distance [`Neighbor`] type by
+    /// rank (distance field becomes the rank); lets quality metrics treat
+    /// all indexes uniformly.
+    pub fn to_ranked_neighbors(hits: &[FloatNeighbor]) -> Vec<Neighbor> {
+        hits.iter().enumerate().map(|(rank, h)| Neighbor::new(h.id, rank as u32)).collect()
+    }
+}
+
+fn l2_norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(metric: DistanceMetric) -> FloatKnnIndex {
+        let mut idx = FloatKnnIndex::new(3, metric);
+        idx.insert(1, &[1.0, 0.0, 0.0]);
+        idx.insert(2, &[0.0, 1.0, 0.0]);
+        idx.insert(3, &[1.0, 1.0, 0.0]);
+        idx.insert(4, &[10.0, 0.0, 0.0]);
+        idx
+    }
+
+    #[test]
+    fn euclidean_knn_orders_by_distance() {
+        let idx = sample(DistanceMetric::Euclidean);
+        let hits = idx.knn(&[1.0, 0.0, 0.0], 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 1);
+        assert!((hits[0].distance - 0.0).abs() < 1e-6);
+        assert_eq!(hits[1].id, 3);
+        assert_eq!(hits[2].id, 2);
+    }
+
+    #[test]
+    fn cosine_ignores_magnitude() {
+        let idx = sample(DistanceMetric::Cosine);
+        let hits = idx.knn(&[1.0, 0.0, 0.0], 2);
+        // Both id 1 and id 4 point in the same direction → distance ~0.
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![1, 4]);
+        assert!(hits[1].distance < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_max_distance() {
+        let mut idx = FloatKnnIndex::new(2, DistanceMetric::Cosine);
+        idx.insert(1, &[0.0, 0.0]);
+        let hits = idx.knn(&[1.0, 0.0], 1);
+        assert!((hits[0].distance - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_search_filters() {
+        let idx = sample(DistanceMetric::Euclidean);
+        let hits = idx.range_search(&[1.0, 0.0, 0.0], 1.01);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(idx.range_search(&[100.0, 100.0, 100.0], 0.5).is_empty());
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let idx = sample(DistanceMetric::Euclidean);
+        assert!(idx.knn(&[0.0; 3], 0).is_empty());
+        assert_eq!(idx.knn(&[0.0; 3], 100).len(), 4);
+        let empty = FloatKnnIndex::new(3, DistanceMetric::Euclidean);
+        assert!(empty.knn(&[0.0; 3], 5).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn insert_rejects_wrong_dimension() {
+        let mut idx = FloatKnnIndex::new(3, DistanceMetric::Euclidean);
+        idx.insert(1, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_rejects_wrong_dimension() {
+        let idx = sample(DistanceMetric::Euclidean);
+        let _ = idx.knn(&[1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn ranked_neighbors_preserve_order() {
+        let idx = sample(DistanceMetric::Euclidean);
+        let hits = idx.knn(&[1.0, 0.0, 0.0], 3);
+        let ranked = FloatKnnIndex::to_ranked_neighbors(&hits);
+        assert_eq!(ranked[0], Neighbor::new(1, 0));
+        assert_eq!(ranked[1], Neighbor::new(3, 1));
+        assert_eq!(ranked[2], Neighbor::new(2, 2));
+    }
+}

@@ -1,0 +1,361 @@
+//! The paper's hash-table index: binary codes are keys of a hash table and
+//! retrieval returns "all images in the hash buckets that are within a
+//! small hamming radius of the query image" (§2.2).
+
+use std::collections::HashMap;
+
+use crate::code::BinaryCode;
+use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
+
+/// A Hamming hash-table index.
+///
+/// * Items with identical codes share a bucket.
+/// * `radius_search(query, r)` retrieves every item whose code is within
+///   Hamming distance `r` of the query.  Two strategies are available and
+///   chosen adaptively:
+///   1. **Enumeration** — probe every code obtained by flipping up to `r`
+///      bits of the query (exactly what the paper describes for "a small
+///      hamming radius"); cost grows as `C(bits, r)`.
+///   2. **Bucket scan** — iterate over all distinct codes present in the
+///      table and keep those within distance `r`; cost grows with the
+///      number of distinct codes but not with `r`.
+///   The cheaper strategy is picked per query; `force_strategy` pins it for
+///   experiments (E1/E3 compare the two).
+#[derive(Debug, Clone)]
+pub struct HashTableIndex {
+    bits: u32,
+    buckets: HashMap<BinaryCode, Vec<ItemId>>,
+    len: usize,
+    forced: Option<Strategy>,
+}
+
+/// Radius-search strategy of the [`HashTableIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Enumerate all codes within the radius and probe each bucket.
+    Enumerate,
+    /// Scan all distinct codes in the table.
+    BucketScan,
+}
+
+impl HashTableIndex {
+    /// Creates an empty index for codes of the given width.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0, "code width must be positive");
+        Self { bits, buckets: HashMap::new(), len: 0, forced: None }
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of distinct codes (hash buckets) currently stored.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Forces a radius-search strategy (used by the benchmarks); `None`
+    /// restores adaptive selection.
+    pub fn force_strategy(&mut self, strategy: Option<Strategy>) {
+        self.forced = strategy;
+    }
+
+    /// Returns the items whose code is exactly `code` (one bucket lookup).
+    pub fn exact_lookup(&self, code: &BinaryCode) -> &[ItemId] {
+        self.buckets.get(code).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Estimated number of bucket probes of the enumeration strategy for a
+    /// given radius: `sum_{d=0..=r} C(bits, d)`, saturating.
+    pub fn enumeration_probes(&self, radius: u32) -> u128 {
+        let mut total: u128 = 0;
+        for d in 0..=radius.min(self.bits) {
+            total = total.saturating_add(binomial(self.bits as u128, d as u128));
+        }
+        total
+    }
+
+    fn pick_strategy(&self, radius: u32) -> Strategy {
+        if let Some(s) = self.forced {
+            return s;
+        }
+        let probes = self.enumeration_probes(radius);
+        if probes <= self.buckets.len() as u128 {
+            Strategy::Enumerate
+        } else {
+            Strategy::BucketScan
+        }
+    }
+
+    fn radius_search_enumerate(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        // Depth-first enumeration of bit-flip combinations with increasing
+        // flip positions to avoid revisiting codes.
+        let mut current = query.clone();
+        self.probe(&current, 0, &mut out);
+        enumerate_flips(&mut current, 0, radius, self.bits, &mut |code, flipped| {
+            if let Some(bucket) = self.buckets.get(code) {
+                for &id in bucket {
+                    out.push(Neighbor::new(id, flipped));
+                }
+            }
+        });
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn probe(&self, code: &BinaryCode, distance: u32, out: &mut Vec<Neighbor>) {
+        if let Some(bucket) = self.buckets.get(code) {
+            for &id in bucket {
+                out.push(Neighbor::new(id, distance));
+            }
+        }
+    }
+
+    fn radius_search_scan(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        for (code, bucket) in &self.buckets {
+            let d = code.hamming_distance(query);
+            if d <= radius {
+                for &id in bucket {
+                    out.push(Neighbor::new(id, d));
+                }
+            }
+        }
+        sort_neighbors(&mut out);
+        out
+    }
+}
+
+impl HammingIndex for HashTableIndex {
+    fn insert(&mut self, id: ItemId, code: BinaryCode) {
+        assert_eq!(code.bits(), self.bits, "code width does not match the index");
+        self.buckets.entry(code).or_default().push(id);
+        self.len += 1;
+    }
+
+    fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        match self.pick_strategy(radius) {
+            Strategy::Enumerate => self.radius_search_enumerate(query, radius),
+            Strategy::BucketScan => self.radius_search_scan(query, radius),
+        }
+    }
+
+    fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Expand the radius until at least k items are found (or the space
+        // is exhausted), then truncate.  Each expansion reuses the adaptive
+        // strategy, so small k on dense tables stays cheap.
+        let mut radius = 0u32;
+        loop {
+            let mut hits = self.radius_search(query, radius);
+            if hits.len() >= k || radius >= self.bits {
+                hits.truncate(k);
+                return hits;
+            }
+            // Grow faster once the radius is large to bound the number of
+            // retries on sparse tables.
+            radius = if radius < 4 { radius + 1 } else { radius * 2 };
+            radius = radius.min(self.bits);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Calls `visit` for every code within `max_flips` bit flips of `code`
+/// (excluding zero flips), reusing a single working buffer.
+fn enumerate_flips(
+    code: &mut BinaryCode,
+    start_bit: u32,
+    remaining: u32,
+    bits: u32,
+    visit: &mut impl FnMut(&BinaryCode, u32),
+) {
+    fn rec(
+        code: &mut BinaryCode,
+        start_bit: u32,
+        remaining: u32,
+        bits: u32,
+        depth: u32,
+        visit: &mut impl FnMut(&BinaryCode, u32),
+    ) {
+        if remaining == 0 {
+            return;
+        }
+        for i in start_bit..bits {
+            let old = code.bit(i);
+            code.set_bit(i, !old);
+            visit(code, depth + 1);
+            rec(code, i + 1, remaining - 1, bits, depth + 1, visit);
+            code.set_bit(i, old);
+        }
+    }
+    rec(code, start_bit, remaining, bits, 0, visit);
+}
+
+fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(s: &str) -> BinaryCode {
+        BinaryCode::from_bit_string(s).unwrap()
+    }
+
+    fn sample_index() -> HashTableIndex {
+        let mut idx = HashTableIndex::new(8);
+        idx.insert(1, code("00000000"));
+        idx.insert(2, code("00000001"));
+        idx.insert(3, code("00000011"));
+        idx.insert(4, code("11111111"));
+        idx.insert(5, code("00000000")); // same bucket as 1
+        idx
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let idx = sample_index();
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.bucket_count(), 4);
+        assert_eq!(idx.exact_lookup(&code("00000000")), &[1, 5]);
+        assert_eq!(idx.exact_lookup(&code("01010101")), &[] as &[ItemId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn insert_rejects_wrong_width() {
+        let mut idx = HashTableIndex::new(8);
+        idx.insert(1, BinaryCode::zeros(16));
+    }
+
+    #[test]
+    fn radius_zero_returns_exact_bucket() {
+        let idx = sample_index();
+        let hits = idx.radius_search(&code("00000000"), 0);
+        assert_eq!(hits, vec![Neighbor::new(1, 0), Neighbor::new(5, 0)]);
+    }
+
+    #[test]
+    fn radius_search_returns_all_within_radius_sorted() {
+        let idx = sample_index();
+        let hits = idx.radius_search(&code("00000000"), 2);
+        assert_eq!(
+            hits,
+            vec![
+                Neighbor::new(1, 0),
+                Neighbor::new(5, 0),
+                Neighbor::new(2, 1),
+                Neighbor::new(3, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn both_strategies_agree() {
+        let mut idx = sample_index();
+        for radius in 0..=8 {
+            idx.force_strategy(Some(Strategy::Enumerate));
+            let a = idx.radius_search(&code("00000001"), radius);
+            idx.force_strategy(Some(Strategy::BucketScan));
+            let b = idx.radius_search(&code("00000001"), radius);
+            assert_eq!(a, b, "strategies disagree at radius {radius}");
+        }
+    }
+
+    #[test]
+    fn knn_expands_radius_until_k_found() {
+        let idx = sample_index();
+        let hits = idx.knn(&code("00000000"), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 5);
+        assert_eq!(hits[2].id, 2);
+        // k larger than the index size returns everything.
+        let all = idx.knn(&code("00000000"), 100);
+        assert_eq!(all.len(), 5);
+        // k = 0 returns nothing.
+        assert!(idx.knn(&code("00000000"), 0).is_empty());
+    }
+
+    #[test]
+    fn knn_on_empty_index_is_empty() {
+        let idx = HashTableIndex::new(16);
+        assert!(idx.knn(&BinaryCode::zeros(16), 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn enumeration_probe_count_is_binomial_sum() {
+        let idx = HashTableIndex::new(8);
+        assert_eq!(idx.enumeration_probes(0), 1);
+        assert_eq!(idx.enumeration_probes(1), 1 + 8);
+        assert_eq!(idx.enumeration_probes(2), 1 + 8 + 28);
+        assert_eq!(idx.enumeration_probes(8), 256);
+        // Radius above the width saturates at 2^bits.
+        assert_eq!(idx.enumeration_probes(100), 256);
+    }
+
+    #[test]
+    fn adaptive_strategy_prefers_enumeration_for_small_radius_on_large_tables() {
+        let mut idx = HashTableIndex::new(64);
+        // Many distinct buckets.
+        for i in 0..5_000u64 {
+            let mut c = BinaryCode::zeros(64);
+            for b in 0..64 {
+                if (i >> (b % 13)) & 1 == 1 {
+                    c.set_bit(b, true);
+                }
+            }
+            // Add the item index to make codes distinct.
+            let mut c = c;
+            for b in 0..13 {
+                c.set_bit(50 + (b % 14), (i >> b) & 1 == 1);
+            }
+            idx.insert(i, c);
+        }
+        assert_eq!(idx.pick_strategy(0), Strategy::Enumerate);
+        assert_eq!(idx.pick_strategy(1), Strategy::Enumerate);
+        assert_eq!(idx.pick_strategy(5), Strategy::BucketScan);
+    }
+
+    #[test]
+    fn binomial_helper() {
+        assert_eq!(binomial(128, 0), 1);
+        assert_eq!(binomial(128, 1), 128);
+        assert_eq!(binomial(128, 2), 8128);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 6), 0);
+    }
+
+    #[test]
+    fn radius_search_with_128_bit_codes() {
+        let mut idx = HashTableIndex::new(128);
+        let base = BinaryCode::zeros(128);
+        idx.insert(10, base.clone());
+        idx.insert(11, base.with_flipped_bit(3));
+        idx.insert(12, base.with_flipped_bit(3).with_flipped_bit(77));
+        let hits = idx.radius_search(&base, 1);
+        assert_eq!(hits.iter().map(|n| n.id).collect::<Vec<_>>(), vec![10, 11]);
+        let hits = idx.radius_search(&base, 2);
+        assert_eq!(hits.iter().map(|n| n.id).collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Random-hyperplane hashing (sign-random-projection LSH).
+//!
+//! This is the "no metric learning" baseline of experiment E2: instead of
+//! the trained MiLaN hashing head, codes are produced by projecting the
+//! float feature vector onto random hyperplanes and taking signs.  Cosine
+//! similarity is approximately preserved, but — unlike MiLaN — nothing pulls
+//! semantically similar images together, which is exactly the gap the
+//! experiment quantifies.
+
+use crate::code::BinaryCode;
+
+/// A sign-random-projection hasher: `code_bits` random hyperplanes in
+/// `input_dim` dimensions.
+#[derive(Debug, Clone)]
+pub struct RandomHyperplaneHasher {
+    input_dim: usize,
+    code_bits: u32,
+    /// Row-major `code_bits × input_dim` projection matrix.
+    projections: Vec<f32>,
+}
+
+impl RandomHyperplaneHasher {
+    /// Creates a hasher with hyperplane normals drawn deterministically
+    /// from `seed` (a simple xorshift-based normal approximation; no
+    /// external RNG dependency needed at this layer).
+    ///
+    /// # Panics
+    /// Panics if `input_dim == 0` or `code_bits == 0`.
+    pub fn new(input_dim: usize, code_bits: u32, seed: u64) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        assert!(code_bits > 0, "code width must be positive");
+        let mut state = seed | 1;
+        let mut next_uniform = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let v = state.wrapping_mul(0x2545F4914F6CDD1D);
+            (v >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = input_dim * code_bits as usize;
+        let mut projections = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Irwin–Hall approximation of a standard normal.
+            let s: f64 = (0..12).map(|_| next_uniform()).sum::<f64>() - 6.0;
+            projections.push(s as f32);
+        }
+        Self { input_dim, code_bits, projections }
+    }
+
+    /// Input feature dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output code width in bits.
+    pub fn code_bits(&self) -> u32 {
+        self.code_bits
+    }
+
+    /// Hashes a feature vector into a binary code.
+    ///
+    /// # Panics
+    /// Panics if `features.len() != input_dim`.
+    pub fn hash(&self, features: &[f32]) -> BinaryCode {
+        assert_eq!(features.len(), self.input_dim, "feature dimension mismatch");
+        let mut signs = Vec::with_capacity(self.code_bits as usize);
+        for b in 0..self.code_bits as usize {
+            let row = &self.projections[b * self.input_dim..(b + 1) * self.input_dim];
+            let dot: f32 = row.iter().zip(features.iter()).map(|(w, x)| w * x).sum();
+            signs.push(dot);
+        }
+        BinaryCode::from_signs(&signs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, idx: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[idx] = 1.0;
+        v
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let h = RandomHyperplaneHasher::new(16, 32, 7);
+        assert_eq!(h.input_dim(), 16);
+        assert_eq!(h.code_bits(), 32);
+        let code = h.hash(&unit(16, 0));
+        assert_eq!(code.bits(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dimension_panics() {
+        let h = RandomHyperplaneHasher::new(8, 16, 1);
+        let _ = h.hash(&[0.0; 4]);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = RandomHyperplaneHasher::new(12, 64, 99);
+        let b = RandomHyperplaneHasher::new(12, 64, 99);
+        let x: Vec<f32> = (0..12).map(|i| (i as f32).sin()).collect();
+        assert_eq!(a.hash(&x), b.hash(&x));
+    }
+
+    #[test]
+    fn different_seeds_give_different_codes() {
+        let a = RandomHyperplaneHasher::new(12, 64, 1);
+        let b = RandomHyperplaneHasher::new(12, 64, 2);
+        let x: Vec<f32> = (0..12).map(|i| (i as f32).cos()).collect();
+        assert_ne!(a.hash(&x), b.hash(&x));
+    }
+
+    #[test]
+    fn scaling_a_vector_does_not_change_its_code() {
+        let h = RandomHyperplaneHasher::new(10, 32, 5);
+        let x: Vec<f32> = (0..10).map(|i| i as f32 - 4.5).collect();
+        let x2: Vec<f32> = x.iter().map(|v| v * 7.5).collect();
+        assert_eq!(h.hash(&x), h.hash(&x2));
+    }
+
+    #[test]
+    fn opposite_vectors_get_complementary_codes() {
+        let h = RandomHyperplaneHasher::new(10, 64, 5);
+        let x: Vec<f32> = (0..10).map(|i| (i as f32 * 0.77).sin() + 0.1).collect();
+        let neg: Vec<f32> = x.iter().map(|v| -v).collect();
+        let cx = h.hash(&x);
+        let cn = h.hash(&neg);
+        // Sign projections flip for every hyperplane with a non-zero dot
+        // product, so the distance must be (close to) the full width.
+        assert!(cx.hamming_distance(&cn) >= 60);
+    }
+
+    #[test]
+    fn similar_vectors_get_closer_codes_than_dissimilar_ones() {
+        let h = RandomHyperplaneHasher::new(32, 128, 11);
+        let base: Vec<f32> = (0..32).map(|i| ((i * 13 % 7) as f32) - 3.0).collect();
+        let near: Vec<f32> = base.iter().map(|v| v + 0.05).collect();
+        let far: Vec<f32> = base.iter().map(|v| -v + 1.0).collect();
+        let d_near = h.hash(&base).hamming_distance(&h.hash(&near));
+        let d_far = h.hash(&base).hamming_distance(&h.hash(&far));
+        assert!(
+            d_near < d_far,
+            "LSH should approximately preserve cosine similarity (near={d_near}, far={d_far})"
+        );
+    }
+}

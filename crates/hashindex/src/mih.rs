@@ -1,0 +1,305 @@
+//! Multi-index hashing (MIH) for exact Hamming-radius search.
+//!
+//! The plain hash-table strategy of the paper enumerates all codes within
+//! the radius, which explodes combinatorially for 128-bit codes once the
+//! radius exceeds 2–3 bits.  Multi-index hashing (Norouzi, Punjani & Fleet,
+//! *Fast Search in Hamming Space with Multi-Index Hashing*, CVPR 2012)
+//! splits every code into `m` disjoint substrings and indexes each
+//! substring in its own hash table.  By the pigeonhole principle, if two
+//! codes are within Hamming distance `r`, then at least one substring pair
+//! is within distance `⌊r/m⌋`, so searching each substring table with the
+//! much smaller per-substring radius produces a complete candidate set
+//! which is then verified with full-width distances.
+
+use std::collections::HashMap;
+
+use crate::code::BinaryCode;
+use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
+
+/// Exact Hamming-radius index based on multi-index hashing.
+#[derive(Debug, Clone)]
+pub struct MultiIndexHashing {
+    bits: u32,
+    num_chunks: u32,
+    chunk_bits: u32,
+    /// One hash table per substring: substring value → item indexes.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    ids: Vec<ItemId>,
+    codes: Vec<BinaryCode>,
+}
+
+impl MultiIndexHashing {
+    /// Creates an index for `bits`-bit codes split into `num_chunks`
+    /// substrings.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`, `num_chunks == 0`, or a substring would be
+    /// wider than 64 bits.
+    pub fn new(bits: u32, num_chunks: u32) -> Self {
+        assert!(bits > 0, "code width must be positive");
+        assert!(num_chunks > 0, "need at least one chunk");
+        let chunk_bits = bits.div_ceil(num_chunks);
+        assert!(chunk_bits <= 64, "substrings wider than 64 bits are not supported");
+        Self {
+            bits,
+            num_chunks,
+            chunk_bits,
+            tables: vec![HashMap::new(); num_chunks as usize],
+            ids: Vec::new(),
+            codes: Vec::new(),
+        }
+    }
+
+    /// The recommended number of chunks for a code width and archive size:
+    /// `bits / log2(n)` (Norouzi et al.), clamped to `[1, 16]`.
+    pub fn recommended_chunks(bits: u32, expected_items: usize) -> u32 {
+        let log_n = (expected_items.max(2) as f64).log2();
+        ((bits as f64 / log_n).round() as u32).clamp(1, 16)
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of substring tables.
+    pub fn num_chunks(&self) -> u32 {
+        self.num_chunks
+    }
+
+    /// Width of each substring in bits.
+    pub fn chunk_bits(&self) -> u32 {
+        self.chunk_bits
+    }
+
+    /// Number of candidate verifications performed for a query at a radius
+    /// (statistic used by experiment E3).  Runs the candidate-generation
+    /// phase only.
+    pub fn candidate_count(&self, query: &BinaryCode, radius: u32) -> usize {
+        self.candidates(query, radius).len()
+    }
+
+    fn candidates(&self, query: &BinaryCode, radius: u32) -> Vec<u32> {
+        let per_chunk_radius = radius / self.num_chunks;
+        let mut seen = vec![false; self.ids.len()];
+        let mut out = Vec::new();
+        for chunk in 0..self.num_chunks {
+            let key = query.substring(chunk, self.chunk_bits);
+            let effective_bits = self.effective_chunk_bits(chunk);
+            enumerate_u64_flips(key, effective_bits, per_chunk_radius, &mut |candidate_key| {
+                if let Some(items) = self.tables[chunk as usize].get(&candidate_key) {
+                    for &item in items {
+                        if !seen[item as usize] {
+                            seen[item as usize] = true;
+                            out.push(item);
+                        }
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    /// The last chunk can be narrower than `chunk_bits` when the width is
+    /// not an exact multiple of the number of chunks.
+    fn effective_chunk_bits(&self, chunk: u32) -> u32 {
+        let start = chunk * self.chunk_bits;
+        (self.bits - start).min(self.chunk_bits)
+    }
+}
+
+impl HammingIndex for MultiIndexHashing {
+    fn insert(&mut self, id: ItemId, code: BinaryCode) {
+        assert_eq!(code.bits(), self.bits, "code width does not match the index");
+        let item = self.ids.len() as u32;
+        for chunk in 0..self.num_chunks {
+            let key = code.substring(chunk, self.chunk_bits);
+            self.tables[chunk as usize].entry(key).or_default().push(item);
+        }
+        self.ids.push(id);
+        self.codes.push(code);
+    }
+
+    fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        let mut out = Vec::new();
+        for item in self.candidates(query, radius) {
+            let d = self.codes[item as usize].hamming_distance(query);
+            if d <= radius {
+                out.push(Neighbor::new(self.ids[item as usize], d));
+            }
+        }
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        // Grow the radius in steps of the chunk count (the per-chunk radius
+        // only increases every `num_chunks` steps, so smaller increments
+        // cannot add candidates).
+        let mut radius = self.num_chunks;
+        loop {
+            let mut hits = self.radius_search(query, radius);
+            if hits.len() >= k || radius >= self.bits {
+                hits.truncate(k);
+                return hits;
+            }
+            radius = (radius * 2).min(self.bits);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Enumerates all `u64` keys within `max_flips` bit flips of `key`
+/// restricted to the lowest `bits` bits (including zero flips).
+fn enumerate_u64_flips(key: u64, bits: u32, max_flips: u32, visit: &mut impl FnMut(u64)) {
+    visit(key);
+    fn rec(key: u64, bits: u32, start: u32, remaining: u32, visit: &mut impl FnMut(u64)) {
+        if remaining == 0 {
+            return;
+        }
+        for i in start..bits {
+            let flipped = key ^ (1u64 << i);
+            visit(flipped);
+            rec(flipped, bits, i + 1, remaining - 1, visit);
+        }
+    }
+    rec(key, bits, 0, max_flips, visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScanIndex;
+
+    fn code(s: &str) -> BinaryCode {
+        BinaryCode::from_bit_string(s).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let idx = MultiIndexHashing::new(128, 4);
+        assert_eq!(idx.bits(), 128);
+        assert_eq!(idx.num_chunks(), 4);
+        assert_eq!(idx.chunk_bits(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 64")]
+    fn overly_wide_chunks_are_rejected() {
+        let _ = MultiIndexHashing::new(128, 1);
+    }
+
+    #[test]
+    fn recommended_chunks_scales_with_archive_size() {
+        assert_eq!(MultiIndexHashing::recommended_chunks(128, 1 << 16), 8);
+        assert!(MultiIndexHashing::recommended_chunks(128, 600_000) <= 7);
+        assert!(MultiIndexHashing::recommended_chunks(32, 1_000) >= 3);
+        assert_eq!(MultiIndexHashing::recommended_chunks(128, 0), 16); // clamped
+    }
+
+    #[test]
+    fn uneven_chunk_split_covers_all_bits() {
+        // 10 bits, 3 chunks → chunk_bits = 4, last chunk has 2 effective bits.
+        let idx = MultiIndexHashing::new(10, 3);
+        assert_eq!(idx.chunk_bits(), 4);
+        assert_eq!(idx.effective_chunk_bits(0), 4);
+        assert_eq!(idx.effective_chunk_bits(1), 4);
+        assert_eq!(idx.effective_chunk_bits(2), 2);
+    }
+
+    #[test]
+    fn exact_match_and_small_radius() {
+        let mut idx = MultiIndexHashing::new(16, 4);
+        idx.insert(1, code("0000000000000000"));
+        idx.insert(2, code("0000000000000001"));
+        idx.insert(3, code("1111111111111111"));
+        let hits = idx.radius_search(&code("0000000000000000"), 0);
+        assert_eq!(hits, vec![Neighbor::new(1, 0)]);
+        let hits = idx.radius_search(&code("0000000000000000"), 1);
+        assert_eq!(hits, vec![Neighbor::new(1, 0), Neighbor::new(2, 1)]);
+    }
+
+    #[test]
+    fn mih_agrees_with_linear_scan_on_random_data() {
+        // Deterministic pseudo-random codes without pulling in `rand`.
+        let bits = 32u32;
+        let mut mih = MultiIndexHashing::new(bits, 4);
+        let mut lin = LinearScanIndex::new(bits);
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        for id in 0..400u64 {
+            let c = BinaryCode::from_words(bits, vec![next()]);
+            mih.insert(id, c.clone());
+            lin.insert(id, c);
+        }
+        let query = BinaryCode::from_words(bits, vec![next()]);
+        for radius in [0u32, 2, 5, 9, 14] {
+            let a = mih.radius_search(&query, radius);
+            let b = lin.radius_search(&query, radius);
+            assert_eq!(a, b, "MIH and linear scan disagree at radius {radius}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan_results() {
+        let bits = 24u32;
+        let mut mih = MultiIndexHashing::new(bits, 3);
+        let mut lin = LinearScanIndex::new(bits);
+        for id in 0..200u64 {
+            let c = BinaryCode::from_words(bits, vec![id.wrapping_mul(0x9E3779B97F4A7C15) >> 8]);
+            mih.insert(id, c.clone());
+            lin.insert(id, c);
+        }
+        let query = BinaryCode::zeros(bits);
+        let a = mih.knn(&query, 10);
+        let b = lin.knn(&query, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let idx = MultiIndexHashing::new(16, 2);
+        assert!(idx.knn(&BinaryCode::zeros(16), 5).is_empty());
+        let mut idx = MultiIndexHashing::new(16, 2);
+        idx.insert(1, BinaryCode::zeros(16));
+        assert!(idx.knn(&BinaryCode::zeros(16), 0).is_empty());
+        assert_eq!(idx.knn(&BinaryCode::zeros(16), 5).len(), 1);
+    }
+
+    #[test]
+    fn candidate_count_grows_with_radius() {
+        let mut idx = MultiIndexHashing::new(32, 4);
+        for id in 0..500u64 {
+            let c = BinaryCode::from_words(32, vec![id.wrapping_mul(2654435761) & 0xFFFF_FFFF]);
+            idx.insert(id, c);
+        }
+        let q = BinaryCode::zeros(32);
+        let c0 = idx.candidate_count(&q, 0);
+        let c8 = idx.candidate_count(&q, 8);
+        let c16 = idx.candidate_count(&q, 16);
+        assert!(c0 <= c8 && c8 <= c16);
+    }
+
+    #[test]
+    fn enumerate_u64_flips_counts() {
+        let mut seen = Vec::new();
+        enumerate_u64_flips(0, 4, 2, &mut |k| seen.push(k));
+        // C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6 = 11, all distinct.
+        assert_eq!(seen.len(), 11);
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 11);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: all Hamming indexes must agree with the
+//! brute-force linear scan, and the code type must behave like a metric
+//! space element.
+
+use eq_hashindex::{
+    BinaryCode, HammingIndex, HashTableIndex, LinearScanIndex, MultiIndexHashing,
+};
+use proptest::prelude::*;
+
+fn arb_code(bits: u32) -> impl Strategy<Value = BinaryCode> {
+    proptest::collection::vec(any::<bool>(), bits as usize)
+        .prop_map(|bools| BinaryCode::from_bools(&bools))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hamming_distance_is_a_metric(
+        a in arb_code(96),
+        b in arb_code(96),
+        c in arb_code(96),
+    ) {
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert!(a.hamming_distance(&b) + b.hamming_distance(&c) >= a.hamming_distance(&c));
+        prop_assert!(a.hamming_distance(&b) <= 96);
+    }
+
+    #[test]
+    fn identical_iff_distance_zero(a in arb_code(48), b in arb_code(48)) {
+        prop_assert_eq!(a.hamming_distance(&b) == 0, a == b);
+    }
+
+    #[test]
+    fn bit_string_roundtrip(a in arb_code(70)) {
+        let s = a.to_bit_string();
+        prop_assert_eq!(BinaryCode::from_bit_string(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn flipping_a_bit_changes_distance_by_one(a in arb_code(64), bit in 0u32..64) {
+        let flipped = a.with_flipped_bit(bit);
+        prop_assert_eq!(a.hamming_distance(&flipped), 1);
+    }
+
+    #[test]
+    fn hashtable_agrees_with_linear_scan(
+        codes in proptest::collection::vec(arb_code(24), 1..60),
+        query in arb_code(24),
+        radius in 0u32..10,
+    ) {
+        let mut table = HashTableIndex::new(24);
+        let mut linear = LinearScanIndex::new(24);
+        for (i, c) in codes.iter().enumerate() {
+            table.insert(i as u64, c.clone());
+            linear.insert(i as u64, c.clone());
+        }
+        prop_assert_eq!(table.radius_search(&query, radius), linear.radius_search(&query, radius));
+    }
+
+    #[test]
+    fn mih_agrees_with_linear_scan(
+        codes in proptest::collection::vec(arb_code(32), 1..60),
+        query in arb_code(32),
+        radius in 0u32..12,
+        chunks in 2u32..6,
+    ) {
+        let mut mih = MultiIndexHashing::new(32, chunks);
+        let mut linear = LinearScanIndex::new(32);
+        for (i, c) in codes.iter().enumerate() {
+            mih.insert(i as u64, c.clone());
+            linear.insert(i as u64, c.clone());
+        }
+        prop_assert_eq!(mih.radius_search(&query, radius), linear.radius_search(&query, radius));
+    }
+
+    #[test]
+    fn knn_results_are_sorted_and_bounded(
+        codes in proptest::collection::vec(arb_code(16), 1..40),
+        query in arb_code(16),
+        k in 0usize..20,
+    ) {
+        let mut table = HashTableIndex::new(16);
+        for (i, c) in codes.iter().enumerate() {
+            table.insert(i as u64, c.clone());
+        }
+        let hits = table.knn(&query, k);
+        prop_assert!(hits.len() <= k.min(codes.len()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+        // The nearest hit must be at the true minimum distance.
+        if k > 0 {
+            let min_dist = codes.iter().map(|c| c.hamming_distance(&query)).min().unwrap();
+            prop_assert_eq!(hits[0].distance, min_dist);
+        }
+    }
+
+    #[test]
+    fn substring_concatenation_preserves_popcount(a in arb_code(64), chunks in 1u32..8) {
+        let chunk_bits = 64u32.div_ceil(chunks);
+        if chunk_bits <= 64 {
+            let total: u32 = (0..chunks).map(|c| a.substring(c, chunk_bits).count_ones()).sum();
+            prop_assert_eq!(total, a.count_ones());
+        }
+    }
+}

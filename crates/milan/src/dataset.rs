@@ -1,0 +1,307 @@
+//! Training dataset assembly and triplet sampling.
+//!
+//! MiLaN's triplet loss needs (anchor, positive, negative) triples where the
+//! anchor and the positive are semantically similar and the negative is
+//! dissimilar.  Following Roy et al. 2021 (and the multi-label retrieval
+//! convention used for BigEarthNet), two images count as *similar* when they
+//! share at least one CLC Level-3 label.
+
+use eq_bigearthnet::labels::LabelSet;
+use eq_bigearthnet::{Archive, PatchId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::features::FeatureExtractor;
+
+/// A triplet of dataset indices: anchor, positive (shares ≥ 1 label with the
+/// anchor) and negative (shares none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triplet {
+    /// Index of the anchor sample.
+    pub anchor: usize,
+    /// Index of the positive sample.
+    pub positive: usize,
+    /// Index of the negative sample.
+    pub negative: usize,
+}
+
+/// An in-memory training dataset: one feature vector and one label set per
+/// patch, in patch-id order.
+#[derive(Debug, Clone)]
+pub struct TrainingDataset {
+    features: Vec<Vec<f32>>,
+    labels: Vec<LabelSet>,
+    ids: Vec<PatchId>,
+}
+
+impl TrainingDataset {
+    /// Builds a dataset from parallel feature/label/id vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths, are empty, or the
+    /// feature vectors have inconsistent dimensionality.
+    pub fn new(features: Vec<Vec<f32>>, labels: Vec<LabelSet>, ids: Vec<PatchId>) -> Self {
+        assert!(!features.is_empty(), "dataset cannot be empty");
+        assert_eq!(features.len(), labels.len(), "features and labels must align");
+        assert_eq!(features.len(), ids.len(), "features and ids must align");
+        let dim = features[0].len();
+        assert!(dim > 0, "feature vectors cannot be empty");
+        assert!(features.iter().all(|f| f.len() == dim), "inconsistent feature dimensions");
+        Self { features, labels, ids }
+    }
+
+    /// Builds a dataset directly from an archive using the standard
+    /// [`FeatureExtractor`].
+    pub fn from_archive(archive: &Archive) -> Self {
+        assert!(!archive.is_empty(), "archive is empty");
+        let extractor = FeatureExtractor::new();
+        let features = extractor.extract_all(archive);
+        let labels = archive.patches().iter().map(|p| p.meta.labels).collect();
+        let ids = archive.patches().iter().map(|p| p.meta.id).collect();
+        Self::new(features, labels, ids)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// The feature vector of sample `i`.
+    pub fn feature(&self, i: usize) -> &[f32] {
+        &self.features[i]
+    }
+
+    /// All feature vectors in order.
+    pub fn features(&self) -> &[Vec<f32>] {
+        &self.features
+    }
+
+    /// The label set of sample `i`.
+    pub fn labels(&self, i: usize) -> LabelSet {
+        self.labels[i]
+    }
+
+    /// All label sets in order.
+    pub fn all_labels(&self) -> &[LabelSet] {
+        &self.labels
+    }
+
+    /// The patch id of sample `i`.
+    pub fn id(&self, i: usize) -> PatchId {
+        self.ids[i]
+    }
+
+    /// Whether samples `i` and `j` count as semantically similar (share at
+    /// least one label).
+    pub fn similar(&self, i: usize, j: usize) -> bool {
+        self.labels[i].intersects(self.labels[j])
+    }
+
+    /// Samples up to `count` random valid triplets.
+    ///
+    /// A triplet is valid when the positive shares at least one label with
+    /// the anchor and the negative shares none.  Anchors that have no valid
+    /// positive or negative partner are skipped; if the dataset is too
+    /// homogeneous the returned vector may be shorter than `count`.
+    pub fn sample_triplets(&self, count: usize, rng: &mut StdRng) -> Vec<Triplet> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(count);
+        if n < 3 {
+            return out;
+        }
+        let mut attempts = 0usize;
+        let max_attempts = count * 20;
+        while out.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let anchor = rng.gen_range(0..n);
+            let positive = rng.gen_range(0..n);
+            let negative = rng.gen_range(0..n);
+            if anchor == positive || anchor == negative || positive == negative {
+                continue;
+            }
+            if self.similar(anchor, positive) && !self.similar(anchor, negative) {
+                out.push(Triplet { anchor, positive, negative });
+            }
+        }
+        out
+    }
+
+    /// Samples `count` triplets with *semi-hard negative mining*: among a
+    /// small candidate pool of valid negatives, the one closest to the
+    /// anchor in feature space is chosen.  Hard negatives speed up metric
+    /// learning considerably on small datasets.
+    pub fn sample_triplets_semi_hard(&self, count: usize, pool: usize, rng: &mut StdRng) -> Vec<Triplet> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(count);
+        if n < 3 {
+            return out;
+        }
+        let pool = pool.max(1);
+        let mut attempts = 0usize;
+        let max_attempts = count * 20;
+        while out.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let anchor = rng.gen_range(0..n);
+            let positive = rng.gen_range(0..n);
+            if anchor == positive || !self.similar(anchor, positive) {
+                continue;
+            }
+            // Gather a pool of valid negatives and keep the hardest.
+            let mut best: Option<(usize, f32)> = None;
+            for _ in 0..pool * 4 {
+                let cand = rng.gen_range(0..n);
+                if cand == anchor || cand == positive || self.similar(anchor, cand) {
+                    continue;
+                }
+                let d = squared_distance(self.feature(anchor), self.feature(cand));
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((cand, d));
+                }
+                if best.is_some() && out.len() + 1 == count {
+                    break;
+                }
+            }
+            if let Some((negative, _)) = best {
+                out.push(Triplet { anchor, positive, negative });
+            }
+        }
+        out
+    }
+}
+
+fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_bigearthnet::labels::Label;
+    use eq_bigearthnet::{ArchiveGenerator, GeneratorConfig};
+    use rand::SeedableRng;
+
+    fn dataset(n: usize, seed: u64) -> TrainingDataset {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
+        TrainingDataset::from_archive(&archive)
+    }
+
+    #[test]
+    fn from_archive_builds_aligned_vectors() {
+        let d = dataset(50, 1);
+        assert_eq!(d.len(), 50);
+        assert!(!d.is_empty());
+        assert_eq!(d.dim(), crate::features::FEATURE_DIM);
+        assert_eq!(d.id(7), PatchId(7));
+        assert!(!d.labels(3).is_empty());
+        assert_eq!(d.features().len(), 50);
+        assert_eq!(d.all_labels().len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_dataset_is_rejected() {
+        let _ = TrainingDataset::new(vec![], vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_inputs_are_rejected() {
+        let _ = TrainingDataset::new(
+            vec![vec![0.0_f32; 4]],
+            vec![LabelSet::EMPTY, LabelSet::EMPTY],
+            vec![PatchId(0), PatchId(1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimensions")]
+    fn ragged_features_are_rejected() {
+        let _ = TrainingDataset::new(
+            vec![vec![0.0_f32; 4], vec![0.0_f32; 5]],
+            vec![LabelSet::EMPTY, LabelSet::EMPTY],
+            vec![PatchId(0), PatchId(1)],
+        );
+    }
+
+    #[test]
+    fn similarity_is_shared_label() {
+        let features = vec![vec![0.0_f32; 2]; 3];
+        let labels = vec![
+            LabelSet::from_labels([Label::SeaAndOcean, Label::BeachesDunesSands]),
+            LabelSet::from_labels([Label::SeaAndOcean]),
+            LabelSet::from_labels([Label::ConiferousForest]),
+        ];
+        let ids = vec![PatchId(0), PatchId(1), PatchId(2)];
+        let d = TrainingDataset::new(features, labels, ids);
+        assert!(d.similar(0, 1));
+        assert!(!d.similar(0, 2));
+        assert!(!d.similar(1, 2));
+    }
+
+    #[test]
+    fn sampled_triplets_satisfy_the_label_constraints() {
+        let d = dataset(150, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let triplets = d.sample_triplets(200, &mut rng);
+        assert!(!triplets.is_empty(), "no valid triplets found");
+        for t in &triplets {
+            assert!(d.similar(t.anchor, t.positive));
+            assert!(!d.similar(t.anchor, t.negative));
+            assert_ne!(t.anchor, t.positive);
+            assert_ne!(t.anchor, t.negative);
+        }
+    }
+
+    #[test]
+    fn semi_hard_triplets_are_valid_and_harder_on_average() {
+        let d = dataset(200, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let random = d.sample_triplets(100, &mut rng);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hard = d.sample_triplets_semi_hard(100, 8, &mut rng);
+        assert!(!hard.is_empty());
+        for t in &hard {
+            assert!(d.similar(t.anchor, t.positive));
+            assert!(!d.similar(t.anchor, t.negative));
+        }
+        let mean_neg_dist = |ts: &[Triplet]| {
+            ts.iter()
+                .map(|t| squared_distance(d.feature(t.anchor), d.feature(t.negative)))
+                .sum::<f32>()
+                / ts.len().max(1) as f32
+        };
+        assert!(
+            mean_neg_dist(&hard) <= mean_neg_dist(&random) + 1e-3,
+            "semi-hard negatives should not be easier than random ones"
+        );
+    }
+
+    #[test]
+    fn triplet_sampling_on_tiny_datasets_degrades_gracefully() {
+        let features = vec![vec![0.0_f32; 2]; 2];
+        let labels = vec![LabelSet::from_labels([Label::SeaAndOcean]); 2];
+        let ids = vec![PatchId(0), PatchId(1)];
+        let d = TrainingDataset::new(features, labels, ids);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(d.sample_triplets(10, &mut rng).is_empty());
+        assert!(d.sample_triplets_semi_hard(10, 4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_the_rng_seed() {
+        let d = dataset(80, 6);
+        let a = d.sample_triplets(50, &mut StdRng::seed_from_u64(9));
+        let b = d.sample_triplets(50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

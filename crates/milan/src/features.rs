@@ -1,0 +1,246 @@
+//! The image descriptor that stands in for MiLaN's convolutional backbone.
+//!
+//! The original MiLaN extracts features with a pre-trained CNN before the
+//! metric-learning hashing head.  Training a CNN is out of scope here (see
+//! DESIGN.md), so this module computes a fixed hand-crafted descriptor with
+//! the same role: a per-patch float vector whose geometry reflects the
+//! land-cover semantics well enough for the metric-learning head to work
+//! with.  It combines:
+//!
+//! * per-band first-order statistics (mean, spread, texture energy) for the
+//!   12 Sentinel-2 bands,
+//! * classic spectral indices (NDVI, NDWI, NDBI, brightness, red-edge slope),
+//! * a 2 × 2 spatial pyramid of band means for the structurally most
+//!   informative bands (captures within-patch layout),
+//! * Sentinel-1 backscatter statistics (VV/VH level and ratio).
+
+use eq_bigearthnet::bands::{Band, Polarization};
+use eq_bigearthnet::patch::Patch;
+
+/// Bands given a 2 × 2 spatial pyramid in the descriptor.
+const PYRAMID_BANDS: [Band; 3] = [Band::B04, Band::B08, Band::B11];
+
+/// Dimensionality of the descriptor produced by [`FeatureExtractor`].
+///
+/// 12 bands × 3 statistics + 5 spectral indices + 3 pyramid bands × 4 cells
+/// + 4 SAR statistics = 57.
+pub const FEATURE_DIM: usize = 12 * 3 + 5 + PYRAMID_BANDS.len() * 4 + 4;
+
+/// Extracts fixed-length float descriptors from BigEarthNet patches.
+///
+/// The extractor is stateless and deterministic; scaling constants are fixed
+/// so that features are roughly in `[-1, 1]` without needing a fitted
+/// normaliser (which would leak test data into training).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FeatureExtractor;
+
+impl FeatureExtractor {
+    /// Creates an extractor.
+    pub fn new() -> Self {
+        FeatureExtractor
+    }
+
+    /// The descriptor dimensionality ([`FEATURE_DIM`]).
+    pub fn dim(&self) -> usize {
+        FEATURE_DIM
+    }
+
+    /// Computes the descriptor of a patch.
+    pub fn extract(&self, patch: &Patch) -> Vec<f32> {
+        let mut f = Vec::with_capacity(FEATURE_DIM);
+
+        // --- Per-band statistics -----------------------------------------
+        let mut band_means = [0.0f64; 12];
+        for band in eq_bigearthnet::bands::SENTINEL2_BANDS {
+            let data = patch.band(band);
+            let mean = data.mean();
+            band_means[band.index()] = mean;
+            f.push((mean / 5_000.0 - 1.0) as f32); // roughly [-1, 1]
+            f.push((data.std_dev() / 1_500.0 - 1.0) as f32);
+            f.push((data.gradient_energy() / 1_500.0 - 1.0) as f32);
+        }
+
+        // --- Spectral indices ---------------------------------------------
+        let b03 = band_means[Band::B03.index()];
+        let b04 = band_means[Band::B04.index()];
+        let b06 = band_means[Band::B06.index()];
+        let b08 = band_means[Band::B08.index()];
+        let b11 = band_means[Band::B11.index()];
+        f.push(normalized_difference(b08, b04)); // NDVI
+        f.push(normalized_difference(b03, b08)); // NDWI
+        f.push(normalized_difference(b11, b08)); // NDBI
+        f.push(((b04 + b03 + band_means[Band::B02.index()]) / 3.0 / 5_000.0 - 1.0) as f32); // brightness
+        f.push(normalized_difference(b08, b06)); // red-edge slope proxy
+
+        // --- Spatial pyramid -----------------------------------------------
+        for band in PYRAMID_BANDS {
+            let data = patch.band(band);
+            let n = data.size();
+            let h = n / 2;
+            for (r0, r1, c0, c1) in [(0, h, 0, h), (0, h, h, n), (h, n, 0, h), (h, n, h, n)] {
+                f.push((data.window_mean(r0, r1, c0, c1) / 5_000.0 - 1.0) as f32);
+            }
+        }
+
+        // --- Sentinel-1 -----------------------------------------------------
+        let vv = patch.polarization(Polarization::VV);
+        let vh = patch.polarization(Polarization::VH);
+        let vv_mean = vv.mean();
+        let vh_mean = vh.mean();
+        f.push((vv_mean / 2_500.0 - 1.0) as f32);
+        f.push((vh_mean / 2_500.0 - 1.0) as f32);
+        f.push((vv.std_dev() / 1_000.0 - 1.0) as f32);
+        f.push(if vv_mean > 1e-9 { (vh_mean / vv_mean) as f32 - 0.5 } else { 0.0 });
+
+        debug_assert_eq!(f.len(), FEATURE_DIM);
+        f
+    }
+
+    /// Extracts descriptors for a whole archive, in patch-id order.
+    pub fn extract_all(&self, archive: &eq_bigearthnet::Archive) -> Vec<Vec<f32>> {
+        archive.patches().iter().map(|p| self.extract(p)).collect()
+    }
+}
+
+fn normalized_difference(a: f64, b: f64) -> f32 {
+    if a + b < 1e-9 {
+        0.0
+    } else {
+        ((a - b) / (a + b)) as f32
+    }
+}
+
+/// Cosine similarity between two feature vectors; used by tests and the
+/// float-kNN baseline wiring.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "feature dimension mismatch");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_bigearthnet::{ArchiveGenerator, GeneratorConfig, Label};
+
+    fn archive(n: usize, seed: u64) -> eq_bigearthnet::Archive {
+        ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate()
+    }
+
+    #[test]
+    fn feature_dim_constant_matches_actual_output() {
+        let a = archive(2, 1);
+        let ex = FeatureExtractor::new();
+        let f = ex.extract(&a.patches()[0]);
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert_eq!(ex.dim(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn features_are_finite_and_roughly_bounded() {
+        let a = archive(30, 2);
+        let ex = FeatureExtractor::new();
+        for p in a.patches() {
+            for (i, v) in ex.extract(p).iter().enumerate() {
+                assert!(v.is_finite(), "feature {i} not finite");
+                assert!(v.abs() <= 6.0, "feature {i} = {v} badly scaled");
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let a = archive(3, 3);
+        let ex = FeatureExtractor::new();
+        assert_eq!(ex.extract(&a.patches()[1]), ex.extract(&a.patches()[1]));
+    }
+
+    #[test]
+    fn extract_all_preserves_order_and_length() {
+        let a = archive(10, 4);
+        let ex = FeatureExtractor::new();
+        let all = ex.extract_all(&a);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[7], ex.extract(&a.patches()[7]));
+    }
+
+    #[test]
+    fn water_and_forest_patches_are_separable_in_feature_space() {
+        // Average within-group cosine similarity should exceed the
+        // across-group similarity — the property the metric-learning head
+        // relies on.
+        let a = archive(300, 5);
+        let ex = FeatureExtractor::new();
+        let mut water = vec![];
+        let mut forest = vec![];
+        for p in a.patches() {
+            let l = p.meta.labels;
+            let is_water = l.contains(Label::SeaAndOcean) || l.contains(Label::WaterBodies);
+            let is_forest = l.contains(Label::ConiferousForest) || l.contains(Label::MixedForest);
+            if is_water && !is_forest {
+                water.push(ex.extract(p));
+            } else if is_forest && !is_water {
+                forest.push(ex.extract(p));
+            }
+        }
+        assert!(water.len() >= 3 && forest.len() >= 3, "not enough samples");
+        let avg = |xs: &[Vec<f32>], ys: &[Vec<f32>]| {
+            let mut acc = 0.0;
+            let mut n = 0;
+            for x in xs {
+                for y in ys {
+                    acc += cosine_similarity(x, y);
+                    n += 1;
+                }
+            }
+            acc / n as f32
+        };
+        let within = (avg(&water, &water) + avg(&forest, &forest)) / 2.0;
+        let across = avg(&water, &forest);
+        assert!(
+            within > across + 0.02,
+            "within-class similarity {within} not clearly above across-class {across}"
+        );
+    }
+
+    #[test]
+    fn ndvi_separates_vegetation_from_water() {
+        let a = archive(200, 6);
+        let ex = FeatureExtractor::new();
+        let ndvi_index = 12 * 3; // first spectral index
+        let mut veg = vec![];
+        let mut water = vec![];
+        for p in a.patches() {
+            let l = p.meta.labels;
+            let f = ex.extract(p);
+            if l.contains(Label::BroadLeavedForest) || l.contains(Label::ConiferousForest) {
+                veg.push(f[ndvi_index]);
+            } else if l.contains(Label::SeaAndOcean) && l.len() == 1 {
+                water.push(f[ndvi_index]);
+            }
+        }
+        if !veg.is_empty() && !water.is_empty() {
+            let m = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+            assert!(m(&veg) > m(&water), "NDVI for vegetation should exceed water");
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_edge_cases() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_similarity_rejects_mismatched_lengths() {
+        let _ = cosine_similarity(&[1.0], &[1.0, 2.0]);
+    }
+}

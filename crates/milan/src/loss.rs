@@ -1,0 +1,397 @@
+//! The three MiLaN loss functions and their gradients.
+//!
+//! All losses operate on the real-valued outputs of the hashing layer
+//! (Tanh outputs in `(-1, 1)`, one row per image, one column per bit) and
+//! return both the scalar loss and the gradient with respect to those
+//! outputs, which the `eq-neural` MLP then backpropagates.
+
+use eq_neural::Matrix;
+
+/// Relative weights of the three losses plus the triplet margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossWeights {
+    /// Weight of the triplet loss.
+    pub triplet: f32,
+    /// Weight of the bit-balance (and decorrelation) loss.
+    pub bit_balance: f32,
+    /// Weight of the quantization loss.
+    pub quantization: f32,
+    /// Triplet margin in the learned metric space.
+    pub margin: f32,
+}
+
+impl Default for LossWeights {
+    fn default() -> Self {
+        // The relative weighting follows Roy et al. 2021: the triplet term
+        // dominates, the two regularisers are an order of magnitude smaller.
+        Self { triplet: 1.0, bit_balance: 0.1, quantization: 0.05, margin: 2.0 }
+    }
+}
+
+impl LossWeights {
+    /// Weights with only the triplet term active (ablation experiment E6).
+    pub fn triplet_only(margin: f32) -> Self {
+        Self { triplet: 1.0, bit_balance: 0.0, quantization: 0.0, margin }
+    }
+}
+
+/// Per-term breakdown of a loss evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LossBreakdown {
+    /// Triplet loss value.
+    pub triplet: f32,
+    /// Bit-balance loss value.
+    pub bit_balance: f32,
+    /// Quantization loss value.
+    pub quantization: f32,
+    /// Weighted total.
+    pub total: f32,
+    /// Fraction of triplets with a non-zero (active) loss.
+    pub active_triplet_fraction: f32,
+}
+
+/// Triplet loss on a batch of (anchor, positive, negative) output rows:
+/// `L = mean_i max(0, ‖a_i − p_i‖² − ‖a_i − n_i‖² + margin)`.
+///
+/// Returns the loss, the gradients with respect to anchors, positives and
+/// negatives, and the fraction of active (non-zero) triplets.
+///
+/// # Panics
+/// Panics if the three matrices do not share the same shape.
+pub fn triplet_loss(
+    anchors: &Matrix,
+    positives: &Matrix,
+    negatives: &Matrix,
+    margin: f32,
+) -> (f32, Matrix, Matrix, Matrix, f32) {
+    assert_eq!((anchors.rows(), anchors.cols()), (positives.rows(), positives.cols()), "shape mismatch");
+    assert_eq!((anchors.rows(), anchors.cols()), (negatives.rows(), negatives.cols()), "shape mismatch");
+    let n = anchors.rows();
+    let k = anchors.cols();
+    let mut loss = 0.0f32;
+    let mut active = 0usize;
+    let mut grad_a = Matrix::zeros(n, k);
+    let mut grad_p = Matrix::zeros(n, k);
+    let mut grad_n = Matrix::zeros(n, k);
+    for i in 0..n {
+        let a = anchors.row(i);
+        let p = positives.row(i);
+        let neg = negatives.row(i);
+        let d_ap: f32 = a.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum();
+        let d_an: f32 = a.iter().zip(neg).map(|(x, y)| (x - y) * (x - y)).sum();
+        let violation = d_ap - d_an + margin;
+        if violation > 0.0 {
+            loss += violation;
+            active += 1;
+            for j in 0..k {
+                // dL/da = 2(n - p), dL/dp = 2(p - a), dL/dn = 2(a - n)
+                grad_a.set(i, j, 2.0 * (neg[j] - p[j]) / n as f32);
+                grad_p.set(i, j, 2.0 * (p[j] - a[j]) / n as f32);
+                grad_n.set(i, j, 2.0 * (a[j] - neg[j]) / n as f32);
+            }
+        }
+    }
+    (
+        loss / n as f32,
+        grad_a,
+        grad_p,
+        grad_n,
+        if n == 0 { 0.0 } else { active as f32 / n as f32 },
+    )
+}
+
+/// Bit-balance loss: pushes every bit to be active for ~50 % of the images
+/// and decorrelates the bits.
+///
+/// `L = ‖mean_rows(B)‖² / K  +  ‖BᵀB/N − I‖²_F / K²`
+///
+/// The first term is the balance term described in the paper ("each bit has
+/// a 50 % chance to be activated"); the second enforces the independence
+/// requirement ("makes the different bits independent from each other").
+pub fn bit_balance_loss(outputs: &Matrix) -> (f32, Matrix) {
+    let n = outputs.rows();
+    let k = outputs.cols();
+    let nf = n as f32;
+    let kf = k as f32;
+
+    // Balance term.
+    let means: Vec<f32> = outputs.column_sums().iter().map(|s| s / nf).collect();
+    let balance: f32 = means.iter().map(|m| m * m).sum::<f32>() / kf;
+
+    // Decorrelation term: C = BᵀB/N − I.
+    let bt = outputs.transpose();
+    let c = bt.matmul(outputs).scale(1.0 / nf);
+    let mut corr = 0.0f32;
+    let mut c_minus_i = c.clone();
+    for j in 0..k {
+        c_minus_i.set(j, j, c.get(j, j) - 1.0);
+    }
+    for v in c_minus_i.data() {
+        corr += v * v;
+    }
+    corr /= kf * kf;
+
+    // Gradients.
+    // d(balance)/dB_ij = 2 * mean_j / (N * K)
+    let mut grad = Matrix::zeros(n, k);
+    for i in 0..n {
+        for j in 0..k {
+            grad.set(i, j, 2.0 * means[j] / (nf * kf));
+        }
+    }
+    // d(corr)/dB = 4/(N*K²) * B (BᵀB/N − I)
+    let corr_grad = outputs.matmul(&c_minus_i).scale(4.0 / (nf * kf * kf));
+    let grad = grad.add(&corr_grad);
+
+    (balance + corr, grad)
+}
+
+/// Quantization loss: keeps outputs close to ±1 so that taking the sign
+/// afterwards loses little information.
+///
+/// `L = mean_i ‖b_i − sign(b_i)‖² / K`
+pub fn quantization_loss(outputs: &Matrix) -> (f32, Matrix) {
+    let n = outputs.rows() as f32;
+    let k = outputs.cols() as f32;
+    let sign = outputs.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+    let diff = outputs.add(&sign.scale(-1.0));
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / (n * k);
+    let grad = diff.scale(2.0 / (n * k));
+    (loss, grad)
+}
+
+/// The combined MiLaN loss.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MilanLoss {
+    weights: LossWeights,
+}
+
+impl MilanLoss {
+    /// Creates the loss with the given weights.
+    pub fn new(weights: LossWeights) -> Self {
+        Self { weights }
+    }
+
+    /// The weights in use.
+    pub fn weights(&self) -> LossWeights {
+        self.weights
+    }
+
+    /// Evaluates the combined loss on a triplet batch and returns the
+    /// per-part gradients (anchor, positive, negative) plus a breakdown.
+    pub fn compute(
+        &self,
+        anchors: &Matrix,
+        positives: &Matrix,
+        negatives: &Matrix,
+    ) -> (LossBreakdown, Matrix, Matrix, Matrix) {
+        let w = self.weights;
+        let (l_tri, mut ga, mut gp, mut gn, active) =
+            triplet_loss(anchors, positives, negatives, w.margin);
+        ga = ga.scale(w.triplet);
+        gp = gp.scale(w.triplet);
+        gn = gn.scale(w.triplet);
+
+        let mut l_bb = 0.0;
+        let mut l_q = 0.0;
+        // The regularisers act on every output row; evaluate them per part
+        // so the gradients stay aligned with the three forward passes.
+        for (part, grad) in [(anchors, &mut ga), (positives, &mut gp), (negatives, &mut gn)] {
+            if w.bit_balance > 0.0 {
+                let (l, g) = bit_balance_loss(part);
+                l_bb += l / 3.0;
+                *grad = grad.add(&g.scale(w.bit_balance));
+            }
+            if w.quantization > 0.0 {
+                let (l, g) = quantization_loss(part);
+                l_q += l / 3.0;
+                *grad = grad.add(&g.scale(w.quantization));
+            }
+        }
+
+        let total = w.triplet * l_tri + w.bit_balance * l_bb + w.quantization * l_q;
+        (
+            LossBreakdown {
+                triplet: l_tri,
+                bit_balance: l_bb,
+                quantization: l_q,
+                total,
+                active_triplet_fraction: active,
+            },
+            ga,
+            gp,
+            gn,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn triplet_loss_is_zero_when_margin_satisfied() {
+        let a = m(1, 2, vec![0.0, 0.0]);
+        let p = m(1, 2, vec![0.1, 0.0]);
+        let n = m(1, 2, vec![5.0, 5.0]);
+        let (loss, ga, gp, gn, active) = triplet_loss(&a, &p, &n, 1.0);
+        assert_eq!(loss, 0.0);
+        assert_eq!(active, 0.0);
+        assert!(ga.data().iter().all(|v| *v == 0.0));
+        assert!(gp.data().iter().all(|v| *v == 0.0));
+        assert!(gn.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn triplet_loss_value_matches_hand_computation() {
+        // d_ap = 1, d_an = 0.25, margin = 0.5 → loss = 1.25
+        let a = m(1, 1, vec![0.0]);
+        let p = m(1, 1, vec![1.0]);
+        let n = m(1, 1, vec![0.5]);
+        let (loss, ga, gp, gn, active) = triplet_loss(&a, &p, &n, 0.5);
+        assert!((loss - 1.25).abs() < 1e-6);
+        assert_eq!(active, 1.0);
+        // grads: dL/da = 2(n-p) = -1, dL/dp = 2(p-a) = 2, dL/dn = 2(a-n) = -1
+        assert!((ga.get(0, 0) + 1.0).abs() < 1e-6);
+        assert!((gp.get(0, 0) - 2.0).abs() < 1e-6);
+        assert!((gn.get(0, 0) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triplet_gradient_matches_finite_differences() {
+        let a = m(2, 3, vec![0.2, -0.4, 0.1, 0.9, 0.3, -0.7]);
+        let p = m(2, 3, vec![0.1, -0.5, 0.3, 0.8, 0.1, -0.6]);
+        let n = m(2, 3, vec![-0.3, 0.6, -0.2, 0.2, -0.9, 0.4]);
+        let margin = 1.0;
+        let (_, ga, _, _, _) = triplet_loss(&a, &p, &n, margin);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut ap = a.clone();
+                ap.set(i, j, a.get(i, j) + eps);
+                let mut am = a.clone();
+                am.set(i, j, a.get(i, j) - eps);
+                let (lp, ..) = triplet_loss(&ap, &p, &n, margin);
+                let (lm, ..) = triplet_loss(&am, &p, &n, margin);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - ga.get(i, j)).abs() < 1e-2,
+                    "grad_a[{i},{j}]: numeric {numeric} analytic {}",
+                    ga.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn triplet_loss_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let p = Matrix::zeros(2, 3);
+        let n = Matrix::zeros(3, 3);
+        let _ = triplet_loss(&a, &p, &n, 1.0);
+    }
+
+    #[test]
+    fn bit_balance_loss_is_zero_for_perfectly_balanced_uncorrelated_bits() {
+        // Two bits, four samples forming a perfectly balanced ±1 Hadamard-like pattern.
+        let b = m(4, 2, vec![1.0, 1.0, 1.0, -1.0, -1.0, 1.0, -1.0, -1.0]);
+        let (loss, grad) = bit_balance_loss(&b);
+        assert!(loss.abs() < 1e-6, "loss {loss}");
+        assert!(grad.frobenius_norm() < 1e-5);
+    }
+
+    #[test]
+    fn bit_balance_loss_penalises_constant_bits() {
+        let b = m(4, 2, vec![1.0; 8]); // every bit always +1 and fully correlated
+        let (loss, _) = bit_balance_loss(&b);
+        assert!(loss > 0.5, "constant bits should be penalised, got {loss}");
+    }
+
+    #[test]
+    fn bit_balance_gradient_matches_finite_differences() {
+        let b = m(3, 2, vec![0.8, -0.3, 0.2, 0.9, -0.6, -0.1]);
+        let (_, grad) = bit_balance_loss(&b);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut bp = b.clone();
+                bp.set(i, j, b.get(i, j) + eps);
+                let mut bm = b.clone();
+                bm.set(i, j, b.get(i, j) - eps);
+                let numeric = (bit_balance_loss(&bp).0 - bit_balance_loss(&bm).0) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.get(i, j)).abs() < 1e-2,
+                    "grad[{i},{j}]: numeric {numeric} analytic {}",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_loss_is_zero_for_binary_outputs() {
+        let b = m(2, 3, vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        let (loss, grad) = quantization_loss(&b);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn quantization_loss_penalises_outputs_near_zero() {
+        let near_zero = m(1, 2, vec![0.05, -0.02]);
+        let near_one = m(1, 2, vec![0.95, -0.97]);
+        assert!(quantization_loss(&near_zero).0 > quantization_loss(&near_one).0);
+    }
+
+    #[test]
+    fn quantization_gradient_matches_finite_differences() {
+        let b = m(2, 2, vec![0.3, -0.8, 0.6, -0.2]);
+        let (_, grad) = quantization_loss(&b);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut bp = b.clone();
+                bp.set(i, j, b.get(i, j) + eps);
+                let mut bm = b.clone();
+                bm.set(i, j, b.get(i, j) - eps);
+                let numeric = (quantization_loss(&bp).0 - quantization_loss(&bm).0) / (2.0 * eps);
+                assert!((numeric - grad.get(i, j)).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn combined_loss_reports_breakdown_and_respects_weights() {
+        let a = m(2, 4, vec![0.5, -0.2, 0.8, 0.1, -0.3, 0.4, -0.9, 0.2]);
+        let p = m(2, 4, vec![0.4, -0.1, 0.7, 0.2, -0.2, 0.5, -0.8, 0.1]);
+        let n = m(2, 4, vec![-0.5, 0.2, -0.8, -0.1, 0.3, -0.4, 0.9, -0.2]);
+
+        let full = MilanLoss::new(LossWeights::default());
+        let (bd, ga, _, _) = full.compute(&a, &p, &n);
+        assert!(bd.total > 0.0);
+        assert!(bd.triplet >= 0.0 && bd.bit_balance >= 0.0 && bd.quantization >= 0.0);
+        let expected = 1.0 * bd.triplet + 0.1 * bd.bit_balance + 0.05 * bd.quantization;
+        assert!((bd.total - expected).abs() < 1e-5);
+        assert_eq!((ga.rows(), ga.cols()), (2, 4));
+
+        // Triplet-only ablation must report zero regulariser losses.
+        let ablate = MilanLoss::new(LossWeights::triplet_only(2.0));
+        let (bd2, ..) = ablate.compute(&a, &p, &n);
+        assert_eq!(bd2.bit_balance, 0.0);
+        assert_eq!(bd2.quantization, 0.0);
+        assert!((bd2.total - bd2.triplet).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_weights_match_paper_emphasis() {
+        let w = LossWeights::default();
+        assert!(w.triplet > w.bit_balance);
+        assert!(w.bit_balance > w.quantization);
+        assert!(w.margin > 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Retrieval-quality and code-quality metrics.
+//!
+//! Retrieval metrics follow the protocol used for BigEarthNet CBIR
+//! evaluation (Roy et al. 2021): a retrieved image is *relevant* to a query
+//! when the two share at least one CLC Level-3 label; quality is summarised
+//! by precision@k, recall@k and mean average precision (mAP@k).
+//!
+//! Code metrics quantify what the bit-balance and quantization losses are
+//! supposed to achieve (experiment E6): per-bit activation balance, bit
+//! correlation, and the quantization error of the continuous outputs.
+
+use eq_hashindex::BinaryCode;
+use eq_neural::Matrix;
+
+/// Precision@k: the fraction of the first `k` retrieved items that are
+/// relevant.  If fewer than `k` items were retrieved, the denominator is
+/// still `k` (missing items count as misses), matching the usual CBIR
+/// convention.
+pub fn precision_at_k(retrieved: &[bool], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = retrieved.iter().take(k).filter(|&&r| r).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@k: the fraction of all relevant items that appear in the first
+/// `k` retrieved items.
+pub fn recall_at_k(retrieved: &[bool], total_relevant: usize, k: usize) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let hits = retrieved.iter().take(k).filter(|&&r| r).count();
+    hits as f64 / total_relevant as f64
+}
+
+/// Average precision over the first `k` positions of a ranked result list.
+///
+/// `retrieved[i]` states whether the item at rank `i` is relevant.  The
+/// normaliser is `min(k, total_relevant)`, so a query that retrieves every
+/// relevant item at the top gets AP = 1.
+pub fn average_precision(retrieved: &[bool], total_relevant: usize, k: usize) -> f64 {
+    if total_relevant == 0 || k == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &rel) in retrieved.iter().take(k).enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant.min(k) as f64
+}
+
+/// Mean average precision over a set of queries, each given as
+/// `(ranked relevance flags, total number of relevant items)`.
+pub fn mean_average_precision(queries: &[(Vec<bool>, usize)], k: usize) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries.iter().map(|(rel, total)| average_precision(rel, *total, k)).sum::<f64>()
+        / queries.len() as f64
+}
+
+/// Statistics describing a set of binary codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeStatistics {
+    /// Number of codes analysed.
+    pub count: usize,
+    /// Code width in bits.
+    pub bits: u32,
+    /// Per-bit activation rate (fraction of codes with the bit set).
+    pub activation_rates: Vec<f64>,
+    /// Mean absolute deviation of the activation rates from 0.5 (0 = every
+    /// bit perfectly balanced, 0.5 = every bit constant).
+    pub balance_deviation: f64,
+    /// Mean absolute off-diagonal correlation between bits (0 = independent).
+    pub mean_bit_correlation: f64,
+    /// Number of distinct codes.
+    pub distinct_codes: usize,
+}
+
+impl CodeStatistics {
+    /// Computes statistics over a set of codes.
+    ///
+    /// # Panics
+    /// Panics if `codes` is empty or the codes have inconsistent widths.
+    pub fn from_codes(codes: &[BinaryCode]) -> Self {
+        assert!(!codes.is_empty(), "need at least one code");
+        let bits = codes[0].bits();
+        assert!(codes.iter().all(|c| c.bits() == bits), "codes have inconsistent widths");
+        let n = codes.len();
+        let k = bits as usize;
+
+        let mut activation_counts = vec![0usize; k];
+        for c in codes {
+            for b in 0..bits {
+                if c.bit(b) {
+                    activation_counts[b as usize] += 1;
+                }
+            }
+        }
+        let activation_rates: Vec<f64> =
+            activation_counts.iter().map(|&c| c as f64 / n as f64).collect();
+        let balance_deviation =
+            activation_rates.iter().map(|r| (r - 0.5).abs()).sum::<f64>() / k as f64;
+
+        // Pearson correlation between bit pairs (on ±1 values).  For wide
+        // codes this is O(n·k²); the experiment sizes keep it tractable.
+        let means: Vec<f64> = activation_rates.iter().map(|r| 2.0 * r - 1.0).collect();
+        let mut stds = vec![0.0f64; k];
+        for (j, std) in stds.iter_mut().enumerate() {
+            let mean = means[j];
+            let var: f64 = codes
+                .iter()
+                .map(|c| {
+                    let v = if c.bit(j as u32) { 1.0 } else { -1.0 };
+                    (v - mean) * (v - mean)
+                })
+                .sum::<f64>()
+                / n as f64;
+            *std = var.sqrt();
+        }
+        let mut corr_sum = 0.0;
+        let mut corr_cnt = 0usize;
+        for a in 0..k {
+            for b in (a + 1)..k {
+                if stds[a] < 1e-12 || stds[b] < 1e-12 {
+                    // A constant bit is maximally "dependent"; count it as 1.
+                    corr_sum += 1.0;
+                    corr_cnt += 1;
+                    continue;
+                }
+                let mut cov = 0.0;
+                for c in codes {
+                    let va = if c.bit(a as u32) { 1.0 } else { -1.0 };
+                    let vb = if c.bit(b as u32) { 1.0 } else { -1.0 };
+                    cov += (va - means[a]) * (vb - means[b]);
+                }
+                cov /= n as f64;
+                corr_sum += (cov / (stds[a] * stds[b])).abs();
+                corr_cnt += 1;
+            }
+        }
+        let mean_bit_correlation = if corr_cnt == 0 { 0.0 } else { corr_sum / corr_cnt as f64 };
+
+        let mut distinct: Vec<&BinaryCode> = codes.iter().collect();
+        distinct.sort_by_key(|c| c.to_bit_string());
+        distinct.dedup_by_key(|c| c.to_bit_string());
+
+        Self {
+            count: n,
+            bits,
+            activation_rates,
+            balance_deviation,
+            mean_bit_correlation,
+            distinct_codes: distinct.len(),
+        }
+    }
+}
+
+/// Mean squared distance of continuous hash-layer outputs from their
+/// binarised values — what the quantization loss minimises.
+pub fn quantization_error(outputs: &Matrix) -> f64 {
+    let mut acc = 0.0f64;
+    for &v in outputs.data() {
+        let s = if v >= 0.0 { 1.0 } else { -1.0 };
+        acc += ((v - s) as f64).powi(2);
+    }
+    acc / outputs.data().len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_and_recall_basics() {
+        let retrieved = vec![true, false, true, true, false];
+        assert_eq!(precision_at_k(&retrieved, 1), 1.0);
+        assert_eq!(precision_at_k(&retrieved, 2), 0.5);
+        assert_eq!(precision_at_k(&retrieved, 5), 3.0 / 5.0);
+        assert_eq!(precision_at_k(&retrieved, 0), 0.0);
+        // Fewer retrieved than k: misses count against precision.
+        assert_eq!(precision_at_k(&retrieved, 10), 3.0 / 10.0);
+
+        assert_eq!(recall_at_k(&retrieved, 4, 5), 0.75);
+        assert_eq!(recall_at_k(&retrieved, 4, 1), 0.25);
+        assert_eq!(recall_at_k(&retrieved, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst_case() {
+        // All relevant at the top.
+        assert!((average_precision(&[true, true, false, false], 2, 4) - 1.0).abs() < 1e-12);
+        // Nothing relevant retrieved.
+        assert_eq!(average_precision(&[false, false], 3, 2), 0.0);
+        // No relevant items exist.
+        assert_eq!(average_precision(&[true], 0, 1), 0.0);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Relevant at ranks 1 and 3 (1-based), 2 relevant total, k = 3:
+        // AP = (1/1 + 2/3) / 2 = 0.8333…
+        let ap = average_precision(&[true, false, true], 2, 3);
+        assert!((ap - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_averages_over_queries() {
+        let queries = vec![
+            (vec![true, true], 2),  // AP = 1
+            (vec![false, false], 2), // AP = 0
+        ];
+        assert!((mean_average_precision(&queries, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_average_precision(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn code_statistics_on_balanced_codes() {
+        // Four 2-bit codes covering all combinations: perfectly balanced,
+        // uncorrelated, all distinct.
+        let codes = vec![
+            BinaryCode::from_bit_string("00").unwrap(),
+            BinaryCode::from_bit_string("01").unwrap(),
+            BinaryCode::from_bit_string("10").unwrap(),
+            BinaryCode::from_bit_string("11").unwrap(),
+        ];
+        let s = CodeStatistics::from_codes(&codes);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.bits, 2);
+        assert_eq!(s.activation_rates, vec![0.5, 0.5]);
+        assert!(s.balance_deviation < 1e-12);
+        assert!(s.mean_bit_correlation < 1e-12);
+        assert_eq!(s.distinct_codes, 4);
+    }
+
+    #[test]
+    fn code_statistics_on_degenerate_codes() {
+        // Every code identical: constant bits, zero distinct diversity.
+        let codes = vec![BinaryCode::from_bit_string("1010").unwrap(); 8];
+        let s = CodeStatistics::from_codes(&codes);
+        assert_eq!(s.distinct_codes, 1);
+        assert!((s.balance_deviation - 0.5).abs() < 1e-12);
+        assert!((s.mean_bit_correlation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn code_statistics_correlated_bits_detected() {
+        // Bit 1 always equals bit 0 → correlation 1 for that pair.
+        let codes = vec![
+            BinaryCode::from_bit_string("00").unwrap(),
+            BinaryCode::from_bit_string("11").unwrap(),
+            BinaryCode::from_bit_string("00").unwrap(),
+            BinaryCode::from_bit_string("11").unwrap(),
+        ];
+        let s = CodeStatistics::from_codes(&codes);
+        assert!((s.mean_bit_correlation - 1.0).abs() < 1e-9);
+        assert!(s.balance_deviation < 1e-9); // still balanced
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one code")]
+    fn code_statistics_rejects_empty_input() {
+        let _ = CodeStatistics::from_codes(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent widths")]
+    fn code_statistics_rejects_mixed_widths() {
+        let codes = vec![BinaryCode::zeros(8), BinaryCode::zeros(16)];
+        let _ = CodeStatistics::from_codes(&codes);
+    }
+
+    #[test]
+    fn quantization_error_bounds() {
+        let perfect = Matrix::from_vec(1, 4, vec![1.0, -1.0, 1.0, -1.0]);
+        assert_eq!(quantization_error(&perfect), 0.0);
+        let worst = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        assert!((quantization_error(&worst) - 1.0).abs() < 1e-12);
+        let mid = Matrix::from_vec(1, 1, vec![0.5]);
+        assert!((quantization_error(&mid) - 0.25).abs() < 1e-12);
+    }
+}

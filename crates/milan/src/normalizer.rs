@@ -1,0 +1,119 @@
+//! Per-dimension feature standardisation.
+//!
+//! The hand-crafted descriptor (see [`crate::features`]) has a large common
+//! offset shared by all patches (absolute reflectance levels), which would
+//! dominate the hashing layer's pre-activations and collapse codes.  MiLaN's
+//! CNN backbone handles this with batch normalisation; here the equivalent
+//! is an explicit z-score normaliser fitted on the training features and
+//! stored inside the model so that query-time features (including external
+//! "query-by-new-example" images, §3.3) are transformed consistently.
+
+/// A fitted per-dimension z-score normaliser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits a normaliser on a set of feature vectors.
+    ///
+    /// # Panics
+    /// Panics if `features` is empty or the rows have inconsistent lengths.
+    pub fn fit(features: &[Vec<f32>]) -> Self {
+        assert!(!features.is_empty(), "cannot fit a normalizer on zero samples");
+        let dim = features[0].len();
+        assert!(dim > 0, "feature vectors cannot be empty");
+        assert!(features.iter().all(|f| f.len() == dim), "inconsistent feature dimensions");
+        let n = features.len() as f32;
+        let mut mean = vec![0.0f32; dim];
+        for f in features {
+            for (m, v) in mean.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut std = vec![0.0f32; dim];
+        for f in features {
+            for ((s, v), m) in std.iter_mut().zip(f).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / n).sqrt().max(1e-6); // guard against constant dimensions
+        }
+        Self { mean, std }
+    }
+
+    /// Feature dimensionality the normaliser was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardises one feature vector.
+    ///
+    /// # Panics
+    /// Panics if the vector's length does not match the fitted dimension.
+    pub fn apply(&self, features: &[f32]) -> Vec<f32> {
+        assert_eq!(features.len(), self.dim(), "feature dimension mismatch");
+        features
+            .iter()
+            .zip(self.mean.iter().zip(self.std.iter()))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardises a batch of feature vectors.
+    pub fn apply_all(&self, features: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        features.iter().map(|f| self.apply(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_apply_standardises() {
+        let data = vec![vec![1.0f32, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let norm = Normalizer::fit(&data);
+        assert_eq!(norm.dim(), 2);
+        let out = norm.apply_all(&data);
+        // Column 0: mean 3, values standardised to have zero mean, unit-ish variance.
+        let mean0: f32 = out.iter().map(|r| r[0]).sum::<f32>() / 3.0;
+        assert!(mean0.abs() < 1e-6);
+        // Column 1 is constant: guarded std keeps outputs finite (zeros).
+        assert!(out.iter().all(|r| r[1].abs() < 1e-3));
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_invertible_in_shape() {
+        let data = vec![vec![0.5f32, -1.0, 2.0], vec![1.5, 0.0, -2.0]];
+        let norm = Normalizer::fit(&data);
+        let a = norm.apply(&data[0]);
+        let b = norm.apply(&data[0]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn fit_rejects_empty_input() {
+        let _ = Normalizer::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn apply_rejects_wrong_dimension() {
+        let norm = Normalizer::fit(&[vec![1.0f32, 2.0]]);
+        let _ = norm.apply(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimensions")]
+    fn fit_rejects_ragged_rows() {
+        let _ = Normalizer::fit(&[vec![1.0f32], vec![1.0, 2.0]]);
+    }
+}

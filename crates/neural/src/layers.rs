@@ -1,0 +1,292 @@
+//! Fully connected layers with manual backpropagation.
+
+use crate::matrix::Matrix;
+
+/// Activation functions supported by [`Dense`] layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// The identity function (linear layer).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent; MiLaN's hashing layer uses Tanh so that outputs
+    /// live in `(-1, 1)` and binarisation by sign is meaningful.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn apply(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Tanh => x.map(|v| v.tanh()),
+            Activation::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
+        }
+    }
+
+    /// The derivative of the activation expressed in terms of the
+    /// *activated* output `y = f(x)` (all four functions allow this).
+    pub fn derivative_from_output(self, y: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => y.map(|_| 1.0),
+            Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Tanh => y.map(|v| 1.0 - v * v),
+            Activation::Sigmoid => y.map(|v| v * (1.0 - v)),
+        }
+    }
+}
+
+/// A fully connected layer `y = f(x·W + b)` with cached forward state for
+/// backpropagation.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+    grad_weights: Matrix,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Matrix>,
+    cached_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, seed: u64) -> Self {
+        Self {
+            weights: Matrix::xavier(input_dim, output_dim, seed),
+            bias: vec![0.0; output_dim],
+            activation,
+            grad_weights: Matrix::zeros(input_dim, output_dim),
+            grad_bias: vec![0.0; output_dim],
+            cached_input: None,
+            cached_output: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutable access to the weight matrix (used by optimisers and tests).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Accumulated weight gradients from the last backward pass.
+    pub fn grad_weights(&self) -> &Matrix {
+        &self.grad_weights
+    }
+
+    /// Accumulated bias gradients from the last backward pass.
+    pub fn grad_bias(&self) -> &[f32] {
+        &self.grad_bias
+    }
+
+    /// Forward pass for a batch (`batch × input_dim`), caching state needed
+    /// by [`backward`](Self::backward).
+    ///
+    /// # Panics
+    /// Panics if the input width does not match the layer.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim(), "input width does not match the layer");
+        let pre = input.matmul(&self.weights).add_row_broadcast(&self.bias);
+        let out = self.activation.apply(&pre);
+        self.cached_input = Some(input.clone());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim(), "input width does not match the layer");
+        let pre = input.matmul(&self.weights).add_row_broadcast(&self.bias);
+        self.activation.apply(&pre)
+    }
+
+    /// Backward pass: consumes `grad_output` (`batch × output_dim`),
+    /// accumulates weight/bias gradients (averaged over the batch) and
+    /// returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    /// Panics if `forward` was not called first or shapes mismatch.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.cached_input.as_ref().expect("backward called before forward");
+        let output = self.cached_output.as_ref().expect("backward called before forward");
+        assert_eq!(grad_output.rows(), input.rows(), "batch size mismatch in backward");
+        assert_eq!(grad_output.cols(), self.output_dim(), "gradient width mismatch in backward");
+
+        // dL/d(pre-activation) = dL/dy ⊙ f'(y)
+        let grad_pre = grad_output.hadamard(&self.activation.derivative_from_output(output));
+        let batch = input.rows() as f32;
+        self.grad_weights = input.transpose().matmul(&grad_pre).scale(1.0 / batch);
+        self.grad_bias = grad_pre.column_sums().iter().map(|g| g / batch).collect();
+        grad_pre.matmul(&self.weights.transpose())
+    }
+
+    /// Clears cached activations (e.g. between epochs) to release memory.
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+        self.cached_output = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations_apply_known_values() {
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.0, 2.0]);
+        assert_eq!(Activation::Identity.apply(&x).data(), x.data());
+        assert_eq!(Activation::Relu.apply(&x).data(), &[0.0, 0.0, 0.0, 2.0]);
+        let tanh = Activation::Tanh.apply(&x);
+        assert!(tanh.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!((tanh.get(0, 3) - 2.0f32.tanh()).abs() < 1e-6);
+        let sig = Activation::Sigmoid.apply(&x);
+        assert!((sig.get(0, 2) - 0.5).abs() < 1e-6);
+        assert!(sig.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            for &x0 in &[-1.7f32, -0.3, 0.4, 1.9] {
+                let x = Matrix::from_vec(1, 1, vec![x0]);
+                let y = act.apply(&x);
+                let analytic = act.derivative_from_output(&y).get(0, 0);
+                let xp = Matrix::from_vec(1, 1, vec![x0 + eps]);
+                let xm = Matrix::from_vec(1, 1, vec![x0 - eps]);
+                let numeric = (act.apply(&xp).get(0, 0) - act.apply(&xm).get(0, 0)) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-2,
+                    "{act:?} at {x0}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_shape_and_determinism() {
+        let mut layer = Dense::new(4, 3, Activation::Relu, 7);
+        let x = Matrix::from_vec(2, 4, vec![1.0; 8]);
+        let y1 = layer.forward(&x);
+        let y2 = layer.forward_inference(&x);
+        assert_eq!((y1.rows(), y1.cols()), (2, 3));
+        assert_eq!(y1, y2);
+        assert_eq!(layer.input_dim(), 4);
+        assert_eq!(layer.output_dim(), 3);
+        assert_eq!(layer.activation(), Activation::Relu);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the layer")]
+    fn dense_forward_rejects_wrong_width() {
+        let mut layer = Dense::new(4, 3, Activation::Relu, 7);
+        let x = Matrix::zeros(2, 5);
+        let _ = layer.forward(&x);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_requires_forward() {
+        let mut layer = Dense::new(2, 2, Activation::Identity, 1);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn dense_gradient_check_against_numerical_differentiation() {
+        // Scalar loss L = sum(forward(x)); check dL/dW numerically.
+        let mut layer = Dense::new(3, 2, Activation::Tanh, 11);
+        let x = Matrix::from_vec(2, 3, vec![0.3, -0.7, 0.5, 1.1, 0.2, -0.4]);
+
+        let y = layer.forward(&x);
+        let grad_output = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        let _ = layer.backward(&grad_output);
+        let analytic = layer.grad_weights().clone();
+        let analytic_bias = layer.grad_bias().to_vec();
+
+        let eps = 1e-3f32;
+        let batch = x.rows() as f32;
+        for r in 0..3 {
+            for c in 0..2 {
+                let orig = layer.weights().get(r, c);
+                layer.weights_mut().set(r, c, orig + eps);
+                let lp: f32 = layer.forward_inference(&x).data().iter().sum();
+                layer.weights_mut().set(r, c, orig - eps);
+                let lm: f32 = layer.forward_inference(&x).data().iter().sum();
+                layer.weights_mut().set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps) / batch;
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < 1e-2,
+                    "dW[{r},{c}]: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+        for c in 0..2 {
+            let orig = layer.bias()[c];
+            layer.bias_mut()[c] = orig + eps;
+            let lp: f32 = layer.forward_inference(&x).data().iter().sum();
+            layer.bias_mut()[c] = orig - eps;
+            let lm: f32 = layer.forward_inference(&x).data().iter().sum();
+            layer.bias_mut()[c] = orig;
+            let numeric = (lp - lm) / (2.0 * eps) / batch;
+            assert!(
+                (analytic_bias[c] - numeric).abs() < 1e-2,
+                "db[{c}]: analytic {} vs numeric {numeric}",
+                analytic_bias[c]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_of_right_shape() {
+        let mut layer = Dense::new(5, 3, Activation::Relu, 3);
+        let x = Matrix::xavier(4, 5, 1);
+        let y = layer.forward(&x);
+        let g = layer.backward(&Matrix::zeros(y.rows(), y.cols()).map(|_| 0.5));
+        assert_eq!((g.rows(), g.cols()), (4, 5));
+    }
+
+    #[test]
+    fn clear_cache_releases_state() {
+        let mut layer = Dense::new(2, 2, Activation::Identity, 1);
+        let _ = layer.forward(&Matrix::zeros(1, 2));
+        layer.clear_cache();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut l = layer.clone();
+            l.backward(&Matrix::zeros(1, 2))
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! A small row-major `f32` matrix.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive ({rows}×{cols})");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive ({rows}×{cols})");
+        assert_eq!(data.len(), rows * cols, "data length does not match {rows}×{cols}");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix with Xavier/Glorot-uniform initialisation, suitable
+    /// for layers followed by Tanh, seeded for reproducibility.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0f64 / (rows + cols) as f64).sqrt() as f32;
+        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The element at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds via slice indexing) if out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f32) {
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// A view of one row.
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// A mutable view of one row.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Builds a matrix by stacking rows.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row lengths");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}×{} by {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(other_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum with another matrix of the same shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in add");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Adds a row vector to every row (broadcast), e.g. a bias.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_broadcast(&self, bias: &[f32]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "bias length does not match columns");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for (o, b) in out.row_mut(r).iter_mut().zip(bias.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise product (Hadamard).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in hadamard");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Sum over rows, producing one value per column.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_checked() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn get_set_row_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = 7.0;
+        assert_eq!(m.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn from_rows_builds_and_validates() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row lengths")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn identity_matmul_is_identity() {
+        let mut eye = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            eye.set(i, i, 1.0);
+        }
+        let a = Matrix::from_vec(3, 3, (1..=9).map(|x| x as f32).collect());
+        assert_eq!(a.matmul(&eye), a);
+        assert_eq!(eye.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_operations() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0, 33.0]);
+        assert_eq!(a.hadamard(&b).data(), &[10.0, 40.0, 90.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.map(|x| x * x).data(), &[1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn broadcast_and_reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.add_row_broadcast(&[10.0, 20.0]).data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+        assert_eq!(a.mean(), 2.5);
+        assert!((a.frobenius_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let a = Matrix::xavier(8, 16, 3);
+        let b = Matrix::xavier(8, 16, 3);
+        let c = Matrix::xavier(8, 16, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let limit = (6.0f32 / 24.0).sqrt() + 1e-6;
+        assert!(a.data().iter().all(|v| v.abs() <= limit));
+        // Not all identical.
+        assert!(a.data().iter().any(|v| *v != a.data()[0]));
+    }
+}

@@ -1,0 +1,291 @@
+//! A sequential multi-layer perceptron.
+
+use crate::layers::{Activation, Dense};
+use crate::matrix::Matrix;
+use crate::optimizer::{clip_gradients, Optimizer};
+
+/// Configuration of an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer widths (each followed by [`MlpConfig::hidden_activation`]).
+    pub hidden_dims: Vec<usize>,
+    /// Output dimensionality.
+    pub output_dim: usize,
+    /// Activation of the hidden layers.
+    pub hidden_activation: Activation,
+    /// Activation of the output layer.
+    pub output_activation: Activation,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+    /// Global-norm gradient clipping threshold (0 disables clipping).
+    pub grad_clip: f32,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 64,
+            hidden_dims: vec![256],
+            output_dim: 128,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Tanh,
+            seed: 42,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// A sequential stack of [`Dense`] layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    grad_clip: f32,
+    optimizer_slots: Vec<(usize, usize)>, // (weight slot, bias slot) per layer
+}
+
+impl Mlp {
+    /// Builds an MLP from a configuration.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(config: &MlpConfig) -> Self {
+        assert!(config.input_dim > 0 && config.output_dim > 0, "dimensions must be positive");
+        let mut dims = vec![config.input_dim];
+        dims.extend_from_slice(&config.hidden_dims);
+        dims.push(config.output_dim);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { config.output_activation } else { config.hidden_activation };
+            layers.push(Dense::new(dims[i], dims[i + 1], act, config.seed.wrapping_add(i as u64 * 7919)));
+        }
+        Self { layers, grad_clip: config.grad_clip, optimizer_slots: Vec::new() }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by tests and serialization).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.input_dim()).unwrap_or(0)
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(|l| l.output_dim()).unwrap_or(0)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.input_dim() * l.output_dim() + l.output_dim())
+            .sum()
+    }
+
+    /// Training forward pass (caches activations for backpropagation).
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference forward pass (no caching, `&self`).
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward_inference(&x);
+        }
+        x
+    }
+
+    /// Backpropagates a loss gradient with respect to the network output and
+    /// accumulates per-layer parameter gradients.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Registers all parameter tensors with an optimiser (must be called
+    /// once before [`apply_gradients`](Self::apply_gradients)).
+    pub fn register_with(&mut self, optimizer: &mut dyn Optimizer) {
+        self.optimizer_slots = self
+            .layers
+            .iter()
+            .map(|l| {
+                let w = optimizer.register(l.input_dim() * l.output_dim());
+                let b = optimizer.register(l.output_dim());
+                (w, b)
+            })
+            .collect();
+    }
+
+    /// Applies the currently accumulated gradients through the optimiser,
+    /// clipping them to the configured global norm first.
+    ///
+    /// # Panics
+    /// Panics if [`register_with`](Self::register_with) was not called.
+    pub fn apply_gradients(&mut self, optimizer: &mut dyn Optimizer) {
+        assert_eq!(
+            self.optimizer_slots.len(),
+            self.layers.len(),
+            "call register_with before apply_gradients"
+        );
+        // Clip across all tensors jointly.
+        if self.grad_clip > 0.0 {
+            let mut grads: Vec<Vec<f32>> = Vec::new();
+            for l in &self.layers {
+                grads.push(l.grad_weights().data().to_vec());
+                grads.push(l.grad_bias().to_vec());
+            }
+            let mut views: Vec<&mut [f32]> = grads.iter_mut().map(|g| g.as_mut_slice()).collect();
+            let _ = clip_gradients(&mut views, self.grad_clip);
+            // Write the (possibly scaled) gradients back into the layers by
+            // stepping directly with the clipped copies.
+            for (i, layer) in self.layers.iter_mut().enumerate() {
+                let (wslot, bslot) = self.optimizer_slots[i];
+                let gw = &grads[i * 2];
+                let gb = &grads[i * 2 + 1];
+                optimizer.step(wslot, layer.weights_mut().data_mut(), gw);
+                optimizer.step(bslot, layer.bias_mut(), gb);
+            }
+        } else {
+            for (i, layer) in self.layers.iter_mut().enumerate() {
+                let (wslot, bslot) = self.optimizer_slots[i];
+                let gw = layer.grad_weights().data().to_vec();
+                let gb = layer.grad_bias().to_vec();
+                optimizer.step(wslot, layer.weights_mut().data_mut(), &gw);
+                optimizer.step(bslot, layer.bias_mut(), &gb);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+
+    fn config(input: usize, hidden: Vec<usize>, output: usize) -> MlpConfig {
+        MlpConfig { input_dim: input, hidden_dims: hidden, output_dim: output, ..Default::default() }
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let mlp = Mlp::new(&config(8, vec![16, 12], 4));
+        assert_eq!(mlp.layers().len(), 3);
+        assert_eq!(mlp.input_dim(), 8);
+        assert_eq!(mlp.output_dim(), 4);
+        assert_eq!(mlp.parameter_count(), 8 * 16 + 16 + 16 * 12 + 12 + 12 * 4 + 4);
+        // Hidden layers use the hidden activation, output layer the output one.
+        assert_eq!(mlp.layers()[0].activation(), Activation::Relu);
+        assert_eq!(mlp.layers()[2].activation(), Activation::Tanh);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_rejected() {
+        let _ = Mlp::new(&config(0, vec![4], 2));
+    }
+
+    #[test]
+    fn forward_and_inference_agree() {
+        let mut mlp = Mlp::new(&config(6, vec![10], 3));
+        let x = Matrix::xavier(5, 6, 99);
+        let a = mlp.forward(&x);
+        let b = mlp.forward_inference(&x);
+        assert_eq!(a, b);
+        assert_eq!((a.rows(), a.cols()), (5, 3));
+        // Tanh output stays in (-1, 1).
+        assert!(a.data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn training_reduces_a_simple_regression_loss() {
+        // Learn y = tanh of a fixed linear map from random inputs.
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim: 4,
+            hidden_dims: vec![16],
+            output_dim: 2,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Identity,
+            seed: 5,
+            grad_clip: 5.0,
+        });
+        let x = Matrix::xavier(32, 4, 123);
+        // Target: a fixed linear function of the input.
+        let w_true = Matrix::xavier(4, 2, 321);
+        let y_true = x.matmul(&w_true);
+
+        let mut opt = Adam::new(0.01);
+        mlp.register_with(&mut opt);
+
+        let loss_of = |pred: &Matrix| -> f32 {
+            pred.add(&y_true.scale(-1.0)).map(|d| d * d).mean()
+        };
+
+        let initial = loss_of(&mlp.forward_inference(&x));
+        for _ in 0..300 {
+            let pred = mlp.forward(&x);
+            // dL/dpred for MSE (mean over all elements): 2 (pred - y) / N
+            let n = (pred.rows() * pred.cols()) as f32;
+            let grad = pred.add(&y_true.scale(-1.0)).scale(2.0 / n * pred.rows() as f32);
+            mlp.backward(&grad);
+            opt.next_step();
+            mlp.apply_gradients(&mut opt);
+        }
+        let final_loss = loss_of(&mlp.forward_inference(&x));
+        assert!(
+            final_loss < initial * 0.2,
+            "training did not reduce the loss: {initial} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "register_with")]
+    fn apply_gradients_requires_registration() {
+        let mut mlp = Mlp::new(&config(2, vec![], 2));
+        let mut opt = Adam::new(0.01);
+        let x = Matrix::zeros(1, 2);
+        let y = mlp.forward(&x);
+        mlp.backward(&y);
+        mlp.apply_gradients(&mut opt);
+    }
+
+    #[test]
+    fn backward_returns_input_gradient() {
+        let mut mlp = Mlp::new(&config(5, vec![7], 3));
+        let x = Matrix::xavier(2, 5, 8);
+        let y = mlp.forward(&x);
+        let g = mlp.backward(&y.map(|_| 1.0));
+        assert_eq!((g.rows(), g.cols()), (2, 5));
+    }
+
+    #[test]
+    fn no_hidden_layer_network_is_a_single_dense() {
+        let mlp = Mlp::new(&config(4, vec![], 2));
+        assert_eq!(mlp.layers().len(), 1);
+        assert_eq!(mlp.layers()[0].activation(), Activation::Tanh);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_networks() {
+        let a = Mlp::new(&config(4, vec![8], 2));
+        let b = Mlp::new(&config(4, vec![8], 2));
+        let x = Matrix::xavier(3, 4, 1);
+        assert_eq!(a.forward_inference(&x), b.forward_inference(&x));
+    }
+}

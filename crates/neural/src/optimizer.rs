@@ -1,0 +1,239 @@
+//! Optimisers: plain SGD and Adam, with global-norm gradient clipping.
+
+/// A parameter update rule operating on flat parameter/gradient slices.
+///
+/// The MLP exposes its parameters as `(parameter slice, gradient slice)`
+/// pairs per tensor; optimisers keep per-tensor state keyed by an index
+/// assigned at registration time.
+pub trait Optimizer {
+    /// Registers a parameter tensor of the given length and returns its
+    /// slot index.
+    fn register(&mut self, len: usize) -> usize;
+
+    /// Applies one update step to the parameter tensor in `slot`.
+    ///
+    /// # Panics
+    /// Implementations panic if the slot was never registered or the
+    /// lengths do not match the registration.
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Panics
+    /// Panics if the learning rate is not positive or momentum is not in `[0, 1)`.
+    pub fn new(learning_rate: f32, momentum: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { learning_rate, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn register(&mut self, len: usize) -> usize {
+        self.velocity.push(vec![0.0; len]);
+        self.velocity.len() - 1
+    }
+
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        let v = &mut self.velocity[slot];
+        assert_eq!(v.len(), params.len(), "parameter length changed since registration");
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        for i in 0..params.len() {
+            v[i] = self.momentum * v[i] - self.learning_rate * grads[i];
+            params[i] += v[i];
+        }
+    }
+}
+
+/// The Adam optimiser (Kingma & Ba, 2015) — the optimiser used to train
+/// MiLaN in Roy et al. 2021.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the usual defaults
+    /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
+    ///
+    /// # Panics
+    /// Panics if the learning rate is not positive.
+    pub fn new(learning_rate: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Advances the shared time step; call once per batch before stepping
+    /// the individual tensors.
+    pub fn next_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// The number of completed steps.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn register(&mut self, len: usize) -> usize {
+        self.m.push(vec![0.0; len]);
+        self.v.push(vec![0.0; len]);
+        self.m.len() - 1
+    }
+
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        if self.t == 0 {
+            self.t = 1; // allow use without an explicit next_step()
+        }
+        let m = &mut self.m[slot];
+        let v = &mut self.v[slot];
+        assert_eq!(m.len(), params.len(), "parameter length changed since registration");
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        let bias1 = 1.0 - self.beta1.powi(self.t);
+        let bias2 = 1.0 - self.beta2.powi(self.t);
+        for i in 0..params.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grads[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+/// Scales `grads` in place so that their global L2 norm does not exceed
+/// `max_norm`; returns the pre-clipping norm.
+pub fn clip_gradients(grads: &mut [&mut [f32]], max_norm: f32) -> f32 {
+    let norm: f32 = grads.iter().flat_map(|g| g.iter()).map(|g| g * g).sum::<f32>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for x in g.iter_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)² with each optimiser and check convergence.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let slot = opt.register(1);
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.step(slot, &mut x, &grad);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = minimise(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = minimise(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let slot = opt.register(1);
+        let mut x = [0.0f32];
+        for _ in 0..500 {
+            opt.next_step();
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.step(slot, &mut x, &grad);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "got {}", x[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn sgd_rejects_non_positive_learning_rate() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn sgd_rejects_bad_momentum() {
+        let _ = Sgd::new(0.1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn step_rejects_mismatched_lengths() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let slot = opt.register(2);
+        let mut params = [0.0f32, 0.0];
+        opt.step(slot, &mut params, &[1.0]);
+    }
+
+    #[test]
+    fn multiple_slots_are_independent() {
+        let mut opt = Adam::new(0.5);
+        let a = opt.register(1);
+        let b = opt.register(1);
+        let mut xa = [0.0f32];
+        let mut xb = [10.0f32];
+        for _ in 0..100 {
+            opt.next_step();
+            let ga = [2.0 * (xa[0] - 1.0)];
+            opt.step(a, &mut xa, &ga);
+            let gb = [2.0 * (xb[0] - 5.0)];
+            opt.step(b, &mut xb, &gb);
+        }
+        assert!((xa[0] - 1.0).abs() < 0.1);
+        assert!((xb[0] - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gradient_clipping_scales_only_when_needed() {
+        let mut g1 = vec![3.0f32, 0.0];
+        let mut g2 = vec![0.0f32, 4.0];
+        {
+            let mut grads: Vec<&mut [f32]> = vec![&mut g1, &mut g2];
+            let norm = clip_gradients(&mut grads, 10.0);
+            assert!((norm - 5.0).abs() < 1e-6);
+        }
+        assert_eq!(g1, vec![3.0, 0.0]); // untouched: norm below max
+
+        let mut g1 = vec![3.0f32, 0.0];
+        let mut g2 = vec![0.0f32, 4.0];
+        {
+            let mut grads: Vec<&mut [f32]> = vec![&mut g1, &mut g2];
+            let norm = clip_gradients(&mut grads, 1.0);
+            assert!((norm - 5.0).abs() < 1e-6);
+        }
+        let new_norm = (g1.iter().chain(g2.iter()).map(|x| x * x).sum::<f32>()).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-5);
+    }
+}

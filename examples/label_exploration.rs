@@ -1,0 +1,51 @@
+//! Demo scenario "Label-based Exploration" (§4 of the paper):
+//! search for industrial areas adjacent to inland water bodies — a proxy for
+//! possible water pollution by industrial waste — across the ten BigEarthNet
+//! countries, then inspect the label-statistics view (Figure 2-4) to
+//! discover co-occurring land-cover classes.
+//!
+//! Run with: `cargo run --release --example label_exploration`
+
+use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig, Label};
+use agoraeo::earthqube::{EarthQube, EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator};
+
+fn main() {
+    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 800, seed: 21, ..Default::default() })
+        .expect("valid generator configuration")
+        .generate();
+    let mut config = EarthQubeConfig::fast(21);
+    config.milan.epochs = 15;
+    let eq = EarthQube::build(&archive, config).expect("back-end builds");
+
+    // "Industrial areas adjacent to inland water bodies": the `At least &
+    // more` operator requires both labels to be present, extra labels are
+    // allowed (the paper's description of the operator).
+    let query = ImageQuery::all().with_labels(LabelFilter::new(
+        LabelOperator::AtLeastAndMore,
+        vec![Label::IndustrialOrCommercialUnits, Label::WaterBodies],
+    ));
+    let strict = eq.search(&query).expect("valid query");
+    println!("=== Industrial units AND inland water bodies (At least & more) ===");
+    println!("{}", strict.panel.render_page(0));
+
+    // Broaden with the `Some` operator to see the wider context.
+    let broad_query = ImageQuery::all().with_labels(LabelFilter::new(
+        LabelOperator::Some,
+        vec![Label::IndustrialOrCommercialUnits, Label::WaterBodies, Label::WaterCourses],
+    ));
+    let broad = eq.search(&broad_query).expect("valid query");
+    println!("=== Broadened query (Some operator) — label statistics (Figure 2-4) ===");
+    println!("{}", broad.statistics.render_bar_chart(12, 36));
+
+    // The paper's narrative: visitors "may then find out that certain areas
+    // include land principally occupied by agriculture whose irrigation may
+    // come from nearby polluted water bodies".
+    let agri = broad.statistics.count(Label::LandPrincipallyOccupiedByAgriculture);
+    println!(
+        "Land principally occupied by agriculture co-occurs in {agri} of the {} retrieved images",
+        broad.total()
+    );
+    if let Some((label, count)) = broad.statistics.dominant() {
+        println!("Dominant co-occurring class: {label} ({count} images)");
+    }
+}

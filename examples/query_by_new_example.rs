@@ -1,0 +1,63 @@
+//! Demo scenario "Query-by-New-Example" (§4): newly collected Sentinel
+//! images have no land-cover labels yet; upload such an image, let MiLaN
+//! produce its binary code on the fly, retrieve semantically similar
+//! archive images, and sketch the automatic labelling process the paper
+//! suggests ("based on the semantic search results, one could design an
+//! automatic labeling process").
+//!
+//! Run with: `cargo run --release --example query_by_new_example`
+
+use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig, Label};
+use agoraeo::earthqube::{EarthQube, EarthQubeConfig};
+
+fn main() {
+    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 700, seed: 44, ..Default::default() })
+        .expect("valid generator configuration")
+        .generate();
+    let mut config = EarthQubeConfig::fast(44);
+    config.milan.epochs = 25;
+    let eq = EarthQube::build(&archive, config).expect("back-end builds");
+
+    // A freshly acquired, unlabeled patch: generated with a different seed,
+    // so it is not part of the archive.  Its "true" labels are known to the
+    // generator, which lets us check the auto-labelling proposal below.
+    let external = ArchiveGenerator::new(GeneratorConfig { num_patches: 1, seed: 4242, ..Default::default() })
+        .expect("valid generator configuration")
+        .generate_patch(0);
+    println!("Uploaded external image {} (labels withheld)", external.meta.name);
+
+    let k = 15;
+    let response = eq.search_by_new_example(&external, k).expect("CBIR query");
+    println!("\n=== Most similar archive images ===");
+    println!("{}", response.panel.render_page(0));
+    println!("{}", response.statistics.render_bar_chart(10, 30));
+
+    // Automatic labelling sketch: propose every label that occurs in at
+    // least 40 % of the retrieved neighbours.
+    let threshold = (response.total() as f64 * 0.4).ceil() as usize;
+    let proposed: Vec<Label> = response
+        .statistics
+        .ranked()
+        .into_iter()
+        .filter(|(_, count)| *count >= threshold)
+        .map(|(label, _)| label)
+        .collect();
+    println!("Proposed labels (≥40% of neighbours): ");
+    for label in &proposed {
+        println!("  - {label}");
+    }
+
+    // Compare the proposal with the withheld ground truth.
+    let truth: Vec<Label> = external.meta.labels.iter().collect();
+    println!("\nWithheld ground-truth labels:");
+    for label in &truth {
+        println!("  - {label}");
+    }
+    let hits = proposed.iter().filter(|l| external.meta.labels.contains(**l)).count();
+    println!(
+        "\n{} of the {} proposed labels are correct ({} ground-truth labels in total)",
+        hits,
+        proposed.len(),
+        truth.len()
+    );
+}

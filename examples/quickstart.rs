@@ -1,0 +1,66 @@
+//! Quickstart: generate a small synthetic BigEarthNet archive, train MiLaN,
+//! build EarthQube, and run one filtered search plus one similarity search.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig, Label};
+use agoraeo::earthqube::{EarthQube, EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator};
+
+fn main() {
+    // 1. Generate a deterministic synthetic archive (stand-in for the real
+    //    590,326-patch BigEarthNet archive; see DESIGN.md "Substitutions").
+    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 600, seed: 7, ..Default::default() })
+        .expect("valid generator configuration")
+        .generate();
+    println!("Generated a synthetic archive with {} Sentinel-1/2 patch pairs", archive.len());
+    let stats = archive.stats();
+    println!(
+        "  mean labels per patch: {:.2}; most frequent label: {}",
+        stats.mean_labels_per_patch,
+        Label::from_index(
+            stats.label_counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap()
+        )
+        .unwrap()
+    );
+
+    // 2. Build the EarthQube back-end: ingestion, MiLaN training, CBIR index.
+    let mut config = EarthQubeConfig::fast(7);
+    config.milan.epochs = 25;
+    let eq = EarthQube::build(&archive, config).expect("back-end builds");
+    println!(
+        "EarthQube ready: {} metadata documents, {}-bit MiLaN codes, {} indexed images",
+        eq.archive_size(),
+        eq.cbir().unwrap().code_bits(),
+        eq.cbir().unwrap().len()
+    );
+
+    // 3. A label-filtered metadata search: coastal images (Some operator).
+    let query = ImageQuery::all().with_labels(LabelFilter::new(
+        LabelOperator::Some,
+        vec![Label::SeaAndOcean, Label::BeachesDunesSands, Label::CoastalLagoons],
+    ));
+    let response = eq.search(&query).expect("valid query");
+    println!("\n=== Label search: coastal images ===");
+    println!("{}", response.panel.render_page(0));
+    println!("{}", response.statistics.render_bar_chart(8, 30));
+
+    // 4. Content-based similarity search from the first coastal hit.
+    if let Some(entry) = response.panel.page(0).entries.first() {
+        let similar = eq.similar_to(&entry.name, 10).expect("CBIR query");
+        println!("=== Images similar to {} ===", entry.name);
+        println!("{}", similar.panel.render_page(0));
+    }
+
+    // 5. The AgoraEO view: what assets did this session register?
+    println!("=== AgoraEO assets ===");
+    for kind in [
+        agoraeo::agora::AssetKind::Dataset,
+        agoraeo::agora::AssetKind::Model,
+        agoraeo::agora::AssetKind::Index,
+        agoraeo::agora::AssetKind::Service,
+    ] {
+        for asset in eq.registry().discover_by_kind(kind) {
+            println!("  [{}] {} — {}", kind.name(), asset.name, asset.description);
+        }
+    }
+}

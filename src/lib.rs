@@ -1,0 +1,26 @@
+//! # AgoraEO / EarthQube — satellite image search (VLDB 2022 reproduction)
+//!
+//! This umbrella crate re-exports the workspace crates that together
+//! reproduce *"Satellite Image Search in AgoraEO"* (Aksoy et al., PVLDB
+//! 15(12), 2022):
+//!
+//! * [`bigearthnet`] — synthetic BigEarthNet-MM archive substrate,
+//! * [`milan`] — the MiLaN metric-learning deep-hashing model,
+//! * [`hashindex`] — Hamming hash-table index and search baselines,
+//! * [`docstore`] — embedded document store (MongoDB substitute),
+//! * [`earthqube`] — the EarthQube back-end (query panel, CBIR, statistics),
+//! * [`agora`] — the AgoraEO asset registry,
+//! * [`geo`], [`neural`] — supporting substrates.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![warn(missing_docs)]
+
+pub use eq_agora as agora;
+pub use eq_bigearthnet as bigearthnet;
+pub use eq_docstore as docstore;
+pub use eq_earthqube as earthqube;
+pub use eq_geo as geo;
+pub use eq_hashindex as hashindex;
+pub use eq_milan as milan;
+pub use eq_neural as neural;

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests for the metadata path:
+//! archive generation → document schema → ingestion → indexed queries,
+//! checking that every indexed access path returns exactly what a direct
+//! scan of the archive returns.
+
+use agoraeo::bigearthnet::{ArchiveGenerator, Country, GeneratorConfig, Label, Season};
+use agoraeo::docstore::{Database, Filter, Value};
+use agoraeo::earthqube::{ingest_metadata, schema::collections, schema::fields, LabelFilter, LabelOperator};
+use agoraeo::geo::GeoShape;
+
+fn ingested(n: usize, seed: u64) -> (Database, Vec<agoraeo::bigearthnet::PatchMetadata>) {
+    let metas = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate_metadata_only();
+    let mut db = Database::new();
+    ingest_metadata(&mut db, &metas).unwrap();
+    (db, metas)
+}
+
+#[test]
+fn country_queries_match_reference_counts_for_all_countries() {
+    let (db, metas) = ingested(400, 301);
+    let coll = db.collection(collections::METADATA).unwrap();
+    for country in Country::ALL {
+        let result = coll.find(&Filter::Eq(fields::COUNTRY.into(), country.name().into()));
+        let expected = metas.iter().filter(|m| m.country == country).count();
+        assert_eq!(result.ids.len(), expected, "mismatch for {country}");
+        assert_eq!(result.plan.index_used.as_deref(), Some(fields::COUNTRY));
+        // The index never scans more than it has to.
+        assert_eq!(result.plan.scanned, expected);
+    }
+}
+
+#[test]
+fn season_queries_partition_the_archive() {
+    let (db, metas) = ingested(300, 302);
+    let coll = db.collection(collections::METADATA).unwrap();
+    let mut total = 0usize;
+    for season in Season::ALL {
+        let count = coll.count(&Filter::Eq(fields::SEASON.into(), season.name().into()));
+        assert_eq!(count, metas.iter().filter(|m| m.season() == season).count());
+        total += count;
+    }
+    assert_eq!(total, metas.len());
+}
+
+#[test]
+fn spatial_queries_agree_with_direct_footprint_checks() {
+    let (db, metas) = ingested(400, 303);
+    let coll = db.collection(collections::METADATA).unwrap();
+    for country in [Country::Portugal, Country::Finland, Country::Switzerland] {
+        let shape = GeoShape::Rect(country.bounding_box());
+        let result = coll.find(&Filter::GeoWithin(fields::LOCATION.into(), shape.clone()));
+        let expected: Vec<&str> = metas
+            .iter()
+            .filter(|m| shape.contains(m.bbox.center()))
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(result.ids.len(), expected.len(), "geo mismatch for {country}");
+        assert_eq!(result.plan.index_used.as_deref(), Some(fields::LOCATION));
+        let names: Vec<&str> = result
+            .ids
+            .iter()
+            .map(|id| coll.get(*id).unwrap().get(fields::NAME).unwrap().as_str().unwrap())
+            .collect();
+        for name in names {
+            assert!(expected.contains(&name));
+        }
+    }
+}
+
+#[test]
+fn all_three_label_operators_agree_with_label_set_algebra() {
+    let (db, metas) = ingested(350, 304);
+    let coll = db.collection(collections::METADATA).unwrap();
+    let selections: Vec<Vec<Label>> = vec![
+        vec![Label::MixedForest],
+        vec![Label::SeaAndOcean, Label::BeachesDunesSands],
+        vec![Label::Pastures, Label::NonIrrigatedArableLand],
+    ];
+    for labels in selections {
+        for op in [LabelOperator::Some, LabelOperator::AtLeastAndMore, LabelOperator::Exactly] {
+            let lf = LabelFilter::new(op, labels.clone());
+            let count = coll.count(&lf.to_filter());
+            let expected = metas.iter().filter(|m| lf.matches(m.labels)).count();
+            assert_eq!(count, expected, "operator {op:?} with {labels:?}");
+        }
+    }
+}
+
+#[test]
+fn primary_key_lookups_hit_every_ingested_patch() {
+    let (db, metas) = ingested(150, 305);
+    let coll = db.collection(collections::METADATA).unwrap();
+    for meta in &metas {
+        let doc = coll.get_by_key(&Value::Str(meta.name.clone())).expect("patch is retrievable by name");
+        assert_eq!(doc.get(fields::PATCH_ID).unwrap().as_int().unwrap() as u32, meta.id.0);
+        assert_eq!(
+            doc.get(fields::LABELS).unwrap().as_str().unwrap(),
+            meta.labels.to_ascii_codes(),
+            "label codes must round-trip"
+        );
+    }
+}
+
+#[test]
+fn date_range_queries_respect_the_acquisition_window() {
+    let (db, metas) = ingested(300, 306);
+    let coll = db.collection(collections::METADATA).unwrap();
+    // Everything lies in the BigEarthNet window.
+    let start = agoraeo::bigearthnet::AcquisitionDate::new(2017, 6, 1).unwrap();
+    let end = agoraeo::bigearthnet::AcquisitionDate::new(2018, 5, 31).unwrap();
+    let full = Filter::Gte(fields::DATE.into(), Value::Date(start.ordinal()))
+        .and(Filter::Lte(fields::DATE.into(), Value::Date(end.ordinal())));
+    assert_eq!(coll.count(&full), metas.len());
+    // A narrow window matches a strict subset.
+    let jan = agoraeo::bigearthnet::AcquisitionDate::new(2018, 1, 1).unwrap();
+    let feb = agoraeo::bigearthnet::AcquisitionDate::new(2018, 2, 28).unwrap();
+    let narrow = Filter::Gte(fields::DATE.into(), Value::Date(jan.ordinal()))
+        .and(Filter::Lte(fields::DATE.into(), Value::Date(feb.ordinal())));
+    let count = coll.count(&narrow);
+    let expected = metas.iter().filter(|m| m.date >= jan && m.date <= feb).count();
+    assert_eq!(count, expected);
+    assert!(count < metas.len());
+}
+
+#[test]
+fn collection_stats_reflect_the_ingested_archive() {
+    let (db, metas) = ingested(200, 307);
+    let stats = db.collection(collections::METADATA).unwrap().stats();
+    assert_eq!(stats.count, metas.len());
+    assert!(stats.attribute_indexes.contains(&fields::COUNTRY.to_string()));
+    assert!(stats.attribute_indexes.contains(&fields::SEASON.to_string()));
+    assert_eq!(stats.geo_index.as_deref(), Some(fields::LOCATION));
+    assert!(stats.approximate_bytes > 0);
+}

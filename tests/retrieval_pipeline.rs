@@ -1,0 +1,156 @@
+//! Cross-crate integration tests for the retrieval pipeline:
+//! features → MiLaN codes → Hamming indexes → retrieval metrics.
+//!
+//! These tests pin the *shape* of the paper's claims: all index variants
+//! return identical result sets, hash-based retrieval is semantically
+//! meaningful, and the learned codes beat untrained codes.
+
+use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig};
+use agoraeo::hashindex::{
+    HammingIndex, HashTableIndex, LinearScanIndex, MultiIndexHashing, RandomHyperplaneHasher,
+};
+use agoraeo::milan::{
+    mean_average_precision, CodeStatistics, FeatureExtractor, Milan, MilanConfig, Normalizer,
+    TrainingDataset,
+};
+
+fn trained_setup(n: usize, seed: u64, bits: u32) -> (agoraeo::bigearthnet::Archive, Milan) {
+    let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
+    let dataset = TrainingDataset::from_archive(&archive);
+    let mut model = Milan::new(MilanConfig { epochs: 20, ..MilanConfig::fast(bits, seed) }).unwrap();
+    model.train(&dataset);
+    (archive, model)
+}
+
+#[test]
+fn all_hamming_indexes_agree_on_milan_codes() {
+    let (archive, model) = trained_setup(150, 201, 64);
+    let codes = model.hash_archive(&archive);
+
+    let mut table = HashTableIndex::new(64);
+    let mut linear = LinearScanIndex::new(64);
+    let mut mih = MultiIndexHashing::new(64, 4);
+    for (i, c) in codes.iter().enumerate() {
+        table.insert(i as u64, c.clone());
+        linear.insert(i as u64, c.clone());
+        mih.insert(i as u64, c.clone());
+    }
+
+    for q in (0..codes.len()).step_by(17) {
+        for radius in [0u32, 4, 10] {
+            let a = table.radius_search(&codes[q], radius);
+            let b = linear.radius_search(&codes[q], radius);
+            let c = mih.radius_search(&codes[q], radius);
+            assert_eq!(a, b, "hash table vs linear scan disagree (q={q}, r={radius})");
+            assert_eq!(b, c, "linear scan vs MIH disagree (q={q}, r={radius})");
+        }
+        let ka = table.knn(&codes[q], 10);
+        let kb = linear.knn(&codes[q], 10);
+        assert_eq!(ka, kb, "kNN mismatch at q={q}");
+    }
+}
+
+#[test]
+fn hamming_neighbours_share_labels_more_often_than_random_pairs() {
+    let (archive, model) = trained_setup(250, 202, 64);
+    let codes = model.hash_archive(&archive);
+    let mut index = HashTableIndex::new(64);
+    for (i, c) in codes.iter().enumerate() {
+        index.insert(i as u64, c.clone());
+    }
+
+    let mut neighbour_hits = 0usize;
+    let mut neighbour_total = 0usize;
+    let mut random_hits = 0usize;
+    let mut random_total = 0usize;
+    for q in (0..archive.len()).step_by(5) {
+        let q_labels = archive.patches()[q].meta.labels;
+        for n in index.knn(&codes[q], 6).into_iter().skip(1) {
+            neighbour_total += 1;
+            if archive.patches()[n.id as usize].meta.labels.intersects(q_labels) {
+                neighbour_hits += 1;
+            }
+        }
+        // Random pairs: compare against a fixed stride of unrelated patches.
+        for offset in [37usize, 91, 133] {
+            let other = (q + offset) % archive.len();
+            if other != q {
+                random_total += 1;
+                if archive.patches()[other].meta.labels.intersects(q_labels) {
+                    random_hits += 1;
+                }
+            }
+        }
+    }
+    let neighbour_rate = neighbour_hits as f64 / neighbour_total as f64;
+    let random_rate = random_hits as f64 / random_total as f64;
+    assert!(
+        neighbour_rate > random_rate,
+        "Hamming neighbours ({neighbour_rate:.3}) should share labels more often than random pairs ({random_rate:.3})"
+    );
+}
+
+#[test]
+fn trained_codes_outperform_untrained_lsh_codes() {
+    let (archive, model) = trained_setup(300, 203, 96);
+    let extractor = FeatureExtractor::new();
+    let features = extractor.extract_all(&archive);
+    let normalizer = Normalizer::fit(&features);
+    let normalized = normalizer.apply_all(&features);
+
+    let milan_codes = model.hash_archive(&archive);
+    let lsh = RandomHyperplaneHasher::new(normalized[0].len(), 96, 203);
+    let lsh_codes: Vec<_> = normalized.iter().map(|f| lsh.hash(f)).collect();
+
+    let map_of = |codes: &[agoraeo::hashindex::BinaryCode]| {
+        let mut queries = Vec::new();
+        for q in (0..archive.len()).step_by(7) {
+            let q_labels = archive.patches()[q].meta.labels;
+            let mut ranked: Vec<(u32, usize)> = (0..archive.len())
+                .filter(|i| *i != q)
+                .map(|i| (codes[q].hamming_distance(&codes[i]), i))
+                .collect();
+            ranked.sort_unstable();
+            let rel: Vec<bool> = ranked
+                .iter()
+                .map(|(_, i)| archive.patches()[*i].meta.labels.intersects(q_labels))
+                .collect();
+            let total = rel.iter().filter(|r| **r).count();
+            queries.push((rel, total));
+        }
+        mean_average_precision(&queries, 10)
+    };
+
+    let milan_map = map_of(&milan_codes);
+    let lsh_map = map_of(&lsh_codes);
+    assert!(
+        milan_map > lsh_map,
+        "metric-learned codes (mAP {milan_map:.3}) must beat untrained LSH codes (mAP {lsh_map:.3})"
+    );
+}
+
+#[test]
+fn code_statistics_show_the_effect_of_the_regularisers() {
+    let (archive, model) = trained_setup(200, 204, 64);
+    let stats = CodeStatistics::from_codes(&model.hash_archive(&archive));
+    assert_eq!(stats.bits, 64);
+    assert_eq!(stats.count, archive.len());
+    // Trained codes occupy many buckets rather than collapsing.
+    assert!(stats.distinct_codes > archive.len() / 4, "codes collapsed: {} buckets", stats.distinct_codes);
+    // And no bit is permanently stuck for every image.
+    assert!(stats.balance_deviation < 0.5);
+}
+
+#[test]
+fn external_patch_encoding_is_stable_across_calls() {
+    let (archive, model) = trained_setup(100, 205, 64);
+    let external = ArchiveGenerator::new(GeneratorConfig::tiny(1, 11111)).unwrap().generate_patch(0);
+    let a = model.hash_patch(&external);
+    let b = model.hash_patch(&external);
+    assert_eq!(a, b);
+    assert_eq!(a.bits(), 64);
+    // And differs from (almost all) archive codes: it is a new image.
+    let archive_codes = model.hash_archive(&archive);
+    let identical = archive_codes.iter().filter(|c| **c == a).count();
+    assert!(identical < archive.len() / 2);
+}
