@@ -193,7 +193,13 @@ impl AssetRegistry {
 }
 
 /// Convenience constructor for an asset.
-pub fn asset(name: &str, kind: AssetKind, description: &str, provider: &str, tags: &[&str]) -> Asset {
+pub fn asset(
+    name: &str,
+    kind: AssetKind,
+    description: &str,
+    provider: &str,
+    tags: &[&str],
+) -> Asset {
     Asset {
         name: name.to_string(),
         kind,
@@ -209,12 +215,26 @@ mod tests {
 
     fn sample_registry() -> AssetRegistry {
         let r = AssetRegistry::new();
-        r.offer(asset("bigearthnet", AssetKind::Dataset, "BigEarthNet-MM archive", "TU Berlin", &["eo", "sentinel"]))
+        r.offer(asset(
+            "bigearthnet",
+            AssetKind::Dataset,
+            "BigEarthNet-MM archive",
+            "TU Berlin",
+            &["eo", "sentinel"],
+        ))
+        .unwrap();
+        r.offer(asset(
+            "milan",
+            AssetKind::Model,
+            "Deep hashing network",
+            "RSiM",
+            &["hashing", "cbir"],
+        ))
+        .unwrap();
+        r.offer(asset("hash-index", AssetKind::Index, "Hamming hash table", "DIMA", &["cbir"]))
             .unwrap();
-        r.offer(asset("milan", AssetKind::Model, "Deep hashing network", "RSiM", &["hashing", "cbir"]))
+        r.offer(asset("earthqube", AssetKind::Service, "Search engine", "DIMA", &["search", "eo"]))
             .unwrap();
-        r.offer(asset("hash-index", AssetKind::Index, "Hamming hash table", "DIMA", &["cbir"])).unwrap();
-        r.offer(asset("earthqube", AssetKind::Service, "Search engine", "DIMA", &["search", "eo"])).unwrap();
         r
     }
 

@@ -17,10 +17,7 @@ const N: usize = 600;
 const BITS: u32 = 64;
 const K: usize = 10;
 
-fn map_of_ranking(
-    archive: &eq_bigearthnet::Archive,
-    rank: impl Fn(usize) -> Vec<u64>,
-) -> f64 {
+fn map_of_ranking(archive: &eq_bigearthnet::Archive, rank: impl Fn(usize) -> Vec<u64>) -> f64 {
     let mut queries = Vec::new();
     for q in (0..archive.len()).step_by(12) {
         let q_labels = archive.patches()[q].meta.labels;

@@ -48,9 +48,11 @@ fn bench_radius_sweep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hash_table", radius), &radius, |b, &r| {
             b.iter(|| black_box(table.radius_search(black_box(&query), r)))
         });
-        group.bench_with_input(BenchmarkId::new("multi_index_hashing", radius), &radius, |b, &r| {
-            b.iter(|| black_box(mih.radius_search(black_box(&query), r)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("multi_index_hashing", radius),
+            &radius,
+            |b, &r| b.iter(|| black_box(mih.radius_search(black_box(&query), r))),
+        );
     }
     group.finish();
 }

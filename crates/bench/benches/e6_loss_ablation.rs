@@ -19,16 +19,16 @@ fn bench_loss_ablation(c: &mut Criterion) {
 
     let variants: Vec<(&str, LossWeights)> = vec![
         ("triplet_only", LossWeights::triplet_only(2.0)),
-        ("triplet_bitbalance", LossWeights { triplet: 1.0, bit_balance: 0.1, quantization: 0.0, margin: 2.0 }),
+        (
+            "triplet_bitbalance",
+            LossWeights { triplet: 1.0, bit_balance: 0.1, quantization: 0.0, margin: 2.0 },
+        ),
         ("full_milan", LossWeights::default()),
     ];
     for (name, weights) in &variants {
-        let mut model = Milan::new(MilanConfig {
-            epochs: 12,
-            loss: *weights,
-            ..MilanConfig::fast(BITS, 66)
-        })
-        .expect("valid model configuration");
+        let mut model =
+            Milan::new(MilanConfig { epochs: 12, loss: *weights, ..MilanConfig::fast(BITS, 66) })
+                .expect("valid model configuration");
         model.train(&dataset);
         let codes = model.hash_archive(&archive);
         let stats = CodeStatistics::from_codes(&codes);

@@ -93,11 +93,7 @@ impl Archive {
 
     /// Ids of the patches belonging to the given split.
     pub fn split_ids(&self, split: Split) -> Vec<PatchId> {
-        self.patches
-            .iter()
-            .map(|p| p.meta.id)
-            .filter(|id| Split::for_id(*id) == split)
-            .collect()
+        self.patches.iter().map(|p| p.meta.id).filter(|id| Split::for_id(*id) == split).collect()
     }
 
     /// Computes summary statistics.

@@ -102,7 +102,9 @@ impl Band {
     pub fn resolution(self) -> Resolution {
         match self {
             Band::B02 | Band::B03 | Band::B04 | Band::B08 => Resolution::R10m,
-            Band::B05 | Band::B06 | Band::B07 | Band::B8A | Band::B11 | Band::B12 => Resolution::R20m,
+            Band::B05 | Band::B06 | Band::B07 | Band::B8A | Band::B11 | Band::B12 => {
+                Resolution::R20m
+            }
             Band::B01 | Band::B09 => Resolution::R60m,
         }
     }
@@ -217,8 +219,8 @@ impl BandData {
             return 0.0;
         }
         let m = self.mean();
-        let var =
-            self.pixels.iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>() / self.pixels.len() as f64;
+        let var = self.pixels.iter().map(|&p| (p as f64 - m).powi(2)).sum::<f64>()
+            / self.pixels.len() as f64;
         var.sqrt()
     }
 
@@ -351,7 +353,7 @@ mod tests {
         assert_eq!(d.pixels().len(), 16);
         d.set(1, 2, 500);
         assert_eq!(d.get(1, 2), 500);
-        assert_eq!(d.pixels()[1 * 4 + 2], 500);
+        assert_eq!(d.pixels()[4 + 2], 500);
     }
 
     #[test]

@@ -141,7 +141,10 @@ impl ArchiveGenerator {
         let labels = self.sample_labels(rng);
         let date = sample_date(rng);
         let bbox = sample_footprint(rng, country);
-        let name = patch_name(country, date, rng.gen_range(0..120), rng.gen_range(0..120));
+        // Grid coordinates derive from the id, not the RNG: (id % 120,
+        // id / 120) is injective, so patch names — the primary key of the
+        // metadata store — can never collide, at any archive size.
+        let name = patch_name(country, date, id % 120, id / 120);
         PatchMetadata { id: PatchId(id), name, bbox, labels, country, date }
     }
 
@@ -157,9 +160,8 @@ impl ArchiveGenerator {
 
         // Assign each quadrant of the patch a (possibly different) label so
         // that patches have spatial structure, as real mixed patches do.
-        let quadrant_labels: [Label; 4] = std::array::from_fn(|_| {
-            labels[rng.gen_range(0..labels.len())]
-        });
+        let quadrant_labels: [Label; 4] =
+            std::array::from_fn(|_| labels[rng.gen_range(0..labels.len())]);
         let mix = mixed_signature(&labels);
 
         let s2_bands = SENTINEL2_BANDS
@@ -174,8 +176,7 @@ impl ArchiveGenerator {
                         // Blend the quadrant label with the patch-level mix so
                         // quadrant borders are not artificially sharp.
                         let base = 0.65 * sig.band_mean(*band) + 0.35 * mix.band_mean(*band);
-                        let texture_noise =
-                            rng.gen_range(-1.0..1.0) * sig.texture * 600.0;
+                        let texture_noise = rng.gen_range(-1.0f64..1.0) * sig.texture * 600.0;
                         let noise = sample_gaussian(rng, self.config.noise_std);
                         let v = (base * season_gain + texture_noise + noise).clamp(0.0, 10_000.0);
                         data.set(r, c, v as u16);
@@ -196,9 +197,10 @@ impl ArchiveGenerator {
                 };
                 for r in 0..s1_size {
                     for c in 0..s1_size {
-                        let quadrant = (r >= s1_size / 2) as usize * 2 + (c >= s1_size / 2) as usize;
+                        let quadrant =
+                            (r >= s1_size / 2) as usize * 2 + (c >= s1_size / 2) as usize;
                         let sig = label_signature(quadrant_labels[quadrant]);
-                        let speckle = rng.gen_range(0.6..1.4); // multiplicative SAR speckle
+                        let speckle = rng.gen_range(0.6f64..1.4); // multiplicative SAR speckle
                         let v = (sig.sar_backscatter * gain * speckle).clamp(0.0, 10_000.0);
                         data.set(r, c, v as u16);
                     }
@@ -296,20 +298,26 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(ArchiveGenerator::new(GeneratorConfig { num_patches: 0, ..Default::default() }).is_err());
-        assert!(ArchiveGenerator::new(GeneratorConfig { size_scale: 0, ..Default::default() }).is_err());
-        assert!(ArchiveGenerator::new(GeneratorConfig { size_scale: 50, ..Default::default() }).is_err());
+        assert!(ArchiveGenerator::new(GeneratorConfig { num_patches: 0, ..Default::default() })
+            .is_err());
         assert!(
-            ArchiveGenerator::new(GeneratorConfig { min_labels: 3, max_labels: 2, ..Default::default() })
-                .is_err()
+            ArchiveGenerator::new(GeneratorConfig { size_scale: 0, ..Default::default() }).is_err()
         );
+        assert!(ArchiveGenerator::new(GeneratorConfig { size_scale: 50, ..Default::default() })
+            .is_err());
+        assert!(ArchiveGenerator::new(GeneratorConfig {
+            min_labels: 3,
+            max_labels: 2,
+            ..Default::default()
+        })
+        .is_err());
         assert!(
             ArchiveGenerator::new(GeneratorConfig { min_labels: 0, ..Default::default() }).is_err()
         );
-        assert!(ArchiveGenerator::new(GeneratorConfig { max_labels: 99, ..Default::default() }).is_err());
-        assert!(
-            ArchiveGenerator::new(GeneratorConfig { countries: vec![], ..Default::default() }).is_err()
-        );
+        assert!(ArchiveGenerator::new(GeneratorConfig { max_labels: 99, ..Default::default() })
+            .is_err());
+        assert!(ArchiveGenerator::new(GeneratorConfig { countries: vec![], ..Default::default() })
+            .is_err());
         assert!(ArchiveGenerator::new(GeneratorConfig::default()).is_ok());
     }
 
@@ -352,9 +360,8 @@ mod tests {
 
     #[test]
     fn generated_metadata_respects_invariants() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(200, 3))
-            .unwrap()
-            .generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(200, 3)).unwrap().generate_metadata_only();
         for (i, m) in metas.iter().enumerate() {
             assert_eq!(m.id.index(), i);
             assert!(!m.labels.is_empty());
@@ -373,16 +380,18 @@ mod tests {
     #[test]
     fn generated_pixels_reflect_label_semantics() {
         // Water patches must be darker in NIR than forest patches on average.
-        let cfg = GeneratorConfig { num_patches: 300, seed: 11, size_scale: 12, ..Default::default() };
+        let cfg =
+            GeneratorConfig { num_patches: 300, seed: 11, size_scale: 12, ..Default::default() };
         let archive = ArchiveGenerator::new(cfg).unwrap().generate();
         let mut water_nir = vec![];
         let mut forest_nir = vec![];
         for p in archive.patches() {
             let nir = p.band(Band::B08).mean();
             let labels = p.meta.labels;
-            let is_water = labels.contains(Label::SeaAndOcean) || labels.contains(Label::WaterBodies);
-            let is_forest =
-                labels.contains(Label::ConiferousForest) || labels.contains(Label::BroadLeavedForest);
+            let is_water =
+                labels.contains(Label::SeaAndOcean) || labels.contains(Label::WaterBodies);
+            let is_forest = labels.contains(Label::ConiferousForest)
+                || labels.contains(Label::BroadLeavedForest);
             if is_water && !is_forest {
                 water_nir.push(nir);
             } else if is_forest && !is_water {

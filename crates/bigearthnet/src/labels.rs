@@ -425,14 +425,32 @@ impl Label {
         use Label::*;
         match self {
             MixedForest | ConiferousForest | NonIrrigatedArableLand => 30.0,
-            BroadLeavedForest | Pastures | ComplexCultivationPatterns
-            | LandPrincipallyOccupiedByAgriculture | TransitionalWoodlandShrub => 20.0,
-            SeaAndOcean | WaterBodies | DiscontinuousUrbanFabric | Peatbogs | AgroForestryAreas => 10.0,
-            IndustrialOrCommercialUnits | OliveGroves | WaterCourses | Vineyards
-            | AnnualCropsWithPermanentCrops | InlandMarshes | MoorsAndHeathland
-            | NaturalGrassland | SclerophyllousVegetation | PermanentlyIrrigatedLand => 4.0,
-            ContinuousUrbanFabric | SparselyVegetatedAreas | FruitTreesAndBerryPlantations
-            | SaltMarshes | Estuaries | CoastalLagoons | RiceFields | MineralExtractionSites => 1.5,
+            BroadLeavedForest
+            | Pastures
+            | ComplexCultivationPatterns
+            | LandPrincipallyOccupiedByAgriculture
+            | TransitionalWoodlandShrub => 20.0,
+            SeaAndOcean | WaterBodies | DiscontinuousUrbanFabric | Peatbogs | AgroForestryAreas => {
+                10.0
+            }
+            IndustrialOrCommercialUnits
+            | OliveGroves
+            | WaterCourses
+            | Vineyards
+            | AnnualCropsWithPermanentCrops
+            | InlandMarshes
+            | MoorsAndHeathland
+            | NaturalGrassland
+            | SclerophyllousVegetation
+            | PermanentlyIrrigatedLand => 4.0,
+            ContinuousUrbanFabric
+            | SparselyVegetatedAreas
+            | FruitTreesAndBerryPlantations
+            | SaltMarshes
+            | Estuaries
+            | CoastalLagoons
+            | RiceFields
+            | MineralExtractionSites => 1.5,
             _ => 0.5,
         }
     }

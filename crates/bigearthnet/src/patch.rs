@@ -214,7 +214,11 @@ impl Patch {
     /// Validates that every band raster has the size its resolution demands.
     pub fn validate(&self) -> Result<(), String> {
         if self.s2_bands.len() != Band::COUNT {
-            return Err(format!("expected {} Sentinel-2 bands, got {}", Band::COUNT, self.s2_bands.len()));
+            return Err(format!(
+                "expected {} Sentinel-2 bands, got {}",
+                Band::COUNT,
+                self.s2_bands.len()
+            ));
         }
         for band in SENTINEL2_BANDS {
             let want = band.resolution().patch_size();
@@ -224,7 +228,10 @@ impl Patch {
             }
         }
         if self.s1_bands.len() != 2 {
-            return Err(format!("expected 2 Sentinel-1 polarisations, got {}", self.s1_bands.len()));
+            return Err(format!(
+                "expected 2 Sentinel-1 polarisations, got {}",
+                self.s1_bands.len()
+            ));
         }
         for (i, b) in self.s1_bands.iter().enumerate() {
             if b.size() != 120 {
@@ -259,13 +266,7 @@ impl Patch {
 
 /// Builds the BigEarthNet-style patch name for a tile/date/grid position.
 pub fn patch_name(country: Country, date: AcquisitionDate, grid_x: u32, grid_y: u32) -> String {
-    format!(
-        "S2A_MSIL2A_{}T100031_{}_{}_{}",
-        date.to_compact(),
-        country.tile_code(),
-        grid_x,
-        grid_y
-    )
+    format!("S2A_MSIL2A_{}T100031_{}_{}_{}", date.to_compact(), country.tile_code(), grid_x, grid_y)
 }
 
 #[cfg(test)]
@@ -331,10 +332,8 @@ mod tests {
             country: Country::Portugal,
             date: AcquisitionDate::new(2017, 8, 1).unwrap(),
         };
-        let s2_bands = SENTINEL2_BANDS
-            .iter()
-            .map(|b| BandData::zeros(b.resolution().patch_size()))
-            .collect();
+        let s2_bands =
+            SENTINEL2_BANDS.iter().map(|b| BandData::zeros(b.resolution().patch_size())).collect();
         let s1_bands = vec![BandData::zeros(120), BandData::zeros(120)];
         Patch { meta, s2_bands, s1_bands }
     }

@@ -35,18 +35,83 @@ fn profile(kind: SurfaceKind) -> Signature {
     use SurfaceKind::*;
     // Band order: B01 B02 B03 B04 B05 B06 B07 B08 B8A B09 B11 B12
     let (band_means, texture, sar): ([f64; 12], f64, f64) = match kind {
-        Water => ([900.0, 800.0, 700.0, 500.0, 400.0, 300.0, 250.0, 200.0, 180.0, 150.0, 100.0, 80.0], 0.04, 300.0),
-        DenseVegetation => {
-            ([400.0, 500.0, 800.0, 600.0, 1200.0, 2600.0, 3200.0, 3500.0, 3600.0, 1200.0, 1800.0, 900.0], 0.35, 1800.0)
-        }
-        Grass => ([500.0, 650.0, 950.0, 900.0, 1500.0, 2400.0, 2800.0, 3000.0, 3100.0, 1100.0, 2200.0, 1300.0], 0.25, 1500.0),
-        Crops => ([550.0, 700.0, 1000.0, 1100.0, 1600.0, 2200.0, 2500.0, 2700.0, 2800.0, 1000.0, 2500.0, 1600.0], 0.45, 1600.0),
-        Urban => ([1400.0, 1600.0, 1800.0, 2000.0, 2100.0, 2200.0, 2300.0, 2400.0, 2450.0, 1300.0, 2600.0, 2500.0], 0.85, 3500.0),
-        BareSoil => ([1100.0, 1300.0, 1600.0, 1900.0, 2100.0, 2300.0, 2400.0, 2500.0, 2600.0, 1400.0, 3200.0, 2900.0], 0.55, 1200.0),
-        Sand => ([1800.0, 2100.0, 2500.0, 2900.0, 3100.0, 3300.0, 3400.0, 3500.0, 3600.0, 1800.0, 3900.0, 3600.0], 0.30, 900.0),
-        Wetland => ([700.0, 800.0, 1000.0, 900.0, 1100.0, 1600.0, 1900.0, 2000.0, 2050.0, 800.0, 1400.0, 900.0], 0.30, 1000.0),
-        Burnt => ([700.0, 750.0, 850.0, 950.0, 1000.0, 1100.0, 1150.0, 1200.0, 1250.0, 700.0, 2000.0, 2300.0], 0.40, 1100.0),
-        Snow => ([4500.0, 4800.0, 4900.0, 5000.0, 5000.0, 5000.0, 5000.0, 4900.0, 4800.0, 3000.0, 1200.0, 900.0], 0.15, 600.0),
+        Water => (
+            [900.0, 800.0, 700.0, 500.0, 400.0, 300.0, 250.0, 200.0, 180.0, 150.0, 100.0, 80.0],
+            0.04,
+            300.0,
+        ),
+        DenseVegetation => (
+            [
+                400.0, 500.0, 800.0, 600.0, 1200.0, 2600.0, 3200.0, 3500.0, 3600.0, 1200.0, 1800.0,
+                900.0,
+            ],
+            0.35,
+            1800.0,
+        ),
+        Grass => (
+            [
+                500.0, 650.0, 950.0, 900.0, 1500.0, 2400.0, 2800.0, 3000.0, 3100.0, 1100.0, 2200.0,
+                1300.0,
+            ],
+            0.25,
+            1500.0,
+        ),
+        Crops => (
+            [
+                550.0, 700.0, 1000.0, 1100.0, 1600.0, 2200.0, 2500.0, 2700.0, 2800.0, 1000.0,
+                2500.0, 1600.0,
+            ],
+            0.45,
+            1600.0,
+        ),
+        Urban => (
+            [
+                1400.0, 1600.0, 1800.0, 2000.0, 2100.0, 2200.0, 2300.0, 2400.0, 2450.0, 1300.0,
+                2600.0, 2500.0,
+            ],
+            0.85,
+            3500.0,
+        ),
+        BareSoil => (
+            [
+                1100.0, 1300.0, 1600.0, 1900.0, 2100.0, 2300.0, 2400.0, 2500.0, 2600.0, 1400.0,
+                3200.0, 2900.0,
+            ],
+            0.55,
+            1200.0,
+        ),
+        Sand => (
+            [
+                1800.0, 2100.0, 2500.0, 2900.0, 3100.0, 3300.0, 3400.0, 3500.0, 3600.0, 1800.0,
+                3900.0, 3600.0,
+            ],
+            0.30,
+            900.0,
+        ),
+        Wetland => (
+            [
+                700.0, 800.0, 1000.0, 900.0, 1100.0, 1600.0, 1900.0, 2000.0, 2050.0, 800.0, 1400.0,
+                900.0,
+            ],
+            0.30,
+            1000.0,
+        ),
+        Burnt => (
+            [
+                700.0, 750.0, 850.0, 950.0, 1000.0, 1100.0, 1150.0, 1200.0, 1250.0, 700.0, 2000.0,
+                2300.0,
+            ],
+            0.40,
+            1100.0,
+        ),
+        Snow => (
+            [
+                4500.0, 4800.0, 4900.0, 5000.0, 5000.0, 5000.0, 5000.0, 4900.0, 4800.0, 3000.0,
+                1200.0, 900.0,
+            ],
+            0.15,
+            600.0,
+        ),
     };
     Signature { band_means, texture, sar_backscatter: sar }
 }
@@ -107,7 +172,9 @@ pub fn label_signature(label: Label) -> Signature {
         Pastures => blend(&[(Grass, 0.9), (Crops, 0.1)]),
         AnnualCropsWithPermanentCrops => blend(&[(Crops, 0.7), (DenseVegetation, 0.3)]),
         ComplexCultivationPatterns => blend(&[(Crops, 0.6), (Grass, 0.2), (DenseVegetation, 0.2)]),
-        LandPrincipallyOccupiedByAgriculture => blend(&[(Crops, 0.5), (Grass, 0.3), (DenseVegetation, 0.2)]),
+        LandPrincipallyOccupiedByAgriculture => {
+            blend(&[(Crops, 0.5), (Grass, 0.3), (DenseVegetation, 0.2)])
+        }
         AgroForestryAreas => blend(&[(DenseVegetation, 0.5), (Crops, 0.3), (Grass, 0.2)]),
         BroadLeavedForest => blend(&[(DenseVegetation, 1.0)]),
         ConiferousForest => blend(&[(DenseVegetation, 0.85), (Wetland, 0.15)]),
@@ -144,8 +211,8 @@ pub fn mixed_signature(labels: &[Label]) -> Signature {
     let mut sar = 0.0;
     for l in labels {
         let s = label_signature(*l);
-        for i in 0..12 {
-            band_means[i] += s.band_means[i];
+        for (m, v) in band_means.iter_mut().zip(s.band_means.iter()) {
+            *m += v;
         }
         texture += s.texture;
         sar += s.sar_backscatter;

@@ -233,7 +233,10 @@ impl Collection {
                 }
             }
             let matched = ids.len();
-            return QueryResult { ids, plan: QueryPlan { index_used: Some("pk".into()), scanned, matched } };
+            return QueryResult {
+                ids,
+                plan: QueryPlan { index_used: Some("pk".into()), scanned, matched },
+            };
         }
 
         // 2. Geo index.
@@ -322,7 +325,14 @@ mod tests {
     use super::*;
     use eq_geo::{BBox, GeoShape};
 
-    fn patch_doc(name: &str, country: &str, lon: f64, lat: f64, labels: &str, date: i64) -> Document {
+    fn patch_doc(
+        name: &str,
+        country: &str,
+        lon: f64,
+        lat: f64,
+        labels: &str,
+        date: i64,
+    ) -> Document {
         Document::new()
             .with("name", name)
             .with("country", country)
@@ -389,7 +399,7 @@ mod tests {
         assert_eq!(r.ids.len(), 2);
         assert_eq!(r.plan.index_used.as_deref(), Some("country"));
         assert_eq!(r.plan.scanned, 2); // only the posting list, not the whole collection
-        // The same query without the index would scan everything.
+                                       // The same query without the index would scan everything.
         let mut no_index = Collection::new("metadata", "name");
         no_index.insert(patch_doc("p1", "Portugal", -8.5, 37.1, "AB", 100)).unwrap();
         no_index.insert(patch_doc("p3", "Austria", 14.0, 47.5, "C", 300)).unwrap();

@@ -91,20 +91,22 @@ impl Filter {
             Filter::ContainsAny(field, values) => {
                 field_elements(doc, field).is_some_and(|els| values.iter().any(|v| els.contains(v)))
             }
-            Filter::ContainsExactly(field, values) => field_elements(doc, field).is_some_and(|els| {
-                els.len() == values.len()
-                    && values.iter().all(|v| els.contains(v))
-                    && els.iter().all(|e| values.contains(e))
-            }),
+            Filter::ContainsExactly(field, values) => {
+                field_elements(doc, field).is_some_and(|els| {
+                    els.len() == values.len()
+                        && values.iter().all(|v| els.contains(v))
+                        && els.iter().all(|e| values.contains(e))
+                })
+            }
             Filter::StartsWith(field, prefix) => {
                 doc.get(field).and_then(Value::as_str).is_some_and(|s| s.starts_with(prefix))
             }
             Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
             Filter::Not(f) => !f.matches(doc),
-            Filter::GeoWithin(field, shape) => point_from_field(doc, field)
-                .map(|p| shape.contains(p))
-                .unwrap_or(false),
+            Filter::GeoWithin(field, shape) => {
+                point_from_field(doc, field).map(|p| shape.contains(p)).unwrap_or(false)
+            }
         }
     }
 
@@ -208,16 +210,19 @@ mod tests {
         assert!(!Filter::ContainsAll("bands".into(), vec![2i64.into(), 9i64.into()]).matches(&d));
         assert!(Filter::ContainsAny("bands".into(), vec![9i64.into(), 3i64.into()]).matches(&d));
         assert!(!Filter::ContainsAny("bands".into(), vec![9i64.into()]).matches(&d));
+        assert!(Filter::ContainsExactly(
+            "bands".into(),
+            vec![4i64.into(), 3i64.into(), 2i64.into()]
+        )
+        .matches(&d));
         assert!(
-            Filter::ContainsExactly("bands".into(), vec![4i64.into(), 3i64.into(), 2i64.into()]).matches(&d)
+            !Filter::ContainsExactly("bands".into(), vec![2i64.into(), 3i64.into()]).matches(&d)
         );
-        assert!(!Filter::ContainsExactly("bands".into(), vec![2i64.into(), 3i64.into()]).matches(&d));
         // Label string treated as a character set (the ASCII label encoding).
         assert!(Filter::ContainsAll("labels".into(), vec!["A".into(), "T".into()]).matches(&d));
         assert!(Filter::ContainsAny("labels".into(), vec!["Z".into(), "B".into()]).matches(&d));
-        assert!(
-            Filter::ContainsExactly("labels".into(), vec!["A".into(), "B".into(), "T".into()]).matches(&d)
-        );
+        assert!(Filter::ContainsExactly("labels".into(), vec!["A".into(), "B".into(), "T".into()])
+            .matches(&d));
         assert!(!Filter::ContainsExactly("labels".into(), vec!["A".into(), "B".into()]).matches(&d));
         // Non-array, non-string fields never match element predicates.
         assert!(!Filter::ContainsAny("date".into(), vec![Value::Date(750_000)]).matches(&d));

@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn prefix_upper_bound_is_exclusive_end() {
         assert_eq!(prefix_upper_bound("u33"), "u34".to_string());
-        assert!(String::from("u33zzz") < prefix_upper_bound("u33"));
-        assert!(String::from("u34") >= prefix_upper_bound("u33"));
+        assert!("u33zzz" < prefix_upper_bound("u33").as_str());
+        assert!("u34" >= prefix_upper_bound("u33").as_str());
     }
 }

@@ -53,7 +53,9 @@ impl std::fmt::Display for StoreError {
             StoreError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
             StoreError::NotFound(k) => write!(f, "document not found: {k}"),
             StoreError::NoSuchCollection(c) => write!(f, "no such collection: {c}"),
-            StoreError::MissingPrimaryKey(field) => write!(f, "document is missing primary key field {field}"),
+            StoreError::MissingPrimaryKey(field) => {
+                write!(f, "document is missing primary key field {field}")
+            }
             StoreError::BadIndex(msg) => write!(f, "bad index: {msg}"),
         }
     }
@@ -69,7 +71,9 @@ mod tests {
     fn errors_display_meaningfully() {
         assert!(StoreError::DuplicateKey("a".into()).to_string().contains("duplicate"));
         assert!(StoreError::NotFound("x".into()).to_string().contains("not found"));
-        assert!(StoreError::NoSuchCollection("c".into()).to_string().contains("no such collection"));
+        assert!(StoreError::NoSuchCollection("c".into())
+            .to_string()
+            .contains("no such collection"));
         assert!(StoreError::MissingPrimaryKey("name".into()).to_string().contains("primary key"));
         assert!(StoreError::BadIndex("oops".into()).to_string().contains("bad index"));
     }

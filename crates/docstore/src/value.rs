@@ -379,7 +379,9 @@ mod tests {
     #[test]
     fn document_from_iterator() {
         let doc: Document =
-            vec![("x".to_string(), Value::Int(1)), ("y".to_string(), Value::Int(2))].into_iter().collect();
+            vec![("x".to_string(), Value::Int(1)), ("y".to_string(), Value::Int(2))]
+                .into_iter()
+                .collect();
         assert_eq!(doc.len(), 2);
         assert_eq!(doc.get("y"), Some(&Value::Int(2)));
     }

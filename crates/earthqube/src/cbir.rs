@@ -65,7 +65,7 @@ impl CbirService {
         let mut index = HashTableIndex::new(model.code_bits());
         let mut name_to_code = HashMap::with_capacity(codes.len());
         let mut id_to_name = Vec::with_capacity(codes.len());
-        for (patch, code) in archive.patches().iter().zip(codes.into_iter()) {
+        for (patch, code) in archive.patches().iter().zip(codes) {
             index.insert(patch.meta.id.0 as u64, code.clone());
             name_to_code.insert(patch.meta.name.clone(), code);
             id_to_name.push(patch.meta.name.clone());
@@ -114,7 +114,11 @@ impl CbirService {
     ///
     /// # Errors
     /// Fails if the name is not in the archive.
-    pub fn query_by_archive_image(&self, name: &str, k: usize) -> Result<Vec<SimilarImage>, EarthQubeError> {
+    pub fn query_by_archive_image(
+        &self,
+        name: &str,
+        k: usize,
+    ) -> Result<Vec<SimilarImage>, EarthQubeError> {
         let code = self
             .name_to_code
             .get(name)

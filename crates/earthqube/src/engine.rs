@@ -89,8 +89,7 @@ impl EarthQube {
         let mut database = Database::new();
         ingest_archive(&mut database, archive)?;
 
-        let mut model =
-            Milan::new(config.milan.clone()).map_err(EarthQubeError::BadRequest)?;
+        let mut model = Milan::new(config.milan.clone()).map_err(EarthQubeError::BadRequest)?;
         if config.train_model {
             model.train_on_archive(archive);
         }
@@ -107,7 +106,7 @@ impl EarthQube {
         let _ = registry.offer(asset(
             "milan",
             AssetKind::Model,
-            "Metric-learning deep hashing network (128-bit codes)",
+            &format!("Metric-learning deep hashing network ({}-bit codes)", config.milan.code_bits),
             "eq-milan",
             &["hashing", "cbir", "metric-learning"],
         ));
@@ -218,7 +217,11 @@ impl EarthQube {
     ///
     /// # Errors
     /// Fails if the CBIR service is missing.
-    pub fn search_by_new_example(&self, patch: &Patch, k: usize) -> Result<SearchResponse, EarthQubeError> {
+    pub fn search_by_new_example(
+        &self,
+        patch: &Patch,
+        k: usize,
+    ) -> Result<SearchResponse, EarthQubeError> {
         let cbir = self.cbir()?;
         let hits = cbir.query_by_new_example(patch, k);
         self.response_from_hits(hits)
@@ -228,7 +231,11 @@ impl EarthQube {
     ///
     /// # Errors
     /// Fails if the text is empty.
-    pub fn submit_feedback(&mut self, text: &str, category: Option<&str>) -> Result<i64, EarthQubeError> {
+    pub fn submit_feedback(
+        &mut self,
+        text: &str,
+        category: Option<&str>,
+    ) -> Result<i64, EarthQubeError> {
         self.feedback.submit(&mut self.database, text, category)
     }
 
@@ -240,7 +247,10 @@ impl EarthQube {
         self.feedback.list(&self.database)
     }
 
-    fn response_from_hits(&self, hits: Vec<crate::cbir::SimilarImage>) -> Result<SearchResponse, EarthQubeError> {
+    fn response_from_hits(
+        &self,
+        hits: Vec<crate::cbir::SimilarImage>,
+    ) -> Result<SearchResponse, EarthQubeError> {
         let mut entries = Vec::with_capacity(hits.len());
         let mut label_sets = Vec::with_capacity(hits.len());
         for hit in &hits {
@@ -290,9 +300,8 @@ mod tests {
     #[test]
     fn metadata_search_filters_by_country_and_labels() {
         let (eq, archive) = build(120, 52);
-        let query = ImageQuery::all()
-            .with_countries(vec![Country::Finland])
-            .with_labels(LabelFilter::new(
+        let query =
+            ImageQuery::all().with_countries(vec![Country::Finland]).with_labels(LabelFilter::new(
                 LabelOperator::Some,
                 vec![Label::MixedForest, Label::ConiferousForest, Label::BroadLeavedForest],
             ));
@@ -358,7 +367,8 @@ mod tests {
     #[test]
     fn query_by_new_example_round_trips() {
         let (eq, _) = build(50, 56);
-        let external = ArchiveGenerator::new(GeneratorConfig::tiny(1, 777)).unwrap().generate_patch(0);
+        let external =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 777)).unwrap().generate_patch(0);
         let response = eq.search_by_new_example(&external, 5).unwrap();
         assert_eq!(response.total(), 5);
     }

@@ -38,7 +38,10 @@ fn prepare_collections(db: &mut Database) {
 ///
 /// # Errors
 /// Propagates document-store errors (e.g. duplicate patch names).
-pub fn ingest_metadata(db: &mut Database, metadata: &[PatchMetadata]) -> Result<IngestReport, EarthQubeError> {
+pub fn ingest_metadata(
+    db: &mut Database,
+    metadata: &[PatchMetadata],
+) -> Result<IngestReport, EarthQubeError> {
     prepare_collections(db);
     let coll = db.collection_mut(collections::METADATA)?;
     for meta in metadata {
@@ -52,7 +55,10 @@ pub fn ingest_metadata(db: &mut Database, metadata: &[PatchMetadata]) -> Result<
 ///
 /// # Errors
 /// Propagates document-store errors (e.g. duplicate patch names).
-pub fn ingest_archive(db: &mut Database, archive: &Archive) -> Result<IngestReport, EarthQubeError> {
+pub fn ingest_archive(
+    db: &mut Database,
+    archive: &Archive,
+) -> Result<IngestReport, EarthQubeError> {
     prepare_collections(db);
     let mut report = IngestReport { metadata_docs: 0, image_docs: 0, rendered_docs: 0 };
 
@@ -106,7 +112,8 @@ mod tests {
 
     #[test]
     fn metadata_only_ingest_populates_the_metadata_collection() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(60, 13)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(60, 13)).unwrap().generate_metadata_only();
         let mut db = Database::new();
         let report = ingest_metadata(&mut db, &metas).unwrap();
         assert_eq!(report.metadata_docs, 60);
@@ -138,7 +145,7 @@ mod tests {
             .unwrap()
             .get_by_key(&Value::Str(name.clone()))
             .unwrap();
-        assert!(img.get("bands.B02").unwrap().as_bytes().unwrap().len() > 0);
+        assert!(!img.get("bands.B02").unwrap().as_bytes().unwrap().is_empty());
         assert!(img.get("bands.B12").is_some());
         assert!(img.get("sar.VV").is_some());
         // The rendered document stores an RGB buffer of size² × 3 bytes.
@@ -150,7 +157,8 @@ mod tests {
 
     #[test]
     fn duplicate_ingest_is_rejected() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(5, 15)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(5, 15)).unwrap().generate_metadata_only();
         let mut db = Database::new();
         ingest_metadata(&mut db, &metas).unwrap();
         let err = ingest_metadata(&mut db, &metas).unwrap_err();
@@ -159,7 +167,8 @@ mod tests {
 
     #[test]
     fn ingest_is_incremental_across_calls() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(20, 16)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(20, 16)).unwrap().generate_metadata_only();
         let mut db = Database::new();
         ingest_metadata(&mut db, &metas[..10]).unwrap();
         ingest_metadata(&mut db, &metas[10..]).unwrap();

@@ -131,7 +131,9 @@ impl ImageQuery {
         }
         if let Some(lf) = &self.labels {
             if lf.labels.is_empty() {
-                return Err(EarthQubeError::BadRequest("label filter with no labels selected".into()));
+                return Err(EarthQubeError::BadRequest(
+                    "label filter with no labels selected".into(),
+                ));
             }
         }
         Ok(())
@@ -205,9 +207,13 @@ mod tests {
 
     #[test]
     fn label_filter_document_predicate_agrees_with_in_memory_matching() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(80, 21)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(80, 21)).unwrap().generate_metadata_only();
         let filters = vec![
-            LabelFilter::new(LabelOperator::Some, vec![Label::MixedForest, Label::ConiferousForest]),
+            LabelFilter::new(
+                LabelOperator::Some,
+                vec![Label::MixedForest, Label::ConiferousForest],
+            ),
             LabelFilter::new(LabelOperator::AtLeastAndMore, vec![Label::MixedForest]),
             LabelFilter::new(LabelOperator::Exactly, vec![Label::MixedForest]),
         ];
@@ -248,7 +254,8 @@ mod tests {
 
     #[test]
     fn to_filter_composes_all_restrictions() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(120, 22)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(120, 22)).unwrap().generate_metadata_only();
         let q = ImageQuery::all()
             .with_countries(vec![Country::Finland, Country::Portugal])
             .with_seasons(vec![Season::Summer, Season::Autumn]);
@@ -263,7 +270,8 @@ mod tests {
 
     #[test]
     fn unrestricted_query_matches_everything() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(10, 23)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(10, 23)).unwrap().generate_metadata_only();
         let f = ImageQuery::all().to_filter();
         assert_eq!(f, Filter::All);
         for meta in &metas {
@@ -273,7 +281,8 @@ mod tests {
 
     #[test]
     fn date_range_filter_is_inclusive() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(100, 24)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(100, 24)).unwrap().generate_metadata_only();
         let target = metas[0].date;
         let q = ImageQuery::all().with_date_range(target, target);
         let f = q.to_filter();

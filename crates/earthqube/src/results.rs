@@ -42,7 +42,10 @@ impl ResultEntry {
     pub fn describe(&self) -> String {
         let labels = self.labels.join(", ");
         match self.distance {
-            Some(d) => format!("{} [{}] {} — {} (hamming {})", self.name, self.country, self.date, labels, d),
+            Some(d) => format!(
+                "{} [{}] {} — {} (hamming {})",
+                self.name, self.country, self.date, labels, d
+            ),
             None => format!("{} [{}] {} — {}", self.name, self.country, self.date, labels),
         }
     }
@@ -204,7 +207,8 @@ mod tests {
 
     #[test]
     fn entry_describes_itself() {
-        let metas = ArchiveGenerator::new(GeneratorConfig::tiny(1, 42)).unwrap().generate_metadata_only();
+        let metas =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 42)).unwrap().generate_metadata_only();
         let e = ResultEntry::from_metadata(&metas[0], Some(3));
         let d = e.describe();
         assert!(d.contains(&metas[0].name));
@@ -224,7 +228,8 @@ mod tests {
         assert_eq!(panel.page(2).entries.len(), 3);
         assert!(panel.page(3).entries.is_empty());
         // No duplicates across pages.
-        let mut all: Vec<String> = (0..3).flat_map(|p| panel.page(p).entries).map(|e| e.name).collect();
+        let mut all: Vec<String> =
+            (0..3).flat_map(|p| panel.page(p).entries).map(|e| e.name).collect();
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 23);
@@ -243,7 +248,7 @@ mod tests {
         let panel = ResultPanel::new(entries(30), 10);
         assert_eq!(panel.renderable_names().len(), 30);
         // The cap only kicks in above MAX_RENDERED_IMAGES; emulate by checking the constant.
-        assert!(MAX_RENDERED_IMAGES == 1000);
+        assert_eq!(MAX_RENDERED_IMAGES, 1000);
     }
 
     #[test]

@@ -131,7 +131,7 @@ mod tests {
         let lat = loc[1].as_float().unwrap();
         assert!(meta.bbox.contains(eq_geo::Point::new_unchecked(lon, lat)));
         // properties carries labels (ASCII codes), season, country, date.
-        assert!(doc.get(fields::LABELS).unwrap().as_str().unwrap().len() >= 1);
+        assert!(!doc.get(fields::LABELS).unwrap().as_str().unwrap().is_empty());
         assert!(doc.get(fields::SEASON).is_some());
         assert!(doc.get(fields::COUNTRY).is_some());
         assert!(doc.get(fields::DATE).unwrap().as_date().is_some());

@@ -131,9 +131,10 @@ mod tests {
 
     #[test]
     fn ties_are_broken_deterministically_by_label_index() {
-        let stats = LabelStatistics::from_label_sets(vec![
-            LabelSet::from_labels([Label::Airports, Label::Vineyards]),
-        ]);
+        let stats = LabelStatistics::from_label_sets(vec![LabelSet::from_labels([
+            Label::Airports,
+            Label::Vineyards,
+        ])]);
         let ranked = stats.ranked();
         assert_eq!(ranked[0].0, Label::Airports); // smaller dense index first
         assert_eq!(ranked[1].0, Label::Vineyards);

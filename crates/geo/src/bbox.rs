@@ -76,7 +76,10 @@ impl BBox {
     /// Whether `p` lies inside or on the edge of the box.
     #[inline]
     pub fn contains(&self, p: Point) -> bool {
-        p.lon >= self.min_lon && p.lon <= self.max_lon && p.lat >= self.min_lat && p.lat <= self.max_lat
+        p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+            && p.lat >= self.min_lat
+            && p.lat <= self.max_lat
     }
 
     /// Whether `other` is fully contained in `self` (edges included).

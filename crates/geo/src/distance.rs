@@ -3,7 +3,7 @@
 use crate::Point;
 
 /// Mean Earth radius in kilometres (IUGG).
-pub const EARTH_RADIUS_KM: f64 = 6_371.0088;
+pub const EARTH_RADIUS_KM: f64 = 6_371.008_8;
 
 /// Haversine great-circle distance between two WGS-84 points, in kilometres.
 ///

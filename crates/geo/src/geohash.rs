@@ -166,7 +166,11 @@ pub fn neighbors(hash: &str) -> Result<Vec<String>, GeohashError> {
 /// large for the precision, the precision is reduced until the cover fits.
 /// This mirrors how a geohash-backed 2-D index turns a rectangle query into
 /// a handful of ordered prefix scans.
-pub fn cover_bbox(bbox: &BBox, precision: usize, max_cells: usize) -> Result<Vec<String>, GeohashError> {
+pub fn cover_bbox(
+    bbox: &BBox,
+    precision: usize,
+    max_cells: usize,
+) -> Result<Vec<String>, GeohashError> {
     if precision == 0 || precision > MAX_PRECISION {
         return Err(GeohashError::InvalidPrecision(precision));
     }
@@ -240,9 +244,14 @@ mod tests {
 
     #[test]
     fn roundtrip_point_stays_in_cell() {
-        for &(lon, lat) in
-            &[(13.4, 52.5), (-9.14, 38.72), (24.94, 60.17), (0.0, 0.0), (-179.9, -89.9), (179.9, 89.9)]
-        {
+        for &(lon, lat) in &[
+            (13.4, 52.5),
+            (-9.14, 38.72),
+            (24.94, 60.17),
+            (0.0, 0.0),
+            (-179.9, -89.9),
+            (179.9, 89.9),
+        ] {
             let point = p(lon, lat);
             for prec in 1..=9 {
                 let h = encode(point, prec).unwrap();
@@ -293,10 +302,8 @@ mod tests {
         // Every sampled point inside the bbox must be covered by some prefix.
         for i in 0..10 {
             for j in 0..10 {
-                let point = p(
-                    12.0 + 2.0 * (i as f64 + 0.5) / 10.0,
-                    51.0 + 2.0 * (j as f64 + 0.5) / 10.0,
-                );
+                let point =
+                    p(12.0 + 2.0 * (i as f64 + 0.5) / 10.0, 51.0 + 2.0 * (j as f64 + 0.5) / 10.0);
                 let h = encode(point, 4).unwrap();
                 assert!(
                     cover.iter().any(|c| h.starts_with(c.as_str())),

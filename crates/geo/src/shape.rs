@@ -160,7 +160,8 @@ impl GeoShape {
                     Point::new_unchecked(bbox.max_lon, bbox.max_lat),
                     bbox.center(),
                 ];
-                corners.iter().any(|c| self.contains(*c)) || bbox.contains(self.bounding_box().center())
+                corners.iter().any(|c| self.contains(*c))
+                    || bbox.contains(self.bounding_box().center())
             }
         }
     }
@@ -210,7 +211,8 @@ mod tests {
     #[test]
     fn polygon_drops_explicit_closing_vertex() {
         let poly =
-            Polygon::new(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(0.0, 0.0)]).unwrap();
+            Polygon::new(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0), p(0.0, 0.0)])
+                .unwrap();
         assert_eq!(poly.vertices().len(), 4);
     }
 
@@ -251,8 +253,9 @@ mod tests {
     fn geoshape_dispatches_contains() {
         let rect = GeoShape::Rect(BBox::new(0.0, 0.0, 2.0, 2.0).unwrap());
         let circ = GeoShape::Circle(Circle::new(p(10.0, 10.0), 100.0).unwrap());
-        let poly =
-            GeoShape::Polygon(Polygon::new(vec![p(20.0, 20.0), p(22.0, 20.0), p(21.0, 22.0)]).unwrap());
+        let poly = GeoShape::Polygon(
+            Polygon::new(vec![p(20.0, 20.0), p(22.0, 20.0), p(21.0, 22.0)]).unwrap(),
+        );
         assert!(rect.contains(p(1.0, 1.0)));
         assert!(!rect.contains(p(3.0, 1.0)));
         assert!(circ.contains(p(10.1, 10.1)));

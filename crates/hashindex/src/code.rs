@@ -171,7 +171,12 @@ impl BinaryCode {
 
 impl std::fmt::Display for BinaryCode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BinaryCode<{}>({}…)", self.bits, &self.to_bit_string()[..self.bits.min(16) as usize])
+        write!(
+            f,
+            "BinaryCode<{}>({}…)",
+            self.bits,
+            &self.to_bit_string()[..self.bits.min(16) as usize]
+        )
     }
 }
 

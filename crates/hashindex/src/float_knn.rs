@@ -86,12 +86,9 @@ impl FloatKnnIndex {
     fn distance(&self, i: usize, query: &[f32], query_norm: f32) -> f32 {
         let row = self.row(i);
         match self.metric {
-            DistanceMetric::Euclidean => row
-                .iter()
-                .zip(query.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
-                .sqrt(),
+            DistanceMetric::Euclidean => {
+                row.iter().zip(query.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
+            }
             DistanceMetric::Cosine => {
                 let dot: f32 = row.iter().zip(query.iter()).map(|(a, b)| a * b).sum();
                 let denom = self.norms[i] * query_norm;
@@ -118,7 +115,10 @@ impl FloatKnnIndex {
             .map(|i| FloatNeighbor { id: self.ids[i], distance: self.distance(i, query, qn) })
             .collect();
         all.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
         });
         all.truncate(k);
         all
@@ -136,7 +136,10 @@ impl FloatKnnIndex {
             })
             .collect();
         hits.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
         });
         hits
     }

@@ -19,8 +19,9 @@ use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
 ///   2. **Bucket scan** — iterate over all distinct codes present in the
 ///      table and keep those within distance `r`; cost grows with the
 ///      number of distinct codes but not with `r`.
-///   The cheaper strategy is picked per query; `force_strategy` pins it for
-///   experiments (E1/E3 compare the two).
+///
+/// The cheaper strategy is picked per query; `force_strategy` pins it for
+/// experiments (E1/E3 compare the two).
 #[derive(Debug, Clone)]
 pub struct HashTableIndex {
     bits: u32,
@@ -326,7 +327,6 @@ mod tests {
                 }
             }
             // Add the item index to make codes distinct.
-            let mut c = c;
             for b in 0..13 {
                 c.set_bit(50 + (b % 14), (i >> b) & 1 == 1);
             }

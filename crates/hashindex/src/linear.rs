@@ -94,10 +94,7 @@ mod tests {
     fn radius_search_filters_and_sorts() {
         let idx = sample();
         let hits = idx.radius_search(&code("00000000"), 3);
-        assert_eq!(
-            hits,
-            vec![Neighbor::new(1, 0), Neighbor::new(4, 1), Neighbor::new(2, 3)]
-        );
+        assert_eq!(hits, vec![Neighbor::new(1, 0), Neighbor::new(4, 1), Neighbor::new(2, 3)]);
         assert!(idx.radius_search(&code("00000000"), 0).len() == 1);
     }
 

@@ -2,9 +2,7 @@
 //! brute-force linear scan, and the code type must behave like a metric
 //! space element.
 
-use eq_hashindex::{
-    BinaryCode, HammingIndex, HashTableIndex, LinearScanIndex, MultiIndexHashing,
-};
+use eq_hashindex::{BinaryCode, HammingIndex, HashTableIndex, LinearScanIndex, MultiIndexHashing};
 use proptest::prelude::*;
 
 fn arb_code(bits: u32) -> impl Strategy<Value = BinaryCode> {

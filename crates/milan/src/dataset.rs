@@ -136,11 +136,22 @@ impl TrainingDataset {
         out
     }
 
-    /// Samples `count` triplets with *semi-hard negative mining*: among a
-    /// small candidate pool of valid negatives, the one closest to the
-    /// anchor in feature space is chosen.  Hard negatives speed up metric
-    /// learning considerably on small datasets.
-    pub fn sample_triplets_semi_hard(&self, count: usize, pool: usize, rng: &mut StdRng) -> Vec<Triplet> {
+    /// Samples `count` triplets with *semi-hard negative mining* (Schroff
+    /// et al. 2015): among a small candidate pool of valid negatives, the
+    /// one closest to the anchor *while still farther than the positive*
+    /// is chosen.  Semi-hard negatives speed up metric learning without the
+    /// training collapse that the very hardest negatives cause — on
+    /// multi-label data the negative nearest to the anchor is frequently a
+    /// near-duplicate whose label set merely misses the overlap, and
+    /// pulling it apart destroys the metric.  When no candidate is farther
+    /// than the positive, the *easiest* (farthest) candidate is used as a
+    /// stabilising fallback.
+    pub fn sample_triplets_semi_hard(
+        &self,
+        count: usize,
+        pool: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Triplet> {
         let n = self.len();
         let mut out = Vec::with_capacity(count);
         if n < 3 {
@@ -156,22 +167,25 @@ impl TrainingDataset {
             if anchor == positive || !self.similar(anchor, positive) {
                 continue;
             }
-            // Gather a pool of valid negatives and keep the hardest.
-            let mut best: Option<(usize, f32)> = None;
+            let d_ap = squared_distance(self.feature(anchor), self.feature(positive));
+            // Gather a pool of valid negatives; keep the closest one beyond
+            // the positive (semi-hard), remembering the farthest as fallback.
+            let mut semi_hard: Option<(usize, f32)> = None;
+            let mut easiest: Option<(usize, f32)> = None;
             for _ in 0..pool * 4 {
                 let cand = rng.gen_range(0..n);
                 if cand == anchor || cand == positive || self.similar(anchor, cand) {
                     continue;
                 }
                 let d = squared_distance(self.feature(anchor), self.feature(cand));
-                if best.map_or(true, |(_, bd)| d < bd) {
-                    best = Some((cand, d));
+                if d > d_ap && semi_hard.is_none_or(|(_, bd)| d < bd) {
+                    semi_hard = Some((cand, d));
                 }
-                if best.is_some() && out.len() + 1 == count {
-                    break;
+                if easiest.is_none_or(|(_, bd)| d > bd) {
+                    easiest = Some((cand, d));
                 }
             }
-            if let Some((negative, _)) = best {
+            if let Some((negative, _)) = semi_hard.or(easiest) {
                 out.push(Triplet { anchor, positive, negative });
             }
         }

@@ -32,6 +32,8 @@ pub mod normalizer;
 pub use dataset::TrainingDataset;
 pub use features::{FeatureExtractor, FEATURE_DIM};
 pub use loss::{LossWeights, MilanLoss};
-pub use metrics::{average_precision, mean_average_precision, precision_at_k, recall_at_k, CodeStatistics};
+pub use metrics::{
+    average_precision, mean_average_precision, precision_at_k, recall_at_k, CodeStatistics,
+};
 pub use model::{Milan, MilanConfig, TrainingReport};
 pub use normalizer::Normalizer;

@@ -64,8 +64,16 @@ pub fn triplet_loss(
     negatives: &Matrix,
     margin: f32,
 ) -> (f32, Matrix, Matrix, Matrix, f32) {
-    assert_eq!((anchors.rows(), anchors.cols()), (positives.rows(), positives.cols()), "shape mismatch");
-    assert_eq!((anchors.rows(), anchors.cols()), (negatives.rows(), negatives.cols()), "shape mismatch");
+    assert_eq!(
+        (anchors.rows(), anchors.cols()),
+        (positives.rows(), positives.cols()),
+        "shape mismatch"
+    );
+    assert_eq!(
+        (anchors.rows(), anchors.cols()),
+        (negatives.rows(), negatives.cols()),
+        "shape mismatch"
+    );
     let n = anchors.rows();
     let k = anchors.cols();
     let mut loss = 0.0f32;
@@ -91,13 +99,7 @@ pub fn triplet_loss(
             }
         }
     }
-    (
-        loss / n as f32,
-        grad_a,
-        grad_p,
-        grad_n,
-        if n == 0 { 0.0 } else { active as f32 / n as f32 },
-    )
+    (loss / n as f32, grad_a, grad_p, grad_n, if n == 0 { 0.0 } else { active as f32 / n as f32 })
 }
 
 /// Bit-balance loss: pushes every bit to be active for ~50 % of the images
@@ -135,8 +137,8 @@ pub fn bit_balance_loss(outputs: &Matrix) -> (f32, Matrix) {
     // d(balance)/dB_ij = 2 * mean_j / (N * K)
     let mut grad = Matrix::zeros(n, k);
     for i in 0..n {
-        for j in 0..k {
-            grad.set(i, j, 2.0 * means[j] / (nf * kf));
+        for (j, mean) in means.iter().enumerate() {
+            grad.set(i, j, 2.0 * mean / (nf * kf));
         }
     }
     // d(corr)/dB = 4/(N*K²) * B (BᵀB/N − I)

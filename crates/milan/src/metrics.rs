@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn map_averages_over_queries() {
         let queries = vec![
-            (vec![true, true], 2),  // AP = 1
+            (vec![true, true], 2),   // AP = 1
             (vec![false, false], 2), // AP = 0
         ];
         assert!((mean_average_precision(&queries, 2) - 0.5).abs() < 1e-12);

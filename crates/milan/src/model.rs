@@ -68,12 +68,16 @@ impl MilanConfig {
         if self.epochs == 0 || self.triplets_per_epoch == 0 {
             return Err("epochs and triplets_per_epoch must be positive".into());
         }
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
             return Err("learning rate must be positive".into());
         }
         Ok(())
     }
 }
+
+/// Triplets per optimizer step; small enough that even the `fast` configs
+/// take several steps per epoch.
+const MINI_BATCH: usize = 32;
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, Default)]
@@ -128,7 +132,13 @@ impl Milan {
             seed: config.seed,
             grad_clip: 5.0,
         });
-        Ok(Self { config, network, extractor: FeatureExtractor::new(), normalizer: None, trained: false })
+        Ok(Self {
+            config,
+            network,
+            extractor: FeatureExtractor::new(),
+            normalizer: None,
+            trained: false,
+        })
     }
 
     /// The model configuration.
@@ -181,30 +191,51 @@ impl Milan {
                 continue;
             }
 
-            // Stack anchors, positives and negatives into one forward batch
-            // so a single backward pass updates the shared weights.
-            let t = triplets.len();
-            let mut rows: Vec<Vec<f32>> = Vec::with_capacity(3 * t);
-            for tr in &triplets {
-                rows.push(self.normalize(dataset.feature(tr.anchor)));
-            }
-            for tr in &triplets {
-                rows.push(self.normalize(dataset.feature(tr.positive)));
-            }
-            for tr in &triplets {
-                rows.push(self.normalize(dataset.feature(tr.negative)));
-            }
-            let batch = Matrix::from_rows(&rows);
-            let outputs = self.network.forward(&batch);
+            // Process the epoch in mini-batches so each epoch takes several
+            // optimizer steps rather than one giant full-batch step —
+            // full-batch training needs far more epochs to converge than the
+            // configured budgets allow.
+            let mut epoch_breakdown = LossBreakdown::default();
+            for chunk in triplets.chunks(MINI_BATCH) {
+                // Stack anchors, positives and negatives into one forward
+                // batch so a single backward pass updates the shared weights.
+                let t = chunk.len();
+                let mut rows: Vec<Vec<f32>> = Vec::with_capacity(3 * t);
+                for tr in chunk {
+                    rows.push(self.normalize(dataset.feature(tr.anchor)));
+                }
+                for tr in chunk {
+                    rows.push(self.normalize(dataset.feature(tr.positive)));
+                }
+                for tr in chunk {
+                    rows.push(self.normalize(dataset.feature(tr.negative)));
+                }
+                let batch = Matrix::from_rows(&rows);
+                let outputs = self.network.forward(&batch);
 
-            let (anchors, positives, negatives) = split_three(&outputs, t);
-            let (breakdown, ga, gp, gn) = loss.compute(&anchors, &positives, &negatives);
-            let grad = stack_three(&ga, &gp, &gn);
-            self.network.backward(&grad);
-            optimizer.next_step();
-            self.network.apply_gradients(&mut optimizer);
+                let (anchors, positives, negatives) = split_three(&outputs, t);
+                let (breakdown, ga, gp, gn) = loss.compute(&anchors, &positives, &negatives);
+                let grad = stack_three(&ga, &gp, &gn);
+                self.network.backward(&grad);
+                optimizer.next_step();
+                self.network.apply_gradients(&mut optimizer);
 
-            report.epochs.push(breakdown);
+                // Weight each batch by its triplet count so the (smaller)
+                // final chunk does not skew the per-triplet epoch means.
+                let tw = t as f32;
+                epoch_breakdown.triplet += breakdown.triplet * tw;
+                epoch_breakdown.bit_balance += breakdown.bit_balance * tw;
+                epoch_breakdown.quantization += breakdown.quantization * tw;
+                epoch_breakdown.total += breakdown.total * tw;
+                epoch_breakdown.active_triplet_fraction += breakdown.active_triplet_fraction * tw;
+            }
+            let bf = triplets.len() as f32;
+            epoch_breakdown.triplet /= bf;
+            epoch_breakdown.bit_balance /= bf;
+            epoch_breakdown.quantization /= bf;
+            epoch_breakdown.total /= bf;
+            epoch_breakdown.active_triplet_fraction /= bf;
+            report.epochs.push(epoch_breakdown);
         }
         self.trained = true;
         report
@@ -376,8 +407,10 @@ mod tests {
                     .map(|i| (codes[q].hamming_distance(&codes[i]), i))
                     .collect();
                 ranked.sort_unstable();
-                let rel: Vec<bool> =
-                    ranked.iter().map(|(_, i)| a.patches()[*i].meta.labels.intersects(q_labels)).collect();
+                let rel: Vec<bool> = ranked
+                    .iter()
+                    .map(|(_, i)| a.patches()[*i].meta.labels.intersects(q_labels))
+                    .collect();
                 let total_rel = rel.iter().filter(|&&r| r).count();
                 queries.push((rel, total_rel));
             }

@@ -224,6 +224,8 @@ mod tests {
     }
 
     #[test]
+    // Index loops keep the finite-difference perturbation sites explicit.
+    #[allow(clippy::needless_range_loop)]
     fn dense_gradient_check_against_numerical_differentiation() {
         // Scalar loss L = sum(forward(x)); check dL/dW numerically.
         let mut layer = Dense::new(3, 2, Activation::Tanh, 11);

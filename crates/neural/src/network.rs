@@ -57,8 +57,17 @@ impl Mlp {
         dims.push(config.output_dim);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
-            let act = if i + 2 == dims.len() { config.output_activation } else { config.hidden_activation };
-            layers.push(Dense::new(dims[i], dims[i + 1], act, config.seed.wrapping_add(i as u64 * 7919)));
+            let act = if i + 2 == dims.len() {
+                config.output_activation
+            } else {
+                config.hidden_activation
+            };
+            layers.push(Dense::new(
+                dims[i],
+                dims[i + 1],
+                act,
+                config.seed.wrapping_add(i as u64 * 7919),
+            ));
         }
         Self { layers, grad_clip: config.grad_clip, optimizer_slots: Vec::new() }
     }
@@ -85,10 +94,7 @@ impl Mlp {
 
     /// Total number of trainable parameters.
     pub fn parameter_count(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.input_dim() * l.output_dim() + l.output_dim())
-            .sum()
+        self.layers.iter().map(|l| l.input_dim() * l.output_dim() + l.output_dim()).sum()
     }
 
     /// Training forward pass (caches activations for backpropagation).
@@ -180,7 +186,12 @@ mod tests {
     use crate::optimizer::Adam;
 
     fn config(input: usize, hidden: Vec<usize>, output: usize) -> MlpConfig {
-        MlpConfig { input_dim: input, hidden_dims: hidden, output_dim: output, ..Default::default() }
+        MlpConfig {
+            input_dim: input,
+            hidden_dims: hidden,
+            output_dim: output,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -233,9 +244,8 @@ mod tests {
         let mut opt = Adam::new(0.01);
         mlp.register_with(&mut opt);
 
-        let loss_of = |pred: &Matrix| -> f32 {
-            pred.add(&y_true.scale(-1.0)).map(|d| d * d).mean()
-        };
+        let loss_of =
+            |pred: &Matrix| -> f32 { pred.add(&y_true.scale(-1.0)).map(|d| d * d).mean() };
 
         let initial = loss_of(&mlp.forward_inference(&x));
         for _ in 0..300 {

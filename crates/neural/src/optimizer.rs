@@ -76,7 +76,15 @@ impl Adam {
     /// Panics if the learning rate is not positive.
     pub fn new(learning_rate: f32) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Advances the shared time step; call once per batch before stepping

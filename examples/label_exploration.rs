@@ -10,9 +10,10 @@ use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig, Label};
 use agoraeo::earthqube::{EarthQube, EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator};
 
 fn main() {
-    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 800, seed: 21, ..Default::default() })
-        .expect("valid generator configuration")
-        .generate();
+    let archive =
+        ArchiveGenerator::new(GeneratorConfig { num_patches: 800, seed: 21, ..Default::default() })
+            .expect("valid generator configuration")
+            .generate();
     let mut config = EarthQubeConfig::fast(21);
     config.milan.epochs = 15;
     let eq = EarthQube::build(&archive, config).expect("back-end builds");

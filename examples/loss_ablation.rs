@@ -10,20 +10,24 @@
 
 use agoraeo::bigearthnet::ArchiveGenerator;
 use agoraeo::bigearthnet::GeneratorConfig;
+use agoraeo::milan::metrics::quantization_error;
 use agoraeo::milan::{
     mean_average_precision, CodeStatistics, LossWeights, Milan, MilanConfig, TrainingDataset,
 };
-use agoraeo::milan::metrics::quantization_error;
 
 fn main() {
-    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 500, seed: 66, ..Default::default() })
-        .expect("valid generator configuration")
-        .generate();
+    let archive =
+        ArchiveGenerator::new(GeneratorConfig { num_patches: 500, seed: 66, ..Default::default() })
+            .expect("valid generator configuration")
+            .generate();
     let dataset = TrainingDataset::from_archive(&archive);
 
     let variants: Vec<(&str, LossWeights)> = vec![
         ("triplet only", LossWeights::triplet_only(2.0)),
-        ("+ bit balance", LossWeights { triplet: 1.0, bit_balance: 0.1, quantization: 0.0, margin: 2.0 }),
+        (
+            "+ bit balance",
+            LossWeights { triplet: 1.0, bit_balance: 0.1, quantization: 0.0, margin: 2.0 },
+        ),
         ("+ quantization (full MiLaN)", LossWeights::default()),
     ];
 
@@ -32,12 +36,9 @@ fn main() {
         "variant", "mAP@10", "bal.dev", "bit corr", "quant.err", "distinct"
     );
     for (name, weights) in variants {
-        let mut model = Milan::new(MilanConfig {
-            epochs: 35,
-            loss: weights,
-            ..MilanConfig::fast(64, 66)
-        })
-        .expect("valid model configuration");
+        let mut model =
+            Milan::new(MilanConfig { epochs: 35, loss: weights, ..MilanConfig::fast(64, 66) })
+                .expect("valid model configuration");
         model.train(&dataset);
 
         let codes = model.hash_archive(&archive);
@@ -65,7 +66,12 @@ fn main() {
 
         println!(
             "{:<30} {:>8.3} {:>12.3} {:>12.3} {:>12.3} {:>10}",
-            name, map, stats.balance_deviation, stats.mean_bit_correlation, q_err, stats.distinct_codes
+            name,
+            map,
+            stats.balance_deviation,
+            stats.mean_bit_correlation,
+            q_err,
+            stats.distinct_codes
         );
     }
 

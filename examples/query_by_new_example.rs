@@ -11,9 +11,10 @@ use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig, Label};
 use agoraeo::earthqube::{EarthQube, EarthQubeConfig};
 
 fn main() {
-    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 700, seed: 44, ..Default::default() })
-        .expect("valid generator configuration")
-        .generate();
+    let archive =
+        ArchiveGenerator::new(GeneratorConfig { num_patches: 700, seed: 44, ..Default::default() })
+            .expect("valid generator configuration")
+            .generate();
     let mut config = EarthQubeConfig::fast(44);
     config.milan.epochs = 25;
     let eq = EarthQube::build(&archive, config).expect("back-end builds");
@@ -21,9 +22,10 @@ fn main() {
     // A freshly acquired, unlabeled patch: generated with a different seed,
     // so it is not part of the archive.  Its "true" labels are known to the
     // generator, which lets us check the auto-labelling proposal below.
-    let external = ArchiveGenerator::new(GeneratorConfig { num_patches: 1, seed: 4242, ..Default::default() })
-        .expect("valid generator configuration")
-        .generate_patch(0);
+    let external =
+        ArchiveGenerator::new(GeneratorConfig { num_patches: 1, seed: 4242, ..Default::default() })
+            .expect("valid generator configuration")
+            .generate_patch(0);
     println!("Uploaded external image {} (labels withheld)", external.meta.name);
 
     let k = 15;

@@ -2,16 +2,21 @@
 //! build EarthQube, and run one filtered search plus one similarity search.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! `main` is `pub` so `tests/quickstart_smoke.rs` can include this file and
+//! run the flow under `cargo test`, keeping the headline demo from rotting.
 
 use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig, Label};
 use agoraeo::earthqube::{EarthQube, EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator};
 
-fn main() {
+/// The end-to-end quickstart flow of the paper's demonstration.
+pub fn main() {
     // 1. Generate a deterministic synthetic archive (stand-in for the real
     //    590,326-patch BigEarthNet archive; see DESIGN.md "Substitutions").
-    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 600, seed: 7, ..Default::default() })
-        .expect("valid generator configuration")
-        .generate();
+    let archive =
+        ArchiveGenerator::new(GeneratorConfig { num_patches: 600, seed: 7, ..Default::default() })
+            .expect("valid generator configuration")
+            .generate();
     println!("Generated a synthetic archive with {} Sentinel-1/2 patch pairs", archive.len());
     let stats = archive.stats();
     println!(

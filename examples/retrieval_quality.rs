@@ -21,9 +21,10 @@ const K_MAP: usize = 10;
 const K_RECALL: usize = 50;
 
 fn main() {
-    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 800, seed: 55, ..Default::default() })
-        .expect("valid generator configuration")
-        .generate();
+    let archive =
+        ArchiveGenerator::new(GeneratorConfig { num_patches: 800, seed: 55, ..Default::default() })
+            .expect("valid generator configuration")
+            .generate();
     let dataset = TrainingDataset::from_archive(&archive);
     let extractor = FeatureExtractor::new();
     let features = extractor.extract_all(&archive);
@@ -66,13 +67,28 @@ fn main() {
     println!("{:<28} {:>9} {:>14} {:>12}", "method", "mAP@10", "precision@10", "recall@50");
 
     let milan_rank = |q: usize, k: usize| -> Vec<u64> {
-        milan_index.knn(&milan_codes[q], k + 1).into_iter().map(|n| n.id).filter(|id| *id != q as u64).collect()
+        milan_index
+            .knn(&milan_codes[q], k + 1)
+            .into_iter()
+            .map(|n| n.id)
+            .filter(|id| *id != q as u64)
+            .collect()
     };
     let lsh_rank = |q: usize, k: usize| -> Vec<u64> {
-        lsh_index.knn(&lsh_codes[q], k + 1).into_iter().map(|n| n.id).filter(|id| *id != q as u64).collect()
+        lsh_index
+            .knn(&lsh_codes[q], k + 1)
+            .into_iter()
+            .map(|n| n.id)
+            .filter(|id| *id != q as u64)
+            .collect()
     };
     let float_rank = |q: usize, k: usize| -> Vec<u64> {
-        float_index.knn(&normalized[q], k + 1).into_iter().map(|n| n.id).filter(|id| *id != q as u64).collect()
+        float_index
+            .knn(&normalized[q], k + 1)
+            .into_iter()
+            .map(|n| n.id)
+            .filter(|id| *id != q as u64)
+            .collect()
     };
 
     report_method("MiLaN (128-bit hash)", &archive, &queries, milan_rank);

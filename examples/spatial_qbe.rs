@@ -11,9 +11,10 @@ use agoraeo::earthqube::{EarthQube, EarthQubeConfig, ImageQuery};
 use agoraeo::geo::{BBox, GeoShape};
 
 fn main() {
-    let archive = ArchiveGenerator::new(GeneratorConfig { num_patches: 800, seed: 33, ..Default::default() })
-        .expect("valid generator configuration")
-        .generate();
+    let archive =
+        ArchiveGenerator::new(GeneratorConfig { num_patches: 800, seed: 33, ..Default::default() })
+            .expect("valid generator configuration")
+            .generate();
     let mut config = EarthQubeConfig::fast(33);
     config.milan.epochs = 25;
     let eq = EarthQube::build(&archive, config).expect("back-end builds");

@@ -4,7 +4,8 @@
 
 use agoraeo::bigearthnet::{ArchiveGenerator, Country, GeneratorConfig, Label};
 use agoraeo::earthqube::{
-    DownloadCart, EarthQube, EarthQubeConfig, EarthQubeError, ImageQuery, LabelFilter, LabelOperator,
+    DownloadCart, EarthQube, EarthQubeConfig, EarthQubeError, ImageQuery, LabelFilter,
+    LabelOperator,
 };
 use agoraeo::geo::{BBox, GeoShape};
 
@@ -106,7 +107,10 @@ fn combined_spatial_temporal_label_query_matches_reference_scan() {
     let query = ImageQuery::all()
         .with_shape(GeoShape::Rect(bbox))
         .with_date_range(from, to)
-        .with_labels(LabelFilter::new(LabelOperator::Some, vec![Label::MixedForest, Label::ConiferousForest]));
+        .with_labels(LabelFilter::new(
+            LabelOperator::Some,
+            vec![Label::MixedForest, Label::ConiferousForest],
+        ));
     let response = eq.search(&query).unwrap();
     let expected = archive
         .patches()

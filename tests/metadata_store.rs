@@ -5,11 +5,14 @@
 
 use agoraeo::bigearthnet::{ArchiveGenerator, Country, GeneratorConfig, Label, Season};
 use agoraeo::docstore::{Database, Filter, Value};
-use agoraeo::earthqube::{ingest_metadata, schema::collections, schema::fields, LabelFilter, LabelOperator};
+use agoraeo::earthqube::{
+    ingest_metadata, schema::collections, schema::fields, LabelFilter, LabelOperator,
+};
 use agoraeo::geo::GeoShape;
 
 fn ingested(n: usize, seed: u64) -> (Database, Vec<agoraeo::bigearthnet::PatchMetadata>) {
-    let metas = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate_metadata_only();
+    let metas =
+        ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate_metadata_only();
     let mut db = Database::new();
     ingest_metadata(&mut db, &metas).unwrap();
     (db, metas)
@@ -91,7 +94,8 @@ fn primary_key_lookups_hit_every_ingested_patch() {
     let (db, metas) = ingested(150, 305);
     let coll = db.collection(collections::METADATA).unwrap();
     for meta in &metas {
-        let doc = coll.get_by_key(&Value::Str(meta.name.clone())).expect("patch is retrievable by name");
+        let doc =
+            coll.get_by_key(&Value::Str(meta.name.clone())).expect("patch is retrievable by name");
         assert_eq!(doc.get(fields::PATCH_ID).unwrap().as_int().unwrap() as u32, meta.id.0);
         assert_eq!(
             doc.get(fields::LABELS).unwrap().as_str().unwrap(),

@@ -1,0 +1,12 @@
+//! Smoke test: the quickstart example — the paper's headline flow — must run
+//! end-to-end.  The example source is compiled into this test directly, so
+//! the flow is exercised by plain `cargo test` (no recursive cargo
+//! invocation) and cannot silently rot.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[test]
+fn quickstart_example_runs_end_to_end() {
+    quickstart::main();
+}

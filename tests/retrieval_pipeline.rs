@@ -17,7 +17,8 @@ use agoraeo::milan::{
 fn trained_setup(n: usize, seed: u64, bits: u32) -> (agoraeo::bigearthnet::Archive, Milan) {
     let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
     let dataset = TrainingDataset::from_archive(&archive);
-    let mut model = Milan::new(MilanConfig { epochs: 20, ..MilanConfig::fast(bits, seed) }).unwrap();
+    let mut model =
+        Milan::new(MilanConfig { epochs: 20, ..MilanConfig::fast(bits, seed) }).unwrap();
     model.train(&dataset);
     (archive, model)
 }
@@ -136,7 +137,11 @@ fn code_statistics_show_the_effect_of_the_regularisers() {
     assert_eq!(stats.bits, 64);
     assert_eq!(stats.count, archive.len());
     // Trained codes occupy many buckets rather than collapsing.
-    assert!(stats.distinct_codes > archive.len() / 4, "codes collapsed: {} buckets", stats.distinct_codes);
+    assert!(
+        stats.distinct_codes > archive.len() / 4,
+        "codes collapsed: {} buckets",
+        stats.distinct_codes
+    );
     // And no bit is permanently stuck for every image.
     assert!(stats.balance_deviation < 0.5);
 }
@@ -144,7 +149,8 @@ fn code_statistics_show_the_effect_of_the_regularisers() {
 #[test]
 fn external_patch_encoding_is_stable_across_calls() {
     let (archive, model) = trained_setup(100, 205, 64);
-    let external = ArchiveGenerator::new(GeneratorConfig::tiny(1, 11111)).unwrap().generate_patch(0);
+    let external =
+        ArchiveGenerator::new(GeneratorConfig::tiny(1, 11111)).unwrap().generate_patch(0);
     let a = model.hash_patch(&external);
     let b = model.hash_patch(&external);
     assert_eq!(a, b);

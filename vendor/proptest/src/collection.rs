@@ -1,0 +1,78 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for [`vec`]: either exact or a half-open range,
+/// mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec length range");
+        SizeRange { min: range.start, max: range.end }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.max - self.size.min <= 1 {
+            self.size.min
+        } else {
+            self.size.min + rng.next_index(self.size.max - self.size.min)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing `Vec`s whose elements are drawn from `element` and
+/// whose length is drawn from `size` (a `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn exact_size_is_respected() {
+        let mut rng = TestRng::for_test("exact_size_is_respected");
+        let s = vec(Just(1u8), 5usize);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut rng).len(), 5);
+        }
+    }
+
+    #[test]
+    fn ranged_size_stays_in_bounds_and_varies() {
+        let mut rng = TestRng::for_test("ranged_size_stays_in_bounds_and_varies");
+        let s = vec(Just('x'), 1..4);
+        let lens: Vec<usize> = (0..200).map(|_| s.generate(&mut rng).len()).collect();
+        assert!(lens.iter().all(|l| (1..4).contains(l)));
+        assert!(lens.iter().collect::<std::collections::BTreeSet<_>>().len() == 3);
+    }
+}

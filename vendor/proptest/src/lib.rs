@@ -1,0 +1,161 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! implements the subset of the proptest 1.x API the workspace's property
+//! suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, implemented
+//!   for numeric ranges, tuples, `Just`, `Vec<impl Strategy>` and
+//!   [`collection::vec`],
+//! * [`arbitrary::any`] (for `bool`),
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support, plus
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] and [`prop_oneof!`],
+//! * [`test_runner::ProptestConfig`] with `with_cases`, and the
+//!   `PROPTEST_CASES` environment variable override.
+//!
+//! Differences from the real crate, by design of a CI-deterministic stub:
+//! inputs are drawn from a fixed per-test seed (derived from the test name,
+//! overridable via `PROPTEST_SEED`), so runs are reproducible without a
+//! `proptest-regressions/` directory, and failing cases are reported but
+//! **not shrunk**.  Swap the path dependency in `[workspace.dependencies]`
+//! for the registry crate to get shrinking and persistence.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Definitions of property-test functions.
+///
+/// Each `#[test] fn name(arg in strategy, ..) { body }` item expands to a
+/// `#[test]` that draws `cases` inputs from a deterministic per-test RNG and
+/// evaluates the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = $crate::test_runner::resolve_cases(config.cases);
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while case < cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => case += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > cases * 16 {
+                                panic!(
+                                    "proptest `{}`: too many prop_assume! rejections ({rejected})",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {case}/{cases} (seed {}): {msg}",
+                                stringify!($name),
+                                $crate::test_runner::TestRng::seed_for(stringify!($name)),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format!($($fmt)*), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` ({left:?} vs {right:?})",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both {left:?})",
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly between several strategies of the same type, mirroring
+/// the common (homogeneous) use of `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}
