@@ -6,7 +6,7 @@
 //! CORINE Land Cover (CLC) 2018 Level-3 multi-labels.
 //!
 //! Shipping ~66 GB of imagery is impossible here, so this crate provides a
-//! faithful *synthetic* stand-in (see DESIGN.md "Substitutions"):
+//! faithful *synthetic* stand-in (see ARCHITECTURE.md "Substitutions"):
 //!
 //! * the real 43-class CLC Level-3 nomenclature with its 3-level hierarchy
 //!   ([`labels`]),

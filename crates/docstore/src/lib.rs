@@ -15,7 +15,7 @@
 //!   planner that picks an index and reports an execution plan,
 //! * [`Database`] — a named set of collections.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod collection;
 pub mod database;

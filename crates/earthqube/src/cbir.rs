@@ -140,6 +140,13 @@ impl CbirService {
         &self.model
     }
 
+    /// Decomposes the service into the model, the name→code table and the
+    /// dense id→name map, in that order.  Used by the serving layer to
+    /// re-index the codes into a sharded concurrent index.
+    pub fn into_parts(self) -> (Milan, HashMap<String, BinaryCode>, Vec<String>) {
+        (self.model, self.name_to_code, self.id_to_name)
+    }
+
     fn to_similar(&self, neighbors: Vec<Neighbor>) -> Vec<SimilarImage> {
         neighbors
             .into_iter()

@@ -50,7 +50,7 @@ impl EarthQubeConfig {
 }
 
 /// The response of a metadata search or a similarity search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchResponse {
     /// The result panel (pagination, cart source, text rendering).
     pub panel: ResultPanel,
@@ -68,14 +68,20 @@ impl SearchResponse {
 }
 
 /// The EarthQube back-end.
+///
+/// All query methods take `&self`; the only `&mut self` entry point is
+/// [`submit_feedback`](Self::submit_feedback), which writes to the data
+/// tier.  For concurrent serving, hand the built engine to
+/// [`QueryServer::from_engine`](crate::serve::QueryServer::from_engine),
+/// which shares the read path across worker threads.
 #[derive(Debug)]
 pub struct EarthQube {
-    config: EarthQubeConfig,
-    database: Database,
-    metadata: Vec<PatchMetadata>,
-    cbir: Option<CbirService>,
-    feedback: FeedbackService,
-    registry: AssetRegistry,
+    pub(crate) config: EarthQubeConfig,
+    pub(crate) database: Database,
+    pub(crate) metadata: Vec<PatchMetadata>,
+    pub(crate) cbir: Option<CbirService>,
+    pub(crate) feedback: FeedbackService,
+    pub(crate) registry: AssetRegistry,
 }
 
 impl EarthQube {
@@ -183,22 +189,7 @@ impl EarthQube {
     /// Fails on an invalid query or a store error.
     pub fn search(&self, query: &ImageQuery) -> Result<SearchResponse, EarthQubeError> {
         query.validate()?;
-        let coll = self.database.collection(collections::METADATA)?;
-        let result = coll.find(&query.to_filter());
-        let metas: Vec<PatchMetadata> = result
-            .ids
-            .iter()
-            .filter_map(|id| coll.get(*id))
-            .filter_map(metadata_from_document)
-            .collect();
-        let entries: Vec<ResultEntry> =
-            metas.iter().map(|m| ResultEntry::from_metadata(m, None)).collect();
-        let statistics = LabelStatistics::from_label_sets(metas.iter().map(|m| m.labels));
-        Ok(SearchResponse {
-            panel: ResultPanel::new(entries, self.config.page_size),
-            statistics,
-            plan: Some(result.plan),
-        })
+        metadata_search(&self.database, query, self.config.page_size)
     }
 
     /// "Retrieve similar images" for an existing archive image (§3.3 /
@@ -251,22 +242,61 @@ impl EarthQube {
         &self,
         hits: Vec<crate::cbir::SimilarImage>,
     ) -> Result<SearchResponse, EarthQubeError> {
-        let mut entries = Vec::with_capacity(hits.len());
-        let mut label_sets = Vec::with_capacity(hits.len());
-        for hit in &hits {
-            let meta = self
-                .metadata
-                .get(hit.id.index())
-                .ok_or_else(|| EarthQubeError::UnknownImage(hit.name.clone()))?;
-            entries.push(ResultEntry::from_metadata(meta, Some(hit.distance)));
-            label_sets.push(meta.labels);
-        }
-        Ok(SearchResponse {
-            panel: ResultPanel::new(entries, self.config.page_size),
-            statistics: LabelStatistics::from_label_sets(label_sets),
-            plan: None,
-        })
+        let ranked: Vec<(usize, u32)> = hits.iter().map(|h| (h.id.index(), h.distance)).collect();
+        response_from_ranked(&self.metadata, &ranked, self.config.page_size)
     }
+}
+
+/// The query-panel search shared by the sequential engine and the
+/// concurrent [`QueryServer`](crate::serve::QueryServer): compiles the
+/// (already validated) query to a store filter, runs the planner and
+/// assembles panel, statistics and plan.
+pub(crate) fn metadata_search(
+    database: &Database,
+    query: &ImageQuery,
+    page_size: usize,
+) -> Result<SearchResponse, EarthQubeError> {
+    let coll = database.collection(collections::METADATA)?;
+    let result = coll.find(&query.to_filter());
+    let metas: Vec<PatchMetadata> = result
+        .ids
+        .iter()
+        .filter_map(|id| coll.get(*id))
+        .filter_map(metadata_from_document)
+        .collect();
+    let entries: Vec<ResultEntry> =
+        metas.iter().map(|m| ResultEntry::from_metadata(m, None)).collect();
+    let statistics = LabelStatistics::from_label_sets(metas.iter().map(|m| m.labels));
+    Ok(SearchResponse {
+        panel: ResultPanel::new(entries, page_size),
+        statistics,
+        plan: Some(result.plan),
+    })
+}
+
+/// CBIR result-panel assembly shared by the sequential engine and the
+/// concurrent server: maps ranked `(dense id, hamming distance)` hits to
+/// result entries and label statistics.  Both paths delegating here is
+/// what keeps the server byte-identical to the engine.
+pub(crate) fn response_from_ranked(
+    metadata: &[PatchMetadata],
+    ranked: &[(usize, u32)],
+    page_size: usize,
+) -> Result<SearchResponse, EarthQubeError> {
+    let mut entries = Vec::with_capacity(ranked.len());
+    let mut label_sets = Vec::with_capacity(ranked.len());
+    for &(id, distance) in ranked {
+        let meta = metadata
+            .get(id)
+            .ok_or_else(|| EarthQubeError::UnknownImage(format!("dense patch id {id}")))?;
+        entries.push(ResultEntry::from_metadata(meta, Some(distance)));
+        label_sets.push(meta.labels);
+    }
+    Ok(SearchResponse {
+        panel: ResultPanel::new(entries, page_size),
+        statistics: LabelStatistics::from_label_sets(label_sets),
+        plan: None,
+    })
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Archive ingestion into the document-store collections.
 
-use eq_bigearthnet::patch::PatchMetadata;
+use eq_bigearthnet::patch::{Patch, PatchMetadata};
 use eq_bigearthnet::Archive;
 use eq_docstore::{Database, Document, Value};
 
@@ -50,6 +50,107 @@ pub fn ingest_metadata(
     Ok(IngestReport { metadata_docs: metadata.len(), image_docs: 0, rendered_docs: 0 })
 }
 
+/// Ingests one patch into the metadata, image-data and rendered collections
+/// (which must exist — see [`ingest_archive`] for the bulk path).
+///
+/// The metadata document is written from `meta` rather than `patch.meta` so
+/// that callers appending to a live archive (the `QueryServer` write path)
+/// can re-assign the dense patch id to the next free slot.
+///
+/// # Errors
+/// Propagates document-store errors (e.g. duplicate patch names).  The
+/// patch is ingested atomically: on any error, documents already written
+/// for it are rolled back, so the three collections never hold a torn
+/// patch.
+pub fn ingest_patch(
+    db: &mut Database,
+    patch: &Patch,
+    meta: &PatchMetadata,
+) -> Result<(), EarthQubeError> {
+    let (image_doc, rendered_doc) = prepare_patch_docs(patch, &meta.name);
+    insert_patch_docs(db, meta, image_doc, rendered_doc)
+}
+
+/// Serialises a patch into its image-data and rendered documents — the
+/// CPU-heavy half of [`ingest_patch`], needing no database access so the
+/// concurrent write path can run it before taking the catalog write lock.
+pub(crate) fn prepare_patch_docs(patch: &Patch, name: &str) -> (Document, Document) {
+    // Image-data document: one bytes field per Sentinel-2 band plus the
+    // two Sentinel-1 polarisations, exactly the layout §3.2 describes.
+    let mut bands = std::collections::BTreeMap::new();
+    for band in eq_bigearthnet::bands::SENTINEL2_BANDS {
+        let data = patch.band(band);
+        bands.insert(
+            band.name().to_string(),
+            Value::Bytes(data.pixels().iter().flat_map(|p| p.to_le_bytes()).collect()),
+        );
+    }
+    let mut sar = std::collections::BTreeMap::new();
+    for pol in eq_bigearthnet::bands::Polarization::ALL {
+        let data = patch.polarization(pol);
+        sar.insert(
+            pol.name().to_string(),
+            Value::Bytes(data.pixels().iter().flat_map(|p| p.to_le_bytes()).collect()),
+        );
+    }
+    let image_doc = Document::new()
+        .with(fields::NAME, name)
+        .with("bands", Value::Doc(bands))
+        .with("sar", Value::Doc(sar));
+
+    // Rendered RGB document.
+    let (size, rgb) = patch.render_rgb();
+    let rendered_doc = Document::new()
+        .with(fields::NAME, name)
+        .with("size", size as i64)
+        .with("rgb", Value::Bytes(rgb));
+    (image_doc, rendered_doc)
+}
+
+/// Inserts a patch's three documents (the metadata document is built here
+/// from `meta`, so the caller can assign the dense id at insert time),
+/// rolling back on failure — the cheap half of [`ingest_patch`].
+pub(crate) fn insert_patch_docs(
+    db: &mut Database,
+    meta: &PatchMetadata,
+    image_doc: Document,
+    rendered_doc: Document,
+) -> Result<(), EarthQubeError> {
+    db.collection_mut(collections::METADATA)?.insert(metadata_document(meta))?;
+
+    // From here on, roll back the documents *this call* inserted if a later
+    // insert fails, so the three collections never disagree about a patch.
+    // Only freshly inserted documents are deleted — a failure caused by a
+    // pre-existing duplicate must not take that duplicate down with it.
+    let key = Value::Str(meta.name.clone());
+    let rollback = |db: &mut Database, inserted: &[&str]| {
+        for coll in inserted {
+            if let Ok(c) = db.collection_mut(coll) {
+                let _ = c.delete_by_key(&key);
+            }
+        }
+    };
+
+    let inserted = match db.collection_mut(collections::IMAGE_DATA) {
+        Ok(c) => c.insert(image_doc).map(|_| ()).map_err(EarthQubeError::from),
+        Err(e) => Err(e.into()),
+    };
+    if let Err(e) = inserted {
+        rollback(db, &[collections::METADATA]);
+        return Err(e);
+    }
+
+    let inserted = match db.collection_mut(collections::RENDERED) {
+        Ok(c) => c.insert(rendered_doc).map(|_| ()).map_err(EarthQubeError::from),
+        Err(e) => Err(e.into()),
+    };
+    if let Err(e) = inserted {
+        rollback(db, &[collections::METADATA, collections::IMAGE_DATA]);
+        return Err(e);
+    }
+    Ok(())
+}
+
 /// Ingests a full archive: metadata, raw band data and rendered RGB images,
 /// populating the paper's four collections.
 ///
@@ -61,44 +162,10 @@ pub fn ingest_archive(
 ) -> Result<IngestReport, EarthQubeError> {
     prepare_collections(db);
     let mut report = IngestReport { metadata_docs: 0, image_docs: 0, rendered_docs: 0 };
-
     for patch in archive.patches() {
-        let meta_doc = metadata_document(&patch.meta);
-        db.collection_mut(collections::METADATA)?.insert(meta_doc)?;
+        ingest_patch(db, patch, &patch.meta)?;
         report.metadata_docs += 1;
-
-        // Image-data document: one bytes field per Sentinel-2 band plus the
-        // two Sentinel-1 polarisations, exactly the layout §3.2 describes.
-        let mut bands = std::collections::BTreeMap::new();
-        for band in eq_bigearthnet::bands::SENTINEL2_BANDS {
-            let data = patch.band(band);
-            bands.insert(
-                band.name().to_string(),
-                Value::Bytes(data.pixels().iter().flat_map(|p| p.to_le_bytes()).collect()),
-            );
-        }
-        let mut sar = std::collections::BTreeMap::new();
-        for pol in eq_bigearthnet::bands::Polarization::ALL {
-            let data = patch.polarization(pol);
-            sar.insert(
-                pol.name().to_string(),
-                Value::Bytes(data.pixels().iter().flat_map(|p| p.to_le_bytes()).collect()),
-            );
-        }
-        let image_doc = Document::new()
-            .with(fields::NAME, patch.meta.name.as_str())
-            .with("bands", Value::Doc(bands))
-            .with("sar", Value::Doc(sar));
-        db.collection_mut(collections::IMAGE_DATA)?.insert(image_doc)?;
         report.image_docs += 1;
-
-        // Rendered RGB document.
-        let (size, rgb) = patch.render_rgb();
-        let rendered = Document::new()
-            .with(fields::NAME, patch.meta.name.as_str())
-            .with("size", size as i64)
-            .with("rgb", Value::Bytes(rgb));
-        db.collection_mut(collections::RENDERED)?.insert(rendered)?;
         report.rendered_docs += 1;
     }
     Ok(report)
@@ -163,6 +230,33 @@ mod tests {
         ingest_metadata(&mut db, &metas).unwrap();
         let err = ingest_metadata(&mut db, &metas).unwrap_err();
         assert!(matches!(err, EarthQubeError::Store(_)));
+    }
+
+    #[test]
+    fn failed_patch_ingest_rolls_back_without_touching_existing_docs() {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(1, 17)).unwrap().generate();
+        let patch = &archive.patches()[0];
+        let mut db = Database::new();
+        ingest_metadata(&mut db, &[]).unwrap(); // creates the collections
+                                                // A pre-existing image-data document under the patch's name makes
+                                                // the second of the three inserts fail.
+        let squatter = Document::new().with(fields::NAME, patch.meta.name.as_str());
+        db.collection_mut(collections::IMAGE_DATA).unwrap().insert(squatter).unwrap();
+
+        let err = ingest_patch(&mut db, patch, &patch.meta).unwrap_err();
+        assert!(matches!(err, EarthQubeError::Store(_)));
+        // The metadata insert was rolled back; the squatter survived.
+        assert_eq!(db.collection(collections::METADATA).unwrap().len(), 0);
+        assert_eq!(db.collection(collections::IMAGE_DATA).unwrap().len(), 1);
+        assert_eq!(db.collection(collections::RENDERED).unwrap().len(), 0);
+
+        // With the conflict removed, the same patch ingests cleanly.
+        let key = Value::Str(patch.meta.name.clone());
+        db.collection_mut(collections::IMAGE_DATA).unwrap().delete_by_key(&key).unwrap();
+        ingest_patch(&mut db, patch, &patch.meta).unwrap();
+        for coll in [collections::METADATA, collections::IMAGE_DATA, collections::RENDERED] {
+            assert_eq!(db.collection(coll).unwrap().len(), 1, "collection {coll}");
+        }
     }
 
     #[test]

@@ -16,9 +16,43 @@
 //! * [`stats`] — the label-statistics view of Figure 2-4,
 //! * [`results`] — the result panel: pagination, download cart, rendering,
 //! * [`feedback`] — anonymous user feedback storage,
-//! * [`engine`] — the [`EarthQube`] facade combining all services.
+//! * [`engine`] — the [`EarthQube`] facade combining all services,
+//! * [`serve`] — the concurrent serving layer: a [`QueryServer`] sharing
+//!   the read path across worker threads, with a sharded CBIR index and an
+//!   LRU result cache invalidated on ingest.
+//!
+//! # Example
+//!
+//! Build the back-end over a (tiny) synthetic archive, wrap it in the
+//! concurrent server, and fan a small workload over two worker threads:
+//!
+//! ```
+//! use eq_bigearthnet::{ArchiveGenerator, GeneratorConfig};
+//! use eq_earthqube::{
+//!     EarthQube, EarthQubeConfig, ImageQuery, QueryRequest, QueryServer, ServeConfig,
+//! };
+//!
+//! let archive = ArchiveGenerator::new(GeneratorConfig::tiny(16, 7)).unwrap().generate();
+//! let mut config = EarthQubeConfig::fast(7);
+//! config.train_model = false; // keep the doc-test fast
+//!
+//! // Sequential facade: one query at a time.
+//! let engine = EarthQube::build(&archive, config.clone()).unwrap();
+//! let response = engine.search(&ImageQuery::all()).unwrap();
+//! assert_eq!(response.total(), 16);
+//!
+//! // Concurrent server: the same read path, shared across threads.
+//! let server = QueryServer::build(&archive, config, ServeConfig::default()).unwrap();
+//! let requests = vec![
+//!     QueryRequest::Metadata(ImageQuery::all()),
+//!     QueryRequest::SimilarTo { name: archive.patches()[0].meta.name.clone(), k: 3 },
+//! ];
+//! let results = server.run_workload(&requests, 2);
+//! assert_eq!(results[0].as_ref().unwrap().total(), 16);
+//! assert!(server.stats().queries_served >= 2);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cbir;
 pub mod engine;
@@ -27,15 +61,17 @@ pub mod ingest;
 pub mod query;
 pub mod results;
 pub mod schema;
+pub mod serve;
 pub mod stats;
 
 pub use cbir::{CbirConfig, CbirService, SimilarImage};
 pub use engine::{EarthQube, EarthQubeConfig, SearchResponse};
 pub use feedback::FeedbackService;
-pub use ingest::{ingest_archive, ingest_metadata, IngestReport};
+pub use ingest::{ingest_archive, ingest_metadata, ingest_patch, IngestReport};
 pub use query::{ImageQuery, LabelFilter, LabelOperator};
 pub use results::{DownloadCart, ResultEntry, ResultPage, ResultPanel};
 pub use schema::{collections, metadata_document, metadata_from_document};
+pub use serve::{QueryRequest, QueryServer, ServeConfig, ServerStats};
 pub use stats::LabelStatistics;
 
 /// Errors surfaced by the EarthQube back-end services.

@@ -63,7 +63,7 @@ pub struct ResultPage {
 }
 
 /// The result panel: the full result list with pagination and rendering caps.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultPanel {
     entries: Vec<ResultEntry>,
     page_size: usize,

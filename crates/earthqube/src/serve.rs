@@ -1,0 +1,880 @@
+//! Concurrent query serving: the [`QueryServer`] wraps the EarthQube read
+//! path in shared state so many analyst sessions can search the archive in
+//! parallel while ingest traffic proceeds on an isolated write path.
+//!
+//! The paper positions EarthQube as the query back-end of AgoraEO, serving
+//! interactive CBIR and metadata search to many users at once; the
+//! [`EarthQube`] facade by itself executes one query at a
+//! time.  This module adds the serving tier:
+//!
+//! * **Sharded CBIR index** — the Hamming codes live in an
+//!   [`eq_hashindex::ShardedHashIndex`]: N independently-locked shards with
+//!   fan-out/merge search, so similarity queries from different workers
+//!   never contend on a single index lock and an ingest write only blocks
+//!   the one shard it touches.
+//! * **Catalog lock** — the document store, the metadata table and the
+//!   name→code map sit behind one `parking_lot::RwLock`.  Queries take the
+//!   read side (shared, concurrent); ingest and feedback take the write
+//!   side.  Holding the read lock across a query gives every query a
+//!   consistent snapshot even while ingest is running.
+//! * **Result cache** — a bounded LRU keyed by a fingerprint of the query
+//!   (the full query is stored and compared, so a fingerprint collision is
+//!   a miss, never a wrong answer).  The cache is invalidated wholesale on
+//!   every ingest, inside the catalog write section, so readers can never
+//!   re-insert a stale entry.
+//! * **Worker pool** — [`QueryServer::run_workload`] fans a batch of
+//!   [`QueryRequest`]s over K scoped threads (`std::thread::scope`); all
+//!   query entry points take `&self`, so workers share the server by plain
+//!   reference.
+//!
+//! Determinism: a workload executed through the server returns exactly the
+//! same [`SearchResponse`]s as the sequential engine, regardless of worker
+//! count (the sharded index merge is order-insensitive and the catalog
+//! snapshot is identical) — the umbrella crate's `concurrent_serving` test
+//! asserts byte-identical result panels.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use eq_agora::AssetRegistry;
+use eq_bigearthnet::patch::{Patch, PatchId, PatchMetadata};
+use eq_bigearthnet::Archive;
+use eq_docstore::{Database, Document};
+use eq_hashindex::{BinaryCode, Neighbor, ShardedHashIndex};
+use eq_milan::Milan;
+use parking_lot::RwLock;
+
+use crate::engine::{EarthQube, EarthQubeConfig, SearchResponse};
+use crate::feedback::{FeedbackEntry, FeedbackService};
+use crate::ingest::{insert_patch_docs, prepare_patch_docs, IngestReport};
+use crate::query::ImageQuery;
+use crate::EarthQubeError;
+
+/// Configuration of the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of independently-locked shards of the CBIR index.
+    pub shards: usize,
+    /// Maximum number of cached query results; `0` disables the cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { shards: 8, cache_capacity: 256 }
+    }
+}
+
+impl ServeConfig {
+    /// A configuration with the result cache disabled (used by benchmarks
+    /// that measure raw query throughput).
+    pub fn uncached(shards: usize) -> Self {
+        Self { shards, cache_capacity: 0 }
+    }
+}
+
+/// One request of a batched query workload.
+#[derive(Debug, Clone)]
+pub enum QueryRequest {
+    /// A query-panel metadata search (§3.1).
+    Metadata(ImageQuery),
+    /// "Retrieve similar images" for an archive image (§3.3).
+    SimilarTo {
+        /// The query image's patch name.
+        name: String,
+        /// Number of neighbours to retrieve.
+        k: usize,
+    },
+    /// Query-by-new-example: an external patch encoded on the fly (§4).
+    NewExample {
+        /// The uploaded patch.
+        patch: Box<Patch>,
+        /// Number of neighbours to retrieve.
+        k: usize,
+    },
+}
+
+/// A point-in-time snapshot of the serving counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Total queries attempted (cache hits and failed queries included).
+    pub queries_served: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that missed the cache and were computed.
+    pub cache_misses: u64,
+    /// Entries currently held by the result cache.
+    pub cache_entries: usize,
+    /// Images currently indexed (initial build plus live ingest).
+    pub archive_size: usize,
+    /// Images appended through [`QueryServer::ingest`].
+    pub ingested_images: u64,
+    /// Items per CBIR index shard, in shard order.
+    pub shard_occupancy: Vec<usize>,
+}
+
+impl ServerStats {
+    /// Fraction of queries answered from the cache (`0.0` when no query
+    /// has been served yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the snapshot as a short text report (for the examples).
+    pub fn render(&self) -> String {
+        format!(
+            "{} queries served ({} cache hits, {} misses, hit rate {:.0}%)\n\
+             {} images indexed ({} ingested live), {} cached results\n\
+             shard occupancy: {:?}\n",
+            self.queries_served,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.archive_size,
+            self.ingested_images,
+            self.cache_entries,
+            self.shard_occupancy,
+        )
+    }
+}
+
+/// Cache key: the full request identity, stored alongside each entry and
+/// compared on lookup so a 64-bit fingerprint collision degrades to a
+/// cache miss instead of returning the wrong result.
+#[derive(Debug, Clone, PartialEq)]
+enum CacheKey {
+    Metadata(ImageQuery),
+    Similar(String, usize),
+    ByCode(BinaryCode, usize),
+}
+
+fn fingerprint(key: &CacheKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    match key {
+        CacheKey::Metadata(query) => {
+            0u8.hash(&mut h);
+            // `ImageQuery` contains floats (shapes), so it cannot derive
+            // `Hash`; its `Debug` rendering round-trips every float exactly
+            // and is therefore a faithful fingerprint source.
+            format!("{query:?}").hash(&mut h);
+        }
+        CacheKey::Similar(name, k) => {
+            1u8.hash(&mut h);
+            name.hash(&mut h);
+            k.hash(&mut h);
+        }
+        CacheKey::ByCode(code, k) => {
+            2u8.hash(&mut h);
+            code.hash(&mut h);
+            k.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+struct CacheEntry {
+    key: CacheKey,
+    last_used: u64,
+    response: SearchResponse,
+}
+
+/// One independently-locked slice of the result cache: a bounded LRU map
+/// from query fingerprint to cached response.
+struct CacheShard {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, CacheEntry>,
+}
+
+impl CacheShard {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, tick: 0, entries: HashMap::with_capacity(capacity.min(1024)) }
+    }
+
+    fn get(&mut self, fp: u64, key: &CacheKey) -> Option<SearchResponse> {
+        self.tick += 1;
+        let entry = self.entries.get_mut(&fp)?;
+        if entry.key != *key {
+            return None;
+        }
+        entry.last_used = self.tick;
+        Some(entry.response.clone())
+    }
+
+    fn put(&mut self, fp: u64, key: CacheKey, response: SearchResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&fp) && self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(fp, CacheEntry { key, last_used: self.tick, response });
+    }
+}
+
+/// The bounded LRU result cache, split into fingerprint-routed shards so a
+/// cache hit (which must touch the LRU recency stamp, i.e. write) only
+/// locks one slice of the cache instead of serialising every worker on a
+/// single lock.  Small caches stay single-sharded so eviction remains
+/// strict global LRU.
+struct ResultCache {
+    shards: Vec<RwLock<CacheShard>>,
+}
+
+impl ResultCache {
+    /// Capacities at or above this are split over eight shards.
+    const SHARD_THRESHOLD: usize = 64;
+
+    fn new(capacity: usize) -> Self {
+        let n = if capacity >= Self::SHARD_THRESHOLD { 8 } else { 1 };
+        let base = capacity / n;
+        let remainder = capacity % n;
+        Self {
+            shards: (0..n)
+                .map(|i| RwLock::new(CacheShard::new(base + usize::from(i < remainder))))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &RwLock<CacheShard> {
+        &self.shards[(fp % self.shards.len() as u64) as usize]
+    }
+
+    fn get(&self, fp: u64, key: &CacheKey) -> Option<SearchResponse> {
+        self.shard(fp).write().get(fp, key)
+    }
+
+    fn put(&self, fp: u64, key: CacheKey, response: SearchResponse) {
+        self.shard(fp).write().put(fp, key, response);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().entries.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().entries.len()).sum()
+    }
+}
+
+/// Everything the write path mutates, behind one lock so every query sees
+/// a consistent snapshot of store, metadata and code table.
+struct Catalog {
+    database: Database,
+    metadata: Vec<PatchMetadata>,
+    name_to_code: HashMap<String, BinaryCode>,
+    id_to_name: Vec<String>,
+    feedback: FeedbackService,
+}
+
+impl Catalog {
+    /// The query-panel search — delegates to the same function as
+    /// [`EarthQube::search`], which is what keeps the two byte-identical.
+    fn metadata_search(
+        &self,
+        query: &ImageQuery,
+        page_size: usize,
+    ) -> Result<SearchResponse, EarthQubeError> {
+        crate::engine::metadata_search(&self.database, query, page_size)
+    }
+
+    /// Result-panel/statistics assembly for a list of index hits —
+    /// delegates to the same function as the sequential CBIR response path.
+    fn response_from_neighbors(
+        &self,
+        neighbors: &[Neighbor],
+        page_size: usize,
+    ) -> Result<SearchResponse, EarthQubeError> {
+        let ranked: Vec<(usize, u32)> =
+            neighbors.iter().map(|n| (n.id as usize, n.distance)).collect();
+        crate::engine::response_from_ranked(&self.metadata, &ranked, page_size)
+    }
+}
+
+/// The concurrent EarthQube serving layer.
+///
+/// Every query entry point takes `&self`, so a server shared by reference
+/// (or inside an `Arc`) serves many threads at once; [`ingest`] and
+/// [`submit_feedback`] are the write path and take the catalog write lock
+/// internally — they also only need `&self`.
+///
+/// [`ingest`]: Self::ingest
+/// [`submit_feedback`]: Self::submit_feedback
+pub struct QueryServer {
+    config: EarthQubeConfig,
+    serve: ServeConfig,
+    model: Milan,
+    index: ShardedHashIndex,
+    catalog: RwLock<Catalog>,
+    cache: ResultCache,
+    registry: AssetRegistry,
+    queries_served: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    ingested_images: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("serve", &self.serve)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryServer {
+    /// Builds the sequential engine over the archive, then converts it into
+    /// a server with [`from_engine`](Self::from_engine).
+    ///
+    /// # Errors
+    /// Propagates engine build errors.
+    pub fn build(
+        archive: &Archive,
+        config: EarthQubeConfig,
+        serve: ServeConfig,
+    ) -> Result<Self, EarthQubeError> {
+        Self::from_engine(EarthQube::build(archive, config)?, serve)
+    }
+
+    /// Converts a built [`EarthQube`] engine into a concurrent server,
+    /// re-indexing its CBIR codes into the sharded index.  The conversion
+    /// preserves the trained model and every code byte-for-byte, so server
+    /// responses are identical to the consumed engine's.
+    ///
+    /// # Errors
+    /// Fails if the engine has no CBIR service.
+    pub fn from_engine(engine: EarthQube, serve: ServeConfig) -> Result<Self, EarthQubeError> {
+        let EarthQube { config, database, metadata, cbir, feedback, registry } = engine;
+        let cbir = cbir.ok_or(EarthQubeError::CbirNotReady)?;
+        let (model, name_to_code, id_to_name) = cbir.into_parts();
+        let index = ShardedHashIndex::new(model.code_bits(), serve.shards.max(1));
+        for (id, name) in id_to_name.iter().enumerate() {
+            let code = name_to_code
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EarthQubeError::UnknownImage(name.clone()))?;
+            index.insert(id as u64, code);
+        }
+        Ok(Self {
+            config,
+            serve,
+            model,
+            index,
+            catalog: RwLock::new(Catalog {
+                database,
+                metadata,
+                name_to_code,
+                id_to_name,
+                feedback,
+            }),
+            cache: ResultCache::new(serve.cache_capacity),
+            registry,
+            queries_served: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            ingested_images: AtomicU64::new(0),
+        })
+    }
+
+    /// The engine configuration the server was built with.
+    pub fn config(&self) -> &EarthQubeConfig {
+        &self.config
+    }
+
+    /// The serving-layer configuration.
+    pub fn serve_config(&self) -> ServeConfig {
+        self.serve
+    }
+
+    /// The AgoraEO asset registry the consumed engine registered itself in
+    /// (carried over by [`from_engine`](Self::from_engine)).
+    pub fn registry(&self) -> &AssetRegistry {
+        &self.registry
+    }
+
+    /// Number of images currently indexed.
+    pub fn archive_size(&self) -> usize {
+        self.catalog.read().metadata.len()
+    }
+
+    /// The metadata of an indexed image (cloned out of the catalog lock).
+    pub fn metadata_of(&self, name: &str) -> Option<PatchMetadata> {
+        self.catalog.read().metadata.iter().find(|m| m.name == name).cloned()
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_entries: self.cache.len(),
+            archive_size: self.archive_size(),
+            ingested_images: self.ingested_images.load(Ordering::Relaxed),
+            shard_occupancy: self.index.shard_occupancy(),
+        }
+    }
+
+    /// Runs a query-panel metadata search (the concurrent counterpart of
+    /// [`EarthQube::search`]).
+    ///
+    /// # Errors
+    /// Fails on an invalid query or a store error.
+    pub fn search(&self, query: &ImageQuery) -> Result<SearchResponse, EarthQubeError> {
+        query.validate()?;
+        let page_size = self.config.page_size;
+        self.cached(CacheKey::Metadata(query.clone()), |catalog| {
+            catalog.metadata_search(query, page_size)
+        })
+    }
+
+    /// "Retrieve similar images" for an archive image (the concurrent
+    /// counterpart of [`EarthQube::similar_to`]).
+    ///
+    /// # Errors
+    /// Fails if the image is unknown.
+    pub fn similar_to(&self, name: &str, k: usize) -> Result<SearchResponse, EarthQubeError> {
+        let page_size = self.config.page_size;
+        self.cached(CacheKey::Similar(name.to_string(), k), |catalog| {
+            let code = catalog
+                .name_to_code
+                .get(name)
+                .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+            // Ask for one extra hit because the query image itself is
+            // indexed, then drop it — same policy as the sequential CBIR
+            // service.
+            let mut neighbors = self.index.knn(code, k + 1);
+            neighbors.retain(|n| {
+                catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
+            });
+            neighbors.truncate(k);
+            catalog.response_from_neighbors(&neighbors, page_size)
+        })
+    }
+
+    /// Query-by-new-example: encodes the external patch on the fly (the
+    /// concurrent counterpart of [`EarthQube::search_by_new_example`]).
+    ///
+    /// # Errors
+    /// Propagates store errors from result assembly.
+    pub fn search_by_new_example(
+        &self,
+        patch: &Patch,
+        k: usize,
+    ) -> Result<SearchResponse, EarthQubeError> {
+        // Encoding needs no lock: the model is immutable shared state.
+        let code = self.model.hash_patch(patch);
+        self.search_by_code(&code, k)
+    }
+
+    /// The k most similar archive images to an arbitrary binary code.
+    ///
+    /// # Errors
+    /// Propagates store errors from result assembly.
+    pub fn search_by_code(
+        &self,
+        code: &BinaryCode,
+        k: usize,
+    ) -> Result<SearchResponse, EarthQubeError> {
+        let page_size = self.config.page_size;
+        self.cached(CacheKey::ByCode(code.clone(), k), |catalog| {
+            let neighbors = self.index.knn(code, k);
+            catalog.response_from_neighbors(&neighbors, page_size)
+        })
+    }
+
+    /// Executes one workload request.
+    ///
+    /// # Errors
+    /// Propagates the underlying query error.
+    pub fn execute(&self, request: &QueryRequest) -> Result<SearchResponse, EarthQubeError> {
+        match request {
+            QueryRequest::Metadata(query) => self.search(query),
+            QueryRequest::SimilarTo { name, k } => self.similar_to(name, *k),
+            QueryRequest::NewExample { patch, k } => self.search_by_new_example(patch, *k),
+        }
+    }
+
+    /// Executes a batch of requests on `workers` scoped threads, returning
+    /// the per-request results in request order.
+    ///
+    /// The batch is split into contiguous chunks, one per worker; each
+    /// worker shares the server by reference (`std::thread::scope`), so
+    /// queries proceed concurrently against the shared read path while any
+    /// concurrent [`ingest`](Self::ingest) serialises through the catalog
+    /// write lock.
+    pub fn run_workload(
+        &self,
+        requests: &[QueryRequest],
+        workers: usize,
+    ) -> Vec<Result<SearchResponse, EarthQubeError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, requests.len());
+        let chunk = requests.len().div_ceil(workers);
+        let mut results: Vec<Option<Result<SearchResponse, EarthQubeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (reqs, outs) in requests.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (request, out) in reqs.iter().zip(outs.iter_mut()) {
+                        *out = Some(self.execute(request));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every request is assigned to exactly one worker"))
+            .collect()
+    }
+
+    /// Appends patches to the live archive: the write path.
+    ///
+    /// The expensive per-patch work — encoding with the model, serialising
+    /// band data, rendering RGB — happens *before* the catalog write lock
+    /// is taken, so concurrent queries are only blocked for the cheap
+    /// bookkeeping: the duplicate check, the three document inserts, the
+    /// index insert and the cache invalidation.
+    ///
+    /// # Errors
+    /// A batch naming an already-indexed image is rejected up front, before
+    /// any work.  On a mid-batch store error, patches preceding the failure
+    /// remain ingested (each patch is applied atomically, and the cache is
+    /// invalidated whenever at least one patch was applied).
+    pub fn ingest(&self, patches: &[Patch]) -> Result<IngestReport, EarthQubeError> {
+        // Cheap pre-screen under a short read lock, so a doomed batch does
+        // not pay the heavy phase below.  The check under the write lock
+        // stays authoritative (an ingest racing in between is still caught).
+        {
+            let catalog = self.catalog.read();
+            for patch in patches {
+                if catalog.name_to_code.contains_key(&patch.meta.name) {
+                    return Err(EarthQubeError::BadRequest(format!(
+                        "image {} is already in the archive",
+                        patch.meta.name
+                    )));
+                }
+            }
+        }
+
+        // Heavy phase, outside any lock: the model and the serialisation
+        // code are immutable shared state.
+        let prepared: Vec<(BinaryCode, Document, Document)> = patches
+            .iter()
+            .map(|patch| {
+                let code = self.model.hash_patch(patch);
+                let (image_doc, rendered_doc) = prepare_patch_docs(patch, &patch.meta.name);
+                (code, image_doc, rendered_doc)
+            })
+            .collect();
+
+        // Cheap phase, under the catalog write lock.
+        let mut catalog = self.catalog.write();
+        let catalog = &mut *catalog;
+        let mut report = IngestReport { metadata_docs: 0, image_docs: 0, rendered_docs: 0 };
+        let mut result = Ok(());
+        for (patch, (code, image_doc, rendered_doc)) in patches.iter().zip(prepared) {
+            if catalog.name_to_code.contains_key(&patch.meta.name) {
+                result = Err(EarthQubeError::BadRequest(format!(
+                    "image {} is already in the archive",
+                    patch.meta.name
+                )));
+                break;
+            }
+            // Re-assign the dense id: appended patches take the next slot.
+            let mut meta = patch.meta.clone();
+            meta.id = PatchId(catalog.metadata.len() as u32);
+            if let Err(e) = insert_patch_docs(&mut catalog.database, &meta, image_doc, rendered_doc)
+            {
+                result = Err(e);
+                break;
+            }
+            self.index.insert(meta.id.0 as u64, code.clone());
+            catalog.name_to_code.insert(meta.name.clone(), code);
+            catalog.id_to_name.push(meta.name.clone());
+            catalog.metadata.push(meta);
+            report.metadata_docs += 1;
+            report.image_docs += 1;
+            report.rendered_docs += 1;
+            self.ingested_images.fetch_add(1, Ordering::Relaxed);
+        }
+        // Invalidate while still holding the catalog write lock: a reader
+        // can only insert a cache entry while holding the read lock (see
+        // `cached`), so no stale result can slip in after this clear.  A
+        // no-op ingest (empty batch, duplicate rejected up front) changed
+        // nothing, so it must not evict anyone's cached results either.
+        if report.metadata_docs > 0 {
+            self.cache.clear();
+        }
+        result.map(|_| report)
+    }
+
+    /// Submits anonymous feedback through the write path.
+    ///
+    /// # Errors
+    /// Fails if the text is empty.
+    pub fn submit_feedback(
+        &self,
+        text: &str,
+        category: Option<&str>,
+    ) -> Result<i64, EarthQubeError> {
+        let mut catalog = self.catalog.write();
+        let catalog = &mut *catalog;
+        let feedback = catalog.feedback;
+        feedback.submit(&mut catalog.database, text, category)
+    }
+
+    /// Lists all stored feedback.
+    ///
+    /// # Errors
+    /// Fails if the feedback collection is missing.
+    pub fn list_feedback(&self) -> Result<Vec<FeedbackEntry>, EarthQubeError> {
+        let catalog = self.catalog.read();
+        catalog.feedback.list(&catalog.database)
+    }
+
+    /// Cache-or-compute: every cached query flows through here.
+    ///
+    /// The catalog read lock is held across both the computation *and* the
+    /// cache insert.  [`ingest`](Self::ingest) clears the cache while
+    /// holding the catalog *write* lock, so any entry inserted here is
+    /// either computed over the post-ingest catalog or cleared by the very
+    /// ingest it predates — stale entries cannot survive.
+    fn cached<F>(&self, key: CacheKey, compute: F) -> Result<SearchResponse, EarthQubeError>
+    where
+        F: FnOnce(&Catalog) -> Result<SearchResponse, EarthQubeError>,
+    {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        let caching = self.serve.cache_capacity > 0;
+        let fp = fingerprint(&key);
+        if caching {
+            if let Some(hit) = self.cache.get(fp, &key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let catalog = self.catalog.read();
+        let response = compute(&catalog)?;
+        // A miss is only counted once something was actually computed, so
+        // error traffic (e.g. unknown image names) does not drag the
+        // reported hit rate down.
+        if caching {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.cache.put(fp, key, response.clone());
+        }
+        drop(catalog);
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_bigearthnet::{ArchiveGenerator, GeneratorConfig};
+
+    fn server(n: usize, seed: u64, serve: ServeConfig) -> (QueryServer, Archive) {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
+        let mut config = EarthQubeConfig::fast(seed);
+        config.train_model = false;
+        (QueryServer::build(&archive, config, serve).unwrap(), archive)
+    }
+
+    #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryServer>();
+    }
+
+    #[test]
+    fn server_responses_match_the_sequential_engine() {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(40, 91)).unwrap().generate();
+        let mut config = EarthQubeConfig::fast(91);
+        config.train_model = false;
+        let engine = EarthQube::build(&archive, config.clone()).unwrap();
+        let srv = QueryServer::build(&archive, config, ServeConfig::default()).unwrap();
+
+        let query = ImageQuery::all();
+        assert_eq!(srv.search(&query).unwrap(), engine.search(&query).unwrap());
+
+        let name = &archive.patches()[3].meta.name;
+        assert_eq!(srv.similar_to(name, 7).unwrap(), engine.similar_to(name, 7).unwrap());
+
+        let external =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 555)).unwrap().generate_patch(0);
+        assert_eq!(
+            srv.search_by_new_example(&external, 5).unwrap(),
+            engine.search_by_new_example(&external, 5).unwrap()
+        );
+
+        // The asset registry is carried over from the consumed engine.
+        assert!(srv.registry().pipeline("earthqube-cbir").is_some());
+        assert_eq!(srv.registry().discover_by_kind(eq_agora::AssetKind::Service).len(), 1);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (srv, archive) = server(30, 92, ServeConfig::default());
+        let name = &archive.patches()[0].meta.name;
+        let first = srv.similar_to(name, 5).unwrap();
+        let second = srv.similar_to(name, 5).unwrap();
+        assert_eq!(first, second);
+        let stats = srv.stats();
+        assert_eq!(stats.queries_served, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(stats.cache_entries, 1);
+        // A different k is a different fingerprint.
+        let _ = srv.similar_to(name, 6).unwrap();
+        assert_eq!(srv.stats().cache_entries, 2);
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicts_least_recently_used() {
+        let (srv, archive) = server(20, 93, ServeConfig { shards: 2, cache_capacity: 2 });
+        let names: Vec<&String> = archive.patches().iter().map(|p| &p.meta.name).collect();
+        srv.similar_to(names[0], 3).unwrap();
+        srv.similar_to(names[1], 3).unwrap();
+        srv.similar_to(names[0], 3).unwrap(); // refresh entry 0
+        srv.similar_to(names[2], 3).unwrap(); // evicts entry 1
+        assert_eq!(srv.stats().cache_entries, 2);
+        srv.similar_to(names[0], 3).unwrap(); // still cached
+        let stats = srv.stats();
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let (srv, archive) = server(15, 94, ServeConfig::uncached(4));
+        let name = &archive.patches()[0].meta.name;
+        srv.similar_to(name, 5).unwrap();
+        srv.similar_to(name, 5).unwrap();
+        let stats = srv.stats();
+        assert_eq!(stats.cache_entries, 0);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.queries_served, 2);
+    }
+
+    #[test]
+    fn ingest_appends_and_invalidates_the_cache() {
+        let (srv, _) = server(25, 95, ServeConfig::default());
+        let before = srv.search(&ImageQuery::all()).unwrap();
+        assert_eq!(before.total(), 25);
+        assert_eq!(srv.stats().cache_entries, 1);
+
+        let extra = ArchiveGenerator::new(GeneratorConfig::tiny(3, 777)).unwrap().generate();
+        let report = srv.ingest(extra.patches()).unwrap();
+        assert_eq!(report.metadata_docs, 3);
+        assert_eq!(srv.stats().cache_entries, 0, "ingest must clear the cache");
+        assert_eq!(srv.archive_size(), 28);
+
+        let after = srv.search(&ImageQuery::all()).unwrap();
+        assert_eq!(after.total(), 28, "the cached pre-ingest result must not be served");
+
+        // The appended images are retrievable by similarity and metadata.
+        let new_name = &extra.patches()[0].meta.name;
+        assert!(srv.metadata_of(new_name).is_some());
+        let hits = srv.similar_to(new_name, 4).unwrap();
+        assert!(hits.total() > 0);
+        assert_eq!(srv.stats().ingested_images, 3);
+    }
+
+    #[test]
+    fn duplicate_ingest_is_rejected() {
+        let (srv, archive) = server(10, 96, ServeConfig::default());
+        let err = srv.ingest(&archive.patches()[..1]).unwrap_err();
+        assert!(matches!(err, EarthQubeError::BadRequest(_)));
+        assert_eq!(srv.archive_size(), 10);
+    }
+
+    #[test]
+    fn no_op_ingest_keeps_the_cache_warm() {
+        let (srv, archive) = server(10, 101, ServeConfig::default());
+        srv.search(&ImageQuery::all()).unwrap();
+        assert_eq!(srv.stats().cache_entries, 1);
+        // Neither an empty batch nor an up-front duplicate rejection
+        // changed any state, so neither may evict cached results.
+        srv.ingest(&[]).unwrap();
+        assert_eq!(srv.stats().cache_entries, 1);
+        srv.ingest(&archive.patches()[..1]).unwrap_err();
+        assert_eq!(srv.stats().cache_entries, 1);
+    }
+
+    #[test]
+    fn workload_runs_across_worker_counts() {
+        let (srv, archive) = server(30, 97, ServeConfig::uncached(4));
+        let mut requests: Vec<QueryRequest> = archive
+            .patches()
+            .iter()
+            .take(9)
+            .map(|p| QueryRequest::SimilarTo { name: p.meta.name.clone(), k: 5 })
+            .collect();
+        requests.push(QueryRequest::Metadata(ImageQuery::all()));
+        let sequential: Vec<_> = requests.iter().map(|r| srv.execute(r).unwrap()).collect();
+        for workers in [1, 2, 4, 32] {
+            let results = srv.run_workload(&requests, workers);
+            assert_eq!(results.len(), requests.len());
+            for (got, want) in results.into_iter().zip(&sequential) {
+                assert_eq!(&got.unwrap(), want, "workload results must not depend on workers");
+            }
+        }
+        assert!(srv.run_workload(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn workload_surfaces_per_request_errors() {
+        let (srv, _) = server(10, 98, ServeConfig::default());
+        let requests = vec![
+            QueryRequest::SimilarTo { name: "ghost".into(), k: 3 },
+            QueryRequest::Metadata(ImageQuery::all()),
+        ];
+        let results = srv.run_workload(&requests, 2);
+        assert!(matches!(results[0], Err(EarthQubeError::UnknownImage(_))));
+        assert_eq!(results[1].as_ref().unwrap().total(), 10);
+    }
+
+    #[test]
+    fn feedback_flows_through_the_write_path() {
+        let (srv, _) = server(8, 99, ServeConfig::default());
+        srv.submit_feedback("fast!", Some("reaction")).unwrap();
+        srv.submit_feedback("more bands please", None).unwrap();
+        assert_eq!(srv.list_feedback().unwrap().len(), 2);
+        assert!(matches!(srv.submit_feedback(" ", None), Err(EarthQubeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn stats_render_is_human_readable() {
+        let (srv, archive) = server(12, 100, ServeConfig::default());
+        srv.similar_to(&archive.patches()[0].meta.name, 3).unwrap();
+        let text = srv.stats().render();
+        assert!(text.contains("1 queries served"));
+        assert!(text.contains("12 images indexed"));
+        assert!(text.contains("shard occupancy"));
+        assert!(!format!("{srv:?}").is_empty());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_request_kinds() {
+        let a = CacheKey::Similar("p".into(), 5);
+        let b = CacheKey::Similar("p".into(), 6);
+        let c = CacheKey::Metadata(ImageQuery::all());
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+}

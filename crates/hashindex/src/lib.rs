@@ -17,9 +17,12 @@
 //! * [`FloatKnnIndex`] — exact k-NN over the raw float features (the
 //!   "no hashing" baseline),
 //! * [`RandomHyperplaneHasher`] — untrained LSH codes (the "no learning"
-//!   baseline).
+//!   baseline),
+//! * [`ShardedHashIndex`] — the hash-table index split into independently
+//!   locked shards with fan-out/merge search, the building block of the
+//!   concurrent EarthQube serving layer (experiment E8).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod code;
 pub mod float_knn;
@@ -27,6 +30,7 @@ pub mod hashtable;
 pub mod linear;
 pub mod lsh;
 pub mod mih;
+pub mod sharded;
 
 pub use code::BinaryCode;
 pub use float_knn::{DistanceMetric, FloatKnnIndex};
@@ -34,6 +38,7 @@ pub use hashtable::HashTableIndex;
 pub use linear::LinearScanIndex;
 pub use lsh::RandomHyperplaneHasher;
 pub use mih::MultiIndexHashing;
+pub use sharded::ShardedHashIndex;
 
 /// Identifier of an indexed item (a patch id in EarthQube).
 pub type ItemId = u64;

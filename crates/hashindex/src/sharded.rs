@@ -1,0 +1,272 @@
+//! A sharded Hamming index for concurrent query serving.
+//!
+//! [`ShardedHashIndex`] splits one logical [`HashTableIndex`] into `N`
+//! independently-locked shards.  Every code is routed to a shard by a
+//! deterministic hash of its bit pattern, so identical codes always share a
+//! shard (and a bucket within it).  Searches fan out over all shards —
+//! each under its own read lock — and merge the per-shard hit lists, so
+//! many reader threads proceed in parallel and a writer only ever blocks
+//! the single shard it is inserting into, never the whole index.
+//!
+//! Determinism: the merged results are sorted with [`sort_neighbors`]
+//! (distance, then id), exactly like the unsharded index, so a sharded
+//! search returns *byte-identical* results to [`HashTableIndex`] over the
+//! same items.  For `knn` this holds because every member of the global
+//! top-`k` is necessarily in its own shard's top-`k` (fewer than `k` items
+//! beat it globally, so fewer than `k` beat it within its shard), hence the
+//! merge of per-shard top-`k` lists contains the global top-`k`.
+
+use parking_lot::RwLock;
+
+use crate::code::BinaryCode;
+use crate::hashtable::HashTableIndex;
+use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
+
+/// Default number of shards used by [`ShardedHashIndex::with_default_shards`].
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// A concurrently searchable Hamming index: `N` independently-locked
+/// [`HashTableIndex`] shards with fan-out/merge search.
+///
+/// All operations — including [`insert`](Self::insert) — take `&self`, so
+/// the index can be shared across threads (`Arc<ShardedHashIndex>` or a
+/// plain borrow inside [`std::thread::scope`]) without an external lock.
+#[derive(Debug)]
+pub struct ShardedHashIndex {
+    bits: u32,
+    shards: Vec<RwLock<HashTableIndex>>,
+}
+
+impl ShardedHashIndex {
+    /// Creates an empty index for codes of the given width, split into
+    /// `shards` independently-locked shards.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0` or `shards == 0`.
+    pub fn new(bits: u32, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self { bits, shards: (0..shards).map(|_| RwLock::new(HashTableIndex::new(bits))).collect() }
+    }
+
+    /// Creates an index with [`DEFAULT_SHARDS`] shards.
+    pub fn with_default_shards(bits: u32) -> Self {
+        Self::new(bits, DEFAULT_SHARDS)
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of items stored in each shard, in shard order (the per-shard
+    /// occupancy reported by `ServerStats` in `eq_earthqube`).
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().len()).collect()
+    }
+
+    /// The shard a code is routed to: an FNV-1a hash of the code words,
+    /// reduced modulo the shard count.  Process-independent, so shard
+    /// layout is reproducible across runs.
+    fn shard_of(&self, code: &BinaryCode) -> usize {
+        (fnv1a(code.words()) % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts an item, write-locking only the shard its code hashes to.
+    ///
+    /// # Panics
+    /// Panics if the code width does not match the index.
+    pub fn insert(&self, id: ItemId, code: BinaryCode) {
+        assert_eq!(code.bits(), self.bits, "code width does not match the index");
+        self.shards[self.shard_of(&code)].write().insert(id, code);
+    }
+
+    /// Returns all items within Hamming distance `radius` of `query`,
+    /// sorted by distance then id — fan-out over every shard, merge.
+    pub fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().radius_search(query, radius));
+        }
+        sort_neighbors(&mut out);
+        out
+    }
+
+    /// Returns the `k` nearest items (ties broken by id), sorted by
+    /// distance then id.  Each shard contributes its local top-`k`; the
+    /// merged list is sorted and truncated, which yields exactly the
+    /// global top-`k` (see the module docs for the argument).
+    pub fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().knn(query, k));
+        }
+        sort_neighbors(&mut out);
+        out.truncate(k);
+        out
+    }
+
+    /// Total number of indexed items across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl HammingIndex for ShardedHashIndex {
+    fn insert(&mut self, id: ItemId, code: BinaryCode) {
+        ShardedHashIndex::insert(self, id, code);
+    }
+
+    fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
+        ShardedHashIndex::radius_search(self, query, radius)
+    }
+
+    fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
+        ShardedHashIndex::knn(self, query, k)
+    }
+
+    fn len(&self) -> usize {
+        ShardedHashIndex::len(self)
+    }
+}
+
+/// FNV-1a over a word slice; fixed offset/prime so shard routing is
+/// deterministic across processes (unlike `std`'s randomised hasher).
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScanIndex;
+
+    fn rand_code(bits: u32, seed: u64) -> BinaryCode {
+        // SplitMix64-style expansion: deterministic, well mixed.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let words: Vec<u64> = (0..bits.div_ceil(64)).map(|_| next()).collect();
+        BinaryCode::from_words(bits, words)
+    }
+
+    #[test]
+    fn sharded_results_match_the_unsharded_index_exactly() {
+        let sharded = ShardedHashIndex::new(64, 5);
+        let mut flat = HashTableIndex::new(64);
+        let mut linear = LinearScanIndex::new(64);
+        for i in 0..400u64 {
+            // Low-entropy codes so buckets collide and ties exercise id ordering.
+            let code = rand_code(64, i / 3);
+            sharded.insert(i, code.clone());
+            flat.insert(i, code.clone());
+            linear.insert(i, code);
+        }
+        assert_eq!(sharded.len(), 400);
+        for q in 0..10u64 {
+            let query = rand_code(64, q);
+            for radius in [0, 2, 8, 20] {
+                assert_eq!(
+                    sharded.radius_search(&query, radius),
+                    flat.radius_search(&query, radius),
+                    "radius {radius} disagrees"
+                );
+            }
+            for k in [1, 5, 17, 500] {
+                let got = sharded.knn(&query, k);
+                assert_eq!(got, flat.knn(&query, k), "knn k={k} disagrees with hash table");
+                assert_eq!(got, linear.knn(&query, k), "knn k={k} disagrees with linear scan");
+            }
+        }
+    }
+
+    #[test]
+    fn items_are_spread_over_multiple_shards() {
+        let idx = ShardedHashIndex::new(32, 4);
+        for i in 0..256u64 {
+            idx.insert(i, rand_code(32, i));
+        }
+        let occupancy = idx.shard_occupancy();
+        assert_eq!(occupancy.len(), 4);
+        assert_eq!(occupancy.iter().sum::<usize>(), 256);
+        assert!(occupancy.iter().all(|&n| n > 0), "all shards should receive items: {occupancy:?}");
+    }
+
+    #[test]
+    fn identical_codes_land_in_the_same_shard() {
+        let idx = ShardedHashIndex::new(16, 8);
+        let code = rand_code(16, 7);
+        idx.insert(1, code.clone());
+        idx.insert(2, code.clone());
+        let occupancy = idx.shard_occupancy();
+        assert_eq!(occupancy.iter().filter(|&&n| n > 0).count(), 1);
+        let hits = idx.radius_search(&code, 0);
+        assert_eq!(hits.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_searches_do_not_lose_items() {
+        let idx = ShardedHashIndex::new(64, 4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let idx = &idx;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        idx.insert(t * 100 + i, rand_code(64, t * 100 + i));
+                        // Interleave searches with the writes.
+                        let _ = idx.knn(&rand_code(64, i), 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(idx.len(), 400);
+    }
+
+    #[test]
+    fn trait_object_usability() {
+        let mut idx: Box<dyn HammingIndex> = Box::new(ShardedHashIndex::new(8, 2));
+        idx.insert(1, BinaryCode::zeros(8));
+        idx.insert(2, BinaryCode::zeros(8).with_flipped_bit(3));
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+        let hits = idx.radius_search(&BinaryCode::zeros(8), 1);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(idx.knn(&BinaryCode::zeros(8), 1)[0].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn insert_rejects_wrong_width() {
+        let idx = ShardedHashIndex::new(8, 2);
+        idx.insert(1, BinaryCode::zeros(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_are_rejected() {
+        let _ = ShardedHashIndex::new(8, 0);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! The original MiLaN extracts features with a pre-trained CNN before the
 //! metric-learning hashing head.  Training a CNN is out of scope here (see
-//! DESIGN.md), so this module computes a fixed hand-crafted descriptor with
+//! ARCHITECTURE.md "Substitutions"), so this module computes a fixed
+//! hand-crafted descriptor with
 //! the same role: a per-patch float vector whose geometry reflects the
 //! land-cover semantics well enough for the metric-learning head to work
 //! with.  It combines:

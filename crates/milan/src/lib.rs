@@ -17,7 +17,7 @@
 //! lookups within a small Hamming radius) and by the EarthQube CBIR service.
 //!
 //! The convolutional backbone of the original MiLaN is replaced by the
-//! hand-crafted spectral/texture descriptor in [`features`] (see DESIGN.md,
+//! hand-crafted spectral/texture descriptor in [`features`] (see ARCHITECTURE.md,
 //! "Substitutions"); the hashing head and its losses are faithful.
 
 #![warn(missing_docs)]

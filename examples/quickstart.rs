@@ -12,7 +12,7 @@ use agoraeo::earthqube::{EarthQube, EarthQubeConfig, ImageQuery, LabelFilter, La
 /// The end-to-end quickstart flow of the paper's demonstration.
 pub fn main() {
     // 1. Generate a deterministic synthetic archive (stand-in for the real
-    //    590,326-patch BigEarthNet archive; see DESIGN.md "Substitutions").
+    //    590,326-patch BigEarthNet archive; see ARCHITECTURE.md "Substitutions").
     let archive =
         ArchiveGenerator::new(GeneratorConfig { num_patches: 600, seed: 7, ..Default::default() })
             .expect("valid generator configuration")

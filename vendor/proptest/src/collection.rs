@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: either exact or a half-open range,
+/// A length specification for [`vec`](fn@vec): either exact or a half-open range,
 /// mirroring `proptest::collection::SizeRange`.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
@@ -27,7 +27,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec`](fn@vec).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -5,7 +5,7 @@
 //! implements the subset of the proptest 1.x API the workspace's property
 //! suites use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, implemented
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map`, implemented
 //!   for numeric ranges, tuples, `Just`, `Vec<impl Strategy>` and
 //!   [`collection::vec`],
 //! * [`arbitrary::any`] (for `bool`),
