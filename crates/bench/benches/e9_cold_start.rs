@@ -1,0 +1,97 @@
+//! Experiment E9 — cold start with the durable storage tier: restarting a
+//! server by loading a checkpointed snapshot vs rebuilding it from scratch
+//! (re-ingesting the archive, re-training MiLaN, re-encoding every image).
+//!
+//! The paper's EarthQube serves a continuously *growing* archive; a
+//! restart that pays the full build again cannot serve "heavy traffic from
+//! millions of users".  The shape to look for: `snapshot_load/N` stays far
+//! below `full_rebuild/N` and the gap widens with the archive size — the
+//! snapshot path skips model training and encoding entirely and only pays
+//! deserialization, which is linear in the stored bytes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::archive;
+use eq_earthqube::{EarthQubeConfig, ImageQuery, QueryServer, ServeConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Archive sizes of the experiment; the acceptance headline is the 40k row.
+const SIZES: [usize; 3] = [2_000, 10_000, 40_000];
+
+fn engine_config(seed: u64) -> EarthQubeConfig {
+    let mut config = EarthQubeConfig::fast(seed);
+    config.milan.epochs = 12;
+    config
+}
+
+fn scratch_dir(n: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("eq_e9_cold_start_{}_{n}", std::process::id()))
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_cold_start");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    println!("[E9] cold start: snapshot load vs full rebuild");
+    for n in SIZES {
+        let data = archive(n, 99);
+        let dir = scratch_dir(n);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First boot: build + checkpoint (this is what `open` does on a
+        // cold directory).  Timed once — it is the baseline every restart
+        // would otherwise pay.
+        let start = Instant::now();
+        let server = QueryServer::open(&dir, &data, engine_config(99), ServeConfig::default())
+            .expect("first open builds and checkpoints");
+        let build_time = start.elapsed().as_secs_f64();
+        let snapshot_bytes = std::fs::metadata(dir.join("snapshot.eqs")).map_or(0, |m| m.len());
+
+        // Sanity: a recovered server answers like the built one.  The
+        // builder is dropped first — recovery takes the WAL file lock.
+        let expected = server.search(&ImageQuery::all()).unwrap();
+        drop(server);
+        let recovered = QueryServer::recover(&dir).expect("snapshot recovers");
+        assert_eq!(recovered.search(&ImageQuery::all()).unwrap(), expected);
+        drop(recovered);
+
+        let start = Instant::now();
+        black_box(QueryServer::recover(&dir).expect("snapshot recovers"));
+        let load_time = start.elapsed().as_secs_f64();
+        println!(
+            "[E9] {n:>6} images: full rebuild {:>8.2} s, snapshot load {:>7.3} s \
+             ({:>5.1}x faster, snapshot {:.1} MiB)",
+            build_time,
+            load_time,
+            build_time / load_time,
+            snapshot_bytes as f64 / (1024.0 * 1024.0)
+        );
+
+        // Criterion timings for the snapshot-load path (the rebuild path is
+        // far too slow to sample repeatedly at 40k; its one-shot time is
+        // printed above).
+        group.bench_with_input(BenchmarkId::new("snapshot_load", n), &dir, |b, dir| {
+            b.iter(|| black_box(QueryServer::recover(dir).expect("snapshot recovers")))
+        });
+        if n == SIZES[0] {
+            // The rebuild baseline is sampled only at the smallest size.
+            group.bench_with_input(BenchmarkId::new("full_rebuild", n), &data, |b, data| {
+                b.iter(|| {
+                    black_box(
+                        QueryServer::build(data, engine_config(99), ServeConfig::default())
+                            .expect("server builds"),
+                    )
+                })
+            });
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_start);
+criterion_main!(benches);

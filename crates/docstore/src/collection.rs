@@ -144,6 +144,16 @@ impl Collection {
     /// # Errors
     /// Fails if the primary-key field is missing or already present.
     pub fn insert(&mut self, doc: Document) -> Result<DocId, StoreError> {
+        let id = self.next_id;
+        self.insert_at(id, doc)?;
+        self.next_id = id + 1;
+        Ok(id)
+    }
+
+    /// Inserts a document under an explicit internal id (the shared core of
+    /// [`insert`](Self::insert) and snapshot restoration, which must
+    /// reproduce historical ids exactly — including gaps left by deletes).
+    fn insert_at(&mut self, id: DocId, doc: Document) -> Result<(), StoreError> {
         let key = doc
             .get(&self.primary_key)
             .cloned()
@@ -151,8 +161,6 @@ impl Collection {
         if self.pk_index.contains_key(&key) {
             return Err(StoreError::DuplicateKey(format!("{key:?}")));
         }
-        let id = self.next_id;
-        self.next_id += 1;
         // Update secondary indexes.
         for (field, index) in self.attr_indexes.iter_mut() {
             if let Some(v) = doc.get(field) {
@@ -167,7 +175,48 @@ impl Collection {
         self.pk_index.insert(key, id);
         self.docs.insert(id, doc);
         self.insertion_order.push(id);
-        Ok(id)
+        Ok(())
+    }
+
+    /// The id the next inserted document will receive (serialized into
+    /// snapshots so restored collections keep allocating fresh ids).
+    pub(crate) fn next_id(&self) -> DocId {
+        self.next_id
+    }
+
+    /// Rebuilds a collection from its serialized parts: documents are
+    /// re-inserted in their historical insertion order under their
+    /// historical ids, and all declared indexes are rebuilt from scratch —
+    /// so the restored collection answers every query (ids, plans, scan
+    /// counts) exactly like the snapshotted one.
+    pub(crate) fn from_parts(
+        name: &str,
+        primary_key: &str,
+        next_id: DocId,
+        docs: Vec<(DocId, Document)>,
+        attr_fields: &[String],
+        geo_field: Option<&str>,
+    ) -> Result<Self, StoreError> {
+        let mut collection = Collection::new(name, primary_key);
+        for field in attr_fields {
+            collection.create_attribute_index(field);
+        }
+        if let Some(field) = geo_field {
+            collection.create_geo_index(field)?;
+        }
+        for (id, doc) in docs {
+            if id >= next_id {
+                return Err(StoreError::BadIndex(format!(
+                    "document id {id} is not below the collection's next_id {next_id}"
+                )));
+            }
+            if collection.docs.contains_key(&id) {
+                return Err(StoreError::BadIndex(format!("duplicate document id {id}")));
+            }
+            collection.insert_at(id, doc)?;
+        }
+        collection.next_id = next_id;
+        Ok(collection)
     }
 
     /// The document with the given internal id.

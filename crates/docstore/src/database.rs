@@ -55,6 +55,16 @@ impl Database {
     pub fn is_empty(&self) -> bool {
         self.collections.is_empty()
     }
+
+    /// Iterates over the collections in name order.
+    pub fn collections(&self) -> impl Iterator<Item = &Collection> {
+        self.collections.values()
+    }
+
+    /// Rebuilds a database from decoded collections (snapshot restoration).
+    pub(crate) fn from_collections(collections: Vec<Collection>) -> Self {
+        Self { collections: collections.into_iter().map(|c| (c.name().to_string(), c)).collect() }
+    }
 }
 
 #[cfg(test)]

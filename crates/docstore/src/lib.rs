@@ -13,7 +13,9 @@
 //! * [`Collection`] — storage with a primary-key index, secondary B-tree
 //!   attribute indexes and a geohash-based 2-D index, plus a small query
 //!   planner that picks an index and reports an execution plan,
-//! * [`Database`] — a named set of collections.
+//! * [`Database`] — a named set of collections,
+//! * [`wire`] — the checksummed binary snapshot encoding of values,
+//!   documents, collections and databases (the durable storage tier).
 
 #![deny(missing_docs)]
 
@@ -22,12 +24,16 @@ pub mod database;
 pub mod filter;
 pub mod index;
 pub mod value;
+pub mod wire;
 
 pub use collection::{Collection, CollectionStats, QueryPlan, QueryResult};
 pub use database::Database;
 pub use filter::Filter;
 pub use index::{AttributeIndex, GeoIndex};
 pub use value::{Document, Value};
+pub use wire::{
+    decode_database, decode_document, decode_value, encode_database, encode_document, encode_value,
+};
 
 /// Internal identifier of a stored document.
 pub type DocId = u64;

@@ -100,45 +100,7 @@ impl EarthQube {
             model.train_on_archive(archive);
         }
         let cbir = CbirService::build(model, archive, config.cbir);
-
-        let registry = AssetRegistry::new();
-        let _ = registry.offer(asset(
-            "bigearthnet-synthetic",
-            AssetKind::Dataset,
-            "Synthetic BigEarthNet-MM archive",
-            "eq-bigearthnet",
-            &["eo", "sentinel-1", "sentinel-2"],
-        ));
-        let _ = registry.offer(asset(
-            "milan",
-            AssetKind::Model,
-            &format!("Metric-learning deep hashing network ({}-bit codes)", config.milan.code_bits),
-            "eq-milan",
-            &["hashing", "cbir", "metric-learning"],
-        ));
-        let _ = registry.offer(asset(
-            "hamming-hash-index",
-            AssetKind::Index,
-            "Hash-table index over MiLaN codes with Hamming-radius lookup",
-            "eq-hashindex",
-            &["cbir", "ann"],
-        ));
-        let _ = registry.offer(asset(
-            "earthqube",
-            AssetKind::Service,
-            "EarthQube browser and search engine",
-            "eq-earthqube",
-            &["search", "eo"],
-        ));
-        let _ = registry.compose(
-            "earthqube-cbir",
-            vec![
-                "bigearthnet-synthetic".into(),
-                "milan".into(),
-                "hamming-hash-index".into(),
-                "earthqube".into(),
-            ],
-        );
+        let registry = build_registry(&config);
 
         Ok(Self {
             config,
@@ -245,6 +207,52 @@ impl EarthQube {
         let ranked: Vec<(usize, u32)> = hits.iter().map(|h| (h.id.index(), h.distance)).collect();
         response_from_ranked(&self.metadata, &ranked, self.config.page_size)
     }
+}
+
+/// Builds the AgoraEO asset registry an EarthQube instance announces
+/// itself in — shared by [`EarthQube::build`] and snapshot recovery (the
+/// registry holds only descriptive metadata derived from the
+/// configuration, so rebuilding it is exact).
+pub(crate) fn build_registry(config: &EarthQubeConfig) -> AssetRegistry {
+    let registry = AssetRegistry::new();
+    let _ = registry.offer(asset(
+        "bigearthnet-synthetic",
+        AssetKind::Dataset,
+        "Synthetic BigEarthNet-MM archive",
+        "eq-bigearthnet",
+        &["eo", "sentinel-1", "sentinel-2"],
+    ));
+    let _ = registry.offer(asset(
+        "milan",
+        AssetKind::Model,
+        &format!("Metric-learning deep hashing network ({}-bit codes)", config.milan.code_bits),
+        "eq-milan",
+        &["hashing", "cbir", "metric-learning"],
+    ));
+    let _ = registry.offer(asset(
+        "hamming-hash-index",
+        AssetKind::Index,
+        "Hash-table index over MiLaN codes with Hamming-radius lookup",
+        "eq-hashindex",
+        &["cbir", "ann"],
+    ));
+    let _ = registry.offer(asset(
+        "earthqube",
+        AssetKind::Service,
+        "EarthQube browser and search engine",
+        "eq-earthqube",
+        &["search", "eo"],
+    ));
+    let _ = registry.compose(
+        "earthqube-cbir",
+        vec![
+            "bigearthnet-synthetic".into(),
+            "milan".into(),
+            "hamming-hash-index".into(),
+            "earthqube".into(),
+        ],
+    );
+    registry
 }
 
 /// The query-panel search shared by the sequential engine and the

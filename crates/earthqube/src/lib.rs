@@ -58,6 +58,7 @@ pub mod cbir;
 pub mod engine;
 pub mod feedback;
 pub mod ingest;
+mod persist;
 pub mod query;
 pub mod results;
 pub mod schema;
@@ -85,6 +86,9 @@ pub enum EarthQubeError {
     CbirNotReady,
     /// The request was malformed (e.g. an inverted date range).
     BadRequest(String),
+    /// The durable storage tier failed: an I/O error, or a snapshot/WAL
+    /// that is missing, corrupt or from an incompatible version.
+    Persist(String),
 }
 
 impl std::fmt::Display for EarthQubeError {
@@ -94,6 +98,7 @@ impl std::fmt::Display for EarthQubeError {
             EarthQubeError::Store(e) => write!(f, "document store error: {e}"),
             EarthQubeError::CbirNotReady => write!(f, "CBIR service is not ready"),
             EarthQubeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            EarthQubeError::Persist(m) => write!(f, "persistence error: {m}"),
         }
     }
 }

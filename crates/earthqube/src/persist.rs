@@ -1,0 +1,519 @@
+//! The durable storage tier: snapshot and write-ahead-log formats.
+//!
+//! EarthQube in the paper serves a continuously growing archive; losing the
+//! docstore, the CBIR index and the trained MiLaN codes on every restart
+//! would mean re-ingesting and re-encoding from scratch.  This module
+//! defines the two on-disk artefacts that prevent that (the public entry
+//! points are [`QueryServer::checkpoint`], [`QueryServer::recover`] and
+//! [`QueryServer::open`](crate::serve::QueryServer::open)):
+//!
+//! * **Snapshot** (`snapshot.eqs`) — a versioned, CRC-32-checksummed binary
+//!   image of the whole serving state: engine + serve configuration, the
+//!   trained MiLaN model, the document database, the per-image metadata and
+//!   binary codes, and the sharded Hamming index (with its shard layout
+//!   verbatim, so the flat/sharded search equivalence survives a restart).
+//!
+//!   ```text
+//!   snapshot := "EQSNAP01" version:u16 body_len:u64 body crc32(body):u32
+//!   body     := engine_config serve_config milan_model database
+//!               images:u32 (patch_metadata code)*   (in dense-id order)
+//!               sharded_index
+//!   ```
+//!
+//! * **Write-ahead log** (`wal.eqw`) — an append-only record stream of
+//!   every write applied after the snapshot.  Records are framed with a
+//!   length and a per-record CRC-32, so a torn tail (the crash happened
+//!   mid-`write`) is detected and cleanly discarded on recovery:
+//!
+//!   ```text
+//!   wal      := "EQWAL001" generation:u32 record*
+//!   record   := len:u32 crc32(payload):u32 payload[len]
+//!   payload  := 1 patch_metadata code image_doc rendered_doc   (ingest)
+//!             | 2 text:string category:u8 [string]             (feedback)
+//!   ```
+//!
+//!   The `generation` field is the CRC-32 of the snapshot the log extends
+//!   (see [`snapshot_generation`]); it is what makes checkpointing
+//!   crash-atomic across the two files.  Appends are made durable with
+//!   `fdatasync` (one per write-path lock section), and a published
+//!   snapshot is `fsync`ed before its rename — `flush` alone would not
+//!   survive a power loss.
+//!
+//! Recovery = decode snapshot, replay every intact WAL record of the
+//! matching generation through the same apply path live ingest uses,
+//! truncate the WAL to its last intact record.  Replaying is idempotent
+//! from the snapshot base, so recovering a recovered directory yields the
+//! same state again.
+//!
+//! [`QueryServer::checkpoint`]: crate::serve::QueryServer::checkpoint
+//! [`QueryServer::recover`]: crate::serve::QueryServer::recover
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
+use std::path::Path;
+
+use eq_bigearthnet::patch::{AcquisitionDate, PatchId, PatchMetadata};
+use eq_docstore::{wire, Database, Document};
+use eq_geo::BBox;
+use eq_hashindex::{BinaryCode, ShardedHashIndex};
+use eq_milan::persist::{
+    decode_config as decode_milan_config, encode_config as encode_milan_config,
+};
+use eq_milan::Milan;
+use eq_wire::{crc32, Reader, WireError, Writer};
+
+use crate::cbir::CbirConfig;
+use crate::engine::EarthQubeConfig;
+use crate::serve::ServeConfig;
+use crate::EarthQubeError;
+
+/// Snapshot file name inside a persistence directory.
+pub(crate) const SNAPSHOT_FILE: &str = "snapshot.eqs";
+/// Write-ahead-log file name inside a persistence directory.
+pub(crate) const WAL_FILE: &str = "wal.eqw";
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"EQSNAP01";
+const SNAPSHOT_VERSION: u16 = 1;
+const WAL_MAGIC: &[u8; 8] = b"EQWAL001";
+/// WAL header: magic plus the generation tag of the snapshot it extends.
+const WAL_HEADER_LEN: u64 = 12;
+
+/// The generation tag of a snapshot: its stored body CRC-32, i.e. the
+/// file's trailing four bytes (no second full-buffer scan is needed — the
+/// CRC was computed when the snapshot was encoded and is verified when it
+/// is decoded).  The WAL header stores the tag of the snapshot it extends,
+/// which makes checkpointing crash-atomic across the two files: if the
+/// crash lands between publishing a new snapshot and resetting the WAL,
+/// recovery sees a WAL tagged with the *old* generation and discards it —
+/// correct, because the new snapshot already contains everything that log
+/// held.
+pub(crate) fn snapshot_generation(snapshot_bytes: &[u8]) -> u32 {
+    snapshot_bytes.last_chunk::<4>().map_or(0, |tail| u32::from_le_bytes(*tail))
+}
+
+const RECORD_INGEST: u8 = 1;
+const RECORD_FEEDBACK: u8 = 2;
+
+/// Maps a wire-format error into the crate error type.
+pub(crate) fn corrupt(e: WireError) -> EarthQubeError {
+    EarthQubeError::Persist(format!("corrupt persistent state: {e}"))
+}
+
+/// Maps an I/O error into the crate error type.
+pub(crate) fn io_error(context: &str, e: std::io::Error) -> EarthQubeError {
+    EarthQubeError::Persist(format!("{context}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Shared field encoders
+// ---------------------------------------------------------------------------
+
+fn encode_patch_metadata(meta: &PatchMetadata, w: &mut Writer) {
+    w.u32(meta.id.0);
+    w.str(&meta.name);
+    w.f64(meta.bbox.min_lon);
+    w.f64(meta.bbox.min_lat);
+    w.f64(meta.bbox.max_lon);
+    w.f64(meta.bbox.max_lat);
+    w.u64(meta.labels.bits());
+    w.str(meta.country.name());
+    w.u16(meta.date.year);
+    w.u8(meta.date.month);
+    w.u8(meta.date.day);
+}
+
+fn decode_patch_metadata(r: &mut Reader<'_>) -> Result<PatchMetadata, WireError> {
+    let id = PatchId(r.u32()?);
+    let name = r.str()?.to_string();
+    let (min_lon, min_lat, max_lon, max_lat) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+    let bbox = BBox::new(min_lon, min_lat, max_lon, max_lat)
+        .map_err(|e| WireError::Corrupt(format!("invalid bbox for patch {name:?}: {e}")))?;
+    let labels = eq_bigearthnet::labels::LabelSet::from_bits(r.u64()?);
+    let country_name = r.str()?.to_string();
+    let country = eq_bigearthnet::Country::from_name(&country_name)
+        .ok_or_else(|| WireError::Corrupt(format!("unknown country {country_name:?}")))?;
+    let (year, month, day) = (r.u16()?, r.u8()?, r.u8()?);
+    let date = AcquisitionDate::new(year, month, day)
+        .ok_or_else(|| WireError::Corrupt(format!("invalid date {year}-{month}-{day}")))?;
+    Ok(PatchMetadata { id, name, bbox, labels, country, date })
+}
+
+fn encode_engine_config(config: &EarthQubeConfig, w: &mut Writer) {
+    encode_milan_config(&config.milan, w);
+    w.u32(config.cbir.default_radius);
+    w.u64(config.cbir.default_k as u64);
+    w.u64(config.page_size as u64);
+    w.bool(config.train_model);
+}
+
+fn decode_engine_config(r: &mut Reader<'_>) -> Result<EarthQubeConfig, WireError> {
+    let milan = decode_milan_config(r)?;
+    let cbir = CbirConfig { default_radius: r.u32()?, default_k: r.u64()? as usize };
+    let page_size = r.u64()? as usize;
+    let train_model = r.bool()?;
+    Ok(EarthQubeConfig { milan, cbir, page_size, train_model })
+}
+
+fn encode_serve_config(serve: ServeConfig, w: &mut Writer) {
+    w.u64(serve.shards as u64);
+    w.u64(serve.cache_capacity as u64);
+}
+
+fn decode_serve_config(r: &mut Reader<'_>) -> Result<ServeConfig, WireError> {
+    let shards = r.u64()? as usize;
+    let cache_capacity = r.u64()? as usize;
+    if shards == 0 {
+        return Err(WireError::Corrupt("serve configuration with zero shards".into()));
+    }
+    Ok(ServeConfig { shards, cache_capacity })
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// Everything a snapshot restores, decoded and validated.
+pub(crate) struct SnapshotState {
+    pub config: EarthQubeConfig,
+    pub serve: ServeConfig,
+    pub model: Milan,
+    pub database: Database,
+    /// Per-image metadata and binary code, in dense-id order.
+    pub images: Vec<(PatchMetadata, BinaryCode)>,
+    pub index: ShardedHashIndex,
+}
+
+/// Serializes the full serving state into snapshot bytes (header, body,
+/// trailing CRC-32 over the body).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_snapshot(
+    config: &EarthQubeConfig,
+    serve: ServeConfig,
+    model: &Milan,
+    database: &Database,
+    metadata: &[PatchMetadata],
+    codes_in_id_order: &[&BinaryCode],
+    index: &ShardedHashIndex,
+) -> Vec<u8> {
+    debug_assert_eq!(metadata.len(), codes_in_id_order.len());
+    let mut body = Writer::new();
+    encode_engine_config(config, &mut body);
+    encode_serve_config(serve, &mut body);
+    model.encode(&mut body);
+    wire::encode_database(database, &mut body);
+    body.seq_len(metadata.len());
+    for (meta, code) in metadata.iter().zip(codes_in_id_order) {
+        encode_patch_metadata(meta, &mut body);
+        code.encode(&mut body);
+    }
+    index.encode(&mut body);
+    let body = body.into_bytes();
+
+    let mut out = Writer::with_capacity(body.len() + 32);
+    out.raw(SNAPSHOT_MAGIC);
+    out.u16(SNAPSHOT_VERSION);
+    out.u64(body.len() as u64);
+    out.raw(&body);
+    out.u32(crc32(&body));
+    out.into_bytes()
+}
+
+/// Decodes and validates snapshot bytes.
+pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, EarthQubeError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(SNAPSHOT_MAGIC.len()).map_err(corrupt)?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(EarthQubeError::Persist("not an EarthQube snapshot (bad magic)".into()));
+    }
+    let version = r.u16().map_err(corrupt)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(EarthQubeError::Persist(format!(
+            "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+        )));
+    }
+    let body_len = r.u64().map_err(corrupt)?;
+    // Compare in u64 (`body_len` is attacker-controlled; adding to it could
+    // overflow) against the remaining bytes minus the trailing CRC.
+    if r.remaining() < 4 || body_len != (r.remaining() - 4) as u64 {
+        return Err(EarthQubeError::Persist(format!(
+            "snapshot body length {body_len} disagrees with file size"
+        )));
+    }
+    let body_len = body_len as usize;
+    let body = r.take(body_len).map_err(corrupt)?;
+    let stored_crc = r.u32().map_err(corrupt)?;
+    let actual_crc = crc32(body);
+    if stored_crc != actual_crc {
+        return Err(EarthQubeError::Persist(format!(
+            "snapshot checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+
+    let mut r = Reader::new(body);
+    let config = decode_engine_config(&mut r).map_err(corrupt)?;
+    let serve = decode_serve_config(&mut r).map_err(corrupt)?;
+    let model = Milan::decode(&mut r).map_err(corrupt)?;
+    let database = wire::decode_database(&mut r).map_err(corrupt)?;
+    let n_images = r.seq_len(1).map_err(corrupt)?;
+    let mut images = Vec::with_capacity(n_images);
+    for i in 0..n_images {
+        let meta = decode_patch_metadata(&mut r).map_err(corrupt)?;
+        if meta.id.0 as usize != i {
+            return Err(EarthQubeError::Persist(format!(
+                "image {i} carries dense id {} (snapshot images must be id-ordered)",
+                meta.id.0
+            )));
+        }
+        let code = BinaryCode::decode(&mut r).map_err(corrupt)?;
+        images.push((meta, code));
+    }
+    let index = ShardedHashIndex::decode(&mut r).map_err(corrupt)?;
+    if !r.is_empty() {
+        return Err(EarthQubeError::Persist(format!(
+            "{} trailing bytes after the snapshot body",
+            r.remaining()
+        )));
+    }
+    if index.len() != images.len() {
+        return Err(EarthQubeError::Persist(format!(
+            "index holds {} items but the snapshot lists {} images",
+            index.len(),
+            images.len()
+        )));
+    }
+    Ok(SnapshotState { config, serve, model, database, images, index })
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------------
+
+/// One decoded WAL record.
+pub(crate) enum WalRecord {
+    /// A patch applied by [`QueryServer::ingest`](crate::serve::QueryServer::ingest):
+    /// the dense-id-assigned metadata, the binary code, and the two
+    /// pre-serialized documents.
+    Ingest { meta: PatchMetadata, code: BinaryCode, image_doc: Document, rendered_doc: Document },
+    /// A feedback comment stored through the write path.
+    Feedback { text: String, category: Option<String> },
+}
+
+/// Encodes the payload of an ingest record.
+pub(crate) fn encode_ingest_record(
+    meta: &PatchMetadata,
+    code: &BinaryCode,
+    image_doc: &Document,
+    rendered_doc: &Document,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(RECORD_INGEST);
+    encode_patch_metadata(meta, &mut w);
+    code.encode(&mut w);
+    wire::encode_document(image_doc, &mut w);
+    wire::encode_document(rendered_doc, &mut w);
+    w.into_bytes()
+}
+
+/// Encodes the payload of a feedback record.
+pub(crate) fn encode_feedback_record(text: &str, category: Option<&str>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(RECORD_FEEDBACK);
+    w.str(text);
+    match category {
+        Some(c) => {
+            w.u8(1);
+            w.str(c);
+        }
+        None => w.u8(0),
+    }
+    w.into_bytes()
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, WireError> {
+    let mut r = Reader::new(payload);
+    let record = match r.u8()? {
+        RECORD_INGEST => WalRecord::Ingest {
+            meta: decode_patch_metadata(&mut r)?,
+            code: BinaryCode::decode(&mut r)?,
+            image_doc: wire::decode_document(&mut r)?,
+            rendered_doc: wire::decode_document(&mut r)?,
+        },
+        RECORD_FEEDBACK => {
+            let text = r.str()?.to_string();
+            let category = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?.to_string()),
+                other => return Err(WireError::Corrupt(format!("invalid category flag {other}"))),
+            };
+            WalRecord::Feedback { text, category }
+        }
+        other => return Err(WireError::Corrupt(format!("unknown WAL record type {other}"))),
+    };
+    if !r.is_empty() {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes inside a WAL record",
+            r.remaining()
+        )));
+    }
+    Ok(record)
+}
+
+/// The outcome of scanning a WAL file against the recovered snapshot.
+pub(crate) enum WalScan {
+    /// No usable log: the file is missing, its header is torn, or its
+    /// generation tag names a different snapshot (a crash landed between
+    /// snapshot publication and WAL reset — the stale records are already
+    /// contained in the newer snapshot).  Recovery starts a fresh log.
+    Fresh,
+    /// A log matching the snapshot generation: the intact records plus the
+    /// byte offset of the end of the last intact record.
+    Valid {
+        /// Every fully-written record, front to back.
+        records: Vec<WalRecord>,
+        /// End offset of the last intact record (the torn-tail boundary).
+        valid_len: u64,
+    },
+}
+
+/// Reads a WAL file, validating its generation tag against the recovered
+/// snapshot.  A torn or corrupt record tail — truncated length field,
+/// short payload, CRC mismatch, undecodable payload — ends the scan
+/// without an error: durability recovers exactly the records that were
+/// fully written.
+///
+/// A present file with a wrong magic is an error (it is not an EarthQube
+/// WAL at all); every crash-shaped state maps to [`WalScan::Fresh`].
+pub(crate) fn read_wal(path: &Path, generation: u32) -> Result<WalScan, EarthQubeError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::Fresh),
+        Err(e) => return Err(io_error("reading the write-ahead log", e)),
+    };
+    let magic_len = bytes.len().min(WAL_MAGIC.len());
+    if bytes[..magic_len] != WAL_MAGIC[..magic_len] {
+        return Err(EarthQubeError::Persist("not an EarthQube write-ahead log (bad magic)".into()));
+    }
+    if (bytes.len() as u64) < WAL_HEADER_LEN {
+        return Ok(WalScan::Fresh); // torn header: the crash hit WAL creation
+    }
+    let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if tag != generation {
+        return Ok(WalScan::Fresh); // stale log from before the last snapshot
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut valid_end = pos as u64;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break; // torn tail: the payload was never fully written
+        };
+        if crc32(payload) != stored_crc {
+            break; // torn or bit-flipped tail
+        }
+        let Ok(record) = decode_record(payload) else {
+            break; // CRC collides with corruption only astronomically rarely,
+                   // but a framing bug must still fail safe
+        };
+        records.push(record);
+        pos += 8 + len;
+        valid_end = pos as u64;
+    }
+    Ok(WalScan::Valid { records, valid_len: valid_end })
+}
+
+/// The append handle of a live WAL.
+pub(crate) struct WalWriter {
+    file: File,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter").finish_non_exhaustive()
+    }
+}
+
+/// Takes the advisory exclusive lock on the WAL file, failing fast if
+/// another live server instance holds it.  Two writers appending framed
+/// records at independent offsets would corrupt the log; the OS releases
+/// the lock automatically when the holder's handle closes (including on a
+/// crash), so a dead server never wedges its directory.
+fn lock_exclusive(file: &File) -> Result<(), EarthQubeError> {
+    file.try_lock().map_err(|e| {
+        EarthQubeError::Persist(format!(
+            "the write-ahead log is held by another live server instance \
+             (drop it before recovering the same directory): {e}"
+        ))
+    })
+}
+
+impl WalWriter {
+    /// Creates (or resets) a WAL file for the given snapshot generation,
+    /// writing and syncing the header.  The file is locked *before* it is
+    /// truncated, so a concurrent holder's log is never destroyed.
+    pub(crate) fn create(path: &Path, generation: u32) -> Result<Self, EarthQubeError> {
+        // Deliberately `truncate(false)`: the reset happens via `set_len`
+        // *after* the lock is held, so a concurrent holder's log is never
+        // destroyed by merely attempting to open it.
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_error("creating the write-ahead log", e))?;
+        lock_exclusive(&file)?;
+        file.set_len(0).map_err(|e| io_error("resetting the write-ahead log", e))?;
+        file.write_all(WAL_MAGIC).map_err(|e| io_error("writing the WAL header", e))?;
+        file.write_all(&generation.to_le_bytes())
+            .map_err(|e| io_error("writing the WAL generation tag", e))?;
+        file.sync_data().map_err(|e| io_error("syncing the WAL header", e))?;
+        Ok(Self { file })
+    }
+
+    /// Opens an existing WAL for appending, first truncating it to
+    /// `valid_len` bytes so a torn tail from a previous crash can never
+    /// corrupt the framing of future records.  Locks before truncating,
+    /// like [`create`](Self::create).
+    pub(crate) fn open_truncated(path: &Path, valid_len: u64) -> Result<Self, EarthQubeError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_error("opening the write-ahead log", e))?;
+        lock_exclusive(&file)?;
+        file.set_len(valid_len).map_err(|e| io_error("truncating the WAL torn tail", e))?;
+        file.sync_data().map_err(|e| io_error("syncing the WAL truncation", e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_error("seeking the WAL end", e))?;
+        Ok(Self { file })
+    }
+
+    /// Appends one framed record (length, CRC-32, payload).  The bytes are
+    /// written but not yet synced — callers finish their lock section with
+    /// one [`sync`](Self::sync), so a multi-patch ingest pays one disk
+    /// flush, not one per patch.
+    pub(crate) fn append(&mut self, payload: &[u8]) -> Result<(), EarthQubeError> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(
+            &u32::try_from(payload.len())
+                .map_err(|_| EarthQubeError::Persist("WAL record exceeds u32::MAX bytes".into()))?
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame).map_err(|e| io_error("appending a WAL record", e))
+    }
+
+    /// Forces appended records to stable storage (`fdatasync`); `flush`
+    /// alone is a no-op for [`File`] and would not survive a power loss.
+    pub(crate) fn sync(&mut self) -> Result<(), EarthQubeError> {
+        self.file.sync_data().map_err(|e| io_error("syncing the WAL", e))
+    }
+}
+
+/// Opens `dir` and syncs it, making freshly created/renamed directory
+/// entries (the published snapshot, the reset WAL) durable on filesystems
+/// that require an explicit directory fsync.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), EarthQubeError> {
+    let handle = File::open(dir).map_err(|e| io_error("opening the persistence directory", e))?;
+    handle.sync_all().map_err(|e| io_error("syncing the persistence directory", e))
+}

@@ -36,6 +36,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use eq_agora::AssetRegistry;
@@ -44,11 +45,12 @@ use eq_bigearthnet::Archive;
 use eq_docstore::{Database, Document};
 use eq_hashindex::{BinaryCode, Neighbor, ShardedHashIndex};
 use eq_milan::Milan;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::engine::{EarthQube, EarthQubeConfig, SearchResponse};
 use crate::feedback::{FeedbackEntry, FeedbackService};
 use crate::ingest::{insert_patch_docs, prepare_patch_docs, IngestReport};
+use crate::persist::{self, WalRecord, WalWriter};
 use crate::query::ImageQuery;
 use crate::EarthQubeError;
 
@@ -269,6 +271,22 @@ impl ResultCache {
     }
 }
 
+/// The query counters, kept together behind one lock so that
+/// [`QueryServer::stats`] can snapshot all three in a single pass.  Each
+/// query updates them exactly once, *at its outcome*, so at every instant
+/// `queries_served == cache_hits + cache_misses + failed queries` — a
+/// snapshot can never observe a query that was counted as served but not
+/// yet classified.  (An earlier revision kept three independent atomics
+/// bumped at different points of the query; a mid-workload snapshot could
+/// then see a hit rate computed from counters belonging to different sets
+/// of queries.)
+#[derive(Debug, Default)]
+struct QueryCounters {
+    served: u64,
+    hits: u64,
+    misses: u64,
+}
+
 /// Everything the write path mutates, behind one lock so every query sees
 /// a consistent snapshot of store, metadata and code table.
 struct Catalog {
@@ -320,10 +338,12 @@ pub struct QueryServer {
     catalog: RwLock<Catalog>,
     cache: ResultCache,
     registry: AssetRegistry,
-    queries_served: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    counters: Mutex<QueryCounters>,
     ingested_images: AtomicU64,
+    /// The live write-ahead log, attached by [`checkpoint`](Self::checkpoint)
+    /// / [`recover`](Self::recover); `None` for a purely in-memory server.
+    /// Lock order: always after the catalog write lock, never before.
+    wal: Mutex<Option<WalWriter>>,
 }
 
 impl std::fmt::Debug for QueryServer {
@@ -360,7 +380,11 @@ impl QueryServer {
         let EarthQube { config, database, metadata, cbir, feedback, registry } = engine;
         let cbir = cbir.ok_or(EarthQubeError::CbirNotReady)?;
         let (model, name_to_code, id_to_name) = cbir.into_parts();
-        let index = ShardedHashIndex::new(model.code_bits(), serve.shards.max(1));
+        // Normalize the configuration once, so the value the server reports,
+        // uses and *persists* is the value in effect (a raw `shards: 0`
+        // would checkpoint fine but be rejected as corrupt on recovery).
+        let serve = ServeConfig { shards: serve.shards.max(1), ..serve };
+        let index = ShardedHashIndex::new(model.code_bits(), serve.shards);
         for (id, name) in id_to_name.iter().enumerate() {
             let code = name_to_code
                 .get(name)
@@ -382,10 +406,9 @@ impl QueryServer {
             }),
             cache: ResultCache::new(serve.cache_capacity),
             registry,
-            queries_served: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
+            counters: Mutex::new(QueryCounters::default()),
             ingested_images: AtomicU64::new(0),
+            wal: Mutex::new(None),
         })
     }
 
@@ -416,11 +439,21 @@ impl QueryServer {
     }
 
     /// A snapshot of the serving counters.
+    ///
+    /// The three query counters are read in one pass under their shared
+    /// lock, so the snapshot is internally consistent even mid-workload:
+    /// `queries_served` always equals `cache_hits + cache_misses` plus the
+    /// failed queries, and the derived hit rate never mixes counters from
+    /// different instants.
     pub fn stats(&self) -> ServerStats {
+        let (queries_served, cache_hits, cache_misses) = {
+            let counters = self.counters.lock();
+            (counters.served, counters.hits, counters.misses)
+        };
         ServerStats {
-            queries_served: self.queries_served.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queries_served,
+            cache_hits,
+            cache_misses,
             cache_entries: self.cache.len(),
             archive_size: self.archive_size(),
             ingested_images: self.ingested_images.load(Ordering::Relaxed),
@@ -551,11 +584,21 @@ impl QueryServer {
     /// bookkeeping: the duplicate check, the three document inserts, the
     /// index insert and the cache invalidation.
     ///
+    /// When the server is attached to a persistence directory (via
+    /// [`checkpoint`](Self::checkpoint), [`recover`](Self::recover) or
+    /// [`open`](Self::open)), every applied patch is appended to the
+    /// write-ahead log *inside the same write-lock section*, so the
+    /// per-patch rollback atomicity carries over to disk: a patch is either
+    /// fully applied and fully logged, or neither.
+    ///
     /// # Errors
     /// A batch naming an already-indexed image is rejected up front, before
     /// any work.  On a mid-batch store error, patches preceding the failure
     /// remain ingested (each patch is applied atomically, and the cache is
-    /// invalidated whenever at least one patch was applied).
+    /// invalidated whenever at least one patch was applied).  A WAL I/O
+    /// failure surfaces as [`EarthQubeError::Persist`] and detaches the
+    /// log: the server keeps serving from memory, but durability is lost
+    /// until the next successful [`checkpoint`](Self::checkpoint).
     pub fn ingest(&self, patches: &[Patch]) -> Result<IngestReport, EarthQubeError> {
         // Cheap pre-screen under a short read lock, so a doomed batch does
         // not pay the heavy phase below.  The check under the write lock
@@ -586,6 +629,7 @@ impl QueryServer {
         // Cheap phase, under the catalog write lock.
         let mut catalog = self.catalog.write();
         let catalog = &mut *catalog;
+        let mut wal = self.wal.lock();
         let mut report = IngestReport { metadata_docs: 0, image_docs: 0, rendered_docs: 0 };
         let mut result = Ok(());
         for (patch, (code, image_doc, rendered_doc)) in patches.iter().zip(prepared) {
@@ -599,19 +643,48 @@ impl QueryServer {
             // Re-assign the dense id: appended patches take the next slot.
             let mut meta = patch.meta.clone();
             meta.id = PatchId(catalog.metadata.len() as u32);
-            if let Err(e) = insert_patch_docs(&mut catalog.database, &meta, image_doc, rendered_doc)
+            // Encode the WAL record while the documents are still borrowable
+            // (applying consumes them); it is only written once the patch
+            // has actually been applied, so a rolled-back patch never
+            // reaches the log.
+            let wal_payload = wal
+                .as_ref()
+                .map(|_| persist::encode_ingest_record(&meta, &code, &image_doc, &rendered_doc));
+            if let Err(e) = apply_ingest(catalog, &self.index, meta, code, image_doc, rendered_doc)
             {
                 result = Err(e);
                 break;
             }
-            self.index.insert(meta.id.0 as u64, code.clone());
-            catalog.name_to_code.insert(meta.name.clone(), code);
-            catalog.id_to_name.push(meta.name.clone());
-            catalog.metadata.push(meta);
             report.metadata_docs += 1;
             report.image_docs += 1;
             report.rendered_docs += 1;
             self.ingested_images.fetch_add(1, Ordering::Relaxed);
+            if let (Some(writer), Some(payload)) = (wal.as_mut(), wal_payload) {
+                if let Err(e) = writer.append(&payload) {
+                    // The patch is applied in memory but could not be made
+                    // durable; detach the log so later appends cannot write
+                    // after a gap, and surface the failure.
+                    *wal = None;
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        // One fdatasync covers the whole batch: records are appended per
+        // patch above, but only this sync makes them crash-durable.  It
+        // runs even when the batch stopped early — the applied prefix
+        // "remains ingested" per the contract above, so its records must
+        // reach stable storage too.  A sync failure detaches the log; the
+        // original batch error (if any) stays the reported one.
+        if report.metadata_docs > 0 {
+            if let Some(writer) = wal.as_mut() {
+                if let Err(e) = writer.sync() {
+                    *wal = None;
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+            }
         }
         // Invalidate while still holding the catalog write lock: a reader
         // can only insert a cache entry while holding the read lock (see
@@ -624,10 +697,12 @@ impl QueryServer {
         result.map(|_| report)
     }
 
-    /// Submits anonymous feedback through the write path.
+    /// Submits anonymous feedback through the write path (logged to the
+    /// WAL like ingest, so feedback survives a crash too).
     ///
     /// # Errors
-    /// Fails if the text is empty.
+    /// Fails if the text is empty, or with [`EarthQubeError::Persist`] if
+    /// the WAL append fails (the log detaches, see [`ingest`](Self::ingest)).
     pub fn submit_feedback(
         &self,
         text: &str,
@@ -636,7 +711,26 @@ impl QueryServer {
         let mut catalog = self.catalog.write();
         let catalog = &mut *catalog;
         let feedback = catalog.feedback;
-        feedback.submit(&mut catalog.database, text, category)
+        let id = feedback.submit(&mut catalog.database, text, category)?;
+        let mut wal = self.wal.lock();
+        if let Some(writer) = wal.as_mut() {
+            let logged = writer
+                .append(&persist::encode_feedback_record(text, category))
+                .and_then(|()| writer.sync());
+            if let Err(e) = logged {
+                *wal = None;
+                // Unlike ingest (whose contract keeps the applied prefix),
+                // feedback failure means "not stored": roll the entry back
+                // so a retrying caller cannot store it twice.
+                if let Ok(coll) =
+                    catalog.database.collection_mut(crate::schema::collections::FEEDBACK)
+                {
+                    let _ = coll.delete_by_key(&eq_docstore::Value::Int(id));
+                }
+                return Err(e);
+            }
+        }
+        Ok(id)
     }
 
     /// Lists all stored feedback.
@@ -659,27 +753,246 @@ impl QueryServer {
     where
         F: FnOnce(&Catalog) -> Result<SearchResponse, EarthQubeError>,
     {
-        self.queries_served.fetch_add(1, Ordering::Relaxed);
         let caching = self.serve.cache_capacity > 0;
         let fp = fingerprint(&key);
         if caching {
             if let Some(hit) = self.cache.get(fp, &key) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let mut counters = self.counters.lock();
+                counters.served += 1;
+                counters.hits += 1;
                 return Ok(hit);
             }
         }
         let catalog = self.catalog.read();
-        let response = compute(&catalog)?;
-        // A miss is only counted once something was actually computed, so
-        // error traffic (e.g. unknown image names) does not drag the
-        // reported hit rate down.
-        if caching {
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            self.cache.put(fp, key, response.clone());
+        let result = compute(&catalog);
+        match &result {
+            // A miss is only counted once something was actually computed,
+            // so error traffic (e.g. unknown image names) does not drag the
+            // reported hit rate down; errors bump `served` alone.  Each
+            // outcome updates all its counters under one lock acquisition,
+            // which is what keeps `stats()` snapshots consistent.
+            Ok(response) if caching => {
+                self.cache.put(fp, key, response.clone());
+                let mut counters = self.counters.lock();
+                counters.served += 1;
+                counters.misses += 1;
+            }
+            _ => self.counters.lock().served += 1,
         }
         drop(catalog);
-        Ok(response)
+        result
     }
+
+    // -- durable storage tier ---------------------------------------------
+
+    /// Writes a checksummed snapshot of the full serving state into `dir`
+    /// and starts a fresh write-ahead log there, attaching the server to
+    /// the directory: every subsequent [`ingest`](Self::ingest) and
+    /// [`submit_feedback`](Self::submit_feedback) is logged, so
+    /// [`recover`](Self::recover) restores exactly the pre-crash state.
+    ///
+    /// The snapshot is written under the catalog read lock (excluding
+    /// concurrent writes, while queries keep flowing) and first to a
+    /// temporary file that is atomically renamed into place, so a crash
+    /// during checkpointing can never leave a half-written snapshot behind.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Persist`] on I/O errors.
+    pub fn checkpoint(&self, dir: &Path) -> Result<(), EarthQubeError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| persist::io_error("creating the persistence directory", e))?;
+        let catalog = self.catalog.read();
+        let mut wal = self.wal.lock();
+        let codes: Vec<&BinaryCode> = catalog
+            .id_to_name
+            .iter()
+            .map(|name| {
+                catalog.name_to_code.get(name).expect("every indexed image has a stored code")
+            })
+            .collect();
+        let bytes = persist::encode_snapshot(
+            &self.config,
+            self.serve,
+            &self.model,
+            &catalog.database,
+            &catalog.metadata,
+            &codes,
+            &self.index,
+        );
+        let tmp = dir.join(format!("{}.tmp", persist::SNAPSHOT_FILE));
+        {
+            let mut file = std::fs::File::create(&tmp)
+                .map_err(|e| persist::io_error("creating the snapshot file", e))?;
+            std::io::Write::write_all(&mut file, &bytes)
+                .map_err(|e| persist::io_error("writing the snapshot", e))?;
+            // Sync *before* the rename: the published name must never point
+            // at bytes still sitting in the page cache.
+            file.sync_all().map_err(|e| persist::io_error("syncing the snapshot", e))?;
+        }
+        std::fs::rename(&tmp, dir.join(persist::SNAPSHOT_FILE))
+            .map_err(|e| persist::io_error("publishing the snapshot", e))?;
+        // Everything logged so far is now covered by the snapshot; restart
+        // the WAL under the new snapshot's generation tag.  A crash between
+        // the rename above and this create leaves the old-generation WAL on
+        // disk — recovery detects the tag mismatch and discards it, which
+        // is exactly right because the new snapshot contains those writes.
+        // The old writer is dropped *first*: it holds the WAL file lock the
+        // create must acquire, and if the create fails the server must be
+        // left detached (durability lost, error surfaced) rather than
+        // silently appending to a log recovery will discard.
+        *wal = None;
+        *wal = Some(WalWriter::create(
+            &dir.join(persist::WAL_FILE),
+            persist::snapshot_generation(&bytes),
+        )?);
+        persist::sync_dir(dir)?;
+        Ok(())
+    }
+
+    /// Restores a server from a persistence directory: decodes the
+    /// snapshot, replays every intact write-ahead-log record through the
+    /// same apply path live ingest uses, truncates any torn WAL tail, and
+    /// re-attaches the log for future writes.
+    ///
+    /// Recovery is idempotent: recovering the same directory again (with no
+    /// writes in between) yields a byte-identically answering server.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Persist`] if the directory holds no
+    /// snapshot, or the snapshot/WAL bytes are corrupt beyond the torn-tail
+    /// cases recovery is designed to absorb.
+    pub fn recover(dir: &Path) -> Result<Self, EarthQubeError> {
+        let bytes = std::fs::read(dir.join(persist::SNAPSHOT_FILE))
+            .map_err(|e| persist::io_error("reading the snapshot", e))?;
+        let generation = persist::snapshot_generation(&bytes);
+        let state = persist::decode_snapshot(&bytes)?;
+
+        let mut metadata = Vec::with_capacity(state.images.len());
+        let mut name_to_code = HashMap::with_capacity(state.images.len());
+        let mut id_to_name = Vec::with_capacity(state.images.len());
+        for (meta, code) in state.images {
+            name_to_code.insert(meta.name.clone(), code);
+            id_to_name.push(meta.name.clone());
+            metadata.push(meta);
+        }
+        let registry = crate::engine::build_registry(&state.config);
+        let server = Self {
+            config: state.config,
+            serve: state.serve,
+            model: state.model,
+            index: state.index,
+            catalog: RwLock::new(Catalog {
+                database: state.database,
+                metadata,
+                name_to_code,
+                id_to_name,
+                feedback: FeedbackService::new(),
+            }),
+            cache: ResultCache::new(state.serve.cache_capacity),
+            registry,
+            counters: Mutex::new(QueryCounters::default()),
+            ingested_images: AtomicU64::new(0),
+            wal: Mutex::new(None),
+        };
+
+        let wal_path = dir.join(persist::WAL_FILE);
+        let (records, valid_len) = match persist::read_wal(&wal_path, generation)? {
+            persist::WalScan::Valid { records, valid_len } => (records, valid_len),
+            persist::WalScan::Fresh => {
+                // Missing, torn-header or stale-generation log: nothing to
+                // replay; start a fresh log for this snapshot generation.
+                *server.wal.lock() = Some(WalWriter::create(&wal_path, generation)?);
+                return Ok(server);
+            }
+        };
+        {
+            let mut catalog = server.catalog.write();
+            let catalog = &mut *catalog;
+            for record in records {
+                match record {
+                    WalRecord::Ingest { meta, code, image_doc, rendered_doc } => {
+                        if meta.id.0 as usize != catalog.metadata.len() {
+                            return Err(EarthQubeError::Persist(format!(
+                                "WAL record for {} carries dense id {}, expected {}",
+                                meta.name,
+                                meta.id.0,
+                                catalog.metadata.len()
+                            )));
+                        }
+                        apply_ingest(catalog, &server.index, meta, code, image_doc, rendered_doc)
+                            .map_err(|e| {
+                            EarthQubeError::Persist(format!(
+                                "WAL record does not apply to the snapshot state: {e}"
+                            ))
+                        })?;
+                        server.ingested_images.fetch_add(1, Ordering::Relaxed);
+                    }
+                    WalRecord::Feedback { text, category } => {
+                        let feedback = catalog.feedback;
+                        feedback
+                            .submit(&mut catalog.database, &text, category.as_deref())
+                            .map_err(|e| {
+                                EarthQubeError::Persist(format!(
+                                    "WAL feedback record does not apply: {e}"
+                                ))
+                            })?;
+                    }
+                }
+            }
+        }
+        *server.wal.lock() = Some(WalWriter::open_truncated(&wal_path, valid_len)?);
+        Ok(server)
+    }
+
+    /// Opens a persistent server in `dir`: recovers the existing snapshot
+    /// (plus WAL) if one is present, otherwise builds the server from the
+    /// archive and writes the initial checkpoint.  This is the cold-start
+    /// entry point the `e9_cold_start` experiment measures — after the
+    /// first run, restarts skip ingestion, training and encoding entirely.
+    ///
+    /// On a warm start the **persisted** configuration wins: `config` and
+    /// `serve` only apply when the directory is empty (they are part of
+    /// what the snapshot restores — the model architecture in particular
+    /// cannot change under recovered weights).  To apply a new
+    /// configuration, rebuild into a fresh directory.
+    ///
+    /// # Errors
+    /// Propagates build, recovery and checkpoint errors.
+    pub fn open(
+        dir: &Path,
+        archive: &Archive,
+        config: EarthQubeConfig,
+        serve: ServeConfig,
+    ) -> Result<Self, EarthQubeError> {
+        if dir.join(persist::SNAPSHOT_FILE).exists() {
+            Self::recover(dir)
+        } else {
+            let server = Self::build(archive, config, serve)?;
+            server.checkpoint(dir)?;
+            Ok(server)
+        }
+    }
+}
+
+/// Applies one prepared patch to the catalog and the CBIR index — the
+/// shared core of live [`QueryServer::ingest`] and WAL replay, which is
+/// what guarantees a recovered server is byte-identical to one that never
+/// crashed.  The caller must hold the catalog write lock and have assigned
+/// the dense id.
+fn apply_ingest(
+    catalog: &mut Catalog,
+    index: &ShardedHashIndex,
+    meta: PatchMetadata,
+    code: BinaryCode,
+    image_doc: Document,
+    rendered_doc: Document,
+) -> Result<(), EarthQubeError> {
+    insert_patch_docs(&mut catalog.database, &meta, image_doc, rendered_doc)?;
+    index.insert(meta.id.0 as u64, code.clone());
+    catalog.name_to_code.insert(meta.name.clone(), code);
+    catalog.id_to_name.push(meta.name.clone());
+    catalog.metadata.push(meta);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -866,6 +1179,209 @@ mod tests {
         assert!(text.contains("12 images indexed"));
         assert!(text.contains("shard occupancy"));
         assert!(!format!("{srv:?}").is_empty());
+    }
+
+    /// A scratch directory that cleans up after itself, so repeated test
+    /// runs never see a stale snapshot.
+    struct ScratchDir(std::path::PathBuf);
+
+    impl ScratchDir {
+        fn new(name: &str) -> Self {
+            let path = std::env::temp_dir().join(format!("eq_serve_{name}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            ScratchDir(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_and_recover_roundtrip_byte_identically() {
+        let dir = ScratchDir::new("roundtrip");
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(30, 201)).unwrap().generate();
+        let mut config = EarthQubeConfig::fast(201);
+        config.milan.epochs = 3;
+        let srv = QueryServer::build(&archive, config, ServeConfig::default()).unwrap();
+        srv.checkpoint(dir.path()).unwrap();
+
+        // Post-checkpoint writes land in the WAL and must survive recovery.
+        let extra = ArchiveGenerator::new(GeneratorConfig::tiny(4, 919)).unwrap().generate();
+        srv.ingest(extra.patches()).unwrap();
+        srv.submit_feedback("persist me", Some("reaction")).unwrap();
+
+        // Capture the live server's answers, then drop it: recovery takes
+        // the WAL file lock, which refuses to coexist with a live writer.
+        let name = &extra.patches()[1].meta.name;
+        let external =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 3131)).unwrap().generate_patch(0);
+        let expected_size = srv.archive_size();
+        let expected_feedback = srv.list_feedback().unwrap();
+        let expected_occupancy = srv.stats().shard_occupancy;
+        let expected_all = srv.search(&ImageQuery::all()).unwrap();
+        let expected_similar = srv.similar_to(name, 6).unwrap();
+        let expected_new_example = srv.search_by_new_example(&external, 5).unwrap();
+        drop(srv);
+
+        let back = QueryServer::recover(dir.path()).unwrap();
+        assert_eq!(back.archive_size(), expected_size);
+        assert_eq!(back.stats().ingested_images, 4, "WAL replay counts as live ingest");
+        assert_eq!(back.list_feedback().unwrap(), expected_feedback);
+        assert_eq!(back.stats().shard_occupancy, expected_occupancy);
+
+        // Byte-identical responses, including the model-dependent
+        // query-by-new-example path (the model weights round-tripped).
+        assert_eq!(back.search(&ImageQuery::all()).unwrap(), expected_all);
+        assert_eq!(back.similar_to(name, 6).unwrap(), expected_similar);
+        assert_eq!(back.search_by_new_example(&external, 5).unwrap(), expected_new_example);
+        // The registry is rebuilt from the configuration.
+        assert!(back.registry().pipeline("earthqube-cbir").is_some());
+    }
+
+    #[test]
+    fn open_builds_cold_and_recovers_warm() {
+        let dir = ScratchDir::new("open");
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(12, 202)).unwrap().generate();
+        let mut config = EarthQubeConfig::fast(202);
+        config.train_model = false;
+        let first = QueryServer::open(dir.path(), &archive, config.clone(), ServeConfig::default())
+            .unwrap();
+        first
+            .ingest(
+                ArchiveGenerator::new(GeneratorConfig::tiny(2, 920)).unwrap().generate().patches(),
+            )
+            .unwrap();
+        drop(first);
+        // Second open must recover (14 images), not rebuild (12).
+        let second =
+            QueryServer::open(dir.path(), &archive, config, ServeConfig::default()).unwrap();
+        assert_eq!(second.archive_size(), 14);
+    }
+
+    /// Regression test for the checkpoint crash-atomicity window: a crash
+    /// *between* publishing a new snapshot and resetting the WAL leaves
+    /// the previous generation's log on disk.  Recovery must detect the
+    /// generation mismatch and discard it — replaying it would double-apply
+    /// (or fail on) writes the new snapshot already contains.
+    #[test]
+    fn stale_wal_from_an_interrupted_checkpoint_is_discarded() {
+        let dir = ScratchDir::new("stale_wal");
+        let (srv, _) = server(10, 205, ServeConfig::default());
+        srv.checkpoint(dir.path()).unwrap();
+        // One logged ingest under generation A.
+        let extra = ArchiveGenerator::new(GeneratorConfig::tiny(2, 922)).unwrap().generate();
+        srv.ingest(extra.patches()).unwrap();
+        let stale_wal = std::fs::read(dir.path().join("wal.eqw")).unwrap();
+        // Second checkpoint: new snapshot (containing the ingest), fresh
+        // WAL under generation B.  Simulate the crash window by restoring
+        // the generation-A log over it.
+        srv.checkpoint(dir.path()).unwrap();
+        let expected = srv.search(&ImageQuery::all()).unwrap();
+        drop(srv); // releases the generation-B WAL lock
+        std::fs::write(dir.path().join("wal.eqw"), &stale_wal).unwrap();
+
+        let recovered = QueryServer::recover(dir.path()).unwrap();
+        assert_eq!(recovered.archive_size(), 12, "stale WAL must not double-apply");
+        assert_eq!(recovered.search(&ImageQuery::all()).unwrap(), expected);
+    }
+
+    /// The WAL file lock: a directory serves exactly one live writer, so a
+    /// second instance appending interleaved records can never corrupt the
+    /// log.  The lock dies with its holder (flock semantics), so a crashed
+    /// server never wedges its directory.
+    #[test]
+    fn concurrent_recovery_of_the_same_directory_is_refused() {
+        let dir = ScratchDir::new("lock");
+        let (srv, _) = server(8, 206, ServeConfig::default());
+        srv.checkpoint(dir.path()).unwrap();
+        assert!(matches!(QueryServer::recover(dir.path()), Err(EarthQubeError::Persist(_))));
+        drop(srv);
+        assert!(QueryServer::recover(dir.path()).is_ok());
+    }
+
+    /// `shards: 0` is normalized at construction, so the value the server
+    /// reports and persists is the one in effect — its own snapshot must
+    /// always recover.
+    #[test]
+    fn zero_shard_config_is_normalized_and_roundtrips() {
+        let dir = ScratchDir::new("zero_shards");
+        let (srv, _) = server(6, 207, ServeConfig { shards: 0, cache_capacity: 16 });
+        assert_eq!(srv.serve_config().shards, 1);
+        srv.checkpoint(dir.path()).unwrap();
+        drop(srv);
+        let back = QueryServer::recover(dir.path()).unwrap();
+        assert_eq!(back.serve_config().shards, 1);
+    }
+
+    #[test]
+    fn recovering_nothing_is_a_clean_error() {
+        let dir = ScratchDir::new("empty");
+        assert!(matches!(QueryServer::recover(dir.path()), Err(EarthQubeError::Persist(_))));
+    }
+
+    #[test]
+    fn recovered_server_keeps_logging_new_writes() {
+        let dir = ScratchDir::new("relog");
+        let (srv, _) = server(10, 203, ServeConfig::default());
+        srv.checkpoint(dir.path()).unwrap();
+        drop(srv); // releases the WAL lock for the recovering instance
+        let first = QueryServer::recover(dir.path()).unwrap();
+        first
+            .ingest(
+                ArchiveGenerator::new(GeneratorConfig::tiny(3, 921)).unwrap().generate().patches(),
+            )
+            .unwrap();
+        drop(first);
+        let second = QueryServer::recover(dir.path()).unwrap();
+        assert_eq!(second.archive_size(), 13, "writes after recovery must be durable too");
+    }
+
+    /// Regression test for the stats-snapshot race: counters are updated
+    /// once per query outcome under a single lock, so at *every* instant a
+    /// snapshot must satisfy `queries_served == cache_hits + cache_misses`
+    /// (the workload below has no failing queries).  The pre-fix code
+    /// bumped `queries_served` at query entry and the hit/miss counter at
+    /// the outcome, so a concurrent snapshot could observe in-flight
+    /// queries as served-but-unclassified and report a skewed hit rate.
+    #[test]
+    fn stats_snapshots_are_consistent_mid_workload() {
+        let (srv, archive) = server(16, 204, ServeConfig::default());
+        let names: Vec<String> = archive.patches().iter().map(|p| p.meta.name.clone()).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let srv = &srv;
+                let names = &names;
+                scope.spawn(move || {
+                    for i in 0..150usize {
+                        let name = &names[(t * 37 + i) % names.len()];
+                        srv.similar_to(name, 3 + (i % 3)).unwrap();
+                    }
+                });
+            }
+            let srv = &srv;
+            scope.spawn(move || {
+                for _ in 0..400 {
+                    let stats = srv.stats();
+                    assert_eq!(
+                        stats.queries_served,
+                        stats.cache_hits + stats.cache_misses,
+                        "snapshot mixes counters from different instants"
+                    );
+                    let rate = stats.cache_hit_rate();
+                    assert!((0.0..=1.0).contains(&rate));
+                }
+            });
+        });
+        let stats = srv.stats();
+        assert_eq!(stats.queries_served, 600);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 600);
     }
 
     #[test]

@@ -167,6 +167,42 @@ impl BinaryCode {
         }
         Some(Self::from_bools(&s.chars().map(|c| c == '1').collect::<Vec<_>>()))
     }
+
+    /// Serializes the code: `bits:u32` followed by the packed words (their
+    /// count is implied by the width).  Part of the durable snapshot/WAL
+    /// format.
+    pub fn encode(&self, w: &mut eq_wire::Writer) {
+        w.u32(self.bits);
+        for &word in &self.words {
+            w.u64(word);
+        }
+    }
+
+    /// Decodes a code written by [`encode`](Self::encode), validating the
+    /// width against the remaining input before allocating.
+    ///
+    /// # Errors
+    /// Returns a [`eq_wire::WireError`] on truncation or a zero width;
+    /// never panics.
+    pub fn decode(r: &mut eq_wire::Reader<'_>) -> Result<Self, eq_wire::WireError> {
+        let bits = r.u32()?;
+        if bits == 0 {
+            return Err(eq_wire::WireError::Corrupt("binary code of width 0".into()));
+        }
+        let n_words = bits.div_ceil(64) as usize;
+        if n_words.saturating_mul(8) > r.remaining() {
+            return Err(eq_wire::WireError::Corrupt(format!(
+                "code of {bits} bits needs {} bytes, only {} remain",
+                n_words * 8,
+                r.remaining()
+            )));
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(r.u64()?);
+        }
+        Ok(Self::from_words(bits, words))
+    }
 }
 
 impl std::fmt::Display for BinaryCode {

@@ -121,6 +121,48 @@ impl ShardedHashIndex {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serializes the index: `bits:u32`, shard count, then every shard's
+    /// bucket table in shard order.  The shard *layout* is persisted
+    /// verbatim — codes are not re-routed on restore — so a restored index
+    /// is item-for-item identical to the snapshotted one and keeps the
+    /// flat/sharded search equivalence.
+    pub fn encode(&self, w: &mut eq_wire::Writer) {
+        w.u32(self.bits);
+        w.seq_len(self.shards.len());
+        for shard in &self.shards {
+            shard.read().encode(w);
+        }
+    }
+
+    /// Decodes an index written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    /// Returns a [`eq_wire::WireError`] on truncation, a zero width or
+    /// shard count, or a shard whose code width disagrees with the index;
+    /// never panics.
+    pub fn decode(r: &mut eq_wire::Reader<'_>) -> Result<Self, eq_wire::WireError> {
+        let bits = r.u32()?;
+        if bits == 0 {
+            return Err(eq_wire::WireError::Corrupt("sharded index of code width 0".into()));
+        }
+        let n_shards = r.seq_len(1)?;
+        if n_shards == 0 {
+            return Err(eq_wire::WireError::Corrupt("sharded index with zero shards".into()));
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let table = HashTableIndex::decode(r)?;
+            if table.bits() != bits {
+                return Err(eq_wire::WireError::Corrupt(format!(
+                    "shard of {} -bit codes in a {bits}-bit index",
+                    table.bits()
+                )));
+            }
+            shards.push(RwLock::new(table));
+        }
+        Ok(Self { bits, shards })
+    }
 }
 
 impl HammingIndex for ShardedHashIndex {
@@ -268,5 +310,49 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_are_rejected() {
         let _ = ShardedHashIndex::new(8, 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_layout_and_results() {
+        let idx = ShardedHashIndex::new(64, 5);
+        for i in 0..300u64 {
+            idx.insert(i, rand_code(64, i / 2));
+        }
+        let mut w = eq_wire::Writer::new();
+        idx.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = eq_wire::Reader::new(&bytes);
+        let back = ShardedHashIndex::decode(&mut r).unwrap();
+        assert!(r.is_empty(), "index encoding is self-delimiting");
+        assert_eq!(back.bits(), idx.bits());
+        assert_eq!(back.shard_occupancy(), idx.shard_occupancy(), "layout must be verbatim");
+        for q in 0..6u64 {
+            let query = rand_code(64, q);
+            assert_eq!(back.knn(&query, 13), idx.knn(&query, 13));
+            assert_eq!(back.radius_search(&query, 6), idx.radius_search(&query, 6));
+        }
+        // Deterministic encoding: same logical state, same bytes.
+        let mut w2 = eq_wire::Writer::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_encodings_error_cleanly() {
+        let idx = ShardedHashIndex::new(32, 3);
+        for i in 0..40u64 {
+            idx.insert(i, rand_code(32, i));
+        }
+        let mut w = eq_wire::Writer::new();
+        idx.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = eq_wire::Reader::new(&bytes[..cut]);
+            assert!(
+                ShardedHashIndex::decode(&mut r).is_err(),
+                "strict prefix of {cut}/{} bytes decoded",
+                bytes.len()
+            );
+        }
     }
 }

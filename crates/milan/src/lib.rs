@@ -28,6 +28,7 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod normalizer;
+pub mod persist;
 
 pub use dataset::TrainingDataset;
 pub use features::{FeatureExtractor, FEATURE_DIM};

@@ -295,6 +295,27 @@ impl Milan {
     pub fn extractor(&self) -> &FeatureExtractor {
         &self.extractor
     }
+
+    /// The hashing head (read access for serialization).
+    pub(crate) fn network(&self) -> &Mlp {
+        &self.network
+    }
+
+    /// Mutable access to the hashing head (snapshot restoration overwrites
+    /// the freshly initialised weights with the stored ones).
+    pub(crate) fn network_mut(&mut self) -> &mut Mlp {
+        &mut self.network
+    }
+
+    /// Restores the inference-time state captured by a snapshot.
+    pub(crate) fn restore_inference_state(
+        &mut self,
+        normalizer: Option<Normalizer>,
+        trained: bool,
+    ) {
+        self.normalizer = normalizer;
+        self.trained = trained;
+    }
 }
 
 fn split_three(outputs: &Matrix, t: usize) -> (Matrix, Matrix, Matrix) {

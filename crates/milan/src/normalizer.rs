@@ -52,6 +52,25 @@ impl Normalizer {
         self.mean.len()
     }
 
+    /// The fitted per-dimension means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// The fitted per-dimension standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Rebuilds a normaliser from stored statistics (snapshot restoration);
+    /// `None` if the vectors are empty or their lengths disagree.
+    pub(crate) fn from_parts(mean: Vec<f32>, std: Vec<f32>) -> Option<Self> {
+        if mean.is_empty() || mean.len() != std.len() {
+            return None;
+        }
+        Some(Self { mean, std })
+    }
+
     /// Standardises one feature vector.
     ///
     /// # Panics

@@ -1,14 +1,14 @@
 //! Offline stand-in for the [`parking_lot`](https://crates.io/crates/parking_lot)
 //! crate, backed by `std::sync`.
 //!
-//! Only the API surface this workspace uses is provided: [`RwLock`] with
-//! panic-free (`parking_lot`-style, non-poisoning) `read` / `write`.
+//! Only the API surface this workspace uses is provided: [`RwLock`] and
+//! [`Mutex`] with panic-free (`parking_lot`-style, non-poisoning) locking.
 //! Swap the path dependency in `[workspace.dependencies]` for the registry
 //! crate once network access is available.
 
 #![warn(missing_docs)]
 
-pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader–writer lock with `parking_lot`'s non-poisoning API.
 ///
@@ -60,15 +60,75 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A mutual-exclusion lock with `parking_lot`'s non-poisoning API.
+///
+/// Unlike `std::sync::Mutex`, `lock` returns the guard directly rather than
+/// a `Result`: a panic while holding the lock does not poison it.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex around `value`.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a mutable reference to the inner value (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::RwLock;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn read_write_roundtrip() {
         let lock = RwLock::new(1);
         *lock.write() += 41;
         assert_eq!(*lock.read(), 42);
+    }
+
+    #[test]
+    fn mutex_roundtrip_and_panic_recovery() {
+        let mutex = std::sync::Arc::new(Mutex::new(1));
+        *mutex.lock() += 41;
+        assert_eq!(*mutex.lock(), 42);
+        let m2 = mutex.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: the mutex is still usable afterwards.
+        assert_eq!(*mutex.lock(), 42);
+        let mut owned = Mutex::new(7);
+        *owned.get_mut() += 1;
+        assert_eq!(owned.into_inner(), 8);
     }
 
     #[test]
