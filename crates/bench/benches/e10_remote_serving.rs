@@ -1,0 +1,107 @@
+//! Experiment E10 — the network serving tier: the same query workload
+//! executed (a) in-process on the `QueryServer`, (b) remotely over
+//! loopback TCP one request at a time, and (c) remotely with pipelined
+//! batch submission.
+//!
+//! The shape to look for: `remote_one_shot` pays one round trip (syscalls,
+//! frame encode/decode, scheduler hand-off) per request on top of the
+//! in-process time, while `remote_batched/N` amortises the round trips
+//! over the whole batch and lands within a small factor of `in_process` —
+//! the pipelined client is the one that can feed "heavy traffic" through
+//! a real wire.  The run prints the measured per-request overhead so the
+//! result is explicit on any host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::archive;
+use eq_earthqube::net::{EqClient, NetServer};
+use eq_earthqube::{EarthQubeConfig, ImageQuery, QueryRequest, QueryServer, ServeConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: usize = 1_000;
+const BATCH: usize = 64;
+const K: usize = 20;
+
+/// A CBIR-heavy workload with distinct requests (the serving cache is
+/// disabled anyway, so every request pays real query execution).
+fn workload(archive: &eq_bigearthnet::Archive) -> Vec<QueryRequest> {
+    (0..BATCH)
+        .map(|i| {
+            if i % 4 == 3 {
+                QueryRequest::Metadata(ImageQuery::all())
+            } else {
+                QueryRequest::SimilarTo {
+                    name: archive.patches()[(i * 13) % archive.len()].meta.name.clone(),
+                    k: K,
+                }
+            }
+        })
+        .collect()
+}
+
+fn bench_remote_serving(c: &mut Criterion) {
+    let archive = archive(N, 110);
+    let mut config = EarthQubeConfig::fast(110);
+    config.milan.epochs = 12;
+    let server = Arc::new(
+        QueryServer::build(&archive, config, ServeConfig::uncached(8)).expect("server builds"),
+    );
+    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", 4).expect("binds loopback");
+    let requests = workload(&archive);
+
+    // Sanity + headline numbers: remote results are identical, and the
+    // per-request wire overhead is printed explicitly.
+    let mut client = EqClient::connect(net.local_addr()).expect("connects");
+    let start = Instant::now();
+    let local: Vec<_> = requests.iter().map(|r| server.execute(r).expect("local")).collect();
+    let t_local = start.elapsed();
+    let start = Instant::now();
+    let one_shot: Vec<_> = requests.iter().map(|r| client.execute(r).expect("remote")).collect();
+    let t_one_shot = start.elapsed();
+    let start = Instant::now();
+    let batched = client.run_batch(&requests).expect("batch");
+    let t_batched = start.elapsed();
+    for ((a, b), c) in local.iter().zip(&one_shot).zip(&batched) {
+        assert_eq!(a, b, "remote one-shot response differs");
+        assert_eq!(a, c.as_ref().expect("batch slot"), "batched response differs");
+    }
+    println!(
+        "[E10] {BATCH}-request workload: in-process {:>7.2?}, remote one-shot {:>7.2?} \
+         ({:+.1}% / {:.0} µs per request), remote batched {:>7.2?} ({:+.1}%)",
+        t_local,
+        t_one_shot,
+        (t_one_shot.as_secs_f64() / t_local.as_secs_f64() - 1.0) * 100.0,
+        (t_one_shot.as_secs_f64() - t_local.as_secs_f64()) / BATCH as f64 * 1e6,
+        t_batched,
+        (t_batched.as_secs_f64() / t_local.as_secs_f64() - 1.0) * 100.0,
+    );
+
+    let mut group = c.benchmark_group("e10_remote_serving");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function(BenchmarkId::new("in_process", BATCH), |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(server.execute(request).expect("query succeeds"));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("remote_one_shot", BATCH), |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(client.execute(request).expect("query succeeds"));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("remote_batched", BATCH), |b| {
+        b.iter(|| black_box(client.run_batch(&requests).expect("batch succeeds")))
+    });
+    group.finish();
+    net.shutdown();
+}
+
+criterion_group!(benches, bench_remote_serving);
+criterion_main!(benches);

@@ -28,6 +28,7 @@ pub mod generator;
 pub mod labels;
 pub mod patch;
 pub mod signature;
+pub mod wire;
 
 pub use archive::{Archive, ArchiveStats, Split};
 pub use bands::{Band, BandData, Polarization, Resolution, SENTINEL2_BANDS};

@@ -187,7 +187,7 @@ impl PatchMetadata {
 
 /// A full BigEarthNet-MM patch: metadata plus the Sentinel-2 band rasters
 /// and the Sentinel-1 polarisation rasters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Patch {
     /// The patch metadata (shared with the metadata collection).
     pub meta: PatchMetadata,

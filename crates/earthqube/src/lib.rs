@@ -19,7 +19,10 @@
 //! * [`engine`] — the [`EarthQube`] facade combining all services,
 //! * [`serve`] — the concurrent serving layer: a [`QueryServer`] sharing
 //!   the read path across worker threads, with a sharded CBIR index and an
-//!   LRU result cache invalidated on ingest.
+//!   LRU result cache invalidated on ingest,
+//! * [`net`] — the network tier: a TCP [`NetServer`] speaking the
+//!   `eq_proto` binary RPC protocol, and the blocking [`EqClient`] whose
+//!   remote results are byte-identical to in-process calls.
 //!
 //! # Example
 //!
@@ -58,6 +61,7 @@ pub mod cbir;
 pub mod engine;
 pub mod feedback;
 pub mod ingest;
+pub mod net;
 mod persist;
 pub mod query;
 pub mod results;
@@ -69,6 +73,7 @@ pub use cbir::{CbirConfig, CbirService, SimilarImage};
 pub use engine::{EarthQube, EarthQubeConfig, SearchResponse};
 pub use feedback::FeedbackService;
 pub use ingest::{ingest_archive, ingest_metadata, ingest_patch, IngestReport};
+pub use net::{EqClient, NetServer};
 pub use query::{ImageQuery, LabelFilter, LabelOperator};
 pub use results::{DownloadCart, ResultEntry, ResultPage, ResultPanel};
 pub use schema::{collections, metadata_document, metadata_from_document};
@@ -89,6 +94,9 @@ pub enum EarthQubeError {
     /// The durable storage tier failed: an I/O error, or a snapshot/WAL
     /// that is missing, corrupt or from an incompatible version.
     Persist(String),
+    /// The network tier failed: a transport error, a malformed frame, or a
+    /// protocol violation between [`net::EqClient`] and [`net::NetServer`].
+    Net(String),
 }
 
 impl std::fmt::Display for EarthQubeError {
@@ -99,6 +107,7 @@ impl std::fmt::Display for EarthQubeError {
             EarthQubeError::CbirNotReady => write!(f, "CBIR service is not ready"),
             EarthQubeError::BadRequest(m) => write!(f, "bad request: {m}"),
             EarthQubeError::Persist(m) => write!(f, "persistence error: {m}"),
+            EarthQubeError::Net(m) => write!(f, "network error: {m}"),
         }
     }
 }

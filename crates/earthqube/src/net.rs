@@ -1,0 +1,1174 @@
+//! The network serving tier: EarthQube over TCP.
+//!
+//! The paper's EarthQube is a multi-user *service*; everything below this
+//! module can only be driven in-process.  This module puts the
+//! [`QueryServer`] behind a wire boundary:
+//!
+//! * [`NetServer`] — a TCP listener plus a **bounded worker pool**.  Each
+//!   accepted connection is handed to one pool thread, which serves the
+//!   connection's `eq_proto` request frames in order against the shared
+//!   `&self` read path of the wrapped [`QueryServer`].  Faults are
+//!   isolated per connection: a malformed frame (garbage preamble, torn
+//!   payload, checksum mismatch, hostile length prefix) errors *that*
+//!   connection — a best-effort error frame, then close — and every other
+//!   connection keeps being served.  [`NetServer::shutdown`] stops the
+//!   acceptor, kicks live connections and joins every thread.
+//! * [`EqClient`] — a blocking client over one reused connection, with
+//!   one-shot calls mirroring the [`QueryServer`] API and a **pipelined**
+//!   [`run_batch`](EqClient::run_batch) that streams a whole workload of
+//!   request frames (from a scoped writer thread) while reading the
+//!   responses, amortising round-trip latency without ever risking a
+//!   full-duplex deadlock.
+//!
+//! # Remote equivalence
+//!
+//! The conversion functions in this module ([`response_to_payload`] /
+//! [`payload_to_response`] and friends) are lossless in both directions,
+//! so a [`SearchResponse`] received through [`EqClient`] is **equal to the
+//! in-process result, byte for byte** — the umbrella crate's
+//! `remote_equivalence` test drives the same workload through both paths
+//! and compares the `eq_proto` encodings.
+//!
+//! # Threading model
+//!
+//! ```text
+//! acceptor thread ──accept──▶ channel ──recv──▶ worker 0 ┐
+//!                                            ▶ worker 1 ├─▶ QueryServer (&self)
+//!                                            ▶ worker K ┘
+//! ```
+//!
+//! A connection occupies its worker for the connection's lifetime, so the
+//! pool size bounds both concurrency and memory; idle clients holding
+//! connections open count against the pool (size it accordingly).  All
+//! workers share the *same* `QueryServer` by reference — the catalog
+//! read/write locking, the sharded CBIR index and the result cache behave
+//! exactly as they do for in-process threads.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use eq_bigearthnet::patch::Patch;
+use eq_docstore::QueryPlan;
+use parking_lot::Mutex;
+
+use crate::engine::SearchResponse;
+use crate::ingest::IngestReport;
+use crate::query::{ImageQuery, LabelFilter, LabelOperator};
+use crate::results::{ResultEntry, ResultPanel};
+use crate::serve::{QueryRequest, QueryServer, ServerStats};
+use crate::stats::LabelStatistics;
+use crate::EarthQubeError;
+
+fn net_err(context: &str, e: impl std::fmt::Display) -> EarthQubeError {
+    EarthQubeError::Net(format!("{context}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Lossless conversions between serving types and protocol payloads
+// ---------------------------------------------------------------------------
+
+/// Translates an [`ImageQuery`] into its wire specification (lossless).
+pub fn query_to_spec(query: &ImageQuery) -> eq_proto::QuerySpec {
+    eq_proto::QuerySpec {
+        shape: query.shape.clone(),
+        date_range: query.date_range,
+        satellites: query.satellites.clone(),
+        seasons: query.seasons.clone(),
+        countries: query.countries.clone(),
+        labels: query.labels.as_ref().map(|filter| eq_proto::LabelFilterSpec {
+            op: match filter.operator {
+                LabelOperator::Some => eq_proto::LabelOp::Some,
+                LabelOperator::Exactly => eq_proto::LabelOp::Exactly,
+                LabelOperator::AtLeastAndMore => eq_proto::LabelOp::AtLeastAndMore,
+            },
+            labels: filter.labels.clone(),
+        }),
+    }
+}
+
+/// Translates a wire specification back into an [`ImageQuery`] (the exact
+/// inverse of [`query_to_spec`]).
+pub fn spec_to_query(spec: eq_proto::QuerySpec) -> ImageQuery {
+    ImageQuery {
+        shape: spec.shape,
+        date_range: spec.date_range,
+        satellites: spec.satellites,
+        seasons: spec.seasons,
+        countries: spec.countries,
+        labels: spec.labels.map(|filter| {
+            LabelFilter::new(
+                match filter.op {
+                    eq_proto::LabelOp::Some => LabelOperator::Some,
+                    eq_proto::LabelOp::Exactly => LabelOperator::Exactly,
+                    eq_proto::LabelOp::AtLeastAndMore => LabelOperator::AtLeastAndMore,
+                },
+                filter.labels,
+            )
+        }),
+    }
+}
+
+/// Serializes a [`SearchResponse`] into its wire payload (lossless).
+pub fn response_to_payload(response: &SearchResponse) -> eq_proto::SearchPayload {
+    eq_proto::SearchPayload {
+        rows: response
+            .panel
+            .entries()
+            .iter()
+            .map(|e| eq_proto::ResultRow {
+                name: e.name.clone(),
+                country: e.country.clone(),
+                date: e.date.clone(),
+                labels: e.labels.clone(),
+                distance: e.distance,
+            })
+            .collect(),
+        page_size: response.panel.page_size() as u64,
+        label_counts: response.statistics.counts().iter().map(|&c| c as u64).collect(),
+        image_count: response.statistics.image_count() as u64,
+        plan: response.plan.as_ref().map(|p| eq_proto::PlanSpec {
+            index_used: p.index_used.clone(),
+            scanned: p.scanned as u64,
+            matched: p.matched as u64,
+        }),
+    }
+}
+
+/// Reassembles a [`SearchResponse`] from its wire payload (the exact
+/// inverse of [`response_to_payload`] — this is what makes remote results
+/// byte-identical to in-process ones).
+pub fn payload_to_response(payload: eq_proto::SearchPayload) -> SearchResponse {
+    let entries: Vec<ResultEntry> = payload
+        .rows
+        .into_iter()
+        .map(|row| ResultEntry {
+            name: row.name,
+            country: row.country,
+            date: row.date,
+            labels: row.labels,
+            distance: row.distance,
+        })
+        .collect();
+    // A short counts vector (hostile or version-skewed server) would make
+    // `LabelStatistics::ranked` index out of bounds on the client; pad to
+    // the canonical length.  Honest servers always send exactly
+    // `Label::COUNT` entries, so this is a no-op on the equivalence path.
+    let mut counts: Vec<usize> = payload.label_counts.into_iter().map(|c| c as usize).collect();
+    if counts.len() < eq_bigearthnet::Label::COUNT {
+        counts.resize(eq_bigearthnet::Label::COUNT, 0);
+    }
+    SearchResponse {
+        panel: ResultPanel::new(entries, payload.page_size as usize),
+        statistics: LabelStatistics::from_parts(counts, payload.image_count as usize),
+        plan: payload.plan.map(|p| QueryPlan {
+            index_used: p.index_used,
+            scanned: p.scanned as usize,
+            matched: p.matched as usize,
+        }),
+    }
+}
+
+/// Serializes an [`IngestReport`] into its wire payload.
+pub fn report_to_payload(report: &IngestReport) -> eq_proto::IngestPayload {
+    eq_proto::IngestPayload {
+        metadata_docs: report.metadata_docs as u64,
+        image_docs: report.image_docs as u64,
+        rendered_docs: report.rendered_docs as u64,
+    }
+}
+
+/// Reassembles an [`IngestReport`] from its wire payload.
+pub fn payload_to_report(payload: eq_proto::IngestPayload) -> IngestReport {
+    IngestReport {
+        metadata_docs: payload.metadata_docs as usize,
+        image_docs: payload.image_docs as usize,
+        rendered_docs: payload.rendered_docs as usize,
+    }
+}
+
+/// Serializes [`ServerStats`] into its wire payload.
+pub fn stats_to_payload(stats: &ServerStats) -> eq_proto::StatsPayload {
+    eq_proto::StatsPayload {
+        queries_served: stats.queries_served,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_entries: stats.cache_entries as u64,
+        archive_size: stats.archive_size as u64,
+        ingested_images: stats.ingested_images,
+        shard_occupancy: stats.shard_occupancy.iter().map(|&n| n as u64).collect(),
+    }
+}
+
+/// Reassembles [`ServerStats`] from its wire payload.
+pub fn payload_to_stats(payload: eq_proto::StatsPayload) -> ServerStats {
+    ServerStats {
+        queries_served: payload.queries_served,
+        cache_hits: payload.cache_hits,
+        cache_misses: payload.cache_misses,
+        cache_entries: payload.cache_entries as usize,
+        archive_size: payload.archive_size as usize,
+        ingested_images: payload.ingested_images,
+        shard_occupancy: payload.shard_occupancy.iter().map(|&n| n as usize).collect(),
+    }
+}
+
+/// Maps a server-side error onto the wire so the client can reconstruct
+/// the exact [`EarthQubeError`] variant.
+pub fn error_to_payload(error: &EarthQubeError) -> eq_proto::ErrorPayload {
+    let (code, message) = match error {
+        EarthQubeError::UnknownImage(m) => (eq_proto::ErrorCode::UnknownImage, m.clone()),
+        EarthQubeError::Store(m) => (eq_proto::ErrorCode::Store, m.clone()),
+        EarthQubeError::CbirNotReady => (eq_proto::ErrorCode::CbirNotReady, String::new()),
+        EarthQubeError::BadRequest(m) => (eq_proto::ErrorCode::BadRequest, m.clone()),
+        EarthQubeError::Persist(m) => (eq_proto::ErrorCode::Persist, m.clone()),
+        EarthQubeError::Net(m) => (eq_proto::ErrorCode::Internal, m.clone()),
+    };
+    eq_proto::ErrorPayload { code, message }
+}
+
+/// Reconstructs the [`EarthQubeError`] a wire error payload describes.
+pub fn payload_to_error(payload: eq_proto::ErrorPayload) -> EarthQubeError {
+    match payload.code {
+        eq_proto::ErrorCode::UnknownImage => EarthQubeError::UnknownImage(payload.message),
+        eq_proto::ErrorCode::Store => EarthQubeError::Store(payload.message),
+        eq_proto::ErrorCode::CbirNotReady => EarthQubeError::CbirNotReady,
+        eq_proto::ErrorCode::BadRequest => EarthQubeError::BadRequest(payload.message),
+        eq_proto::ErrorCode::Persist => EarthQubeError::Persist(payload.message),
+        eq_proto::ErrorCode::Internal => EarthQubeError::Net(payload.message),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Shared state of the serving threads.
+struct Shared {
+    server: Arc<QueryServer>,
+    /// Set once by shutdown; checked by the acceptor and the workers.
+    stop: AtomicBool,
+    /// Live connection sockets, keyed by connection id, kicked on
+    /// shutdown so blocked reads return and workers can be joined.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    connections_failed: AtomicU64,
+    /// Latched when a *mutating* request (ingest, feedback) panicked
+    /// mid-dispatch: the write may be half-applied (locks here do not
+    /// poison), so the server refuses all further work rather than serve
+    /// possibly corrupt state.
+    poisoned: AtomicBool,
+}
+
+impl Shared {
+    /// Registers a live connection for the shutdown kick.  Refuses (and
+    /// the caller drops the stream) when shutdown already started — the
+    /// check runs under the same lock shutdown drains under, so a
+    /// registered connection is always either kicked or refused.
+    ///
+    /// A `try_clone` failure (fd exhaustion — the overload signal an
+    /// operator most needs to see) counts as a failed connection; a
+    /// shutdown-race refusal does not.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let Ok(clone) = stream.try_clone() else {
+            self.connections_failed.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let mut conns = self.conns.lock();
+        if self.stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        conns.insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().remove(&id);
+    }
+}
+
+/// The TCP serving tier: a listener plus a bounded worker pool dispatching
+/// `eq_proto` requests onto a shared [`QueryServer`].
+///
+/// Dropping the server performs the same graceful shutdown as
+/// [`shutdown`](Self::shutdown).
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds a listener and starts serving `server` on a pool of
+    /// `workers` threads (at least one).
+    ///
+    /// Bind to port 0 for an ephemeral port; [`local_addr`](Self::local_addr)
+    /// reports the actual address.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Net`] if the address cannot be bound.
+    pub fn bind(
+        server: Arc<QueryServer>,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> Result<Self, EarthQubeError> {
+        let listener = TcpListener::bind(addr).map_err(|e| net_err("binding the listener", e))?;
+        let addr = listener.local_addr().map_err(|e| net_err("resolving the bound address", e))?;
+        let shared = Arc::new(Shared {
+            server,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            connections_failed: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        });
+
+        let pool = workers.max(1);
+        // A *bounded* hand-off queue: when every worker is pinned by a
+        // live connection and the queue is full, the acceptor blocks in
+        // `send` instead of accepting unboundedly — excess connections
+        // wait in the OS listen backlog (and are refused beyond it), so a
+        // connection flood cannot exhaust file descriptors.  This is what
+        // makes "the pool size bounds concurrency and memory" true.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..pool)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // The channel guard is a statement temporary: it drops
+                    // before the connection is served, so workers never
+                    // serialise on the queue lock.
+                    let conn = rx.lock().recv();
+                    match conn {
+                        Ok(stream) if !shared.stop.load(Ordering::SeqCst) => {
+                            handle_connection(&shared, stream);
+                        }
+                        Ok(_) => {}      // draining during shutdown: drop unserved
+                        Err(_) => break, // acceptor gone: pool drains and exits
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            // The listener polls: shutdown must never depend on the
+            // process being able to connect to its own bound address (a
+            // wildcard bind or a local firewall can make the wake-up
+            // connection fail, and a blocking `accept` would then never
+            // return).  The wake-up connect in `stop_and_join` remains as
+            // a latency optimisation; this poll is the guarantee.
+            let _ = listener.set_nonblocking(true);
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Accepted sockets must be blocking regardless
+                            // of what they inherit from the listener.
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                    }
+                }
+                // `tx` drops here, which is what terminates the workers.
+            })
+        };
+
+        Ok(Self { shared, addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of connections that ended with a protocol or transport
+    /// fault (and were closed without affecting any other connection).
+    pub fn connections_failed(&self) -> u64 {
+        self.shared.connections_failed.load(Ordering::Relaxed)
+    }
+
+    /// Whether a mutating request panicked mid-dispatch, leaving the
+    /// engine state suspect.  A poisoned server answers every further
+    /// request with a typed internal error; restart (or recover from the
+    /// durable tier) to resume serving.
+    pub fn poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully shuts down: stops accepting, kicks live connections so
+    /// their workers unblock, and joins every serving thread.  In-flight
+    /// requests that already reached dispatch complete; their connections
+    /// are then closed.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return; // already shut down
+        }
+        // Wake the acceptor promptly with a throwaway connection; if this
+        // fails the acceptor's poll loop still observes the stop flag
+        // within one poll interval.
+        let _ = TcpStream::connect(self.addr);
+        // Kick every live connection *before* joining the acceptor:
+        // blocked reads in the workers return, the workers drain the
+        // bounded hand-off queue (dropping unserved sockets now that the
+        // stop flag is set), and an acceptor blocked in a full-queue
+        // `send` gets unstuck.  Connections registering concurrently are
+        // refused under this same lock, so none can slip past the kick.
+        for (_, stream) in self.shared.conns.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serves one connection to completion, isolating its faults.
+///
+/// Isolation covers panics too: dispatch runs behind `catch_unwind`, so a
+/// panic provoked by one connection's input (a bug this layer's input
+/// validation missed) fails that connection instead of killing the pool
+/// worker — otherwise a hostile client could drain the whole pool one
+/// panic at a time.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let Some(conn_id) = shared.register(&stream) else {
+        return; // shutdown raced the hand-off, or the socket is dead
+    };
+    let _ = stream.set_nodelay(true);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        serve_connection(shared, &stream)
+    }));
+    if !matches!(outcome, Ok(Ok(()))) {
+        shared.connections_failed.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.deregister(conn_id);
+}
+
+/// The per-connection serving loop: read a request frame, dispatch it on
+/// the shared [`QueryServer`], write the response frame; repeat until the
+/// peer closes cleanly or faults.
+fn serve_connection(shared: &Shared, stream: &TcpStream) -> Result<(), eq_proto::ProtoError> {
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match eq_proto::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()), // clean close on a frame boundary
+            Err(e) => {
+                // The frame (and with it any request id) is unrecoverable:
+                // send a best-effort error frame under id 0, then close
+                // *this* connection.  Other connections are untouched.
+                let response = eq_proto::Response {
+                    id: 0,
+                    body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+                        code: eq_proto::ErrorCode::BadRequest,
+                        message: format!("malformed frame: {e}"),
+                    }),
+                };
+                let _ = eq_proto::write_response(&mut writer, &response);
+                let _ = writer.flush();
+                return Err(e);
+            }
+        };
+        let id = request.id;
+        let response = if shared.poisoned.load(Ordering::SeqCst) {
+            poisoned_response(id)
+        } else {
+            let mutating = matches!(
+                request.body,
+                eq_proto::RequestBody::Ingest { .. } | eq_proto::RequestBody::Feedback { .. }
+            );
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dispatch(&shared.server, request)
+            })) {
+                Ok(response) => response,
+                Err(_) => {
+                    // A panic in a *read-only* request mutated nothing (the
+                    // engine read path takes only shared locks); report it
+                    // and keep serving.  A panic in a mutating request may
+                    // have left a half-applied write behind — these locks
+                    // do not poison — so latch the server-wide poison flag:
+                    // wrong answers forever are worse than refusing work.
+                    if mutating {
+                        shared.poisoned.store(true, Ordering::SeqCst);
+                        poisoned_response(id)
+                    } else {
+                        eq_proto::Response {
+                            id,
+                            body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+                                code: eq_proto::ErrorCode::Internal,
+                                message: "internal panic while serving the request".to_string(),
+                            }),
+                        }
+                    }
+                }
+            }
+        };
+        match eq_proto::write_response(&mut writer, &response) {
+            Ok(()) => {}
+            // A response too large for any reader to accept is a *request*
+            // problem (result set bigger than the frame cap), not a dead
+            // connection: report it as a typed error under the request's
+            // id and keep serving.
+            Err(eq_proto::ProtoError::Frame(eq_wire::frame::FrameError::Oversized {
+                declared,
+                max,
+            })) => {
+                let error = eq_proto::Response {
+                    id: response.id,
+                    body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+                        code: eq_proto::ErrorCode::BadRequest,
+                        message: format!(
+                            "response of {declared} bytes exceeds the {max}-byte frame cap; \
+                             narrow the query or ingest in smaller batches"
+                        ),
+                    }),
+                };
+                eq_proto::write_response(&mut writer, &error)?;
+            }
+            Err(e) => return Err(e),
+        }
+        // Pipelining-aware flushing: when the next request of a batch is
+        // already buffered, keep accumulating response frames and flush
+        // once the burst is drained — a pipelined batch then pays a few
+        // large writes instead of one syscall per response.  The check
+        // runs strictly before the next (possibly blocking) read, so the
+        // client always receives every response to what it has sent.
+        if reader.buffer().is_empty() {
+            writer.flush().map_err(|e| eq_proto::ProtoError::Frame(e.into()))?;
+        }
+    }
+}
+
+/// The answer every request gets once a mutating dispatch has panicked.
+fn poisoned_response(id: u64) -> eq_proto::Response {
+    eq_proto::Response {
+        id,
+        body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+            code: eq_proto::ErrorCode::Internal,
+            message: "the server is poisoned by a panic during an earlier write; \
+                      restart it (or recover from the durable tier)"
+                .to_string(),
+        }),
+    }
+}
+
+/// Cap on the neighbour count a remote client may request: far above any
+/// UI use, far below values whose `k + 1` arithmetic could overflow in
+/// the engine.
+const MAX_REMOTE_K: u64 = 1 << 20;
+
+fn clamp_k(k: u64) -> usize {
+    k.min(MAX_REMOTE_K) as usize
+}
+
+/// Structural validation of a patch decoded off the wire.  `decode_patch`
+/// restores whatever band layout the bytes declare; the engine, however,
+/// indexes the canonical layout unconditionally (12 Sentinel-2 rasters,
+/// 2 polarisations, non-empty pixels), so a short band list from a
+/// hostile client must be rejected *here* — reaching the engine with one
+/// would panic the serving worker.
+fn validate_wire_patch(patch: &Patch) -> Result<(), EarthQubeError> {
+    let bad = |message: String| {
+        EarthQubeError::BadRequest(format!("invalid patch {:?}: {message}", patch.meta.name))
+    };
+    if patch.s2_bands.len() != eq_bigearthnet::Band::COUNT {
+        return Err(bad(format!(
+            "expected {} Sentinel-2 bands, got {}",
+            eq_bigearthnet::Band::COUNT,
+            patch.s2_bands.len()
+        )));
+    }
+    if patch.s1_bands.len() != 2 {
+        return Err(bad(format!(
+            "expected 2 Sentinel-1 polarisations, got {}",
+            patch.s1_bands.len()
+        )));
+    }
+    if let Some(empty) =
+        patch.s2_bands.iter().chain(&patch.s1_bands).position(|b| b.pixels().is_empty())
+    {
+        return Err(bad(format!("raster {empty} has no pixels")));
+    }
+    // `Patch::render_rgb` (the ingest path) writes one output buffer sized
+    // by B04 from the pixels of all three RGB bands, so their sizes must
+    // agree.  (Other engine paths use per-band statistics only, and the
+    // canonical per-resolution sizes are deliberately *not* required:
+    // uniformly scaled-down archives are legitimate.)
+    let rgb = [eq_bigearthnet::Band::B02, eq_bigearthnet::Band::B03, eq_bigearthnet::Band::B04];
+    let sizes: Vec<usize> = rgb.iter().map(|&b| patch.band(b).size()).collect();
+    if sizes[0] != sizes[2] || sizes[1] != sizes[2] {
+        return Err(bad(format!("RGB band sizes {sizes:?} disagree")));
+    }
+    Ok(())
+}
+
+/// Executes one decoded request against the query server, mapping the
+/// outcome (including errors) onto the response body.
+fn dispatch(server: &QueryServer, request: eq_proto::Request) -> eq_proto::Response {
+    use eq_proto::{RequestBody, ResponseBody};
+    let search_outcome = |result: Result<SearchResponse, EarthQubeError>| match result {
+        Ok(response) => ResponseBody::Search(response_to_payload(&response)),
+        Err(e) => ResponseBody::Error(error_to_payload(&e)),
+    };
+    let body = match request.body {
+        RequestBody::Ping => ResponseBody::Pong,
+        RequestBody::Search(spec) => search_outcome(server.search(&spec_to_query(spec))),
+        RequestBody::SimilarTo { name, k } => search_outcome(server.similar_to(&name, clamp_k(k))),
+        RequestBody::SearchByNewExample { patch, k } => search_outcome(
+            validate_wire_patch(&patch)
+                .and_then(|()| server.search_by_new_example(&patch, clamp_k(k))),
+        ),
+        RequestBody::Ingest { patches } => {
+            match patches
+                .iter()
+                .try_for_each(validate_wire_patch)
+                .and_then(|()| server.ingest(&patches))
+            {
+                Ok(report) => ResponseBody::Ingest(report_to_payload(&report)),
+                Err(e) => ResponseBody::Error(error_to_payload(&e)),
+            }
+        }
+        RequestBody::Feedback { text, category } => {
+            match server.submit_feedback(&text, category.as_deref()) {
+                Ok(id) => ResponseBody::Feedback { id },
+                Err(e) => ResponseBody::Error(error_to_payload(&e)),
+            }
+        }
+        RequestBody::Stats => ResponseBody::Stats(stats_to_payload(&server.stats())),
+    };
+    eq_proto::Response { id: request.id, body }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A blocking EarthQube client over one reused TCP connection.
+///
+/// Every call mirrors a [`QueryServer`] entry point and returns the same
+/// types — including the same [`EarthQubeError`] variants for server-side
+/// failures, reconstructed from the wire.  Transport-level failures
+/// surface as [`EarthQubeError::Net`].
+///
+/// For throughput, [`run_batch`](Self::run_batch) pipelines a whole
+/// workload over the connection: all request frames are written before
+/// any response is read, so the batch pays one round trip, not one per
+/// request.
+pub struct EqClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for EqClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EqClient").field("next_id", &self.next_id).finish_non_exhaustive()
+    }
+}
+
+impl EqClient {
+    /// Connects to a [`NetServer`].
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Net`] if the connection cannot be
+    /// established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, EarthQubeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| net_err("connecting", e))?;
+        let _ = stream.set_nodelay(true);
+        let reader =
+            BufReader::new(stream.try_clone().map_err(|e| net_err("cloning the connection", e))?);
+        Ok(Self { stream, reader, next_id: 1 })
+    }
+
+    fn send(&mut self, body: eq_proto::RequestBody) -> Result<u64, EarthQubeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        eq_proto::write_request(&mut self.stream, &eq_proto::Request { id, body })
+            .map_err(|e| net_err("sending the request", e))?;
+        Ok(id)
+    }
+
+    /// Like [`send`](Self::send), but for payloads produced by the
+    /// borrowed encoders (`encode_ingest_request` & co.), which avoid
+    /// cloning raster data into an owned request body.
+    fn send_payload(&mut self, encode: impl FnOnce(u64) -> Vec<u8>) -> Result<u64, EarthQubeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        eq_proto::write_request_payload(&mut self.stream, &encode(id))
+            .map_err(|e| net_err("sending the request", e))?;
+        Ok(id)
+    }
+
+    fn receive(&mut self, expected_id: u64) -> Result<eq_proto::ResponseBody, EarthQubeError> {
+        let response = eq_proto::read_response(&mut self.reader)
+            .map_err(|e| net_err("reading the response", e))?
+            .ok_or_else(|| EarthQubeError::Net("the server closed the connection".to_string()))?;
+        if response.id != expected_id {
+            return Err(EarthQubeError::Net(format!(
+                "response id {} does not match request id {expected_id}",
+                response.id
+            )));
+        }
+        Ok(response.body)
+    }
+
+    fn call(
+        &mut self,
+        body: eq_proto::RequestBody,
+    ) -> Result<eq_proto::ResponseBody, EarthQubeError> {
+        let id = self.send(body)?;
+        self.receive(id)
+    }
+
+    fn expect_search(body: eq_proto::ResponseBody) -> Result<SearchResponse, EarthQubeError> {
+        match body {
+            eq_proto::ResponseBody::Search(payload) => Ok(payload_to_response(payload)),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => Err(EarthQubeError::Net(format!(
+                "unexpected response kind {other:?} to a search request"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Net`] on transport faults.
+    pub fn ping(&mut self) -> Result<(), EarthQubeError> {
+        match self.call(eq_proto::RequestBody::Ping)? {
+            eq_proto::ResponseBody::Pong => Ok(()),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => Err(EarthQubeError::Net(format!("unexpected response {other:?} to ping"))),
+        }
+    }
+
+    /// Remote counterpart of [`QueryServer::search`].
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn search(&mut self, query: &ImageQuery) -> Result<SearchResponse, EarthQubeError> {
+        let body = self.call(eq_proto::RequestBody::Search(query_to_spec(query)))?;
+        Self::expect_search(body)
+    }
+
+    /// Remote counterpart of [`QueryServer::similar_to`].
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn similar_to(&mut self, name: &str, k: usize) -> Result<SearchResponse, EarthQubeError> {
+        let body =
+            self.call(eq_proto::RequestBody::SimilarTo { name: name.to_string(), k: k as u64 })?;
+        Self::expect_search(body)
+    }
+
+    /// Remote counterpart of [`QueryServer::search_by_new_example`]: the
+    /// patch is uploaded inside the request frame.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn search_by_new_example(
+        &mut self,
+        patch: &Patch,
+        k: usize,
+    ) -> Result<SearchResponse, EarthQubeError> {
+        // The borrowed encoder spares a deep copy of the raster data.
+        let id =
+            self.send_payload(|id| eq_proto::encode_new_example_request(id, patch, k as u64))?;
+        Self::expect_search(self.receive(id)?)
+    }
+
+    /// Remote counterpart of [`QueryServer::ingest`].
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn ingest(&mut self, patches: &[Patch]) -> Result<IngestReport, EarthQubeError> {
+        // The borrowed encoder spares a deep copy of every patch's rasters.
+        let id = self.send_payload(|id| eq_proto::encode_ingest_request(id, patches))?;
+        let body = self.receive(id)?;
+        match body {
+            eq_proto::ResponseBody::Ingest(payload) => Ok(payload_to_report(payload)),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => Err(EarthQubeError::Net(format!("unexpected response {other:?} to ingest"))),
+        }
+    }
+
+    /// Remote counterpart of [`QueryServer::submit_feedback`].
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn submit_feedback(
+        &mut self,
+        text: &str,
+        category: Option<&str>,
+    ) -> Result<i64, EarthQubeError> {
+        let body = self.call(eq_proto::RequestBody::Feedback {
+            text: text.to_string(),
+            category: category.map(str::to_string),
+        })?;
+        match body {
+            eq_proto::ResponseBody::Feedback { id } => Ok(id),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => Err(EarthQubeError::Net(format!("unexpected response {other:?} to feedback"))),
+        }
+    }
+
+    /// Remote counterpart of [`QueryServer::stats`].
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn stats(&mut self) -> Result<ServerStats, EarthQubeError> {
+        match self.call(eq_proto::RequestBody::Stats)? {
+            eq_proto::ResponseBody::Stats(payload) => Ok(payload_to_stats(payload)),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => Err(EarthQubeError::Net(format!("unexpected response {other:?} to stats"))),
+        }
+    }
+
+    /// Executes one workload request remotely — the wire counterpart of
+    /// [`QueryServer::execute`].
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn execute(&mut self, request: &QueryRequest) -> Result<SearchResponse, EarthQubeError> {
+        let id = self.send_payload(|id| encode_workload_request(id, request))?;
+        Self::expect_search(self.receive(id)?)
+    }
+
+    /// Executes a batch of workload requests **pipelined**: request frames
+    /// are written by a scoped writer thread while this thread reads the
+    /// responses, so the whole batch pays one network round trip instead
+    /// of one per request.  Results come back in request order, with
+    /// per-request server-side errors in their slots — the remote
+    /// counterpart of [`QueryServer::run_workload`].
+    ///
+    /// Reading concurrently with writing (rather than writing everything
+    /// first) keeps arbitrarily large batches deadlock-free: the client
+    /// always drains responses, so the server never blocks forever on a
+    /// full response direction while requests back up.
+    ///
+    /// # Errors
+    /// A transport failure aborts the whole batch (per-request errors do
+    /// not).
+    pub fn run_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<Result<SearchResponse, EarthQubeError>>, EarthQubeError> {
+        let first_id = self.next_id;
+        self.next_id += requests.len() as u64;
+        let mut writer = self
+            .stream
+            .try_clone()
+            .map_err(|e| net_err("cloning the connection for the batch writer", e))?;
+        std::thread::scope(|scope| {
+            let sender = scope.spawn(move || -> Result<(), EarthQubeError> {
+                for (i, request) in requests.iter().enumerate() {
+                    let payload = encode_workload_request(first_id + i as u64, request);
+                    if let Err(e) = eq_proto::write_request_payload(&mut writer, &payload) {
+                        // The failure may be purely local (e.g. a payload
+                        // over the frame cap, rejected before any byte hit
+                        // the socket) with the connection itself healthy —
+                        // the reader would then wait forever for a response
+                        // that was never requested.  Kill the socket so the
+                        // reader unblocks with an error.
+                        let _ = writer.shutdown(Shutdown::Both);
+                        return Err(net_err("sending a batched request", e));
+                    }
+                }
+                Ok(())
+            });
+            let mut results = Vec::with_capacity(requests.len());
+            let mut receive_error = None;
+            for i in 0..requests.len() {
+                match self.receive(first_id + i as u64) {
+                    Ok(body) => results.push(Self::expect_search(body)),
+                    Err(e) => {
+                        // Abort the batch: shut the socket down so the
+                        // writer thread (possibly blocked mid-write) fails
+                        // fast and the join below cannot hang.  The
+                        // connection is unusable after a transport error
+                        // anyway.
+                        let _ = self.stream.shutdown(Shutdown::Both);
+                        receive_error = Some(e);
+                        break;
+                    }
+                }
+            }
+            let sent = sender.join().expect("the batch writer does not panic");
+            // A writer failure is the root cause when both sides errored
+            // (the reader's error is then just the induced socket
+            // shutdown), so it takes precedence in the report.
+            match (sent, receive_error) {
+                (Err(e), _) => Err(e),
+                (Ok(()), Some(e)) => Err(e),
+                (Ok(()), None) => Ok(results),
+            }
+        })
+    }
+}
+
+/// Encodes a [`QueryRequest`] as protocol payload bytes, borrowing the
+/// request's data (no raster copies for `NewExample`).
+fn encode_workload_request(id: u64, request: &QueryRequest) -> Vec<u8> {
+    match request {
+        QueryRequest::Metadata(query) => {
+            eq_proto::Request { id, body: eq_proto::RequestBody::Search(query_to_spec(query)) }
+                .encode()
+        }
+        QueryRequest::SimilarTo { name, k } => eq_proto::Request {
+            id,
+            body: eq_proto::RequestBody::SimilarTo { name: name.clone(), k: *k as u64 },
+        }
+        .encode(),
+        QueryRequest::NewExample { patch, k } => {
+            eq_proto::encode_new_example_request(id, patch, *k as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EarthQubeConfig;
+    use crate::serve::ServeConfig;
+    use eq_bigearthnet::{Archive, ArchiveGenerator, GeneratorConfig};
+
+    fn served(n: usize, seed: u64) -> (NetServer, Arc<QueryServer>, Archive) {
+        let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
+        let mut config = EarthQubeConfig::fast(seed);
+        config.train_model = false;
+        let server =
+            Arc::new(QueryServer::build(&archive, config, ServeConfig::default()).unwrap());
+        let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        (net, server, archive)
+    }
+
+    #[test]
+    fn remote_calls_mirror_the_in_process_server() {
+        let (net, server, archive) = served(24, 301);
+        let mut client = EqClient::connect(net.local_addr()).unwrap();
+        client.ping().unwrap();
+
+        let query = ImageQuery::all();
+        assert_eq!(client.search(&query).unwrap(), server.search(&query).unwrap());
+
+        let name = &archive.patches()[2].meta.name;
+        assert_eq!(client.similar_to(name, 5).unwrap(), server.similar_to(name, 5).unwrap());
+
+        let external =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 999)).unwrap().generate_patch(0);
+        assert_eq!(
+            client.search_by_new_example(&external, 4).unwrap(),
+            server.search_by_new_example(&external, 4).unwrap()
+        );
+
+        // Server-side errors come back as their original variants.
+        assert!(matches!(client.similar_to("ghost", 3), Err(EarthQubeError::UnknownImage(_))));
+
+        let id = client.submit_feedback("over the wire", Some("reaction")).unwrap();
+        assert!(id >= 0);
+        assert_eq!(server.list_feedback().unwrap().len(), 1);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats, server.stats());
+        net.shutdown();
+    }
+
+    #[test]
+    fn remote_ingest_appends_to_the_live_archive() {
+        let (net, server, _) = served(10, 302);
+        let mut client = EqClient::connect(net.local_addr()).unwrap();
+        let extra = ArchiveGenerator::new(GeneratorConfig::tiny(3, 888)).unwrap().generate();
+        let report = client.ingest(extra.patches()).unwrap();
+        assert_eq!(report.metadata_docs, 3);
+        assert_eq!(server.archive_size(), 13);
+        // Duplicate ingest surfaces the server's BadRequest.
+        assert!(matches!(client.ingest(&extra.patches()[..1]), Err(EarthQubeError::BadRequest(_))));
+        net.shutdown();
+    }
+
+    #[test]
+    fn pipelined_batch_matches_one_shot_execution() {
+        let (net, server, archive) = served(20, 303);
+        let mut requests: Vec<QueryRequest> = archive
+            .patches()
+            .iter()
+            .take(6)
+            .map(|p| QueryRequest::SimilarTo { name: p.meta.name.clone(), k: 4 })
+            .collect();
+        requests.push(QueryRequest::Metadata(ImageQuery::all()));
+        requests.push(QueryRequest::SimilarTo { name: "ghost".into(), k: 2 });
+
+        let mut client = EqClient::connect(net.local_addr()).unwrap();
+        let batched = client.run_batch(&requests).unwrap();
+        assert_eq!(batched.len(), requests.len());
+        for (got, request) in batched.iter().zip(&requests) {
+            match (got, server.execute(request)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, &b),
+                (Err(a), Err(b)) => assert_eq!(a, &b),
+                (a, b) => panic!("batched {a:?} disagrees with in-process {b:?}"),
+            }
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn many_clients_are_served_concurrently() {
+        let (net, _, archive) = served(16, 304);
+        let addr = net.local_addr();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let names: Vec<String> =
+                    archive.patches().iter().map(|p| p.meta.name.clone()).collect();
+                scope.spawn(move || {
+                    let mut client = EqClient::connect(addr).unwrap();
+                    for i in 0..10usize {
+                        let name = &names[(t * 7 + i) % names.len()];
+                        client.similar_to(name, 3).unwrap();
+                    }
+                });
+            }
+        });
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent_under_drop() {
+        let (net, server, _) = served(8, 305);
+        let addr = net.local_addr();
+        let mut client = EqClient::connect(addr).unwrap();
+        client.ping().unwrap();
+        net.shutdown(); // joins acceptor and workers; kicks the client
+        assert!(client.ping().is_err(), "a kicked client observes the close");
+        assert!(EqClient::connect(addr).and_then(|mut c| c.ping()).is_err());
+        // A second server on a fresh port serves the same QueryServer.
+        let net2 = NetServer::bind(server, "127.0.0.1:0", 1).unwrap();
+        let mut client2 = EqClient::connect(net2.local_addr()).unwrap();
+        client2.ping().unwrap();
+        drop(net2); // Drop performs the same shutdown
+    }
+
+    /// A structurally invalid patch (decodable bytes, non-canonical band
+    /// layout) must be rejected with `BadRequest` — never reach the
+    /// engine's unconditional band indexing — and the worker must keep
+    /// serving.  Guards the panic-drain hole: one hostile frame per
+    /// worker would otherwise kill the whole pool.
+    #[test]
+    fn malformed_patches_are_rejected_not_panicking() {
+        let (net, server, _) = served(10, 306);
+        let mut client = EqClient::connect(net.local_addr()).unwrap();
+
+        let mut bad = ArchiveGenerator::new(GeneratorConfig::tiny(1, 1)).unwrap().generate_patch(0);
+        bad.meta.name = "band_thief".into();
+        bad.s2_bands.truncate(3); // the engine indexes all 12 unconditionally
+        assert!(matches!(
+            client.search_by_new_example(&bad, 3),
+            Err(EarthQubeError::BadRequest(_))
+        ));
+        assert!(matches!(client.ingest(&[bad.clone()]), Err(EarthQubeError::BadRequest(_))));
+        assert_eq!(server.archive_size(), 10, "the bad batch must not partially ingest");
+
+        let mut empty = bad.clone();
+        empty.s2_bands = vec![eq_bigearthnet::BandData::from_pixels(0, vec![]); 12];
+        assert!(matches!(
+            client.search_by_new_example(&empty, 3),
+            Err(EarthQubeError::BadRequest(_))
+        ));
+
+        // Disagreeing RGB band sizes would overrun `render_rgb`'s output
+        // buffer during ingest — must be rejected up front.
+        let mut lopsided =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 2)).unwrap().generate_patch(0);
+        lopsided.meta.name = "lopsided".into();
+        lopsided.s2_bands[eq_bigearthnet::Band::B04.index()] =
+            eq_bigearthnet::BandData::from_pixels(1, vec![7]);
+        assert!(matches!(client.ingest(&[lopsided]), Err(EarthQubeError::BadRequest(_))));
+        assert_eq!(server.archive_size(), 10);
+
+        // A hostile neighbour count is clamped, not overflowed.
+        let name = "ghost";
+        assert!(matches!(
+            client.similar_to(name, usize::MAX),
+            Err(EarthQubeError::UnknownImage(_))
+        ));
+
+        // The same connection — hence the same pool worker — still serves.
+        client.ping().unwrap();
+        assert!(client.search(&ImageQuery::all()).is_ok());
+        net.shutdown();
+    }
+
+    /// A batch whose request fails *locally* (payload over the frame cap,
+    /// never sent) must error out, not hang: the reader would otherwise
+    /// wait forever for a response to a request the writer never sent.
+    #[test]
+    fn run_batch_surfaces_local_send_failures_instead_of_hanging() {
+        let (net, _, _) = served(6, 307);
+        let mut client = EqClient::connect(net.local_addr()).unwrap();
+        // One band of 5800² u16 pixels encodes past the 64 MiB frame cap.
+        let mut huge =
+            ArchiveGenerator::new(GeneratorConfig::tiny(1, 3)).unwrap().generate_patch(0);
+        huge.s2_bands[0] = eq_bigearthnet::BandData::zeros(5800);
+        let requests = vec![QueryRequest::NewExample { patch: Box::new(huge), k: 3 }];
+        assert!(matches!(client.run_batch(&requests), Err(EarthQubeError::Net(_))));
+        net.shutdown();
+    }
+
+    #[test]
+    fn conversions_are_lossless_for_rich_queries() {
+        use eq_bigearthnet::patch::{AcquisitionDate, Satellite, Season};
+        use eq_bigearthnet::{Country, Label};
+        use eq_geo::{BBox, GeoShape};
+        let query = ImageQuery::all()
+            .with_shape(GeoShape::Rect(BBox::new(-9.0, 37.0, -6.0, 42.0).unwrap()))
+            .with_date_range(
+                AcquisitionDate::new(2017, 6, 1).unwrap(),
+                AcquisitionDate::new(2018, 5, 31).unwrap(),
+            )
+            .with_seasons(vec![Season::Summer])
+            .with_countries(vec![Country::Portugal])
+            .with_labels(LabelFilter::new(LabelOperator::Exactly, vec![Label::SeaAndOcean]));
+        let mut with_satellites = query.clone();
+        with_satellites.satellites = vec![Satellite::Sentinel1, Satellite::Sentinel2];
+        for q in [query, with_satellites, ImageQuery::all()] {
+            assert_eq!(spec_to_query(query_to_spec(&q)), q);
+        }
+    }
+}

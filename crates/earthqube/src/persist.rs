@@ -52,9 +52,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write as _};
 use std::path::Path;
 
-use eq_bigearthnet::patch::{AcquisitionDate, PatchId, PatchMetadata};
+use eq_bigearthnet::patch::PatchMetadata;
+use eq_bigearthnet::wire::{decode_patch_metadata, encode_patch_metadata};
 use eq_docstore::{wire, Database, Document};
-use eq_geo::BBox;
 use eq_hashindex::{BinaryCode, ShardedHashIndex};
 use eq_milan::persist::{
     decode_config as decode_milan_config, encode_config as encode_milan_config,
@@ -107,36 +107,9 @@ pub(crate) fn io_error(context: &str, e: std::io::Error) -> EarthQubeError {
 // ---------------------------------------------------------------------------
 // Shared field encoders
 // ---------------------------------------------------------------------------
-
-fn encode_patch_metadata(meta: &PatchMetadata, w: &mut Writer) {
-    w.u32(meta.id.0);
-    w.str(&meta.name);
-    w.f64(meta.bbox.min_lon);
-    w.f64(meta.bbox.min_lat);
-    w.f64(meta.bbox.max_lon);
-    w.f64(meta.bbox.max_lat);
-    w.u64(meta.labels.bits());
-    w.str(meta.country.name());
-    w.u16(meta.date.year);
-    w.u8(meta.date.month);
-    w.u8(meta.date.day);
-}
-
-fn decode_patch_metadata(r: &mut Reader<'_>) -> Result<PatchMetadata, WireError> {
-    let id = PatchId(r.u32()?);
-    let name = r.str()?.to_string();
-    let (min_lon, min_lat, max_lon, max_lat) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
-    let bbox = BBox::new(min_lon, min_lat, max_lon, max_lat)
-        .map_err(|e| WireError::Corrupt(format!("invalid bbox for patch {name:?}: {e}")))?;
-    let labels = eq_bigearthnet::labels::LabelSet::from_bits(r.u64()?);
-    let country_name = r.str()?.to_string();
-    let country = eq_bigearthnet::Country::from_name(&country_name)
-        .ok_or_else(|| WireError::Corrupt(format!("unknown country {country_name:?}")))?;
-    let (year, month, day) = (r.u16()?, r.u8()?, r.u8()?);
-    let date = AcquisitionDate::new(year, month, day)
-        .ok_or_else(|| WireError::Corrupt(format!("invalid date {year}-{month}-{day}")))?;
-    Ok(PatchMetadata { id, name, bbox, labels, country, date })
-}
+// The `PatchMetadata` codec lives in `eq_bigearthnet::wire` (it is shared
+// with the `eq_proto` network protocol); the snapshot and WAL layouts
+// import it so both byte formats stay identical by construction.
 
 fn encode_engine_config(config: &EarthQubeConfig, w: &mut Writer) {
     encode_milan_config(&config.milan, w);

@@ -82,6 +82,12 @@ impl ResultPanel {
         self.entries.len()
     }
 
+    /// All entries of the panel in rank order (the un-paginated result
+    /// list — what the network tier serializes).
+    pub fn entries(&self) -> &[ResultEntry] {
+        &self.entries
+    }
+
     /// The configured page size.
     pub fn page_size(&self) -> usize {
         self.page_size

@@ -28,6 +28,19 @@ impl LabelStatistics {
         Self { counts, images }
     }
 
+    /// Reassembles statistics from raw parts — the network-decoding path.
+    /// `counts` must be indexed by [`Label::index`] (the layout
+    /// [`counts`](Self::counts) exposes); equality with locally computed
+    /// statistics requires the canonical [`Label::COUNT`] length.
+    pub fn from_parts(counts: Vec<usize>, image_count: usize) -> Self {
+        Self { counts, images: image_count }
+    }
+
+    /// The raw per-label occurrence counts, indexed by [`Label::index`].
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
     /// Number of images the statistics cover.
     pub fn image_count(&self) -> usize {
         self.images

@@ -1,0 +1,1203 @@
+//! The EarthQube binary RPC protocol.
+//!
+//! The paper positions EarthQube as a multi-user service; this crate
+//! defines the wire contract between a remote client and the serving
+//! process — the request/response boundary everything network-facing in
+//! the workspace is built on.  It deliberately contains **no sockets and
+//! no server**: just message types, their byte layout, and checked
+//! encode/decode over arbitrary `std::io` streams.  The TCP serving tier
+//! (`NetServer`) and the blocking client (`EqClient`) live in
+//! `eq_earthqube::net` and speak exclusively through this crate.
+//!
+//! # Frame layout
+//!
+//! Every message travels in one [`eq_wire::frame`] frame:
+//!
+//! ```text
+//! frame    := magic[4] len:u32le crc32(payload):u32le payload[len]
+//! payload  := version:u16 request_id:u64 tag:u8 body
+//! ```
+//!
+//! * `magic` is direction-tagged — [`REQUEST_MAGIC`] (`"EQRQ"`) for
+//!   client→server frames, [`RESPONSE_MAGIC`] (`"EQRS"`) for
+//!   server→client — so a confused endpoint fails on the first frame
+//!   instead of misinterpreting bytes.
+//! * `version` is checked on decode; a peer from an incompatible build is
+//!   rejected with a clear error, not a garbled message.
+//! * `request_id` is chosen by the client and echoed verbatim in the
+//!   response, which is what makes pipelining safe: a client may write N
+//!   requests back-to-back and match the N responses by id.
+//! * the CRC-32 plus the length prefix make every transport fault a
+//!   *detected* fault: truncation, bit flips and oversized lengths all
+//!   surface as typed errors (see `eq_wire::frame::FrameError`).
+//!
+//! # Message catalogue
+//!
+//! | Request ([`RequestBody`])        | Response ([`ResponseBody`])      |
+//! |----------------------------------|----------------------------------|
+//! | `Ping`                           | `Pong`                           |
+//! | `Search(QuerySpec)`              | `Search(SearchPayload)`          |
+//! | `SimilarTo { name, k }`          | `Search(SearchPayload)`          |
+//! | `SearchByNewExample { patch, k }`| `Search(SearchPayload)`          |
+//! | `Ingest { patches }`             | `Ingest(IngestPayload)`          |
+//! | `Feedback { text, category }`    | `Feedback { id }`                |
+//! | `Stats`                          | `Stats(StatsPayload)`            |
+//! | *(any, on failure)*              | `Error(ErrorPayload)`            |
+//!
+//! The payload structs mirror the serving-layer types (`SearchResponse`,
+//! `ServerStats`, `IngestReport`) field for field, so the conversion in
+//! `eq_earthqube::net` is lossless — a remote client reconstructs results
+//! byte-identical to an in-process call.  Protocol drift is guarded by the
+//! golden-bytes conformance suite in `tests/golden_bytes.rs`: the encoding
+//! of every message type is pinned to committed fixture files.
+
+#![deny(missing_docs)]
+
+use std::io::{Read, Write};
+
+use eq_bigearthnet::patch::{AcquisitionDate, Patch, Satellite, Season};
+use eq_bigearthnet::wire::{decode_patch, encode_patch};
+use eq_bigearthnet::{Country, Label};
+use eq_geo::{BBox, Circle, GeoShape, Point, Polygon};
+use eq_wire::frame::{read_frame, write_frame, FrameError};
+use eq_wire::{Reader, WireError, Writer};
+
+/// Protocol version; bumped on any byte-layout change.  Decoders reject
+/// frames carrying any other version.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame magic of client→server frames.
+pub const REQUEST_MAGIC: [u8; 4] = *b"EQRQ";
+
+/// Frame magic of server→client frames.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"EQRS";
+
+/// Maximum accepted frame payload, request and response alike (64 MiB —
+/// comfortably above any realistic ingest batch, far below an allocation
+/// a hostile length prefix could weaponise).
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Errors crossing the protocol layer: either the stream/frame failed, or
+/// a frame arrived intact but its payload bytes are not a valid message.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport-level failure: I/O, torn frame, bad magic, oversized
+    /// length, checksum mismatch.
+    Frame(FrameError),
+    /// The frame was delivered intact but its payload does not decode as a
+    /// protocol message (wrong version, bad tag, corrupt field).
+    Message(WireError),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Frame(e) => write!(f, "{e}"),
+            ProtoError::Message(e) => write!(f, "invalid protocol message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<FrameError> for ProtoError {
+    fn from(e: FrameError) -> Self {
+        ProtoError::Frame(e)
+    }
+}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        ProtoError::Message(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One client→server message: a request id (echoed by the response) plus
+/// the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id; the server echoes it in the matching response.
+    pub id: u64,
+    /// The requested operation.
+    pub body: RequestBody,
+}
+
+/// The operations of the protocol (one per `QueryServer` entry point).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Liveness probe; answered with [`ResponseBody::Pong`].
+    Ping,
+    /// Query-panel metadata search.
+    Search(QuerySpec),
+    /// "Retrieve similar images" for an indexed archive image.
+    SimilarTo {
+        /// The query image's patch name.
+        name: String,
+        /// Number of neighbours to retrieve.
+        k: u64,
+    },
+    /// Query-by-new-example: the client uploads a patch to encode.
+    SearchByNewExample {
+        /// The uploaded patch (bands and all — this is the upload path).
+        patch: Box<Patch>,
+        /// Number of neighbours to retrieve.
+        k: u64,
+    },
+    /// Append patches to the live archive through the write path.
+    Ingest {
+        /// The patches to ingest, in order.
+        patches: Vec<Patch>,
+    },
+    /// Store an anonymous feedback comment.
+    Feedback {
+        /// The free-text comment.
+        text: String,
+        /// Optional category (e.g. "reaction").
+        category: Option<String>,
+    },
+    /// Fetch a snapshot of the serving counters.
+    Stats,
+}
+
+const REQ_PING: u8 = 1;
+const REQ_SEARCH: u8 = 2;
+const REQ_SIMILAR_TO: u8 = 3;
+const REQ_NEW_EXAMPLE: u8 = 4;
+const REQ_INGEST: u8 = 5;
+const REQ_FEEDBACK: u8 = 6;
+const REQ_STATS: u8 = 7;
+
+fn encode_envelope(w: &mut Writer, id: u64) {
+    w.u16(PROTOCOL_VERSION);
+    w.u64(id);
+}
+
+fn encode_new_example_body(w: &mut Writer, patch: &Patch, k: u64) {
+    w.u8(REQ_NEW_EXAMPLE);
+    encode_patch(patch, w);
+    w.u64(k);
+}
+
+fn encode_ingest_body(w: &mut Writer, patches: &[Patch]) {
+    w.u8(REQ_INGEST);
+    w.seq_len(patches.len());
+    for patch in patches {
+        encode_patch(patch, w);
+    }
+}
+
+/// Encodes a query-by-new-example request from a *borrowed* patch —
+/// byte-identical to `Request::encode` with the same fields, without the
+/// caller having to clone raster data into an owned [`RequestBody`].
+pub fn encode_new_example_request(id: u64, patch: &Patch, k: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_envelope(&mut w, id);
+    encode_new_example_body(&mut w, patch, k);
+    w.into_bytes()
+}
+
+/// Encodes an ingest request from *borrowed* patches — the client upload
+/// hot path; byte-identical to `Request::encode` with the same fields.
+pub fn encode_ingest_request(id: u64, patches: &[Patch]) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_envelope(&mut w, id);
+    encode_ingest_body(&mut w, patches);
+    w.into_bytes()
+}
+
+impl Request {
+    /// Serializes the request into frame-payload bytes (version, id, tag,
+    /// body — everything but the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        encode_envelope(&mut w, self.id);
+        match &self.body {
+            RequestBody::Ping => w.u8(REQ_PING),
+            RequestBody::Search(spec) => {
+                w.u8(REQ_SEARCH);
+                spec.encode(&mut w);
+            }
+            RequestBody::SimilarTo { name, k } => {
+                w.u8(REQ_SIMILAR_TO);
+                w.str(name);
+                w.u64(*k);
+            }
+            RequestBody::SearchByNewExample { patch, k } => {
+                encode_new_example_body(&mut w, patch, *k)
+            }
+            RequestBody::Ingest { patches } => encode_ingest_body(&mut w, patches),
+            RequestBody::Feedback { text, category } => {
+                w.u8(REQ_FEEDBACK);
+                w.str(text);
+                encode_option_str(category.as_deref(), &mut w);
+            }
+            RequestBody::Stats => w.u8(REQ_STATS),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes frame-payload bytes into a request.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on a version mismatch, an unknown tag, corrupt
+    /// fields or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let id = decode_envelope(&mut r)?;
+        let body = match r.u8()? {
+            REQ_PING => RequestBody::Ping,
+            REQ_SEARCH => RequestBody::Search(QuerySpec::decode(&mut r)?),
+            REQ_SIMILAR_TO => RequestBody::SimilarTo { name: r.str()?.to_string(), k: r.u64()? },
+            REQ_NEW_EXAMPLE => RequestBody::SearchByNewExample {
+                patch: Box::new(decode_patch(&mut r)?),
+                k: r.u64()?,
+            },
+            REQ_INGEST => {
+                // An encoded patch is at least metadata + two sequence
+                // lengths; 30 bytes is a safe floor bounding preallocation.
+                let n = r.seq_len(30)?;
+                let patches =
+                    (0..n).map(|_| decode_patch(&mut r)).collect::<Result<Vec<_>, _>>()?;
+                RequestBody::Ingest { patches }
+            }
+            REQ_FEEDBACK => RequestBody::Feedback {
+                text: r.str()?.to_string(),
+                category: decode_option_str(&mut r)?,
+            },
+            REQ_STATS => RequestBody::Stats,
+            other => return Err(WireError::Corrupt(format!("unknown request tag {other}"))),
+        };
+        expect_empty(&r)?;
+        Ok(Self { id, body })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One server→client message: the echoed request id plus the outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// The response payloads of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to [`RequestBody::Ping`].
+    Pong,
+    /// Answer to the three search request kinds.
+    Search(SearchPayload),
+    /// Answer to [`RequestBody::Ingest`].
+    Ingest(IngestPayload),
+    /// Answer to [`RequestBody::Feedback`]: the stored entry's id.
+    Feedback {
+        /// Sequential feedback id assigned by the server.
+        id: i64,
+    },
+    /// Answer to [`RequestBody::Stats`].
+    Stats(StatsPayload),
+    /// The request failed; carries the server-side error.
+    Error(ErrorPayload),
+}
+
+const RESP_PONG: u8 = 1;
+const RESP_SEARCH: u8 = 2;
+const RESP_INGEST: u8 = 3;
+const RESP_FEEDBACK: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+impl Response {
+    /// Serializes the response into frame-payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u16(PROTOCOL_VERSION);
+        w.u64(self.id);
+        match &self.body {
+            ResponseBody::Pong => w.u8(RESP_PONG),
+            ResponseBody::Search(payload) => {
+                w.u8(RESP_SEARCH);
+                payload.encode(&mut w);
+            }
+            ResponseBody::Ingest(payload) => {
+                w.u8(RESP_INGEST);
+                payload.encode(&mut w);
+            }
+            ResponseBody::Feedback { id } => {
+                w.u8(RESP_FEEDBACK);
+                w.i64(*id);
+            }
+            ResponseBody::Stats(payload) => {
+                w.u8(RESP_STATS);
+                payload.encode(&mut w);
+            }
+            ResponseBody::Error(payload) => {
+                w.u8(RESP_ERROR);
+                payload.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes frame-payload bytes into a response.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on a version mismatch, an unknown tag, corrupt
+    /// fields or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let id = decode_envelope(&mut r)?;
+        let body = match r.u8()? {
+            RESP_PONG => ResponseBody::Pong,
+            RESP_SEARCH => ResponseBody::Search(SearchPayload::decode(&mut r)?),
+            RESP_INGEST => ResponseBody::Ingest(IngestPayload::decode(&mut r)?),
+            RESP_FEEDBACK => ResponseBody::Feedback { id: r.i64()? },
+            RESP_STATS => ResponseBody::Stats(StatsPayload::decode(&mut r)?),
+            RESP_ERROR => ResponseBody::Error(ErrorPayload::decode(&mut r)?),
+            other => return Err(WireError::Corrupt(format!("unknown response tag {other}"))),
+        };
+        expect_empty(&r)?;
+        Ok(Self { id, body })
+    }
+}
+
+/// Reads and checks the shared envelope prefix (version, request id).
+fn decode_envelope(r: &mut Reader<'_>) -> Result<u64, WireError> {
+    let version = r.u16()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::Corrupt(format!(
+            "protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    r.u64()
+}
+
+fn expect_empty(r: &Reader<'_>) -> Result<(), WireError> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(WireError::Corrupt(format!("{} trailing bytes after the message", r.remaining())))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query specification
+// ---------------------------------------------------------------------------
+
+/// The label-filter operators, mirroring `eq_earthqube::LabelOperator`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelOp {
+    /// At least one of the selected labels.
+    Some,
+    /// Exactly the selected labels.
+    Exactly,
+    /// All the selected labels and possibly more.
+    AtLeastAndMore,
+}
+
+/// A label filter: operator plus selected CLC Level-3 labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelFilterSpec {
+    /// The operator.
+    pub op: LabelOp,
+    /// The selected labels.
+    pub labels: Vec<Label>,
+}
+
+/// The query-panel request as it crosses the wire, mirroring
+/// `eq_earthqube::ImageQuery` field for field.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuerySpec {
+    /// Geospatial restriction.
+    pub shape: Option<GeoShape>,
+    /// Acquisition-date range, inclusive on both ends.
+    pub date_range: Option<(AcquisitionDate, AcquisitionDate)>,
+    /// Satellites of interest.
+    pub satellites: Vec<Satellite>,
+    /// Seasons of interest (empty = all).
+    pub seasons: Vec<Season>,
+    /// Countries of interest (empty = all).
+    pub countries: Vec<Country>,
+    /// Label filter; `None` = no label filtering.
+    pub labels: Option<LabelFilterSpec>,
+}
+
+impl QuerySpec {
+    /// Encodes the query specification.
+    pub fn encode(&self, w: &mut Writer) {
+        match &self.shape {
+            None => w.u8(0),
+            Some(shape) => {
+                w.u8(1);
+                encode_geo_shape(shape, w);
+            }
+        }
+        match &self.date_range {
+            None => w.u8(0),
+            Some((from, to)) => {
+                w.u8(1);
+                encode_date(*from, w);
+                encode_date(*to, w);
+            }
+        }
+        w.seq_len(self.satellites.len());
+        for sat in &self.satellites {
+            w.u8(match sat {
+                Satellite::Sentinel1 => 1,
+                Satellite::Sentinel2 => 2,
+            });
+        }
+        w.seq_len(self.seasons.len());
+        for season in &self.seasons {
+            w.u8(match season {
+                Season::Spring => 1,
+                Season::Summer => 2,
+                Season::Autumn => 3,
+                Season::Winter => 4,
+            });
+        }
+        w.seq_len(self.countries.len());
+        for country in &self.countries {
+            w.str(country.name());
+        }
+        match &self.labels {
+            None => w.u8(0),
+            Some(filter) => {
+                w.u8(1);
+                w.u8(match filter.op {
+                    LabelOp::Some => 1,
+                    LabelOp::Exactly => 2,
+                    LabelOp::AtLeastAndMore => 3,
+                });
+                w.seq_len(filter.labels.len());
+                for label in &filter.labels {
+                    w.u16(label.index() as u16);
+                }
+            }
+        }
+    }
+
+    /// Decodes a query specification.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation or corrupt fields.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let shape = match r.bool()? {
+            false => None,
+            true => Some(decode_geo_shape(r)?),
+        };
+        let date_range = match r.bool()? {
+            false => None,
+            true => Some((decode_date(r)?, decode_date(r)?)),
+        };
+        let n = r.seq_len(1)?;
+        let satellites = (0..n)
+            .map(|_| match r.u8()? {
+                1 => Ok(Satellite::Sentinel1),
+                2 => Ok(Satellite::Sentinel2),
+                other => Err(WireError::Corrupt(format!("unknown satellite tag {other}"))),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let n = r.seq_len(1)?;
+        let seasons = (0..n)
+            .map(|_| match r.u8()? {
+                1 => Ok(Season::Spring),
+                2 => Ok(Season::Summer),
+                3 => Ok(Season::Autumn),
+                4 => Ok(Season::Winter),
+                other => Err(WireError::Corrupt(format!("unknown season tag {other}"))),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let n = r.seq_len(4)?;
+        let countries = (0..n)
+            .map(|_| {
+                let name = r.str()?;
+                Country::from_name(name)
+                    .ok_or_else(|| WireError::Corrupt(format!("unknown country {name:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let labels = match r.bool()? {
+            false => None,
+            true => {
+                let op = match r.u8()? {
+                    1 => LabelOp::Some,
+                    2 => LabelOp::Exactly,
+                    3 => LabelOp::AtLeastAndMore,
+                    other => {
+                        return Err(WireError::Corrupt(format!(
+                            "unknown label operator tag {other}"
+                        )))
+                    }
+                };
+                let n = r.seq_len(2)?;
+                let labels = (0..n)
+                    .map(|_| {
+                        let idx = r.u16()? as usize;
+                        Label::from_index(idx).ok_or_else(|| {
+                            WireError::Corrupt(format!("label index {idx} out of range"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(LabelFilterSpec { op, labels })
+            }
+        };
+        Ok(Self { shape, date_range, satellites, seasons, countries, labels })
+    }
+}
+
+fn encode_date(date: AcquisitionDate, w: &mut Writer) {
+    w.u16(date.year);
+    w.u8(date.month);
+    w.u8(date.day);
+}
+
+fn decode_date(r: &mut Reader<'_>) -> Result<AcquisitionDate, WireError> {
+    let (year, month, day) = (r.u16()?, r.u8()?, r.u8()?);
+    AcquisitionDate::new(year, month, day)
+        .ok_or_else(|| WireError::Corrupt(format!("invalid date {year}-{month}-{day}")))
+}
+
+const SHAPE_RECT: u8 = 1;
+const SHAPE_CIRCLE: u8 = 2;
+const SHAPE_POLYGON: u8 = 3;
+
+fn encode_geo_shape(shape: &GeoShape, w: &mut Writer) {
+    match shape {
+        GeoShape::Rect(bbox) => {
+            w.u8(SHAPE_RECT);
+            w.f64(bbox.min_lon);
+            w.f64(bbox.min_lat);
+            w.f64(bbox.max_lon);
+            w.f64(bbox.max_lat);
+        }
+        GeoShape::Circle(circle) => {
+            w.u8(SHAPE_CIRCLE);
+            w.f64(circle.center.lon);
+            w.f64(circle.center.lat);
+            w.f64(circle.radius_km);
+        }
+        GeoShape::Polygon(polygon) => {
+            w.u8(SHAPE_POLYGON);
+            w.seq_len(polygon.vertices().len());
+            for v in polygon.vertices() {
+                w.f64(v.lon);
+                w.f64(v.lat);
+            }
+        }
+    }
+}
+
+fn decode_geo_shape(r: &mut Reader<'_>) -> Result<GeoShape, WireError> {
+    let geo = |e: eq_geo::GeoError| WireError::Corrupt(format!("invalid query shape: {e}"));
+    match r.u8()? {
+        SHAPE_RECT => {
+            let (min_lon, min_lat, max_lon, max_lat) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+            Ok(GeoShape::Rect(BBox::new(min_lon, min_lat, max_lon, max_lat).map_err(geo)?))
+        }
+        SHAPE_CIRCLE => {
+            let center = Point::new(r.f64()?, r.f64()?).map_err(geo)?;
+            Ok(GeoShape::Circle(Circle::new(center, r.f64()?).map_err(geo)?))
+        }
+        SHAPE_POLYGON => {
+            let n = r.seq_len(16)?;
+            let vertices = (0..n)
+                .map(|_| Point::new(r.f64()?, r.f64()?).map_err(geo))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(GeoShape::Polygon(Polygon::new(vertices).map_err(geo)?))
+        }
+        other => Err(WireError::Corrupt(format!("unknown shape tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result payloads
+// ---------------------------------------------------------------------------
+
+/// One row of the result panel as it crosses the wire, mirroring
+/// `eq_earthqube::ResultEntry`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultRow {
+    /// Patch name.
+    pub name: String,
+    /// Country of acquisition (display name).
+    pub country: String,
+    /// Acquisition date (ISO `YYYY-MM-DD`).
+    pub date: String,
+    /// Full label names.
+    pub labels: Vec<String>,
+    /// Hamming distance to the query (similarity searches only).
+    pub distance: Option<u32>,
+}
+
+/// The planner report of a metadata search, mirroring
+/// `eq_docstore`'s `QueryPlan`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// The index that drove the scan, or `None` for a full scan.
+    pub index_used: Option<String>,
+    /// Candidate documents examined.
+    pub scanned: u64,
+    /// Documents that matched.
+    pub matched: u64,
+}
+
+/// A full search response as it crosses the wire, mirroring
+/// `eq_earthqube::SearchResponse` (result panel, label statistics, plan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchPayload {
+    /// All result rows, in rank order (the full panel, not one page).
+    pub rows: Vec<ResultRow>,
+    /// The result panel's page size.
+    pub page_size: u64,
+    /// Per-label occurrence counts, indexed by `Label::index`.
+    pub label_counts: Vec<u64>,
+    /// Number of images the statistics cover.
+    pub image_count: u64,
+    /// Planner report (`None` for pure CBIR responses).
+    pub plan: Option<PlanSpec>,
+}
+
+impl SearchPayload {
+    /// Encodes the search payload.
+    pub fn encode(&self, w: &mut Writer) {
+        w.seq_len(self.rows.len());
+        for row in &self.rows {
+            w.str(&row.name);
+            w.str(&row.country);
+            w.str(&row.date);
+            w.seq_len(row.labels.len());
+            for label in &row.labels {
+                w.str(label);
+            }
+            match row.distance {
+                None => w.u8(0),
+                Some(d) => {
+                    w.u8(1);
+                    w.u32(d);
+                }
+            }
+        }
+        w.u64(self.page_size);
+        w.seq_len(self.label_counts.len());
+        for &count in &self.label_counts {
+            w.u64(count);
+        }
+        w.u64(self.image_count);
+        match &self.plan {
+            None => w.u8(0),
+            Some(plan) => {
+                w.u8(1);
+                encode_option_str(plan.index_used.as_deref(), w);
+                w.u64(plan.scanned);
+                w.u64(plan.matched);
+            }
+        }
+    }
+
+    /// Decodes a search payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation or corrupt fields.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len(14)?;
+        let rows = (0..n)
+            .map(|_| {
+                let name = r.str()?.to_string();
+                let country = r.str()?.to_string();
+                let date = r.str()?.to_string();
+                let n_labels = r.seq_len(4)?;
+                let labels = (0..n_labels)
+                    .map(|_| Ok(r.str()?.to_string()))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                let distance = match r.bool()? {
+                    false => None,
+                    true => Some(r.u32()?),
+                };
+                Ok(ResultRow { name, country, date, labels, distance })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        let page_size = r.u64()?;
+        let n = r.seq_len(8)?;
+        let label_counts = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+        let image_count = r.u64()?;
+        let plan = match r.bool()? {
+            false => None,
+            true => Some(PlanSpec {
+                index_used: decode_option_str(r)?,
+                scanned: r.u64()?,
+                matched: r.u64()?,
+            }),
+        };
+        Ok(Self { rows, page_size, label_counts, image_count, plan })
+    }
+}
+
+/// An ingest summary as it crosses the wire, mirroring
+/// `eq_earthqube::IngestReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestPayload {
+    /// Metadata documents written.
+    pub metadata_docs: u64,
+    /// Image-data documents written.
+    pub image_docs: u64,
+    /// Rendered-image documents written.
+    pub rendered_docs: u64,
+}
+
+impl IngestPayload {
+    /// Encodes the ingest payload.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.metadata_docs);
+        w.u64(self.image_docs);
+        w.u64(self.rendered_docs);
+    }
+
+    /// Decodes an ingest payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self { metadata_docs: r.u64()?, image_docs: r.u64()?, rendered_docs: r.u64()? })
+    }
+}
+
+/// A serving-counter snapshot as it crosses the wire, mirroring
+/// `eq_earthqube::ServerStats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsPayload {
+    /// Total queries attempted.
+    pub queries_served: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries computed on a cache miss.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// Images currently indexed.
+    pub archive_size: u64,
+    /// Images appended through live ingest.
+    pub ingested_images: u64,
+    /// Items per CBIR index shard, in shard order.
+    pub shard_occupancy: Vec<u64>,
+}
+
+impl StatsPayload {
+    /// Encodes the stats payload.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.queries_served);
+        w.u64(self.cache_hits);
+        w.u64(self.cache_misses);
+        w.u64(self.cache_entries);
+        w.u64(self.archive_size);
+        w.u64(self.ingested_images);
+        w.seq_len(self.shard_occupancy.len());
+        for &n in &self.shard_occupancy {
+            w.u64(n);
+        }
+    }
+
+    /// Decodes a stats payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let queries_served = r.u64()?;
+        let cache_hits = r.u64()?;
+        let cache_misses = r.u64()?;
+        let cache_entries = r.u64()?;
+        let archive_size = r.u64()?;
+        let ingested_images = r.u64()?;
+        let n = r.seq_len(8)?;
+        let shard_occupancy = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            queries_served,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            archive_size,
+            ingested_images,
+            shard_occupancy,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors over the wire
+// ---------------------------------------------------------------------------
+
+/// Error categories, mirroring `eq_earthqube::EarthQubeError` so a remote
+/// client can reconstruct the exact server-side error variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A referenced image does not exist.
+    UnknownImage,
+    /// The document store failed.
+    Store,
+    /// The CBIR service is not built.
+    CbirNotReady,
+    /// The request was malformed.
+    BadRequest,
+    /// The durable storage tier failed.
+    Persist,
+    /// Any other server-side failure.
+    Internal,
+}
+
+/// A server-side error as it crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorPayload {
+    /// The error category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorPayload {
+    /// Encodes the error payload.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(match self.code {
+            ErrorCode::UnknownImage => 1,
+            ErrorCode::Store => 2,
+            ErrorCode::CbirNotReady => 3,
+            ErrorCode::BadRequest => 4,
+            ErrorCode::Persist => 5,
+            ErrorCode::Internal => 6,
+        });
+        w.str(&self.message);
+    }
+
+    /// Decodes an error payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation or an unknown code.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let code = match r.u8()? {
+            1 => ErrorCode::UnknownImage,
+            2 => ErrorCode::Store,
+            3 => ErrorCode::CbirNotReady,
+            4 => ErrorCode::BadRequest,
+            5 => ErrorCode::Persist,
+            6 => ErrorCode::Internal,
+            other => return Err(WireError::Corrupt(format!("unknown error code {other}"))),
+        };
+        Ok(Self { code, message: r.str()?.to_string() })
+    }
+}
+
+fn encode_option_str(value: Option<&str>, w: &mut Writer) {
+    match value {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            w.str(s);
+        }
+    }
+}
+
+fn decode_option_str(r: &mut Reader<'_>) -> Result<Option<String>, WireError> {
+    Ok(match r.bool()? {
+        false => None,
+        true => Some(r.str()?.to_string()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Stream I/O
+// ---------------------------------------------------------------------------
+
+/// Enforces [`MAX_FRAME_LEN`] on the *sending* side: every reader rejects
+/// larger frames, so emitting one would only fail at the peer with an
+/// opaque transport error instead of a clear local one.
+fn check_outgoing(payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(ProtoError::Frame(FrameError::Oversized {
+            declared: payload.len() as u64,
+            max: MAX_FRAME_LEN as u64,
+        }));
+    }
+    Ok(())
+}
+
+/// Writes one request frame to the stream.
+///
+/// # Errors
+/// Returns [`ProtoError::Frame`] on I/O failure or a message exceeding
+/// [`MAX_FRAME_LEN`] (which no peer would accept).
+pub fn write_request<W: Write>(w: &mut W, request: &Request) -> Result<(), ProtoError> {
+    write_request_payload(w, &request.encode())
+}
+
+/// Writes pre-encoded request payload bytes (from [`Request::encode`],
+/// [`encode_ingest_request`] or [`encode_new_example_request`]) as one
+/// request frame.
+///
+/// # Errors
+/// Returns [`ProtoError::Frame`] on I/O failure or a payload exceeding
+/// [`MAX_FRAME_LEN`].
+pub fn write_request_payload<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtoError> {
+    check_outgoing(payload)?;
+    write_frame(w, &REQUEST_MAGIC, payload)?;
+    Ok(())
+}
+
+/// Reads one request frame; `Ok(None)` means the peer closed the stream
+/// cleanly on a frame boundary.
+///
+/// # Errors
+/// Returns [`ProtoError`] on transport faults or an invalid message.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, ProtoError> {
+    match read_frame(r, &REQUEST_MAGIC, MAX_FRAME_LEN)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(Request::decode(&payload)?)),
+    }
+}
+
+/// Writes one response frame to the stream.
+///
+/// # Errors
+/// Returns [`ProtoError::Frame`] on I/O failure or a message exceeding
+/// [`MAX_FRAME_LEN`] (which no peer would accept).
+pub fn write_response<W: Write>(w: &mut W, response: &Response) -> Result<(), ProtoError> {
+    let payload = response.encode();
+    check_outgoing(&payload)?;
+    write_frame(w, &RESPONSE_MAGIC, &payload)?;
+    Ok(())
+}
+
+/// Reads one response frame; `Ok(None)` means the server closed the stream
+/// cleanly on a frame boundary.
+///
+/// # Errors
+/// Returns [`ProtoError`] on transport faults or an invalid message.
+pub fn read_response<R: Read>(r: &mut R) -> Result<Option<Response>, ProtoError> {
+    match read_frame(r, &RESPONSE_MAGIC, MAX_FRAME_LEN)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(Response::decode(&payload)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eq_bigearthnet::{ArchiveGenerator, GeneratorConfig};
+
+    fn sample_query() -> QuerySpec {
+        QuerySpec {
+            shape: Some(GeoShape::Rect(BBox::new(-9.5, 36.9, -6.2, 42.2).unwrap())),
+            date_range: Some((
+                AcquisitionDate::new(2017, 6, 1).unwrap(),
+                AcquisitionDate::new(2018, 5, 31).unwrap(),
+            )),
+            satellites: vec![Satellite::Sentinel2],
+            seasons: vec![Season::Summer, Season::Winter],
+            countries: vec![Country::Portugal, Country::Finland],
+            labels: Some(LabelFilterSpec {
+                op: LabelOp::AtLeastAndMore,
+                labels: vec![Label::SeaAndOcean, Label::ConiferousForest],
+            }),
+        }
+    }
+
+    fn roundtrip_request(request: &Request) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, request).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_request(&mut cursor).unwrap().unwrap();
+        assert_eq!(&back, request);
+        assert!(read_request(&mut cursor).unwrap().is_none(), "clean EOF after one frame");
+    }
+
+    fn roundtrip_response(response: &Response) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, response).unwrap();
+        let back = read_response(&mut std::io::Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(&back, response);
+    }
+
+    #[test]
+    fn every_request_kind_roundtrips() {
+        let patch = ArchiveGenerator::new(GeneratorConfig::tiny(1, 5)).unwrap().generate_patch(0);
+        let requests = vec![
+            Request { id: 0, body: RequestBody::Ping },
+            Request { id: 1, body: RequestBody::Search(sample_query()) },
+            Request { id: 2, body: RequestBody::Search(QuerySpec::default()) },
+            Request { id: 3, body: RequestBody::SimilarTo { name: "patch_x".into(), k: 9 } },
+            Request {
+                id: 4,
+                body: RequestBody::SearchByNewExample { patch: Box::new(patch.clone()), k: 5 },
+            },
+            Request { id: 5, body: RequestBody::Ingest { patches: vec![patch.clone(), patch] } },
+            Request {
+                id: 6,
+                body: RequestBody::Feedback { text: "nice".into(), category: Some("r".into()) },
+            },
+            Request { id: 7, body: RequestBody::Feedback { text: "…".into(), category: None } },
+            Request { id: u64::MAX, body: RequestBody::Stats },
+        ];
+        for request in &requests {
+            roundtrip_request(request);
+        }
+    }
+
+    #[test]
+    fn every_response_kind_roundtrips() {
+        let search = SearchPayload {
+            rows: vec![
+                ResultRow {
+                    name: "p0".into(),
+                    country: "Portugal".into(),
+                    date: "2017-07-17".into(),
+                    labels: vec!["Sea and ocean".into()],
+                    distance: Some(3),
+                },
+                ResultRow {
+                    name: "p1".into(),
+                    country: "Finland".into(),
+                    date: "2018-01-02".into(),
+                    labels: vec![],
+                    distance: None,
+                },
+            ],
+            page_size: 50,
+            label_counts: vec![0; Label::COUNT],
+            image_count: 2,
+            plan: Some(PlanSpec { index_used: Some("country".into()), scanned: 10, matched: 2 }),
+        };
+        let responses = vec![
+            Response { id: 0, body: ResponseBody::Pong },
+            Response { id: 1, body: ResponseBody::Search(search) },
+            Response {
+                id: 2,
+                body: ResponseBody::Ingest(IngestPayload {
+                    metadata_docs: 3,
+                    image_docs: 3,
+                    rendered_docs: 3,
+                }),
+            },
+            Response { id: 3, body: ResponseBody::Feedback { id: -7 } },
+            Response {
+                id: 4,
+                body: ResponseBody::Stats(StatsPayload {
+                    queries_served: 100,
+                    cache_hits: 40,
+                    cache_misses: 60,
+                    cache_entries: 12,
+                    archive_size: 500,
+                    ingested_images: 20,
+                    shard_occupancy: vec![63, 62, 63],
+                }),
+            },
+            Response {
+                id: 5,
+                body: ResponseBody::Error(ErrorPayload {
+                    code: ErrorCode::UnknownImage,
+                    message: "unknown image: ghost".into(),
+                }),
+            },
+        ];
+        for response in &responses {
+            roundtrip_response(response);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = Request { id: 1, body: RequestBody::Ping }.encode();
+        bytes[0] = 99; // version low byte
+        assert!(matches!(Request::decode(&bytes), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request { id: 1, body: RequestBody::Stats }.encode();
+        bytes.push(0);
+        assert!(matches!(Request::decode(&bytes), Err(WireError::Corrupt(_))));
+        let mut bytes = Response { id: 1, body: ResponseBody::Pong }.encode();
+        bytes.push(0);
+        assert!(matches!(Response::decode(&bytes), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut w = Writer::new();
+        w.u16(PROTOCOL_VERSION);
+        w.u64(1);
+        w.u8(200);
+        assert!(Request::decode(w.as_bytes()).is_err());
+        assert!(Response::decode(w.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn request_and_response_magics_are_direction_tagged() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request { id: 1, body: RequestBody::Ping }).unwrap();
+        // Reading a request frame as a response fails on the first frame.
+        let err = read_response(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, ProtoError::Frame(FrameError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn all_geo_shapes_roundtrip() {
+        for shape in [
+            GeoShape::Rect(BBox::new(0.0, 0.0, 1.0, 1.0).unwrap()),
+            GeoShape::Circle(Circle::new(Point::new(10.0, 50.0).unwrap(), 25.0).unwrap()),
+            GeoShape::Polygon(
+                Polygon::new(vec![
+                    Point::new(0.0, 0.0).unwrap(),
+                    Point::new(1.0, 0.0).unwrap(),
+                    Point::new(0.5, 1.5).unwrap(),
+                ])
+                .unwrap(),
+            ),
+        ] {
+            let spec = QuerySpec { shape: Some(shape), ..QuerySpec::default() };
+            let request = Request { id: 9, body: RequestBody::Search(spec) };
+            roundtrip_request(&request);
+        }
+    }
+
+    /// The borrowed encode helpers must stay byte-identical to the owned
+    /// `Request::encode` path — they exist only to spare the client a
+    /// deep copy of raster data, not to be a second layout.
+    #[test]
+    fn borrowed_encoders_match_owned_encoding() {
+        let patch = ArchiveGenerator::new(GeneratorConfig::tiny(1, 6)).unwrap().generate_patch(0);
+        let owned = Request {
+            id: 9,
+            body: RequestBody::SearchByNewExample { patch: Box::new(patch.clone()), k: 4 },
+        };
+        assert_eq!(encode_new_example_request(9, &patch, 4), owned.encode());
+        let patches = vec![patch.clone(), patch];
+        let owned = Request { id: 10, body: RequestBody::Ingest { patches: patches.clone() } };
+        assert_eq!(encode_ingest_request(10, &patches), owned.encode());
+    }
+
+    #[test]
+    fn oversized_outgoing_payloads_fail_at_the_sender() {
+        let huge = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_request_payload(&mut sink, &huge),
+            Err(ProtoError::Frame(FrameError::Oversized { .. }))
+        ));
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn proto_errors_display_meaningfully() {
+        let e: ProtoError = WireError::Corrupt("bad tag".into()).into();
+        assert!(e.to_string().contains("bad tag"));
+        let e: ProtoError =
+            FrameError::Oversized { declared: u32::MAX as u64, max: MAX_FRAME_LEN as u64 }.into();
+        assert!(e.to_string().contains("maximum"));
+    }
+}

@@ -14,6 +14,13 @@
 //! * [`crc32`] — the CRC-32 (IEEE 802.3) checksum guarding every snapshot
 //!   body and every WAL record.
 //!
+//! The [`frame`] module adds the stream-level counterpart: magic-tagged,
+//! length-prefixed, CRC-guarded frames read from and written to arbitrary
+//! `std::io` streams — the message boundary of the `eq_proto` network RPC
+//! protocol.  (The write-ahead log keeps its own, slightly different
+//! record framing in `eq_earthqube::persist`: no magic per record, and
+//! torn-tail tolerance instead of hard truncation errors.)
+//!
 //! The crate is dependency-free by design: the build environment has no
 //! registry access, and a hand-rolled format this small is easier to audit
 //! than a vendored serde stack.
@@ -311,6 +318,8 @@ impl<'a> Reader<'a> {
         Ok(len)
     }
 }
+
+pub mod frame;
 
 /// The CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table.
 const CRC32_TABLE: [u32; 256] = {

@@ -10,7 +10,8 @@
 //! * [`docstore`] — embedded document store (MongoDB substitute),
 //! * [`earthqube`] — the EarthQube back-end (query panel, CBIR, statistics),
 //! * [`agora`] — the AgoraEO asset registry,
-//! * [`geo`], [`neural`] — supporting substrates.
+//! * [`proto`] — the binary RPC protocol of the network serving tier,
+//! * [`geo`], [`neural`], [`wire`] — supporting substrates.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -24,3 +25,5 @@ pub use eq_geo as geo;
 pub use eq_hashindex as hashindex;
 pub use eq_milan as milan;
 pub use eq_neural as neural;
+pub use eq_proto as proto;
+pub use eq_wire as wire;

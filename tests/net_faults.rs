@@ -1,0 +1,214 @@
+//! Fault injection against the network serving tier: every transport-level
+//! abuse — mid-frame disconnects, hostile length prefixes, garbage
+//! preambles, checksum corruption, slow-trickle writers — must error *the
+//! one faulty connection* cleanly while every other connection keeps being
+//! served.  A healthy client stays connected across the whole gauntlet and
+//! must observe correct responses after each fault.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig};
+use agoraeo::earthqube::net::{EqClient, NetServer};
+use agoraeo::earthqube::{EarthQubeConfig, ImageQuery, QueryServer, ServeConfig};
+use agoraeo::proto;
+
+fn serve(n: usize, seed: u64) -> (NetServer, Arc<QueryServer>) {
+    let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
+    let mut config = EarthQubeConfig::fast(seed);
+    config.train_model = false;
+    let server = Arc::new(QueryServer::build(&archive, config, ServeConfig::default()).unwrap());
+    // Three workers: one may be pinned by the long-lived healthy client,
+    // leaving capacity for a faulty connection and a follow-up probe.
+    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", 3).unwrap();
+    (net, server)
+}
+
+/// A valid ping request frame, as raw bytes to corrupt at will.
+fn ping_frame() -> Vec<u8> {
+    let mut buf = Vec::new();
+    proto::write_request(&mut buf, &proto::Request { id: 77, body: proto::RequestBody::Ping })
+        .unwrap();
+    buf
+}
+
+/// Reads until the server closes the connection, returning the bytes it
+/// sent first (the best-effort error frame, if any).
+fn drain_to_close(stream: &mut TcpStream) -> Vec<u8> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Asserts the server answered the faulty connection with a best-effort
+/// `BadRequest` error frame before closing it.
+fn assert_error_frame_then_close(stream: &mut TcpStream) {
+    let bytes = drain_to_close(stream);
+    let response = proto::read_response(&mut std::io::Cursor::new(&bytes))
+        .expect("the pre-close bytes are one well-formed response frame")
+        .expect("an error frame, not a bare close");
+    match response.body {
+        proto::ResponseBody::Error(payload) => {
+            assert_eq!(payload.code, proto::ErrorCode::BadRequest);
+            assert!(!payload.message.is_empty());
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_fault_is_isolated_to_its_connection() {
+    let (net, server) = serve(20, 401);
+    let addr = net.local_addr();
+
+    // The canary: a healthy client connected for the whole gauntlet.
+    let mut healthy = EqClient::connect(addr).unwrap();
+    healthy.ping().unwrap();
+    let expected_all = server.search(&ImageQuery::all()).unwrap();
+
+    // --- Fault 1: mid-frame disconnect -----------------------------------
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let frame = ping_frame();
+        stream.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(stream); // die mid-frame
+    }
+    assert_eq!(healthy.search(&ImageQuery::all()).unwrap(), expected_all);
+
+    // --- Fault 2: oversized length prefix --------------------------------
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&proto::REQUEST_MAGIC);
+        frame.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB, says the liar
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        stream.write_all(&frame).unwrap();
+        // The server must reject the length *without* trying to read (or
+        // allocate) 4 GiB, reply with an error frame, and close.
+        assert_error_frame_then_close(&mut stream);
+    }
+    assert_eq!(healthy.search(&ImageQuery::all()).unwrap(), expected_all);
+
+    // --- Fault 3: garbage preamble ---------------------------------------
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\nHost: earthqube\r\n\r\n").unwrap();
+        assert_error_frame_then_close(&mut stream);
+    }
+    assert_eq!(healthy.search(&ImageQuery::all()).unwrap(), expected_all);
+
+    // --- Fault 4: CRC-corrupted body -------------------------------------
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut frame = ping_frame();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01; // flip one payload bit; the CRC must catch it
+        stream.write_all(&frame).unwrap();
+        assert_error_frame_then_close(&mut stream);
+    }
+    assert_eq!(healthy.search(&ImageQuery::all()).unwrap(), expected_all);
+
+    // --- Fault 5: slow-trickle writer ------------------------------------
+    {
+        // A valid frame dribbled one byte at a time must still be served —
+        // TCP fragmentation is not a fault …
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for &byte in &ping_frame() {
+            stream.write_all(&[byte]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let response = proto::read_response(&mut stream).unwrap().unwrap();
+        assert_eq!(response.id, 77);
+        assert!(matches!(response.body, proto::ResponseBody::Pong));
+
+        // … but a trickle that dies mid-frame is fault 1 again, this time
+        // with the server already mid-read.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let frame = ping_frame();
+        for &byte in &frame[..frame.len() - 3] {
+            stream.write_all(&[byte]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(stream);
+    }
+    assert_eq!(healthy.search(&ImageQuery::all()).unwrap(), expected_all);
+
+    // The canary served every probe over one connection; fresh clients
+    // are also still welcome, and the faults were counted.
+    let mut fresh = EqClient::connect(addr).unwrap();
+    fresh.ping().unwrap();
+    assert_eq!(fresh.search(&ImageQuery::all()).unwrap(), expected_all);
+    // All five faulty connections (the trickled ping was *served*, not a
+    // fault) are eventually accounted for; the fire-and-forget ones may
+    // still be in flight, so poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while net.connections_failed() < 5 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(net.connections_failed(), 5, "every fault counted, the served trickle not");
+    net.shutdown();
+}
+
+/// Faults arriving *concurrently* with real traffic: four clients hammer
+/// queries while four abusers inject corrupt frames; every legitimate
+/// response must stay correct.
+#[test]
+fn concurrent_faults_do_not_perturb_live_traffic() {
+    let (net, server) = serve(16, 402);
+    let addr = net.local_addr();
+    let expected = server.search(&ImageQuery::all()).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let expected = expected.clone();
+            scope.spawn(move || {
+                let mut client = EqClient::connect(addr).unwrap();
+                for _ in 0..8 {
+                    assert_eq!(client.search(&ImageQuery::all()).unwrap(), expected);
+                }
+            });
+        }
+        for i in 0..4u8 {
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut frame = ping_frame();
+                match i % 3 {
+                    0 => {
+                        frame[0] = b'X'; // garbage magic
+                        let _ = stream.write_all(&frame);
+                        drain_to_close(&mut stream);
+                    }
+                    1 => {
+                        // Torn header: the server is rightfully waiting for
+                        // the rest, so die instead of awaiting a reply.
+                        let _ = stream.write_all(&frame[..5]);
+                    }
+                    _ => {
+                        let last = frame.len() - 1;
+                        frame[last] ^= 0x80; // corrupt payload
+                        let _ = stream.write_all(&frame);
+                        drain_to_close(&mut stream);
+                    }
+                }
+            });
+        }
+    });
+
+    // The pool survived the storm.
+    let mut client = EqClient::connect(addr).unwrap();
+    assert_eq!(client.search(&ImageQuery::all()).unwrap(), expected);
+    net.shutdown();
+}

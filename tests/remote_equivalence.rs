@@ -1,0 +1,142 @@
+//! Remote equivalence: the same ingest + query workload driven (a)
+//! directly on a `QueryServer` and (b) through `EqClient` over loopback
+//! must produce identical results — equal response values, **byte-equal**
+//! protocol encodings, identical result ids/scores, and identical stats
+//! deltas.  Two servers are built from the same seed (every build step is
+//! deterministic), one per path, so even the serving counters must agree.
+
+use std::sync::Arc;
+
+use agoraeo::bigearthnet::{Archive, ArchiveGenerator, GeneratorConfig, Label};
+use agoraeo::earthqube::net::{response_to_payload, EqClient, NetServer};
+use agoraeo::earthqube::{
+    EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator, QueryRequest, QueryServer,
+    SearchResponse, ServeConfig,
+};
+use agoraeo::geo::GeoShape;
+
+fn build_server(archive: &Archive, seed: u64) -> QueryServer {
+    let mut config = EarthQubeConfig::fast(seed);
+    config.milan.epochs = 3; // train for real: the workload exercises CBIR
+    QueryServer::build(archive, config, ServeConfig::default()).unwrap()
+}
+
+/// The shared workload: metadata searches (filtered and unfiltered),
+/// CBIR neighbour queries, query-by-new-example, and one failing request.
+fn workload(archive: &Archive) -> Vec<QueryRequest> {
+    let mut requests = vec![
+        QueryRequest::Metadata(ImageQuery::all()),
+        QueryRequest::Metadata(ImageQuery::all().with_labels(LabelFilter::new(
+            LabelOperator::Some,
+            vec![Label::MixedForest, Label::SeaAndOcean],
+        ))),
+        QueryRequest::Metadata(
+            ImageQuery::all()
+                .with_shape(GeoShape::Rect(agoraeo::bigearthnet::Country::Portugal.bounding_box())),
+        ),
+    ];
+    for patch in archive.patches().iter().take(6) {
+        requests.push(QueryRequest::SimilarTo { name: patch.meta.name.clone(), k: 7 });
+    }
+    let external = ArchiveGenerator::new(GeneratorConfig::tiny(1, 4242)).unwrap().generate_patch(0);
+    requests.push(QueryRequest::NewExample { patch: Box::new(external), k: 5 });
+    requests.push(QueryRequest::SimilarTo { name: "ghost".into(), k: 3 });
+    requests
+}
+
+fn assert_byte_identical(local: &SearchResponse, remote: &SearchResponse, what: &str) {
+    assert_eq!(remote, local, "{what}: remote response differs from in-process");
+    // Equality of the Rust values could in principle hide encoding
+    // differences; pin the protocol bytes too.
+    let mut local_bytes = agoraeo::wire::Writer::new();
+    response_to_payload(local).encode(&mut local_bytes);
+    let mut remote_bytes = agoraeo::wire::Writer::new();
+    response_to_payload(remote).encode(&mut remote_bytes);
+    assert_eq!(
+        local_bytes.as_bytes(),
+        remote_bytes.as_bytes(),
+        "{what}: remote response encodes to different bytes"
+    );
+}
+
+#[test]
+fn remote_workload_is_byte_identical_to_in_process() {
+    let archive = ArchiveGenerator::new(GeneratorConfig::tiny(40, 501)).unwrap().generate();
+    let extra = ArchiveGenerator::new(GeneratorConfig::tiny(4, 777)).unwrap().generate();
+    let requests = workload(&archive);
+
+    // Path (a): in-process, including a live ingest mid-workload.
+    let local = build_server(&archive, 501);
+    let local_before = local.stats();
+    let local_ingest = local.ingest(extra.patches()).unwrap();
+    let local_results: Vec<_> = requests.iter().map(|r| local.execute(r)).collect();
+    let local_after = local.stats();
+
+    // Path (b): the identical server driven through the wire.
+    let remote = Arc::new(build_server(&archive, 501));
+    let net = NetServer::bind(Arc::clone(&remote), "127.0.0.1:0", 2).unwrap();
+    let mut client = EqClient::connect(net.local_addr()).unwrap();
+    let remote_before = client.stats().unwrap();
+    let remote_ingest = client.ingest(extra.patches()).unwrap();
+    let remote_results = client.run_batch(&requests).unwrap();
+    let remote_after = client.stats().unwrap();
+
+    // Ingest reports agree.
+    assert_eq!(remote_ingest, local_ingest);
+
+    // Every workload slot agrees: same result ids (names), same scores
+    // (hamming distances), same statistics, byte-identical encodings;
+    // failing requests reconstruct the same error.
+    assert_eq!(remote_results.len(), local_results.len());
+    for (i, (remote_result, local_result)) in remote_results.iter().zip(&local_results).enumerate()
+    {
+        match (remote_result, local_result) {
+            (Ok(remote), Ok(local)) => assert_byte_identical(local, remote, &format!("slot {i}")),
+            (Err(remote), Err(local)) => {
+                assert_eq!(remote, local, "slot {i}: error variants differ")
+            }
+            (r, l) => panic!("slot {i}: remote {r:?} vs in-process {l:?}"),
+        }
+    }
+
+    // Stats deltas agree: the wire adds no phantom queries and loses none.
+    assert_eq!(remote_before, local_before, "pre-workload stats differ");
+    assert_eq!(
+        remote_after.queries_served - remote_before.queries_served,
+        local_after.queries_served - local_before.queries_served
+    );
+    assert_eq!(
+        remote_after.cache_misses - remote_before.cache_misses,
+        local_after.cache_misses - local_before.cache_misses
+    );
+    assert_eq!(remote_after.ingested_images, local_after.ingested_images);
+    assert_eq!(remote_after.archive_size, local_after.archive_size);
+    assert_eq!(remote_after.shard_occupancy, local_after.shard_occupancy);
+
+    // And the full post-workload snapshots, transported over the wire,
+    // agree with the in-process view of the remote server itself.
+    assert_eq!(remote_after, remote.stats());
+
+    net.shutdown();
+}
+
+/// Re-running a (sub)workload through the cache must be equivalent over
+/// the wire too: the second pass is served from the result cache, and the
+/// responses are still byte-identical to in-process ones.
+#[test]
+fn cached_responses_cross_the_wire_unchanged() {
+    let archive = ArchiveGenerator::new(GeneratorConfig::tiny(18, 502)).unwrap().generate();
+    let server = Arc::new(build_server(&archive, 502));
+    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+    let mut client = EqClient::connect(net.local_addr()).unwrap();
+
+    let name = &archive.patches()[0].meta.name;
+    let first = client.similar_to(name, 5).unwrap();
+    let second = client.similar_to(name, 5).unwrap();
+    assert_eq!(first, second);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_byte_identical(&server.similar_to(name, 5).unwrap(), &second, "cached similar_to");
+    net.shutdown();
+}
