@@ -1,0 +1,340 @@
+//! Experiment E11 — the cache-resident hot path: the flat [`CodeArena`]
+//! scan versus the pre-arena per-bucket `HashMap` scan, and bounded top-k
+//! selection versus full-sort-then-truncate.
+//!
+//! The pre-arena index stored every `BinaryCode` as its own heap `Vec<u64>`
+//! behind a `HashMap`, so a bucket scan pointer-chased per candidate; and
+//! k-NN materialised plus fully sorted *every* match even for `k = 10`.
+//! This bench reconstructs that exact legacy layout as a baseline and
+//! measures both replacements, asserting:
+//!
+//! * the arena radius-scan kernel is **≥ 3x** the legacy `HashMap` scan at
+//!   40k codes (the acceptance headline), and
+//! * steady-state search — bounded k-NN through a warm `SearchScratch` and
+//!   a radius scan into a warm buffer — performs **zero allocations**,
+//!   verified by a counting global allocator.
+//!
+//! Results are recorded in `BENCH_e11.json` at the workspace root so the
+//! perf trajectory is tracked across PRs.  `EQ_E11_SMOKE=1` shrinks the
+//! workload for CI smoke runs (the allocation assertion still holds; the
+//! speedup is printed but only asserted on the full run).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::clustered_codes;
+use eq_hashindex::hashtable::Strategy;
+use eq_hashindex::{
+    sort_neighbors, BinaryCode, HammingIndex, HashTableIndex, ItemId, Neighbor, SearchScratch,
+};
+
+/// Global allocator that counts every allocation, so the bench can assert
+/// the steady-state hot path allocates nothing at all.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const CODE_BITS: u32 = 128;
+const RADIUS: u32 = 6;
+const K: usize = 10;
+
+/// The pre-arena index layout, verbatim: one heap-allocated code per
+/// bucket key, reached through a `HashMap` — a pointer chase per distinct
+/// code — with k-NN as materialise-everything, sort, truncate.
+struct LegacyIndex {
+    buckets: HashMap<BinaryCode, Vec<ItemId>>,
+}
+
+impl LegacyIndex {
+    fn build(codes: &[BinaryCode]) -> Self {
+        let mut buckets: HashMap<BinaryCode, Vec<ItemId>> = HashMap::new();
+        for (i, c) in codes.iter().enumerate() {
+            buckets.entry(c.clone()).or_default().push(i as ItemId);
+        }
+        Self { buckets }
+    }
+
+    /// The old `radius_search_scan`, emitting into a caller buffer so both
+    /// kernels are compared on identical output plumbing.
+    fn scan_into(&self, query: &BinaryCode, radius: u32, out: &mut Vec<Neighbor>) {
+        out.clear();
+        for (code, bucket) in &self.buckets {
+            let d = code.hamming_distance(query);
+            if d <= radius {
+                for &id in bucket {
+                    out.push(Neighbor::new(id, d));
+                }
+            }
+        }
+        sort_neighbors(out);
+    }
+
+    /// The old k-NN shape: every candidate materialised and fully sorted,
+    /// then truncated to `k`.
+    fn knn_full_sort(&self, query: &BinaryCode, k: usize, all: &mut Vec<Neighbor>) {
+        all.clear();
+        for (code, bucket) in &self.buckets {
+            let d = code.hamming_distance(query);
+            for &id in bucket {
+                all.push(Neighbor::new(id, d));
+            }
+        }
+        sort_neighbors(all);
+        all.truncate(k);
+    }
+}
+
+/// Median-of-samples wall time per iteration, in seconds.
+fn time_per_iter(samples: usize, batch: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    for _ in 0..batch {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+struct SizeResult {
+    n: usize,
+    legacy_scan_ns: f64,
+    arena_scan_ns: f64,
+    scan_speedup: f64,
+    full_sort_knn_ns: f64,
+    topk_knn_ns: f64,
+    knn_speedup: f64,
+    steady_state_allocs: u64,
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let smoke = std::env::var("EQ_E11_SMOKE").is_ok_and(|v| v == "1");
+    let sizes: &[usize] = if smoke { &[4_000] } else { &[2_000, 10_000, 40_000] };
+    let (samples, batch) = if smoke { (5, 20) } else { (15, 50) };
+
+    let mut group = c.benchmark_group("e11_hot_path");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(if smoke { 300 } else { 1500 }));
+    group.warm_up_time(std::time::Duration::from_millis(if smoke { 50 } else { 300 }));
+
+    println!(
+        "[E11] hot path: arena scan vs legacy HashMap scan, bounded top-k vs full sort \
+         ({CODE_BITS}-bit codes, radius {RADIUS}, k = {K}{})",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        let codes = clustered_codes(n, CODE_BITS, 64, 11);
+        let query = codes[n / 2].clone();
+
+        let legacy = LegacyIndex::build(&codes);
+        let mut table = HashTableIndex::new(CODE_BITS);
+        for (i, c) in codes.iter().enumerate() {
+            table.insert(i as ItemId, c.clone());
+        }
+        // Pin the scan strategy: this experiment measures the scan kernel,
+        // not the adaptive enumeration crossover (that is E1/E3).
+        table.force_strategy(Some(Strategy::BucketScan));
+
+        // Equivalence gate before timing anything: the arena path must
+        // reproduce the legacy results exactly.
+        let mut legacy_hits = Vec::new();
+        legacy.scan_into(&query, RADIUS, &mut legacy_hits);
+        assert_eq!(
+            table.radius_search(&query, RADIUS),
+            legacy_hits,
+            "arena scan must be byte-identical to the legacy scan"
+        );
+        let mut legacy_knn = Vec::new();
+        legacy.knn_full_sort(&query, K, &mut legacy_knn);
+        assert_eq!(
+            table.knn(&query, K),
+            legacy_knn,
+            "bounded top-k must equal full-sort-then-truncate"
+        );
+
+        // -- radius-scan kernel: legacy HashMap walk vs arena stream ------
+        let mut out = Vec::new();
+        let legacy_scan = time_per_iter(samples, batch, || {
+            legacy.scan_into(black_box(&query), RADIUS, &mut out);
+            black_box(&out);
+        });
+        let arena_scan = time_per_iter(samples, batch, || {
+            out.clear();
+            table.radius_search_into(black_box(&query), RADIUS, &mut out);
+            sort_neighbors(&mut out);
+            black_box(&out);
+        });
+
+        // -- k-NN: full sort vs bounded top-k through a warm scratch ------
+        let mut all = Vec::new();
+        let full_sort_knn = time_per_iter(samples, batch, || {
+            legacy.knn_full_sort(black_box(&query), K, &mut all);
+            black_box(&all);
+        });
+        let mut scratch = SearchScratch::new();
+        let topk_knn = time_per_iter(samples, batch, || {
+            black_box(table.knn_with(black_box(&query), K, &mut scratch));
+        });
+
+        // -- allocation-free steady state ---------------------------------
+        // Warm buffers, then count allocations across a spin of both hot
+        // paths.  The counter covers the whole process, so this asserts
+        // the paths allocate nothing — not merely little.
+        table.knn_with(&query, K, &mut scratch);
+        out.clear();
+        table.radius_search_into(&query, RADIUS, &mut out);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..200 {
+            black_box(table.knn_with(black_box(&query), K, &mut scratch));
+            out.clear();
+            table.radius_search_into(black_box(&query), RADIUS, &mut out);
+            sort_neighbors(&mut out);
+            black_box(&out);
+        }
+        let steady_state_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        assert_eq!(
+            steady_state_allocs, 0,
+            "steady-state search (bounded k-NN + radius scan over warm buffers) must not allocate"
+        );
+
+        let scan_speedup = legacy_scan / arena_scan;
+        let knn_speedup = full_sort_knn / topk_knn;
+        println!(
+            "[E11] {n:>6} codes: radius scan {:>9.1} ns legacy vs {:>8.1} ns arena ({:>4.1}x) | \
+             k-NN {:>9.1} ns full-sort vs {:>8.1} ns top-k ({:>4.1}x) | steady-state allocs: {}",
+            legacy_scan * 1e9,
+            arena_scan * 1e9,
+            scan_speedup,
+            full_sort_knn * 1e9,
+            topk_knn * 1e9,
+            knn_speedup,
+            steady_state_allocs,
+        );
+        results.push(SizeResult {
+            n,
+            legacy_scan_ns: legacy_scan * 1e9,
+            arena_scan_ns: arena_scan * 1e9,
+            scan_speedup,
+            full_sort_knn_ns: full_sort_knn * 1e9,
+            topk_knn_ns: topk_knn * 1e9,
+            knn_speedup,
+            steady_state_allocs,
+        });
+
+        // Criterion samples for the CI log (same paths, harness timings).
+        group.bench_with_input(BenchmarkId::new("legacy_hashmap_scan", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                legacy.scan_into(black_box(&query), RADIUS, &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("arena_scan", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                table.radius_search_into(black_box(&query), RADIUS, &mut out);
+                sort_neighbors(&mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("knn_full_sort", n), &n, |b, _| {
+            let mut all = Vec::new();
+            b.iter(|| {
+                legacy.knn_full_sort(black_box(&query), K, &mut all);
+                black_box(all.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("knn_bounded_topk", n), &n, |b, _| {
+            let mut scratch = SearchScratch::new();
+            b.iter(|| black_box(table.knn_with(black_box(&query), K, &mut scratch).len()))
+        });
+    }
+    group.finish();
+
+    if !smoke {
+        let headline = results.last().expect("at least one size");
+        assert!(
+            headline.scan_speedup >= 3.0,
+            "acceptance: arena radius scan must be >= 3x the legacy HashMap scan at {} codes \
+             (measured {:.2}x)",
+            headline.n,
+            headline.scan_speedup
+        );
+        write_json(&results);
+    }
+}
+
+/// Records the measurements in `BENCH_e11.json` at the workspace root (the
+/// committed copy tracks the perf trajectory across PRs).
+fn write_json(results: &[SizeResult]) {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"codes\": {},\n      \"code_bits\": {CODE_BITS},\n      \
+                 \"radius\": {RADIUS},\n      \"k\": {K},\n      \
+                 \"legacy_hashmap_scan_ns\": {:.1},\n      \"arena_scan_ns\": {:.1},\n      \
+                 \"scan_speedup\": {:.2},\n      \"knn_full_sort_ns\": {:.1},\n      \
+                 \"knn_bounded_topk_ns\": {:.2},\n      \"knn_speedup\": {:.2},\n      \
+                 \"steady_state_allocations\": {}\n    }}",
+                r.n,
+                r.legacy_scan_ns,
+                r.arena_scan_ns,
+                r.scan_speedup,
+                r.full_sort_knn_ns,
+                r.topk_knn_ns,
+                r.knn_speedup,
+                r.steady_state_allocs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e11_hot_path\",\n  \"acceptance\": \
+         \"arena radius scan >= 3x legacy HashMap scan at 40k codes; steady-state search \
+         allocation-free\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_e11.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[E11] could not write {}: {e}", path.display());
+    } else {
+        println!("[E11] wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

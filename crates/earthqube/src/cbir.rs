@@ -11,8 +11,9 @@ use std::collections::HashMap;
 
 use eq_bigearthnet::patch::{Patch, PatchId};
 use eq_bigearthnet::Archive;
-use eq_hashindex::{BinaryCode, HammingIndex, HashTableIndex, Neighbor};
+use eq_hashindex::{BinaryCode, HammingIndex, HashTableIndex, Neighbor, SearchScratch};
 use eq_milan::Milan;
+use parking_lot::Mutex;
 
 use crate::EarthQubeError;
 
@@ -43,6 +44,25 @@ pub struct SimilarImage {
     pub distance: u32,
 }
 
+/// Interior scratch slot for the bounded top-k selection: the service's
+/// query methods take `&self`, so the reusable heap sits behind a `Mutex`
+/// (uncontended in the sequential engine; the concurrent server pools its
+/// own scratches instead).  Cloning a service starts with a fresh, empty
+/// scratch — the state is pure reusable buffer, never part of the results.
+struct ScratchSlot(Mutex<SearchScratch>);
+
+impl Clone for ScratchSlot {
+    fn clone(&self) -> Self {
+        ScratchSlot(Mutex::new(SearchScratch::new()))
+    }
+}
+
+impl std::fmt::Debug for ScratchSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ScratchSlot")
+    }
+}
+
 /// The MiLaN-backed CBIR service.
 #[derive(Debug, Clone)]
 pub struct CbirService {
@@ -52,6 +72,8 @@ pub struct CbirService {
     /// In-memory hash table: image patch name → binary code (§3.3).
     name_to_code: HashMap<String, BinaryCode>,
     id_to_name: Vec<String>,
+    /// Reusable bounded top-k state for [`query_by_code`](Self::query_by_code).
+    scratch: ScratchSlot,
 }
 
 impl CbirService {
@@ -70,7 +92,14 @@ impl CbirService {
             name_to_code.insert(patch.meta.name.clone(), code);
             id_to_name.push(patch.meta.name.clone());
         }
-        Self { config, model, index, name_to_code, id_to_name }
+        Self {
+            config,
+            model,
+            index,
+            name_to_code,
+            id_to_name,
+            scratch: ScratchSlot(Mutex::new(SearchScratch::new())),
+        }
     }
 
     /// The service configuration.
@@ -99,13 +128,19 @@ impl CbirService {
     }
 
     /// The k most similar archive images to an arbitrary query code.
+    ///
+    /// Runs the bounded top-k selection over the index's code arena through
+    /// the service's reusable scratch: at most `k` candidates are ever
+    /// held, and no full result list is materialised or sorted.
     pub fn query_by_code(&self, code: &BinaryCode, k: usize) -> Vec<SimilarImage> {
-        self.to_similar(self.index.knn(code, k))
+        let mut scratch = self.scratch.0.lock();
+        let neighbors = self.index.knn_with(code, k, &mut scratch);
+        self.to_similar(neighbors)
     }
 
     /// All archive images within the given Hamming radius of the query code.
     pub fn radius_query_by_code(&self, code: &BinaryCode, radius: u32) -> Vec<SimilarImage> {
-        self.to_similar(self.index.radius_search(code, radius))
+        self.to_similar(&self.index.radius_search(code, radius))
     }
 
     /// Query by an existing archive image (§3.3): looks the image's code up
@@ -147,9 +182,9 @@ impl CbirService {
         (self.model, self.name_to_code, self.id_to_name)
     }
 
-    fn to_similar(&self, neighbors: Vec<Neighbor>) -> Vec<SimilarImage> {
+    fn to_similar(&self, neighbors: &[Neighbor]) -> Vec<SimilarImage> {
         neighbors
-            .into_iter()
+            .iter()
             .map(|n| SimilarImage {
                 id: PatchId(n.id as u32),
                 name: self.id_to_name[n.id as usize].clone(),

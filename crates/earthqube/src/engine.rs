@@ -157,6 +157,12 @@ impl EarthQube {
     /// "Retrieve similar images" for an existing archive image (§3.3 /
     /// Figure 1): the CBIR path plus result-panel/statistics assembly.
     ///
+    /// The underlying k-NN runs as a bounded top-k selection over the
+    /// index's flat code arena (see `eq_hashindex::CodeArena`), so the
+    /// engine never materialises or sorts the full candidate set either —
+    /// the same hot path the concurrent [`QueryServer`](crate::QueryServer)
+    /// serves with pooled scratches.
+    ///
     /// # Errors
     /// Fails if the image is unknown or the CBIR service is missing.
     pub fn similar_to(&self, name: &str, k: usize) -> Result<SearchResponse, EarthQubeError> {

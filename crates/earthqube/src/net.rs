@@ -338,6 +338,10 @@ impl NetServer {
         });
 
         let pool = workers.max(1);
+        // One warm search scratch per pool worker: a query dispatched by
+        // this tier pops pooled top-k state instead of constructing it, so
+        // steady-state remote serving never allocates on the search path.
+        shared.server.prewarm_scratch(pool);
         // A *bounded* hand-off queue: when every worker is pinned by a
         // live connection and the queue is full, the acceptor blocks in
         // `send` instead of accepting unboundedly — excess connections

@@ -26,6 +26,12 @@
 //!   [`QueryRequest`]s over K scoped threads (`std::thread::scope`); all
 //!   query entry points take `&self`, so workers share the server by plain
 //!   reference.
+//! * **Pooled search scratch** — every k-NN query checks a
+//!   [`SearchScratch`] (bounded top-k heap + neighbour buffer) out of a
+//!   per-server pool and returns it afterwards, so no full candidate list
+//!   is ever materialised or sorted and steady-state serving does zero
+//!   search-path allocation ([`prewarm_scratch`](QueryServer::prewarm_scratch)
+//!   sizes the pool to the worker count; `NetServer` does this on bind).
 //!
 //! Determinism: a workload executed through the server returns exactly the
 //! same [`SearchResponse`]s as the sequential engine, regardless of worker
@@ -43,7 +49,7 @@ use eq_agora::AssetRegistry;
 use eq_bigearthnet::patch::{Patch, PatchId, PatchMetadata};
 use eq_bigearthnet::Archive;
 use eq_docstore::{Database, Document};
-use eq_hashindex::{BinaryCode, Neighbor, ShardedHashIndex};
+use eq_hashindex::{BinaryCode, Neighbor, SearchScratch, ShardedHashIndex};
 use eq_milan::Milan;
 use parking_lot::{Mutex, RwLock};
 
@@ -287,6 +293,18 @@ struct QueryCounters {
     misses: u64,
 }
 
+/// Per-query scratch state checked out of the server's pool for the
+/// duration of one CBIR query: the bounded top-k selection heap plus the
+/// (small, ≤ k+1) neighbour buffer the post-filter writes into.  Both are
+/// reused across queries, so a steady-state k-NN query performs **zero
+/// search-path allocation** — the selection is a size-k heap, never a full
+/// candidate list, and the buffers come back warm from the pool.
+#[derive(Default)]
+struct QueryScratch {
+    search: SearchScratch,
+    neighbors: Vec<Neighbor>,
+}
+
 /// Everything the write path mutates, behind one lock so every query sees
 /// a consistent snapshot of store, metadata and code table.
 struct Catalog {
@@ -340,6 +358,13 @@ pub struct QueryServer {
     registry: AssetRegistry,
     counters: Mutex<QueryCounters>,
     ingested_images: AtomicU64,
+    /// Pool of per-query scratch state.  A query pops a scratch (or makes
+    /// one if the pool momentarily runs dry), searches without holding the
+    /// pool lock, and returns it — so concurrent workers never share a
+    /// scratch and steady-state serving stops allocating once the pool has
+    /// one warm scratch per worker (see
+    /// [`prewarm_scratch`](Self::prewarm_scratch)).
+    scratch_pool: Mutex<Vec<QueryScratch>>,
     /// The live write-ahead log, attached by [`checkpoint`](Self::checkpoint)
     /// / [`recover`](Self::recover); `None` for a purely in-memory server.
     /// Lock order: always after the catalog write lock, never before.
@@ -408,6 +433,7 @@ impl QueryServer {
             registry,
             counters: Mutex::new(QueryCounters::default()),
             ingested_images: AtomicU64::new(0),
+            scratch_pool: Mutex::new(Vec::new()),
             wal: Mutex::new(None),
         })
     }
@@ -486,15 +512,19 @@ impl QueryServer {
                 .name_to_code
                 .get(name)
                 .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
-            // Ask for one extra hit because the query image itself is
-            // indexed, then drop it — same policy as the sequential CBIR
-            // service.
-            let mut neighbors = self.index.knn(code, k + 1);
-            neighbors.retain(|n| {
-                catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
-            });
-            neighbors.truncate(k);
-            catalog.response_from_neighbors(&neighbors, page_size)
+            self.with_scratch(|scratch| {
+                // Ask for one extra hit because the query image itself is
+                // indexed, then drop it — same policy as the sequential
+                // CBIR service.  The bounded selection keeps at most k+1
+                // candidates; no full result list is built or sorted.
+                let hits = self.index.knn_with(code, k + 1, &mut scratch.search);
+                scratch.neighbors.clear();
+                scratch.neighbors.extend(hits.iter().copied().filter(|n| {
+                    catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
+                }));
+                scratch.neighbors.truncate(k);
+                catalog.response_from_neighbors(&scratch.neighbors, page_size)
+            })
         })
     }
 
@@ -524,9 +554,33 @@ impl QueryServer {
     ) -> Result<SearchResponse, EarthQubeError> {
         let page_size = self.config.page_size;
         self.cached(CacheKey::ByCode(code.clone(), k), |catalog| {
-            let neighbors = self.index.knn(code, k);
-            catalog.response_from_neighbors(&neighbors, page_size)
+            self.with_scratch(|scratch| {
+                let neighbors = self.index.knn_with(code, k, &mut scratch.search);
+                catalog.response_from_neighbors(neighbors, page_size)
+            })
         })
+    }
+
+    /// Checks a scratch out of the pool for the duration of `f`.  The pool
+    /// lock is only held for the pop and the push, never across the search
+    /// itself, so workers contend for nanoseconds, not query time.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut QueryScratch) -> R) -> R {
+        let mut scratch = self.scratch_pool.lock().pop().unwrap_or_default();
+        let result = f(&mut scratch);
+        self.scratch_pool.lock().push(scratch);
+        result
+    }
+
+    /// Pre-populates the scratch pool with `workers` entries, so a serving
+    /// tier that pins its worker count (e.g. `NetServer`) never constructs
+    /// a scratch on the query path — after each worker's first query the
+    /// pooled buffers are warm and steady-state serving is allocation-free
+    /// on the search path.
+    pub fn prewarm_scratch(&self, workers: usize) {
+        let mut pool = self.scratch_pool.lock();
+        while pool.len() < workers {
+            pool.push(QueryScratch::default());
+        }
     }
 
     /// Executes one workload request.
@@ -892,6 +946,7 @@ impl QueryServer {
             registry,
             counters: Mutex::new(QueryCounters::default()),
             ingested_images: AtomicU64::new(0),
+            scratch_pool: Mutex::new(Vec::new()),
             wal: Mutex::new(None),
         };
 

@@ -1,0 +1,319 @@
+//! The cache-resident code arena: a flat, structure-of-arrays store for
+//! binary codes that turns the Hamming hot path into a contiguous memory
+//! scan.
+//!
+//! Before the arena, every [`BinaryCode`] in a bucket table was its own
+//! heap-allocated `Vec<u64>` reached through a `HashMap` — a pointer chase
+//! per candidate, which stalls the scan on a cache miss for almost every
+//! code it touches.  The arena stores all code words **word-striped and
+//! contiguous** (`row * words_per_code .. (row + 1) * words_per_code`
+//! inside one `Vec<u64>`) with a parallel `Vec<ItemId>`, so a radius scan
+//! is a linear walk the prefetcher can stream at memory bandwidth, and the
+//! distance kernel is specialised per code width (1/2/4 words cover 64,
+//! 128 and 256-bit codes — MiLaN uses 128) so the XOR/popcount loop fully
+//! unrolls.
+//!
+//! Layout invariants (relied on by the scan kernels and the property
+//! tests):
+//!
+//! * `data.len() == ids.len() * words_per_code` at all times,
+//! * row `i` of the arena is the code of `ids[i]`, in **insertion order**
+//!   (the arena is append-only; the durable snapshot format is unaffected
+//!   because the arena is rebuilt from the decoded buckets on restore),
+//! * bits past the logical width of the last word are zero — guaranteed by
+//!   [`BinaryCode`]'s own invariant, which the arena copies verbatim.
+
+use crate::code::BinaryCode;
+use crate::{ItemId, Neighbor};
+
+/// A flat, append-only, structure-of-arrays store of `(id, code)` rows with
+/// width-specialised Hamming-distance scan kernels.
+#[derive(Debug, Clone, Default)]
+pub struct CodeArena {
+    bits: u32,
+    words_per_code: usize,
+    /// Row-major code words: row `i` occupies
+    /// `data[i * words_per_code .. (i + 1) * words_per_code]`.
+    data: Vec<u64>,
+    /// `ids[i]` is the item stored in row `i`.
+    ids: Vec<ItemId>,
+}
+
+impl CodeArena {
+    /// Creates an empty arena for codes of the given width.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits > 0, "code width must be positive");
+        Self { bits, words_per_code: bits.div_ceil(64) as usize, data: Vec::new(), ids: Vec::new() }
+    }
+
+    /// Creates an empty arena with row capacity pre-reserved.
+    pub fn with_capacity(bits: u32, rows: usize) -> Self {
+        let mut arena = Self::new(bits);
+        arena.data.reserve(rows * arena.words_per_code);
+        arena.ids.reserve(rows);
+        arena
+    }
+
+    /// Code width in bits.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of `u64` words per stored code.
+    #[inline]
+    pub fn words_per_code(&self) -> usize {
+        self.words_per_code
+    }
+
+    /// Number of stored rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the arena holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The stored item ids, in row (insertion) order.
+    #[inline]
+    pub fn ids(&self) -> &[ItemId] {
+        &self.ids
+    }
+
+    /// The id stored in a row.
+    ///
+    /// # Panics
+    /// Panics if `row >= len()`.
+    #[inline]
+    pub fn id(&self, row: usize) -> ItemId {
+        self.ids[row]
+    }
+
+    /// The code words of a row.
+    ///
+    /// # Panics
+    /// Panics if `row >= len()`.
+    #[inline]
+    pub fn code_words(&self, row: usize) -> &[u64] {
+        &self.data[row * self.words_per_code..(row + 1) * self.words_per_code]
+    }
+
+    /// Reconstructs the [`BinaryCode`] stored in a row (allocates — for
+    /// tests and snapshot tooling, not the hot path).
+    pub fn code(&self, row: usize) -> BinaryCode {
+        BinaryCode::from_words(self.bits, self.code_words(row).to_vec())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the code width does not match the arena.
+    pub fn push(&mut self, id: ItemId, code: &BinaryCode) {
+        assert_eq!(code.bits(), self.bits, "code width does not match the arena");
+        self.data.extend_from_slice(code.words());
+        self.ids.push(id);
+    }
+
+    /// Hamming distance between row `row` and `query` (already validated to
+    /// have `words_per_code` words).
+    #[inline]
+    pub fn distance(&self, row: usize, query: &[u64]) -> u32 {
+        debug_assert_eq!(query.len(), self.words_per_code);
+        hamming_words(self.code_words(row), query)
+    }
+
+    /// Streams the Hamming distance of every row to `query` through
+    /// `visit(row, distance)`, in row order.  **The one copy of the scan
+    /// kernel**: the width specialisation lives here and nowhere else —
+    /// [`distances_into`](Self::distances_into),
+    /// [`scan_radius_into`](Self::scan_radius_into) and the bounded top-k
+    /// selection (`SearchScratch::scan_arena`) are all thin visitors over
+    /// this loop, so every scan path gets the same specialised code and a
+    /// future kernel change (wider codes, SIMD) happens in one place.
+    ///
+    /// The 1/2/4-word arms (64, 128 and 256-bit codes — MiLaN uses 128)
+    /// are straight-line XOR/popcount with no inner loop: the compiler
+    /// keeps the query words in registers, `visit` is inlined per call
+    /// site, and the only memory traffic is the sequential arena stream.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != words_per_code()`.
+    #[inline]
+    pub fn for_each_distance(&self, query: &[u64], mut visit: impl FnMut(usize, u32)) {
+        assert_eq!(query.len(), self.words_per_code, "query width does not match the arena");
+        match self.words_per_code {
+            1 => {
+                let q = query[0];
+                for (row, &w) in self.data.iter().enumerate() {
+                    visit(row, (w ^ q).count_ones());
+                }
+            }
+            2 => {
+                let (q0, q1) = (query[0], query[1]);
+                for (row, words) in self.data.chunks_exact(2).enumerate() {
+                    visit(row, (words[0] ^ q0).count_ones() + (words[1] ^ q1).count_ones());
+                }
+            }
+            4 => {
+                let (q0, q1, q2, q3) = (query[0], query[1], query[2], query[3]);
+                for (row, words) in self.data.chunks_exact(4).enumerate() {
+                    let d = (words[0] ^ q0).count_ones()
+                        + (words[1] ^ q1).count_ones()
+                        + (words[2] ^ q2).count_ones()
+                        + (words[3] ^ q3).count_ones();
+                    visit(row, d);
+                }
+            }
+            w => {
+                for (row, words) in self.data.chunks_exact(w).enumerate() {
+                    visit(row, hamming_words(words, query));
+                }
+            }
+        }
+    }
+
+    /// Writes the Hamming distance of every row to `query` into `out`
+    /// (cleared and refilled; the caller owns the scratch buffer so
+    /// steady-state serving never allocates).
+    ///
+    /// # Panics
+    /// Panics if `query.len() != words_per_code()`.
+    pub fn distances_into(&self, query: &[u64], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.ids.len());
+        self.for_each_distance(query, |_, d| out.push(d));
+    }
+
+    /// Appends every row within Hamming distance `radius` of `query` to
+    /// `out` as [`Neighbor`]s, in row order (the caller sorts — exactly
+    /// like the per-bucket scan it replaces, whose emission order was the
+    /// `HashMap`'s).  `out` is *not* cleared, so fan-out callers can merge
+    /// several arenas into one buffer.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != words_per_code()`.
+    pub fn scan_radius_into(&self, query: &[u64], radius: u32, out: &mut Vec<Neighbor>) {
+        self.for_each_distance(query, |row, d| {
+            if d <= radius {
+                out.push(Neighbor::new(self.ids[row], d));
+            }
+        });
+    }
+}
+
+/// Word-wise Hamming distance of two equal-length word slices.
+#[inline]
+pub(crate) fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_code(bits: u32, seed: u64) -> BinaryCode {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let words: Vec<u64> = (0..bits.div_ceil(64)).map(|_| next()).collect();
+        BinaryCode::from_words(bits, words)
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_width_is_rejected() {
+        let _ = CodeArena::new(0);
+    }
+
+    #[test]
+    fn push_and_row_access() {
+        let mut arena = CodeArena::with_capacity(128, 4);
+        assert!(arena.is_empty());
+        assert_eq!(arena.words_per_code(), 2);
+        for i in 0..4u64 {
+            arena.push(i * 10, &rand_code(128, i));
+        }
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.ids(), &[0, 10, 20, 30]);
+        for i in 0..4 {
+            assert_eq!(arena.id(i), i as u64 * 10);
+            assert_eq!(arena.code(i), rand_code(128, i as u64));
+            assert_eq!(arena.code_words(i), rand_code(128, i as u64).words());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn push_rejects_wrong_width() {
+        let mut arena = CodeArena::new(64);
+        arena.push(0, &BinaryCode::zeros(128));
+    }
+
+    #[test]
+    fn distances_match_binary_code_for_every_specialisation() {
+        // 1-word, 2-word, 4-word fast paths plus the generic fallback (3
+        // and 5 words), and a non-multiple-of-64 width.
+        for bits in [7u32, 64, 100, 128, 192, 256, 320] {
+            let mut arena = CodeArena::new(bits);
+            let codes: Vec<BinaryCode> = (0..50).map(|i| rand_code(bits, i)).collect();
+            for (i, c) in codes.iter().enumerate() {
+                arena.push(i as u64, c);
+            }
+            let query = rand_code(bits, 999);
+            let mut dists = Vec::new();
+            arena.distances_into(query.words(), &mut dists);
+            assert_eq!(dists.len(), 50);
+            for (i, c) in codes.iter().enumerate() {
+                assert_eq!(dists[i], c.hamming_distance(&query), "width {bits}, row {i}");
+                assert_eq!(arena.distance(i, query.words()), dists[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_scan_emits_rows_in_insertion_order() {
+        let mut arena = CodeArena::new(64);
+        let base = BinaryCode::zeros(64);
+        arena.push(5, &base);
+        arena.push(1, &base.with_flipped_bit(0));
+        arena.push(9, &base);
+        let mut out = Vec::new();
+        arena.scan_radius_into(base.words(), 0, &mut out);
+        assert_eq!(out, vec![Neighbor::new(5, 0), Neighbor::new(9, 0)]);
+        // Appends without clearing, so fan-out callers can merge.
+        arena.scan_radius_into(base.words(), 1, &mut out);
+        assert_eq!(out.len(), 2 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn scan_rejects_wrong_query_width() {
+        let arena = CodeArena::new(128);
+        let mut out = Vec::new();
+        arena.scan_radius_into(&[0u64], 1, &mut out);
+    }
+
+    #[test]
+    fn distances_into_reuses_the_buffer() {
+        let mut arena = CodeArena::new(64);
+        for i in 0..10 {
+            arena.push(i, &rand_code(64, i));
+        }
+        let mut out = Vec::with_capacity(10);
+        let ptr = out.as_ptr();
+        arena.distances_into(rand_code(64, 77).words(), &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(ptr, out.as_ptr(), "a warm scratch buffer must not reallocate");
+    }
+}

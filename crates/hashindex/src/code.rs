@@ -110,10 +110,22 @@ impl BinaryCode {
         }
     }
 
+    /// Flips bit `i` in place — one XOR, no branch, no allocation.  This
+    /// is what the radius-enumeration hot loop uses to flip/unflip its
+    /// single scratch code per probed bucket.
+    ///
+    /// # Panics
+    /// Panics if `i >= bits`.
+    #[inline]
+    pub fn toggle_bit(&mut self, i: u32) {
+        assert!(i < self.bits, "bit index {i} out of range for {} bits", self.bits);
+        self.words[(i / 64) as usize] ^= 1u64 << (i % 64);
+    }
+
     /// Flips bit `i`, returning a new code.
     pub fn with_flipped_bit(&self, i: u32) -> Self {
         let mut c = self.clone();
-        c.set_bit(i, !c.bit(i));
+        c.toggle_bit(i);
         c
     }
 
@@ -136,20 +148,31 @@ impl BinaryCode {
     /// (used by multi-index hashing).  Bits past the end of the code are
     /// treated as zero.
     ///
+    /// Word-aligned extraction: the substring spans at most two words, so
+    /// it is assembled with two shifts and a mask instead of a bit-by-bit
+    /// loop — this runs once per chunk for every MIH insert *and* query.
+    ///
     /// # Panics
     /// Panics if `chunk_bits == 0` or `chunk_bits > 64`.
     pub fn substring(&self, chunk: u32, chunk_bits: u32) -> u64 {
         assert!(chunk_bits > 0 && chunk_bits <= 64, "chunk_bits must be in 1..=64");
-        let start = chunk * chunk_bits;
-        let mut out = 0u64;
-        for i in 0..chunk_bits {
-            let bit_idx = start + i;
-            if bit_idx >= self.bits {
-                break;
-            }
-            if self.bit(bit_idx) {
-                out |= 1u64 << i;
-            }
+        let start = chunk as u64 * chunk_bits as u64;
+        if start >= self.bits as u64 {
+            return 0;
+        }
+        let start = start as u32;
+        let word = (start / 64) as usize;
+        let offset = start % 64;
+        // Low part from the first word; high part (if the substring crosses
+        // a word boundary) from the next.  Bits beyond the code width are
+        // zero by the struct invariant (`from_words`/`set_bit` mask them),
+        // so no end-of-code special case is needed.
+        let mut out = self.words[word] >> offset;
+        if offset > 0 && word + 1 < self.words.len() {
+            out |= self.words[word + 1] << (64 - offset);
+        }
+        if chunk_bits < 64 {
+            out &= (1u64 << chunk_bits) - 1;
         }
         out
     }
@@ -344,6 +367,67 @@ mod tests {
     fn substring_rejects_bad_chunk_width() {
         let c = BinaryCode::zeros(16);
         let _ = c.substring(0, 0);
+    }
+
+    /// The shift/mask extraction against a bit-by-bit reference, covering
+    /// word-boundary-crossing substrings, ragged final chunks, chunks
+    /// entirely past the end of the code, and the full-word case.
+    #[test]
+    fn substring_matches_bit_by_bit_reference() {
+        let reference = |c: &BinaryCode, chunk: u32, chunk_bits: u32| -> u64 {
+            let start = chunk * chunk_bits;
+            let mut out = 0u64;
+            for i in 0..chunk_bits {
+                let bit_idx = start + i;
+                if bit_idx >= c.bits() {
+                    break;
+                }
+                if c.bit(bit_idx) {
+                    out |= 1u64 << i;
+                }
+            }
+            out
+        };
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for bits in [1u32, 7, 63, 64, 65, 100, 127, 128, 130, 200, 256] {
+            let words: Vec<u64> = (0..bits.div_ceil(64)).map(|_| next()).collect();
+            let c = BinaryCode::from_words(bits, words);
+            for chunk_bits in [1u32, 3, 8, 13, 32, 63, 64] {
+                let n_chunks = bits.div_ceil(chunk_bits) + 2; // incl. past-the-end chunks
+                for chunk in 0..n_chunks {
+                    assert_eq!(
+                        c.substring(chunk, chunk_bits),
+                        reference(&c, chunk, chunk_bits),
+                        "bits {bits}, chunk {chunk} of {chunk_bits}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_bit_flips_in_place_across_word_boundaries() {
+        let mut c = BinaryCode::zeros(128);
+        for i in [0u32, 63, 64, 127] {
+            c.toggle_bit(i);
+            assert!(c.bit(i));
+            c.toggle_bit(i);
+            assert!(!c.bit(i));
+        }
+        assert_eq!(c.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn toggle_bit_out_of_range_panics() {
+        let mut c = BinaryCode::zeros(16);
+        c.toggle_bit(16);
     }
 
     #[test]

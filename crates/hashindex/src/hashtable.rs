@@ -4,7 +4,9 @@
 
 use std::collections::HashMap;
 
+use crate::arena::CodeArena;
 use crate::code::BinaryCode;
+use crate::topk::SearchScratch;
 use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
 
 /// A Hamming hash-table index.
@@ -22,10 +24,20 @@ use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
 ///
 /// The cheaper strategy is picked per query; `force_strategy` pins it for
 /// experiments (E1/E3 compare the two).
+///
+/// The bucket scan does **not** iterate the `HashMap` (a pointer chase per
+/// distinct code): every inserted `(id, code)` row is mirrored into a
+/// [`CodeArena`], a flat structure-of-arrays store the scan kernel streams
+/// through at memory bandwidth (experiment E11).  The bucket map remains
+/// the source of truth for exact lookups, enumeration probes and the
+/// durable encoding — whose byte format is unchanged, since the arena is
+/// rebuilt from the decoded buckets.
 #[derive(Debug, Clone)]
 pub struct HashTableIndex {
     bits: u32,
     buckets: HashMap<BinaryCode, Vec<ItemId>>,
+    /// Scan mirror of the buckets, in insertion order.
+    arena: CodeArena,
     len: usize,
     forced: Option<Strategy>,
 }
@@ -43,7 +55,15 @@ impl HashTableIndex {
     /// Creates an empty index for codes of the given width.
     pub fn new(bits: u32) -> Self {
         assert!(bits > 0, "code width must be positive");
-        Self { bits, buckets: HashMap::new(), len: 0, forced: None }
+        Self { bits, buckets: HashMap::new(), arena: CodeArena::new(bits), len: 0, forced: None }
+    }
+
+    /// The flat scan store backing the bucket-scan strategy.  Exposed so
+    /// fan-out callers (the sharded index, benchmarks) can run one bounded
+    /// top-k selection across several tables without per-table result
+    /// lists.
+    pub fn arena(&self) -> &CodeArena {
+        &self.arena
     }
 
     /// Code width in bits.
@@ -89,12 +109,33 @@ impl HashTableIndex {
         }
     }
 
-    fn radius_search_enumerate(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        // Depth-first enumeration of bit-flip combinations with increasing
-        // flip positions to avoid revisiting codes.
+    /// Appends every item within Hamming distance `radius` of `query` to
+    /// `out` (unsorted — the caller sorts once, after any fan-out merge),
+    /// using the adaptively picked strategy.  This is the allocation-free
+    /// core of [`radius_search`](HammingIndex::radius_search): a caller
+    /// that owns `out` pays no per-query allocation once the buffer is
+    /// warm.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn radius_search_into(&self, query: &BinaryCode, radius: u32, out: &mut Vec<Neighbor>) {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        match self.pick_strategy(radius) {
+            Strategy::Enumerate => self.enumerate_into(query, radius, out),
+            Strategy::BucketScan => self.arena.scan_radius_into(query.words(), radius, out),
+        }
+    }
+
+    /// The enumeration strategy: depth-first bit-flip enumeration with
+    /// increasing flip positions (no code is visited twice), flipping a
+    /// **single scratch code in place** — no clone per probed bucket.
+    fn enumerate_into(&self, query: &BinaryCode, radius: u32, out: &mut Vec<Neighbor>) {
+        if let Some(bucket) = self.buckets.get(query) {
+            for &id in bucket {
+                out.push(Neighbor::new(id, 0));
+            }
+        }
         let mut current = query.clone();
-        self.probe(&current, 0, &mut out);
         enumerate_flips(&mut current, 0, radius, self.bits, &mut |code, flipped| {
             if let Some(bucket) = self.buckets.get(code) {
                 for &id in bucket {
@@ -102,30 +143,28 @@ impl HashTableIndex {
                 }
             }
         });
-        sort_neighbors(&mut out);
-        out
     }
 
-    fn probe(&self, code: &BinaryCode, distance: u32, out: &mut Vec<Neighbor>) {
-        if let Some(bucket) = self.buckets.get(code) {
-            for &id in bucket {
-                out.push(Neighbor::new(id, distance));
-            }
-        }
-    }
-
-    fn radius_search_scan(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        for (code, bucket) in &self.buckets {
-            let d = code.hamming_distance(query);
-            if d <= radius {
-                for &id in bucket {
-                    out.push(Neighbor::new(id, d));
-                }
-            }
-        }
-        sort_neighbors(&mut out);
-        out
+    /// Bounded k-NN: one pass over the arena through `scratch`'s size-`k`
+    /// max-heap, so no full candidate list is ever materialised or sorted.
+    /// The returned slice borrows the scratch; copy it out before reusing.
+    ///
+    /// Results are exactly [`knn`](HammingIndex::knn)'s: the heap's
+    /// `(distance, id)` order is the neighbour sort order, so the `k`
+    /// survivors are the first `k` rows of the full sorted list.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn knn_with<'s>(
+        &self,
+        query: &BinaryCode,
+        k: usize,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [Neighbor] {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        scratch.begin(k);
+        scratch.scan_arena(&self.arena, query.words());
+        scratch.finish()
     }
 
     /// Serializes the bucket table: `bits:u32`, bucket count, then per
@@ -182,38 +221,23 @@ impl HashTableIndex {
 impl HammingIndex for HashTableIndex {
     fn insert(&mut self, id: ItemId, code: BinaryCode) {
         assert_eq!(code.bits(), self.bits, "code width does not match the index");
+        self.arena.push(id, &code);
         self.buckets.entry(code).or_default().push(id);
         self.len += 1;
     }
 
     fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
-        assert_eq!(query.bits(), self.bits, "query width does not match the index");
-        match self.pick_strategy(radius) {
-            Strategy::Enumerate => self.radius_search_enumerate(query, radius),
-            Strategy::BucketScan => self.radius_search_scan(query, radius),
-        }
+        let mut out = Vec::new();
+        self.radius_search_into(query, radius, &mut out);
+        sort_neighbors(&mut out);
+        out
     }
 
     fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.bits(), self.bits, "query width does not match the index");
-        if k == 0 || self.len == 0 {
-            return Vec::new();
-        }
-        // Expand the radius until at least k items are found (or the space
-        // is exhausted), then truncate.  Each expansion reuses the adaptive
-        // strategy, so small k on dense tables stays cheap.
-        let mut radius = 0u32;
-        loop {
-            let mut hits = self.radius_search(query, radius);
-            if hits.len() >= k || radius >= self.bits {
-                hits.truncate(k);
-                return hits;
-            }
-            // Grow faster once the radius is large to bound the number of
-            // retries on sparse tables.
-            radius = if radius < 4 { radius + 1 } else { radius * 2 };
-            radius = radius.min(self.bits);
-        }
+        // One bounded arena pass — no radius-expansion retries, no full
+        // sort.  (An earlier revision expanded a radius search until `k`
+        // items appeared, re-paying the scan per retry on sparse tables.)
+        self.knn_with(query, k, &mut SearchScratch::new()).to_vec()
     }
 
     fn len(&self) -> usize {
@@ -222,7 +246,9 @@ impl HammingIndex for HashTableIndex {
 }
 
 /// Calls `visit` for every code within `max_flips` bit flips of `code`
-/// (excluding zero flips), reusing a single working buffer.
+/// (excluding zero flips), flipping and unflipping bits **in place** on the
+/// single working buffer: an enumerated bucket probe costs one XOR going
+/// in and one coming back out, never a clone or an allocation.
 fn enumerate_flips(
     code: &mut BinaryCode,
     start_bit: u32,
@@ -242,11 +268,10 @@ fn enumerate_flips(
             return;
         }
         for i in start_bit..bits {
-            let old = code.bit(i);
-            code.set_bit(i, !old);
+            code.toggle_bit(i);
             visit(code, depth + 1);
             rec(code, i + 1, remaining - 1, bits, depth + 1, visit);
-            code.set_bit(i, old);
+            code.toggle_bit(i); // unflip: restore before the next branch
         }
     }
     rec(code, start_bit, remaining, bits, 0, visit);

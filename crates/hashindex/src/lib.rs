@@ -20,10 +20,19 @@
 //!   baseline),
 //! * [`ShardedHashIndex`] — the hash-table index split into independently
 //!   locked shards with fan-out/merge search, the building block of the
-//!   concurrent EarthQube serving layer (experiment E8).
+//!   concurrent EarthQube serving layer (experiment E8),
+//! * [`CodeArena`] — the flat structure-of-arrays code store every scan
+//!   path runs over: contiguous word-striped code data with
+//!   width-specialised Hamming kernels, so a scan streams at memory
+//!   bandwidth instead of pointer-chasing per-code heap allocations
+//!   (experiment E11),
+//! * [`SearchScratch`] — bounded top-k selection (size-`k` max-heap with a
+//!   running short-circuit bound), so k-NN never materialises or sorts the
+//!   full candidate set; pooled per worker by the serving tier.
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod code;
 pub mod float_knn;
 pub mod hashtable;
@@ -31,7 +40,9 @@ pub mod linear;
 pub mod lsh;
 pub mod mih;
 pub mod sharded;
+pub mod topk;
 
+pub use arena::CodeArena;
 pub use code::BinaryCode;
 pub use float_knn::{DistanceMetric, FloatKnnIndex};
 pub use hashtable::HashTableIndex;
@@ -39,6 +50,7 @@ pub use linear::LinearScanIndex;
 pub use lsh::RandomHyperplaneHasher;
 pub use mih::MultiIndexHashing;
 pub use sharded::ShardedHashIndex;
+pub use topk::SearchScratch;
 
 /// Identifier of an indexed item (a patch id in EarthQube).
 pub type ItemId = u64;

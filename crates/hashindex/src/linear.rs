@@ -1,28 +1,30 @@
 //! Brute-force Hamming linear scan, the baseline the hash-table lookup is
 //! compared against in experiment E1.
 
+use crate::arena::CodeArena;
 use crate::code::BinaryCode;
+use crate::topk::SearchScratch;
 use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
 
-/// A linear-scan index: stores `(id, code)` pairs in a flat vector and
+/// A linear-scan index: stores `(id, code)` rows in a [`CodeArena`] and
 /// answers every query by scanning all of them.
 ///
 /// Although asymptotically the slowest option, the scan is branch-friendly
-/// and cache-friendly (codes are stored contiguously), so it is a strong
-/// baseline on small archives — which is exactly the crossover experiment
-/// E1 measures.
+/// and cache-friendly (code words are stored contiguously and word-striped
+/// in the arena, with width-specialised distance kernels), so it is a
+/// strong baseline on small archives — which is exactly the crossover
+/// experiment E1 measures.
 #[derive(Debug, Clone)]
 pub struct LinearScanIndex {
     bits: u32,
-    ids: Vec<ItemId>,
-    codes: Vec<BinaryCode>,
+    arena: CodeArena,
 }
 
 impl LinearScanIndex {
     /// Creates an empty index for codes of the given width.
     pub fn new(bits: u32) -> Self {
         assert!(bits > 0, "code width must be positive");
-        Self { bits, ids: Vec::new(), codes: Vec::new() }
+        Self { bits, arena: CodeArena::new(bits) }
     }
 
     /// Code width in bits.
@@ -30,46 +32,57 @@ impl LinearScanIndex {
         self.bits
     }
 
-    /// Iterates over the stored `(id, code)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &BinaryCode)> {
-        self.ids.iter().copied().zip(self.codes.iter())
+    /// The flat scan store.
+    pub fn arena(&self) -> &CodeArena {
+        &self.arena
+    }
+
+    /// Iterates over the stored `(id, code)` pairs, reconstructing each
+    /// code from its arena row (for inspection/tests — the scan paths read
+    /// the arena words directly).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, BinaryCode)> + '_ {
+        (0..self.arena.len()).map(|row| (self.arena.id(row), self.arena.code(row)))
+    }
+
+    /// Bounded k-NN through a caller-owned scratch: one arena pass, no
+    /// full-result materialisation or sort.  See
+    /// [`HashTableIndex::knn_with`](crate::HashTableIndex::knn_with).
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn knn_with<'s>(
+        &self,
+        query: &BinaryCode,
+        k: usize,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [Neighbor] {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        scratch.begin(k);
+        scratch.scan_arena(&self.arena, query.words());
+        scratch.finish()
     }
 }
 
 impl HammingIndex for LinearScanIndex {
     fn insert(&mut self, id: ItemId, code: BinaryCode) {
         assert_eq!(code.bits(), self.bits, "code width does not match the index");
-        self.ids.push(id);
-        self.codes.push(code);
+        self.arena.push(id, &code);
     }
 
     fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
         assert_eq!(query.bits(), self.bits, "query width does not match the index");
         let mut out = Vec::new();
-        for (id, code) in self.iter() {
-            let d = code.hamming_distance(query);
-            if d <= radius {
-                out.push(Neighbor::new(id, d));
-            }
-        }
+        self.arena.scan_radius_into(query.words(), radius, &mut out);
         sort_neighbors(&mut out);
         out
     }
 
     fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.bits(), self.bits, "query width does not match the index");
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut all: Vec<Neighbor> =
-            self.iter().map(|(id, code)| Neighbor::new(id, code.hamming_distance(query))).collect();
-        sort_neighbors(&mut all);
-        all.truncate(k);
-        all
+        self.knn_with(query, k, &mut SearchScratch::new()).to_vec()
     }
 
     fn len(&self) -> usize {
-        self.ids.len()
+        self.arena.len()
     }
 }
 

@@ -13,10 +13,15 @@
 
 use std::collections::HashMap;
 
+use crate::arena::CodeArena;
 use crate::code::BinaryCode;
 use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
 
 /// Exact Hamming-radius index based on multi-index hashing.
+///
+/// Candidate verification — the full-width distance check every candidate
+/// pays — reads the codes out of a flat [`CodeArena`] row instead of a
+/// per-code heap allocation, so the verification loop never pointer-chases.
 #[derive(Debug, Clone)]
 pub struct MultiIndexHashing {
     bits: u32,
@@ -24,8 +29,8 @@ pub struct MultiIndexHashing {
     chunk_bits: u32,
     /// One hash table per substring: substring value → item indexes.
     tables: Vec<HashMap<u64, Vec<u32>>>,
-    ids: Vec<ItemId>,
-    codes: Vec<BinaryCode>,
+    /// Row `i` holds the id and full-width code of item `i`.
+    arena: CodeArena,
 }
 
 impl MultiIndexHashing {
@@ -45,8 +50,7 @@ impl MultiIndexHashing {
             num_chunks,
             chunk_bits,
             tables: vec![HashMap::new(); num_chunks as usize],
-            ids: Vec::new(),
-            codes: Vec::new(),
+            arena: CodeArena::new(bits),
         }
     }
 
@@ -81,7 +85,7 @@ impl MultiIndexHashing {
 
     fn candidates(&self, query: &BinaryCode, radius: u32) -> Vec<u32> {
         let per_chunk_radius = radius / self.num_chunks;
-        let mut seen = vec![false; self.ids.len()];
+        let mut seen = vec![false; self.arena.len()];
         let mut out = Vec::new();
         for chunk in 0..self.num_chunks {
             let key = query.substring(chunk, self.chunk_bits);
@@ -111,22 +115,24 @@ impl MultiIndexHashing {
 impl HammingIndex for MultiIndexHashing {
     fn insert(&mut self, id: ItemId, code: BinaryCode) {
         assert_eq!(code.bits(), self.bits, "code width does not match the index");
-        let item = self.ids.len() as u32;
+        let item = self.arena.len() as u32;
         for chunk in 0..self.num_chunks {
             let key = code.substring(chunk, self.chunk_bits);
             self.tables[chunk as usize].entry(key).or_default().push(item);
         }
-        self.ids.push(id);
-        self.codes.push(code);
+        self.arena.push(id, &code);
     }
 
     fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
         assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        let query_words = query.words();
         let mut out = Vec::new();
         for item in self.candidates(query, radius) {
-            let d = self.codes[item as usize].hamming_distance(query);
+            // Verify against the arena row: contiguous words, no pointer
+            // chase into a per-code allocation.
+            let d = self.arena.distance(item as usize, query_words);
             if d <= radius {
-                out.push(Neighbor::new(self.ids[item as usize], d));
+                out.push(Neighbor::new(self.arena.id(item as usize), d));
             }
         }
         sort_neighbors(&mut out);
@@ -135,7 +141,7 @@ impl HammingIndex for MultiIndexHashing {
 
     fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
         assert_eq!(query.bits(), self.bits, "query width does not match the index");
-        if k == 0 || self.ids.is_empty() {
+        if k == 0 || self.arena.is_empty() {
             return Vec::new();
         }
         // Grow the radius in steps of the chunk count (the per-chunk radius
@@ -153,7 +159,7 @@ impl HammingIndex for MultiIndexHashing {
     }
 
     fn len(&self) -> usize {
-        self.ids.len()
+        self.arena.len()
     }
 }
 

@@ -11,15 +11,22 @@
 //! Determinism: the merged results are sorted with [`sort_neighbors`]
 //! (distance, then id), exactly like the unsharded index, so a sharded
 //! search returns *byte-identical* results to [`HashTableIndex`] over the
-//! same items.  For `knn` this holds because every member of the global
-//! top-`k` is necessarily in its own shard's top-`k` (fewer than `k` items
-//! beat it globally, so fewer than `k` beat it within its shard), hence the
-//! merge of per-shard top-`k` lists contains the global top-`k`.
+//! same items.  For `knn` this holds because one bounded top-`k` selection
+//! (a [`SearchScratch`] heap) is threaded across every shard's
+//! [`CodeArena`](crate::CodeArena) in turn: the heap sees the union of all
+//! rows, so its `k` survivors are the global top-`k` by construction — no
+//! per-shard result lists, no merge-then-truncate.
+//!
+//! Memory layout: each shard owns its own arena (inside its
+//! [`HashTableIndex`]), so a fan-out search is `N` sequential streams —
+//! each under its own read lock — rather than one pointer chase over a
+//! shared `HashMap`.
 
 use parking_lot::RwLock;
 
 use crate::code::BinaryCode;
 use crate::hashtable::HashTableIndex;
+use crate::topk::SearchScratch;
 use crate::{sort_neighbors, HammingIndex, ItemId, Neighbor};
 
 /// Default number of shards used by [`ShardedHashIndex::with_default_shards`].
@@ -87,29 +94,48 @@ impl ShardedHashIndex {
 
     /// Returns all items within Hamming distance `radius` of `query`,
     /// sorted by distance then id — fan-out over every shard, merge.
+    ///
+    /// Each shard appends its hits straight into one shared buffer (its
+    /// adaptively chosen strategy scans the shard arena or enumerates
+    /// probes), so the fan-out allocates one output list, not one per
+    /// shard.
     pub fn radius_search(&self, query: &BinaryCode, radius: u32) -> Vec<Neighbor> {
         assert_eq!(query.bits(), self.bits, "query width does not match the index");
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.read().radius_search(query, radius));
+            shard.read().radius_search_into(query, radius, &mut out);
         }
         sort_neighbors(&mut out);
         out
     }
 
     /// Returns the `k` nearest items (ties broken by id), sorted by
-    /// distance then id.  Each shard contributes its local top-`k`; the
-    /// merged list is sorted and truncated, which yields exactly the
-    /// global top-`k` (see the module docs for the argument).
+    /// distance then id.
     pub fn knn(&self, query: &BinaryCode, k: usize) -> Vec<Neighbor> {
+        self.knn_with(query, k, &mut SearchScratch::new()).to_vec()
+    }
+
+    /// Bounded k-NN through a caller-owned scratch: **one** size-`k` heap
+    /// is threaded across every shard's arena in turn (each under its own
+    /// read lock), so the selection sees the union of all rows and its
+    /// survivors are the exact global top-`k` — no per-shard result lists,
+    /// no full sort, and zero allocation once the scratch is warm.  The
+    /// returned slice borrows the scratch; copy it out before reusing.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn knn_with<'s>(
+        &self,
+        query: &BinaryCode,
+        k: usize,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [Neighbor] {
         assert_eq!(query.bits(), self.bits, "query width does not match the index");
-        let mut out = Vec::new();
+        scratch.begin(k);
         for shard in &self.shards {
-            out.extend(shard.read().knn(query, k));
+            scratch.scan_arena(shard.read().arena(), query.words());
         }
-        sort_neighbors(&mut out);
-        out.truncate(k);
-        out
+        scratch.finish()
     }
 
     /// Total number of indexed items across all shards.

@@ -1,0 +1,275 @@
+//! Bounded top-k selection over arena scans.
+//!
+//! A k-NN query used to materialise *every* match, sort the full list and
+//! truncate to `k` — O(n log n) work and an O(n) allocation per query even
+//! when the caller wants ten neighbours out of forty thousand codes.
+//! [`SearchScratch`] replaces that with a size-`k` max-heap threaded
+//! through the scan: a candidate only enters the heap if it beats the
+//! current k-th best, the running bound short-circuits every worse row
+//! with a single compare, and only the final `k` survivors are sorted.
+//!
+//! The scratch owns all its buffers and is reusable across queries, so a
+//! pooled scratch (see `QueryServer` in `eq_earthqube`) makes steady-state
+//! k-NN serving allocation-free.
+//!
+//! Exactness: the heap orders candidates by `(distance, id)` — the same
+//! total order [`sort_neighbors`](crate::sort_neighbors) uses — so the
+//! surviving `k` are exactly the first `k` elements of the full sorted
+//! list, ties and all.  The property suite in
+//! `tests/proptest_arena.rs` pins this against full-sort-then-truncate.
+
+use crate::arena::CodeArena;
+use crate::{ItemId, Neighbor};
+
+/// Reusable scratch state for bounded top-k searches: a max-heap of the
+/// current `k` best candidates plus the output buffer the sorted winners
+/// are written to.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Binary max-heap ordered by `(distance, id)`; the root is the
+    /// *worst* of the current best `k`, i.e. the short-circuit bound.
+    heap: Vec<Neighbor>,
+    /// Requested result size of the selection in progress.
+    k: usize,
+    /// The sorted winners of the last [`finish`](Self::finish).
+    out: Vec<Neighbor>,
+}
+
+/// `(distance, id)` lexicographic order — the neighbour sort order.
+#[inline]
+fn worse(a: &Neighbor, b: &Neighbor) -> bool {
+    (a.distance, a.id) > (b.distance, b.id)
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new top-k selection, clearing previous state and reserving
+    /// the heap (a no-op once the scratch is warm).
+    pub fn begin(&mut self, k: usize) {
+        self.heap.clear();
+        self.out.clear();
+        self.k = k;
+        self.heap.reserve(k);
+    }
+
+    /// The current short-circuit bound: the `(distance, id)` of the k-th
+    /// best candidate so far, or `None` while the heap is not yet full
+    /// (every candidate is accepted then).
+    #[inline]
+    pub fn bound(&self) -> Option<Neighbor> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.first().copied()
+        }
+    }
+
+    /// Offers one candidate to the selection.
+    #[inline]
+    pub fn offer(&mut self, id: ItemId, distance: u32) {
+        if self.k == 0 {
+            return;
+        }
+        let candidate = Neighbor::new(id, distance);
+        if self.heap.len() < self.k {
+            self.heap.push(candidate);
+            self.sift_up(self.heap.len() - 1);
+        } else if worse(&self.heap[0], &candidate) {
+            self.heap[0] = candidate;
+            self.sift_down(0);
+        }
+    }
+
+    /// Scans an entire arena, offering every row.  Once the heap is full,
+    /// rows whose distance exceeds the running bound are rejected with a
+    /// single compare — no heap traffic — which is what keeps the scan at
+    /// memory bandwidth on well-separated codes.
+    ///
+    /// Callable repeatedly between [`begin`](Self::begin) and
+    /// [`finish`](Self::finish): the sharded index fans one selection out
+    /// over every shard's arena, which yields the exact global top-k
+    /// without per-shard result lists.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the arena.
+    pub fn scan_arena(&mut self, arena: &CodeArena, query: &[u64]) {
+        if self.k == 0 {
+            // Still validate the query width (for_each_distance would).
+            assert_eq!(query.len(), arena.words_per_code(), "query width does not match the arena");
+            return;
+        }
+        // Distances stream out of the arena's width-specialised kernel —
+        // the same straight-line XOR/popcount loop the radius scan uses.
+        arena.for_each_distance(query, |row, d| {
+            // Cheap distance-only rejection first: ids only break ties.
+            if let Some(bound) = self.bound() {
+                if d > bound.distance {
+                    return;
+                }
+            }
+            self.offer(arena.id(row), d);
+        });
+    }
+
+    /// Ends the selection: sorts the (at most `k`) survivors by
+    /// `(distance, id)` and returns them.  The slice borrows the scratch —
+    /// copy it out before starting the next selection.
+    pub fn finish(&mut self) -> &[Neighbor] {
+        self.out.clear();
+        self.out.extend_from_slice(&self.heap);
+        crate::sort_neighbors(&mut self.out);
+        &self.out
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if worse(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && worse(&self.heap[l], &self.heap[largest]) {
+                largest = l;
+            }
+            if r < n && worse(&self.heap[r], &self.heap[largest]) {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::BinaryCode;
+    use crate::sort_neighbors;
+
+    fn rand_code(bits: u32, seed: u64) -> BinaryCode {
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        BinaryCode::from_words(bits, (0..bits.div_ceil(64)).map(|_| next()).collect())
+    }
+
+    /// Reference: full sort, then truncate.
+    fn full_sort_topk(arena: &CodeArena, query: &[u64], k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = (0..arena.len())
+            .map(|r| Neighbor::new(arena.id(r), arena.distance(r, query)))
+            .collect();
+        sort_neighbors(&mut all);
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn topk_matches_full_sort_then_truncate() {
+        for bits in [32u32, 128] {
+            let mut arena = CodeArena::new(bits);
+            // Low-entropy codes force distance ties, exercising id
+            // tie-breaks through the heap.
+            for i in 0..300u64 {
+                arena.push(i, &rand_code(bits, i / 4));
+            }
+            let query = rand_code(bits, 9999);
+            let mut scratch = SearchScratch::new();
+            for k in [0usize, 1, 7, 50, 300, 500] {
+                scratch.begin(k);
+                scratch.scan_arena(&arena, query.words());
+                let got = scratch.finish().to_vec();
+                assert_eq!(got, full_sort_topk(&arena, query.words(), k), "bits {bits}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_arena_selection_is_the_global_topk() {
+        // Split rows over three arenas; one selection over all of them
+        // must equal the top-k over the union (the sharded fan-out path).
+        let mut arenas = vec![CodeArena::new(64), CodeArena::new(64), CodeArena::new(64)];
+        let mut union = CodeArena::new(64);
+        for i in 0..200u64 {
+            let c = rand_code(64, i / 3);
+            arenas[(i % 3) as usize].push(i, &c);
+            union.push(i, &c);
+        }
+        let query = rand_code(64, 4242);
+        let mut scratch = SearchScratch::new();
+        scratch.begin(13);
+        for a in &arenas {
+            scratch.scan_arena(a, query.words());
+        }
+        let got = scratch.finish().to_vec();
+        assert_eq!(got, full_sort_topk(&union, query.words(), 13));
+    }
+
+    #[test]
+    fn scratch_is_reusable_without_reallocation() {
+        let mut arena = CodeArena::new(64);
+        for i in 0..100u64 {
+            arena.push(i, &rand_code(64, i));
+        }
+        let query = rand_code(64, 5);
+        let mut scratch = SearchScratch::new();
+        // Warm-up pass sizes the buffers.
+        scratch.begin(10);
+        scratch.scan_arena(&arena, query.words());
+        let warm = scratch.finish().to_vec();
+        let heap_ptr = scratch.heap.as_ptr();
+        let out_ptr = scratch.out.as_ptr();
+        for _ in 0..5 {
+            scratch.begin(10);
+            scratch.scan_arena(&arena, query.words());
+            assert_eq!(scratch.finish(), &warm[..]);
+        }
+        assert_eq!(heap_ptr, scratch.heap.as_ptr(), "warm heap must not reallocate");
+        assert_eq!(out_ptr, scratch.out.as_ptr(), "warm output must not reallocate");
+    }
+
+    #[test]
+    fn bound_tracks_the_kth_best() {
+        let mut scratch = SearchScratch::new();
+        scratch.begin(2);
+        assert!(scratch.bound().is_none());
+        scratch.offer(1, 10);
+        assert!(scratch.bound().is_none(), "heap not yet full");
+        scratch.offer(2, 4);
+        assert_eq!(scratch.bound(), Some(Neighbor::new(1, 10)));
+        scratch.offer(3, 6);
+        assert_eq!(scratch.bound(), Some(Neighbor::new(3, 6)));
+        // A worse candidate leaves the heap untouched.
+        scratch.offer(4, 7);
+        assert_eq!(scratch.bound(), Some(Neighbor::new(3, 6)));
+        assert_eq!(scratch.finish(), &[Neighbor::new(2, 4), Neighbor::new(3, 6)]);
+    }
+
+    #[test]
+    fn k_zero_selects_nothing() {
+        let mut scratch = SearchScratch::new();
+        scratch.begin(0);
+        scratch.offer(1, 1);
+        assert!(scratch.finish().is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Property-based equivalence suite for the cache-resident hot path
+//! (experiment E11): the arena scan must reproduce the old per-bucket
+//! `HashMap` scan exactly, and the bounded top-k selection must reproduce
+//! full-sort-then-truncate exactly — ids, distances *and* ordering —
+//! across generated code widths, radii and `k`, on both sides of the
+//! adaptive `pick_strategy` crossover.
+
+use std::collections::HashMap;
+
+use eq_hashindex::hashtable::Strategy as ScanStrategy;
+use eq_hashindex::{
+    BinaryCode, CodeArena, HammingIndex, HashTableIndex, ItemId, Neighbor, SearchScratch,
+    ShardedHashIndex,
+};
+use proptest::prelude::*;
+
+fn arb_code(bits: u32) -> impl Strategy<Value = BinaryCode> {
+    proptest::collection::vec(any::<bool>(), bits as usize)
+        .prop_map(|bools| BinaryCode::from_bools(&bools))
+}
+
+/// Code widths covering every kernel specialisation: sub-word, exactly one
+/// word, two words (the 128-bit MiLaN width), a ragged two-word width and
+/// the generic ≥3-word fallback.
+fn arb_bits() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(8u32), Just(64), Just(100), Just(128), Just(192)]
+}
+
+/// Codes drawn from a small pool so buckets collide and distance ties are
+/// common — ties are where ordering bugs hide.
+fn arb_workload() -> impl Strategy<Value = (u32, Vec<BinaryCode>, BinaryCode)> {
+    arb_bits().prop_flat_map(|bits| {
+        (
+            Just(bits),
+            proptest::collection::vec(arb_code(bits), 1..8).prop_flat_map(|pool| {
+                proptest::collection::vec(0usize..pool.len(), 1..120)
+                    .prop_map(move |picks| picks.into_iter().map(|i| pool[i].clone()).collect())
+            }),
+            arb_code(bits),
+        )
+    })
+}
+
+/// The pre-arena bucket scan, verbatim: iterate a `HashMap` of buckets,
+/// compare each distinct code, emit every bucket member, then sort.  The
+/// arena path must be indistinguishable from this.
+fn legacy_bucket_scan(
+    buckets: &HashMap<BinaryCode, Vec<ItemId>>,
+    query: &BinaryCode,
+    radius: u32,
+) -> Vec<Neighbor> {
+    let mut out = Vec::new();
+    for (code, bucket) in buckets {
+        let d = code.hamming_distance(query);
+        if d <= radius {
+            for &id in bucket {
+                out.push(Neighbor::new(id, d));
+            }
+        }
+    }
+    eq_hashindex::sort_neighbors(&mut out);
+    out
+}
+
+/// The pre-top-k k-NN, verbatim: materialise every distance, fully sort,
+/// truncate.
+fn full_sort_knn(codes: &[BinaryCode], query: &BinaryCode, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = codes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Neighbor::new(i as ItemId, c.hamming_distance(query)))
+        .collect();
+    eq_hashindex::sort_neighbors(&mut all);
+    all.truncate(k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_scan_matches_the_legacy_bucket_scan(
+        w in arb_workload(),
+        radius in 0u32..40,
+    ) {
+        let (bits, codes, query) = w;
+        let mut table = HashTableIndex::new(bits);
+        let mut buckets: HashMap<BinaryCode, Vec<ItemId>> = HashMap::new();
+        for (i, c) in codes.iter().enumerate() {
+            table.insert(i as ItemId, c.clone());
+            buckets.entry(c.clone()).or_default().push(i as ItemId);
+        }
+        let expected = legacy_bucket_scan(&buckets, &query, radius);
+        // Pin the scan strategy: this property targets the arena kernel.
+        table.force_strategy(Some(ScanStrategy::BucketScan));
+        prop_assert_eq!(table.radius_search(&query, radius), expected);
+    }
+
+    #[test]
+    fn adaptive_strategy_is_invisible_in_results(
+        w in arb_workload(),
+        radius in 0u32..40,
+    ) {
+        let (bits, codes, query) = w;
+        // The adaptive pick (enumeration below the crossover, arena scan
+        // above it) must never change what a query returns.
+        let mut table = HashTableIndex::new(bits);
+        for (i, c) in codes.iter().enumerate() {
+            table.insert(i as ItemId, c.clone());
+        }
+        let adaptive = table.radius_search(&query, radius);
+        table.force_strategy(Some(ScanStrategy::BucketScan));
+        let scanned = table.radius_search(&query, radius);
+        prop_assert_eq!(&adaptive, &scanned);
+        // Forcing enumeration is only tractable while the probe count is
+        // small — `C(bits, radius)` explodes well before radius 40 — so the
+        // explicit cross-check is gated the same way `pick_strategy` gates
+        // itself (the adaptive pick never enumerates past this, either).
+        if table.enumeration_probes(radius) <= 4096 {
+            table.force_strategy(Some(ScanStrategy::Enumerate));
+            let enumerated = table.radius_search(&query, radius);
+            prop_assert_eq!(&adaptive, &enumerated);
+        }
+    }
+
+    #[test]
+    fn bounded_topk_matches_full_sort_then_truncate(
+        w in arb_workload(),
+        k in 0usize..140,
+    ) {
+        let (bits, codes, query) = w;
+        let expected = full_sort_knn(&codes, &query, k);
+
+        // Through the hash table (knn and the scratch-reusing knn_with)...
+        let mut table = HashTableIndex::new(bits);
+        for (i, c) in codes.iter().enumerate() {
+            table.insert(i as ItemId, c.clone());
+        }
+        prop_assert_eq!(table.knn(&query, k), &expected[..]);
+        let mut scratch = SearchScratch::new();
+        prop_assert_eq!(table.knn_with(&query, k, &mut scratch), &expected[..]);
+        // ...and a second use of the same scratch stays exact.
+        prop_assert_eq!(table.knn_with(&query, k, &mut scratch), &expected[..]);
+
+        // ...and through the raw arena selection.
+        let mut arena = CodeArena::new(bits);
+        for (i, c) in codes.iter().enumerate() {
+            arena.push(i as ItemId, c);
+        }
+        scratch.begin(k);
+        scratch.scan_arena(&arena, query.words());
+        prop_assert_eq!(scratch.finish(), &expected[..]);
+    }
+
+    #[test]
+    fn sharded_fanout_selection_matches_the_flat_index(
+        w in arb_workload(),
+        k in 0usize..140,
+        radius in 0u32..40,
+        shards in 1usize..6,
+    ) {
+        let (bits, codes, query) = w;
+        let sharded = ShardedHashIndex::new(bits, shards);
+        let mut flat = HashTableIndex::new(bits);
+        for (i, c) in codes.iter().enumerate() {
+            sharded.insert(i as ItemId, c.clone());
+            flat.insert(i as ItemId, c.clone());
+        }
+        // One heap threaded across every shard arena == the flat top-k.
+        let mut scratch = SearchScratch::new();
+        let got = sharded.knn_with(&query, k, &mut scratch).to_vec();
+        prop_assert_eq!(&got, &flat.knn(&query, k));
+        prop_assert_eq!(&got, &full_sort_knn(&codes, &query, k)[..]);
+        prop_assert_eq!(
+            sharded.radius_search(&query, radius),
+            flat.radius_search(&query, radius)
+        );
+    }
+
+    #[test]
+    fn arena_distances_match_the_code_type(
+        w in arb_workload(),
+    ) {
+        let (bits, codes, query) = w;
+        let mut arena = CodeArena::new(bits);
+        for (i, c) in codes.iter().enumerate() {
+            arena.push(i as ItemId, c);
+        }
+        let mut dists = Vec::new();
+        arena.distances_into(query.words(), &mut dists);
+        prop_assert_eq!(dists.len(), codes.len());
+        for (i, c) in codes.iter().enumerate() {
+            prop_assert_eq!(dists[i], c.hamming_distance(&query));
+        }
+    }
+
+    #[test]
+    fn substring_equals_bit_by_bit_reference(
+        code in arb_bits().prop_flat_map(arb_code),
+        chunk in 0u32..12,
+        chunk_bits in 1u32..=64,
+    ) {
+        let mut expected = 0u64;
+        for i in 0..chunk_bits {
+            let bit_idx = chunk as u64 * chunk_bits as u64 + i as u64;
+            if bit_idx >= code.bits() as u64 {
+                break;
+            }
+            if code.bit(bit_idx as u32) {
+                expected |= 1u64 << i;
+            }
+        }
+        prop_assert_eq!(code.substring(chunk, chunk_bits), expected);
+    }
+}
+
+/// Deterministic (non-proptest) pin of the `pick_strategy` crossover
+/// itself: right at the boundary where enumeration probes equal the bucket
+/// count, both strategies and the adaptive pick agree on a dense table.
+#[test]
+fn results_agree_across_the_pick_strategy_crossover() {
+    let bits = 16u32;
+    let mut table = HashTableIndex::new(bits);
+    for i in 0..3000u64 {
+        let word = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24;
+        table.insert(i, BinaryCode::from_words(bits, vec![word]));
+    }
+    let query = BinaryCode::from_words(bits, vec![0x5A5A]);
+    // Radii 0..=3 cross from `C(16,r) <= buckets` (enumerate) to scan.
+    for radius in 0..=6u32 {
+        table.force_strategy(None);
+        let adaptive = table.radius_search(&query, radius);
+        table.force_strategy(Some(ScanStrategy::Enumerate));
+        assert_eq!(adaptive, table.radius_search(&query, radius), "radius {radius}");
+        table.force_strategy(Some(ScanStrategy::BucketScan));
+        assert_eq!(adaptive, table.radius_search(&query, radius), "radius {radius}");
+    }
+}
