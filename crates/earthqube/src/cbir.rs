@@ -53,7 +53,7 @@ struct ScratchSlot(Mutex<SearchScratch>);
 
 impl Clone for ScratchSlot {
     fn clone(&self) -> Self {
-        ScratchSlot(Mutex::new(SearchScratch::new()))
+        ScratchSlot(Mutex::with_name(SearchScratch::new(), "cbir-scratch"))
     }
 }
 
@@ -98,7 +98,7 @@ impl CbirService {
             index,
             name_to_code,
             id_to_name,
-            scratch: ScratchSlot(Mutex::new(SearchScratch::new())),
+            scratch: ScratchSlot(Mutex::with_name(SearchScratch::new(), "cbir-scratch")),
         }
     }
 

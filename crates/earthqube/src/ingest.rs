@@ -26,6 +26,7 @@ fn prepare_collections(db: &mut Database) {
         metadata.create_attribute_index(fields::PATCH_ID);
         metadata
             .create_geo_index(fields::LOCATION)
+            // lint:allow(panic) infallible: the collection was created just above and cannot already carry a geo index
             .expect("fresh metadata collection accepts a geo index");
     }
     db.create_collection(collections::IMAGE_DATA, fields::NAME);

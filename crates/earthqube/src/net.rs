@@ -331,7 +331,7 @@ impl NetServer {
         let shared = Arc::new(Shared {
             server,
             stop: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
+            conns: Mutex::with_name(HashMap::new(), "conns"),
             next_conn_id: AtomicU64::new(0),
             connections_failed: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
@@ -349,7 +349,7 @@ impl NetServer {
         // connection flood cannot exhaust file descriptors.  This is what
         // makes "the pool size bounds concurrency and memory" true.
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool);
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(Mutex::with_name(rx, "accept-queue"));
         let workers = (0..pool)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -935,7 +935,9 @@ impl EqClient {
                     }
                 }
             }
-            let sent = sender.join().expect("the batch writer does not panic");
+            let sent = sender
+                .join()
+                .unwrap_or_else(|_| Err(EarthQubeError::Net("batch writer panicked".into())));
             // A writer failure is the root cause when both sides errored
             // (the reader's error is then just the induced socket
             // shutdown), so it takes precedence in the report.

@@ -369,6 +369,7 @@ pub(crate) fn read_wal(path: &Path, generation: u32) -> Result<WalScan, EarthQub
     if (bytes.len() as u64) < WAL_HEADER_LEN {
         return Ok(WalScan::Fresh); // torn header: the crash hit WAL creation
     }
+    // lint:allow(panic) infallible: the WAL_HEADER_LEN check above guarantees 12 header bytes
     let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
     if tag != generation {
         return Ok(WalScan::Fresh); // stale log from before the last snapshot
@@ -377,7 +378,9 @@ pub(crate) fn read_wal(path: &Path, generation: u32) -> Result<WalScan, EarthQub
     let mut pos = WAL_HEADER_LEN as usize;
     let mut valid_end = pos as u64;
     while bytes.len() - pos >= 8 {
+        // lint:allow(panic) infallible: the loop condition guarantees 8 remaining bytes
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        // lint:allow(panic) infallible: the loop condition guarantees 8 remaining bytes
         let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
         let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
             break; // torn tail: the payload was never fully written

@@ -249,7 +249,12 @@ impl ResultCache {
         let remainder = capacity % n;
         Self {
             shards: (0..n)
-                .map(|i| RwLock::new(CacheShard::new(base + usize::from(i < remainder))))
+                .map(|i| {
+                    RwLock::with_name(
+                        CacheShard::new(base + usize::from(i < remainder)),
+                        "cache-shard",
+                    )
+                })
                 .collect(),
         }
     }
@@ -422,19 +427,16 @@ impl QueryServer {
             serve,
             model,
             index,
-            catalog: RwLock::new(Catalog {
-                database,
-                metadata,
-                name_to_code,
-                id_to_name,
-                feedback,
-            }),
+            catalog: RwLock::with_name(
+                Catalog { database, metadata, name_to_code, id_to_name, feedback },
+                "catalog",
+            ),
             cache: ResultCache::new(serve.cache_capacity),
             registry,
-            counters: Mutex::new(QueryCounters::default()),
+            counters: Mutex::with_name(QueryCounters::default(), "counters"),
             ingested_images: AtomicU64::new(0),
-            scratch_pool: Mutex::new(Vec::new()),
-            wal: Mutex::new(None),
+            scratch_pool: Mutex::with_name(Vec::new(), "scratch_pool"),
+            wal: Mutex::with_name(None, "wal"),
         })
     }
 
@@ -567,6 +569,7 @@ impl QueryServer {
     fn with_scratch<R>(&self, f: impl FnOnce(&mut QueryScratch) -> R) -> R {
         let mut scratch = self.scratch_pool.lock().pop().unwrap_or_default();
         let result = f(&mut scratch);
+        // lint:allow(hot-path) returns the scratch to a pool prewarmed to the worker count: steady-state pushes land in reserved capacity
         self.scratch_pool.lock().push(scratch);
         result
     }
@@ -626,6 +629,7 @@ impl QueryServer {
         });
         results
             .into_iter()
+            // lint:allow(panic) infallible: chunks() and chunks_mut() with the same size partition 0..len identically
             .map(|r| r.expect("every request is assigned to exactly one worker"))
             .collect()
     }
@@ -732,6 +736,7 @@ impl QueryServer {
         // original batch error (if any) stays the reported one.
         if report.metadata_docs > 0 {
             if let Some(writer) = wal.as_mut() {
+                // lint:allow(lock) durability inside the write-lock section IS the ingest atomicity contract (see the method docs)
                 if let Err(e) = writer.sync() {
                     *wal = None;
                     if result.is_ok() {
@@ -770,6 +775,7 @@ impl QueryServer {
         if let Some(writer) = wal.as_mut() {
             let logged = writer
                 .append(&persist::encode_feedback_record(text, category))
+                // lint:allow(lock) feedback must be crash-durable before the lock drops, same contract as ingest
                 .and_then(|()| writer.sync());
             if let Err(e) = logged {
                 *wal = None;
@@ -857,13 +863,14 @@ impl QueryServer {
             .map_err(|e| persist::io_error("creating the persistence directory", e))?;
         let catalog = self.catalog.read();
         let mut wal = self.wal.lock();
-        let codes: Vec<&BinaryCode> = catalog
-            .id_to_name
-            .iter()
-            .map(|name| {
-                catalog.name_to_code.get(name).expect("every indexed image has a stored code")
-            })
-            .collect();
+        let mut codes: Vec<&BinaryCode> = Vec::with_capacity(catalog.id_to_name.len());
+        for name in &catalog.id_to_name {
+            codes.push(catalog.name_to_code.get(name).ok_or_else(|| {
+                EarthQubeError::Persist(format!(
+                    "catalog is internally inconsistent: indexed image {name} has no stored code"
+                ))
+            })?);
+        }
         let bytes = persist::encode_snapshot(
             &self.config,
             self.serve,
@@ -877,10 +884,12 @@ impl QueryServer {
         {
             let mut file = std::fs::File::create(&tmp)
                 .map_err(|e| persist::io_error("creating the snapshot file", e))?;
+            // lint:allow(lock) checkpoint writes under the catalog read lock by design: writers are excluded, queries keep flowing
             std::io::Write::write_all(&mut file, &bytes)
                 .map_err(|e| persist::io_error("writing the snapshot", e))?;
             // Sync *before* the rename: the published name must never point
             // at bytes still sitting in the page cache.
+            // lint:allow(lock) the snapshot must be on stable storage before the rename publishes it; see the comment above
             file.sync_all().map_err(|e| persist::io_error("syncing the snapshot", e))?;
         }
         std::fs::rename(&tmp, dir.join(persist::SNAPSHOT_FILE))
@@ -899,6 +908,7 @@ impl QueryServer {
             &dir.join(persist::WAL_FILE),
             persist::snapshot_generation(&bytes),
         )?);
+        // lint:allow(lock) the directory entry for the renamed snapshot must be durable before checkpoint() returns
         persist::sync_dir(dir)?;
         Ok(())
     }
@@ -935,19 +945,22 @@ impl QueryServer {
             serve: state.serve,
             model: state.model,
             index: state.index,
-            catalog: RwLock::new(Catalog {
-                database: state.database,
-                metadata,
-                name_to_code,
-                id_to_name,
-                feedback: FeedbackService::new(),
-            }),
+            catalog: RwLock::with_name(
+                Catalog {
+                    database: state.database,
+                    metadata,
+                    name_to_code,
+                    id_to_name,
+                    feedback: FeedbackService::new(),
+                },
+                "catalog",
+            ),
             cache: ResultCache::new(state.serve.cache_capacity),
             registry,
-            counters: Mutex::new(QueryCounters::default()),
+            counters: Mutex::with_name(QueryCounters::default(), "counters"),
             ingested_images: AtomicU64::new(0),
-            scratch_pool: Mutex::new(Vec::new()),
-            wal: Mutex::new(None),
+            scratch_pool: Mutex::with_name(Vec::new(), "scratch_pool"),
+            wal: Mutex::with_name(None, "wal"),
         };
 
         let wal_path = dir.join(persist::WAL_FILE);

@@ -15,7 +15,7 @@
 //! All angles are degrees; longitudes are in `[-180, 180]`, latitudes in
 //! `[-90, 90]`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bbox;
 pub mod distance;

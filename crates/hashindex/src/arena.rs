@@ -188,6 +188,7 @@ impl CodeArena {
     pub fn distances_into(&self, query: &[u64], out: &mut Vec<u32>) {
         out.clear();
         out.reserve(self.ids.len());
+        // lint:allow(hot-path) the reserve() above makes every push land in capacity; the buffer is reused across queries
         self.for_each_distance(query, |_, d| out.push(d));
     }
 
@@ -202,6 +203,7 @@ impl CodeArena {
     pub fn scan_radius_into(&self, query: &[u64], radius: u32, out: &mut Vec<Neighbor>) {
         self.for_each_distance(query, |row, d| {
             if d <= radius {
+                // lint:allow(hot-path) the caller owns and reuses the buffer across queries; amortised like the bucket scan this replaced
                 out.push(Neighbor::new(self.ids[row], d));
             }
         });

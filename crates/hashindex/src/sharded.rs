@@ -52,7 +52,12 @@ impl ShardedHashIndex {
     /// Panics if `bits == 0` or `shards == 0`.
     pub fn new(bits: u32, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
-        Self { bits, shards: (0..shards).map(|_| RwLock::new(HashTableIndex::new(bits))).collect() }
+        Self {
+            bits,
+            shards: (0..shards)
+                .map(|_| RwLock::with_name(HashTableIndex::new(bits), "index-shard"))
+                .collect(),
+        }
     }
 
     /// Creates an index with [`DEFAULT_SHARDS`] shards.
@@ -185,7 +190,7 @@ impl ShardedHashIndex {
                     table.bits()
                 )));
             }
-            shards.push(RwLock::new(table));
+            shards.push(RwLock::with_name(table, "index-shard"));
         }
         Ok(Self { bits, shards })
     }

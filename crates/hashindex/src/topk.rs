@@ -76,6 +76,7 @@ impl SearchScratch {
         }
         let candidate = Neighbor::new(id, distance);
         if self.heap.len() < self.k {
+            // lint:allow(hot-path) bounded by k and begin() reserves k slots, so the push never grows the heap when warm
             self.heap.push(candidate);
             self.sift_up(self.heap.len() - 1);
         } else if worse(&self.heap[0], &candidate) {

@@ -1,0 +1,394 @@
+//! A comment/string/char-literal-aware Rust lexer.
+//!
+//! The rule engine does not need a parser — every serving-tier invariant it
+//! enforces is visible in the token stream — but it absolutely needs to
+//! know that `"unwrap("` inside a string literal, `.unwrap()` inside a doc
+//! comment, and `'{'` inside a char literal are *not* code.  This module
+//! provides exactly that: a total, panic-free tokenizer that classifies
+//! every byte of a source file into identifiers, literals, comments and
+//! punctuation, with 1-based line numbers.
+//!
+//! Totality is load-bearing: the lexer runs over every `.rs` file in the
+//! tree including hostile or half-written ones, so *any* byte sequence must
+//! lex to completion (unterminated strings and comments simply run to end
+//! of file).  The property suite in `tests/proptest_lint.rs` pins this.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `Vec`, …).
+    Ident,
+    /// A numeric literal (integers and floats, any radix, suffixes kept).
+    Number,
+    /// A string literal, including raw strings (`"…"`, `r#"…"#`).
+    Str,
+    /// A byte-string literal (`b"…"`, `br#"…"#`).
+    ByteStr,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`) — *not* a char literal.
+    Lifetime,
+    /// A `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Any other single character (braces, dots, operators, …).
+    Punct,
+}
+
+/// One token: its kind, its exact source text, and the 1-based line its
+/// first byte sits on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The exact source slice, prefixes and quotes included.
+    pub text: &'a str,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `source` completely.  Never panics, never loses bytes:
+/// concatenating the text of all tokens (plus the skipped whitespace)
+/// reproduces the input.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer { src: source.as_bytes(), source, pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    source: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut tokens = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            // Defensive: every branch must advance; if one ever fails to,
+            // emit the byte as punctuation rather than looping forever.
+            if self.pos == start {
+                self.advance(1);
+            }
+            if let Some(text) = self.source.get(start..self.pos) {
+                if !text.trim().is_empty() {
+                    tokens.push(Token { kind, text, line });
+                }
+            }
+        }
+        tokens
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances `n` bytes, counting newlines.
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.peek(0);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                self.advance(1);
+                TokenKind::Punct // whitespace; dropped by `run`
+            }
+            b'/' if self.peek(1) == b'/' => self.line_comment(),
+            b'/' if self.peek(1) == b'*' => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' if self.raw_string_ahead(1) => {
+                self.advance(1);
+                self.raw_string();
+                TokenKind::Str
+            }
+            b'b' if self.peek(1) == b'"' => {
+                self.advance(1);
+                self.string();
+                TokenKind::ByteStr
+            }
+            b'b' if self.peek(1) == b'\'' => {
+                self.advance(1);
+                self.char_literal();
+                TokenKind::Char
+            }
+            b'b' if self.peek(1) == b'r' && self.raw_string_ahead(2) => {
+                self.advance(2);
+                self.raw_string();
+                TokenKind::ByteStr
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+            _ if c.is_ascii_digit() => self.number(),
+            _ => {
+                self.advance(utf8_len(c));
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Whether `r`/`br` at the current position starts a raw string: zero
+    /// or more `#` followed by a quote.
+    fn raw_string_ahead(&self, mut at: usize) -> bool {
+        while self.peek(at) == b'#' {
+            at += 1;
+        }
+        self.peek(at) == b'"'
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.advance(1);
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.advance(2);
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.advance(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.advance(2);
+            } else {
+                self.advance(1);
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A `"…"` string starting at the opening quote (any `b` prefix already
+    /// consumed).  The kind is decided by the caller.
+    fn string(&mut self) -> TokenKind {
+        self.advance(1);
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.advance(2),
+                b'"' => {
+                    self.advance(1);
+                    break;
+                }
+                _ => self.advance(1),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string starting at the `#`s/quote (prefix letters consumed):
+    /// counts the `#`s, then runs to the matching `"###…`.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.advance(1);
+        }
+        self.advance(1); // opening quote
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut matched = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    self.advance(1 + hashes);
+                    return;
+                }
+            }
+            self.advance(1);
+        }
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'x'` / `'\n'` (char literal):
+    /// a quote followed by an identifier char is a lifetime unless the
+    /// character after it closes the literal.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let next = self.peek(1);
+        if next == b'\\' {
+            self.char_literal();
+            return TokenKind::Char;
+        }
+        if (next == b'_' || next.is_ascii_alphanumeric()) && self.peek(2) != b'\'' {
+            // Lifetime: consume the quote and the identifier.
+            self.advance(2);
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                self.advance(1);
+            }
+            return TokenKind::Lifetime;
+        }
+        self.char_literal();
+        TokenKind::Char
+    }
+
+    /// A char literal starting at the opening quote.
+    fn char_literal(&mut self) {
+        self.advance(1);
+        // Bounded scan: a well-formed char literal closes within a few
+        // bytes; on garbage, stop at the quote or after a short window so
+        // an apostrophe in a comment-free token soup cannot swallow the
+        // rest of the file.
+        let mut budget = 12usize;
+        while self.pos < self.src.len() && budget > 0 {
+            match self.peek(0) {
+                b'\\' => self.advance(2),
+                b'\'' => {
+                    self.advance(1);
+                    return;
+                }
+                b'\n' => return,
+                _ => self.advance(utf8_len(self.peek(0))),
+            }
+            budget -= 1;
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            self.advance(1);
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Loose by design: digits, radix prefixes, underscores, suffixes
+        // and a fractional part all glob into one token.  The rules only
+        // ever compare numeric tokens after parsing them properly.
+        while self.peek(0) == b'_'
+            || self.peek(0) == b'.' && self.peek(1).is_ascii_digit()
+            || self.peek(0).is_ascii_alphanumeric()
+        {
+            if self.peek(0) == b'.' {
+                self.advance(1);
+            }
+            self.advance(1);
+        }
+        TokenKind::Number
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first` (1 for
+/// ASCII and for malformed leads, so the lexer always advances).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+/// The unquoted content of a string/byte-string literal token: strips the
+/// `b`/`r` prefixes, `#` guards and quotes.  Returns an empty string for
+/// malformed literals rather than panicking.
+pub fn literal_content(text: &str) -> &str {
+    let open = match text.find('"') {
+        Some(i) => i,
+        None => return "",
+    };
+    let hashes = text[..open].chars().filter(|&c| c == '#').count();
+    let body_start = open + 1;
+    let body_end = text.len().saturating_sub(1 + hashes);
+    if body_end <= body_start {
+        return "";
+    }
+    text.get(body_start..body_end).unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let toks = kinds("let x = 42 + 0xFF_u32;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+        assert_eq!(toks[2], (TokenKind::Punct, "="));
+        assert_eq!(toks[3], (TokenKind::Number, "42"));
+        assert_eq!(toks[5], (TokenKind::Number, "0xFF_u32"));
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        let toks = kinds(r#"let s = "call .unwrap() here";"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks =
+            kinds(r####"let a = r#"raw "quoted" text"#; let b = b"bytes"; let c = br##"x"##;"####);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.starts_with("r#")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::ByteStr && t.starts_with("b\"")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::ByteStr && t.starts_with("br")));
+    }
+
+    #[test]
+    fn comments_are_classified_not_dropped() {
+        let toks = kinds("code(); // trailing .unwrap()\n/* block\nspanning */ more();");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::LineComment && t.contains("unwrap")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::BlockComment && t.contains("spanning")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "more"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(u32, &str)> = toks.iter().map(|t| (t.line, t.text)).collect();
+        assert_eq!(lines, vec![(1, "a"), (2, "b"), (4, "c")]);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panicking() {
+        for src in ["\"never closed", "r#\"also open", "/* open block", "'", "b\"x"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} must still lex");
+        }
+    }
+
+    #[test]
+    fn literal_content_strips_quotes_and_prefixes() {
+        assert_eq!(literal_content("\"EQRQ\""), "EQRQ");
+        assert_eq!(literal_content("b\"EQSNAP01\""), "EQSNAP01");
+        assert_eq!(literal_content("r#\"raw\"#"), "raw");
+        assert_eq!(literal_content("br##\"x\"##"), "x");
+        assert_eq!(literal_content("\""), "");
+        assert_eq!(literal_content("no quotes"), "");
+    }
+}

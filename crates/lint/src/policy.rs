@@ -1,0 +1,482 @@
+//! The lint policy: what the committed `lint.toml` declares.
+//!
+//! The build environment has no registry access, so this module includes a
+//! hand-rolled parser for the small TOML subset the policy file actually
+//! uses: `[table]` headers, `[[array-of-tables]]` headers, and
+//! `key = value` pairs where a value is a string, an integer (decimal or
+//! `0x…` hex), a boolean, or a single-line array of strings.  Anything
+//! outside that subset is a hard error — a policy typo must fail the lint
+//! run, not silently relax it.
+
+use std::fmt;
+
+/// One entry in the hot-path registry: a function that must stay
+/// allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotFunction {
+    /// Workspace-relative path of the file defining the function.
+    pub file: String,
+    /// The function's name.
+    pub name: String,
+}
+
+/// One wire magic constant: defined exactly once, referenced by name
+/// everywhere else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireConstant {
+    /// The constant's Rust identifier (`REQUEST_MAGIC`, …).
+    pub name: String,
+    /// The literal byte content (`EQRQ`, `EQSNAP01`, …).
+    pub literal: String,
+    /// Workspace-relative path of the file allowed to define it.
+    pub file: String,
+}
+
+/// One versioned wire constant, optionally pinned to a blessed golden
+/// fixture directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireVersion {
+    /// The constant's Rust identifier (`PROTOCOL_VERSION`, …).
+    pub name: String,
+    /// Workspace-relative path of the file defining it.
+    pub file: String,
+    /// The value the policy expects the source to declare.
+    pub value: u64,
+    /// Golden fixture directory whose blessed contents pin this version.
+    pub fixtures: Option<String>,
+    /// CRC-32 over the fixture directory contents (names + bytes); a
+    /// version bump without re-blessing the fixtures fails the lint run.
+    pub fixture_crc: Option<u32>,
+}
+
+/// Policy for the golden-fixture orphan check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenPolicy {
+    /// Directory of golden fixture files.
+    pub fixtures: String,
+    /// The test file expected to reference every fixture.
+    pub test_file: String,
+}
+
+/// The whole committed policy.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Path prefixes (workspace-relative, `/`-separated) to skip entirely.
+    pub exclude: Vec<String>,
+    /// Crate directories whose non-test code must be panic-free.
+    pub panic_crates: Vec<String>,
+    /// Method/function names that block on I/O; calling one while holding a
+    /// guard is flagged.
+    pub blocking_calls: Vec<String>,
+    /// Allowed (outer, inner) lock acquisition pairs, by lock field name.
+    pub lock_order: Vec<(String, String)>,
+    /// Method names banned inside hot-path functions (`push`, `clone`, …).
+    pub hot_banned_methods: Vec<String>,
+    /// Macro names banned inside hot-path functions (`format`, `vec`, …).
+    pub hot_banned_macros: Vec<String>,
+    /// Type names whose `::new` is banned inside hot-path functions.
+    pub hot_banned_constructors: Vec<String>,
+    /// The hot-path function registry.
+    pub hot_functions: Vec<HotFunction>,
+    /// Wire magic constants.
+    pub wire_constants: Vec<WireConstant>,
+    /// Versioned wire constants.
+    pub wire_versions: Vec<WireVersion>,
+    /// Golden-fixture orphan policy, if enabled.
+    pub golden: Option<GoldenPolicy>,
+}
+
+/// A policy-file parse error: line number plus message.
+#[derive(Debug)]
+pub struct PolicyError {
+    /// 1-based line in the policy file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// One parsed TOML value (the subset the policy needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+impl Value {
+    fn as_str(&self, line: u32, key: &str) -> Result<&str, PolicyError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(err(line, format!("`{key}` must be a string"))),
+        }
+    }
+
+    fn as_int(&self, line: u32, key: &str) -> Result<u64, PolicyError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            _ => Err(err(line, format!("`{key}` must be an integer"))),
+        }
+    }
+
+    fn as_str_array(&self, line: u32, key: &str) -> Result<Vec<String>, PolicyError> {
+        match self {
+            Value::StrArray(v) => Ok(v.clone()),
+            _ => Err(err(line, format!("`{key}` must be an array of strings"))),
+        }
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> PolicyError {
+    PolicyError { line, message: message.into() }
+}
+
+/// Parses the policy from `lint.toml` text.
+///
+/// # Errors
+/// Returns a [`PolicyError`] on any line outside the supported subset, on
+/// an unknown section or key, or on a structurally incomplete entry (e.g.
+/// a `[[hot_path.function]]` without a `name`).
+pub fn parse_policy(text: &str) -> Result<Policy, PolicyError> {
+    let mut policy = Policy::default();
+    // Current section and, for array-of-table sections, the pending entry's
+    // key/value pairs (flushed when the next header starts or at EOF).
+    let mut section = String::new();
+    let mut entry: Vec<(u32, String, Value)> = Vec::new();
+    let mut entry_line = 0u32;
+
+    let flush = |policy: &mut Policy,
+                 section: &str,
+                 entry: &mut Vec<(u32, String, Value)>,
+                 entry_line: u32|
+     -> Result<(), PolicyError> {
+        if entry.is_empty()
+            && !matches!(
+                section,
+                "lock.order" | "hot_path.function" | "wire.constant" | "wire.version"
+            )
+        {
+            return Ok(());
+        }
+        let take = |entry: &[(u32, String, Value)], key: &str| -> Option<(u32, Value)> {
+            entry.iter().find(|(_, k, _)| k == key).map(|(l, _, v)| (*l, v.clone()))
+        };
+        let require = |entry: &[(u32, String, Value)],
+                       key: &str|
+         -> Result<(u32, Value), PolicyError> {
+            take(entry, key)
+                .ok_or_else(|| err(entry_line, format!("[[{section}]] entry is missing `{key}`")))
+        };
+        match section {
+            "lock.order" => {
+                let (l1, outer) = require(entry, "outer")?;
+                let (l2, inner) = require(entry, "inner")?;
+                policy.lock_order.push((
+                    outer.as_str(l1, "outer")?.to_string(),
+                    inner.as_str(l2, "inner")?.to_string(),
+                ));
+            }
+            "hot_path.function" => {
+                let (l1, file) = require(entry, "file")?;
+                let (l2, name) = require(entry, "name")?;
+                policy.hot_functions.push(HotFunction {
+                    file: file.as_str(l1, "file")?.to_string(),
+                    name: name.as_str(l2, "name")?.to_string(),
+                });
+            }
+            "wire.constant" => {
+                let (l1, name) = require(entry, "name")?;
+                let (l2, literal) = require(entry, "literal")?;
+                let (l3, file) = require(entry, "file")?;
+                policy.wire_constants.push(WireConstant {
+                    name: name.as_str(l1, "name")?.to_string(),
+                    literal: literal.as_str(l2, "literal")?.to_string(),
+                    file: file.as_str(l3, "file")?.to_string(),
+                });
+            }
+            "wire.version" => {
+                let (l1, name) = require(entry, "name")?;
+                let (l2, file) = require(entry, "file")?;
+                let (l3, value) = require(entry, "value")?;
+                let fixtures = match take(entry, "fixtures") {
+                    Some((l, v)) => Some(v.as_str(l, "fixtures")?.to_string()),
+                    None => None,
+                };
+                let fixture_crc = match take(entry, "fixture_crc") {
+                    Some((l, v)) => Some(
+                        u32::try_from(v.as_int(l, "fixture_crc")?)
+                            .map_err(|_| err(l, "`fixture_crc` does not fit in 32 bits"))?,
+                    ),
+                    None => None,
+                };
+                if fixtures.is_some() != fixture_crc.is_some() {
+                    return Err(err(
+                        entry_line,
+                        "`fixtures` and `fixture_crc` must be declared together",
+                    ));
+                }
+                policy.wire_versions.push(WireVersion {
+                    name: name.as_str(l1, "name")?.to_string(),
+                    file: file.as_str(l2, "file")?.to_string(),
+                    value: value.as_int(l3, "value")?,
+                    fixtures,
+                    fixture_crc,
+                });
+            }
+            _ => {}
+        }
+        entry.clear();
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let trimmed = strip_comment(raw).trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err(line, "malformed `[[…]]` header"))?
+                .trim();
+            flush(&mut policy, &section, &mut entry, entry_line)?;
+            match name {
+                "lock.order" | "hot_path.function" | "wire.constant" | "wire.version" => {}
+                _ => return Err(err(line, format!("unknown section `[[{name}]]`"))),
+            }
+            section = name.to_string();
+            entry_line = line;
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('[') {
+            let name =
+                header.strip_suffix(']').ok_or_else(|| err(line, "malformed `[…]` header"))?.trim();
+            flush(&mut policy, &section, &mut entry, entry_line)?;
+            match name {
+                "scan" | "panic" | "lock" | "hot_path" | "golden" => {}
+                _ => return Err(err(line, format!("unknown section `[{name}]`"))),
+            }
+            section = name.to_string();
+            continue;
+        }
+        let (key, value_text) =
+            trimmed.split_once('=').ok_or_else(|| err(line, "expected `key = value`"))?;
+        let key = key.trim();
+        let value = parse_value(value_text.trim(), line)?;
+        match section.as_str() {
+            "scan" => match key {
+                "exclude" => policy.exclude = value.as_str_array(line, key)?,
+                _ => return Err(err(line, format!("unknown key `{key}` in [scan]"))),
+            },
+            "panic" => match key {
+                "crates" => policy.panic_crates = value.as_str_array(line, key)?,
+                _ => return Err(err(line, format!("unknown key `{key}` in [panic]"))),
+            },
+            "lock" => match key {
+                "blocking" => policy.blocking_calls = value.as_str_array(line, key)?,
+                _ => return Err(err(line, format!("unknown key `{key}` in [lock]"))),
+            },
+            "hot_path" => match key {
+                "banned_methods" => policy.hot_banned_methods = value.as_str_array(line, key)?,
+                "banned_macros" => policy.hot_banned_macros = value.as_str_array(line, key)?,
+                "banned_constructors" => {
+                    policy.hot_banned_constructors = value.as_str_array(line, key)?
+                }
+                _ => return Err(err(line, format!("unknown key `{key}` in [hot_path]"))),
+            },
+            "golden" => {
+                let golden = policy.golden.get_or_insert(GoldenPolicy {
+                    fixtures: String::new(),
+                    test_file: String::new(),
+                });
+                match key {
+                    "fixtures" => golden.fixtures = value.as_str(line, key)?.to_string(),
+                    "test_file" => golden.test_file = value.as_str(line, key)?.to_string(),
+                    _ => return Err(err(line, format!("unknown key `{key}` in [golden]"))),
+                }
+            }
+            "lock.order" | "hot_path.function" | "wire.constant" | "wire.version" => {
+                entry.push((line, key.to_string(), value));
+            }
+            "" => return Err(err(line, "key/value pair before any section header")),
+            other => return Err(err(line, format!("unexpected key in [{other}]"))),
+        }
+    }
+    flush(&mut policy, &section, &mut entry, entry_line)?;
+    if let Some(golden) = &policy.golden {
+        if golden.fixtures.is_empty() || golden.test_file.is_empty() {
+            return Err(err(0, "[golden] needs both `fixtures` and `test_file`"));
+        }
+    }
+    Ok(policy)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_value(text: &str, line: u32) -> Result<Value, PolicyError> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body.strip_suffix(']').ok_or_else(|| err(line, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_array(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, line)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err(err(line, "arrays may only contain strings")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body.strip_suffix('"').ok_or_else(|| err(line, "unterminated string"))?;
+        if body.contains('\\') {
+            return Err(err(line, "escape sequences in strings are not supported"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    let parsed = if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        text.replace('_', "").parse::<u64>()
+    };
+    parsed.map(Value::Int).map_err(|_| err(line, format!("cannot parse value `{text}`")))
+}
+
+/// Splits a single-line array body on commas outside quotes.
+fn split_array(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let bytes = body.as_bytes();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# comment
+[scan]
+exclude = ["crates/lint/tests/corpus"]
+
+[panic]
+crates = ["crates/earthqube", "crates/wire"]  # trailing comment
+
+[lock]
+blocking = ["sync_all", "write_all"]
+
+[[lock.order]]
+outer = "catalog"
+inner = "wal"
+
+[hot_path]
+banned_methods = ["push", "clone"]
+banned_macros = ["format"]
+banned_constructors = ["Vec", "Box"]
+
+[[hot_path.function]]
+file = "crates/hashindex/src/arena.rs"
+name = "distance"
+
+[[wire.constant]]
+name = "REQUEST_MAGIC"
+literal = "EQRQ"
+file = "crates/proto/src/lib.rs"
+
+[[wire.version]]
+name = "PROTOCOL_VERSION"
+file = "crates/proto/src/lib.rs"
+value = 1
+fixtures = "crates/proto/tests/golden"
+fixture_crc = 0xDEAD_BEEF
+
+[golden]
+fixtures = "crates/proto/tests/golden"
+test_file = "crates/proto/tests/golden_bytes.rs"
+"##;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let p = parse_policy(SAMPLE).unwrap();
+        assert_eq!(p.exclude, vec!["crates/lint/tests/corpus"]);
+        assert_eq!(p.panic_crates, vec!["crates/earthqube", "crates/wire"]);
+        assert_eq!(p.blocking_calls, vec!["sync_all", "write_all"]);
+        assert_eq!(p.lock_order, vec![("catalog".to_string(), "wal".to_string())]);
+        assert_eq!(p.hot_banned_methods, vec!["push", "clone"]);
+        assert_eq!(p.hot_functions.len(), 1);
+        assert_eq!(p.hot_functions[0].name, "distance");
+        assert_eq!(p.wire_constants[0].literal, "EQRQ");
+        let v = &p.wire_versions[0];
+        assert_eq!((v.value, v.fixture_crc), (1, Some(0xDEAD_BEEF)));
+        assert_eq!(p.golden.as_ref().unwrap().test_file, "crates/proto/tests/golden_bytes.rs");
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_are_hard_errors() {
+        assert!(parse_policy("[typo]\n").is_err());
+        assert!(parse_policy("[[typo.section]]\n").is_err());
+        assert!(parse_policy("[scan]\nexclud = []\n").is_err());
+        assert!(parse_policy("key = 1\n").is_err());
+    }
+
+    #[test]
+    fn incomplete_entries_are_hard_errors() {
+        assert!(parse_policy("[[lock.order]]\nouter = \"a\"\n").is_err());
+        assert!(parse_policy(
+            "[[wire.version]]\nname = \"V\"\nfile = \"f\"\nvalue = 1\nfixtures = \"d\"\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn value_grammar_errors_carry_line_numbers() {
+        let e = parse_policy("[scan]\nexclude = [\"a\", 3]\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_policy("[panic]\ncrates = \"unterminated\n").is_err());
+        assert!(parse_policy("[lock]\nblocking = [\"open\n").is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Rule `golden`: the golden fixture directory and the conformance test
+//! that exercises it must stay in bijection.  Two directions:
+//!
+//! * **orphan fixture** — a committed `.bin` whose stem appears in no
+//!   string literal of the conformance test is dead weight that would
+//!   silently stop pinning anything;
+//! * **missing fixture** — a `check*`-call naming a fixture that does not
+//!   exist on disk (the test would only notice at runtime; the lint
+//!   notices at gate time, before a bless step is forgotten).
+//!
+//! This replaces the hand-maintained `known` array the golden test used to
+//! carry: the referenced-name set is now derived from the test source
+//! itself, so adding a conformance test automatically blesses its fixture
+//! name.
+
+use std::path::Path;
+
+use crate::lexer::{literal_content, TokenKind};
+use crate::policy::Policy;
+use crate::rules::is_punct;
+use crate::{FileCtx, Sink};
+
+/// The helper functions whose first string argument names a fixture.
+const CHECK_FNS: &[&str] = &["check", "check_request", "check_response"];
+
+/// Runs the rule: compares the fixture directory against the test file.
+pub fn check(root: &Path, ctxs: &[FileCtx<'_>], policy: &Policy, sink: &mut Sink) {
+    let Some(golden) = &policy.golden else { return };
+    let Some(ctx) = ctxs.iter().find(|c| c.path == golden.test_file) else {
+        sink.report.violations.push(crate::Diagnostic {
+            file: golden.test_file.clone(),
+            line: 0,
+            rule: "golden",
+            message: "the golden conformance test file named in lint.toml was not found".into(),
+            snippet: String::new(),
+        });
+        return;
+    };
+
+    let mut stems: Vec<String> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join(&golden.fixtures)) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_file() {
+                if let Some(stem) = path.file_stem() {
+                    stems.push(stem.to_string_lossy().into_owned());
+                }
+            }
+        }
+    }
+    stems.sort();
+
+    // Every string literal in the test file counts as a reference — names
+    // flow through tuple tables as well as direct `check("…", …)` calls.
+    let referenced: Vec<&str> = ctx
+        .code
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::ByteStr))
+        .map(|t| literal_content(t.text))
+        .collect();
+
+    for stem in &stems {
+        if !referenced.iter().any(|r| r == stem) {
+            sink.report.violations.push(crate::Diagnostic {
+                file: format!("{}/{stem}.bin", golden.fixtures),
+                line: 0,
+                rule: "golden",
+                message: format!(
+                    "orphan golden fixture `{stem}` — no test in {} references it; \
+                     remove it or add a conformance test",
+                    golden.test_file
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+
+    // Direct `check*("name", …)` calls must name an existing fixture.
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if code[i].kind == TokenKind::Ident
+            && CHECK_FNS.contains(&code[i].text)
+            && !is_punct(code, i.wrapping_sub(1), ".")
+            && is_punct(code, i + 1, "(")
+            && code.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            let name = literal_content(code[i + 2].text);
+            if !name.is_empty() && !stems.iter().any(|s| s == name) {
+                sink.violation(
+                    ctx,
+                    code[i + 2].line,
+                    "golden",
+                    format!(
+                        "test references golden fixture `{name}` but {}/{name}.bin does not \
+                         exist — bless it (EQ_PROTO_BLESS=1) and commit it",
+                        golden.fixtures
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_ctx;
+    use crate::policy::parse_policy;
+
+    fn run_on(dir: &Path, test_src: &str) -> crate::LintReport {
+        let policy = parse_policy(
+            "[golden]\nfixtures = \"golden\"\ntest_file = \"crates/p/tests/golden_bytes.rs\"\n",
+        )
+        .expect("test policy parses");
+        let mut sink = Sink::default();
+        let ctxs = vec![build_ctx("crates/p/tests/golden_bytes.rs", test_src, &mut sink)];
+        check(dir, &ctxs, &policy, &mut sink);
+        sink.report
+    }
+
+    fn fixture_dir(names: &[&str]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eq_lint_golden_{names:?}_{}", names.len()));
+        let golden = dir.join("golden");
+        std::fs::create_dir_all(&golden).expect("temp dir");
+        for existing in std::fs::read_dir(&golden).expect("list").flatten() {
+            std::fs::remove_file(existing.path()).expect("clean");
+        }
+        for name in names {
+            std::fs::write(golden.join(format!("{name}.bin")), b"x").expect("write fixture");
+        }
+        dir
+    }
+
+    #[test]
+    fn bijection_is_silent() {
+        let dir = fixture_dir(&["request_ping", "response_pong"]);
+        let src = "#[test]\nfn t() {\n    check(\"request_ping\", &[]);\n    for (n,) in [(\"response_pong\",)] { check(n, &[]); }\n}";
+        let report = run_on(&dir, src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn orphan_fixture_fires() {
+        let dir = fixture_dir(&["request_ping", "stale_extra"]);
+        let src = "fn t() { check(\"request_ping\", &[]); }";
+        let report = run_on(&dir, src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].message.contains("orphan"));
+        assert!(report.violations[0].file.contains("stale_extra"));
+    }
+
+    #[test]
+    fn missing_fixture_fires_with_line() {
+        let dir = fixture_dir(&["request_ping"]);
+        let src = "fn t() {\n    check(\"request_ping\", &[]);\n    check_request(\"request_new_thing\", &req);\n}";
+        let report = run_on(&dir, src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].line, 3);
+        assert!(report.violations[0].message.contains("request_new_thing"));
+    }
+
+    #[test]
+    fn missing_test_file_is_a_violation() {
+        let policy = parse_policy(
+            "[golden]\nfixtures = \"golden\"\ntest_file = \"crates/p/tests/golden_bytes.rs\"\n",
+        )
+        .expect("test policy parses");
+        let mut sink = Sink::default();
+        check(Path::new("/nonexistent"), &[], &policy, &mut sink);
+        assert_eq!(sink.report.violations.len(), 1);
+        assert!(sink.report.violations[0].message.contains("not found"));
+    }
+}

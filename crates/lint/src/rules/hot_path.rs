@@ -1,0 +1,218 @@
+//! Rule `hot-path`: functions in the policy's hot-path registry — the
+//! PR 5 scan/top-k/serve entry points that the e11 counting-allocator
+//! experiment proves allocation-free at runtime — must stay *lexically*
+//! allocation-free too.  Inside a registered function body the rule bans:
+//!
+//! * calls to configured methods (`push`, `clone`, `collect`, `to_vec`, …),
+//! * configured macros (`format!`, `vec!`),
+//! * `Type::new` for configured allocating types (`Vec`, `Box`, `String`, …),
+//!
+//! except inside a block annotated `#[cold]` (the cold-error-arm escape
+//! hatch).  Amortised uses — a `push` into a buffer whose capacity was
+//! reserved at setup time — carry an inline `lint:allow(hot-path)` with
+//! the reason, so every exception is enumerated in the lint summary.
+//!
+//! A registry entry whose function no longer exists in the named file is a
+//! warning: a stale registry silently un-guards the path it used to pin.
+
+use crate::lexer::TokenKind;
+use crate::policy::Policy;
+use crate::rules::{is_punct, skip_braces};
+use crate::{FileCtx, Sink};
+
+/// Runs the rule over one file, checking each registry entry naming it.
+pub fn check(ctx: &FileCtx<'_>, policy: &Policy, sink: &mut Sink) {
+    for hot in policy.hot_functions.iter().filter(|h| h.file == ctx.path) {
+        let bodies = find_fn_bodies(ctx, &hot.name);
+        if bodies.is_empty() {
+            sink.warning(
+                &ctx.path,
+                0,
+                "hot-path",
+                format!(
+                    "stale registry entry: no function `{}` in this file — update lint.toml",
+                    hot.name
+                ),
+                String::new(),
+            );
+        }
+        for (open, close) in bodies {
+            check_body(ctx, policy, sink, &hot.name, open, close);
+        }
+    }
+}
+
+/// Finds every `fn <name>` in non-test code, returning each body's token
+/// range: (index of `{`, index past matching `}`).  Several impl blocks
+/// may define a same-named method; all of them are hot.
+fn find_fn_bodies(ctx: &FileCtx<'_>, name: &str) -> Vec<(usize, usize)> {
+    let code = &ctx.code;
+    let mut bodies = Vec::new();
+    for i in 0..code.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if code[i].kind == TokenKind::Ident
+            && code[i].text == name
+            && i > 0
+            && code[i - 1].kind == TokenKind::Ident
+            && code[i - 1].text == "fn"
+        {
+            // Skip generics/args/return type to the body's `{`; neither
+            // can contain a bare `{` here, so the first one is the body.
+            let mut j = i + 1;
+            while j < code.len() && code[j].text != "{" && code[j].text != ";" {
+                j += 1;
+            }
+            if j < code.len() && code[j].text == "{" {
+                bodies.push((j, skip_braces(code, j)));
+            }
+        }
+    }
+    bodies
+}
+
+/// Scans one function body for banned constructs, skipping `#[cold]`
+/// blocks.
+fn check_body(
+    ctx: &FileCtx<'_>,
+    policy: &Policy,
+    sink: &mut Sink,
+    fn_name: &str,
+    open: usize,
+    close: usize,
+) {
+    let code = &ctx.code;
+    let mut i = open + 1;
+    while i < close.min(code.len()) {
+        // `#[cold]` — skip the next balanced block (closure or nested fn
+        // body): the cold error arm is exempt by design.
+        if is_punct(code, i, "#")
+            && is_punct(code, i + 1, "[")
+            && code.get(i + 2).is_some_and(|t| t.text == "cold")
+            && is_punct(code, i + 3, "]")
+        {
+            let mut j = i + 4;
+            while j < close && code[j].text != "{" {
+                j += 1;
+            }
+            i = if j < close { skip_braces(code, j) } else { close };
+            continue;
+        }
+        let tok = code[i];
+        if tok.kind == TokenKind::Ident {
+            // `.push(` etc.
+            if is_punct(code, i.wrapping_sub(1), ".")
+                && is_punct(code, i + 1, "(")
+                && policy.hot_banned_methods.iter().any(|m| m == tok.text)
+            {
+                sink.violation(
+                    ctx,
+                    tok.line,
+                    "hot-path",
+                    format!("`.{}()` inside hot-path fn `{fn_name}` — the steady-state read path must not allocate", tok.text),
+                );
+            }
+            // `format!(` etc.
+            if is_punct(code, i + 1, "!") && policy.hot_banned_macros.iter().any(|m| m == tok.text)
+            {
+                sink.violation(
+                    ctx,
+                    tok.line,
+                    "hot-path",
+                    format!("`{}!` inside hot-path fn `{fn_name}` — the steady-state read path must not allocate", tok.text),
+                );
+            }
+            // `Vec::new` etc. (`::` lexes as two `:` puncts).
+            if is_punct(code, i + 1, ":")
+                && is_punct(code, i + 2, ":")
+                && code.get(i + 3).is_some_and(|t| t.kind == TokenKind::Ident && t.text == "new")
+                && policy.hot_banned_constructors.iter().any(|c| c == tok.text)
+            {
+                sink.violation(
+                    ctx,
+                    tok.line,
+                    "hot-path",
+                    format!("`{}::new` inside hot-path fn `{fn_name}` — the steady-state read path must not allocate", tok.text),
+                );
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_ctx;
+    use crate::policy::parse_policy;
+
+    const POLICY: &str = "[hot_path]\nbanned_methods = [\"push\", \"clone\", \"collect\", \"to_vec\"]\nbanned_macros = [\"format\", \"vec\"]\nbanned_constructors = [\"Vec\", \"Box\"]\n\n[[hot_path.function]]\nfile = \"crates/x/src/lib.rs\"\nname = \"scan\"\n";
+
+    fn run_on(src: &str) -> crate::LintReport {
+        let policy = parse_policy(POLICY).expect("test policy parses");
+        let mut sink = Sink::default();
+        let ctx = build_ctx("crates/x/src/lib.rs", src, &mut sink);
+        check(&ctx, &policy, &mut sink);
+        sink.report
+    }
+
+    #[test]
+    fn flags_banned_calls_only_inside_registered_fns() {
+        let src = "\
+fn scan(&self) {
+    self.out.push(1);
+    let v = Vec::new();
+    let s = format!(\"x\");
+}
+fn setup(&self) {
+    self.out.push(1);
+    let v: Vec<u32> = items.collect();
+}";
+        let report = run_on(src);
+        assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
+        assert!(report.violations.iter().all(|d| d.rule == "hot-path"));
+        assert!(report.violations.iter().all(|d| d.message.contains("`scan`")));
+    }
+
+    #[test]
+    fn cold_blocks_are_exempt() {
+        let src = "\
+fn scan(&self) {
+    let fallback = #[cold]
+    || {
+        let mut v = Vec::new();
+        v.push(1);
+        format!(\"slow path {v:?}\")
+    };
+    step();
+}";
+        let report = run_on(src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_amortised_push() {
+        let src = "\
+fn scan(&self) {
+    self.out.push(1); // lint:allow(hot-path) capacity reserved at setup; amortised O(0) alloc
+}";
+        let report = run_on(src);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn stale_registry_entry_is_a_warning() {
+        let report = run_on("fn other() {}");
+        assert!(report.violations.is_empty());
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].message.contains("stale registry entry"));
+        assert!(report.warnings[0].message.contains("`scan`"));
+    }
+
+    #[test]
+    fn code_like_strings_in_hot_fns_are_not_flagged() {
+        let src = "fn scan(&self) { log(\"never .push( or Vec::new here\"); }";
+        assert!(run_on(src).violations.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! The rule families.  Each module exposes a `check` function; per-file
+//! rules take a [`crate::FileCtx`], cross-file rules take the whole slice.
+
+pub mod golden;
+pub mod hot_path;
+pub mod lock_discipline;
+pub mod panic_hygiene;
+pub mod wire_consts;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Whether `code[i]` is an ident with the given text.
+pub(crate) fn is_ident(code: &[Token<'_>], i: usize, text: &str) -> bool {
+    code.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+/// Whether `code[i]` is punctuation with the given text.
+pub(crate) fn is_punct(code: &[Token<'_>], i: usize, text: &str) -> bool {
+    code.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Skips a balanced `{…}` block: `open` indexes the `{`; returns the index
+/// just past the matching `}` (or `code.len()` if unbalanced).
+pub(crate) fn skip_braces(code: &[Token<'_>], open: usize) -> usize {
+    debug_assert!(is_punct(code, open, "{"));
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < code.len() {
+        match code[i].text {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// Walks backwards over one balanced `(...)` group ending at `close` (the
+/// index of the `)`); returns the index of the matching `(`, or `close`
+/// when unbalanced.
+pub(crate) fn back_over_parens(code: &[Token<'_>], close: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        match code[i].text {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        if i == 0 {
+            return close;
+        }
+        i -= 1;
+    }
+}

@@ -1,0 +1,106 @@
+//! Rule `panic`: the serving crates' non-test code must not contain a
+//! reachable panic site.  A panic inside the query server tears down a
+//! worker thread mid-request; every fallible path is supposed to surface a
+//! typed error over the wire instead.  Flags `.unwrap(` / `.expect(`
+//! method calls and the `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` / `assert!`-family-free macro set, suppressable only
+//! via `// lint:allow(panic) <reason>`.
+
+use crate::lexer::TokenKind;
+use crate::rules::is_punct;
+use crate::{FileCtx, Sink};
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over one file.  The caller restricts this to the crates
+/// named in the policy's `[panic]` table.
+pub fn check(ctx: &FileCtx<'_>, sink: &mut Sink) {
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = code[i].text;
+        // `.unwrap(` — a method call, not a standalone fn named unwrap.
+        if PANIC_METHODS.contains(&name)
+            && is_punct(code, i.wrapping_sub(1), ".")
+            && is_punct(code, i + 1, "(")
+        {
+            sink.violation(
+                ctx,
+                code[i].line,
+                "panic",
+                format!("`.{name}()` in serving-crate code; return a typed error instead"),
+            );
+            continue;
+        }
+        // `panic!(` and friends.  `unreachable` guards against flagging
+        // idents like `core::unreachable` paths the same way: the `!` is
+        // what makes it a macro invocation.
+        if PANIC_MACROS.contains(&name) && is_punct(code, i + 1, "!") {
+            sink.violation(
+                ctx,
+                code[i].line,
+                "panic",
+                format!("`{name}!` in serving-crate code; return a typed error instead"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_ctx;
+
+    fn run_on(src: &str) -> crate::LintReport {
+        let mut sink = Sink::default();
+        let ctx = build_ctx("crates/x/src/lib.rs", src, &mut sink);
+        check(&ctx, &mut sink);
+        sink.report
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let report = run_on(
+            "fn f() {\n    a.unwrap();\n    b.expect(\"msg\");\n    panic!(\"x\");\n    unreachable!();\n    todo!();\n}",
+        );
+        assert_eq!(report.violations.len(), 5);
+        assert!(report.violations.iter().all(|d| d.rule == "panic"));
+        assert_eq!(report.violations[0].line, 2);
+    }
+
+    #[test]
+    fn spares_strings_comments_and_non_method_idents() {
+        let report = run_on(
+            "fn f() {\n    let s = \"call .unwrap() now\"; // then .unwrap() it\n    let unwrap = 3;\n    let _ = unwrap;\n    expect_fn();\n}",
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn spares_cfg_test_regions() {
+        let report = run_on(
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}",
+        );
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let report =
+            run_on("fn f() {\n    a.unwrap(); // lint:allow(panic) length checked above\n}");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let report =
+            run_on("fn f() {\n    a.unwrap_or(0);\n    b.unwrap_or_else(|| 1);\n    c.unwrap_or_default();\n}");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

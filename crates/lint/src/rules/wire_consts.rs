@@ -1,0 +1,296 @@
+//! Rule `wire`: single-definition wire constants and blessed versions.
+//!
+//! The wire format is an external contract: request/response magics, the
+//! snapshot and WAL headers, and version numbers all have exactly one
+//! authoritative definition, and every other appearance must *reference*
+//! the const — a re-typed literal is a fork of the protocol waiting to
+//! drift.  For versioned constants pinned to a golden fixture directory,
+//! the policy also records a CRC-32 of the blessed fixtures: bumping the
+//! version (or editing a fixture) without re-blessing the CRC fails the
+//! run, which is precisely the "bumped the version, forgot the fixtures"
+//! mistake golden tests alone cannot catch before the bytes ship.
+
+use std::path::Path;
+
+use crate::lexer::{literal_content, TokenKind};
+use crate::policy::Policy;
+use crate::rules::is_punct;
+use crate::{fixture_dir_crc, FileCtx, Sink};
+
+/// Runs the rule across the whole scanned tree.
+pub fn check(root: &Path, ctxs: &[FileCtx<'_>], policy: &Policy, sink: &mut Sink) {
+    let names: Vec<(&str, &str)> = policy
+        .wire_constants
+        .iter()
+        .map(|c| (c.name.as_str(), c.file.as_str()))
+        .chain(policy.wire_versions.iter().map(|v| (v.name.as_str(), v.file.as_str())))
+        .collect();
+
+    // Definition sites: `const NAME` in non-test code, per constant.
+    for (name, declared_file) in &names {
+        let mut defs: Vec<(&FileCtx<'_>, usize)> = Vec::new();
+        for ctx in ctxs {
+            for i in 0..ctx.code.len() {
+                if !ctx.in_test[i]
+                    && ctx.code[i].kind == TokenKind::Ident
+                    && ctx.code[i].text == *name
+                    && i > 0
+                    && ctx.code[i - 1].kind == TokenKind::Ident
+                    && ctx.code[i - 1].text == "const"
+                {
+                    defs.push((ctx, i));
+                }
+            }
+        }
+        if defs.is_empty() {
+            sink.report.violations.push(crate::Diagnostic {
+                file: (*declared_file).to_string(),
+                line: 0,
+                rule: "wire",
+                message: format!("wire constant `{name}` is not defined anywhere in the tree"),
+                snippet: String::new(),
+            });
+            continue;
+        }
+        for (ctx, i) in &defs {
+            if ctx.path != *declared_file {
+                sink.violation(
+                    ctx,
+                    ctx.code[*i].line,
+                    "wire",
+                    format!("wire constant `{name}` defined outside its authoritative file `{declared_file}`"),
+                );
+            }
+        }
+        if defs.len() > 1 {
+            for (ctx, i) in &defs[1..] {
+                sink.violation(
+                    ctx,
+                    ctx.code[*i].line,
+                    "wire",
+                    format!(
+                        "wire constant `{name}` defined more than once (first at {}:{})",
+                        defs[0].0.path, defs[0].0.code[defs[0].1].line
+                    ),
+                );
+            }
+        }
+    }
+
+    // Literal re-occurrences of magic byte strings outside the definition
+    // statement.
+    for c in &policy.wire_constants {
+        for ctx in ctxs {
+            let def_range = definition_range(ctx, &c.name);
+            for i in 0..ctx.code.len() {
+                let tok = ctx.code[i];
+                if ctx.in_test[i]
+                    || !matches!(tok.kind, TokenKind::Str | TokenKind::ByteStr)
+                    || literal_content(tok.text) != c.literal
+                {
+                    continue;
+                }
+                if def_range.is_some_and(|(lo, hi)| i >= lo && i < hi) {
+                    continue;
+                }
+                sink.violation(
+                    ctx,
+                    tok.line,
+                    "wire",
+                    format!(
+                        "magic literal `{}` re-typed inline; reference `{}` (defined in {}) instead",
+                        c.literal, c.name, c.file
+                    ),
+                );
+            }
+        }
+    }
+
+    // Version values and fixture blessing.
+    for v in &policy.wire_versions {
+        let Some(ctx) = ctxs.iter().find(|c| c.path == v.file) else { continue };
+        match defined_value(ctx, &v.name) {
+            Some(actual) if actual == v.value => {}
+            Some(actual) => {
+                let line = definition_range(ctx, &v.name).map_or(0, |(lo, _)| ctx.code[lo].line);
+                sink.violation(
+                    ctx,
+                    line,
+                    "wire",
+                    format!(
+                        "`{}` is {actual} in the source but {} in lint.toml — bump both \
+                         (and re-bless the golden fixtures) together",
+                        v.name, v.value
+                    ),
+                );
+            }
+            None => {} // absence already reported above
+        }
+        let (Some(fixtures), Some(expected)) = (&v.fixtures, v.fixture_crc) else { continue };
+        match fixture_dir_crc(&root.join(fixtures)) {
+            Ok(Some(actual)) if actual == expected => {}
+            Ok(Some(actual)) => sink.report.violations.push(crate::Diagnostic {
+                file: fixtures.clone(),
+                line: 0,
+                rule: "wire",
+                message: format!(
+                    "golden fixtures for `{}` changed without re-blessing: lint.toml \
+                     records crc {expected:#010x}, directory hashes to {actual:#010x}",
+                    v.name
+                ),
+                snippet: String::new(),
+            }),
+            Ok(None) => sink.report.violations.push(crate::Diagnostic {
+                file: fixtures.clone(),
+                line: 0,
+                rule: "wire",
+                message: format!(
+                    "golden fixture directory for `{}` is missing or empty — a versioned \
+                     wire format must ship blessed fixtures",
+                    v.name
+                ),
+                snippet: String::new(),
+            }),
+            Err(e) => sink.report.violations.push(crate::Diagnostic {
+                file: fixtures.clone(),
+                line: 0,
+                rule: "wire",
+                message: format!("cannot hash golden fixtures: {e}"),
+                snippet: String::new(),
+            }),
+        }
+    }
+}
+
+/// Token range `[const, ;)` of `const <name> …;` in this file, if present.
+fn definition_range(ctx: &FileCtx<'_>, name: &str) -> Option<(usize, usize)> {
+    let code = &ctx.code;
+    for i in 1..code.len() {
+        if !ctx.in_test[i]
+            && code[i].kind == TokenKind::Ident
+            && code[i].text == name
+            && code[i - 1].kind == TokenKind::Ident
+            && code[i - 1].text == "const"
+        {
+            // Find the terminating `;`, skipping any inside bracketed
+            // groups (`[u8; 4]` has one in the array type).
+            let mut j = i;
+            let mut depth = 0i32;
+            while j < code.len() {
+                match code[j].text {
+                    "[" | "(" | "{" => depth += 1,
+                    "]" | ")" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some((i - 1, j + 1));
+        }
+    }
+    None
+}
+
+/// The numeric value assigned in `const <name>: … = <number>;`.
+fn defined_value(ctx: &FileCtx<'_>, name: &str) -> Option<u64> {
+    let (lo, hi) = definition_range(ctx, name)?;
+    let code = &ctx.code;
+    let eq = (lo..hi).find(|&i| is_punct(code, i, "="))?;
+    let num = (eq..hi).find(|&i| code[i].kind == TokenKind::Number)?;
+    parse_number(code[num].text)
+}
+
+/// Parses a numeric literal loosely: underscores stripped, `0x`/`0o`/`0b`
+/// radix prefixes honoured, any type suffix ignored.
+fn parse_number(text: &str) -> Option<u64> {
+    let cleaned = text.replace('_', "");
+    let (radix, digits) = match cleaned.as_bytes() {
+        [b'0', b'x' | b'X', ..] => (16, &cleaned[2..]),
+        [b'0', b'o' | b'O', ..] => (8, &cleaned[2..]),
+        [b'0', b'b' | b'B', ..] => (2, &cleaned[2..]),
+        _ => (10, cleaned.as_str()),
+    };
+    let end = digits.find(|ch: char| !ch.is_digit(radix)).unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_ctx;
+    use crate::policy::parse_policy;
+
+    const POLICY: &str = "\
+[[wire.constant]]
+name = \"REQUEST_MAGIC\"
+literal = \"EQRQ\"
+file = \"crates/p/src/lib.rs\"
+
+[[wire.version]]
+name = \"PROTOCOL_VERSION\"
+file = \"crates/p/src/lib.rs\"
+value = 1
+";
+
+    fn run_on(files: &[(&str, &str)]) -> crate::LintReport {
+        let policy = parse_policy(POLICY).expect("test policy parses");
+        let mut sink = Sink::default();
+        let ctxs: Vec<_> = files.iter().map(|(p, s)| build_ctx(p, s, &mut sink)).collect();
+        check(Path::new("/nonexistent"), &ctxs, &policy, &mut sink);
+        sink.report
+    }
+
+    const GOOD_DEF: &str =
+        "pub const REQUEST_MAGIC: [u8; 4] = *b\"EQRQ\";\npub const PROTOCOL_VERSION: u16 = 1;\n";
+
+    #[test]
+    fn single_definition_is_clean() {
+        let report = run_on(&[("crates/p/src/lib.rs", GOOD_DEF)]);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn missing_and_duplicate_definitions_fire() {
+        let report = run_on(&[("crates/p/src/lib.rs", "fn nothing() {}")]);
+        assert!(report.violations.iter().any(|d| d.message.contains("not defined")));
+
+        let dup = "const REQUEST_MAGIC: [u8; 4] = *b\"EQRQ\";";
+        let report = run_on(&[("crates/p/src/lib.rs", GOOD_DEF), ("crates/q/src/lib.rs", dup)]);
+        assert!(report.violations.iter().any(|d| d.message.contains("more than once")));
+        assert!(report.violations.iter().any(|d| d.message.contains("authoritative")));
+    }
+
+    #[test]
+    fn retyped_literal_elsewhere_fires_but_definition_site_is_exempt() {
+        let other = "fn f(buf: &mut Vec<u8>) { buf.extend_from_slice(b\"EQRQ\"); }";
+        let report = run_on(&[("crates/p/src/lib.rs", GOOD_DEF), ("crates/q/src/lib.rs", other)]);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].message.contains("re-typed"));
+        assert_eq!(report.violations[0].file, "crates/q/src/lib.rs");
+    }
+
+    #[test]
+    fn version_value_mismatch_fires() {
+        let src = "pub const REQUEST_MAGIC: [u8; 4] = *b\"EQRQ\";\npub const PROTOCOL_VERSION: u16 = 2;\n";
+        let report = run_on(&[("crates/p/src/lib.rs", src)]);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].message.contains("2 in the source but 1 in lint.toml"));
+        assert_eq!(report.violations[0].line, 2);
+    }
+
+    #[test]
+    fn test_code_may_use_literals_freely() {
+        let tests = "#[cfg(test)]\nmod tests {\n    const M: &[u8] = b\"EQRQ\";\n}";
+        let report = run_on(&[("crates/p/src/lib.rs", GOOD_DEF), ("crates/q/src/lib.rs", tests)]);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn number_parsing_handles_radixes_and_suffixes() {
+        assert_eq!(parse_number("1"), Some(1));
+        assert_eq!(parse_number("0xFF"), Some(255));
+        assert_eq!(parse_number("1_000u64"), Some(1000));
+        assert_eq!(parse_number("0b1010"), Some(10));
+        assert_eq!(parse_number("garbage"), None);
+    }
+}

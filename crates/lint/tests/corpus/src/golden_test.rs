@@ -1,0 +1,9 @@
+//! Corpus: the conformance test the `golden` rule reads.  Never compiled —
+//! lexed by eq_lint only.  `golden/blessed.bin` is referenced (clean),
+//! `golden/orphan.bin` is not (orphan violation), and `missing_fixture`
+//! names no file on disk (missing-fixture violation).
+
+fn conformance() {
+    check("blessed", &[]);
+    check("missing_fixture", &[]);
+}

@@ -1,0 +1,29 @@
+//! Corpus: the `hot-path` rule.  Never compiled — lexed by eq_lint only.
+
+pub fn hot_violation(out: &mut Vec<u32>) {
+    out.push(1);
+    let v = Vec::new();
+    let s = format!("{v:?}");
+    consume(v, s);
+}
+
+pub fn hot_allowed(out: &mut Vec<u32>) {
+    // lint:allow(hot-path) corpus: capacity reserved by the caller; amortised
+    out.push(2);
+}
+
+pub fn hot_cold_guard(out: &mut Vec<u32>) {
+    let fallback = #[cold]
+    || {
+        out.push(3);
+        format!("cold error arm may allocate")
+    };
+    step(fallback);
+    let banned_in_string = "never flag .push( or Vec::new in a literal";
+    log(banned_in_string);
+}
+
+pub fn unregistered_fn_may_allocate(out: &mut Vec<u32>) {
+    out.push(4);
+    let _v: Vec<u32> = things().collect();
+}

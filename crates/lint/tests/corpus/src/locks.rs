@@ -1,0 +1,43 @@
+//! Corpus: the `lock` rule.  Never compiled — lexed by eq_lint only.
+
+pub fn violation_unordered_pair(alpha: &Lock, gamma: &Lock) {
+    let _a = alpha.lock();
+    let _g = gamma.lock();
+}
+
+pub fn violation_blocking_under_guard(alpha: &Lock, file: &File) {
+    let _a = alpha.lock();
+    file.sync_all();
+}
+
+pub fn violation_self_deadlock(alpha: &Lock) {
+    let _first = alpha.lock();
+    let _second = alpha.lock();
+}
+
+pub fn allowed_blocking(alpha: &Lock, file: &File) {
+    let _a = alpha.lock();
+    // lint:allow(lock) corpus: durability inside this critical section is the design
+    file.sync_all();
+}
+
+pub fn declared_pair_is_fine(alpha: &Lock, beta: &Lock) {
+    let _a = alpha.lock();
+    let _b = beta.lock();
+}
+
+pub fn false_positive_guards(alpha: &Lock, gamma: &Lock, file: &File) {
+    // A chained temporary is not a held guard.
+    let popped = alpha.lock().pop();
+    let _g = gamma.lock();
+    drop(_g);
+    // Guard released at block close, then a fresh acquisition.
+    {
+        let _scoped = alpha.lock();
+    }
+    let _g2 = gamma.lock();
+    drop(_g2);
+    // Blocking call with no guard held at all.
+    file.sync_all();
+    consume(popped);
+}

@@ -1,0 +1,35 @@
+//! Corpus: the `panic` rule.  Never compiled — lexed by eq_lint only.
+
+pub fn violation_method(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn violation_macro() -> u32 {
+    todo!("still a panic site")
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    // lint:allow(panic) corpus: provably present, see the guard two lines up
+    x.expect("always present")
+}
+
+pub fn unused_allow() -> u32 {
+    // lint:allow(panic) corpus: deliberately suppresses nothing — must warn
+    1 + 1
+}
+
+pub fn false_positive_guards(x: Option<u32>) -> u32 {
+    let s = "calling unwrap() or panic!() inside a string literal is fine";
+    // A comment mentioning x.unwrap() is fine too.
+    x.unwrap_or(0) + s.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let y: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| y.unwrap()).is_err());
+        panic!("test context is exempt");
+    }
+}

@@ -1,0 +1,8 @@
+//! Corpus: authoritative wire-constant definitions (the clean side of the
+//! `wire` rule).  Never compiled — lexed by eq_lint only.
+
+/// The corpus request magic; the definition-site literal is exempt.
+pub const CORPUS_MAGIC: [u8; 4] = *b"CMAG";
+
+/// The corpus protocol version, matched against lint.toml.
+pub const CORPUS_VERSION: u16 = 1;

@@ -1,0 +1,18 @@
+//! Corpus: the `wire` rule's violation side.  Never compiled — lexed by
+//! eq_lint only.
+
+pub fn violation_retyped_literal(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(b"CMAG");
+}
+
+pub fn referencing_the_const_is_fine(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&CORPUS_MAGIC);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_retype_the_literal() {
+        assert_eq!(&CORPUS_MAGIC, b"CMAG");
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end run of the lint engine over the committed corpus tree
+//! (`tests/corpus/`), a miniature workspace whose policy and sources
+//! contain, per rule family, one deliberate violation, one annotated
+//! (allowed) site and one false-positive guard.  These tests pin the
+//! *exact* finding set: a rule that stops firing, fires twice, or starts
+//! flagging the guard sites breaks the corpus before it breaks the real
+//! workspace.
+
+use std::path::Path;
+
+use eq_lint::LintReport;
+
+fn corpus_report() -> LintReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    eq_lint::run_workspace(&root).expect("corpus tree lints without I/O or policy errors")
+}
+
+/// (rule, file, line, message fragment) for every expected violation.
+const EXPECTED: &[(&str, &str, u32, &str)] = &[
+    ("panic", "src/panics.rs", 4, "unwrap"),
+    ("panic", "src/panics.rs", 8, "todo"),
+    ("lock", "src/locks.rs", 5, "(alpha, gamma) is not in the lock-order table"),
+    ("lock", "src/locks.rs", 10, "sync_all"),
+    ("lock", "src/locks.rs", 15, "self-deadlock"),
+    ("hot-path", "src/hot.rs", 4, ".push()"),
+    ("hot-path", "src/hot.rs", 5, "Vec::new"),
+    ("hot-path", "src/hot.rs", 6, "format!"),
+    ("wire", "src/wire_use.rs", 5, "re-typed"),
+    ("golden", "golden/orphan.bin", 0, "orphan"),
+    ("golden", "src/golden_test.rs", 8, "missing_fixture"),
+];
+
+#[test]
+fn every_rule_family_fires_exactly_on_the_planted_violations() {
+    let report = corpus_report();
+    for &(rule, file, line, fragment) in EXPECTED {
+        assert!(
+            report.violations.iter().any(|d| d.rule == rule
+                && d.file == file
+                && d.line == line
+                && d.message.contains(fragment)),
+            "missing expected violation {rule} at {file}:{line} ({fragment:?});\ngot: {:#?}",
+            report.violations
+        );
+    }
+    assert_eq!(
+        report.violations.len(),
+        EXPECTED.len(),
+        "unexpected extra violations (false positive on a guard site?): {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn annotated_sites_are_silent_and_recorded_in_the_summary() {
+    let report = corpus_report();
+    // The allowed sites (panics.rs expect, locks.rs sync_all, hot.rs push)
+    // produce no violations…
+    for (file, line) in [("src/panics.rs", 13), ("src/locks.rs", 21), ("src/hot.rs", 12)] {
+        assert!(
+            !report.violations.iter().any(|d| d.file == file && d.line == line),
+            "annotated site {file}:{line} was flagged anyway"
+        );
+    }
+    // …and every annotation (including the deliberately unused one) is in
+    // the allow summary with its reason.
+    assert_eq!(report.allows.len(), 4, "{:#?}", report.allows);
+    assert!(report.allows.iter().all(|a| a.reason.contains("corpus")));
+}
+
+#[test]
+fn unused_allow_and_stale_registry_entry_are_warnings() {
+    let report = corpus_report();
+    assert_eq!(report.warnings.len(), 2, "{:#?}", report.warnings);
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.file == "src/panics.rs" && w.message.contains("suppresses nothing")));
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.file == "src/hot.rs" && w.message.contains("hot_missing")));
+    // Warnings gate only under --deny-warnings semantics.
+    assert!(!report.is_clean(false) && !report.is_clean(true), "corpus has violations");
+}
+
+#[test]
+fn report_renders_file_line_rule_diagnostics() {
+    let report = corpus_report();
+    let rendered = report.render();
+    assert!(rendered.contains("error: src/panics.rs:4:panic:"), "{rendered}");
+    assert!(rendered.contains("x.unwrap()"), "snippet missing:\n{rendered}");
+    assert!(rendered.contains("allow annotation(s) in force"), "{rendered}");
+}

@@ -1,0 +1,120 @@
+//! Property suite for the lint front end.  The lexer is *total*: any byte
+//! soup — unterminated strings, nested comment openers, stray quotes,
+//! raw-string guards with no body — must lex to completion without
+//! panicking, always making progress, and never inventing text that is
+//! not in the source.  The allow-annotation parser must round-trip any
+//! well-formed annotation it could be asked to read.
+
+use eq_lint::lexer::{lex, TokenKind};
+use eq_lint::{build_ctx, Sink, RULES};
+use proptest::prelude::*;
+
+/// Fragments chosen to collide with every lexer mode: string/char/raw/byte
+/// literal openers and closers, comment openers with no closer, lifetimes,
+/// multi-byte UTF-8, and innocuous code.
+const FRAGMENTS: &[&str] = &[
+    "\"",
+    "'",
+    "`",
+    "\\",
+    "\\\"",
+    "r#\"",
+    "\"#",
+    "r##",
+    "b\"",
+    "br#\"",
+    "b'",
+    "//",
+    "/*",
+    "*/",
+    "/**/",
+    "'a",
+    "'\\''",
+    "ident",
+    "fn main() {",
+    "}",
+    "\n",
+    "\r\n",
+    "0x1_f",
+    "1.5e9",
+    "…",
+    "émoji",
+    "#[cfg(test)]",
+    "lint:allow",
+    "// lint:allow(panic) r",
+    ";",
+    "::",
+    "<<=",
+    "\u{0}",
+];
+
+fn arb_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<usize>(), 0..60)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i % FRAGMENTS.len()]).collect())
+}
+
+fn arb_annotation() -> impl Strategy<Value = (Vec<&'static str>, String)> {
+    (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(mask, extra, word)| {
+        let mask = mask % (1 << RULES.len());
+        let rules: Vec<&'static str> = RULES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0 || mask == 0 && *i == 0)
+            .map(|(_, r)| *r)
+            .collect();
+        let words = ["amortised", "infallible", "checked above", "by design", "see docs"];
+        let reason = format!("{} #{}", words[word % words.len()], extra % 100);
+        (rules, reason)
+    })
+}
+
+proptest! {
+    /// Lexing arbitrary token soup terminates, never panics, and every
+    /// token is a faithful slice of the input in source order.
+    #[test]
+    fn lexer_is_total_over_token_soup(source in arb_soup()) {
+        let tokens = lex(&source);
+        let mut cursor = 0usize;
+        let mut last_line = 1u32;
+        for tok in &tokens {
+            let found = source[cursor..].find(tok.text);
+            prop_assert!(found.is_some(), "token {:?} not found after byte {}", tok.text, cursor);
+            prop_assert!(!tok.text.is_empty(), "empty token");
+            prop_assert!(tok.line >= last_line, "line numbers regressed");
+            cursor += found.unwrap_or(0) + tok.text.len();
+            last_line = tok.line;
+        }
+        // And the whole front end (test-region marking, allow parsing)
+        // is just as total.
+        let mut sink = Sink::default();
+        let ctx = build_ctx("crates/x/src/lib.rs", &source, &mut sink);
+        prop_assert_eq!(ctx.code.len(), ctx.in_test.len());
+    }
+
+    /// A well-formed annotation formats, lexes and parses back to exactly
+    /// its rule list and reason, bound to the following code line.
+    #[test]
+    fn allow_annotations_roundtrip(pair in arb_annotation()) {
+        let (rules, reason) = pair;
+        let source = format!("// lint:allow({}) {}\nfn next_line() {{}}\n", rules.join(", "), reason);
+        let mut sink = Sink::default();
+        let ctx = build_ctx("crates/x/src/lib.rs", &source, &mut sink);
+        prop_assert!(sink.report.violations.is_empty(), "{:?}", sink.report.violations);
+        prop_assert_eq!(ctx.allows.len(), 1);
+        let allow = &ctx.allows[0];
+        prop_assert_eq!(&allow.rules, &rules);
+        prop_assert_eq!(&allow.reason, &reason);
+        prop_assert_eq!(allow.applies_line, 2);
+    }
+
+    /// Classification stays stable under concatenation with comments: a
+    /// line comment swallows any soup to end of line without panicking.
+    #[test]
+    fn comments_swallow_soup(soup in arb_soup()) {
+        let one_line: String = soup.chars().filter(|&c| c != '\n' && c != '\r').collect();
+        let source = format!("// {one_line}\nfn f() {{}}");
+        let tokens = lex(&source);
+        prop_assert!(tokens.iter().any(|t| t.kind == TokenKind::Ident && t.text == "fn"));
+        prop_assert!(matches!(tokens.first().map(|t| t.kind), Some(TokenKind::LineComment)));
+    }
+}

@@ -137,7 +137,9 @@ pub fn read_frame<R: Read>(
     }
     let mut header = [0u8; 8];
     r.read_exact(&mut header).map_err(truncated("frame length/checksum header"))?;
+    // lint:allow(panic) infallible: both slices of the fixed [u8; 8] header are exactly 4 bytes
     let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    // lint:allow(panic) infallible: both slices of the fixed [u8; 8] header are exactly 4 bytes
     let stored = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
     if len > max_len {
         return Err(FrameError::Oversized { declared: len as u64, max: max_len as u64 });

@@ -146,6 +146,7 @@ impl Writer {
     /// Panics if the slice is longer than `u32::MAX` bytes (no single field
     /// of the formats built on this crate comes near 4 GiB).
     pub fn bytes(&mut self, bytes: &[u8]) {
+        // lint:allow(panic) documented contract: no caller can build a single >4 GiB field (see # Panics above)
         self.u32(u32::try_from(bytes.len()).expect("field longer than u32::MAX bytes"));
         self.buf.extend_from_slice(bytes);
     }
@@ -160,6 +161,7 @@ impl Writer {
     /// # Panics
     /// Panics if the length exceeds `u32::MAX` elements.
     pub fn seq_len(&mut self, len: usize) {
+        // lint:allow(panic) documented contract: no caller can build a sequence of >u32::MAX elements (see # Panics above)
         self.u32(u32::try_from(len).expect("sequence longer than u32::MAX elements"));
     }
 }

@@ -1,0 +1,13 @@
+//! Workspace lint gate: the root package's `cargo test` (the tier-1
+//! command) runs the same static-analysis pass as
+//! `cargo run -p eq_lint -- --deny-warnings`, so the serving-tier
+//! invariants are enforced even when only the umbrella crate is tested.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lint_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = eq_lint::run_workspace(root).expect("lint pass runs without I/O errors");
+    assert!(report.is_clean(true), "eq_lint found problems:\n{}", report.render());
+}

@@ -5,10 +5,146 @@
 //! [`Mutex`] with panic-free (`parking_lot`-style, non-poisoning) locking.
 //! Swap the path dependency in `[workspace.dependencies]` for the registry
 //! crate once network access is available.
+//!
+//! # Debug-build lock-order assertion
+//!
+//! On top of the stand-in API, debug builds carry a dynamic lock-order
+//! checker — the runtime complement to `eq_lint`'s lexical `lock` rule.
+//! Locks constructed with [`Mutex::with_name`] / [`RwLock::with_name`]
+//! participate; anonymous locks ([`Mutex::new`] / [`RwLock::new`]) opt
+//! out.  Each thread keeps a stack of the named locks it currently holds,
+//! and a process-wide table records every (outer, inner) acquisition order
+//! ever observed.  Acquiring `B` while holding `A` after some thread has
+//! acquired `A` while holding `B` is an order inversion — the classic
+//! ABBA deadlock — and **panics immediately**, before blocking on the
+//! lock, naming both locks.  The check needs no actual contention to fire:
+//! a single-threaded test that exercises both code paths is enough, which
+//! is what makes it cheap insurance for the serving tier's lock table.
+//!
+//! Release builds compile the whole mechanism out: no name field, no
+//! thread-local, no bookkeeping — `with_name` degrades to `new`.
 
 #![warn(missing_docs)]
 
-pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+
+#[cfg(debug_assertions)]
+mod order {
+    //! The debug-only held-lock stack and observed-order table.
+
+    use std::cell::RefCell;
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+
+    thread_local! {
+        /// Names of the locks this thread currently holds, in acquisition
+        /// order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Every (outer, inner) pair ever observed, process-wide.
+    fn observed() -> &'static Mutex<HashSet<(&'static str, &'static str)>> {
+        static OBSERVED: OnceLock<Mutex<HashSet<(&'static str, &'static str)>>> = OnceLock::new();
+        OBSERVED.get_or_init(|| Mutex::new(HashSet::new()))
+    }
+
+    /// RAII record of one held (named) lock; pops the stack on drop.
+    pub(crate) struct HeldToken {
+        name: Option<&'static str>,
+    }
+
+    /// Runs the inversion check and pushes `name` onto this thread's held
+    /// stack.  Called *before* blocking on the real lock, so an inversion
+    /// panics with a diagnosis instead of deadlocking silently.
+    pub(crate) fn acquire(name: Option<&'static str>) -> HeldToken {
+        if let Some(inner) = name {
+            HELD.with(|held| {
+                let held = held.borrow();
+                if held.is_empty() {
+                    return;
+                }
+                let mut observed = match observed().lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                for &outer in held.iter() {
+                    // Re-acquiring the same name (e.g. two shards of one
+                    // sharded structure) is outside this checker's scope.
+                    if outer == inner {
+                        continue;
+                    }
+                    assert!(
+                        !observed.contains(&(inner, outer)),
+                        "lock-order inversion: acquiring `{inner}` while holding `{outer}`, \
+                         but the opposite order (`{inner}` then `{outer}`) was already observed \
+                         — this is an ABBA deadlock waiting for contention"
+                    );
+                    observed.insert((outer, inner));
+                }
+            });
+            HELD.with(|held| held.borrow_mut().push(inner));
+        }
+        HeldToken { name }
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            if let Some(name) = self.name {
+                HELD.with(|held| {
+                    let mut held = held.borrow_mut();
+                    if let Some(pos) = held.iter().rposition(|&n| n == name) {
+                        held.remove(pos);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// RAII guard for [`Mutex::lock`]; releases the lock (and, in debug
+/// builds, pops the held-lock stack) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+}
+
+/// RAII guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+}
+
+/// RAII guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _token: order::HeldToken,
+}
+
+macro_rules! guard_deref {
+    ($guard:ident, mut) => {
+        guard_deref!($guard);
+        impl<T: ?Sized> DerefMut for $guard<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                &mut self.inner
+            }
+        }
+    };
+    ($guard:ident) => {
+        impl<T: ?Sized> Deref for $guard<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+    };
+}
+
+guard_deref!(MutexGuard, mut);
+guard_deref!(RwLockReadGuard);
+guard_deref!(RwLockWriteGuard, mut);
 
 /// A reader–writer lock with `parking_lot`'s non-poisoning API.
 ///
@@ -16,13 +152,33 @@ pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 /// than a `Result`: a panic while holding the lock does not poison it.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    name: Option<&'static str>,
     inner: std::sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
-    /// Creates a new lock around `value`.
+    /// Creates a new anonymous lock around `value` (not order-checked).
     pub fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            #[cfg(debug_assertions)]
+            name: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock that participates in the debug-build lock-order
+    /// assertion under `name`.  Several locks may share a name (e.g. the
+    /// shards of one sharded structure); same-name nesting is not checked.
+    /// In release builds this is exactly [`RwLock::new`].
+    pub fn with_name(value: T, name: &'static str) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = name;
+        RwLock {
+            #[cfg(debug_assertions)]
+            name: Some(name),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
@@ -36,18 +192,40 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, blocking until available.
+    ///
+    /// # Panics
+    /// In debug builds, panics on a lock-order inversion (see the crate
+    /// docs).
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.inner.read() {
+        #[cfg(debug_assertions)]
+        let token = order::acquire(self.name);
+        let inner = match self.inner.read() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockReadGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _token: token,
         }
     }
 
     /// Acquires exclusive write access, blocking until available.
+    ///
+    /// # Panics
+    /// In debug builds, panics on a lock-order inversion (see the crate
+    /// docs).
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.inner.write() {
+        #[cfg(debug_assertions)]
+        let token = order::acquire(self.name);
+        let inner = match self.inner.write() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockWriteGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _token: token,
         }
     }
 
@@ -66,13 +244,32 @@ impl<T: ?Sized> RwLock<T> {
 /// a `Result`: a panic while holding the lock does not poison it.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    name: Option<&'static str>,
     inner: std::sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex around `value`.
+    /// Creates a new anonymous mutex around `value` (not order-checked).
     pub fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            #[cfg(debug_assertions)]
+            name: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex that participates in the debug-build lock-order
+    /// assertion under `name`.  In release builds this is exactly
+    /// [`Mutex::new`].
+    pub fn with_name(value: T, name: &'static str) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = name;
+        Mutex {
+            #[cfg(debug_assertions)]
+            name: Some(name),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -86,10 +283,21 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    /// In debug builds, panics on a lock-order inversion (see the crate
+    /// docs).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        #[cfg(debug_assertions)]
+        let token = order::acquire(self.name);
+        let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard {
+            inner,
+            #[cfg(debug_assertions)]
+            _token: token,
         }
     }
 
@@ -161,5 +369,85 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*lock.read(), 8000);
+    }
+
+    #[cfg(debug_assertions)]
+    mod order_assertion {
+        use super::{Mutex, RwLock};
+
+        // Each test uses its own lock names: the observed-order table is
+        // process-wide and tests run concurrently.
+
+        #[test]
+        fn consistent_order_is_silent() {
+            let a = RwLock::with_name(0, "t-consistent-a");
+            let b = Mutex::with_name(0, "t-consistent-b");
+            for _ in 0..3 {
+                let ga = a.write();
+                let gb = b.lock();
+                drop(gb);
+                drop(ga);
+            }
+        }
+
+        #[test]
+        fn inversion_panics_with_both_names() {
+            let a = Mutex::with_name(0, "t-invert-a");
+            let b = Mutex::with_name(0, "t-invert-b");
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock(); // ABBA
+            }));
+            let message = match result {
+                Err(payload) => match payload.downcast::<String>() {
+                    Ok(s) => *s,
+                    Err(other) => {
+                        *other.downcast::<&str>().map(|s| Box::new(s.to_string())).unwrap()
+                    }
+                },
+                Ok(()) => panic!("the inverted acquisition must panic"),
+            };
+            assert!(message.contains("lock-order inversion"), "{message}");
+            assert!(message.contains("t-invert-a") && message.contains("t-invert-b"), "{message}");
+        }
+
+        #[test]
+        fn drop_releases_for_the_checker() {
+            let a = Mutex::with_name(0, "t-release-a");
+            let b = Mutex::with_name(0, "t-release-b");
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            // Not an inversion: `a` was released before re-acquiring `b`.
+            let gb = b.lock();
+            drop(gb);
+            let _ga = a.lock();
+        }
+
+        #[test]
+        fn same_name_nesting_is_exempt() {
+            let shard1 = RwLock::with_name(1, "t-shard");
+            let shard2 = RwLock::with_name(2, "t-shard");
+            let g1 = shard1.read();
+            let g2 = shard2.read();
+            assert_eq!(*g1 + *g2, 3);
+        }
+
+        #[test]
+        fn anonymous_locks_are_not_tracked() {
+            let a = Mutex::new(0);
+            let b = Mutex::new(0);
+            let _ga = a.lock();
+            let _gb = b.lock();
+            drop(_gb);
+            drop(_ga);
+            let _gb = b.lock();
+            let _ga = a.lock(); // would be ABBA if tracked
+        }
     }
 }
