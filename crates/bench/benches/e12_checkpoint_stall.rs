@@ -1,0 +1,294 @@
+//! Experiment E12 — checkpoint stall under ingest: what a concurrent
+//! checkpoint does to the p99 latency of acknowledged ingests.
+//!
+//! The paper's serving tier must absorb a continuously growing archive
+//! while staying durable, so checkpoints run *while* ingest traffic is
+//! live.  A monolithic snapshot holds the catalog write lock for the whole
+//! encode — every ingest issued during that window stalls behind it, and
+//! the stall grows with the archive.  The incremental checkpointer instead
+//! clones only the dirty deltas under the lock and does all file I/O
+//! unlocked, so the ingest p99 should stay near the no-checkpoint baseline
+//! while the bytes written per checkpoint collapse to the delta size.
+//!
+//! Three regimes over the same recovered 4k-image server, ingesting the
+//! same pregenerated patch stream one acknowledged write at a time:
+//!
+//! * `baseline` — no checkpoints at all,
+//! * `full` — a sibling thread repeatedly checkpoints into a *fresh*
+//!   directory (every such checkpoint is a full snapshot: the legacy
+//!   regime),
+//! * `incremental` — the sibling thread checkpoints into the attached
+//!   directory (delta chunks + manifest swap).
+//!
+//! Results land in `BENCH_e12.json` at the workspace root.  `EQ_E12_SMOKE=1`
+//! shrinks the workload for CI smoke runs (numbers are printed but the
+//! acceptance ordering is only asserted on the full run).
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eq_bench::archive;
+use eq_bigearthnet::Archive;
+use eq_earthqube::{CheckpointKind, EarthQubeConfig, QueryServer, ServeConfig};
+
+fn engine_config(seed: u64) -> EarthQubeConfig {
+    let mut config = EarthQubeConfig::fast(seed);
+    config.milan.epochs = 5;
+    config
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("eq_e12_{}_{tag}", std::process::id()))
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("scratch dir");
+    for entry in std::fs::read_dir(src).expect("base checkpoint dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_file() {
+            std::fs::copy(&path, dst.join(path.file_name().expect("file name")))
+                .expect("clone base checkpoint");
+        }
+    }
+}
+
+/// The `q`-th percentile (0..=1) of a latency sample set, in microseconds.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] * 1e6
+}
+
+/// A checkpoint loop body: given the shared server and the completed /
+/// bytes-written counters, performs (at most) one checkpoint pass.
+type CheckpointFn<'a> = &'a (dyn Fn(&QueryServer, &AtomicU64, &AtomicU64) + Sync);
+
+struct RegimeResult {
+    name: &'static str,
+    ingests: usize,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    checkpoints: u64,
+    bytes_per_checkpoint: f64,
+}
+
+/// Ingests `stream` one acknowledged patch at a time while `checkpointer`
+/// (if any) runs on a sibling thread, and returns the latency distribution
+/// plus what the checkpointer managed to write in that window.
+fn run_regime(
+    name: &'static str,
+    base: &Path,
+    stream: &Archive,
+    min_checkpoints: u64,
+    checkpointer: Option<CheckpointFn<'_>>,
+) -> RegimeResult {
+    let dir = scratch_dir(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_dir(base, &dir);
+    let server = QueryServer::recover(&dir).expect("base checkpoint recovers");
+
+    let stop = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    let bytes = AtomicU64::new(0);
+    let mut latencies: Vec<f64> = Vec::with_capacity(stream.patches().len());
+
+    std::thread::scope(|scope| {
+        if let Some(run_checkpoint) = checkpointer {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    run_checkpoint(&server, &completed, &bytes);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        }
+        for patch in stream.patches() {
+            let start = Instant::now();
+            server.ingest(std::slice::from_ref(patch)).expect("ingest");
+            latencies.push(start.elapsed().as_secs_f64());
+        }
+        // Let a slow checkpointer reach `min_checkpoints` before tearing
+        // down, so the window always contains whole checkpoints.  Bounded:
+        // a drained incremental regime goes clean and stops completing, in
+        // which case the caller's count assertion reports the shortfall.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while checkpointer.is_some()
+            && completed.load(Ordering::Acquire) < min_checkpoints
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Release);
+    });
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let checkpoints = completed.load(Ordering::Acquire);
+    RegimeResult {
+        name,
+        ingests: latencies.len(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: percentile(&latencies, 1.0),
+        checkpoints,
+        bytes_per_checkpoint: if checkpoints == 0 {
+            0.0
+        } else {
+            bytes.load(Ordering::Acquire) as f64 / checkpoints as f64
+        },
+    }
+}
+
+fn bench_checkpoint_stall(c: &mut Criterion) {
+    let smoke = std::env::var("EQ_E12_SMOKE").is_ok_and(|v| v == "1");
+    let (base_n, stream_n, min_ckpts) = if smoke { (800, 60, 1) } else { (4_000, 300, 3) };
+
+    println!(
+        "[E12] checkpoint stall under ingest: {base_n}-image base, {stream_n} acknowledged \
+         single-patch ingests{}",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    // One trained server, checkpointed once; every regime re-clones it so
+    // all three start from the identical on-disk state.
+    let base = scratch_dir("base");
+    let _ = std::fs::remove_dir_all(&base);
+    let data = archive(base_n, 99);
+    let stream = archive(stream_n, 7_312);
+    QueryServer::build(&data, engine_config(99), ServeConfig::default())
+        .expect("server builds")
+        .checkpoint(&base)
+        .expect("base checkpoint");
+
+    let baseline = run_regime("baseline", &base, &stream, 0, None);
+
+    // Legacy regime: every checkpoint targets a fresh directory, which is
+    // always a full snapshot — the whole catalog encoded under the write
+    // lock while ingests queue behind it.
+    let full_targets = AtomicU64::new(0);
+    let full_fn = move |server: &QueryServer, completed: &AtomicU64, bytes: &AtomicU64| {
+        let i = full_targets.fetch_add(1, Ordering::Relaxed);
+        let target = scratch_dir(&format!("full_{i}"));
+        let _ = std::fs::remove_dir_all(&target);
+        let stats = server.checkpoint(&target).expect("full checkpoint");
+        assert_eq!(stats.kind, CheckpointKind::Full, "a fresh directory forces a full snapshot");
+        completed.fetch_add(1, Ordering::AcqRel);
+        bytes.fetch_add(stats.bytes_written, Ordering::AcqRel);
+        if i > 0 {
+            let _ = std::fs::remove_dir_all(scratch_dir(&format!("full_{}", i - 1)));
+        }
+    };
+    let full = run_regime("full", &base, &stream, min_ckpts, Some(&full_fn));
+    let _ = std::fs::remove_dir_all(scratch_dir(&format!(
+        "full_{}",
+        full.checkpoints.saturating_sub(1)
+    )));
+
+    // Incremental regime: checkpoint into the attached directory — the cut
+    // clones dirty deltas under the lock, everything else runs unlocked.
+    let incr_fn = |server: &QueryServer, completed: &AtomicU64, bytes: &AtomicU64| {
+        if let Some(stats) = server.checkpoint_if_dirty().expect("incremental checkpoint") {
+            assert_ne!(stats.kind, CheckpointKind::Full, "the attached directory takes deltas");
+            completed.fetch_add(1, Ordering::AcqRel);
+            bytes.fetch_add(stats.bytes_written, Ordering::AcqRel);
+        }
+    };
+    let incremental = run_regime("incremental", &base, &stream, min_ckpts, Some(&incr_fn));
+
+    let results = [&baseline, &full, &incremental];
+    for r in results {
+        println!(
+            "[E12] {:>12}: {} ingests, p50 {:>8.1} us, p99 {:>9.1} us, max {:>9.1} us | \
+             {} checkpoints, {:>12.0} bytes/checkpoint",
+            r.name, r.ingests, r.p50_us, r.p99_us, r.max_us, r.checkpoints, r.bytes_per_checkpoint
+        );
+    }
+
+    if !smoke {
+        assert!(
+            full.checkpoints >= min_ckpts && incremental.checkpoints >= min_ckpts,
+            "both checkpointing regimes must complete at least {min_ckpts} checkpoints \
+             inside the measurement window"
+        );
+        // The acceptance ordering: deltas shrink both the stall tail and
+        // the bytes.  The byte ratio is deterministic; the latency ordering
+        // has orders of magnitude of headroom (a full snapshot encode holds
+        // the write lock for tens of milliseconds, an incremental cut for
+        // the clone of a handful of documents).
+        assert!(
+            incremental.bytes_per_checkpoint * 5.0 < full.bytes_per_checkpoint,
+            "incremental checkpoints must write <20% of a full snapshot per pass \
+             (measured {:.0} vs {:.0} bytes)",
+            incremental.bytes_per_checkpoint,
+            full.bytes_per_checkpoint
+        );
+        assert!(
+            incremental.p99_us < full.p99_us,
+            "ingest p99 under incremental checkpoints ({:.1} us) must beat the \
+             full-snapshot regime ({:.1} us)",
+            incremental.p99_us,
+            full.p99_us
+        );
+        write_json(&baseline, &full, &incremental, base_n, stream_n);
+    }
+
+    // Criterion sample for the CI log: the skip probe — what the background
+    // checkpointer pays per pass when nothing is dirty.  Bounded work, so
+    // it is safe to let the harness iterate it freely.
+    let clean_dir = scratch_dir("clean");
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    copy_dir(&base, &clean_dir);
+    let clean = QueryServer::recover(&clean_dir).expect("base checkpoint recovers");
+    let mut group = c.benchmark_group("e12_checkpoint_stall");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(if smoke { 300 } else { 1000 }));
+    group.bench_function("skip_probe_when_clean", |b| {
+        b.iter(|| black_box(clean.checkpoint_if_dirty().expect("skip probe")))
+    });
+    group.finish();
+    drop(clean);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Records the measurements in `BENCH_e12.json` at the workspace root (the
+/// committed copy tracks the perf trajectory across PRs).
+fn write_json(
+    baseline: &RegimeResult,
+    full: &RegimeResult,
+    incremental: &RegimeResult,
+    base_n: usize,
+    stream_n: usize,
+) {
+    let row = |r: &RegimeResult| {
+        format!(
+            "    {{\n      \"regime\": \"{}\",\n      \"ingests\": {},\n      \
+             \"ingest_p50_us\": {:.1},\n      \"ingest_p99_us\": {:.1},\n      \
+             \"ingest_max_us\": {:.1},\n      \"checkpoints\": {},\n      \
+             \"bytes_per_checkpoint\": {:.0}\n    }}",
+            r.name, r.ingests, r.p50_us, r.p99_us, r.max_us, r.checkpoints, r.bytes_per_checkpoint
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"e12_checkpoint_stall\",\n  \"base_images\": {base_n},\n  \
+         \"ingest_stream\": {stream_n},\n  \"acceptance\": \"incremental checkpoints write \
+         <20% of a full snapshot per pass and keep ingest p99 below the full-snapshot \
+         regime\",\n  \"results\": [\n{},\n{},\n{}\n  ]\n}}\n",
+        row(baseline),
+        row(full),
+        row(incremental)
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_e12.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[E12] could not write {}: {e}", path.display());
+    } else {
+        println!("[E12] wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_checkpoint_stall);
+criterion_main!(benches);

@@ -29,6 +29,23 @@ fn scratch_dir(n: usize) -> PathBuf {
     std::env::temp_dir().join(format!("eq_e9_cold_start_{}_{n}", std::process::id()))
 }
 
+/// On-disk footprint of an incremental checkpoint: the manifest plus every
+/// chunk file it roots (WAL segments are transient and excluded).
+fn checkpoint_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir).map_or(0, |entries| {
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name == "manifest.eqm" || (name.starts_with("chunk-") && name.ends_with(".eqc"))
+            })
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    })
+}
+
 fn bench_cold_start(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_cold_start");
     group.sample_size(10);
@@ -48,7 +65,7 @@ fn bench_cold_start(c: &mut Criterion) {
         let server = QueryServer::open(&dir, &data, engine_config(99), ServeConfig::default())
             .expect("first open builds and checkpoints");
         let build_time = start.elapsed().as_secs_f64();
-        let snapshot_bytes = std::fs::metadata(dir.join("snapshot.eqs")).map_or(0, |m| m.len());
+        let snapshot_bytes = checkpoint_bytes(&dir);
 
         // Sanity: a recovered server answers like the built one.  The
         // builder is dropped first — recovery takes the WAL file lock.

@@ -1,6 +1,6 @@
 //! Collections: document storage, indexes and the query planner.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use eq_geo::Point;
 
@@ -45,6 +45,62 @@ pub struct CollectionStats {
     pub geo_index: Option<String>,
 }
 
+/// What changed in a collection since its dirty log was last drained.
+///
+/// Maintained automatically by every mutating operation.  The persistence
+/// tier drains it at a checkpoint cut ([`Collection::take_dirty`]) and
+/// turns the drained log into a [`CollectionDelta`]
+/// ([`Collection::capture_delta`]); if persisting fails, the drained log
+/// is merged back with [`Collection::restore_dirty`] so no change is ever
+/// dropped.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyLog {
+    touched: BTreeSet<DocId>,
+    deleted: BTreeSet<Value>,
+    schema_changed: bool,
+}
+
+impl DirtyLog {
+    /// Whether nothing changed since the last drain.
+    pub fn is_empty(&self) -> bool {
+        !self.schema_changed && self.touched.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Whether an index was created or re-created since the last drain.
+    /// Deltas cannot express schema changes, so a schema-dirty collection
+    /// needs a full rewrite instead of a delta chunk.
+    pub fn schema_changed(&self) -> bool {
+        self.schema_changed
+    }
+
+    /// Merges another drained log into this one (set union, flags OR-ed) —
+    /// the restore path of a failed checkpoint.
+    pub fn merge(&mut self, other: DirtyLog) {
+        self.touched.extend(other.touched);
+        self.deleted.extend(other.deleted);
+        self.schema_changed |= other.schema_changed;
+    }
+}
+
+/// The documents that changed in one collection since a base snapshot —
+/// the payload of an incremental-checkpoint delta chunk.
+///
+/// Deltas are applied deletes-first: a delete of a key the base never held
+/// is tolerated (the document was created and deleted entirely within the
+/// delta window), while upsert ids must be fresh and ascending so that
+/// replay reproduces the live collection's insertion order exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionDelta {
+    /// Name of the collection the delta applies to.
+    pub name: String,
+    /// The collection's id watermark at capture time.
+    pub next_id: DocId,
+    /// Primary-key values deleted since the base, in key order.
+    pub deletes: Vec<Value>,
+    /// Documents inserted since the base, in ascending id order.
+    pub upserts: Vec<(DocId, Document)>,
+}
+
 /// A collection of documents with a mandatory primary key, optional
 /// secondary attribute indexes and an optional geohash 2-D index.
 #[derive(Debug, Clone)]
@@ -58,6 +114,7 @@ pub struct Collection {
     attr_indexes: BTreeMap<String, AttributeIndex>,
     geo_field: Option<String>,
     geo_index: Option<GeoIndex>,
+    dirty: DirtyLog,
 }
 
 impl Collection {
@@ -74,6 +131,7 @@ impl Collection {
             attr_indexes: BTreeMap::new(),
             geo_field: None,
             geo_index: None,
+            dirty: DirtyLog::default(),
         }
     }
 
@@ -107,6 +165,7 @@ impl Collection {
             }
         }
         self.attr_indexes.insert(field.to_string(), index);
+        self.dirty.schema_changed = true;
     }
 
     /// Declares a geohash 2-D index on a point attribute (a `[lon, lat]`
@@ -131,6 +190,7 @@ impl Collection {
         }
         self.geo_field = Some(field.to_string());
         self.geo_index = Some(index);
+        self.dirty.schema_changed = true;
         Ok(())
     }
 
@@ -175,6 +235,7 @@ impl Collection {
         self.pk_index.insert(key, id);
         self.docs.insert(id, doc);
         self.insertion_order.push(id);
+        self.dirty.touched.insert(id);
         Ok(())
     }
 
@@ -216,7 +277,92 @@ impl Collection {
             collection.insert_at(id, doc)?;
         }
         collection.next_id = next_id;
+        // A freshly restored collection is byte-for-byte what the snapshot
+        // holds: nothing is pending persistence.
+        collection.dirty = DirtyLog::default();
         Ok(collection)
+    }
+
+    /// Whether any change since the last dirty-log drain is pending.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Read access to the pending dirty log.
+    pub fn dirty(&self) -> &DirtyLog {
+        &self.dirty
+    }
+
+    /// Drains the dirty log, leaving it empty — the checkpoint cut.
+    pub fn take_dirty(&mut self) -> DirtyLog {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Merges a previously drained log back into the pending one, so a
+    /// failed checkpoint re-persists everything on its next attempt.
+    pub fn restore_dirty(&mut self, log: DirtyLog) {
+        self.dirty.merge(log);
+    }
+
+    /// Captures the delta a drained dirty log describes against the
+    /// current contents: every still-present touched document becomes an
+    /// upsert, every recorded key a delete.
+    pub fn capture_delta(&self, dirty: &DirtyLog) -> CollectionDelta {
+        CollectionDelta {
+            name: self.name.clone(),
+            next_id: self.next_id,
+            deletes: dirty.deleted.iter().cloned().collect(),
+            upserts: dirty
+                .touched
+                .iter()
+                .filter_map(|id| self.docs.get(id).map(|doc| (*id, doc.clone())))
+                .collect(),
+        }
+    }
+
+    /// Applies a decoded delta on top of the current contents: deletes
+    /// first (a key the collection does not hold is tolerated), then
+    /// upserts, whose ids must be fresh and at or above the current
+    /// watermark so replay reproduces insertion order exactly.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::BadIndex`] on an id that is stale, duplicate
+    /// or not below the delta's own watermark, and propagates primary-key
+    /// violations from the underlying inserts.
+    pub fn apply_delta(&mut self, delta: CollectionDelta) -> Result<(), StoreError> {
+        for key in &delta.deletes {
+            match self.delete_by_key(key) {
+                Ok(()) | Err(StoreError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut last_id = None;
+        for (id, doc) in delta.upserts {
+            if last_id.is_some_and(|prev| id <= prev) {
+                return Err(StoreError::BadIndex(format!(
+                    "delta document ids out of order at {id}"
+                )));
+            }
+            last_id = Some(id);
+            if id >= delta.next_id {
+                return Err(StoreError::BadIndex(format!(
+                    "delta document id {id} is not below the delta's next_id {}",
+                    delta.next_id
+                )));
+            }
+            if id < self.next_id {
+                return Err(StoreError::BadIndex(format!(
+                    "delta document id {id} is below the collection's watermark {}",
+                    self.next_id
+                )));
+            }
+            if self.docs.contains_key(&id) {
+                return Err(StoreError::BadIndex(format!("delta document id {id} already exists")));
+            }
+            self.insert_at(id, doc)?;
+        }
+        self.next_id = self.next_id.max(delta.next_id);
+        Ok(())
     }
 
     /// The document with the given internal id.
@@ -248,6 +394,8 @@ impl Collection {
                 index.remove(id, p);
             }
         }
+        self.dirty.touched.remove(&id);
+        self.dirty.deleted.insert(key.clone());
         Ok(())
     }
 
@@ -535,6 +683,98 @@ mod tests {
         assert!(s.approximate_bytes > 0);
         assert_eq!(s.attribute_indexes, vec!["country".to_string()]);
         assert_eq!(s.geo_index.as_deref(), Some("location"));
+    }
+
+    #[test]
+    fn dirty_log_tracks_inserts_deletes_and_schema_changes() {
+        let mut c = sample_collection();
+        assert!(c.is_dirty(), "fresh inserts and index creation are dirty");
+        let drained = c.take_dirty();
+        assert!(!c.is_dirty());
+        assert!(drained.schema_changed());
+
+        // Mutations after the drain accumulate in a fresh log.
+        c.insert(patch_doc("p5", "Serbia", 20.0, 44.0, "B", 500)).unwrap();
+        c.delete_by_key(&"p1".into()).unwrap();
+        assert!(c.is_dirty());
+        let log = c.take_dirty();
+        assert!(!log.schema_changed());
+        let delta = c.capture_delta(&log);
+        assert_eq!(delta.deletes, vec![Value::from("p1")]);
+        assert_eq!(delta.upserts.len(), 1);
+        assert_eq!(delta.upserts[0].0, 4, "p5 got the next dense id");
+
+        // A document created and deleted inside one window yields only a
+        // (tolerated) delete, not an upsert.
+        c.insert(patch_doc("ghost", "Nowhere", 0.0, 0.0, "X", 1)).unwrap();
+        c.delete_by_key(&"ghost".into()).unwrap();
+        let log = c.take_dirty();
+        let delta = c.capture_delta(&log);
+        assert!(delta.upserts.is_empty());
+        assert_eq!(delta.deletes, vec![Value::from("ghost")]);
+    }
+
+    #[test]
+    fn restore_dirty_merges_a_failed_drain_back() {
+        let mut c = sample_collection();
+        let first = c.take_dirty();
+        c.insert(patch_doc("p5", "Serbia", 20.0, 44.0, "B", 500)).unwrap();
+        c.restore_dirty(first);
+        let merged = c.take_dirty();
+        assert!(merged.schema_changed());
+        let delta = c.capture_delta(&merged);
+        assert_eq!(delta.upserts.len(), 5, "both windows' documents survive the merge");
+    }
+
+    #[test]
+    fn apply_delta_reproduces_the_source_collection() {
+        let mut base = sample_collection();
+        base.take_dirty();
+        let mut live = base.clone();
+        live.delete_by_key(&"p2".into()).unwrap();
+        live.insert(patch_doc("p5", "Serbia", 20.0, 44.0, "B", 500)).unwrap();
+        let log = live.take_dirty();
+        let delta = live.capture_delta(&log);
+
+        base.apply_delta(delta).unwrap();
+        assert_eq!(base.len(), live.len());
+        assert_eq!(base.next_id(), live.next_id());
+        let order: Vec<DocId> = base.iter().map(|(id, _)| *id).collect();
+        assert_eq!(order, live.iter().map(|(id, _)| *id).collect::<Vec<_>>());
+        let f = Filter::Eq("country".into(), Value::from("Serbia"));
+        assert_eq!(base.find(&f), live.find(&f));
+    }
+
+    #[test]
+    fn apply_delta_rejects_stale_and_disordered_ids() {
+        let mut c = sample_collection();
+        c.take_dirty();
+        let stale = CollectionDelta {
+            name: "metadata".into(),
+            next_id: 10,
+            deletes: vec![],
+            upserts: vec![(0, patch_doc("x", "X", 0.0, 0.0, "A", 1))],
+        };
+        assert!(matches!(c.apply_delta(stale), Err(StoreError::BadIndex(_))));
+
+        let disordered = CollectionDelta {
+            name: "metadata".into(),
+            next_id: 10,
+            deletes: vec![],
+            upserts: vec![
+                (5, patch_doc("x", "X", 0.0, 0.0, "A", 1)),
+                (4, patch_doc("y", "Y", 0.0, 0.0, "A", 1)),
+            ],
+        };
+        assert!(matches!(c.apply_delta(disordered), Err(StoreError::BadIndex(_))));
+
+        let above_watermark = CollectionDelta {
+            name: "metadata".into(),
+            next_id: 5,
+            deletes: vec![],
+            upserts: vec![(5, patch_doc("x", "X", 0.0, 0.0, "A", 1))],
+        };
+        assert!(matches!(c.apply_delta(above_watermark), Err(StoreError::BadIndex(_))));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::collection::Collection;
+use crate::collection::{Collection, CollectionDelta};
 use crate::StoreError;
 
 /// A named set of [`Collection`]s — the embedded equivalent of the MongoDB
@@ -64,6 +64,42 @@ impl Database {
     /// Rebuilds a database from decoded collections (snapshot restoration).
     pub(crate) fn from_collections(collections: Vec<Collection>) -> Self {
         Self { collections: collections.into_iter().map(|c| (c.name().to_string(), c)).collect() }
+    }
+
+    /// Installs a fully decoded collection, replacing any existing one
+    /// with the same name — how a full collection chunk is applied during
+    /// incremental-checkpoint recovery.
+    pub fn insert_collection(&mut self, collection: Collection) {
+        self.collections.insert(collection.name().to_string(), collection);
+    }
+
+    /// Applies a decoded collection delta on top of the already-restored
+    /// base collection.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NoSuchCollection`] when the base chunk for
+    /// the named collection has not been applied yet, and propagates any
+    /// inconsistency from [`Collection::apply_delta`].
+    pub fn apply_delta(&mut self, delta: CollectionDelta) -> Result<(), StoreError> {
+        self.collection_mut(&delta.name)?.apply_delta(delta)
+    }
+
+    /// Names of the collections with pending dirty state, in name order.
+    pub fn dirty_collection_names(&self) -> Vec<&str> {
+        self.collections.values().filter(|c| c.is_dirty()).map(Collection::name).collect()
+    }
+
+    /// Whether any collection has pending dirty state.
+    pub fn is_dirty(&self) -> bool {
+        self.collections.values().any(Collection::is_dirty)
+    }
+
+    /// Drains every collection's dirty log — after recovery has finished
+    /// rebuilding state that is, by construction, already persisted.
+    pub fn clear_dirty(&mut self) {
+        for collection in self.collections.values_mut() {
+            collection.take_dirty();
+        }
     }
 }
 

@@ -26,7 +26,9 @@ pub mod index;
 pub mod value;
 pub mod wire;
 
-pub use collection::{Collection, CollectionStats, QueryPlan, QueryResult};
+pub use collection::{
+    Collection, CollectionDelta, CollectionStats, DirtyLog, QueryPlan, QueryResult,
+};
 pub use database::Database;
 pub use filter::Filter;
 pub use index::{AttributeIndex, GeoIndex};

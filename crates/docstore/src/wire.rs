@@ -29,7 +29,7 @@
 //! state twice yields byte-identical output — which is what lets the
 //! property suite assert encode→decode→encode fixpoints.
 
-use crate::collection::Collection;
+use crate::collection::{Collection, CollectionDelta};
 use crate::database::Database;
 use crate::value::{Document, Value};
 use crate::DocId;
@@ -226,6 +226,55 @@ pub fn decode_collection(r: &mut Reader<'_>) -> Result<Collection, WireError> {
         .map_err(|e| WireError::Corrupt(format!("collection {name:?} is inconsistent: {e}")))
 }
 
+/// Encodes a collection delta: the documents that changed since a base
+/// snapshot, as captured by [`Collection::capture_delta`].
+///
+/// Layout: `name next_id:u64 deletes:u32 value* upserts:u32 (doc_id:u64
+/// document)*` — deletes in key order, upserts in ascending id order.
+pub fn encode_collection_delta(delta: &CollectionDelta, w: &mut Writer) {
+    w.str(&delta.name);
+    w.u64(delta.next_id);
+    w.seq_len(delta.deletes.len());
+    for key in &delta.deletes {
+        encode_value(key, w);
+    }
+    w.seq_len(delta.upserts.len());
+    for (id, doc) in &delta.upserts {
+        w.u64(*id);
+        encode_document(doc, w);
+    }
+}
+
+/// Decodes a collection delta, validating that upsert ids are strictly
+/// ascending and below the delta's watermark.
+///
+/// # Errors
+/// Returns a [`WireError`] on any structural problem; never panics.
+pub fn decode_collection_delta(r: &mut Reader<'_>) -> Result<CollectionDelta, WireError> {
+    let name = r.str()?.to_string();
+    let next_id = r.u64()?;
+    let n_deletes = r.seq_len(1)?;
+    let mut deletes = Vec::with_capacity(n_deletes);
+    for _ in 0..n_deletes {
+        deletes.push(decode_value(r)?);
+    }
+    let n_upserts = r.seq_len(8)?;
+    let mut upserts: Vec<(DocId, Document)> = Vec::with_capacity(n_upserts);
+    for _ in 0..n_upserts {
+        let id = r.u64()?;
+        if upserts.last().is_some_and(|(prev, _)| id <= *prev) {
+            return Err(WireError::Corrupt(format!("delta document ids out of order at {id}")));
+        }
+        if id >= next_id {
+            return Err(WireError::Corrupt(format!(
+                "delta document id {id} is not below the delta's next_id {next_id}"
+            )));
+        }
+        upserts.push((id, decode_document(r)?));
+    }
+    Ok(CollectionDelta { name, next_id, deletes, upserts })
+}
+
 /// Encodes a database (collections in name order).
 pub fn encode_database(db: &Database, w: &mut Writer) {
     w.seq_len(db.len());
@@ -383,6 +432,56 @@ mod tests {
         }
         let buf = w.into_bytes();
         assert!(matches!(decode_collection(&mut Reader::new(&buf)), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn collection_delta_roundtrips_and_rejects_corruption() {
+        let mut base = Collection::new("metadata", "name");
+        for i in 0..4 {
+            base.insert(sample_doc(&format!("p{i}"))).unwrap();
+        }
+        base.take_dirty();
+        let mut live = base.clone();
+        live.delete_by_key(&"p1".into()).unwrap();
+        live.insert(sample_doc("p4")).unwrap();
+        live.insert(sample_doc("p5")).unwrap();
+        let log = live.take_dirty();
+        let delta = live.capture_delta(&log);
+
+        let bytes = encode_to_vec(&delta, encode_collection_delta);
+        let mut r = Reader::new(&bytes);
+        let back = decode_collection_delta(&mut r).unwrap();
+        assert!(r.is_empty(), "delta encoding is self-delimiting");
+        assert_eq!(back, delta);
+        assert_eq!(encode_to_vec(&back, encode_collection_delta), bytes);
+
+        base.apply_delta(back).unwrap();
+        assert_eq!(base.len(), live.len());
+        assert_eq!(base.next_id(), live.next_id());
+
+        // Every strict prefix fails to decode.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_collection_delta(&mut Reader::new(&bytes[..cut])).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_ids_at_or_above_the_watermark_are_rejected() {
+        let delta = crate::CollectionDelta {
+            name: "c".into(),
+            next_id: 3,
+            deletes: vec![],
+            upserts: vec![(3, sample_doc("p"))],
+        };
+        let bytes = encode_to_vec(&delta, encode_collection_delta);
+        assert!(matches!(
+            decode_collection_delta(&mut Reader::new(&bytes)),
+            Err(WireError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -77,8 +77,14 @@ pub use net::{EqClient, NetServer};
 pub use query::{ImageQuery, LabelFilter, LabelOperator};
 pub use results::{DownloadCart, ResultEntry, ResultPage, ResultPanel};
 pub use schema::{collections, metadata_document, metadata_from_document};
-pub use serve::{QueryRequest, QueryServer, ServeConfig, ServerStats};
+pub use serve::{
+    CheckpointKind, CheckpointStats, CheckpointerStats, QueryRequest, QueryServer, ServeConfig,
+    ServerStats,
+};
 pub use stats::LabelStatistics;
+
+#[cfg(feature = "failpoints")]
+pub use persist::failpoints;
 
 /// Errors surfaced by the EarthQube back-end services.
 #[derive(Debug, Clone, PartialEq)]

@@ -455,6 +455,13 @@ impl NetServer {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // With every serving thread joined, no more writes can arrive:
+        // stop the background checkpointer and flush whatever the last
+        // requests dirtied, so a graceful shutdown never loses the final
+        // WAL-only state to a subsequent unclean stop.  Best-effort — a
+        // flush failure leaves the WAL segments, which recovery replays.
+        self.shared.server.stop_checkpointer();
+        let _ = self.shared.server.checkpoint_if_dirty();
     }
 }
 

@@ -1,65 +1,103 @@
-//! The durable storage tier: snapshot and write-ahead-log formats.
+//! The durable storage tier: incremental checkpoints and a segmented
+//! write-ahead log.
 //!
 //! EarthQube in the paper serves a continuously growing archive; losing the
 //! docstore, the CBIR index and the trained MiLaN codes on every restart
-//! would mean re-ingesting and re-encoding from scratch.  This module
-//! defines the two on-disk artefacts that prevent that (the public entry
+//! would mean re-ingesting and re-encoding from scratch.  Earlier revisions
+//! wrote one monolithic snapshot file per checkpoint; this module replaces
+//! that with an *incremental* design, so a checkpoint after a small ingest
+//! writes a small delta instead of re-serialising the whole archive.  A
+//! persistence directory now holds four kinds of files (the public entry
 //! points are [`QueryServer::checkpoint`], [`QueryServer::recover`] and
 //! [`QueryServer::open`](crate::serve::QueryServer::open)):
 //!
-//! * **Snapshot** (`snapshot.eqs`) — a versioned, CRC-32-checksummed binary
-//!   image of the whole serving state: engine + serve configuration, the
-//!   trained MiLaN model, the document database, the per-image metadata and
-//!   binary codes, and the sharded Hamming index (with its shard layout
-//!   verbatim, so the flat/sharded search equivalence survives a restart).
+//! * **Manifest** (`manifest.eqm`) — the commit point.  A small CRC-framed
+//!   record (see [`eq_wire::manifest`], magic `EQMANI01`) listing every
+//!   chunk file of the current checkpoint (name, kind, length, CRC-32),
+//!   the checkpoint sequence number, the WAL *generation* tag and the
+//!   first live WAL segment.  It is written to a temporary file, synced,
+//!   and atomically renamed into place: a checkpoint is published when the
+//!   rename lands, and never half-published.
+//!
+//! * **Chunks** (`chunk-SSSSSS-OOO.eqc`, magic `EQCHNK01`) — the snapshot
+//!   payload, split so that an incremental checkpoint only rewrites what
+//!   changed: the static part (configuration + trained model), one chunk
+//!   per docstore collection plus *delta* chunks layered on top of it, the
+//!   per-image metadata/code table in append-only ranges, and one chunk
+//!   per CBIR index shard.  A chunk file not named by the published
+//!   manifest is a harmless orphan (a crashed checkpoint) and is swept by
+//!   the next successful one.
 //!
 //!   ```text
-//!   snapshot := "EQSNAP01" version:u16 body_len:u64 body crc32(body):u32
-//!   body     := engine_config serve_config milan_model database
-//!               images:u32 (patch_metadata code)*   (in dense-id order)
-//!               sharded_index
+//!   chunk  := "EQCHNK01" body_len:u64 body crc32(body):u32
+//!   body   := 1 engine_config serve_config milan_model        (static)
+//!           | 2 collection                                    (full collection)
+//!           | 3 collection_delta                              (delta)
+//!           | 4 start:u64 count (patch_metadata code)*        (image range)
+//!           | 5 shard:u32 hash_table                          (index shard)
 //!   ```
 //!
-//! * **Write-ahead log** (`wal.eqw`) — an append-only record stream of
-//!   every write applied after the snapshot.  Records are framed with a
-//!   length and a per-record CRC-32, so a torn tail (the crash happened
-//!   mid-`write`) is detected and cleanly discarded on recovery:
+//! * **WAL segments** (`wal.NNNN.eqw`, magic `EQWSEG01`) — the write-ahead
+//!   log, rotated into bounded segments instead of one endless file.  Each
+//!   segment header carries the generation tag and its own index; records
+//!   are framed with a length and a per-record CRC-32, so a torn tail (the
+//!   crash happened mid-`write`) is detected and cleanly discarded on
+//!   recovery.  A checkpoint *cut* seals the live segment and starts the
+//!   next one; segments below the manifest's `first_segment` are covered
+//!   by the checkpoint and retired (deleted) after it publishes.
 //!
 //!   ```text
-//!   wal      := "EQWAL001" generation:u32 record*
+//!   segment  := "EQWSEG01" generation:u32 segment_index:u32 record*
 //!   record   := len:u32 crc32(payload):u32 payload[len]
 //!   payload  := 1 patch_metadata code image_doc rendered_doc   (ingest)
 //!             | 2 text:string category:u8 [string]             (feedback)
 //!   ```
 //!
-//!   The `generation` field is the CRC-32 of the snapshot the log extends
-//!   (see [`snapshot_generation`]); it is what makes checkpointing
-//!   crash-atomic across the two files.  Appends are made durable with
-//!   `fdatasync` (one per write-path lock section), and a published
-//!   snapshot is `fsync`ed before its rename — `flush` alone would not
-//!   survive a power loss.
+//! * **Directory lock** (`wal.lock`) — an advisory exclusive file lock held
+//!   for the lifetime of an attached server, so a directory serves exactly
+//!   one live writer.  The OS releases it when the holder dies, so a
+//!   crashed server never wedges its directory.
 //!
-//! Recovery = decode snapshot, replay every intact WAL record of the
-//! matching generation through the same apply path live ingest uses,
-//! truncate the WAL to its last intact record.  Replaying is idempotent
-//! from the snapshot base, so recovering a recovered directory yields the
-//! same state again.
+//! The `generation` tag names the checkpoint *lineage*: it is constant
+//! across incremental checkpoints and re-stamped only by a full one.  A
+//! segment tagged with a foreign generation is debris from an interrupted
+//! full checkpoint; recovery ignores it when (and only when) it trails the
+//! live chain.  Appends are made durable with `fdatasync` (one per
+//! write-path lock section), and every chunk and the manifest are synced
+//! before the rename publishes them — `flush` alone would not survive a
+//! power loss.
+//!
+//! Recovery = read the manifest, rebuild the state from its chunks (full
+//! collections first, then their deltas; image ranges must tile; every
+//! index shard exactly once), replay every intact record of the live
+//! segment chain through the same apply path live ingest uses, truncate
+//! the torn tail of the final segment.  Replaying is idempotent from the
+//! checkpoint base, so recovering a recovered directory yields the same
+//! state again.
+//!
+//! Crash-point injection: with the `failpoints` feature (test builds only;
+//! release builds of the library compile it out) the [`failpoints`] module
+//! can arm exactly one named point; the corresponding I/O helper then
+//! fails *before* its write/sync/rename, simulating a crash at that
+//! boundary.  The recovery test suite arms every declared point in turn
+//! and asserts byte-identical query responses after recovery.
 //!
 //! [`QueryServer::checkpoint`]: crate::serve::QueryServer::checkpoint
 //! [`QueryServer::recover`]: crate::serve::QueryServer::recover
 
 use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write as _};
-use std::path::Path;
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
 
 use eq_bigearthnet::patch::PatchMetadata;
 use eq_bigearthnet::wire::{decode_patch_metadata, encode_patch_metadata};
-use eq_docstore::{wire, Database, Document};
-use eq_hashindex::{BinaryCode, ShardedHashIndex};
+use eq_docstore::{wire, Collection, CollectionDelta, Database, Document};
+use eq_hashindex::{BinaryCode, HashTableIndex, ShardedHashIndex};
 use eq_milan::persist::{
     decode_config as decode_milan_config, encode_config as encode_milan_config,
 };
 use eq_milan::Milan;
+use eq_wire::manifest::{decode_manifest, encode_manifest, ChunkEntry, Manifest};
 use eq_wire::{crc32, Reader, WireError, Writer};
 
 use crate::cbir::CbirConfig;
@@ -67,32 +105,121 @@ use crate::engine::EarthQubeConfig;
 use crate::serve::ServeConfig;
 use crate::EarthQubeError;
 
-/// Snapshot file name inside a persistence directory.
-pub(crate) const SNAPSHOT_FILE: &str = "snapshot.eqs";
-/// Write-ahead-log file name inside a persistence directory.
-pub(crate) const WAL_FILE: &str = "wal.eqw";
+/// Manifest file name inside a persistence directory (the commit point).
+pub(crate) const MANIFEST_FILE: &str = "manifest.eqm";
+/// Scratch name the manifest is written under before the atomic rename.
+const MANIFEST_TMP_FILE: &str = "manifest.eqm.tmp";
+/// The advisory directory lock taken by an attached server.
+pub(crate) const LOCK_FILE: &str = "wal.lock";
 
-const SNAPSHOT_MAGIC: &[u8; 8] = b"EQSNAP01";
-const SNAPSHOT_VERSION: u16 = 1;
-const WAL_MAGIC: &[u8; 8] = b"EQWAL001";
-/// WAL header: magic plus the generation tag of the snapshot it extends.
-const WAL_HEADER_LEN: u64 = 12;
+const CHUNK_MAGIC: &[u8; 8] = b"EQCHNK01";
+const SEGMENT_MAGIC: &[u8; 8] = b"EQWSEG01";
+/// Segment header: magic, generation tag, segment index.
+pub(crate) const SEGMENT_HEADER_LEN: u64 = 16;
 
-/// The generation tag of a snapshot: its stored body CRC-32, i.e. the
-/// file's trailing four bytes (no second full-buffer scan is needed — the
-/// CRC was computed when the snapshot was encoded and is verified when it
-/// is decoded).  The WAL header stores the tag of the snapshot it extends,
-/// which makes checkpointing crash-atomic across the two files: if the
-/// crash lands between publishing a new snapshot and resetting the WAL,
-/// recovery sees a WAL tagged with the *old* generation and discards it —
-/// correct, because the new snapshot already contains everything that log
-/// held.
-pub(crate) fn snapshot_generation(snapshot_bytes: &[u8]) -> u32 {
-    snapshot_bytes.last_chunk::<4>().map_or(0, |tail| u32::from_le_bytes(*tail))
-}
+const CHUNK_STATIC: u8 = 1;
+const CHUNK_COLLECTION: u8 = 2;
+const CHUNK_COLLECTION_DELTA: u8 = 3;
+const CHUNK_IMAGES: u8 = 4;
+const CHUNK_SHARD: u8 = 5;
 
 const RECORD_INGEST: u8 = 1;
 const RECORD_FEEDBACK: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Crash-point injection
+// ---------------------------------------------------------------------------
+
+/// Test-only crash-point injection, compiled out of release builds of the
+/// library (the `failpoints` cargo feature is only enabled by the
+/// workspace's dev-dependencies).
+///
+/// At most one point is armed at a time; when the persistence code reaches
+/// it, the corresponding I/O helper returns an error *before* performing
+/// its write/sync/rename, leaving the directory in exactly the state a
+/// crash at that boundary would.  The recovery test suite arms every entry
+/// of [`ALL_POINTS`](failpoints::ALL_POINTS) in turn.
+#[cfg(feature = "failpoints")]
+pub mod failpoints {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Every declared crash-injection point, in the order the helpers
+    /// declare them.  Tests iterate this list so a newly added point can
+    /// never be silently skipped.
+    pub const ALL_POINTS: &[&str] = &[
+        "segment-precreate",
+        "segment-header-sync",
+        "chunk-write",
+        "chunk-sync",
+        "manifest-write",
+        "manifest-sync",
+        "manifest-rename",
+        "manifest-dir-sync",
+        "wal-retire",
+        "chunk-gc",
+    ];
+
+    /// `0` = disarmed; `i + 1` = `ALL_POINTS[i]` is armed.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+    /// Number of times an armed point actually fired.
+    static FIRED: AtomicUsize = AtomicUsize::new(0);
+
+    /// Arms the named point (disarming any other); returns whether the
+    /// name is a declared point.
+    pub fn arm(name: &str) -> bool {
+        match ALL_POINTS.iter().position(|p| *p == name) {
+            Some(i) => {
+                ARMED.store(i + 1, Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Disarms whatever point is armed.
+    pub fn disarm() {
+        ARMED.store(0, Ordering::Release);
+    }
+
+    /// How many times an armed point has fired since the process started.
+    pub fn fired_count() -> usize {
+        FIRED.load(Ordering::Acquire)
+    }
+
+    /// Whether the named point is armed (bumping the fired counter if so).
+    /// Called by the `fail_point!` expansions inside the persistence code.
+    pub fn should_fail(name: &str) -> bool {
+        let armed = ARMED.load(Ordering::Acquire);
+        if armed == 0 {
+            return false;
+        }
+        if ALL_POINTS.get(armed - 1) == Some(&name) {
+            FIRED.fetch_add(1, Ordering::AcqRel);
+            return true;
+        }
+        false
+    }
+}
+
+/// Injects a crash at a declared boundary when the `failpoints` feature is
+/// on and the named point is armed; expands to nothing otherwise.
+macro_rules! fail_point {
+    ($name:expr) => {
+        #[cfg(feature = "failpoints")]
+        {
+            if crate::persist::failpoints::should_fail($name) {
+                return Err(crate::EarthQubeError::Persist(format!(
+                    "injected crash at failpoint `{}`",
+                    $name
+                )));
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Error helpers
+// ---------------------------------------------------------------------------
 
 /// Maps a wire-format error into the crate error type.
 pub(crate) fn corrupt(e: WireError) -> EarthQubeError {
@@ -108,8 +235,8 @@ pub(crate) fn io_error(context: &str, e: std::io::Error) -> EarthQubeError {
 // Shared field encoders
 // ---------------------------------------------------------------------------
 // The `PatchMetadata` codec lives in `eq_bigearthnet::wire` (it is shared
-// with the `eq_proto` network protocol); the snapshot and WAL layouts
-// import it so both byte formats stay identical by construction.
+// with the `eq_proto` network protocol); the chunk and WAL layouts import
+// it so both byte formats stay identical by construction.
 
 fn encode_engine_config(config: &EarthQubeConfig, w: &mut Writer) {
     encode_milan_config(&config.milan, w);
@@ -142,10 +269,325 @@ fn decode_serve_config(r: &mut Reader<'_>) -> Result<ServeConfig, WireError> {
 }
 
 // ---------------------------------------------------------------------------
-// Snapshot
+// Chunks
 // ---------------------------------------------------------------------------
 
-/// Everything a snapshot restores, decoded and validated.
+/// Chunk file name for checkpoint `seq`, chunk ordinal `ordinal`.
+pub(crate) fn chunk_file_name(seq: u64, ordinal: u32) -> String {
+    format!("chunk-{seq:06}-{ordinal:03}.eqc")
+}
+
+/// Manifest kind string of the static chunk.
+pub(crate) fn kind_static() -> String {
+    "static".to_string()
+}
+
+/// Manifest kind string of a full collection chunk.
+pub(crate) fn kind_collection(name: &str) -> String {
+    format!("coll:{name}")
+}
+
+/// Manifest kind string of a collection delta chunk.
+pub(crate) fn kind_delta(name: &str) -> String {
+    format!("delta:{name}")
+}
+
+/// Manifest kind string of an image-range chunk.
+pub(crate) fn kind_images(start: u64) -> String {
+    format!("images:{start}")
+}
+
+/// Manifest kind string of an index-shard chunk.
+pub(crate) fn kind_shard(shard: u32) -> String {
+    format!("shard:{shard}")
+}
+
+/// One decoded chunk body.
+pub(crate) enum ChunkPayload {
+    /// Configuration and trained model — written once per lineage.
+    Static {
+        /// The engine configuration.
+        config: EarthQubeConfig,
+        /// The serving-layer configuration.
+        serve: ServeConfig,
+        /// The trained MiLaN model.
+        model: Milan,
+    },
+    /// A full docstore collection (replaces the base and any prior deltas).
+    Collection(Collection),
+    /// A delta layered on top of the collection's current base.
+    Delta(CollectionDelta),
+    /// A dense-id range of per-image metadata and binary codes.
+    Images {
+        /// First dense id of the range.
+        start: u64,
+        /// The metadata/code pairs, in dense-id order.
+        images: Vec<(PatchMetadata, BinaryCode)>,
+    },
+    /// One CBIR index shard, verbatim.
+    Shard {
+        /// The shard's position in the sharded index.
+        shard: u32,
+        /// The shard's hash table.
+        table: HashTableIndex,
+    },
+}
+
+impl ChunkPayload {
+    /// The manifest kind string this payload must be filed under — recovery
+    /// cross-checks it so a mislabelled manifest entry cannot be silently
+    /// accepted.
+    fn expected_kind(&self) -> String {
+        match self {
+            ChunkPayload::Static { .. } => kind_static(),
+            ChunkPayload::Collection(c) => kind_collection(c.name()),
+            ChunkPayload::Delta(d) => kind_delta(&d.name),
+            ChunkPayload::Images { start, .. } => kind_images(*start),
+            ChunkPayload::Shard { shard, .. } => kind_shard(*shard),
+        }
+    }
+}
+
+/// Encodes the static chunk body (configuration + model).
+pub(crate) fn encode_static_chunk(
+    config: &EarthQubeConfig,
+    serve: ServeConfig,
+    model: &Milan,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CHUNK_STATIC);
+    encode_engine_config(config, &mut w);
+    encode_serve_config(serve, &mut w);
+    model.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Encodes a full-collection chunk body.
+pub(crate) fn encode_collection_chunk(collection: &Collection) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CHUNK_COLLECTION);
+    wire::encode_collection(collection, &mut w);
+    w.into_bytes()
+}
+
+/// Encodes a collection-delta chunk body.
+pub(crate) fn encode_delta_chunk(delta: &CollectionDelta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CHUNK_COLLECTION_DELTA);
+    wire::encode_collection_delta(delta, &mut w);
+    w.into_bytes()
+}
+
+/// Encodes an image-range chunk body (`start` is the first dense id).
+pub(crate) fn encode_images_chunk(start: u64, images: &[(&PatchMetadata, &BinaryCode)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CHUNK_IMAGES);
+    w.u64(start);
+    w.seq_len(images.len());
+    for (meta, code) in images {
+        encode_patch_metadata(meta, &mut w);
+        code.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Encodes an index-shard chunk body.
+pub(crate) fn encode_shard_chunk(shard: u32, table: &HashTableIndex) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(CHUNK_SHARD);
+    w.u32(shard);
+    table.encode(&mut w);
+    w.into_bytes()
+}
+
+fn decode_chunk_body(body: &[u8]) -> Result<ChunkPayload, EarthQubeError> {
+    let mut r = Reader::new(body);
+    let payload = match r.u8().map_err(corrupt)? {
+        CHUNK_STATIC => {
+            let config = decode_engine_config(&mut r).map_err(corrupt)?;
+            let serve = decode_serve_config(&mut r).map_err(corrupt)?;
+            let model = Milan::decode(&mut r).map_err(corrupt)?;
+            ChunkPayload::Static { config, serve, model }
+        }
+        CHUNK_COLLECTION => {
+            ChunkPayload::Collection(wire::decode_collection(&mut r).map_err(corrupt)?)
+        }
+        CHUNK_COLLECTION_DELTA => {
+            ChunkPayload::Delta(wire::decode_collection_delta(&mut r).map_err(corrupt)?)
+        }
+        CHUNK_IMAGES => {
+            let start = r.u64().map_err(corrupt)?;
+            let count = r.seq_len(8).map_err(corrupt)?;
+            let mut images = Vec::with_capacity(count);
+            for i in 0..count {
+                let meta = decode_patch_metadata(&mut r).map_err(corrupt)?;
+                let expected = start + i as u64;
+                if u64::from(meta.id.0) != expected {
+                    return Err(EarthQubeError::Persist(format!(
+                        "image chunk entry {i} carries dense id {} but the range starts at \
+                         {start} (chunks must be id-ordered)",
+                        meta.id.0
+                    )));
+                }
+                let code = BinaryCode::decode(&mut r).map_err(corrupt)?;
+                images.push((meta, code));
+            }
+            ChunkPayload::Images { start, images }
+        }
+        CHUNK_SHARD => {
+            let shard = r.u32().map_err(corrupt)?;
+            let table = HashTableIndex::decode(&mut r).map_err(corrupt)?;
+            ChunkPayload::Shard { shard, table }
+        }
+        other => {
+            return Err(EarthQubeError::Persist(format!("unknown checkpoint chunk tag {other}")))
+        }
+    };
+    if !r.is_empty() {
+        return Err(EarthQubeError::Persist(format!(
+            "{} trailing bytes inside a checkpoint chunk",
+            r.remaining()
+        )));
+    }
+    Ok(payload)
+}
+
+/// Writes one chunk file (framed, CRC'd, fsynced) and returns its manifest
+/// entry.  The file is an orphan — invisible to recovery — until a
+/// manifest naming it is published.
+pub(crate) fn write_chunk_file(
+    dir: &Path,
+    file_name: &str,
+    kind: &str,
+    body: &[u8],
+) -> Result<ChunkEntry, EarthQubeError> {
+    fail_point!("chunk-write");
+    let body_crc = crc32(body);
+    let mut w = Writer::with_capacity(body.len() + 20);
+    w.raw(CHUNK_MAGIC);
+    w.u64(body.len() as u64);
+    w.raw(body);
+    w.u32(body_crc);
+    let bytes = w.into_bytes();
+    let path = dir.join(file_name);
+    let mut file = File::create(&path).map_err(|e| io_error("creating a checkpoint chunk", e))?;
+    file.write_all(&bytes).map_err(|e| io_error("writing a checkpoint chunk", e))?;
+    fail_point!("chunk-sync");
+    // Sync now: the manifest that will reference this chunk is itself
+    // synced before its rename, so publication can never outrun content.
+    file.sync_all().map_err(|e| io_error("syncing a checkpoint chunk", e))?;
+    Ok(ChunkEntry {
+        file: file_name.to_string(),
+        kind: kind.to_string(),
+        len: bytes.len() as u64,
+        crc: body_crc,
+    })
+}
+
+/// Reads and validates one chunk file against its manifest entry (length,
+/// magic, framing, stored CRC and manifest CRC must all agree).
+pub(crate) fn read_chunk_file(
+    dir: &Path,
+    entry: &ChunkEntry,
+) -> Result<ChunkPayload, EarthQubeError> {
+    let bytes = std::fs::read(dir.join(&entry.file))
+        .map_err(|e| io_error(&format!("reading checkpoint chunk {}", entry.file), e))?;
+    if bytes.len() as u64 != entry.len {
+        return Err(EarthQubeError::Persist(format!(
+            "chunk {} is {} bytes but the manifest records {}",
+            entry.file,
+            bytes.len(),
+            entry.len
+        )));
+    }
+    let mut r = Reader::new(&bytes);
+    let magic = r.take(CHUNK_MAGIC.len()).map_err(corrupt)?;
+    if magic != CHUNK_MAGIC {
+        return Err(EarthQubeError::Persist(format!(
+            "chunk {} is not an EarthQube checkpoint chunk (bad magic)",
+            entry.file
+        )));
+    }
+    let body_len = r.u64().map_err(corrupt)?;
+    if r.remaining() < 4 || body_len != (r.remaining() - 4) as u64 {
+        return Err(EarthQubeError::Persist(format!(
+            "chunk {} body length {body_len} disagrees with file size",
+            entry.file
+        )));
+    }
+    let body = r.take(body_len as usize).map_err(corrupt)?;
+    let stored_crc = r.u32().map_err(corrupt)?;
+    if !r.is_empty() {
+        return Err(EarthQubeError::Persist(format!(
+            "{} trailing bytes after chunk {}",
+            r.remaining(),
+            entry.file
+        )));
+    }
+    let actual_crc = crc32(body);
+    if stored_crc != actual_crc || entry.crc != actual_crc {
+        return Err(EarthQubeError::Persist(format!(
+            "chunk {} checksum mismatch: stored {stored_crc:#010x}, manifest {:#010x}, \
+             computed {actual_crc:#010x}",
+            entry.file, entry.crc
+        )));
+    }
+    let payload = decode_chunk_body(body)?;
+    if payload.expected_kind() != entry.kind {
+        return Err(EarthQubeError::Persist(format!(
+            "chunk {} decodes as `{}` but the manifest files it under `{}`",
+            entry.file,
+            payload.expected_kind(),
+            entry.kind
+        )));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Manifest I/O
+// ---------------------------------------------------------------------------
+
+/// Reads the published manifest, or `None` when the directory holds none.
+pub(crate) fn read_manifest(dir: &Path) -> Result<Option<Manifest>, EarthQubeError> {
+    let bytes = match std::fs::read(dir.join(MANIFEST_FILE)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_error("reading the checkpoint manifest", e)),
+    };
+    decode_manifest(&bytes).map(Some).map_err(corrupt)
+}
+
+/// Publishes a manifest: writes it to a temporary file, syncs it, renames
+/// it into place and syncs the directory.  The rename is the checkpoint's
+/// commit point; everything before it leaves the previous manifest in
+/// force, and the directory sync is part of the commit (without it the
+/// rename itself could be lost to a power cut).  Returns the manifest's
+/// encoded size.
+pub(crate) fn write_manifest_file(dir: &Path, manifest: &Manifest) -> Result<u64, EarthQubeError> {
+    fail_point!("manifest-write");
+    let bytes = encode_manifest(manifest);
+    let tmp = dir.join(MANIFEST_TMP_FILE);
+    {
+        let mut file =
+            File::create(&tmp).map_err(|e| io_error("creating the manifest scratch file", e))?;
+        file.write_all(&bytes).map_err(|e| io_error("writing the manifest", e))?;
+        fail_point!("manifest-sync");
+        file.sync_all().map_err(|e| io_error("syncing the manifest", e))?;
+    }
+    fail_point!("manifest-rename");
+    std::fs::rename(&tmp, dir.join(MANIFEST_FILE))
+        .map_err(|e| io_error("publishing the manifest", e))?;
+    fail_point!("manifest-dir-sync");
+    sync_dir(dir)?;
+    Ok(bytes.len() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot assembly (recovery)
+// ---------------------------------------------------------------------------
+
+/// Everything a checkpoint restores, decoded and validated.
 pub(crate) struct SnapshotState {
     pub config: EarthQubeConfig,
     pub serve: ServeConfig,
@@ -156,109 +598,100 @@ pub(crate) struct SnapshotState {
     pub index: ShardedHashIndex,
 }
 
-/// Serializes the full serving state into snapshot bytes (header, body,
-/// trailing CRC-32 over the body).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn encode_snapshot(
-    config: &EarthQubeConfig,
-    serve: ServeConfig,
-    model: &Milan,
-    database: &Database,
-    metadata: &[PatchMetadata],
-    codes_in_id_order: &[&BinaryCode],
-    index: &ShardedHashIndex,
-) -> Vec<u8> {
-    debug_assert_eq!(metadata.len(), codes_in_id_order.len());
-    let mut body = Writer::new();
-    encode_engine_config(config, &mut body);
-    encode_serve_config(serve, &mut body);
-    model.encode(&mut body);
-    wire::encode_database(database, &mut body);
-    body.seq_len(metadata.len());
-    for (meta, code) in metadata.iter().zip(codes_in_id_order) {
-        encode_patch_metadata(meta, &mut body);
-        code.encode(&mut body);
+/// Rebuilds the full serving state from a manifest's chunks.
+///
+/// Validation: exactly one static chunk; deltas only apply over an
+/// already-restored base collection; image ranges must tile `0..n` in
+/// dense-id order; every index shard `0..serve.shards` appears exactly
+/// once with the model's code width; the index and image table must agree
+/// on the archive size.  Chunks are processed in manifest order, which is
+/// what makes "full collection replaces base and prior deltas" hold — a
+/// published manifest never lists a delta ahead of its base.
+pub(crate) fn read_snapshot(
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<SnapshotState, EarthQubeError> {
+    let mut static_part: Option<(EarthQubeConfig, ServeConfig, Milan)> = None;
+    let mut database = Database::new();
+    let mut ranges: Vec<(u64, Vec<(PatchMetadata, BinaryCode)>)> = Vec::new();
+    let mut shards_seen: Vec<(u32, HashTableIndex)> = Vec::new();
+    for entry in &manifest.chunks {
+        match read_chunk_file(dir, entry)? {
+            ChunkPayload::Static { config, serve, model } => {
+                if static_part.is_some() {
+                    return Err(EarthQubeError::Persist(
+                        "manifest lists more than one static chunk".into(),
+                    ));
+                }
+                static_part = Some((config, serve, model));
+            }
+            ChunkPayload::Collection(collection) => database.insert_collection(collection),
+            ChunkPayload::Delta(delta) => database.apply_delta(delta).map_err(|e| {
+                EarthQubeError::Persist(format!("collection delta does not apply: {e}"))
+            })?,
+            ChunkPayload::Images { start, images } => ranges.push((start, images)),
+            ChunkPayload::Shard { shard, table } => shards_seen.push((shard, table)),
+        }
     }
-    index.encode(&mut body);
-    let body = body.into_bytes();
+    let Some((config, serve, model)) = static_part else {
+        return Err(EarthQubeError::Persist("manifest lists no static chunk".into()));
+    };
 
-    let mut out = Writer::with_capacity(body.len() + 32);
-    out.raw(SNAPSHOT_MAGIC);
-    out.u16(SNAPSHOT_VERSION);
-    out.u64(body.len() as u64);
-    out.raw(&body);
-    out.u32(crc32(&body));
-    out.into_bytes()
-}
-
-/// Decodes and validates snapshot bytes.
-pub(crate) fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotState, EarthQubeError> {
-    let mut r = Reader::new(bytes);
-    let magic = r.take(SNAPSHOT_MAGIC.len()).map_err(corrupt)?;
-    if magic != SNAPSHOT_MAGIC {
-        return Err(EarthQubeError::Persist("not an EarthQube snapshot (bad magic)".into()));
-    }
-    let version = r.u16().map_err(corrupt)?;
-    if version != SNAPSHOT_VERSION {
-        return Err(EarthQubeError::Persist(format!(
-            "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
-        )));
-    }
-    let body_len = r.u64().map_err(corrupt)?;
-    // Compare in u64 (`body_len` is attacker-controlled; adding to it could
-    // overflow) against the remaining bytes minus the trailing CRC.
-    if r.remaining() < 4 || body_len != (r.remaining() - 4) as u64 {
-        return Err(EarthQubeError::Persist(format!(
-            "snapshot body length {body_len} disagrees with file size"
-        )));
-    }
-    let body_len = body_len as usize;
-    let body = r.take(body_len).map_err(corrupt)?;
-    let stored_crc = r.u32().map_err(corrupt)?;
-    let actual_crc = crc32(body);
-    if stored_crc != actual_crc {
-        return Err(EarthQubeError::Persist(format!(
-            "snapshot checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
-        )));
-    }
-
-    let mut r = Reader::new(body);
-    let config = decode_engine_config(&mut r).map_err(corrupt)?;
-    let serve = decode_serve_config(&mut r).map_err(corrupt)?;
-    let model = Milan::decode(&mut r).map_err(corrupt)?;
-    let database = wire::decode_database(&mut r).map_err(corrupt)?;
-    let n_images = r.seq_len(1).map_err(corrupt)?;
-    let mut images = Vec::with_capacity(n_images);
-    for i in 0..n_images {
-        let meta = decode_patch_metadata(&mut r).map_err(corrupt)?;
-        if meta.id.0 as usize != i {
+    ranges.sort_by_key(|(start, _)| *start);
+    let mut images: Vec<(PatchMetadata, BinaryCode)> = Vec::new();
+    for (start, range) in ranges {
+        if start != images.len() as u64 {
             return Err(EarthQubeError::Persist(format!(
-                "image {i} carries dense id {} (snapshot images must be id-ordered)",
-                meta.id.0
+                "image chunks do not tile: a range starts at {start} but {} images are restored",
+                images.len()
             )));
         }
-        let code = BinaryCode::decode(&mut r).map_err(corrupt)?;
-        images.push((meta, code));
+        images.extend(range);
     }
-    let index = ShardedHashIndex::decode(&mut r).map_err(corrupt)?;
-    if !r.is_empty() {
-        return Err(EarthQubeError::Persist(format!(
-            "{} trailing bytes after the snapshot body",
-            r.remaining()
-        )));
+
+    let mut tables: Vec<Option<HashTableIndex>> = (0..serve.shards).map(|_| None).collect();
+    for (shard, table) in shards_seen {
+        let slot = tables.get_mut(shard as usize).ok_or_else(|| {
+            EarthQubeError::Persist(format!(
+                "manifest lists index shard {shard} but the configuration has {} shards",
+                serve.shards
+            ))
+        })?;
+        if slot.is_some() {
+            return Err(EarthQubeError::Persist(format!(
+                "manifest lists index shard {shard} twice"
+            )));
+        }
+        if table.bits() != model.code_bits() {
+            return Err(EarthQubeError::Persist(format!(
+                "index shard {shard} stores {}-bit codes but the model emits {} bits",
+                table.bits(),
+                model.code_bits()
+            )));
+        }
+        *slot = Some(table);
     }
+    let mut assembled = Vec::with_capacity(tables.len());
+    for (i, table) in tables.into_iter().enumerate() {
+        assembled.push(table.ok_or_else(|| {
+            EarthQubeError::Persist(format!("manifest is missing index shard {i}"))
+        })?);
+    }
+    let index = ShardedHashIndex::from_shards(model.code_bits(), assembled);
     if index.len() != images.len() {
         return Err(EarthQubeError::Persist(format!(
-            "index holds {} items but the snapshot lists {} images",
+            "index holds {} items but the checkpoint lists {} images",
             index.len(),
             images.len()
         )));
     }
+    // Everything just restored is, by construction, already persisted.
+    database.clear_dirty();
     Ok(SnapshotState { config, serve, model, database, images, index })
 }
 
 // ---------------------------------------------------------------------------
-// Write-ahead log
+// Write-ahead log records
 // ---------------------------------------------------------------------------
 
 /// One decoded WAL record.
@@ -331,51 +764,182 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, WireError> {
     Ok(record)
 }
 
-/// The outcome of scanning a WAL file against the recovered snapshot.
-pub(crate) enum WalScan {
-    /// No usable log: the file is missing, its header is torn, or its
-    /// generation tag names a different snapshot (a crash landed between
-    /// snapshot publication and WAL reset — the stale records are already
-    /// contained in the newer snapshot).  Recovery starts a fresh log.
-    Fresh,
-    /// A log matching the snapshot generation: the intact records plus the
-    /// byte offset of the end of the last intact record.
+// ---------------------------------------------------------------------------
+// WAL segments
+// ---------------------------------------------------------------------------
+
+/// Segment file name for the given index.
+pub(crate) fn segment_file_name(index: u32) -> String {
+    format!("wal.{index:04}.eqw")
+}
+
+/// Parses a segment file name back into its index (`None` for any other
+/// file, including `wal.lock`).
+pub(crate) fn parse_segment_file_name(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix("wal.")?.strip_suffix(".eqw")?;
+    if digits.len() < 4 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every segment file in the directory, sorted by index.
+pub(crate) fn list_segment_files(dir: &Path) -> Result<Vec<(u32, PathBuf)>, EarthQubeError> {
+    let mut segments = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| io_error("listing the persistence directory", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_error("listing the persistence directory", e))?;
+        let name = entry.file_name();
+        if let Some(index) = name.to_str().and_then(parse_segment_file_name) {
+            segments.push((index, entry.path()));
+        }
+    }
+    segments.sort_by_key(|(index, _)| *index);
+    Ok(segments)
+}
+
+/// The segment index a brand-new lineage must start at: one past the
+/// highest index on disk, so a full checkpoint can never collide with
+/// debris from previous lineages (its retired or orphaned segments all
+/// sort strictly below the new `first_segment`).
+pub(crate) fn next_free_segment_index(dir: &Path) -> Result<u32, EarthQubeError> {
+    Ok(list_segment_files(dir)?.last().map_or(0, |(index, _)| index.saturating_add(1)))
+}
+
+/// Reads a segment's header generation without scanning its records
+/// (`None` when the file is unreadable or not a segment).
+fn segment_generation(path: &Path) -> Option<u32> {
+    let mut buf = [0u8; SEGMENT_HEADER_LEN as usize];
+    let mut file = File::open(path).ok()?;
+    file.read_exact(&mut buf).ok()?;
+    if &buf[..8] != SEGMENT_MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]))
+}
+
+/// Picks a generation tag for a new full checkpoint: the CRC-32 of the
+/// static chunk, nudged until it collides with no generation already on
+/// disk (the published manifest's or any leftover segment's).  Uniqueness
+/// is belt-and-braces — correctness against stale segments rests on the
+/// `first_segment` index, which always sorts above every older file.
+pub(crate) fn unique_generation(dir: &Path, seed: &[u8]) -> u32 {
+    let mut existing: Vec<u32> = Vec::new();
+    if let Ok(Some(manifest)) = read_manifest(dir) {
+        existing.push(manifest.generation);
+    }
+    if let Ok(segments) = list_segment_files(dir) {
+        for (_, path) in segments {
+            if let Some(generation) = segment_generation(&path) {
+                existing.push(generation);
+            }
+        }
+    }
+    let mut generation = crc32(seed);
+    while existing.contains(&generation) {
+        generation = generation.wrapping_add(0x9E37_79B9);
+    }
+    generation
+}
+
+/// The append handle of a live WAL segment.
+pub(crate) struct WalWriter {
+    file: File,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter").finish_non_exhaustive()
+    }
+}
+
+impl WalWriter {
+    /// Creates (or resets) a segment file, writing and syncing its header.
+    /// Exclusivity comes from the directory lock, not per-file locks —
+    /// callers hold the attachment's [`DirLock`] (or are mid-recovery,
+    /// which takes it first).
+    pub(crate) fn create(path: &Path, generation: u32, index: u32) -> Result<Self, EarthQubeError> {
+        fail_point!("segment-precreate");
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_error("creating a WAL segment", e))?;
+        file.set_len(0).map_err(|e| io_error("resetting a WAL segment", e))?;
+        file.write_all(SEGMENT_MAGIC).map_err(|e| io_error("writing a segment header", e))?;
+        file.write_all(&generation.to_le_bytes())
+            .map_err(|e| io_error("writing a segment generation tag", e))?;
+        file.write_all(&index.to_le_bytes()).map_err(|e| io_error("writing a segment index", e))?;
+        fail_point!("segment-header-sync");
+        file.sync_data().map_err(|e| io_error("syncing a segment header", e))?;
+        Ok(Self { file })
+    }
+
+    /// Opens an existing segment for appending, first truncating it to
+    /// `valid_len` bytes so a torn tail from a previous crash can never
+    /// corrupt the framing of future records.
+    pub(crate) fn open_truncated(path: &Path, valid_len: u64) -> Result<Self, EarthQubeError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_error("opening a WAL segment", e))?;
+        file.set_len(valid_len).map_err(|e| io_error("truncating a segment torn tail", e))?;
+        file.sync_data().map_err(|e| io_error("syncing a segment truncation", e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_error("seeking the segment end", e))?;
+        Ok(Self { file })
+    }
+
+    /// Appends one framed record (length, CRC-32, payload), returning the
+    /// number of bytes appended so the caller can track the segment size
+    /// for rotation.  The bytes are written but not yet synced — callers
+    /// finish their lock section with one [`sync`](Self::sync), so a
+    /// multi-patch ingest pays one disk flush, not one per patch.
+    pub(crate) fn append(&mut self, payload: &[u8]) -> Result<u64, EarthQubeError> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(
+            &u32::try_from(payload.len())
+                .map_err(|_| EarthQubeError::Persist("WAL record exceeds u32::MAX bytes".into()))?
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame).map_err(|e| io_error("appending a WAL record", e))?;
+        Ok(frame.len() as u64)
+    }
+
+    /// Forces appended records to stable storage (`fdatasync`); `flush`
+    /// alone is a no-op for [`File`] and would not survive a power loss.
+    pub(crate) fn sync(&mut self) -> Result<(), EarthQubeError> {
+        self.file.sync_data().map_err(|e| io_error("syncing the WAL", e))
+    }
+}
+
+/// The outcome of scanning one segment file.
+pub(crate) enum SegmentScan {
+    /// The header was never fully written (the crash hit segment creation).
+    TornHeader,
+    /// The header carries a foreign generation tag: debris from an
+    /// interrupted full checkpoint of another lineage.
+    Stale,
+    /// A live segment: its intact records, the end offset of the last
+    /// intact one, and whether bytes beyond it were discarded (torn tail).
     Valid {
         /// Every fully-written record, front to back.
         records: Vec<WalRecord>,
         /// End offset of the last intact record (the torn-tail boundary).
         valid_len: u64,
+        /// Whether the file carried a torn/corrupt tail past `valid_len`.
+        torn: bool,
     },
 }
 
-/// Reads a WAL file, validating its generation tag against the recovered
-/// snapshot.  A torn or corrupt record tail — truncated length field,
-/// short payload, CRC mismatch, undecodable payload — ends the scan
-/// without an error: durability recovers exactly the records that were
-/// fully written.
-///
-/// A present file with a wrong magic is an error (it is not an EarthQube
-/// WAL at all); every crash-shaped state maps to [`WalScan::Fresh`].
-pub(crate) fn read_wal(path: &Path, generation: u32) -> Result<WalScan, EarthQubeError> {
-    let bytes = match std::fs::read(path) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::Fresh),
-        Err(e) => return Err(io_error("reading the write-ahead log", e)),
-    };
-    let magic_len = bytes.len().min(WAL_MAGIC.len());
-    if bytes[..magic_len] != WAL_MAGIC[..magic_len] {
-        return Err(EarthQubeError::Persist("not an EarthQube write-ahead log (bad magic)".into()));
-    }
-    if (bytes.len() as u64) < WAL_HEADER_LEN {
-        return Ok(WalScan::Fresh); // torn header: the crash hit WAL creation
-    }
-    // lint:allow(panic) infallible: the WAL_HEADER_LEN check above guarantees 12 header bytes
-    let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if tag != generation {
-        return Ok(WalScan::Fresh); // stale log from before the last snapshot
-    }
+/// Scans the record stream of a segment from `start` to the first torn or
+/// corrupt frame.
+fn scan_records(bytes: &[u8], start: usize) -> (Vec<WalRecord>, u64) {
     let mut records = Vec::new();
-    let mut pos = WAL_HEADER_LEN as usize;
+    let mut pos = start;
     let mut valid_end = pos as u64;
     while bytes.len() - pos >= 8 {
         // lint:allow(panic) infallible: the loop condition guarantees 8 remaining bytes
@@ -396,100 +960,465 @@ pub(crate) fn read_wal(path: &Path, generation: u32) -> Result<WalScan, EarthQub
         pos += 8 + len;
         valid_end = pos as u64;
     }
-    Ok(WalScan::Valid { records, valid_len: valid_end })
+    (records, valid_end)
 }
 
-/// The append handle of a live WAL.
-pub(crate) struct WalWriter {
-    file: File,
+/// Reads one segment file, validating its header against the expected
+/// generation and index.  A file that is not a segment at all (bad magic)
+/// or whose header index disagrees with its file name is a hard error;
+/// every crash-shaped state maps to a non-`Valid` variant.
+pub(crate) fn read_segment(
+    path: &Path,
+    generation: u32,
+    expected_index: u32,
+) -> Result<SegmentScan, EarthQubeError> {
+    let bytes = std::fs::read(path).map_err(|e| io_error("reading a WAL segment", e))?;
+    let magic_len = bytes.len().min(SEGMENT_MAGIC.len());
+    if bytes[..magic_len] != SEGMENT_MAGIC[..magic_len] {
+        return Err(EarthQubeError::Persist(format!(
+            "{} is not an EarthQube WAL segment (bad magic)",
+            path.display()
+        )));
+    }
+    if (bytes.len() as u64) < SEGMENT_HEADER_LEN {
+        return Ok(SegmentScan::TornHeader);
+    }
+    // lint:allow(panic) infallible: the SEGMENT_HEADER_LEN check above guarantees 16 header bytes
+    let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    // lint:allow(panic) infallible: the SEGMENT_HEADER_LEN check above guarantees 16 header bytes
+    let header_index = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if tag != generation {
+        return Ok(SegmentScan::Stale);
+    }
+    if header_index != expected_index {
+        return Err(EarthQubeError::Persist(format!(
+            "segment {} carries index {header_index} in its header",
+            path.display()
+        )));
+    }
+    let (records, valid_len) = scan_records(&bytes, SEGMENT_HEADER_LEN as usize);
+    Ok(SegmentScan::Valid { records, valid_len, torn: valid_len < bytes.len() as u64 })
 }
 
-impl std::fmt::Debug for WalWriter {
+/// What recovery should do with the tail of the segment chain.
+pub(crate) enum ChainTail {
+    /// Reopen segment `index` for appending, truncated to `valid_len`.
+    Reopen {
+        /// Index of the last live segment.
+        index: u32,
+        /// Byte offset its torn tail (if any) is truncated to.
+        valid_len: u64,
+    },
+    /// No live segment on disk: create a fresh one at `index`.
+    Create {
+        /// The index the fresh segment must carry.
+        index: u32,
+    },
+}
+
+/// A fully validated live segment chain.
+pub(crate) struct SegmentChain {
+    /// Every intact record of the chain, front to back.
+    pub records: Vec<WalRecord>,
+    /// How the attachment should resume appending.
+    pub tail: ChainTail,
+}
+
+/// Reads and validates the live segment chain `first_segment..`.
+///
+/// Segments below `first_segment` are covered by the checkpoint and
+/// ignored (retired-but-not-yet-deleted).  The live chain must start
+/// exactly at `first_segment` and be contiguous; a hole means records
+/// were lost, so it is a hard error, never a silent skip.  A torn tail is
+/// only legal in the *final* live segment (earlier segments were sealed
+/// and synced before rotation).  Stale-generation or torn-header segments
+/// are tolerated only as a trailing run — debris of an interrupted
+/// checkpoint — and are discarded; one in the middle of the chain is
+/// corruption.
+pub(crate) fn read_segment_chain(
+    dir: &Path,
+    generation: u32,
+    first_segment: u32,
+) -> Result<SegmentChain, EarthQubeError> {
+    let candidates: Vec<(u32, PathBuf)> =
+        list_segment_files(dir)?.into_iter().filter(|(index, _)| *index >= first_segment).collect();
+    let mut records = Vec::new();
+    let mut live: Option<(u32, u64, bool)> = None; // (index, valid_len, torn)
+    let mut orphans_seen = false;
+    for (index, path) in &candidates {
+        match read_segment(path, generation, *index)? {
+            SegmentScan::Valid { records: segment_records, valid_len, torn } => {
+                if orphans_seen {
+                    return Err(EarthQubeError::Persist(format!(
+                        "live WAL segment {index} follows stale checkpoint debris",
+                    )));
+                }
+                match live {
+                    None if *index != first_segment => {
+                        return Err(EarthQubeError::Persist(format!(
+                            "stale manifest: the WAL chain should start at segment \
+                             {first_segment} but the first live segment is {index}"
+                        )));
+                    }
+                    Some((previous, _, _)) if *index != previous + 1 => {
+                        return Err(EarthQubeError::Persist(format!(
+                            "WAL segment chain is missing segment {} (found {index} after \
+                             {previous})",
+                            previous + 1
+                        )));
+                    }
+                    Some((previous, _, true)) => {
+                        return Err(EarthQubeError::Persist(format!(
+                            "sealed WAL segment {previous} carries a torn record tail"
+                        )));
+                    }
+                    _ => {}
+                }
+                records.extend(segment_records);
+                live = Some((*index, valid_len, torn));
+            }
+            SegmentScan::Stale | SegmentScan::TornHeader => {
+                // Debris from an interrupted checkpoint: legal only as a
+                // trailing run, past every live segment.
+                orphans_seen = true;
+            }
+        }
+    }
+    let tail = match live {
+        Some((index, valid_len, _)) => ChainTail::Reopen { index, valid_len },
+        None => ChainTail::Create { index: first_segment },
+    };
+    Ok(SegmentChain { records, tail })
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+/// Deletes every WAL segment below `first_segment` — they are covered by
+/// the just-published checkpoint.  Returns how many were deleted.  Runs
+/// strictly after the manifest rename: a crash before it merely leaves
+/// retired segments behind for the next checkpoint to sweep.
+pub(crate) fn retire_segments(dir: &Path, first_segment: u32) -> Result<u64, EarthQubeError> {
+    fail_point!("wal-retire");
+    let mut retired = 0;
+    for (index, path) in list_segment_files(dir)? {
+        if index < first_segment {
+            std::fs::remove_file(&path)
+                .map_err(|e| io_error("retiring a covered WAL segment", e))?;
+            retired += 1;
+        }
+    }
+    if retired > 0 {
+        sync_dir(dir)?;
+    }
+    Ok(retired)
+}
+
+/// Deletes every chunk file the published manifest does not reference —
+/// leftovers of superseded or crashed checkpoints.  Returns how many were
+/// deleted.
+pub(crate) fn sweep_orphan_chunks(dir: &Path, manifest: &Manifest) -> Result<u64, EarthQubeError> {
+    fail_point!("chunk-gc");
+    let mut swept = 0;
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| io_error("listing the persistence directory", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_error("listing the persistence directory", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.ends_with(".eqc") {
+            continue;
+        }
+        if manifest.chunks.iter().any(|c| c.file == name) {
+            continue;
+        }
+        std::fs::remove_file(entry.path())
+            .map_err(|e| io_error("sweeping an orphan checkpoint chunk", e))?;
+        swept += 1;
+    }
+    if swept > 0 {
+        sync_dir(dir)?;
+    }
+    Ok(swept)
+}
+
+// ---------------------------------------------------------------------------
+// Directory lock
+// ---------------------------------------------------------------------------
+
+/// The advisory exclusive lock an attached server holds on its persistence
+/// directory for the lifetime of the attachment.  Dropping it (or crashing)
+/// releases the lock at the OS level, so a dead server never wedges its
+/// directory.
+pub(crate) struct DirLock {
+    _file: File,
+}
+
+impl std::fmt::Debug for DirLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WalWriter").finish_non_exhaustive()
+        f.debug_struct("DirLock").finish_non_exhaustive()
     }
 }
 
-/// Takes the advisory exclusive lock on the WAL file, failing fast if
-/// another live server instance holds it.  Two writers appending framed
-/// records at independent offsets would corrupt the log; the OS releases
-/// the lock automatically when the holder's handle closes (including on a
-/// crash), so a dead server never wedges its directory.
-fn lock_exclusive(file: &File) -> Result<(), EarthQubeError> {
+/// Takes the directory's advisory exclusive lock, failing fast if another
+/// live server instance holds it.  Two writers appending framed records at
+/// independent offsets would corrupt the log, and two checkpointers would
+/// race the manifest — so attachment (and recovery, which leads to
+/// attachment) takes this lock first.
+pub(crate) fn lock_dir(dir: &Path) -> Result<DirLock, EarthQubeError> {
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(dir.join(LOCK_FILE))
+        .map_err(|e| io_error("opening the directory lock", e))?;
     file.try_lock().map_err(|e| {
         EarthQubeError::Persist(format!(
-            "the write-ahead log is held by another live server instance \
+            "the persistence directory is held by another live server instance \
              (drop it before recovering the same directory): {e}"
         ))
-    })
-}
-
-impl WalWriter {
-    /// Creates (or resets) a WAL file for the given snapshot generation,
-    /// writing and syncing the header.  The file is locked *before* it is
-    /// truncated, so a concurrent holder's log is never destroyed.
-    pub(crate) fn create(path: &Path, generation: u32) -> Result<Self, EarthQubeError> {
-        // Deliberately `truncate(false)`: the reset happens via `set_len`
-        // *after* the lock is held, so a concurrent holder's log is never
-        // destroyed by merely attempting to open it.
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-            .map_err(|e| io_error("creating the write-ahead log", e))?;
-        lock_exclusive(&file)?;
-        file.set_len(0).map_err(|e| io_error("resetting the write-ahead log", e))?;
-        file.write_all(WAL_MAGIC).map_err(|e| io_error("writing the WAL header", e))?;
-        file.write_all(&generation.to_le_bytes())
-            .map_err(|e| io_error("writing the WAL generation tag", e))?;
-        file.sync_data().map_err(|e| io_error("syncing the WAL header", e))?;
-        Ok(Self { file })
-    }
-
-    /// Opens an existing WAL for appending, first truncating it to
-    /// `valid_len` bytes so a torn tail from a previous crash can never
-    /// corrupt the framing of future records.  Locks before truncating,
-    /// like [`create`](Self::create).
-    pub(crate) fn open_truncated(path: &Path, valid_len: u64) -> Result<Self, EarthQubeError> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .open(path)
-            .map_err(|e| io_error("opening the write-ahead log", e))?;
-        lock_exclusive(&file)?;
-        file.set_len(valid_len).map_err(|e| io_error("truncating the WAL torn tail", e))?;
-        file.sync_data().map_err(|e| io_error("syncing the WAL truncation", e))?;
-        file.seek(SeekFrom::End(0)).map_err(|e| io_error("seeking the WAL end", e))?;
-        Ok(Self { file })
-    }
-
-    /// Appends one framed record (length, CRC-32, payload).  The bytes are
-    /// written but not yet synced — callers finish their lock section with
-    /// one [`sync`](Self::sync), so a multi-patch ingest pays one disk
-    /// flush, not one per patch.
-    pub(crate) fn append(&mut self, payload: &[u8]) -> Result<(), EarthQubeError> {
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(
-            &u32::try_from(payload.len())
-                .map_err(|_| EarthQubeError::Persist("WAL record exceeds u32::MAX bytes".into()))?
-                .to_le_bytes(),
-        );
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
-        self.file.write_all(&frame).map_err(|e| io_error("appending a WAL record", e))
-    }
-
-    /// Forces appended records to stable storage (`fdatasync`); `flush`
-    /// alone is a no-op for [`File`] and would not survive a power loss.
-    pub(crate) fn sync(&mut self) -> Result<(), EarthQubeError> {
-        self.file.sync_data().map_err(|e| io_error("syncing the WAL", e))
-    }
+    })?;
+    Ok(DirLock { _file: file })
 }
 
 /// Opens `dir` and syncs it, making freshly created/renamed directory
-/// entries (the published snapshot, the reset WAL) durable on filesystems
+/// entries (the published manifest, new segments) durable on filesystems
 /// that require an explicit directory fsync.
 pub(crate) fn sync_dir(dir: &Path) -> Result<(), EarthQubeError> {
     let handle = File::open(dir).map_err(|e| io_error("opening the persistence directory", e))?;
     handle.sync_all().map_err(|e| io_error("syncing the persistence directory", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("eq_persist_{name}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).unwrap();
+            Scratch(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn segment_file_names_roundtrip() {
+        assert_eq!(segment_file_name(0), "wal.0000.eqw");
+        assert_eq!(segment_file_name(12345), "wal.12345.eqw");
+        assert_eq!(parse_segment_file_name("wal.0000.eqw"), Some(0));
+        assert_eq!(parse_segment_file_name("wal.12345.eqw"), Some(12345));
+        assert_eq!(parse_segment_file_name("wal.lock"), None);
+        assert_eq!(parse_segment_file_name("wal.eqw"), None);
+        assert_eq!(parse_segment_file_name("wal.12.eqw"), None, "indexes are zero-padded to 4");
+        assert_eq!(parse_segment_file_name("wal.00a0.eqw"), None);
+        assert_eq!(parse_segment_file_name("chunk-000001-000.eqc"), None);
+    }
+
+    #[test]
+    fn chunk_files_roundtrip_and_reject_corruption() {
+        let dir = Scratch::new("chunk_roundtrip");
+        let body = encode_images_chunk(0, &[]);
+        let entry =
+            write_chunk_file(dir.path(), "chunk-000001-000.eqc", "images:0", &body).unwrap();
+        assert_eq!(entry.file, "chunk-000001-000.eqc");
+        assert_eq!(entry.kind, "images:0");
+        match read_chunk_file(dir.path(), &entry).unwrap() {
+            ChunkPayload::Images { start, images } => {
+                assert_eq!(start, 0);
+                assert!(images.is_empty());
+            }
+            _ => panic!("decoded the wrong payload kind"),
+        }
+        // A flipped byte in the body must be caught by the CRC.
+        let path = dir.path().join(&entry.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_chunk_file(dir.path(), &entry).is_err());
+        // A manifest entry whose kind disagrees with the payload is refused.
+        std::fs::write(&path, {
+            let body = encode_images_chunk(0, &[]);
+            let mut w = Writer::new();
+            w.raw(CHUNK_MAGIC);
+            w.u64(body.len() as u64);
+            w.raw(&body);
+            w.u32(crc32(&body));
+            w.into_bytes()
+        })
+        .unwrap();
+        let mislabelled = ChunkEntry { kind: "shard:0".into(), ..entry.clone() };
+        assert!(read_chunk_file(dir.path(), &mislabelled).is_err());
+        // Truncations at every prefix are refused, never mis-decoded.
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(read_chunk_file(dir.path(), &entry).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn manifest_publish_is_atomic_and_readable() {
+        let dir = Scratch::new("manifest");
+        assert!(read_manifest(dir.path()).unwrap().is_none());
+        let manifest = Manifest {
+            seq: 3,
+            generation: 0xDEAD_BEEF,
+            first_segment: 2,
+            chunks: vec![ChunkEntry {
+                file: "chunk-000003-000.eqc".into(),
+                kind: "static".into(),
+                len: 10,
+                crc: 1,
+            }],
+        };
+        let bytes = write_manifest_file(dir.path(), &manifest).unwrap();
+        assert!(bytes > 0);
+        let back = read_manifest(dir.path()).unwrap().unwrap();
+        assert_eq!(back, manifest);
+        assert!(
+            !dir.path().join(MANIFEST_TMP_FILE).exists(),
+            "the scratch file must be renamed away"
+        );
+        // Overwriting publishes the newer manifest.
+        let newer = Manifest { seq: 4, ..manifest };
+        write_manifest_file(dir.path(), &newer).unwrap();
+        assert_eq!(read_manifest(dir.path()).unwrap().unwrap().seq, 4);
+    }
+
+    #[test]
+    fn segment_scan_classifies_crash_shapes() {
+        let dir = Scratch::new("segment_scan");
+        let path = dir.path().join(segment_file_name(0));
+        let mut writer = WalWriter::create(&path, 7, 0).unwrap();
+        writer.append(&encode_feedback_record("hello", None)).unwrap();
+        writer.append(&encode_feedback_record("world", Some("cat"))).unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        match read_segment(&path, 7, 0).unwrap() {
+            SegmentScan::Valid { records, valid_len, torn } => {
+                assert_eq!(records.len(), 2);
+                assert_eq!(valid_len, clean_len);
+                assert!(!torn);
+            }
+            _ => panic!("clean segment must scan as valid"),
+        }
+        // Wrong generation: stale.
+        assert!(matches!(read_segment(&path, 8, 0).unwrap(), SegmentScan::Stale));
+        // Header index disagreeing with the file name: hard error.
+        assert!(read_segment(&path, 7, 1).is_err());
+        // Torn tail: the last record is dropped, the prefix survives.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        match read_segment(&path, 7, 0).unwrap() {
+            SegmentScan::Valid { records, valid_len, torn } => {
+                assert_eq!(records.len(), 1);
+                assert!(valid_len < clean_len);
+                assert!(torn);
+            }
+            _ => panic!("torn segment must keep its intact prefix"),
+        }
+        // Torn header: shorter than the fixed header.
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(read_segment(&path, 7, 0).unwrap(), SegmentScan::TornHeader));
+        // Bad magic: hard error.
+        std::fs::write(&path, b"NOTAWAL!xxxxxxxx").unwrap();
+        assert!(read_segment(&path, 7, 0).is_err());
+    }
+
+    #[test]
+    fn segment_chain_validates_contiguity() {
+        let dir = Scratch::new("chain");
+        for index in 0..3u32 {
+            let mut writer =
+                WalWriter::create(&dir.path().join(segment_file_name(index)), 9, index).unwrap();
+            writer.append(&encode_feedback_record(&format!("seg{index}"), None)).unwrap();
+            writer.sync().unwrap();
+        }
+        let chain = read_segment_chain(dir.path(), 9, 0).unwrap();
+        assert_eq!(chain.records.len(), 3);
+        assert!(matches!(chain.tail, ChainTail::Reopen { index: 2, .. }));
+        // Retired segments below first_segment are ignored.
+        let chain = read_segment_chain(dir.path(), 9, 1).unwrap();
+        assert_eq!(chain.records.len(), 2);
+        // A missing middle segment is a hard error, not a silent skip.
+        std::fs::remove_file(dir.path().join(segment_file_name(1))).unwrap();
+        assert!(read_segment_chain(dir.path(), 9, 0).is_err());
+        // ... and a chain that starts past first_segment means the manifest
+        // is stale: also a hard error.
+        assert!(read_segment_chain(dir.path(), 9, 1).is_err());
+        // A trailing stale-generation segment is checkpoint debris: ignored.
+        let chain = read_segment_chain(dir.path(), 9, 2).unwrap();
+        assert_eq!(chain.records.len(), 1);
+        WalWriter::create(&dir.path().join(segment_file_name(3)), 77, 3).unwrap();
+        let chain = read_segment_chain(dir.path(), 9, 2).unwrap();
+        assert_eq!(chain.records.len(), 1);
+        assert!(matches!(chain.tail, ChainTail::Reopen { index: 2, .. }));
+        // No live segment at all: recovery creates one at first_segment.
+        let chain = read_segment_chain(dir.path(), 9, 4).unwrap();
+        assert!(chain.records.is_empty());
+        assert!(matches!(chain.tail, ChainTail::Create { index: 4 }));
+    }
+
+    #[test]
+    fn retirement_deletes_only_covered_segments() {
+        let dir = Scratch::new("retire");
+        for index in 0..4u32 {
+            WalWriter::create(&dir.path().join(segment_file_name(index)), 5, index).unwrap();
+        }
+        assert_eq!(retire_segments(dir.path(), 2).unwrap(), 2);
+        let left: Vec<u32> =
+            list_segment_files(dir.path()).unwrap().into_iter().map(|(i, _)| i).collect();
+        assert_eq!(left, vec![2, 3]);
+        assert_eq!(retire_segments(dir.path(), 2).unwrap(), 0, "retirement is idempotent");
+        assert_eq!(next_free_segment_index(dir.path()).unwrap(), 4);
+    }
+
+    #[test]
+    fn orphan_chunks_are_swept() {
+        let dir = Scratch::new("sweep");
+        let body = encode_images_chunk(0, &[]);
+        let keep = write_chunk_file(dir.path(), "chunk-000001-000.eqc", "images:0", &body).unwrap();
+        write_chunk_file(dir.path(), "chunk-000000-000.eqc", "images:0", &body).unwrap();
+        let manifest = Manifest { seq: 1, generation: 1, first_segment: 0, chunks: vec![keep] };
+        assert_eq!(sweep_orphan_chunks(dir.path(), &manifest).unwrap(), 1);
+        assert!(dir.path().join("chunk-000001-000.eqc").exists());
+        assert!(!dir.path().join("chunk-000000-000.eqc").exists());
+    }
+
+    #[test]
+    fn dir_lock_is_exclusive_per_holder() {
+        let dir = Scratch::new("dirlock");
+        let held = lock_dir(dir.path()).unwrap();
+        assert!(lock_dir(dir.path()).is_err(), "a second holder must be refused");
+        drop(held);
+        assert!(lock_dir(dir.path()).is_ok(), "the lock dies with its holder");
+    }
+
+    #[test]
+    fn generations_avoid_everything_on_disk() {
+        let dir = Scratch::new("gen");
+        let seed = b"static chunk bytes";
+        let first = unique_generation(dir.path(), seed);
+        WalWriter::create(&dir.path().join(segment_file_name(0)), first, 0).unwrap();
+        let second = unique_generation(dir.path(), seed);
+        assert_ne!(first, second, "a new lineage must not reuse a generation still on disk");
+    }
 }

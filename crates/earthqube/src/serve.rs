@@ -42,23 +42,35 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use eq_agora::AssetRegistry;
 use eq_bigearthnet::patch::{Patch, PatchId, PatchMetadata};
 use eq_bigearthnet::Archive;
-use eq_docstore::{Database, Document};
-use eq_hashindex::{BinaryCode, Neighbor, SearchScratch, ShardedHashIndex};
+use eq_docstore::{Collection, CollectionDelta, Database, Document};
+use eq_hashindex::{BinaryCode, HashTableIndex, Neighbor, SearchScratch, ShardedHashIndex};
 use eq_milan::Milan;
+use eq_wire::manifest::{ChunkEntry, Manifest};
 use parking_lot::{Mutex, RwLock};
 
 use crate::engine::{EarthQube, EarthQubeConfig, SearchResponse};
 use crate::feedback::{FeedbackEntry, FeedbackService};
 use crate::ingest::{insert_patch_docs, prepare_patch_docs, IngestReport};
-use crate::persist::{self, WalRecord, WalWriter};
+use crate::persist::{self, ChainTail, DirLock, WalRecord, WalWriter};
 use crate::query::ImageQuery;
 use crate::EarthQubeError;
+
+/// Rotate the live WAL segment once it outgrows this many bytes
+/// (overridable per server with [`QueryServer::set_segment_limit`]).
+const DEFAULT_SEGMENT_LIMIT: u64 = 4 * 1024 * 1024;
+
+/// Rewrite a collection in full once this many delta chunks have stacked
+/// on top of its base — recovery cost stays bounded and superseded deltas
+/// get swept.
+const DELTA_COMPACT_THRESHOLD: usize = 8;
 
 /// Configuration of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -370,10 +382,158 @@ pub struct QueryServer {
     /// one warm scratch per worker (see
     /// [`prewarm_scratch`](Self::prewarm_scratch)).
     scratch_pool: Mutex<Vec<QueryScratch>>,
-    /// The live write-ahead log, attached by [`checkpoint`](Self::checkpoint)
-    /// / [`recover`](Self::recover); `None` for a purely in-memory server.
+    /// The persistence attachment (manifest state + live WAL segment),
+    /// installed by [`checkpoint`](Self::checkpoint) / [`recover`](Self::recover);
+    /// `None` for a purely in-memory server.
     /// Lock order: always after the catalog write lock, never before.
-    wal: Mutex<Option<WalWriter>>,
+    wal: Mutex<Option<Attachment>>,
+    /// Serialises whole checkpoints (manual calls and the background
+    /// checkpointer) without blocking queries or ingest: the catalog/wal
+    /// locks are only held for the brief state cut, not for the chunk I/O.
+    /// Lock order: before the catalog lock, never inside it.
+    ckpt_serial: Mutex<()>,
+    /// The background checkpointer thread, if one is running.  Never held
+    /// while taking any other server lock.
+    checkpointer: Mutex<Option<CheckpointerHandle>>,
+    /// WAL segment rotation threshold in bytes (see
+    /// [`set_segment_limit`](Self::set_segment_limit)).
+    segment_limit: AtomicU64,
+    ckpt_passes: AtomicU64,
+    ckpt_completed: AtomicU64,
+    ckpt_skipped: AtomicU64,
+    ckpt_failures: AtomicU64,
+}
+
+/// The server's live connection to a persistence directory: the exclusive
+/// directory lock, the manifest bookkeeping needed to cut the *next*
+/// incremental checkpoint, and the open tail segment of the WAL.
+struct Attachment {
+    dir: PathBuf,
+    /// Sequence number of the manifest currently published in `dir`.
+    seq: u64,
+    /// Generation tag stamped into every segment of this lineage.
+    generation: u32,
+    /// First WAL segment the published manifest still needs on recovery.
+    first_segment: u32,
+    /// Index of the live (tail) segment `writer` appends to.
+    segment_index: u32,
+    /// Current byte length of the live segment (header included).
+    segment_bytes: u64,
+    writer: WalWriter,
+    /// The chunk list of the published manifest — the base the next
+    /// incremental manifest is derived from.
+    chunks: Vec<ChunkEntry>,
+    /// How many images (dense-id prefix) the published chunks cover; the
+    /// next incremental checkpoint persists the tail from here.
+    persisted_images: usize,
+    _lock: DirLock,
+}
+
+impl Attachment {
+    /// Seals the live segment and opens the next one.  The caller must
+    /// have synced the live segment first: rotation only ever happens at a
+    /// batch boundary, so sealed segments are always clean-ended and a
+    /// torn tail can only exist in the final segment of the chain.
+    fn rotate(&mut self) -> Result<(), EarthQubeError> {
+        let next = self.segment_index + 1;
+        let writer = WalWriter::create(
+            &self.dir.join(persist::segment_file_name(next)),
+            self.generation,
+            next,
+        )?;
+        self.writer = writer;
+        self.segment_index = next;
+        self.segment_bytes = persist::SEGMENT_HEADER_LEN;
+        Ok(())
+    }
+}
+
+/// What kind of work a [`QueryServer::checkpoint`] call ended up doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// A full snapshot: every collection, every image, every index shard.
+    Full,
+    /// Only the state dirtied since the previous checkpoint was written.
+    Incremental,
+    /// Nothing was dirty; no bytes were written.
+    Skipped,
+}
+
+/// What a [`QueryServer::checkpoint`] call wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Which checkpoint path ran.
+    pub kind: CheckpointKind,
+    /// Bytes written to chunk files plus the manifest.
+    pub bytes_written: u64,
+    /// Number of chunk files written.
+    pub chunks_written: u64,
+    /// WAL segments retired (deleted) because the new manifest no longer
+    /// needs them.
+    pub segments_retired: u64,
+}
+
+/// Counters of the background checkpointer (separate from [`ServerStats`],
+/// whose shape is frozen into the wire protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointerStats {
+    /// Wake-ups of the background thread.
+    pub passes: u64,
+    /// Passes that wrote a checkpoint (full or incremental).
+    pub completed: u64,
+    /// Passes that found nothing dirty (or no attachment) and skipped.
+    pub skipped: u64,
+    /// Passes whose checkpoint attempt failed.
+    pub failures: u64,
+}
+
+struct CheckpointerHandle {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+/// Collects chunk files for one checkpoint: assigns ordinals, sums bytes.
+struct ChunkSink<'a> {
+    dir: &'a Path,
+    seq: u64,
+    ordinal: u32,
+    bytes_written: u64,
+    chunks: Vec<ChunkEntry>,
+}
+
+impl ChunkSink<'_> {
+    fn push(&mut self, kind: &str, body: &[u8]) -> Result<(), EarthQubeError> {
+        let name = persist::chunk_file_name(self.seq, self.ordinal);
+        let entry = persist::write_chunk_file(self.dir, &name, kind, body)?;
+        self.ordinal += 1;
+        self.bytes_written += entry.len;
+        self.chunks.push(entry);
+        Ok(())
+    }
+}
+
+/// How one dirty collection is persisted by an incremental checkpoint.
+enum CollectionPlan {
+    /// Rewrite the whole collection (schema changed, or too many stacked
+    /// deltas — see [`DELTA_COMPACT_THRESHOLD`]).
+    Full(Box<Collection>),
+    /// Append a delta chunk over the existing base.
+    Delta(CollectionDelta),
+}
+
+/// Everything an incremental checkpoint clones out of the brief locked
+/// cut, so chunk encoding and I/O can run without any server lock held.
+struct IncrementalCut {
+    seq: u64,
+    generation: u32,
+    first_segment: u32,
+    base_chunks: Vec<ChunkEntry>,
+    collections: Vec<(String, CollectionPlan)>,
+    drained: Vec<(String, eq_docstore::DirtyLog)>,
+    shard_ids: Vec<usize>,
+    shards: Vec<(u32, HashTableIndex)>,
+    images_start: usize,
+    images: Vec<(PatchMetadata, BinaryCode)>,
 }
 
 impl std::fmt::Debug for QueryServer {
@@ -437,6 +597,13 @@ impl QueryServer {
             ingested_images: AtomicU64::new(0),
             scratch_pool: Mutex::with_name(Vec::new(), "scratch_pool"),
             wal: Mutex::with_name(None, "wal"),
+            ckpt_serial: Mutex::with_name((), "ckpt-serial"),
+            checkpointer: Mutex::with_name(None, "checkpointer"),
+            segment_limit: AtomicU64::new(DEFAULT_SEGMENT_LIMIT),
+            ckpt_passes: AtomicU64::new(0),
+            ckpt_completed: AtomicU64::new(0),
+            ckpt_skipped: AtomicU64::new(0),
+            ckpt_failures: AtomicU64::new(0),
         })
     }
 
@@ -717,14 +884,17 @@ impl QueryServer {
             report.image_docs += 1;
             report.rendered_docs += 1;
             self.ingested_images.fetch_add(1, Ordering::Relaxed);
-            if let (Some(writer), Some(payload)) = (wal.as_mut(), wal_payload) {
-                if let Err(e) = writer.append(&payload) {
-                    // The patch is applied in memory but could not be made
-                    // durable; detach the log so later appends cannot write
-                    // after a gap, and surface the failure.
-                    *wal = None;
-                    result = Err(e);
-                    break;
+            if let (Some(att), Some(payload)) = (wal.as_mut(), wal_payload) {
+                match att.writer.append(&payload) {
+                    Ok(bytes) => att.segment_bytes += bytes,
+                    Err(e) => {
+                        // The patch is applied in memory but could not be
+                        // made durable; detach the log so later appends
+                        // cannot write after a gap, and surface the failure.
+                        *wal = None;
+                        result = Err(e);
+                        break;
+                    }
                 }
             }
         }
@@ -735,13 +905,20 @@ impl QueryServer {
         // reach stable storage too.  A sync failure detaches the log; the
         // original batch error (if any) stays the reported one.
         if report.metadata_docs > 0 {
-            if let Some(writer) = wal.as_mut() {
+            if let Some(att) = wal.as_mut() {
                 // lint:allow(lock) durability inside the write-lock section IS the ingest atomicity contract (see the method docs)
-                if let Err(e) = writer.sync() {
+                if let Err(e) = att.writer.sync() {
                     *wal = None;
                     if result.is_ok() {
                         result = Err(e);
                     }
+                } else if att.segment_bytes >= self.segment_limit.load(Ordering::Relaxed) {
+                    // Rotate only *between* synced batches, so a sealed
+                    // segment is always clean-ended (recovery treats a torn
+                    // tail in a non-final segment as corruption).  Rotation
+                    // here is best-effort: on failure the oversized segment
+                    // simply stays live and the next batch retries.
+                    let _ = att.rotate();
                 }
             }
         }
@@ -772,11 +949,15 @@ impl QueryServer {
         let feedback = catalog.feedback;
         let id = feedback.submit(&mut catalog.database, text, category)?;
         let mut wal = self.wal.lock();
-        if let Some(writer) = wal.as_mut() {
-            let logged = writer
+        if let Some(att) = wal.as_mut() {
+            let logged = att
+                .writer
                 .append(&persist::encode_feedback_record(text, category))
-                // lint:allow(lock) feedback must be crash-durable before the lock drops, same contract as ingest
-                .and_then(|()| writer.sync());
+                .and_then(|bytes| {
+                    att.segment_bytes += bytes;
+                    // lint:allow(lock) feedback must be crash-durable before the lock drops, same contract as ingest
+                    att.writer.sync()
+                });
             if let Err(e) = logged {
                 *wal = None;
                 // Unlike ingest (whose contract keeps the applied prefix),
@@ -845,23 +1026,66 @@ impl QueryServer {
 
     // -- durable storage tier ---------------------------------------------
 
-    /// Writes a checksummed snapshot of the full serving state into `dir`
-    /// and starts a fresh write-ahead log there, attaching the server to
-    /// the directory: every subsequent [`ingest`](Self::ingest) and
-    /// [`submit_feedback`](Self::submit_feedback) is logged, so
-    /// [`recover`](Self::recover) restores exactly the pre-crash state.
+    /// Checkpoints the serving state into `dir` and (re)attaches the server
+    /// to it: every subsequent [`ingest`](Self::ingest) and
+    /// [`submit_feedback`](Self::submit_feedback) is appended to the
+    /// write-ahead log there, so [`recover`](Self::recover) restores
+    /// exactly the pre-crash state.
     ///
-    /// The snapshot is written under the catalog read lock (excluding
-    /// concurrent writes, while queries keep flowing) and first to a
-    /// temporary file that is atomically renamed into place, so a crash
-    /// during checkpointing can never leave a half-written snapshot behind.
+    /// The first checkpoint into a directory is **full**: every chunk is
+    /// written and a fresh manifest + WAL lineage is started.  Once
+    /// attached, later checkpoints into the same directory are
+    /// **incremental**: only collections, index shards and the image tail
+    /// dirtied since the previous checkpoint are written, the manifest is
+    /// atomically republished, and WAL segments the new manifest no longer
+    /// needs are retired (deleted).  A checkpoint with nothing dirty is
+    /// [`CheckpointKind::Skipped`] and writes no bytes.
+    ///
+    /// The catalog write lock is only held for the brief state *cut*
+    /// (draining dirty logs, cloning touched shards, sealing the live WAL
+    /// segment); all chunk encoding and file I/O happens after the locks
+    /// are released, so queries and ingest keep flowing while the
+    /// checkpoint writes — this is what the `e12_checkpoint_stall`
+    /// experiment measures.
+    ///
+    /// Crash safety: the atomic rename of the manifest is the commit
+    /// point.  A crash before it leaves the old manifest in force (the new
+    /// chunk files are unreferenced orphans, swept by the next successful
+    /// checkpoint); a crash after it leaves at worst retired-but-undeleted
+    /// segments and orphan chunks, which recovery ignores.
     ///
     /// # Errors
-    /// Fails with [`EarthQubeError::Persist`] on I/O errors.
-    pub fn checkpoint(&self, dir: &Path) -> Result<(), EarthQubeError> {
+    /// Fails with [`EarthQubeError::Persist`] on I/O errors.  A failure
+    /// before the manifest rename restores the drained dirty state, so the
+    /// next checkpoint retries the same work over the old base.
+    pub fn checkpoint(&self, dir: &Path) -> Result<CheckpointStats, EarthQubeError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| persist::io_error("creating the persistence directory", e))?;
-        let catalog = self.catalog.read();
+        let _serial = self.ckpt_serial.lock();
+        let attached_here = self.wal.lock().as_ref().is_some_and(|att| att.dir == dir);
+        if attached_here {
+            self.checkpoint_incremental(dir)
+        } else {
+            self.checkpoint_full(dir)
+        }
+    }
+
+    /// The full-checkpoint path: writes every chunk under the catalog
+    /// write lock, starts a new WAL lineage (fresh generation tag), and
+    /// installs the attachment.  Interrupted earlier lineages may have
+    /// left segments behind; stamping a unique generation *and* starting
+    /// the segment numbering above every file on disk keeps recovery from
+    /// ever confusing their records with this lineage's.
+    fn checkpoint_full(&self, dir: &Path) -> Result<CheckpointStats, EarthQubeError> {
+        // Attaching needs the directory's exclusive lock; take it up front
+        // so a directory already served by another live instance is
+        // refused before any state is cut.  (If this server itself holds
+        // the directory under a different path spelling, this fails too —
+        // checkpoint into the attached directory via the same path.)
+        let lock = persist::lock_dir(dir)?;
+        let seq = persist::read_manifest(dir)?.map_or(1, |m| m.seq + 1);
+
+        let mut catalog = self.catalog.write();
         let mut wal = self.wal.lock();
         let mut codes: Vec<&BinaryCode> = Vec::with_capacity(catalog.id_to_name.len());
         for name in &catalog.id_to_name {
@@ -871,65 +1095,284 @@ impl QueryServer {
                 ))
             })?);
         }
-        let bytes = persist::encode_snapshot(
-            &self.config,
-            self.serve,
-            &self.model,
-            &catalog.database,
-            &catalog.metadata,
-            &codes,
-            &self.index,
-        );
-        let tmp = dir.join(format!("{}.tmp", persist::SNAPSHOT_FILE));
-        {
-            let mut file = std::fs::File::create(&tmp)
-                .map_err(|e| persist::io_error("creating the snapshot file", e))?;
-            // lint:allow(lock) checkpoint writes under the catalog read lock by design: writers are excluded, queries keep flowing
-            std::io::Write::write_all(&mut file, &bytes)
-                .map_err(|e| persist::io_error("writing the snapshot", e))?;
-            // Sync *before* the rename: the published name must never point
-            // at bytes still sitting in the page cache.
-            // lint:allow(lock) the snapshot must be on stable storage before the rename publishes it; see the comment above
-            file.sync_all().map_err(|e| persist::io_error("syncing the snapshot", e))?;
+        let static_body = persist::encode_static_chunk(&self.config, self.serve, &self.model);
+        let generation = persist::unique_generation(dir, &static_body);
+        let first_segment = persist::next_free_segment_index(dir)?;
+
+        let mut sink = ChunkSink { dir, seq, ordinal: 0, bytes_written: 0, chunks: Vec::new() };
+        sink.push(&persist::kind_static(), &static_body)?;
+        for collection in catalog.database.collections() {
+            sink.push(
+                &persist::kind_collection(collection.name()),
+                &persist::encode_collection_chunk(collection),
+            )?;
         }
-        std::fs::rename(&tmp, dir.join(persist::SNAPSHOT_FILE))
-            .map_err(|e| persist::io_error("publishing the snapshot", e))?;
-        // Everything logged so far is now covered by the snapshot; restart
-        // the WAL under the new snapshot's generation tag.  A crash between
-        // the rename above and this create leaves the old-generation WAL on
-        // disk — recovery detects the tag mismatch and discards it, which
-        // is exactly right because the new snapshot contains those writes.
-        // The old writer is dropped *first*: it holds the WAL file lock the
-        // create must acquire, and if the create fails the server must be
-        // left detached (durability lost, error surfaced) rather than
-        // silently appending to a log recovery will discard.
-        *wal = None;
-        *wal = Some(WalWriter::create(
-            &dir.join(persist::WAL_FILE),
-            persist::snapshot_generation(&bytes),
-        )?);
-        // lint:allow(lock) the directory entry for the renamed snapshot must be durable before checkpoint() returns
-        persist::sync_dir(dir)?;
-        Ok(())
+        let images: Vec<(&PatchMetadata, &BinaryCode)> =
+            catalog.metadata.iter().zip(codes.iter().copied()).collect();
+        sink.push(&persist::kind_images(0), &persist::encode_images_chunk(0, &images))?;
+        for shard in 0..self.serve.shards {
+            let table = self.index.clone_shard(shard);
+            sink.push(
+                &persist::kind_shard(shard as u32),
+                &persist::encode_shard_chunk(shard as u32, &table),
+            )?;
+        }
+        // Create the lineage's first segment before the manifest names it,
+        // so a published manifest always finds its chain on disk.
+        let writer = WalWriter::create(
+            &dir.join(persist::segment_file_name(first_segment)),
+            generation,
+            first_segment,
+        )?;
+        let manifest = Manifest { seq, generation, first_segment, chunks: sink.chunks.clone() };
+        let manifest_bytes = persist::write_manifest_file(dir, &manifest)?;
+
+        // Committed: the snapshot covers every dirty bit accumulated so far.
+        catalog.database.clear_dirty();
+        let _ = self.index.take_dirty_shards();
+        let persisted_images = catalog.metadata.len();
+        let chunks_written = sink.chunks.len() as u64;
+        let bytes_written = sink.bytes_written + manifest_bytes;
+        // Replacing the attachment drops any previous one (detaching from
+        // its old directory and releasing that directory's lock).
+        *wal = Some(Attachment {
+            dir: dir.to_path_buf(),
+            seq,
+            generation,
+            first_segment,
+            segment_index: first_segment,
+            segment_bytes: persist::SEGMENT_HEADER_LEN,
+            writer,
+            chunks: sink.chunks,
+            persisted_images,
+            _lock: lock,
+        });
+        drop(wal);
+        drop(catalog);
+
+        // Post-publish GC: debris from earlier lineages (their segments
+        // sort below `first_segment`, their chunks are unreferenced).
+        let segments_retired = persist::retire_segments(dir, first_segment)?;
+        persist::sweep_orphan_chunks(dir, &manifest)?;
+        Ok(CheckpointStats {
+            kind: CheckpointKind::Full,
+            bytes_written,
+            chunks_written,
+            segments_retired,
+        })
     }
 
-    /// Restores a server from a persistence directory: decodes the
-    /// snapshot, replays every intact write-ahead-log record through the
-    /// same apply path live ingest uses, truncates any torn WAL tail, and
-    /// re-attaches the log for future writes.
+    /// The incremental path: cut the dirty state under the locks, write
+    /// delta/replacement chunks without them, republish the manifest, then
+    /// retire covered WAL segments and sweep superseded chunks.
+    fn checkpoint_incremental(&self, dir: &Path) -> Result<CheckpointStats, EarthQubeError> {
+        // ---- The cut: brief, under the catalog write + wal locks ----
+        let cut = {
+            let mut catalog = self.catalog.write();
+            let catalog = &mut *catalog;
+            let mut wal = self.wal.lock();
+            let Some(att) = wal.as_mut() else {
+                return Err(EarthQubeError::Persist(
+                    "the persistence attachment was detached mid-checkpoint".into(),
+                ));
+            };
+            let n_images = catalog.metadata.len();
+            if !catalog.database.is_dirty()
+                && self.index.dirty_shards().is_empty()
+                && att.persisted_images == n_images
+            {
+                return Ok(CheckpointStats {
+                    kind: CheckpointKind::Skipped,
+                    bytes_written: 0,
+                    chunks_written: 0,
+                    segments_retired: 0,
+                });
+            }
+            // Clone the unpersisted image tail first: it is the only
+            // fallible step, and it must run before any dirty state is
+            // drained so an error here leaves nothing to restore.
+            let images_start = att.persisted_images;
+            let mut images = Vec::with_capacity(n_images - images_start);
+            for meta in &catalog.metadata[images_start..] {
+                let code = catalog.name_to_code.get(&meta.name).cloned().ok_or_else(|| {
+                    EarthQubeError::Persist(format!(
+                        "catalog is internally inconsistent: indexed image {} has no stored code",
+                        meta.name
+                    ))
+                })?;
+                images.push((meta.clone(), code));
+            }
+            let mut names: Vec<String> =
+                catalog.database.dirty_collection_names().iter().map(|s| s.to_string()).collect();
+            names.sort_unstable();
+            let mut collections = Vec::with_capacity(names.len());
+            let mut drained = Vec::with_capacity(names.len());
+            for name in names {
+                let collection = catalog.database.collection_mut(&name)?;
+                let log = collection.take_dirty();
+                let stacked =
+                    att.chunks.iter().filter(|c| c.kind == persist::kind_delta(&name)).count();
+                let plan = if log.schema_changed() || stacked >= DELTA_COMPACT_THRESHOLD {
+                    CollectionPlan::Full(Box::new(collection.clone()))
+                } else {
+                    CollectionPlan::Delta(collection.capture_delta(&log))
+                };
+                drained.push((name.clone(), log));
+                collections.push((name, plan));
+            }
+            let shard_ids = self.index.take_dirty_shards();
+            let shards: Vec<(u32, HashTableIndex)> =
+                shard_ids.iter().map(|&s| (s as u32, self.index.clone_shard(s))).collect();
+            // Seal the live segment: records before the cut are covered by
+            // the chunks drained above, records after it land in the fresh
+            // segment the new manifest starts from.
+            if let Err(e) = att.rotate() {
+                // Nothing was persisted; put the drained dirty state back.
+                for (name, log) in drained {
+                    if let Ok(c) = catalog.database.collection_mut(&name) {
+                        c.restore_dirty(log);
+                    }
+                }
+                self.index.mark_shards_dirty(&shard_ids);
+                return Err(e);
+            }
+            IncrementalCut {
+                seq: att.seq + 1,
+                generation: att.generation,
+                first_segment: att.segment_index,
+                base_chunks: att.chunks.clone(),
+                collections,
+                drained,
+                shard_ids,
+                shards,
+                images_start,
+                images,
+            }
+        };
+
+        // ---- Chunk I/O and manifest publish: no server lock held ----
+        let mut sink =
+            ChunkSink { dir, seq: cut.seq, ordinal: 0, bytes_written: 0, chunks: Vec::new() };
+        let published: Result<(Manifest, u64), EarthQubeError> = (|| {
+            for (name, plan) in &cut.collections {
+                match plan {
+                    CollectionPlan::Full(collection) => sink.push(
+                        &persist::kind_collection(name),
+                        &persist::encode_collection_chunk(collection),
+                    )?,
+                    CollectionPlan::Delta(delta) => {
+                        sink.push(&persist::kind_delta(name), &persist::encode_delta_chunk(delta))?
+                    }
+                }
+            }
+            for (shard, table) in &cut.shards {
+                sink.push(
+                    &persist::kind_shard(*shard),
+                    &persist::encode_shard_chunk(*shard, table),
+                )?;
+            }
+            if !cut.images.is_empty() {
+                let refs: Vec<(&PatchMetadata, &BinaryCode)> =
+                    cut.images.iter().map(|(m, c)| (m, c)).collect();
+                sink.push(
+                    &persist::kind_images(cut.images_start as u64),
+                    &persist::encode_images_chunk(cut.images_start as u64, &refs),
+                )?;
+            }
+            // Derive the new manifest from the published base: a full
+            // collection rewrite supersedes its old base and deltas, a
+            // rewritten shard supersedes its old chunk, everything new is
+            // appended (order only matters within one collection: base
+            // before deltas, which append-at-end preserves).
+            let mut chunks = cut.base_chunks.clone();
+            for (name, plan) in &cut.collections {
+                if matches!(plan, CollectionPlan::Full(_)) {
+                    let full_kind = persist::kind_collection(name);
+                    let delta_kind = persist::kind_delta(name);
+                    chunks.retain(|c| c.kind != full_kind && c.kind != delta_kind);
+                }
+            }
+            for (shard, _) in &cut.shards {
+                let kind = persist::kind_shard(*shard);
+                chunks.retain(|c| c.kind != kind);
+            }
+            chunks.extend(sink.chunks.iter().cloned());
+            let manifest = Manifest {
+                seq: cut.seq,
+                generation: cut.generation,
+                first_segment: cut.first_segment,
+                chunks,
+            };
+            let manifest_bytes = persist::write_manifest_file(dir, &manifest)?;
+            Ok((manifest, manifest_bytes))
+        })();
+
+        let (manifest, manifest_bytes) = match published {
+            Ok(ok) => ok,
+            Err(e) => {
+                // Pre-publish failure: the old manifest is still in force
+                // (even if the rename itself is what failed, the next
+                // manifest is derived from the old chunk list again, so
+                // its deltas apply over the old base either way).  Restore
+                // the drained dirty state for the retry.
+                {
+                    let mut catalog = self.catalog.write();
+                    for (name, log) in cut.drained {
+                        if let Ok(c) = catalog.database.collection_mut(&name) {
+                            c.restore_dirty(log);
+                        }
+                    }
+                }
+                self.index.mark_shards_dirty(&cut.shard_ids);
+                return Err(e);
+            }
+        };
+
+        // Committed: advance the attachment to the new manifest.
+        {
+            let mut wal = self.wal.lock();
+            if let Some(att) = wal.as_mut() {
+                att.seq = cut.seq;
+                att.first_segment = cut.first_segment;
+                att.chunks = manifest.chunks.clone();
+                att.persisted_images = cut.images_start + cut.images.len();
+            }
+        }
+        // Post-publish GC.  Failures propagate but must NOT restore the
+        // dirty state: the manifest is committed, and restoring would
+        // re-apply the same deltas over the already-advanced base.
+        let segments_retired = persist::retire_segments(dir, cut.first_segment)?;
+        persist::sweep_orphan_chunks(dir, &manifest)?;
+        Ok(CheckpointStats {
+            kind: CheckpointKind::Incremental,
+            bytes_written: sink.bytes_written + manifest_bytes,
+            chunks_written: sink.chunks.len() as u64,
+            segments_retired,
+        })
+    }
+
+    /// Restores a server from a persistence directory: reads the manifest,
+    /// loads its chunks (base collections, stacked deltas, image ranges,
+    /// index shards), replays every intact record of the manifest's WAL
+    /// segment chain through the same apply path live ingest uses,
+    /// truncates a torn tail in the final segment, and re-attaches.
     ///
     /// Recovery is idempotent: recovering the same directory again (with no
     /// writes in between) yields a byte-identically answering server.
     ///
     /// # Errors
     /// Fails with [`EarthQubeError::Persist`] if the directory holds no
-    /// snapshot, or the snapshot/WAL bytes are corrupt beyond the torn-tail
-    /// cases recovery is designed to absorb.
+    /// manifest, a referenced chunk or mid-chain segment is missing or
+    /// corrupt, or the directory is already served by a live instance.
     pub fn recover(dir: &Path) -> Result<Self, EarthQubeError> {
-        let bytes = std::fs::read(dir.join(persist::SNAPSHOT_FILE))
-            .map_err(|e| persist::io_error("reading the snapshot", e))?;
-        let generation = persist::snapshot_generation(&bytes);
-        let state = persist::decode_snapshot(&bytes)?;
+        // Take the directory lock first: a directory serves exactly one
+        // live instance at a time.
+        let lock = persist::lock_dir(dir)?;
+        let manifest = persist::read_manifest(dir)?.ok_or_else(|| {
+            EarthQubeError::Persist(format!("{} holds no checkpoint manifest", dir.display()))
+        })?;
+        let state = persist::read_snapshot(dir, &manifest)?;
+        let persisted_images = state.images.len();
 
         let mut metadata = Vec::with_capacity(state.images.len());
         let mut name_to_code = HashMap::with_capacity(state.images.len());
@@ -961,22 +1404,20 @@ impl QueryServer {
             ingested_images: AtomicU64::new(0),
             scratch_pool: Mutex::with_name(Vec::new(), "scratch_pool"),
             wal: Mutex::with_name(None, "wal"),
+            ckpt_serial: Mutex::with_name((), "ckpt-serial"),
+            checkpointer: Mutex::with_name(None, "checkpointer"),
+            segment_limit: AtomicU64::new(DEFAULT_SEGMENT_LIMIT),
+            ckpt_passes: AtomicU64::new(0),
+            ckpt_completed: AtomicU64::new(0),
+            ckpt_skipped: AtomicU64::new(0),
+            ckpt_failures: AtomicU64::new(0),
         };
 
-        let wal_path = dir.join(persist::WAL_FILE);
-        let (records, valid_len) = match persist::read_wal(&wal_path, generation)? {
-            persist::WalScan::Valid { records, valid_len } => (records, valid_len),
-            persist::WalScan::Fresh => {
-                // Missing, torn-header or stale-generation log: nothing to
-                // replay; start a fresh log for this snapshot generation.
-                *server.wal.lock() = Some(WalWriter::create(&wal_path, generation)?);
-                return Ok(server);
-            }
-        };
+        let chain = persist::read_segment_chain(dir, manifest.generation, manifest.first_segment)?;
         {
             let mut catalog = server.catalog.write();
             let catalog = &mut *catalog;
-            for record in records {
+            for record in chain.records {
                 match record {
                     WalRecord::Ingest { meta, code, image_doc, rendered_doc } => {
                         if meta.id.0 as usize != catalog.metadata.len() {
@@ -1007,21 +1448,54 @@ impl QueryServer {
                     }
                 }
             }
+            // Replay re-marked the touched collections and shards dirty —
+            // deliberately so: the replayed records still live only in WAL
+            // segments, and the next incremental checkpoint folds them
+            // into chunks (after which their segments retire).
         }
-        *server.wal.lock() = Some(WalWriter::open_truncated(&wal_path, valid_len)?);
+        let (segment_index, segment_bytes, writer) = match chain.tail {
+            ChainTail::Reopen { index, valid_len } => {
+                let writer = WalWriter::open_truncated(
+                    &dir.join(persist::segment_file_name(index)),
+                    valid_len,
+                )?;
+                (index, valid_len, writer)
+            }
+            ChainTail::Create { index } => {
+                let writer = WalWriter::create(
+                    &dir.join(persist::segment_file_name(index)),
+                    manifest.generation,
+                    index,
+                )?;
+                (index, persist::SEGMENT_HEADER_LEN, writer)
+            }
+        };
+        *server.wal.lock() = Some(Attachment {
+            dir: dir.to_path_buf(),
+            seq: manifest.seq,
+            generation: manifest.generation,
+            first_segment: manifest.first_segment,
+            segment_index,
+            segment_bytes,
+            writer,
+            chunks: manifest.chunks,
+            persisted_images,
+            _lock: lock,
+        });
         Ok(server)
     }
 
-    /// Opens a persistent server in `dir`: recovers the existing snapshot
-    /// (plus WAL) if one is present, otherwise builds the server from the
-    /// archive and writes the initial checkpoint.  This is the cold-start
-    /// entry point the `e9_cold_start` experiment measures — after the
-    /// first run, restarts skip ingestion, training and encoding entirely.
+    /// Opens a persistent server in `dir`: recovers the existing manifest
+    /// (plus WAL segments) if one is present, otherwise builds the server
+    /// from the archive and writes the initial full checkpoint.  This is
+    /// the cold-start entry point the `e9_cold_start` experiment measures —
+    /// after the first run, restarts skip ingestion, training and encoding
+    /// entirely.
     ///
     /// On a warm start the **persisted** configuration wins: `config` and
     /// `serve` only apply when the directory is empty (they are part of
-    /// what the snapshot restores — the model architecture in particular
-    /// cannot change under recovered weights).  To apply a new
+    /// what the manifest's chunks restore — the model architecture in
+    /// particular cannot change under recovered weights).  To apply a new
     /// configuration, rebuild into a fresh directory.
     ///
     /// # Errors
@@ -1032,13 +1506,127 @@ impl QueryServer {
         config: EarthQubeConfig,
         serve: ServeConfig,
     ) -> Result<Self, EarthQubeError> {
-        if dir.join(persist::SNAPSHOT_FILE).exists() {
+        if dir.join(persist::MANIFEST_FILE).exists() {
             Self::recover(dir)
         } else {
             let server = Self::build(archive, config, serve)?;
             server.checkpoint(dir)?;
             Ok(server)
         }
+    }
+
+    /// Overrides the WAL segment rotation threshold, in bytes (default
+    /// 4 MiB).  Smaller segments retire sooner after a checkpoint at the
+    /// cost of more files; mainly useful for tests and experiments.
+    pub fn set_segment_limit(&self, bytes: u64) {
+        self.segment_limit.store(bytes.max(persist::SEGMENT_HEADER_LEN + 1), Ordering::Relaxed);
+    }
+
+    // -- background checkpointer ------------------------------------------
+
+    /// Starts the background checkpointer: a thread that wakes every
+    /// `interval` (or immediately on [`trigger_checkpoint`](Self::trigger_checkpoint))
+    /// and runs [`checkpoint_if_dirty`](Self::checkpoint_if_dirty).  The
+    /// thread holds only a [`Weak`] reference, so it never keeps a dropped
+    /// server alive; it exits when the server is dropped or
+    /// [`stop_checkpointer`](Self::stop_checkpointer) is called.
+    ///
+    /// # Errors
+    /// Fails if a checkpointer is already running or the thread cannot be
+    /// spawned.
+    pub fn start_checkpointer(self: &Arc<Self>, interval: Duration) -> Result<(), EarthQubeError> {
+        let mut slot = self.checkpointer.lock();
+        if slot.is_some() {
+            return Err(EarthQubeError::BadRequest(
+                "a background checkpointer is already running".into(),
+            ));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let weak: Weak<Self> = Arc::downgrade(self);
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("eq-checkpointer".into())
+            .spawn(move || loop {
+                std::thread::park_timeout(interval);
+                if thread_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Some(server) = weak.upgrade() else { break };
+                server.ckpt_passes.fetch_add(1, Ordering::Relaxed);
+                match server.checkpoint_if_dirty() {
+                    Ok(Some(_)) => {
+                        server.ckpt_completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(None) => {
+                        server.ckpt_skipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        server.ckpt_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+            .map_err(|e| {
+                EarthQubeError::Persist(format!("spawning the checkpointer thread: {e}"))
+            })?;
+        *slot = Some(CheckpointerHandle { stop, thread });
+        Ok(())
+    }
+
+    /// Stops and joins the background checkpointer, if one is running.  An
+    /// in-flight checkpoint pass finishes first; no new pass starts.
+    pub fn stop_checkpointer(&self) {
+        let handle = self.checkpointer.lock().take();
+        if let Some(CheckpointerHandle { stop, thread }) = handle {
+            stop.store(true, Ordering::Release);
+            thread.thread().unpark();
+            // The last `Arc` can die *inside* a checkpointer pass, in
+            // which case drop (and thus this method) runs on the
+            // checkpointer thread itself — joining would self-deadlock.
+            if thread.thread().id() != std::thread::current().id() {
+                let _ = thread.join();
+            }
+        }
+    }
+
+    /// Wakes the background checkpointer immediately instead of waiting
+    /// for its next interval tick.  A no-op if none is running.
+    pub fn trigger_checkpoint(&self) {
+        if let Some(handle) = self.checkpointer.lock().as_ref() {
+            handle.thread.thread().unpark();
+        }
+    }
+
+    /// Checkpoints into the attached directory if (and only if) anything
+    /// is dirty; returns `None` when the server is detached or clean.
+    /// This is the body of one background-checkpointer pass, callable
+    /// directly for a final synchronous flush (e.g. on server shutdown).
+    ///
+    /// # Errors
+    /// Propagates [`checkpoint`](Self::checkpoint) errors.
+    pub fn checkpoint_if_dirty(&self) -> Result<Option<CheckpointStats>, EarthQubeError> {
+        let attached_dir = self.wal.lock().as_ref().map(|att| att.dir.clone());
+        let Some(dir) = attached_dir else { return Ok(None) };
+        let stats = self.checkpoint(&dir)?;
+        Ok(match stats.kind {
+            CheckpointKind::Skipped => None,
+            _ => Some(stats),
+        })
+    }
+
+    /// A snapshot of the background-checkpointer counters.
+    pub fn checkpointer_stats(&self) -> CheckpointerStats {
+        CheckpointerStats {
+            passes: self.ckpt_passes.load(Ordering::Relaxed),
+            completed: self.ckpt_completed.load(Ordering::Relaxed),
+            skipped: self.ckpt_skipped.load(Ordering::Relaxed),
+            failures: self.ckpt_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.stop_checkpointer();
     }
 }
 
@@ -1334,30 +1922,148 @@ mod tests {
     }
 
     /// Regression test for the checkpoint crash-atomicity window: a crash
-    /// *between* publishing a new snapshot and resetting the WAL leaves
-    /// the previous generation's log on disk.  Recovery must detect the
-    /// generation mismatch and discard it — replaying it would double-apply
-    /// (or fail on) writes the new snapshot already contains.
+    /// *between* publishing a new manifest and retiring the covered WAL
+    /// segments leaves an already-covered segment on disk.  Recovery must
+    /// ignore it — replaying it would double-apply (or fail on) writes the
+    /// new checkpoint's chunks already contain.
     #[test]
-    fn stale_wal_from_an_interrupted_checkpoint_is_discarded() {
+    fn covered_segment_from_an_interrupted_retirement_is_ignored() {
         let dir = ScratchDir::new("stale_wal");
         let (srv, _) = server(10, 205, ServeConfig::default());
-        srv.checkpoint(dir.path()).unwrap();
-        // One logged ingest under generation A.
+        let full = srv.checkpoint(dir.path()).unwrap();
+        assert_eq!(full.kind, CheckpointKind::Full);
+        // One logged ingest lands in the first segment of the lineage.
         let extra = ArchiveGenerator::new(GeneratorConfig::tiny(2, 922)).unwrap().generate();
         srv.ingest(extra.patches()).unwrap();
-        let stale_wal = std::fs::read(dir.path().join("wal.eqw")).unwrap();
-        // Second checkpoint: new snapshot (containing the ingest), fresh
-        // WAL under generation B.  Simulate the crash window by restoring
-        // the generation-A log over it.
-        srv.checkpoint(dir.path()).unwrap();
+        // A full checkpoint into an empty directory starts its lineage at
+        // segment 0.
+        let first = dir.path().join(persist::segment_file_name(0));
+        let covered = std::fs::read(&first).unwrap();
+        // Second checkpoint: incremental, covers the ingest and retires
+        // the segment.  Simulate the crash window by restoring it.
+        let incr = srv.checkpoint(dir.path()).unwrap();
+        assert_eq!(incr.kind, CheckpointKind::Incremental);
+        assert!(incr.segments_retired >= 1, "the covered segment must retire");
         let expected = srv.search(&ImageQuery::all()).unwrap();
-        drop(srv); // releases the generation-B WAL lock
-        std::fs::write(dir.path().join("wal.eqw"), &stale_wal).unwrap();
+        drop(srv); // releases the directory lock
+        std::fs::write(&first, &covered).unwrap();
 
         let recovered = QueryServer::recover(dir.path()).unwrap();
-        assert_eq!(recovered.archive_size(), 12, "stale WAL must not double-apply");
+        assert_eq!(recovered.archive_size(), 12, "covered segment must not double-apply");
         assert_eq!(recovered.search(&ImageQuery::all()).unwrap(), expected);
+    }
+
+    /// The incremental path: a second checkpoint after a small ingest
+    /// writes deltas (a fraction of the full snapshot), retires the
+    /// covered segment, and a third checkpoint with nothing dirty skips.
+    #[test]
+    fn incremental_checkpoints_write_deltas_and_skip_when_clean() {
+        let dir = ScratchDir::new("incremental");
+        let (srv, _) = server(30, 208, ServeConfig::default());
+        let full = srv.checkpoint(dir.path()).unwrap();
+        assert_eq!(full.kind, CheckpointKind::Full);
+        assert!(full.bytes_written > 0);
+
+        let extra = ArchiveGenerator::new(GeneratorConfig::tiny(1, 923)).unwrap().generate();
+        srv.ingest(extra.patches()).unwrap();
+        let incr = srv.checkpoint(dir.path()).unwrap();
+        assert_eq!(incr.kind, CheckpointKind::Incremental);
+        assert!(incr.bytes_written > 0);
+        assert!(
+            incr.bytes_written * 10 < full.bytes_written,
+            "a 1-patch incremental checkpoint ({} B) must write <10% of the full \
+             snapshot ({} B)",
+            incr.bytes_written,
+            full.bytes_written
+        );
+        assert!(incr.segments_retired >= 1);
+
+        let skipped = srv.checkpoint(dir.path()).unwrap();
+        assert_eq!(skipped.kind, CheckpointKind::Skipped);
+        assert_eq!(skipped.bytes_written, 0);
+
+        // The incremental chain recovers to the same answers.
+        let expected = srv.search(&ImageQuery::all()).unwrap();
+        drop(srv);
+        let back = QueryServer::recover(dir.path()).unwrap();
+        assert_eq!(back.archive_size(), 31);
+        assert_eq!(back.search(&ImageQuery::all()).unwrap(), expected);
+    }
+
+    /// Segment rotation: with a tiny limit every batch seals a segment,
+    /// the files stack up, recovery replays the whole chain, and the next
+    /// checkpoint retires all of them.
+    #[test]
+    fn rotated_segments_replay_in_order_and_retire() {
+        let dir = ScratchDir::new("rotate");
+        let (srv, _) = server(6, 209, ServeConfig::default());
+        srv.checkpoint(dir.path()).unwrap();
+        srv.set_segment_limit(1); // rotate after every synced batch
+        for seed in [931u64, 932, 933] {
+            let extra = ArchiveGenerator::new(GeneratorConfig::tiny(1, seed)).unwrap().generate();
+            srv.ingest(extra.patches()).unwrap();
+        }
+        let segments = |dir: &Path| {
+            let mut n = 0;
+            for entry in std::fs::read_dir(dir).unwrap() {
+                let name = entry.unwrap().file_name();
+                if name.to_string_lossy().ends_with(".eqw") {
+                    n += 1;
+                }
+            }
+            n
+        };
+        assert!(segments(dir.path()) >= 3, "each batch must seal its segment");
+        let expected = srv.search(&ImageQuery::all()).unwrap();
+        drop(srv);
+
+        let back = QueryServer::recover(dir.path()).unwrap();
+        assert_eq!(back.archive_size(), 9);
+        assert_eq!(back.search(&ImageQuery::all()).unwrap(), expected);
+        let stats = back.checkpoint(dir.path()).unwrap();
+        assert_eq!(stats.kind, CheckpointKind::Incremental);
+        assert!(stats.segments_retired >= 3, "the sealed chain must retire wholesale");
+        assert_eq!(segments(dir.path()), 1, "only the fresh live segment remains");
+    }
+
+    /// The background checkpointer: flushes dirty state on its own, counts
+    /// its passes, and shuts down cleanly (also via `Drop`).
+    #[test]
+    fn background_checkpointer_flushes_dirty_state() {
+        let dir = ScratchDir::new("checkpointer");
+        let (srv, _) = server(8, 210, ServeConfig::default());
+        let srv = std::sync::Arc::new(srv);
+        srv.checkpoint(dir.path()).unwrap();
+        srv.start_checkpointer(Duration::from_secs(3600)).unwrap();
+        assert!(srv.start_checkpointer(Duration::from_secs(3600)).is_err(), "one at a time");
+
+        let extra = ArchiveGenerator::new(GeneratorConfig::tiny(2, 924)).unwrap().generate();
+        srv.ingest(extra.patches()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while srv.checkpointer_stats().completed == 0 {
+            assert!(std::time::Instant::now() < deadline, "checkpointer never flushed");
+            srv.trigger_checkpoint();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = srv.checkpointer_stats();
+        assert!(stats.passes >= 1);
+        assert_eq!(stats.failures, 0);
+        srv.stop_checkpointer();
+        // Idempotent, and a fresh one can start afterwards.
+        srv.stop_checkpointer();
+        srv.start_checkpointer(Duration::from_secs(3600)).unwrap();
+        drop(srv); // Drop stops the second checkpointer
+
+        let back = QueryServer::recover(dir.path()).unwrap();
+        assert_eq!(back.archive_size(), 10, "the background flush covered the ingest");
+    }
+
+    /// A detached server (never checkpointed) reports no checkpointable
+    /// state, and `checkpoint_if_dirty` is a clean no-op.
+    #[test]
+    fn checkpoint_if_dirty_is_a_noop_when_detached() {
+        let (srv, _) = server(5, 211, ServeConfig::default());
+        assert_eq!(srv.checkpoint_if_dirty().unwrap(), None);
     }
 
     /// The WAL file lock: a directory serves exactly one live writer, so a

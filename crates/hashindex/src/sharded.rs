@@ -22,6 +22,8 @@
 //! each under its own read lock — rather than one pointer chase over a
 //! shared `HashMap`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use parking_lot::RwLock;
 
 use crate::code::BinaryCode;
@@ -42,6 +44,11 @@ pub const DEFAULT_SHARDS: usize = 8;
 pub struct ShardedHashIndex {
     bits: u32,
     shards: Vec<RwLock<HashTableIndex>>,
+    /// Per-shard dirty flags for incremental checkpointing: set by every
+    /// insert into the shard, drained at a checkpoint cut.  A `false`
+    /// flag certifies "this shard is byte-identical to its last persisted
+    /// chunk", so the checkpointer can skip it entirely.
+    dirty: Vec<AtomicBool>,
 }
 
 impl ShardedHashIndex {
@@ -57,6 +64,7 @@ impl ShardedHashIndex {
             shards: (0..shards)
                 .map(|_| RwLock::with_name(HashTableIndex::new(bits), "index-shard"))
                 .collect(),
+            dirty: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -94,7 +102,69 @@ impl ShardedHashIndex {
     /// Panics if the code width does not match the index.
     pub fn insert(&self, id: ItemId, code: BinaryCode) {
         assert_eq!(code.bits(), self.bits, "code width does not match the index");
-        self.shards[self.shard_of(&code)].write().insert(id, code);
+        let shard = self.shard_of(&code);
+        self.shards[shard].write().insert(id, code);
+        self.dirty[shard].store(true, Ordering::Release);
+    }
+
+    /// Indices of the shards touched since the last drain, in shard order
+    /// (without draining them).
+    pub fn dirty_shards(&self) -> Vec<usize> {
+        (0..self.dirty.len()).filter(|&i| self.dirty[i].load(Ordering::Acquire)).collect()
+    }
+
+    /// Whether any shard was touched since the last drain.
+    pub fn has_dirty_shards(&self) -> bool {
+        self.dirty.iter().any(|flag| flag.load(Ordering::Acquire))
+    }
+
+    /// Drains the dirty flags: returns the indices of the touched shards
+    /// and resets every flag — the checkpoint cut.
+    pub fn take_dirty_shards(&self) -> Vec<usize> {
+        (0..self.dirty.len()).filter(|&i| self.dirty[i].swap(false, Ordering::AcqRel)).collect()
+    }
+
+    /// Re-marks shards as dirty, so a failed checkpoint re-persists them
+    /// on its next attempt.
+    pub fn mark_shards_dirty(&self, shards: &[usize]) {
+        for &i in shards {
+            if let Some(flag) = self.dirty.get(i) {
+                flag.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// A deep copy of one shard's table — what an incremental checkpoint
+    /// clones at the cut (under the brief lock) and encodes off-lock.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn clone_shard(&self, shard: usize) -> HashTableIndex {
+        self.shards[shard].read().clone()
+    }
+
+    /// Rebuilds an index from per-shard tables restored from chunk files.
+    /// The shard *layout* is taken verbatim — codes are not re-routed —
+    /// so the rebuilt index is item-for-item identical to the one whose
+    /// shards were persisted.  All dirty flags start clear.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or any table's code width differs from
+    /// `bits`; callers decode and validate widths before assembling.
+    pub fn from_shards(bits: u32, shards: Vec<HashTableIndex>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let n = shards.len();
+        Self {
+            bits,
+            shards: shards
+                .into_iter()
+                .inspect(|table| {
+                    assert_eq!(table.bits(), bits, "shard width does not match the index")
+                })
+                .map(|table| RwLock::with_name(table, "index-shard"))
+                .collect(),
+            dirty: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
     }
 
     /// Returns all items within Hamming distance `radius` of `query`,
@@ -192,7 +262,8 @@ impl ShardedHashIndex {
             }
             shards.push(RwLock::with_name(table, "index-shard"));
         }
-        Ok(Self { bits, shards })
+        let dirty = (0..n_shards).map(|_| AtomicBool::new(false)).collect();
+        Ok(Self { bits, shards, dirty })
     }
 }
 
@@ -316,6 +387,63 @@ mod tests {
             }
         });
         assert_eq!(idx.len(), 400);
+    }
+
+    #[test]
+    fn dirty_flags_track_only_touched_shards() {
+        let idx = ShardedHashIndex::new(16, 8);
+        assert!(!idx.has_dirty_shards());
+        assert!(idx.take_dirty_shards().is_empty());
+
+        // Two identical codes route to one shard: exactly one flag set.
+        let code = rand_code(16, 7);
+        idx.insert(1, code.clone());
+        idx.insert(2, code);
+        assert!(idx.has_dirty_shards());
+        let dirty = idx.dirty_shards();
+        assert_eq!(dirty.len(), 1, "identical codes share a shard: {dirty:?}");
+
+        // Draining resets; restoring re-marks.
+        let drained = idx.take_dirty_shards();
+        assert_eq!(drained, dirty);
+        assert!(!idx.has_dirty_shards());
+        idx.mark_shards_dirty(&drained);
+        assert_eq!(idx.dirty_shards(), drained);
+        // Out-of-range restore indices are ignored, not panicked on.
+        idx.mark_shards_dirty(&[999]);
+        assert_eq!(idx.dirty_shards(), drained);
+    }
+
+    #[test]
+    fn clone_shard_and_from_shards_rebuild_identically() {
+        let idx = ShardedHashIndex::new(64, 5);
+        for i in 0..200u64 {
+            idx.insert(i, rand_code(64, i / 2));
+        }
+        let tables: Vec<HashTableIndex> =
+            (0..idx.shard_count()).map(|s| idx.clone_shard(s)).collect();
+        let rebuilt = ShardedHashIndex::from_shards(64, tables);
+        assert!(!rebuilt.has_dirty_shards(), "a rebuilt index starts clean");
+        assert_eq!(rebuilt.shard_occupancy(), idx.shard_occupancy());
+        for q in 0..6u64 {
+            let query = rand_code(64, q);
+            assert_eq!(rebuilt.knn(&query, 9), idx.knn(&query, 9));
+            assert_eq!(rebuilt.radius_search(&query, 5), idx.radius_search(&query, 5));
+        }
+        // Encodings agree byte-for-byte, so persisted chunks are stable.
+        let (mut a, mut b) = (eq_wire::Writer::new(), eq_wire::Writer::new());
+        idx.encode(&mut a);
+        rebuilt.encode(&mut b);
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard width does not match")]
+    fn from_shards_rejects_mismatched_widths() {
+        let _ = ShardedHashIndex::from_shards(
+            64,
+            vec![HashTableIndex::new(64), HashTableIndex::new(32)],
+        );
     }
 
     #[test]

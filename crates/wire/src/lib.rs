@@ -322,6 +322,7 @@ impl<'a> Reader<'a> {
 }
 
 pub mod frame;
+pub mod manifest;
 
 /// The CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table.
 const CRC32_TABLE: [u32; 256] = {

@@ -1,7 +1,8 @@
 //! Persistent serving demo: open a `QueryServer` on a persistence
 //! directory, ingest live traffic into the write-ahead log, "crash", and
 //! recover to the exact pre-crash state — then show the cold-start win of
-//! loading the snapshot instead of rebuilding from the archive.
+//! loading the checkpoint instead of rebuilding from the archive, and how
+//! little an incremental checkpoint writes compared to the first full one.
 //!
 //! Run with: `cargo run --release --example persistent_serving`
 
@@ -14,7 +15,7 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("eq_persistent_serving_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    // 1. First boot: `open` finds no snapshot, builds the full back-end
+    // 1. First boot: `open` finds no manifest, builds the full back-end
     //    (ingest + MiLaN training + encoding) and checkpoints it.
     let archive =
         ArchiveGenerator::new(GeneratorConfig { num_patches: 400, seed: 33, ..Default::default() })
@@ -49,10 +50,10 @@ fn main() {
     // 3. "Crash": drop the server without another checkpoint.  The WAL is
     //    the only durable trace of the live ingests.
     drop(server);
-    println!("server dropped (simulated crash) — recovering from snapshot + WAL …");
+    println!("server dropped (simulated crash) — recovering from checkpoint + WAL …");
 
-    // 4. Recovery: snapshot + WAL replay restores the exact pre-crash
-    //    state, byte for byte.
+    // 4. Recovery: the manifest's chunk set plus WAL-segment replay
+    //    restores the exact pre-crash state, byte for byte.
     let start = Instant::now();
     let recovered = QueryServer::recover(&dir).expect("recovery");
     let recover_time = start.elapsed();
@@ -69,9 +70,14 @@ fn main() {
         build_time.as_secs_f64() / recover_time.as_secs_f64().max(1e-9)
     );
 
-    // 5. A checkpoint folds the WAL into a fresh snapshot; recovery after
-    //    that replays nothing.
-    recovered.checkpoint(&dir).expect("checkpoint");
+    // 5. An incremental checkpoint folds the WAL into delta chunks and
+    //    retires the covered segments — recovery after it replays nothing,
+    //    and only the state dirtied since boot was written.
+    let stats = recovered.checkpoint(&dir).expect("checkpoint");
+    println!(
+        "incremental checkpoint ({:?}): {} bytes in {} chunks, {} WAL segments retired",
+        stats.kind, stats.bytes_written, stats.chunks_written, stats.segments_retired
+    );
     println!("{}", recovered.stats().render());
 
     let _ = std::fs::remove_dir_all(&dir);

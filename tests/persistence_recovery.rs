@@ -90,11 +90,26 @@ impl Drop for ScratchDir {
     }
 }
 
-/// Chops `n` bytes off the end of the WAL, simulating a crash in the middle
-/// of a record `write` (a torn write: the length/CRC frame no longer
-/// matches the payload).
+/// Every WAL segment file in the directory, sorted by segment index.
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal.") && n.ends_with(".eqw"))
+        })
+        .collect();
+    segments.sort();
+    segments
+}
+
+/// Chops `n` bytes off the end of the live (highest-indexed) WAL segment,
+/// simulating a crash in the middle of a record `write` (a torn write: the
+/// length/CRC frame no longer matches the payload).
 fn tear_wal_tail(dir: &Path, n: u64) {
-    let wal = dir.join("wal.eqw");
+    let wal = segment_files(dir).pop().expect("a WAL segment exists");
     let file = OpenOptions::new().write(true).open(&wal).expect("WAL exists");
     let len = file.metadata().unwrap().len();
     assert!(len > n, "WAL too short to tear");
@@ -237,4 +252,97 @@ fn checkpoint_without_wal_traffic_roundtrips() {
         "shard layout must be restored verbatim"
     );
     assert_eq!(responses(&recovered, &requests), expected_responses, "snapshot-only recovery");
+}
+
+/// An incremental checkpoint after a one-patch ingest writes a small
+/// fraction of the full snapshot, and retires the WAL segments the new
+/// manifest no longer needs — the two headline properties of the
+/// incremental design, asserted on the real write path.
+#[test]
+fn incremental_checkpoint_writes_a_fraction_and_retires_segments() {
+    use agoraeo::earthqube::CheckpointKind;
+
+    let dir = ScratchDir::new("fraction");
+    let initial = generate(60, SEED + 7);
+    let srv =
+        QueryServer::build(&initial, engine_config(SEED + 7), ServeConfig::default()).unwrap();
+    let full = srv.checkpoint(dir.path()).unwrap();
+    assert_eq!(full.kind, CheckpointKind::Full);
+
+    let extra = generate(1, 123_123);
+    srv.ingest(extra.patches()).unwrap();
+    let segments_before = segment_files(dir.path()).len();
+    let incr = srv.checkpoint(dir.path()).unwrap();
+    assert_eq!(incr.kind, CheckpointKind::Incremental);
+    assert!(
+        incr.bytes_written * 10 < full.bytes_written,
+        "one dirty patch must checkpoint in <10% of the full snapshot \
+         ({} vs {} bytes)",
+        incr.bytes_written,
+        full.bytes_written
+    );
+    assert_eq!(incr.segments_retired as usize, segments_before, "covered segments must retire");
+    assert_eq!(segment_files(dir.path()).len(), 1, "only the fresh live segment remains");
+}
+
+/// A hole in the middle of the segment chain means records were lost;
+/// recovery must refuse, never silently skip to the next segment.
+#[test]
+fn missing_middle_segment_is_a_hard_error() {
+    let dir = ScratchDir::new("gap");
+    let initial = generate(20, SEED + 5);
+    let srv =
+        QueryServer::build(&initial, engine_config(SEED + 5), ServeConfig::default()).unwrap();
+    srv.checkpoint(dir.path()).unwrap();
+    srv.set_segment_limit(1); // every synced batch seals its segment
+    for seed in [901u64, 902, 903] {
+        srv.ingest(generate(1, seed).patches()).unwrap();
+    }
+    drop(srv);
+    let segments = segment_files(dir.path());
+    assert!(segments.len() >= 3, "rotation must have produced a chain");
+    std::fs::remove_file(&segments[1]).unwrap(); // punch a hole mid-chain
+    let err = QueryServer::recover(dir.path()).unwrap_err();
+    assert!(err.to_string().contains("missing segment"), "unexpected error: {err}");
+}
+
+/// A manifest whose chain start is gone while later segments survive is
+/// stale — replaying only the surviving suffix would silently drop the
+/// records of the missing segment, so recovery must refuse.
+#[test]
+fn chain_not_starting_at_first_segment_is_a_stale_manifest_error() {
+    let dir = ScratchDir::new("stale_start");
+    let initial = generate(20, SEED + 6);
+    let srv =
+        QueryServer::build(&initial, engine_config(SEED + 6), ServeConfig::default()).unwrap();
+    srv.checkpoint(dir.path()).unwrap();
+    srv.ingest(generate(2, 999_999).patches()).unwrap();
+    srv.checkpoint(dir.path()).unwrap(); // incremental: chain restarts past segment 0
+    srv.set_segment_limit(1);
+    srv.ingest(generate(1, 999_998).patches()).unwrap(); // seals the chain start
+    srv.ingest(generate(1, 999_997).patches()).unwrap();
+    drop(srv);
+    let segments = segment_files(dir.path());
+    assert!(segments.len() >= 2);
+    std::fs::remove_file(&segments[0]).unwrap(); // the manifest's first segment
+    let err = QueryServer::recover(dir.path()).unwrap_err();
+    assert!(err.to_string().contains("stale manifest"), "unexpected error: {err}");
+}
+
+/// Restoring a superseded manifest over an advanced directory must not
+/// quietly resurrect the old checkpoint: the chunks and segments it
+/// references were swept when its successor published.
+#[test]
+fn restored_old_manifest_over_an_advanced_directory_is_refused() {
+    let dir = ScratchDir::new("old_manifest");
+    let initial = generate(20, SEED + 8);
+    let srv =
+        QueryServer::build(&initial, engine_config(SEED + 8), ServeConfig::default()).unwrap();
+    srv.checkpoint(dir.path()).unwrap();
+    let old_manifest = std::fs::read(dir.path().join("manifest.eqm")).unwrap();
+    srv.ingest(generate(2, 555_444).patches()).unwrap();
+    srv.checkpoint(dir.path()).unwrap(); // supersedes: sweeps old shard chunks
+    drop(srv);
+    std::fs::write(dir.path().join("manifest.eqm"), &old_manifest).unwrap();
+    assert!(QueryServer::recover(dir.path()).is_err(), "resurrected manifest must be refused");
 }
