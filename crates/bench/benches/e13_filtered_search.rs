@@ -1,0 +1,259 @@
+//! Experiment E13 — bitmap-prefiltered similarity search: "find patches
+//! similar to this one, but only agricultural patches in Austria acquired
+//! in summer".  The query-panel filter restricts the universe the Hamming
+//! kernels rank; what this bench measures is how that universe is
+//! *resolved*:
+//!
+//! * **bitmap prefilter** — compile the filter's indexable prefix to a
+//!   posting-bitmap intersection ([`Collection::compile_prefilter`]), run
+//!   the residual only on the bitmap's survivors, and hand the resulting
+//!   [`IdMask`] to the masked k-NN kernel;
+//! * **scan-then-post-filter** — the pre-bitmap baseline: evaluate the
+//!   full filter on every metadata document, then run the same masked
+//!   kernel.
+//!
+//! Both paths produce the exact match set, so the ranked results are
+//! byte-identical (asserted before timing); the speedup is pure
+//! filter-resolution economics.  Acceptance: at 40k codes with a ≤ 10 %
+//! selectivity filter, the bitmap path must be **≥ 3x** the post-filter
+//! scan end-to-end (mask resolution + masked k-NN).
+//!
+//! Results land in `BENCH_e13.json` at the workspace root.  `EQ_E13_SMOKE=1`
+//! shrinks the workload for CI smoke runs (equivalence is still asserted;
+//! the speedup is printed but only asserted on the full run).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::{clustered_codes, metadata};
+use eq_bigearthnet::patch::Season;
+use eq_bigearthnet::{Country, Label};
+use eq_docstore::{Collection, Database, Filter};
+use eq_earthqube::schema::{collections, fields};
+use eq_earthqube::{ingest_metadata, ImageQuery, LabelFilter, LabelOperator};
+use eq_hashindex::{Bitmap, HammingIndex, HashTableIndex, IdMask, ItemId, SearchScratch};
+
+const CODE_BITS: u32 = 128;
+const K: usize = 10;
+
+/// The headline query: agricultural patches in Austria, summer only.
+fn austria_summer_agriculture() -> Filter {
+    ImageQuery::all()
+        .with_countries(vec![Country::Austria])
+        .with_seasons(vec![Season::Summer])
+        .with_labels(LabelFilter::new(
+            LabelOperator::Some,
+            vec![
+                Label::NonIrrigatedArableLand,
+                Label::Pastures,
+                Label::ComplexCultivationPatterns,
+                Label::LandPrincipallyOccupiedByAgriculture,
+            ],
+        ))
+        .to_filter()
+}
+
+/// Resolves the filter through the compiled posting bitmaps: candidates
+/// from the bitmap, residual only on the survivors.
+fn resolve_bitmap(coll: &Collection, filter: &Filter) -> IdMask {
+    let plan = coll.compile_prefilter(filter);
+    let mut items = Bitmap::new();
+    if let Some(bitmap) = &plan.bitmap {
+        for doc_id in bitmap.iter() {
+            if let Some(doc) = coll.get(doc_id) {
+                if plan.residual.matches(doc) {
+                    if let Some(item) = doc.get(fields::PATCH_ID).and_then(|v| v.as_int()) {
+                        items.insert(item as u64);
+                    }
+                }
+            }
+        }
+    }
+    IdMask::from_bitmap(&items)
+}
+
+/// The pre-bitmap baseline: evaluate the full filter on every document.
+fn resolve_scan(coll: &Collection, filter: &Filter) -> IdMask {
+    let mut items = Bitmap::new();
+    for (_, doc) in coll.iter() {
+        if filter.matches(doc) {
+            if let Some(item) = doc.get(fields::PATCH_ID).and_then(|v| v.as_int()) {
+                items.insert(item as u64);
+            }
+        }
+    }
+    IdMask::from_bitmap(&items)
+}
+
+/// Median-of-samples wall time per iteration, in seconds.
+fn time_per_iter(samples: usize, batch: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..batch {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+struct SizeResult {
+    n: usize,
+    matching: u64,
+    selectivity: f64,
+    bitmap_us: f64,
+    scan_us: f64,
+    speedup: f64,
+}
+
+fn bench_filtered_search(c: &mut Criterion) {
+    let smoke = std::env::var("EQ_E13_SMOKE").is_ok_and(|v| v == "1");
+    let sizes: &[usize] = if smoke { &[4_000] } else { &[10_000, 40_000] };
+    let (samples, batch) = if smoke { (5, 5) } else { (11, 10) };
+
+    let mut group = c.benchmark_group("e13_filtered_search");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(if smoke { 300 } else { 1500 }));
+    group.warm_up_time(std::time::Duration::from_millis(if smoke { 50 } else { 300 }));
+
+    println!(
+        "[E13] filtered similarity search: bitmap prefilter vs scan-then-post-filter \
+         ({CODE_BITS}-bit codes, k = {K}{})",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let filter = austria_summer_agriculture();
+    let mut results = Vec::new();
+    for &n in sizes {
+        let metas = metadata(n, 13);
+        let mut db = Database::new();
+        ingest_metadata(&mut db, &metas).expect("fresh database ingests cleanly");
+        let coll = db.collection(collections::METADATA).expect("metadata collection exists");
+
+        let codes = clustered_codes(n, CODE_BITS, 64, 13);
+        let mut table = HashTableIndex::new(CODE_BITS);
+        for (i, code) in codes.iter().enumerate() {
+            table.insert(i as ItemId, code.clone());
+        }
+        let query = codes[n / 2].clone();
+
+        // Equivalence gate before timing anything: both resolutions must
+        // produce the same mask, and the masked k-NN the same ranking.
+        let bitmap_mask = resolve_bitmap(coll, &filter);
+        let scan_mask = resolve_scan(coll, &filter);
+        assert_eq!(bitmap_mask.len(), scan_mask.len(), "strategies disagree on the match set");
+        for id in 0..n as u64 {
+            assert_eq!(bitmap_mask.contains(id), scan_mask.contains(id), "patch {id}");
+        }
+        let mut scratch = SearchScratch::new();
+        let via_bitmap = table.knn_masked_with(&query, K, &bitmap_mask, &mut scratch).to_vec();
+        let via_scan = table.knn_masked_with(&query, K, &scan_mask, &mut scratch).to_vec();
+        assert_eq!(via_bitmap, via_scan, "masked k-NN must be byte-identical");
+
+        let matching = bitmap_mask.len();
+        let selectivity = matching as f64 / n as f64;
+        assert!(
+            selectivity <= 0.10,
+            "headline filter must be selective (≤ 10 %), got {:.1} %",
+            selectivity * 100.0
+        );
+
+        // -- end-to-end: mask resolution + masked k-NN --------------------
+        let bitmap_t = time_per_iter(samples, batch, || {
+            let mask = resolve_bitmap(black_box(coll), black_box(&filter));
+            black_box(table.knn_masked_with(black_box(&query), K, &mask, &mut scratch).len());
+        });
+        let scan_t = time_per_iter(samples, batch, || {
+            let mask = resolve_scan(black_box(coll), black_box(&filter));
+            black_box(table.knn_masked_with(black_box(&query), K, &mask, &mut scratch).len());
+        });
+
+        let speedup = scan_t / bitmap_t;
+        println!(
+            "[E13] {n:>6} codes: {matching:>5} match ({:>4.1} %) | \
+             {:>9.1} µs bitmap vs {:>9.1} µs post-filter scan ({:>4.1}x)",
+            selectivity * 100.0,
+            bitmap_t * 1e6,
+            scan_t * 1e6,
+            speedup,
+        );
+        results.push(SizeResult {
+            n,
+            matching,
+            selectivity,
+            bitmap_us: bitmap_t * 1e6,
+            scan_us: scan_t * 1e6,
+            speedup,
+        });
+
+        // Criterion samples for the CI log (same paths, harness timings).
+        group.bench_with_input(BenchmarkId::new("bitmap_prefilter", n), &n, |b, _| {
+            let mut scratch = SearchScratch::new();
+            b.iter(|| {
+                let mask = resolve_bitmap(black_box(coll), black_box(&filter));
+                black_box(table.knn_masked_with(black_box(&query), K, &mask, &mut scratch).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan_then_post_filter", n), &n, |b, _| {
+            let mut scratch = SearchScratch::new();
+            b.iter(|| {
+                let mask = resolve_scan(black_box(coll), black_box(&filter));
+                black_box(table.knn_masked_with(black_box(&query), K, &mask, &mut scratch).len())
+            })
+        });
+    }
+    group.finish();
+
+    if !smoke {
+        let headline = results.last().expect("at least one size");
+        assert!(
+            headline.speedup >= 3.0,
+            "acceptance: bitmap prefilter must be >= 3x the post-filter scan at {} codes \
+             (measured {:.2}x)",
+            headline.n,
+            headline.speedup
+        );
+        write_json(&results);
+    }
+}
+
+/// Records the measurements in `BENCH_e13.json` at the workspace root (the
+/// committed copy tracks the perf trajectory across PRs).
+fn write_json(results: &[SizeResult]) {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"codes\": {},\n      \"code_bits\": {CODE_BITS},\n      \
+                 \"k\": {K},\n      \"matching\": {},\n      \"selectivity\": {:.4},\n      \
+                 \"bitmap_prefilter_us\": {:.1},\n      \"scan_then_post_filter_us\": {:.1},\n      \
+                 \"speedup\": {:.2}\n    }}",
+                r.n, r.matching, r.selectivity, r.bitmap_us, r.scan_us, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_filtered_search\",\n  \"query\": \
+         \"agricultural patches in Austria, summer acquisitions only\",\n  \"acceptance\": \
+         \"bitmap prefilter >= 3x scan-then-post-filter at 40k codes, <= 10% selectivity; \
+         results byte-identical\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_e13.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[E13] could not write {}: {e}", path.display());
+    } else {
+        println!("[E13] wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_filtered_search);
+criterion_main!(benches);

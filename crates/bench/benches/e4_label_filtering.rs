@@ -3,6 +3,12 @@
 //! manipulation of long strings", and §3.1 defines the three label
 //! operators.  This bench compares the three operators on the ASCII-coded
 //! representation against the same queries over full label-name arrays.
+//!
+//! Note: these collections carry no attribute indexes, so both sides are
+//! measured as pure scans — the representation cost alone.  On an indexed
+//! collection the same label predicates compile to per-element posting
+//! bitmaps and skip the scan entirely; that path is priced by E13
+//! (`e13_filtered_search.rs`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eq_bench::metadata;

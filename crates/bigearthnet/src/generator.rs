@@ -277,7 +277,9 @@ fn sample_footprint(rng: &mut StdRng, country: Country) -> BBox {
     // Keep a small margin so the 1.2 km footprint stays inside the country box.
     let lon = rng.gen_range(b.min_lon + 0.05..b.max_lon - 0.05);
     let lat = rng.gen_range(b.min_lat + 0.05..b.max_lat - 0.05);
-    BBox::square_around(Point::new_unchecked(lon, lat), 1.2)
+    *BBox::square_around(Point::new_unchecked(lon, lat), 1.2)
+        .single()
+        .expect("BigEarthNet countries are far from the antimeridian")
 }
 
 /// Samples from a zero-mean Gaussian with the given standard deviation

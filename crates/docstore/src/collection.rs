@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use eq_geo::Point;
+use eq_hashindex::Bitmap;
 
 use crate::filter::Filter;
 use crate::index::{AttributeIndex, GeoIndex, DEFAULT_GEOHASH_PRECISION};
@@ -114,6 +115,10 @@ pub struct Collection {
     attr_indexes: BTreeMap<String, AttributeIndex>,
     geo_field: Option<String>,
     geo_index: Option<GeoIndex>,
+    /// Bitmap of every live document id — the universe the prefilter
+    /// compiler negates against (`Ne`, `Not`), maintained by every insert
+    /// and delete.
+    live: Bitmap,
     dirty: DirtyLog,
 }
 
@@ -131,6 +136,7 @@ impl Collection {
             attr_indexes: BTreeMap::new(),
             geo_field: None,
             geo_index: None,
+            live: Bitmap::new(),
             dirty: DirtyLog::default(),
         }
     }
@@ -199,6 +205,26 @@ impl Collection {
         self.attr_indexes.contains_key(field)
     }
 
+    /// The attribute index on a field, if one was declared.
+    pub fn attribute_index(&self, field: &str) -> Option<&AttributeIndex> {
+        self.attr_indexes.get(field)
+    }
+
+    /// The geo index and the field it covers, if one was declared.
+    pub fn geo_index(&self) -> Option<(&str, &GeoIndex)> {
+        match (&self.geo_field, &self.geo_index) {
+            (Some(field), Some(index)) => Some((field.as_str(), index)),
+            _ => None,
+        }
+    }
+
+    /// The bitmap of every live document id — the universe against which
+    /// the prefilter compiler evaluates `Ne` and `Not` (there is no
+    /// unbounded complement on [`Bitmap`]).
+    pub fn live_bitmap(&self) -> &Bitmap {
+        &self.live
+    }
+
     /// Inserts a document.
     ///
     /// # Errors
@@ -235,6 +261,7 @@ impl Collection {
         self.pk_index.insert(key, id);
         self.docs.insert(id, doc);
         self.insertion_order.push(id);
+        self.live.insert(id);
         self.dirty.touched.insert(id);
         Ok(())
     }
@@ -394,6 +421,7 @@ impl Collection {
                 index.remove(id, p);
             }
         }
+        self.live.remove(id);
         self.dirty.touched.remove(&id);
         self.dirty.deleted.insert(key.clone());
         Ok(())

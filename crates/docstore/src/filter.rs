@@ -36,8 +36,10 @@ pub enum Filter {
     /// The field is an array (or string) containing **at least one** of the
     /// listed values.
     ContainsAny(String, Vec<Value>),
-    /// The field is an array (or string) whose element set is **exactly**
-    /// the listed set (order-insensitive).
+    /// The field is an array (or string) whose elements are **exactly** the
+    /// listed values as a multiset: order-insensitive, but multiplicities
+    /// must agree (`["A","A","B"]` does not match a query for
+    /// `["A","B","B"]`).
     ContainsExactly(String, Vec<Value>),
     /// A string field starts with the given prefix.
     StartsWith(String, String),
@@ -86,17 +88,13 @@ impl Filter {
             Filter::In(field, values) => doc.get(field).is_some_and(|v| values.contains(v)),
             Filter::Exists(field) => doc.contains(field),
             Filter::ContainsAll(field, values) => {
-                field_elements(doc, field).is_some_and(|els| values.iter().all(|v| els.contains(v)))
+                Elements::of(doc, field).is_some_and(|els| values.iter().all(|v| els.contains(v)))
             }
             Filter::ContainsAny(field, values) => {
-                field_elements(doc, field).is_some_and(|els| values.iter().any(|v| els.contains(v)))
+                Elements::of(doc, field).is_some_and(|els| values.iter().any(|v| els.contains(v)))
             }
             Filter::ContainsExactly(field, values) => {
-                field_elements(doc, field).is_some_and(|els| {
-                    els.len() == values.len()
-                        && values.iter().all(|v| els.contains(v))
-                        && els.iter().all(|e| values.contains(e))
-                })
+                Elements::of(doc, field).is_some_and(|els| els.eq_multiset(values))
             }
             Filter::StartsWith(field, prefix) => {
                 doc.get(field).and_then(Value::as_str).is_some_and(|s| s.starts_with(prefix))
@@ -137,14 +135,80 @@ fn cmp_field(doc: &Document, field: &str, v: &Value) -> Option<std::cmp::Orderin
     doc.get(field).map(|dv| dv.cmp(v))
 }
 
-/// The elements of an array field; a string field is treated as its set of
-/// one-character strings, which is how EarthQube stores ASCII-coded labels.
-fn field_elements(doc: &Document, field: &str) -> Option<Vec<Value>> {
-    match doc.get(field)? {
-        Value::Array(a) => Some(a.clone()),
-        Value::Str(s) => Some(s.chars().map(|c| Value::Str(c.to_string())).collect()),
-        _ => None,
+/// A borrowed view of an array field's elements; a string field is treated
+/// as its sequence of one-character strings, which is how EarthQube stores
+/// ASCII-coded labels.
+///
+/// This view evaluates containment without materialising anything: the
+/// residual-filter path of a bitmap-prefiltered search runs `matches` per
+/// surviving document, so per-document allocation here (the old
+/// `field_elements` cloned the whole array, or built one `String` per
+/// character) is banned — the evaluator is hot-path-registered in
+/// `lint.toml`.
+pub(crate) enum Elements<'a> {
+    /// The elements of an array value.
+    Array(&'a [Value]),
+    /// A string value viewed as one-character string elements.
+    Chars(&'a str),
+}
+
+impl<'a> Elements<'a> {
+    /// The element view of `doc.field`, if the field exists and is an
+    /// array or a string.
+    pub(crate) fn of(doc: &'a Document, field: &str) -> Option<Elements<'a>> {
+        match doc.get(field)? {
+            Value::Array(a) => Some(Elements::Array(a)),
+            Value::Str(s) => Some(Elements::Chars(s)),
+            _ => None,
+        }
     }
+
+    /// Number of elements (characters for a string field).
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Elements::Array(a) => a.len(),
+            Elements::Chars(s) => s.chars().count(),
+        }
+    }
+
+    /// Whether `v` occurs among the elements.
+    pub(crate) fn contains(&self, v: &Value) -> bool {
+        self.count_of(v) > 0
+    }
+
+    /// Multiplicity of `v` among the elements.  For a string field only a
+    /// one-character string value can match.
+    pub(crate) fn count_of(&self, v: &Value) -> usize {
+        match self {
+            Elements::Array(a) => a.iter().filter(|e| *e == v).count(),
+            Elements::Chars(s) => match v {
+                Value::Str(needle) => {
+                    let mut cs = needle.chars();
+                    match (cs.next(), cs.next()) {
+                        (Some(c), None) => s.chars().filter(|x| *x == c).count(),
+                        _ => 0,
+                    }
+                }
+                _ => 0,
+            },
+        }
+    }
+
+    /// Whether the elements equal `values` as a multiset (order-insensitive,
+    /// multiplicity-sensitive).
+    ///
+    /// Equal lengths plus equal multiplicity for every queried value is
+    /// sufficient: an element outside `values` would make the elements'
+    /// total count exceed the sum of the matched multiplicities,
+    /// contradicting the length equality.
+    pub(crate) fn eq_multiset(&self, values: &[Value]) -> bool {
+        self.len() == values.len() && values.iter().all(|v| self.count_of(v) == count_in(values, v))
+    }
+}
+
+/// Multiplicity of `v` in a value list.
+fn count_in(values: &[Value], v: &Value) -> usize {
+    values.iter().filter(|x| *x == v).count()
 }
 
 fn point_from_field(doc: &Document, field: &str) -> Option<Point> {
@@ -226,6 +290,28 @@ mod tests {
         assert!(!Filter::ContainsExactly("labels".into(), vec!["A".into(), "B".into()]).matches(&d));
         // Non-array, non-string fields never match element predicates.
         assert!(!Filter::ContainsAny("date".into(), vec![Value::Date(750_000)]).matches(&d));
+    }
+
+    #[test]
+    fn contains_exactly_compares_multisets_not_sets() {
+        // Regression: the old evaluator compared element *sets* plus a
+        // length check, so `["A","A","B"]` matched a query for
+        // `["A","B","B"]` (same distinct elements, same length).
+        let d = Document::new().with("labels", "AAB").with("bands", vec![2i64, 2, 3]);
+        let exactly = |vals: Vec<Value>| Filter::ContainsExactly("labels".into(), vals);
+        assert!(!exactly(vec!["A".into(), "B".into(), "B".into()]).matches(&d));
+        assert!(exactly(vec!["A".into(), "A".into(), "B".into()]).matches(&d));
+        // Order-insensitivity is preserved.
+        assert!(exactly(vec!["B".into(), "A".into(), "A".into()]).matches(&d));
+        // Subsets and supersets still do not match.
+        assert!(!exactly(vec!["A".into(), "B".into()]).matches(&d));
+        assert!(!exactly(vec!["A".into(), "A".into(), "A".into(), "B".into()]).matches(&d));
+        // Same multiset bug on array fields.
+        let on_bands = |vals: Vec<Value>| Filter::ContainsExactly("bands".into(), vals);
+        assert!(!on_bands(vec![2i64.into(), 3i64.into(), 3i64.into()]).matches(&d));
+        assert!(on_bands(vec![3i64.into(), 2i64.into(), 2i64.into()]).matches(&d));
+        // Multi-character values never match a character element.
+        assert!(!exactly(vec!["AA".into(), "B".into()]).matches(&d));
     }
 
     #[test]

@@ -1,20 +1,48 @@
 //! Secondary indexes: ordered attribute indexes and the geohash 2-D index.
+//!
+//! Since the bitmap-prefilter work (experiment E13) every index posting is
+//! mirrored into a compressed [`Bitmap`]: per distinct attribute value, per
+//! distinct *element* of array/string values (the label codes), per geohash
+//! cell, and one `present` bitmap per attribute index.  The prefilter
+//! compiler ([`crate::prefilter`]) combines these with AND/OR/AND-NOT to
+//! turn a filter's indexable prefix into one candidate set without touching
+//! any document.
 
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use eq_geo::{geohash, BBox, GeoShape, Point};
+use eq_hashindex::Bitmap;
 
 use crate::value::Value;
 use crate::DocId;
+
+/// One attribute value's postings: the document list (ordered scans, the
+/// classic planner) and its bitmap mirror (the prefilter compiler).
+#[derive(Debug, Clone, Default)]
+struct PostingList {
+    docs: Vec<DocId>,
+    bitmap: Bitmap,
+}
 
 /// An ordered secondary index over one (dotted-path) attribute.
 ///
 /// Implemented as a B-tree from attribute value to posting list, which
 /// supports exact lookups and ordered range scans — the two access paths the
-/// query planner uses.
+/// classic query planner uses.  Three bitmap families ride along for the
+/// prefilter compiler:
+///
+/// * a per-value bitmap inside every posting list,
+/// * a per-element bitmap over the distinct elements of `Array` values and
+///   the characters of `Str` values (as one-character strings — the ASCII
+///   label encoding), powering the `Contains*` operators,
+/// * a `present` bitmap of every document carrying the field, powering
+///   `Exists` and (with the collection's live-ids universe) `Ne`/`Not`.
 #[derive(Debug, Clone, Default)]
 pub struct AttributeIndex {
-    entries: BTreeMap<Value, Vec<DocId>>,
+    entries: BTreeMap<Value, PostingList>,
+    elements: BTreeMap<Value, Bitmap>,
+    present: Bitmap,
     len: usize,
 }
 
@@ -41,18 +69,34 @@ impl AttributeIndex {
 
     /// Adds a posting.
     pub fn insert(&mut self, key: Value, doc: DocId) {
-        self.entries.entry(key).or_default().push(doc);
+        for_each_element(&key, |element| {
+            self.elements.entry(element).or_default().insert(doc);
+        });
+        self.present.insert(doc);
+        let posting = self.entries.entry(key).or_default();
+        posting.docs.push(doc);
+        posting.bitmap.insert(doc);
         self.len += 1;
     }
 
     /// Removes a posting (if present).
     pub fn remove(&mut self, key: &Value, doc: DocId) {
         if let Some(list) = self.entries.get_mut(key) {
-            if let Some(pos) = list.iter().position(|d| *d == doc) {
-                list.swap_remove(pos);
+            if let Some(pos) = list.docs.iter().position(|d| *d == doc) {
+                list.docs.swap_remove(pos);
+                list.bitmap.remove(doc);
                 self.len -= 1;
+                self.present.remove(doc);
+                for_each_element(key, |element| {
+                    if let Some(bm) = self.elements.get_mut(&element) {
+                        bm.remove(doc);
+                        if bm.is_empty() {
+                            self.elements.remove(&element);
+                        }
+                    }
+                });
             }
-            if list.is_empty() {
+            if self.entries.get(key).is_some_and(|l| l.docs.is_empty()) {
                 self.entries.remove(key);
             }
         }
@@ -60,16 +104,86 @@ impl AttributeIndex {
 
     /// Documents whose attribute equals `key`.
     pub fn lookup(&self, key: &Value) -> Vec<DocId> {
-        self.entries.get(key).cloned().unwrap_or_default()
+        self.entries.get(key).map(|l| l.docs.clone()).unwrap_or_default()
     }
 
     /// Documents whose attribute lies in `[lo, hi]` (inclusive).
     pub fn range(&self, lo: &Value, hi: &Value) -> Vec<DocId> {
         let mut out = Vec::new();
-        for (_, docs) in self.entries.range(lo.clone()..=hi.clone()) {
-            out.extend_from_slice(docs);
+        for (_, list) in self.entries.range(lo.clone()..=hi.clone()) {
+            out.extend_from_slice(&list.docs);
         }
         out
+    }
+
+    /// The bitmap of documents whose attribute equals `key` — equality
+    /// under the index's total [`Ord`], which the prefilter compiler only
+    /// trusts for values where that coincides with `==`.
+    pub fn value_bitmap(&self, key: &Value) -> Option<&Bitmap> {
+        self.entries.get(key).map(|l| &l.bitmap)
+    }
+
+    /// The union bitmap of every posting whose key lies in the given
+    /// bounds (the `Lt`/`Lte`/`Gt`/`Gte` compilation: both the evaluator's
+    /// comparisons and the B-tree order are [`Value::cmp`], so the result
+    /// is exact, and documents missing the field are absent on both
+    /// sides).
+    pub fn range_bitmap(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Bitmap {
+        let mut out = Bitmap::new();
+        for (_, list) in self.entries.range((lo, hi)) {
+            out = out.or(&list.bitmap);
+        }
+        out
+    }
+
+    /// The union bitmap of every `Str`-keyed posting starting with
+    /// `prefix` (the `StartsWith` compilation — non-string values never
+    /// match, and string keys are contiguous in the value order).
+    pub fn prefix_bitmap(&self, prefix: &str) -> Bitmap {
+        let mut out = Bitmap::new();
+        let start = Value::Str(prefix.to_string());
+        for (key, list) in self.entries.range(start..) {
+            match key {
+                Value::Str(s) if s.starts_with(prefix) => out = out.or(&list.bitmap),
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// The bitmap of documents whose attribute *contains* `element`: an
+    /// `Array` value with an equal element, or a `Str` value containing it
+    /// as a character (`element` must then be a one-character string).
+    pub fn element_bitmap(&self, element: &Value) -> Option<&Bitmap> {
+        self.elements.get(element)
+    }
+
+    /// The bitmap of every document carrying the indexed field (the
+    /// `Exists` compilation; also the base of `Contains*` supersets).
+    pub fn present_bitmap(&self) -> &Bitmap {
+        &self.present
+    }
+}
+
+/// Calls `visit` once per distinct *element* of an indexed value: the
+/// elements of an `Array`, or the characters of a `Str` as one-character
+/// strings (the ASCII label encoding).  Scalar values have no elements.
+/// Duplicate elements may be visited twice; bitmap insert/remove are
+/// idempotent, and a document holds at most one value per indexed field,
+/// so multiplicity never matters here.
+fn for_each_element(key: &Value, mut visit: impl FnMut(Value)) {
+    match key {
+        Value::Array(elements) => {
+            for e in elements {
+                visit(e.clone());
+            }
+        }
+        Value::Str(s) => {
+            for c in s.chars() {
+                visit(Value::Str(c.to_string()));
+            }
+        }
+        _ => {}
     }
 }
 
@@ -87,6 +201,10 @@ pub const DEFAULT_GEOHASH_PRECISION: usize = 5;
 pub struct GeoIndex {
     precision: usize,
     entries: BTreeMap<String, Vec<(DocId, f64, f64)>>,
+    /// Per-cell document bitmaps, keyed like `entries`.  A cell's bitmap
+    /// holds every document hashed into it *without* point verification,
+    /// so unions over covering cells are supersets by construction.
+    cells: BTreeMap<String, Bitmap>,
     len: usize,
 }
 
@@ -106,7 +224,7 @@ impl GeoIndex {
             (1..=geohash::MAX_PRECISION).contains(&precision),
             "geohash precision {precision} out of range"
         );
-        Self { precision, entries: BTreeMap::new(), len: 0 }
+        Self { precision, entries: BTreeMap::new(), cells: BTreeMap::new(), len: 0 }
     }
 
     /// The geohash precision in use.
@@ -127,6 +245,7 @@ impl GeoIndex {
     /// Indexes a point.
     pub fn insert(&mut self, doc: DocId, point: Point) {
         let hash = geohash::encode(point, self.precision).expect("valid precision");
+        self.cells.entry(hash.clone()).or_default().insert(doc);
         self.entries.entry(hash).or_default().push((doc, point.lon, point.lat));
         self.len += 1;
     }
@@ -138,8 +257,14 @@ impl GeoIndex {
             if let Some(pos) = list.iter().position(|(d, _, _)| *d == doc) {
                 list.swap_remove(pos);
                 self.len -= 1;
+                if let Some(bm) = self.cells.get_mut(&hash) {
+                    bm.remove(doc);
+                    if bm.is_empty() {
+                        self.cells.remove(&hash);
+                    }
+                }
             }
-            if list.is_empty() {
+            if self.entries.get(&hash).is_some_and(|l| l.is_empty()) {
                 self.entries.remove(&hash);
             }
         }
@@ -173,10 +298,48 @@ impl GeoIndex {
     }
 
     /// Candidate documents for an arbitrary query shape (uses the shape's
-    /// bounding box for the index scan; exact shape verification is the
-    /// caller's job).
+    /// bounding region for the index scan; exact shape verification is the
+    /// caller's job).  A shape crossing the antimeridian covers with two
+    /// boxes; each piece is scanned and the results merged.
     pub fn candidates_in_shape(&self, shape: &GeoShape) -> (Vec<DocId>, usize) {
-        self.candidates_in_bbox(&shape.bounding_box())
+        let cover = shape.bounding_box();
+        let mut out = Vec::new();
+        let mut cells = 0usize;
+        for piece in cover.boxes() {
+            let (mut ids, scanned) = self.candidates_in_bbox(piece);
+            out.append(&mut ids);
+            cells += scanned;
+        }
+        out.sort_unstable();
+        out.dedup();
+        (out, cells)
+    }
+
+    /// The union bitmap of every cell covering the query shape's bounding
+    /// region — a **superset** of the documents inside the shape (cell
+    /// membership is never point-verified here, unlike
+    /// [`candidates_in_shape`](Self::candidates_in_shape)), so a
+    /// `GeoWithin` compiled through this bitmap always keeps the exact
+    /// predicate in the residual filter.  A shape crossing the
+    /// antimeridian covers with two boxes; both are unioned.
+    ///
+    /// Also returns the number of geohash cells inspected.
+    pub fn bitmap_in_shape(&self, shape: &GeoShape) -> (Bitmap, usize) {
+        let cover = shape.bounding_box();
+        let mut out = Bitmap::new();
+        let mut cells_scanned = 0usize;
+        for piece in cover.boxes() {
+            let piece_cover =
+                geohash::cover_bbox(piece, self.precision, 512).expect("valid precision");
+            cells_scanned += piece_cover.len();
+            for prefix in &piece_cover {
+                let end = prefix_upper_bound(prefix);
+                for (_, bm) in self.cells.range(prefix.clone()..end) {
+                    out = out.or(bm);
+                }
+            }
+        }
+        (out, cells_scanned)
     }
 }
 

@@ -23,6 +23,7 @@ pub mod collection;
 pub mod database;
 pub mod filter;
 pub mod index;
+pub mod prefilter;
 pub mod value;
 pub mod wire;
 
@@ -32,6 +33,7 @@ pub use collection::{
 pub use database::Database;
 pub use filter::Filter;
 pub use index::{AttributeIndex, GeoIndex};
+pub use prefilter::PrefilterPlan;
 pub use value::{Document, Value};
 pub use wire::{
     decode_database, decode_document, decode_value, encode_database, encode_document, encode_value,

@@ -1,0 +1,531 @@
+//! Compiling a filter's indexable prefix into one candidate bitmap.
+//!
+//! A bitmap-prefiltered search wants to know, *before* touching any
+//! document or code, which documents can possibly match a filter.  The
+//! compiler walks the [`Filter`] AST against a collection's posting
+//! bitmaps (attribute values, array/label elements, geohash cells — see
+//! [`crate::index`]) and produces a [`PrefilterPlan`]: an optional
+//! candidate [`Bitmap`] plus the **residual** filter that must still be
+//! evaluated on the surviving documents.
+//!
+//! The contract, pinned by the property suite in
+//! `tests/proptest_prefilter.rs`, is:
+//!
+//! ```text
+//! filter.matches(doc)  ==  plan.bitmap.map_or(true, |b| b.contains(id))
+//!                          && plan.residual.matches(doc)
+//! ```
+//!
+//! for every live document.  Operators compile in one of three ways:
+//!
+//! * **Exact** (residual contribution `All`): `Eq`, `Ne`, `In`, `Exists`,
+//!   `StartsWith`, `Lt`/`Lte`/`Gt`/`Gte`, `ContainsAny` on an indexed
+//!   field.  `Ne` is `live \ value-postings`, which by construction
+//!   matches documents *missing* the field — exactly the evaluator's
+//!   documented semantics.
+//! * **Superset** (the leaf stays in the residual): `ContainsExactly`
+//!   (element postings bound membership but not multiset equality) and
+//!   `GeoWithin` (covering cells are never point-verified).
+//! * **Uncompiled** (`bitmap: None`, the leaf stays in the residual):
+//!   anything on an unindexed field.
+//!
+//! One equality caveat decides exactness: the evaluator's `Eq`/`In`/
+//! `Contains*` use `==` (`PartialEq`), while posting lookup uses the index
+//! B-tree's total [`Value`] order — and the two disagree on numerics
+//! (`Int(2)` Ord-equals `Float(2.0)`; `0.0`/`-0.0` split the other way).
+//! Equality-family leaves therefore compile **only when every query value
+//! is free of `Int`/`Float`** (recursively); otherwise the leaf is left
+//! uncompiled.  The EarthQube workloads (countries, seasons, label codes,
+//! patch names — all strings; dates are `Date`) always compile.  The
+//! comparison operators are exempt: both the evaluator and the B-tree use
+//! [`Value::cmp`], so ranges are exact for every type.
+
+use std::ops::Bound;
+
+use eq_hashindex::Bitmap;
+
+use crate::collection::Collection;
+use crate::filter::Filter;
+use crate::value::Value;
+
+/// The result of compiling a filter against a collection's posting
+/// bitmaps: an optional candidate set plus the filter that must still run
+/// on the candidates.
+#[derive(Debug, Clone)]
+pub struct PrefilterPlan {
+    /// Every possibly-matching document — `None` when nothing in the
+    /// filter is indexable (the caller falls back to scan-then-filter).
+    pub bitmap: Option<Bitmap>,
+    /// The part of the filter the bitmap does not decide; [`Filter::All`]
+    /// when the bitmap alone is exact.
+    pub residual: Filter,
+}
+
+impl PrefilterPlan {
+    /// Whether the bitmap alone decides the filter (no residual work).
+    pub fn is_exact(&self) -> bool {
+        self.bitmap.is_some() && self.residual == Filter::All
+    }
+
+    /// Candidate-set cardinality, if a bitmap was compiled.
+    pub fn cardinality(&self) -> Option<u64> {
+        self.bitmap.as_ref().map(Bitmap::len)
+    }
+}
+
+impl Collection {
+    /// Compiles a filter's indexable prefix into a candidate bitmap; see
+    /// the [module docs](self) for the exactness contract.
+    pub fn compile_prefilter(&self, filter: &Filter) -> PrefilterPlan {
+        let (bitmap, residual) = compile(self, filter);
+        PrefilterPlan { bitmap, residual }
+    }
+}
+
+/// Recursive compilation: returns `(bitmap, residual)` satisfying the
+/// module-level invariant for this sub-filter.
+fn compile(c: &Collection, filter: &Filter) -> (Option<Bitmap>, Filter) {
+    match filter {
+        Filter::All => (None, Filter::All),
+
+        Filter::Eq(field, v) => match c.attribute_index(field) {
+            Some(idx) if ord_eq_safe(v) => {
+                (Some(idx.value_bitmap(v).cloned().unwrap_or_default()), Filter::All)
+            }
+            _ => uncompiled(filter),
+        },
+
+        Filter::Ne(field, v) => match c.attribute_index(field) {
+            Some(idx) if ord_eq_safe(v) => {
+                let matching = idx.value_bitmap(v).cloned().unwrap_or_default();
+                (Some(c.live_bitmap().and_not(&matching)), Filter::All)
+            }
+            _ => uncompiled(filter),
+        },
+
+        Filter::Lt(field, v) => range_leaf(c, field, Bound::Unbounded, Bound::Excluded(v), filter),
+        Filter::Lte(field, v) => range_leaf(c, field, Bound::Unbounded, Bound::Included(v), filter),
+        Filter::Gt(field, v) => range_leaf(c, field, Bound::Excluded(v), Bound::Unbounded, filter),
+        Filter::Gte(field, v) => range_leaf(c, field, Bound::Included(v), Bound::Unbounded, filter),
+
+        Filter::In(field, values) => match c.attribute_index(field) {
+            Some(idx) if values.iter().all(ord_eq_safe) => {
+                let mut out = Bitmap::new();
+                for v in values {
+                    if let Some(bm) = idx.value_bitmap(v) {
+                        out = out.or(bm);
+                    }
+                }
+                (Some(out), Filter::All)
+            }
+            _ => uncompiled(filter),
+        },
+
+        Filter::Exists(field) => match c.attribute_index(field) {
+            Some(idx) => (Some(idx.present_bitmap().clone()), Filter::All),
+            None => uncompiled(filter),
+        },
+
+        Filter::StartsWith(field, prefix) => match c.attribute_index(field) {
+            Some(idx) => (Some(idx.prefix_bitmap(prefix)), Filter::All),
+            None => uncompiled(filter),
+        },
+
+        Filter::ContainsAll(field, values) => match c.attribute_index(field) {
+            // The vacuous `ContainsAll(field, [])` matches any document
+            // whose field is an array or string; `present` is a superset
+            // (it also holds scalar-valued documents), so the leaf stays.
+            Some(idx) if values.is_empty() => (Some(idx.present_bitmap().clone()), filter.clone()),
+            Some(idx) if values.iter().all(ord_eq_safe) => {
+                let mut out: Option<Bitmap> = None;
+                for v in values {
+                    let bm = idx.element_bitmap(v).cloned().unwrap_or_default();
+                    out = Some(match out {
+                        Some(acc) => acc.and(&bm),
+                        None => bm,
+                    });
+                }
+                (out, Filter::All)
+            }
+            _ => uncompiled(filter),
+        },
+
+        Filter::ContainsAny(field, values) => match c.attribute_index(field) {
+            // `any` over an empty list is false: the empty bitmap is exact.
+            Some(_) if values.is_empty() => (Some(Bitmap::new()), Filter::All),
+            Some(idx) if values.iter().all(ord_eq_safe) => {
+                let mut out = Bitmap::new();
+                for v in values {
+                    if let Some(bm) = idx.element_bitmap(v) {
+                        out = out.or(bm);
+                    }
+                }
+                (Some(out), Filter::All)
+            }
+            _ => uncompiled(filter),
+        },
+
+        Filter::ContainsExactly(field, values) => match c.attribute_index(field) {
+            // Supersets: element postings bound membership, but never the
+            // multiset equality — the leaf always stays in the residual.
+            Some(idx) if values.is_empty() => (Some(idx.present_bitmap().clone()), filter.clone()),
+            Some(idx) if values.iter().all(ord_eq_safe) => {
+                let mut out: Option<Bitmap> = None;
+                for v in values {
+                    let bm = idx.element_bitmap(v).cloned().unwrap_or_default();
+                    out = Some(match out {
+                        Some(acc) => acc.and(&bm),
+                        None => bm,
+                    });
+                }
+                (out, filter.clone())
+            }
+            _ => uncompiled(filter),
+        },
+
+        Filter::GeoWithin(field, shape) => match c.geo_index() {
+            Some((geo_field, idx)) if geo_field == field => {
+                let (bm, _cells) = idx.bitmap_in_shape(shape);
+                // Covering cells are a superset: exact point-in-shape
+                // verification stays in the residual.
+                (Some(bm), filter.clone())
+            }
+            _ => uncompiled(filter),
+        },
+
+        Filter::And(fs) => {
+            let mut bitmap: Option<Bitmap> = None;
+            let mut residuals = Vec::new();
+            for f in fs {
+                let (b, r) = compile(c, f);
+                if let Some(b) = b {
+                    bitmap = Some(match bitmap {
+                        Some(acc) => acc.and(&b),
+                        None => b,
+                    });
+                }
+                if r != Filter::All {
+                    residuals.push(r);
+                }
+            }
+            let residual = match residuals.len() {
+                0 => Filter::All,
+                1 => residuals.swap_remove(0),
+                _ => Filter::And(residuals),
+            };
+            (bitmap, residual)
+        }
+
+        Filter::Or(fs) => {
+            // A disjunction only has a candidate set when *every* branch
+            // has one (a branch without a bitmap can match anything).
+            let mut bitmap = Some(Bitmap::new());
+            let mut all_exact = true;
+            for f in fs {
+                let (b, r) = compile(c, f);
+                match (&bitmap, b) {
+                    (Some(acc), Some(b)) => bitmap = Some(acc.or(&b)),
+                    _ => bitmap = None,
+                }
+                all_exact &= r == Filter::All;
+                if bitmap.is_none() {
+                    break;
+                }
+            }
+            match (&bitmap, all_exact) {
+                (Some(_), true) => (bitmap, Filter::All),
+                // Per-branch residuals cannot be OR-ed independently of
+                // their bitmaps, so a partially-exact disjunction keeps
+                // the whole `Or` in the residual over the union bitmap.
+                (Some(_), false) => (bitmap, filter.clone()),
+                (None, _) => (None, filter.clone()),
+            }
+        }
+
+        Filter::Not(inner) => {
+            let (b, r) = compile(c, inner);
+            match (b, r) {
+                // Only an *exact* inner bitmap can be complemented; a
+                // superset's complement would drop matching documents.
+                (Some(b), Filter::All) => (Some(c.live_bitmap().and_not(&b)), Filter::All),
+                _ => uncompiled(filter),
+            }
+        }
+    }
+}
+
+/// A leaf that compiles to nothing: no bitmap, itself as the residual.
+fn uncompiled(filter: &Filter) -> (Option<Bitmap>, Filter) {
+    (None, filter.clone())
+}
+
+/// Shared compilation of the four comparison operators.
+fn range_leaf(
+    c: &Collection,
+    field: &str,
+    lo: Bound<&Value>,
+    hi: Bound<&Value>,
+    filter: &Filter,
+) -> (Option<Bitmap>, Filter) {
+    match c.attribute_index(field) {
+        Some(idx) => (Some(idx.range_bitmap(lo, hi)), Filter::All),
+        None => uncompiled(filter),
+    }
+}
+
+/// Whether `==` and the index order's equality coincide for this value:
+/// `Int`/`Float` anywhere inside breaks the correspondence (`Int(2)`
+/// Ord-equals `Float(2.0)` but `!=` it; `NaN`/`±0.0` split the other
+/// way), so such values cannot drive an exact equality bitmap.
+fn ord_eq_safe(v: &Value) -> bool {
+    match v {
+        Value::Int(_) | Value::Float(_) => false,
+        Value::Array(elements) => elements.iter().all(ord_eq_safe),
+        Value::Doc(doc) => doc.iter().all(|(_, inner)| ord_eq_safe(inner)),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Document;
+    use eq_geo::{BBox, GeoShape};
+
+    fn labelled(name: &str, country: &str, labels: &str, date: i64) -> Document {
+        Document::new()
+            .with("name", name)
+            .with("country", country)
+            .with("labels", labels)
+            .with("date", Value::Date(date))
+            .with(
+                "location",
+                Value::Array(vec![Value::Float(14.0 + date as f64 * 0.001), Value::Float(47.5)]),
+            )
+    }
+
+    fn sample() -> Collection {
+        let mut c = Collection::new("metadata", "name");
+        c.create_attribute_index("country");
+        c.create_attribute_index("labels");
+        c.create_attribute_index("date");
+        c.create_geo_index("location").unwrap();
+        c.insert(labelled("p0", "Austria", "AB", 100)).unwrap();
+        c.insert(labelled("p1", "Austria", "BC", 200)).unwrap();
+        c.insert(labelled("p2", "Portugal", "A", 300)).unwrap();
+        c.insert(labelled("p3", "Portugal", "CD", 400)).unwrap();
+        c.insert(labelled("p4", "Finland", "AAB", 500)).unwrap();
+        c
+    }
+
+    /// The module-level invariant, checked exhaustively over a collection.
+    fn assert_invariant(c: &Collection, filter: &Filter) {
+        let plan = c.compile_prefilter(filter);
+        for (&id, doc) in c.iter() {
+            let in_bitmap = plan.bitmap.as_ref().is_none_or(|b| b.contains(id));
+            let residual_ok = plan.residual.matches(doc);
+            assert_eq!(
+                filter.matches(doc),
+                in_bitmap && residual_ok,
+                "invariant broken for doc {id} under {filter:?} (plan {plan:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn eq_in_ne_and_exists_compile_exactly() {
+        let c = sample();
+        for f in [
+            Filter::Eq("country".into(), "Austria".into()),
+            Filter::Eq("country".into(), "Nowhere".into()),
+            Filter::In("country".into(), vec!["Austria".into(), "Finland".into()]),
+            Filter::In("country".into(), vec![]),
+            Filter::Ne("country".into(), "Austria".into()),
+            Filter::Exists("labels".into()),
+            Filter::StartsWith("country".into(), "Po".into()),
+        ] {
+            let plan = c.compile_prefilter(&f);
+            assert!(plan.is_exact(), "{f:?} should compile exactly, got {plan:?}");
+            assert_invariant(&c, &f);
+        }
+        // Cardinalities drive the planner.
+        let plan = c.compile_prefilter(&Filter::Eq("country".into(), "Austria".into()));
+        assert_eq!(plan.cardinality(), Some(2));
+    }
+
+    #[test]
+    fn ne_matches_documents_missing_the_field() {
+        let mut c = sample();
+        // A document without `country` at all.
+        c.insert(Document::new().with("name", "bare").with("labels", "Z")).unwrap();
+        let f = Filter::Ne("country".into(), "Austria".into());
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.is_exact());
+        let bare_id = c.find(&Filter::Eq("name".into(), "bare".into())).ids[0];
+        assert!(
+            plan.bitmap.as_ref().is_some_and(|b| b.contains(bare_id)),
+            "Ne must keep documents missing the field"
+        );
+        assert_invariant(&c, &f);
+    }
+
+    #[test]
+    fn ranges_compile_exactly_for_any_value_type() {
+        let c = sample();
+        for f in [
+            Filter::Lt("date".into(), Value::Date(300)),
+            Filter::Lte("date".into(), Value::Date(300)),
+            Filter::Gt("date".into(), Value::Date(300)),
+            Filter::Gte("date".into(), Value::Date(300)),
+        ] {
+            let plan = c.compile_prefilter(&f);
+            assert!(plan.is_exact(), "{f:?} should compile exactly");
+            assert_invariant(&c, &f);
+        }
+        let lt = c.compile_prefilter(&Filter::Lt("date".into(), Value::Date(300)));
+        assert_eq!(lt.cardinality(), Some(2));
+    }
+
+    #[test]
+    fn label_contains_operators_use_element_postings() {
+        let c = sample();
+        // ContainsAny/All are exact through element postings.
+        let any = c
+            .compile_prefilter(&Filter::ContainsAny("labels".into(), vec!["A".into(), "D".into()]));
+        assert!(any.is_exact());
+        assert_eq!(any.cardinality(), Some(4)); // p0, p2, p3, p4
+        let all = c
+            .compile_prefilter(&Filter::ContainsAll("labels".into(), vec!["A".into(), "B".into()]));
+        assert!(all.is_exact());
+        assert_eq!(all.cardinality(), Some(2)); // p0, p4
+                                                // ContainsExactly is a superset: the leaf survives in the residual.
+        let exactly = c.compile_prefilter(&Filter::ContainsExactly(
+            "labels".into(),
+            vec!["A".into(), "B".into()],
+        ));
+        assert!(!exactly.is_exact());
+        assert_eq!(exactly.cardinality(), Some(2), "p0 (AB) and p4 (AAB) both survive the bitmap");
+        for f in [
+            Filter::ContainsAny("labels".into(), vec!["A".into(), "D".into()]),
+            Filter::ContainsAny("labels".into(), vec![]),
+            Filter::ContainsAll("labels".into(), vec!["A".into(), "B".into()]),
+            Filter::ContainsAll("labels".into(), vec![]),
+            Filter::ContainsExactly("labels".into(), vec!["A".into(), "B".into()]),
+            Filter::ContainsExactly("labels".into(), vec![]),
+        ] {
+            assert_invariant(&c, &f);
+        }
+    }
+
+    #[test]
+    fn geo_within_is_a_superset_with_residual_verification() {
+        let c = sample();
+        let shape = GeoShape::Rect(BBox::new(13.9, 47.0, 14.25, 48.0).unwrap());
+        let f = Filter::GeoWithin("location".into(), shape);
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.bitmap.is_some(), "geo leaf should produce a cell-cover bitmap");
+        assert_eq!(plan.residual, f, "geo verification must stay in the residual");
+        assert_invariant(&c, &f);
+    }
+
+    #[test]
+    fn and_intersects_and_or_unions() {
+        let c = sample();
+        let f = Filter::Eq("country".into(), "Austria".into())
+            .and(Filter::ContainsAny("labels".into(), vec!["B".into()]));
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.is_exact());
+        assert_eq!(plan.cardinality(), Some(2)); // p0, p1
+        assert_invariant(&c, &f);
+
+        let f = Filter::Or(vec![
+            Filter::Eq("country".into(), "Finland".into()),
+            Filter::Eq("country".into(), "Portugal".into()),
+        ]);
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.is_exact());
+        assert_eq!(plan.cardinality(), Some(3)); // p2, p3, p4
+        assert_invariant(&c, &f);
+
+        // An Or with a superset branch keeps the whole Or in the residual.
+        let shape = GeoShape::Rect(BBox::new(13.9, 47.0, 14.25, 48.0).unwrap());
+        let f = Filter::Or(vec![
+            Filter::Eq("country".into(), "Finland".into()),
+            Filter::GeoWithin("location".into(), shape),
+        ]);
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.bitmap.is_some());
+        assert_eq!(plan.residual, f);
+        assert_invariant(&c, &f);
+
+        // An Or with an uncompilable branch has no bitmap at all.
+        let f = Filter::Or(vec![
+            Filter::Eq("country".into(), "Finland".into()),
+            Filter::Eq("unindexed".into(), "x".into()),
+        ]);
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.bitmap.is_none());
+        assert_invariant(&c, &f);
+    }
+
+    #[test]
+    fn not_complements_only_exact_children() {
+        let c = sample();
+        let f = Filter::Not(Box::new(Filter::Eq("country".into(), "Austria".into())));
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.is_exact());
+        assert_eq!(plan.cardinality(), Some(3));
+        assert_invariant(&c, &f);
+
+        // Not over a superset leaf must NOT complement the bitmap.
+        let shape = GeoShape::Rect(BBox::new(13.9, 47.0, 14.25, 48.0).unwrap());
+        let f = Filter::Not(Box::new(Filter::GeoWithin("location".into(), shape)));
+        let plan = c.compile_prefilter(&f);
+        assert!(plan.bitmap.is_none());
+        assert_eq!(plan.residual, f);
+        assert_invariant(&c, &f);
+    }
+
+    #[test]
+    fn numeric_values_never_drive_equality_bitmaps() {
+        let mut c = Collection::new("t", "name");
+        c.create_attribute_index("x");
+        c.insert(Document::new().with("name", "a").with("x", Value::Float(2.0))).unwrap();
+        c.insert(Document::new().with("name", "b").with("x", Value::Int(2))).unwrap();
+        // Int(2) and Float(2.0) share a B-tree key under the index order
+        // but are `!=` to the evaluator: an "exact" bitmap would lie.
+        for f in [
+            Filter::Eq("x".into(), Value::Int(2)),
+            Filter::Ne("x".into(), Value::Int(2)),
+            Filter::In("x".into(), vec![Value::Int(2)]),
+            Filter::ContainsAny("x".into(), vec![Value::Int(2)]),
+        ] {
+            let plan = c.compile_prefilter(&f);
+            assert!(plan.bitmap.is_none(), "{f:?} must stay uncompiled");
+            assert_invariant(&c, &f);
+        }
+        // Ranges stay exact even for numerics (cmp on both sides).
+        let f = Filter::Lte("x".into(), Value::Float(2.5));
+        assert!(c.compile_prefilter(&f).is_exact());
+        assert_invariant(&c, &f);
+    }
+
+    #[test]
+    fn deletes_keep_postings_and_universe_in_sync() {
+        let mut c = sample();
+        c.delete_by_key(&"p0".into()).unwrap();
+        c.delete_by_key(&"p4".into()).unwrap();
+        for f in [
+            Filter::Eq("country".into(), "Austria".into()),
+            Filter::Ne("country".into(), "Austria".into()),
+            Filter::ContainsAll("labels".into(), vec!["A".into(), "B".into()]),
+            Filter::Exists("labels".into()),
+        ] {
+            assert_invariant(&c, &f);
+        }
+        let all = c
+            .compile_prefilter(&Filter::ContainsAll("labels".into(), vec!["A".into(), "B".into()]));
+        assert_eq!(all.cardinality(), Some(0), "both AB-labelled documents are gone");
+        assert_eq!(c.live_bitmap().len(), 3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Property-based tests for the bitmap prefilter compiler: for random
+//! corpora and random filter ASTs, the compiled plan must satisfy the
+//! exactness contract
+//!
+//! ```text
+//! filter.matches(doc) == bitmap.map_or(true, |b| b.contains(id))
+//!                        && residual.matches(doc)
+//! ```
+//!
+//! for every live document — i.e. resolving the bitmap and then running
+//! the residual on its survivors yields exactly the naive full-scan match
+//! set.  The corpus deliberately includes documents with missing fields
+//! (`Ne` matches them, comparisons never do), numeric values on an indexed
+//! field (where index-order equality and `==` diverge, so equality leaves
+//! must refuse to compile) and multi-character element needles (which can
+//! never match the per-character string elements).
+//!
+//! Filter ASTs are built from a drawn token stream by a small
+//! recursive-descent constructor (the vendored proptest stub has no
+//! `prop_recursive`), so every operator — leaves, supersets, uncompiled
+//! fields and nested `And`/`Or`/`Not` — gets exercised.
+
+use eq_docstore::{Collection, Document, Filter, Value};
+use eq_geo::{BBox, GeoShape};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    country: Option<&'static str>,
+    labels: Option<String>,
+    score: Option<Value>,
+    lon: f64,
+    lat: f64,
+    date: i64,
+}
+
+fn arb_record(id: usize) -> impl Strategy<Value = Record> {
+    (
+        0u8..5,
+        proptest::collection::vec(prop_oneof![Just('A'), Just('B'), Just('C')], 1..4),
+        0u8..5,
+        0u8..3,
+        0i64..4,
+        -9.0f64..25.0,
+        37.0f64..65.0,
+        0i64..1000,
+    )
+        .prop_map(move |(csel, lchars, lpresent, ssel, sval, lon, lat, date)| Record {
+            name: format!("patch_{id}"),
+            country: ["Portugal", "Austria", "Finland", "Serbia"].get(csel as usize).copied(),
+            labels: (lpresent > 0).then(|| {
+                let mut l = lchars;
+                l.sort_unstable();
+                l.dedup();
+                l.into_iter().collect()
+            }),
+            // Half ints, half floats, overlapping numerically: Int(2) and
+            // Float(2.0) land on the same B-tree key but are `!=`.
+            score: match ssel {
+                0 => None,
+                1 => Some(Value::Int(sval)),
+                _ => Some(Value::Float(sval as f64)),
+            },
+            lon,
+            lat,
+            date,
+        })
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<Record>> {
+    (1usize..32).prop_flat_map(|n| {
+        let strategies: Vec<_> = (0..n).map(arb_record).collect();
+        strategies
+    })
+}
+
+fn to_doc(r: &Record) -> Document {
+    let mut doc = Document::new()
+        .with("name", r.name.as_str())
+        .with("date", Value::Date(r.date))
+        .with("location", Value::Array(vec![Value::Float(r.lon), Value::Float(r.lat)]));
+    if let Some(c) = r.country {
+        doc = doc.with("country", c);
+    }
+    if let Some(l) = &r.labels {
+        doc = doc.with("labels", l.as_str());
+    }
+    if let Some(s) = &r.score {
+        doc = doc.with("score", s.clone());
+    }
+    doc
+}
+
+fn build_collection(records: &[Record]) -> Collection {
+    let mut coll = Collection::new("metadata", "name");
+    coll.create_attribute_index("country");
+    coll.create_attribute_index("labels");
+    coll.create_attribute_index("date");
+    coll.create_attribute_index("score");
+    coll.create_geo_index("location").unwrap();
+    for r in records {
+        coll.insert(to_doc(r)).unwrap();
+    }
+    coll
+}
+
+/// One drawn token: `(op, field, value-kind, number, lon, lat)`.
+type Tok = (u8, u8, u8, i64, f64, f64);
+
+fn arb_tok() -> impl Strategy<Value = Tok> {
+    (0u8..=255, 0u8..=255, 0u8..=255, 0i64..1000, -9.0f64..20.0, 37.0f64..60.0)
+}
+
+fn arb_toks() -> impl Strategy<Value = Vec<Tok>> {
+    proptest::collection::vec(arb_tok(), 1..16)
+}
+
+fn token_value(kind: u8, num: i64) -> Value {
+    match kind % 5 {
+        0 => ["Portugal", "Austria", "Nowhere"][(num % 3) as usize].into(),
+        1 => ["A", "B", "C", "AB", "Z"][(num % 5) as usize].into(),
+        2 => Value::Date(num),
+        3 => Value::Int(num % 4),
+        _ => Value::Float((num % 4) as f64),
+    }
+}
+
+/// Recursive-descent filter constructor over the token stream.  `depth`
+/// bounds nesting; an exhausted stream degrades to `Filter::All`.
+fn build_filter(toks: &mut std::slice::Iter<'_, Tok>, depth: u32) -> Filter {
+    let Some(&(op, field, kind, num, lon, lat)) = toks.next() else {
+        return Filter::All;
+    };
+    let field = ["country", "labels", "date", "score", "unindexed"][(field % 5) as usize];
+    let value = token_value(kind, num);
+    let list = |n: i64| -> Vec<Value> {
+        (0..n % 3).map(|i| token_value(kind.wrapping_add(i as u8), num + i)).collect()
+    };
+    let ops = if depth == 0 { 14 } else { 17 };
+    match op % ops {
+        0 => Filter::All,
+        1 => Filter::Eq(field.into(), value),
+        2 => Filter::Ne(field.into(), value),
+        3 => Filter::Lt(field.into(), value),
+        4 => Filter::Lte(field.into(), value),
+        5 => Filter::Gt(field.into(), value),
+        6 => Filter::Gte(field.into(), value),
+        7 => Filter::In(field.into(), list(num)),
+        8 => Filter::ContainsAll(field.into(), list(num)),
+        9 => Filter::ContainsAny(field.into(), list(num)),
+        10 => Filter::ContainsExactly(field.into(), list(num)),
+        11 => Filter::Exists(field.into()),
+        12 => Filter::StartsWith(field.into(), ["Po", "A", "Z"][(num % 3) as usize].into()),
+        13 => {
+            let bbox = BBox::new(lon, lat, lon + 3.0, lat + 2.5).expect("box stays in range");
+            Filter::GeoWithin("location".into(), GeoShape::Rect(bbox))
+        }
+        14 => Filter::And((0..1 + num % 3).map(|_| build_filter(toks, depth - 1)).collect()),
+        15 => Filter::Or((0..1 + num % 3).map(|_| build_filter(toks, depth - 1)).collect()),
+        _ => Filter::Not(Box::new(build_filter(toks, depth - 1))),
+    }
+}
+
+/// Asserts the compiler contract over every live document of `coll`.
+fn assert_contract(coll: &Collection, filter: &Filter) -> Result<(), TestCaseError> {
+    let plan = coll.compile_prefilter(filter);
+    for (&id, doc) in coll.iter() {
+        let naive = filter.matches(doc);
+        let via_plan =
+            plan.bitmap.as_ref().is_none_or(|b| b.contains(id)) && plan.residual.matches(doc);
+        prop_assert!(
+            naive == via_plan,
+            "doc {} disagrees under {:?} (plan: {:?})",
+            id,
+            filter,
+            plan
+        );
+    }
+    // The candidate set never leaks dead documents.
+    if let Some(bitmap) = &plan.bitmap {
+        for id in bitmap.iter() {
+            prop_assert!(coll.live_bitmap().contains(id), "dead doc {id} in bitmap");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_plans_satisfy_the_exactness_contract(
+        records in arb_records(),
+        toks in arb_toks(),
+    ) {
+        let coll = build_collection(&records);
+        let mut it = toks.iter();
+        while it.len() > 0 {
+            let filter = build_filter(&mut it, 2);
+            assert_contract(&coll, &filter)?;
+        }
+    }
+
+    #[test]
+    fn the_contract_survives_random_deletions(
+        records in arb_records(),
+        toks in arb_toks(),
+        stride in 2usize..4,
+    ) {
+        let mut coll = build_collection(&records);
+        for r in records.iter().step_by(stride) {
+            coll.delete_by_key(&Value::Str(r.name.clone())).unwrap();
+        }
+        let mut it = toks.iter();
+        let filter = build_filter(&mut it, 2);
+        assert_contract(&coll, &filter)?;
+        // Postings shrank with the documents: a full-universe Ne bitmap
+        // has exactly the live cardinality.
+        let plan = coll.compile_prefilter(&Filter::Ne("country".into(), "Nowhere".into()));
+        prop_assert_eq!(plan.cardinality(), Some(coll.live_bitmap().len()));
+    }
+
+    #[test]
+    fn ne_bitmaps_keep_documents_missing_the_field(records in arb_records()) {
+        let coll = build_collection(&records);
+        for country in ["Portugal", "Austria", "Nowhere"] {
+            let f = Filter::Ne("country".into(), country.into());
+            let plan = coll.compile_prefilter(&f);
+            prop_assert!(plan.is_exact(), "Ne on an indexed field compiles exactly");
+            for (&id, doc) in coll.iter() {
+                if doc.get("country").is_none() {
+                    prop_assert!(
+                        plan.bitmap.as_ref().is_some_and(|b| b.contains(id)),
+                        "doc {} missing `country` must survive Ne({})",
+                        id,
+                        country
+                    );
+                }
+            }
+            assert_contract(&coll, &f)?;
+        }
+    }
+
+    #[test]
+    fn or_and_not_residuals_compose_correctly(
+        records in arb_records(),
+        toks in arb_toks(),
+    ) {
+        let coll = build_collection(&records);
+        // Or over arbitrary leaves (some exact, some supersets, some
+        // uncompiled) and Not over each single leaf: the compositions the
+        // compiler must never get wrong by distributing residuals.
+        let mut it = toks.iter();
+        let mut leaves = Vec::new();
+        while it.len() > 0 {
+            leaves.push(build_filter(&mut it, 0));
+        }
+        assert_contract(&coll, &Filter::Or(leaves.clone()))?;
+        assert_contract(&coll, &Filter::Not(Box::new(Filter::Or(leaves.clone()))))?;
+        for leaf in &leaves {
+            assert_contract(&coll, &Filter::Not(Box::new(leaf.clone())))?;
+        }
+    }
+
+    #[test]
+    fn resolving_the_plan_reproduces_the_naive_match_set(
+        records in arb_records(),
+        toks in arb_toks(),
+    ) {
+        let coll = build_collection(&records);
+        let mut it = toks.iter();
+        let filter = build_filter(&mut it, 2);
+        let plan = coll.compile_prefilter(&filter);
+        // Resolve: candidates (or all live docs) filtered by the residual.
+        let mut resolved: Vec<u64> = match &plan.bitmap {
+            Some(bitmap) => bitmap
+                .iter()
+                .filter(|id| coll.get(*id).is_some_and(|d| plan.residual.matches(d)))
+                .collect(),
+            None => coll
+                .iter()
+                .filter(|(_, d)| plan.residual.matches(d))
+                .map(|(&id, _)| id)
+                .collect(),
+        };
+        resolved.sort_unstable();
+        let mut naive: Vec<u64> =
+            coll.iter().filter(|(_, d)| filter.matches(d)).map(|(&id, _)| id).collect();
+        naive.sort_unstable();
+        prop_assert_eq!(resolved, naive);
+    }
+}

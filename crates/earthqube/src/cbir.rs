@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use eq_bigearthnet::patch::{Patch, PatchId};
 use eq_bigearthnet::Archive;
-use eq_hashindex::{BinaryCode, HammingIndex, HashTableIndex, Neighbor, SearchScratch};
+use eq_hashindex::{BinaryCode, HammingIndex, HashTableIndex, IdMask, Neighbor, SearchScratch};
 use eq_milan::Milan;
 use parking_lot::Mutex;
 
@@ -141,6 +141,57 @@ impl CbirService {
     /// All archive images within the given Hamming radius of the query code.
     pub fn radius_query_by_code(&self, code: &BinaryCode, radius: u32) -> Vec<SimilarImage> {
         self.to_similar(&self.index.radius_search(code, radius))
+    }
+
+    /// Masked k-NN: the `k` most similar archive images **whose dense
+    /// patch id is in `mask`** (the bitmap-prefiltered search path, E13).
+    /// Rows outside the mask are skipped before any distance computation.
+    pub fn query_by_code_masked(
+        &self,
+        code: &BinaryCode,
+        k: usize,
+        mask: &IdMask,
+    ) -> Vec<SimilarImage> {
+        let mut scratch = self.scratch.0.lock();
+        let neighbors = self.index.knn_masked_with(code, k, mask, &mut scratch);
+        self.to_similar(neighbors)
+    }
+
+    /// Masked radius query: every archive image within `radius` of the
+    /// query code whose dense patch id is in `mask`, sorted by distance
+    /// then id — the same order as
+    /// [`radius_query_by_code`](Self::radius_query_by_code).
+    pub fn radius_query_by_code_masked(
+        &self,
+        code: &BinaryCode,
+        radius: u32,
+        mask: &IdMask,
+    ) -> Vec<SimilarImage> {
+        let mut out = Vec::new();
+        self.index.radius_search_masked_into(code, radius, mask, &mut out);
+        eq_hashindex::sort_neighbors(&mut out);
+        self.to_similar(&out)
+    }
+
+    /// Masked query by an existing archive image: like
+    /// [`query_by_archive_image`](Self::query_by_archive_image) but ranking
+    /// only the masked subset.
+    ///
+    /// # Errors
+    /// Fails if the name is not in the archive.
+    pub fn query_by_archive_image_masked(
+        &self,
+        name: &str,
+        k: usize,
+        mask: &IdMask,
+    ) -> Result<Vec<SimilarImage>, EarthQubeError> {
+        let code = self
+            .name_to_code
+            .get(name)
+            .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+        // One extra hit in case the query image itself passes the filter.
+        let hits = self.query_by_code_masked(code, k + 1, mask);
+        Ok(hits.into_iter().filter(|h| h.name != name).take(k).collect())
     }
 
     /// Query by an existing archive image (§3.3): looks the image's code up

@@ -10,6 +10,7 @@ use eq_milan::{Milan, MilanConfig};
 
 use crate::cbir::{CbirConfig, CbirService};
 use crate::feedback::FeedbackService;
+use crate::filtered::{matching_item_mask, FilteredResponse, PrefilterMode};
 use crate::ingest::ingest_archive;
 use crate::query::ImageQuery;
 use crate::results::{ResultEntry, ResultPanel};
@@ -186,6 +187,62 @@ impl EarthQube {
         self.response_from_hits(hits)
     }
 
+    /// Filtered "retrieve similar images" (E13): the `k` nearest
+    /// neighbours of an archive image **among the images matching the
+    /// query-panel filter** — e.g. similar agricultural patches in
+    /// Austria, summer acquisitions only.
+    ///
+    /// The filter resolves to a dense-id mask first (bitmap prefilter or
+    /// post-filter scan, per `mode` — see [`PrefilterMode`]); the masked
+    /// bounded top-k then skips non-matching rows before any XOR/popcount
+    /// work.  Both modes return byte-identical responses.
+    ///
+    /// # Errors
+    /// Fails on an invalid query, an unknown image or a store error.
+    pub fn similar_to_filtered(
+        &self,
+        name: &str,
+        k: usize,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        query.validate()?;
+        let cbir = self.cbir()?;
+        let coll = self.database.collection(collections::METADATA)?;
+        let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
+        let hits = cbir.query_by_archive_image_masked(name, k, &mask)?;
+        let response = self.response_from_hits(hits)?;
+        Ok(FilteredResponse { response, plan })
+    }
+
+    /// Filtered radius search (E13): every archive image within the given
+    /// Hamming radius of an archive image's code **and** matching the
+    /// query-panel filter, excluding the query image itself.
+    ///
+    /// # Errors
+    /// Fails on an invalid query, an unknown image or a store error.
+    pub fn similar_within_filtered(
+        &self,
+        name: &str,
+        radius: u32,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        query.validate()?;
+        let cbir = self.cbir()?;
+        let coll = self.database.collection(collections::METADATA)?;
+        let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
+        let code =
+            cbir.code_of(name).ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+        let hits: Vec<crate::cbir::SimilarImage> = cbir
+            .radius_query_by_code_masked(code, radius, &mask)
+            .into_iter()
+            .filter(|h| h.name != name)
+            .collect();
+        let response = self.response_from_hits(hits)?;
+        Ok(FilteredResponse { response, plan })
+    }
+
     /// Submits anonymous feedback.
     ///
     /// # Errors
@@ -318,6 +375,7 @@ mod tests {
     use super::*;
     use crate::query::{LabelFilter, LabelOperator};
     use eq_bigearthnet::labels::Label;
+    use eq_bigearthnet::patch::Season;
     use eq_bigearthnet::{ArchiveGenerator, Country, GeneratorConfig};
     use eq_geo::GeoShape;
 
@@ -406,6 +464,82 @@ mod tests {
         assert_eq!(response.statistics.image_count(), response.total());
         // Unknown query image errors.
         assert!(matches!(eq.similar_to("ghost", 5), Err(EarthQubeError::UnknownImage(_))));
+    }
+
+    #[test]
+    fn filtered_similarity_restricts_results_to_the_filter() {
+        let (eq, archive) = build(120, 58);
+        let name = &archive.patches()[0].meta.name;
+        let query = ImageQuery::all().with_seasons(vec![Season::Summer]);
+
+        let bitmap = eq.similar_to_filtered(name, 10, &query, PrefilterMode::ForceBitmap).unwrap();
+        let scan =
+            eq.similar_to_filtered(name, 10, &query, PrefilterMode::ForcePostFilter).unwrap();
+        assert_eq!(bitmap.response, scan.response, "strategies must agree byte-for-byte");
+        assert_eq!(bitmap.plan.strategy, crate::filtered::FilterStrategy::BitmapPrefilter);
+        assert_eq!(scan.plan.strategy, crate::filtered::FilterStrategy::PostFilter);
+        assert_eq!(bitmap.plan.matching, scan.plan.matching);
+        assert!(!bitmap.plan.residual, "season membership compiles exactly");
+
+        // Every hit is a summer acquisition and not the query image.
+        assert!(bitmap.response.total() > 0);
+        for page in 0..bitmap.response.panel.page_count() {
+            for e in bitmap.response.panel.page(page).entries {
+                assert_ne!(&e.name, name);
+                let meta = eq.metadata_of(&e.name).unwrap();
+                assert_eq!(meta.season(), Season::Summer, "{} leaked through the filter", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_radius_search_equals_post_filtering_the_unfiltered_scan() {
+        let (eq, archive) = build(100, 59);
+        let name = &archive.patches()[4].meta.name;
+        let query = ImageQuery::all().with_countries(vec![Country::Austria, Country::Portugal]);
+        let radius = eq.cbir().unwrap().code_bits() / 3;
+
+        let filtered =
+            eq.similar_within_filtered(name, radius, &query, PrefilterMode::Auto).unwrap();
+        // Reference: unfiltered radius scan, then drop non-matching images.
+        let code = eq.cbir().unwrap().code_of(name).unwrap().clone();
+        let reference: Vec<String> = eq
+            .cbir()
+            .unwrap()
+            .radius_query_by_code(&code, radius)
+            .into_iter()
+            .filter(|h| &h.name != name)
+            .filter(|h| {
+                let meta = eq.metadata_of(&h.name).unwrap();
+                matches!(meta.country, Country::Austria | Country::Portugal)
+            })
+            .map(|h| h.name)
+            .collect();
+        let got: Vec<String> = (0..filtered.response.panel.page_count())
+            .flat_map(|p| filtered.response.panel.page(p).entries)
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(got, reference);
+        assert!(filtered.plan.matching >= got.len());
+    }
+
+    #[test]
+    fn filtered_search_validates_the_query_and_the_image() {
+        let (eq, archive) = build(20, 60);
+        let name = &archive.patches()[0].meta.name;
+        let bad = ImageQuery::all().with_labels(LabelFilter::new(LabelOperator::Some, vec![]));
+        assert!(matches!(
+            eq.similar_to_filtered(name, 5, &bad, PrefilterMode::Auto),
+            Err(EarthQubeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            eq.similar_to_filtered("ghost", 5, &ImageQuery::all(), PrefilterMode::Auto),
+            Err(EarthQubeError::UnknownImage(_))
+        ));
+        assert!(matches!(
+            eq.similar_within_filtered("ghost", 4, &ImageQuery::all(), PrefilterMode::Auto),
+            Err(EarthQubeError::UnknownImage(_))
+        ));
     }
 
     #[test]

@@ -24,6 +24,12 @@ fn prepare_collections(db: &mut Database) {
         metadata.create_attribute_index(fields::COUNTRY);
         metadata.create_attribute_index(fields::SEASON);
         metadata.create_attribute_index(fields::PATCH_ID);
+        // Element postings over the ASCII label codes and value postings
+        // over the acquisition date feed the bitmap prefilter (E13): label
+        // and date predicates compile to posting-bitmap candidates instead
+        // of post-filter scans.
+        metadata.create_attribute_index(fields::LABELS);
+        metadata.create_attribute_index(fields::DATE);
         metadata
             .create_geo_index(fields::LOCATION)
             // lint:allow(panic) infallible: the collection was created just above and cannot already carry a geo index

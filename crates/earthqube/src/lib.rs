@@ -13,6 +13,9 @@
 //! * [`cbir`] — the MiLaN-backed content-based image-retrieval service of
 //!   §3.3 (in-memory name→code table, Hamming-radius lookups, query by
 //!   archive image or by a new uploaded image),
+//! * [`filtered`] — bitmap-prefiltered similarity search: query-panel
+//!   filters compiled to posting-bitmap candidate masks so the Hamming
+//!   kernels skip non-matching images before any distance work (E13),
 //! * [`stats`] — the label-statistics view of Figure 2-4,
 //! * [`results`] — the result panel: pagination, download cart, rendering,
 //! * [`feedback`] — anonymous user feedback storage,
@@ -60,6 +63,7 @@
 pub mod cbir;
 pub mod engine;
 pub mod feedback;
+pub mod filtered;
 pub mod ingest;
 pub mod net;
 mod persist;
@@ -72,6 +76,7 @@ pub mod stats;
 pub use cbir::{CbirConfig, CbirService, SimilarImage};
 pub use engine::{EarthQube, EarthQubeConfig, SearchResponse};
 pub use feedback::FeedbackService;
+pub use filtered::{FilterStrategy, FilteredPlan, FilteredResponse, PrefilterMode};
 pub use ingest::{ingest_archive, ingest_metadata, ingest_patch, IngestReport};
 pub use net::{EqClient, NetServer};
 pub use query::{ImageQuery, LabelFilter, LabelOperator};

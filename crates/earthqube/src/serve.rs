@@ -58,9 +58,11 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::engine::{EarthQube, EarthQubeConfig, SearchResponse};
 use crate::feedback::{FeedbackEntry, FeedbackService};
+use crate::filtered::{matching_item_mask, FilteredResponse, PrefilterMode};
 use crate::ingest::{insert_patch_docs, prepare_patch_docs, IngestReport};
 use crate::persist::{self, ChainTail, DirLock, WalRecord, WalWriter};
 use crate::query::ImageQuery;
+use crate::schema::collections;
 use crate::EarthQubeError;
 
 /// Rotate the live WAL segment once it outgrows this many bytes
@@ -728,6 +730,82 @@ impl QueryServer {
                 catalog.response_from_neighbors(neighbors, page_size)
             })
         })
+    }
+
+    /// Filtered "retrieve similar images" (the concurrent counterpart of
+    /// [`EarthQube::similar_to_filtered`]): the `k` nearest neighbours
+    /// among the images matching the query-panel filter.
+    ///
+    /// The filter resolves to a dense-id mask under the catalog read lock
+    /// (bitmap prefilter or post-filter scan, per `mode`), then the masked
+    /// bounded top-k runs across the index shards.  Filtered responses
+    /// carry a per-query plan and bypass the result cache.
+    ///
+    /// # Errors
+    /// Fails on an invalid query, an unknown image or a store error.
+    pub fn similar_to_filtered(
+        &self,
+        name: &str,
+        k: usize,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        query.validate()?;
+        let page_size = self.config.page_size;
+        let catalog = self.catalog.read();
+        let coll = catalog.database.collection(collections::METADATA)?;
+        let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
+        let code = catalog
+            .name_to_code
+            .get(name)
+            .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+        let response = self.with_scratch(|scratch| {
+            // One extra hit in case the query image itself passes the
+            // filter — same policy as the unfiltered path.
+            let hits = self.index.knn_masked_with(code, k + 1, &mask, &mut scratch.search);
+            scratch.neighbors.clear();
+            scratch.neighbors.extend(hits.iter().copied().filter(|n| {
+                catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
+            }));
+            scratch.neighbors.truncate(k);
+            catalog.response_from_neighbors(&scratch.neighbors, page_size)
+        })?;
+        Ok(FilteredResponse { response, plan })
+    }
+
+    /// Filtered radius search (the concurrent counterpart of
+    /// [`EarthQube::similar_within_filtered`]): every image within the
+    /// Hamming radius that also matches the query-panel filter, excluding
+    /// the query image itself.
+    ///
+    /// # Errors
+    /// Fails on an invalid query, an unknown image or a store error.
+    pub fn similar_within_filtered(
+        &self,
+        name: &str,
+        radius: u32,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        query.validate()?;
+        let page_size = self.config.page_size;
+        let catalog = self.catalog.read();
+        let coll = catalog.database.collection(collections::METADATA)?;
+        let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
+        let code = catalog
+            .name_to_code
+            .get(name)
+            .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+        let response = self.with_scratch(|scratch| {
+            scratch.neighbors.clear();
+            self.index.radius_search_masked_into(code, radius, &mask, &mut scratch.neighbors);
+            eq_hashindex::sort_neighbors(&mut scratch.neighbors);
+            scratch.neighbors.retain(|n| {
+                catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
+            });
+            catalog.response_from_neighbors(&scratch.neighbors, page_size)
+        })?;
+        Ok(FilteredResponse { response, plan })
     }
 
     /// Checks a scratch out of the pool for the duration of `f`.  The pool
@@ -1689,6 +1767,37 @@ mod tests {
             srv.search_by_new_example(&external, 5).unwrap(),
             engine.search_by_new_example(&external, 5).unwrap()
         );
+
+        // Filtered similarity search: server == engine, for every planner
+        // mode, for both k-NN and radius — and bitmap == post-filter.
+        let filter = ImageQuery::all().with_seasons(vec![
+            eq_bigearthnet::patch::Season::Summer,
+            eq_bigearthnet::patch::Season::Winter,
+        ]);
+        for mode in
+            [PrefilterMode::Auto, PrefilterMode::ForceBitmap, PrefilterMode::ForcePostFilter]
+        {
+            assert_eq!(
+                srv.similar_to_filtered(name, 7, &filter, mode).unwrap(),
+                engine.similar_to_filtered(name, 7, &filter, mode).unwrap(),
+                "knn mode {mode:?}"
+            );
+            assert_eq!(
+                srv.similar_within_filtered(name, 24, &filter, mode).unwrap(),
+                engine.similar_within_filtered(name, 24, &filter, mode).unwrap(),
+                "radius mode {mode:?}"
+            );
+        }
+        assert_eq!(
+            srv.similar_to_filtered(name, 7, &filter, PrefilterMode::ForceBitmap).unwrap().response,
+            srv.similar_to_filtered(name, 7, &filter, PrefilterMode::ForcePostFilter)
+                .unwrap()
+                .response,
+        );
+        assert!(matches!(
+            srv.similar_to_filtered("ghost", 3, &filter, PrefilterMode::Auto),
+            Err(EarthQubeError::UnknownImage(_))
+        ));
 
         // The asset registry is carried over from the consumed engine.
         assert!(srv.registry().pipeline("earthqube-cbir").is_some());

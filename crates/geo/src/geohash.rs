@@ -283,7 +283,8 @@ mod tests {
             assert_ne!(n, &h);
             let nb = decode_bbox(n).unwrap();
             // Adjacent cells must touch or overlap the slightly expanded home cell.
-            assert!(home.expand(home.width().max(home.height())).intersects(&nb));
+            let margin = home.width().max(home.height());
+            assert!(home.expand(margin).intersects(&nb));
         }
     }
 

@@ -23,7 +23,7 @@ pub mod geohash;
 pub mod point;
 pub mod shape;
 
-pub use bbox::BBox;
+pub use bbox::{BBox, SplitBBox};
 pub use distance::{haversine_km, EARTH_RADIUS_KM};
 pub use geohash::{decode, decode_bbox, encode, neighbors, GeohashError};
 pub use point::Point;

@@ -1,6 +1,7 @@
 //! Query shapes supported by the EarthQube query panel: rectangle, circle
 //! and free-form polygon (§3.1 of the paper).
 
+use crate::bbox::SplitBBox;
 use crate::{distance, BBox, GeoError, Point};
 
 /// A circle defined by a centre and a radius in kilometres.
@@ -27,8 +28,10 @@ impl Circle {
         distance::haversine_km(self.center, p) <= self.radius_km
     }
 
-    /// A bounding box that encloses the circle; used for index pre-filtering.
-    pub fn bounding_box(&self) -> BBox {
+    /// A bounding region that encloses the circle; used for index
+    /// pre-filtering.  A circle near the antimeridian wraps into two boxes
+    /// (see [`SplitBBox`]) so the far side of the date line is not lost.
+    pub fn bounding_box(&self) -> SplitBBox {
         BBox::square_around(self.center, self.radius_km * 2.0)
     }
 }
@@ -132,12 +135,15 @@ impl GeoShape {
         }
     }
 
-    /// A bounding box enclosing the shape, used by indexes for pre-filtering.
-    pub fn bounding_box(&self) -> BBox {
+    /// A bounding region enclosing the shape, used by indexes for
+    /// pre-filtering.  Rectangles and polygons are built from in-range
+    /// coordinates and never wrap; a circle near the antimeridian yields
+    /// two boxes (see [`SplitBBox`]).
+    pub fn bounding_box(&self) -> SplitBBox {
         match self {
-            GeoShape::Rect(b) => *b,
+            GeoShape::Rect(b) => SplitBBox::One(*b),
             GeoShape::Circle(c) => c.bounding_box(),
-            GeoShape::Polygon(poly) => poly.bounding_box(),
+            GeoShape::Polygon(poly) => SplitBBox::One(poly.bounding_box()),
         }
     }
 
@@ -147,12 +153,13 @@ impl GeoShape {
         match self {
             GeoShape::Rect(b) => b.intersects(bbox),
             _ => {
-                if !self.bounding_box().intersects(bbox) {
+                let cover = self.bounding_box();
+                if !cover.intersects(bbox) {
                     return false;
                 }
                 // Exact-ish test: any corner or the centre of the candidate
-                // box inside the shape, or the shape's bbox centre inside the
-                // candidate box.
+                // box inside the shape, or the centre of a covering piece
+                // inside the candidate box.
                 let corners = [
                     Point::new_unchecked(bbox.min_lon, bbox.min_lat),
                     Point::new_unchecked(bbox.min_lon, bbox.max_lat),
@@ -161,7 +168,7 @@ impl GeoShape {
                     bbox.center(),
                 ];
                 corners.iter().any(|c| self.contains(*c))
-                    || bbox.contains(self.bounding_box().center())
+                    || cover.boxes().iter().any(|piece| bbox.contains(piece.center()))
             }
         }
     }
@@ -200,6 +207,21 @@ mod tests {
         let east = p(13.0 + distance::km_to_lon_degrees(10.0, 52.0) * 0.999, 52.0);
         assert!(bb.contains(north));
         assert!(bb.contains(east));
+    }
+
+    #[test]
+    fn circle_on_the_antimeridian_covers_both_sides() {
+        // A 50 km circle centred right on the date line: its bounding
+        // region must include points on both sides of ±180°.
+        let c = Circle::new(p(179.99, 10.0), 50.0).unwrap();
+        let cover = c.bounding_box();
+        assert!(cover.is_split());
+        assert!(cover.contains(p(179.8, 10.0)));
+        assert!(cover.contains(p(-179.8, 10.0)), "eastern side of the date line lost");
+        let shape = GeoShape::Circle(c);
+        assert!(shape.intersects_bbox(&BBox::new(-180.0, 9.0, -179.0, 11.0).unwrap()));
+        assert!(shape.intersects_bbox(&BBox::new(179.0, 9.0, 180.0, 11.0).unwrap()));
+        assert!(!shape.intersects_bbox(&BBox::new(0.0, 9.0, 1.0, 11.0).unwrap()));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! * bits past the logical width of the last word are zero — guaranteed by
 //!   [`BinaryCode`]'s own invariant, which the arena copies verbatim.
 
+use crate::bitmap::IdMask;
 use crate::code::BinaryCode;
 use crate::{ItemId, Neighbor};
 
@@ -208,6 +209,95 @@ impl CodeArena {
             }
         });
     }
+
+    /// The masked counterpart of
+    /// [`for_each_distance`](Self::for_each_distance): streams the Hamming
+    /// distance of every row **whose id is in `mask`** through
+    /// `visit(row, distance)`, in row order.  The mask probe runs *before*
+    /// the XOR/popcount, so on a selective prefilter the kernel's work is
+    /// one sequential id load plus a two-instruction bit test per skipped
+    /// row — the code words of rejected rows are never touched.
+    ///
+    /// Kept width-specialised like the unmasked kernel (the mask test
+    /// compiles to a register probe inside each arm) rather than layered
+    /// as a visitor over `for_each_distance`, which would pay the distance
+    /// computation for every rejected row.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != words_per_code()`.
+    #[inline]
+    pub fn for_each_distance_masked(
+        &self,
+        query: &[u64],
+        mask: &IdMask,
+        mut visit: impl FnMut(usize, u32),
+    ) {
+        assert_eq!(query.len(), self.words_per_code, "query width does not match the arena");
+        match self.words_per_code {
+            1 => {
+                let q = query[0];
+                for (row, (&w, &id)) in self.data.iter().zip(self.ids.iter()).enumerate() {
+                    if mask.contains(id) {
+                        visit(row, (w ^ q).count_ones());
+                    }
+                }
+            }
+            2 => {
+                let (q0, q1) = (query[0], query[1]);
+                for (row, (words, &id)) in
+                    self.data.chunks_exact(2).zip(self.ids.iter()).enumerate()
+                {
+                    if mask.contains(id) {
+                        visit(row, (words[0] ^ q0).count_ones() + (words[1] ^ q1).count_ones());
+                    }
+                }
+            }
+            4 => {
+                let (q0, q1, q2, q3) = (query[0], query[1], query[2], query[3]);
+                for (row, (words, &id)) in
+                    self.data.chunks_exact(4).zip(self.ids.iter()).enumerate()
+                {
+                    if mask.contains(id) {
+                        let d = (words[0] ^ q0).count_ones()
+                            + (words[1] ^ q1).count_ones()
+                            + (words[2] ^ q2).count_ones()
+                            + (words[3] ^ q3).count_ones();
+                        visit(row, d);
+                    }
+                }
+            }
+            w => {
+                for (row, (words, &id)) in
+                    self.data.chunks_exact(w).zip(self.ids.iter()).enumerate()
+                {
+                    if mask.contains(id) {
+                        visit(row, hamming_words(words, query));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Masked radius scan: like [`scan_radius_into`](Self::scan_radius_into)
+    /// but only rows whose id is in `mask` are considered (and only those
+    /// pay for a distance computation).  `out` is *not* cleared.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != words_per_code()`.
+    pub fn scan_radius_masked_into(
+        &self,
+        query: &[u64],
+        radius: u32,
+        mask: &IdMask,
+        out: &mut Vec<Neighbor>,
+    ) {
+        self.for_each_distance_masked(query, mask, |row, d| {
+            if d <= radius {
+                // lint:allow(hot-path) the caller owns and reuses the buffer across queries, same amortisation as the unmasked scan
+                out.push(Neighbor::new(self.ids[row], d));
+            }
+        });
+    }
 }
 
 /// Word-wise Hamming distance of two equal-length word slices.
@@ -304,6 +394,34 @@ mod tests {
         let arena = CodeArena::new(128);
         let mut out = Vec::new();
         arena.scan_radius_into(&[0u64], 1, &mut out);
+    }
+
+    #[test]
+    fn masked_scan_equals_unmasked_scan_filtered_by_the_mask() {
+        use crate::bitmap::{Bitmap, IdMask};
+        for bits in [64u32, 128, 192, 256] {
+            let mut arena = CodeArena::new(bits);
+            for i in 0..200u64 {
+                arena.push(i * 3, &rand_code(bits, i));
+            }
+            // Keep every id divisible by 9 (a third of the rows).
+            let bitmap: Bitmap = (0..200u64).map(|i| i * 3).filter(|id| id % 9 == 0).collect();
+            let mask = IdMask::from_bitmap(&bitmap);
+            let query = rand_code(bits, 777);
+            for radius in [0u32, bits / 4, bits] {
+                let mut masked = Vec::new();
+                arena.scan_radius_masked_into(query.words(), radius, &mask, &mut masked);
+                let mut reference = Vec::new();
+                arena.scan_radius_into(query.words(), radius, &mut reference);
+                reference.retain(|n| mask.contains(n.id));
+                assert_eq!(masked, reference, "bits {bits}, radius {radius}");
+            }
+            // An empty mask yields no hits.
+            let empty = IdMask::from_bitmap(&Bitmap::new());
+            let mut out = Vec::new();
+            arena.scan_radius_masked_into(query.words(), bits, &empty, &mut out);
+            assert!(out.is_empty());
+        }
     }
 
     #[test]

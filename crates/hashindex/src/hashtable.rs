@@ -167,6 +167,45 @@ impl HashTableIndex {
         scratch.finish()
     }
 
+    /// Masked radius search: appends every item within Hamming distance
+    /// `radius` of `query` **whose id is in `mask`** to `out` (unsorted).
+    /// Always runs the arena scan — the point of the mask is to skip the
+    /// XOR/popcount per rejected row, which bucket enumeration cannot do —
+    /// so cost is one mask probe per row plus a distance computation per
+    /// surviving row.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn radius_search_masked_into(
+        &self,
+        query: &BinaryCode,
+        radius: u32,
+        mask: &crate::bitmap::IdMask,
+        out: &mut Vec<Neighbor>,
+    ) {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        self.arena.scan_radius_masked_into(query.words(), radius, mask, out);
+    }
+
+    /// Masked bounded k-NN: the `k` nearest items among those whose id is
+    /// in `mask`, selected in one masked arena pass through `scratch`'s
+    /// size-`k` heap.  The returned slice borrows the scratch.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn knn_masked_with<'s>(
+        &self,
+        query: &BinaryCode,
+        k: usize,
+        mask: &crate::bitmap::IdMask,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [Neighbor] {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        scratch.begin(k);
+        scratch.scan_arena_masked(&self.arena, query.words(), mask);
+        scratch.finish()
+    }
+
     /// Serializes the bucket table: `bits:u32`, bucket count, then per
     /// bucket its code and its item ids in insertion order.  Buckets are
     /// written in code order (the in-memory `HashMap` iterates in an

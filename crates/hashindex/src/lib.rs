@@ -28,11 +28,16 @@
 //!   (experiment E11),
 //! * [`SearchScratch`] — bounded top-k selection (size-`k` max-heap with a
 //!   running short-circuit bound), so k-NN never materialises or sorts the
-//!   full candidate set; pooled per worker by the serving tier.
+//!   full candidate set; pooled per worker by the serving tier,
+//! * [`Bitmap`] / [`IdMask`] — roaring-style compressed id sets with
+//!   AND/OR/AND-NOT algebra, and the dense scan-time mask that lets the
+//!   arena kernels skip rows outside a precompiled candidate set — the
+//!   substrate of bitmap-prefiltered filtered search (experiment E13).
 
 #![deny(missing_docs)]
 
 pub mod arena;
+pub mod bitmap;
 pub mod code;
 pub mod float_knn;
 pub mod hashtable;
@@ -43,6 +48,7 @@ pub mod sharded;
 pub mod topk;
 
 pub use arena::CodeArena;
+pub use bitmap::{Bitmap, IdMask};
 pub use code::BinaryCode;
 pub use float_knn::{DistanceMetric, FloatKnnIndex};
 pub use hashtable::HashTableIndex;

@@ -213,6 +213,50 @@ impl ShardedHashIndex {
         scratch.finish()
     }
 
+    /// Masked radius search: appends every item within `radius` of `query`
+    /// whose id is in `mask` to `out` (unsorted — the caller sorts once
+    /// after the fan-out merge, like the flat index's masked scan).  Each
+    /// shard's arena is scanned through the masked kernel under its own
+    /// read lock, so rows outside the mask never pay for a distance
+    /// computation.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn radius_search_masked_into(
+        &self,
+        query: &BinaryCode,
+        radius: u32,
+        mask: &crate::bitmap::IdMask,
+        out: &mut Vec<Neighbor>,
+    ) {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        for shard in &self.shards {
+            shard.read().radius_search_masked_into(query, radius, mask, out);
+        }
+    }
+
+    /// Masked bounded k-NN: one size-`k` selection threaded across every
+    /// shard's arena through the masked kernel, yielding the exact global
+    /// top-`k` *of the masked subset*.  The returned slice borrows the
+    /// scratch; copy it out before reusing.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the index.
+    pub fn knn_masked_with<'s>(
+        &self,
+        query: &BinaryCode,
+        k: usize,
+        mask: &crate::bitmap::IdMask,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [Neighbor] {
+        assert_eq!(query.bits(), self.bits, "query width does not match the index");
+        scratch.begin(k);
+        for shard in &self.shards {
+            scratch.scan_arena_masked(shard.read().arena(), query.words(), mask);
+        }
+        scratch.finish()
+    }
+
     /// Total number of indexed items across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
@@ -344,6 +388,43 @@ mod tests {
                 assert_eq!(got, flat.knn(&query, k), "knn k={k} disagrees with hash table");
                 assert_eq!(got, linear.knn(&query, k), "knn k={k} disagrees with linear scan");
             }
+        }
+    }
+
+    #[test]
+    fn masked_search_matches_the_flat_index_and_the_post_filtered_scan() {
+        use crate::bitmap::{Bitmap, IdMask};
+        let sharded = ShardedHashIndex::new(64, 5);
+        let mut flat = HashTableIndex::new(64);
+        for i in 0..400u64 {
+            let code = rand_code(64, i / 3);
+            sharded.insert(i, code.clone());
+            flat.insert(i, code);
+        }
+        let bitmap: Bitmap = (0..400u64).filter(|id| id % 5 == 0).collect();
+        let mask = IdMask::from_bitmap(&bitmap);
+        let mut scratch = SearchScratch::new();
+        for q in 0..6u64 {
+            let query = rand_code(64, q);
+            // Radius: sharded masked == flat masked == unmasked-then-filter.
+            let mut sharded_hits = Vec::new();
+            sharded.radius_search_masked_into(&query, 12, &mask, &mut sharded_hits);
+            sort_neighbors(&mut sharded_hits);
+            let mut flat_hits = Vec::new();
+            flat.radius_search_masked_into(&query, 12, &mask, &mut flat_hits);
+            sort_neighbors(&mut flat_hits);
+            let mut reference = sharded.radius_search(&query, 12);
+            reference.retain(|n| mask.contains(n.id));
+            assert_eq!(sharded_hits, reference, "query {q}");
+            assert_eq!(flat_hits, reference, "query {q}");
+            // k-NN: masked selection == post-filtered full ranking prefix.
+            let got = sharded.knn_masked_with(&query, 9, &mask, &mut scratch).to_vec();
+            let mut want = sharded.knn(&query, 400);
+            want.retain(|n| mask.contains(n.id));
+            want.truncate(9);
+            assert_eq!(got, want, "query {q}");
+            let flat_got = flat.knn_masked_with(&query, 9, &mask, &mut scratch).to_vec();
+            assert_eq!(flat_got, want, "query {q}");
         }
     }
 

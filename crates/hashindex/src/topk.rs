@@ -19,6 +19,7 @@
 //! `tests/proptest_arena.rs` pins this against full-sort-then-truncate.
 
 use crate::arena::CodeArena;
+use crate::bitmap::IdMask;
 use crate::{ItemId, Neighbor};
 
 /// Reusable scratch state for bounded top-k searches: a max-heap of the
@@ -107,6 +108,29 @@ impl SearchScratch {
         // the same straight-line XOR/popcount loop the radius scan uses.
         arena.for_each_distance(query, |row, d| {
             // Cheap distance-only rejection first: ids only break ties.
+            if let Some(bound) = self.bound() {
+                if d > bound.distance {
+                    return;
+                }
+            }
+            self.offer(arena.id(row), d);
+        });
+    }
+
+    /// The masked counterpart of [`scan_arena`](Self::scan_arena): offers
+    /// only rows whose id is in `mask`, via the arena's masked kernel —
+    /// rows outside the mask never reach the distance computation, let
+    /// alone the heap.  Same begin/scan/finish protocol, same exactness:
+    /// the survivors are the global top-k *of the masked subset*.
+    ///
+    /// # Panics
+    /// Panics if the query width does not match the arena.
+    pub fn scan_arena_masked(&mut self, arena: &CodeArena, query: &[u64], mask: &IdMask) {
+        if self.k == 0 {
+            assert_eq!(query.len(), arena.words_per_code(), "query width does not match the arena");
+            return;
+        }
+        arena.for_each_distance_masked(query, mask, |row, d| {
             if let Some(bound) = self.bound() {
                 if d > bound.distance {
                     return;
@@ -264,6 +288,33 @@ mod tests {
         scratch.offer(4, 7);
         assert_eq!(scratch.bound(), Some(Neighbor::new(3, 6)));
         assert_eq!(scratch.finish(), &[Neighbor::new(2, 4), Neighbor::new(3, 6)]);
+    }
+
+    #[test]
+    fn masked_topk_is_the_topk_of_the_masked_subset() {
+        use crate::bitmap::{Bitmap, IdMask};
+        let mut arena = CodeArena::new(128);
+        for i in 0..300u64 {
+            // Ties via low-entropy codes, as in the unmasked test.
+            arena.push(i, &rand_code(128, i / 4));
+        }
+        let bitmap: Bitmap = (0..300u64).filter(|id| id % 7 < 3).collect();
+        let mask = IdMask::from_bitmap(&bitmap);
+        let query = rand_code(128, 31337);
+        let mut scratch = SearchScratch::new();
+        for k in [0usize, 1, 10, 128, 400] {
+            scratch.begin(k);
+            scratch.scan_arena_masked(&arena, query.words(), &mask);
+            let got = scratch.finish().to_vec();
+            // Reference: full sort of the masked rows, truncated.
+            let mut all: Vec<Neighbor> = (0..arena.len())
+                .filter(|&r| mask.contains(arena.id(r)))
+                .map(|r| Neighbor::new(arena.id(r), arena.distance(r, query.words())))
+                .collect();
+            sort_neighbors(&mut all);
+            all.truncate(k);
+            assert_eq!(got, all, "k {k}");
+        }
     }
 
     #[test]
