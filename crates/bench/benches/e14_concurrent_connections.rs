@@ -1,0 +1,286 @@
+//! Experiment E14 — connection scalability of the event-driven network
+//! tier: one poller thread multiplexing **≥ 1000 concurrent loopback
+//! connections** over a fixed-size worker pool, with admission control
+//! keeping both memory and latency bounded.
+//!
+//! Three properties are exercised (and the first two asserted):
+//!
+//! * **scale with bounded memory** — open `CONNS` simultaneous TCP
+//!   connections, drive several pipelined ping rounds across all of
+//!   them, and require every connection to get every response back.
+//!   Resident-set growth (`VmRSS` from `/proc/self/status`, covering
+//!   both the client and the in-process server) must stay under a
+//!   per-connection budget — thread-per-connection would blow this on
+//!   stacks alone (1000 × 8 MiB default stacks ≈ 8 GiB of address
+//!   space and ~1000 schedulable threads).
+//! * **overload is answered, never stalled** — one connection floods
+//!   more pipelined requests than its in-flight quota admits; the
+//!   over-quota tail must come back as typed `Overloaded` errors, in
+//!   order, and the connection must remain usable afterwards.
+//! * **idle connections are cheap** — the Criterion sample times a
+//!   single ping round trip while all other connections sit idle in
+//!   the poll set, pricing the per-tick scan of a large interest set.
+//!
+//! Results land in `BENCH_e14.json` at the workspace root.
+//! `EQ_E14_SMOKE=1` shrinks the workload for CI smoke runs (128
+//! connections; the correctness assertions still run, the 1000-conn
+//! scale and the JSON record are for the full run).
+
+use std::hint::black_box;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eq_bench::archive;
+use eq_earthqube::net::{EqClient, NetConfig, NetServer};
+use eq_earthqube::{EarthQubeConfig, QueryServer, ServeConfig};
+use eq_proto::{
+    ErrorCode, Request, RequestBody, Response, ResponseBody, MAX_FRAME_LEN, REQUEST_MAGIC,
+    RESPONSE_MAGIC,
+};
+use eq_wire::frame::{read_frame, write_frame};
+
+/// Client threads driving the connection fleet (the harness host is a
+/// small box; each thread multiplexes `CONNS / CLIENT_THREADS` sockets).
+const CLIENT_THREADS: usize = 4;
+/// Pipelined ping rounds across the whole fleet in the sustain phase.
+const ROUNDS: usize = 5;
+/// In-flight quota per connection for the overload phase.
+const QUOTA: usize = 8;
+/// Requests the flood connection pipelines (must exceed `QUOTA`).
+const FLOOD: usize = 48;
+
+/// `VmRSS` of this process in kilobytes, from `/proc/self/status`.
+fn resident_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// One pipelined ping per connection in `conns`, then one response per
+/// connection, asserting ids echo back.  Returns requests completed.
+fn ping_round(conns: &mut [TcpStream], base_id: u64) -> usize {
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let payload = Request { id: base_id + i as u64, body: RequestBody::Ping }.encode();
+        write_frame(conn, &REQUEST_MAGIC, &payload).expect("ping frame writes");
+    }
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let payload = read_frame(conn, &RESPONSE_MAGIC, MAX_FRAME_LEN)
+            .expect("response frame reads")
+            .expect("connection stays open");
+        let response = Response::decode(&payload).expect("response decodes");
+        assert_eq!(response.id, base_id + i as u64, "response answers the matching request");
+        assert_eq!(response.body, ResponseBody::Pong, "ping is answered with pong");
+    }
+    conns.len()
+}
+
+/// Opens `count` loopback connections to `addr`.
+fn open_fleet(addr: SocketAddr, count: usize) -> Vec<TcpStream> {
+    (0..count)
+        .map(|_| {
+            let conn = TcpStream::connect(addr).expect("loopback connect");
+            conn.set_nodelay(true).expect("nodelay");
+            conn
+        })
+        .collect()
+}
+
+/// The overload phase: flood one connection past its in-flight quota in
+/// a single write, then read every response.  Returns (pongs, rejected).
+fn flood_one_connection(addr: SocketAddr) -> (usize, usize) {
+    let mut conn = TcpStream::connect(addr).expect("flood connect");
+    conn.set_nodelay(true).expect("nodelay");
+    let mut burst = Vec::new();
+    for id in 1..=FLOOD as u64 {
+        let payload = Request { id, body: RequestBody::Ping }.encode();
+        write_frame(&mut burst, &REQUEST_MAGIC, &payload).expect("frame into buffer");
+    }
+    conn.write_all(&burst).expect("flood burst writes");
+
+    let (mut pongs, mut rejected) = (0usize, 0usize);
+    for expect_id in 1..=FLOOD as u64 {
+        let payload = read_frame(&mut conn, &RESPONSE_MAGIC, MAX_FRAME_LEN)
+            .expect("flood response reads")
+            .expect("flooded connection is answered, not stalled or dropped");
+        let response = Response::decode(&payload).expect("flood response decodes");
+        assert_eq!(response.id, expect_id, "responses stay in submission order");
+        match response.body {
+            ResponseBody::Pong => pongs += 1,
+            ResponseBody::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded, "rejection is the typed overload error");
+                rejected += 1;
+            }
+            other => panic!("unexpected flood response: {other:?}"),
+        }
+    }
+    // The connection survives its own flood: a fresh request still works.
+    assert_eq!(ping_round(std::slice::from_mut(&mut conn), 1_000_000), 1);
+    (pongs, rejected)
+}
+
+struct RunResult {
+    conns: usize,
+    total_requests: usize,
+    reqs_per_sec: f64,
+    rss_before_kb: u64,
+    rss_peak_kb: u64,
+    pongs: usize,
+    rejected: usize,
+}
+
+fn bench_concurrent_connections(c: &mut Criterion) {
+    let smoke = std::env::var("EQ_E14_SMOKE").is_ok_and(|v| v == "1");
+    let conns = if smoke { 128 } else { 1_200 };
+
+    println!(
+        "[E14] connection scalability: {conns} concurrent loopback connections, \
+         {CLIENT_THREADS} client threads, quota {QUOTA}{}",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let archive = archive(64, 140);
+    let mut config = EarthQubeConfig::fast(140);
+    config.train_model = false; // ping workload: no CBIR model needed
+    let server =
+        Arc::new(QueryServer::build(&archive, config, ServeConfig::default()).expect("builds"));
+    let net = NetServer::bind_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 2,
+            max_inflight_per_conn: QUOTA,
+            // Sized for the fleet: every connection may have one ping in
+            // flight at once.  The overload phase exercises the per-conn
+            // quota, which is independent of the queue bound.
+            queue_capacity: 2 * conns,
+            ..NetConfig::default()
+        },
+    )
+    .expect("binds loopback");
+    let addr = net.local_addr();
+
+    let rss_before_kb = resident_kb();
+
+    // -- sustain phase: CONNS concurrent connections, ROUNDS ping rounds --
+    let start = Instant::now();
+    let per_thread = conns / CLIENT_THREADS;
+    let completed: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut fleet = open_fleet(addr, per_thread);
+                    let mut done = 0usize;
+                    for round in 0..ROUNDS {
+                        done += ping_round(&mut fleet, (t * ROUNDS + round) as u64 * 1_000_000);
+                    }
+                    // Hold every socket open until all threads finish so
+                    // the peak poll set really is `conns` entries wide.
+                    std::thread::sleep(Duration::from_millis(50));
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    });
+    let elapsed = start.elapsed();
+    let rss_peak_kb = resident_kb();
+
+    let expected = per_thread * CLIENT_THREADS * ROUNDS;
+    assert_eq!(completed, expected, "every connection got every response");
+    let reqs_per_sec = completed as f64 / elapsed.as_secs_f64();
+
+    // Bounded memory: client + server growth must stay under a small
+    // per-connection budget plus a fixed slack (a thread-per-connection
+    // design fails this on stacks alone).
+    let growth_kb = rss_peak_kb.saturating_sub(rss_before_kb);
+    let budget_kb = 64 * conns as u64 + 32 * 1024;
+    assert!(
+        growth_kb <= budget_kb,
+        "resident growth {growth_kb} kB exceeds the {budget_kb} kB budget for {conns} connections"
+    );
+
+    println!(
+        "[E14] sustain: {completed} pings over {conns} conns in {elapsed:.2?} \
+         ({reqs_per_sec:.0} req/s) | RSS {rss_before_kb} -> {rss_peak_kb} kB \
+         (+{growth_kb} kB, budget {budget_kb} kB)"
+    );
+
+    // -- overload phase: typed rejection, strict ordering, no stall ------
+    let (pongs, rejected) = flood_one_connection(addr);
+    assert!(rejected >= 1, "flooding past the quota must draw typed Overloaded rejections");
+    assert!(pongs >= 1, "admitted requests are still served during the flood");
+    assert_eq!(pongs + rejected, FLOOD, "every flooded request gets exactly one answer");
+    let stats = net.net_stats();
+    assert!(stats.rejected_overload >= rejected as u64, "rejections surface in the scrape stats");
+    println!(
+        "[E14] overload: {FLOOD} pipelined vs quota {QUOTA}: {pongs} served, \
+         {rejected} rejected with typed Overloaded, connection stayed usable"
+    );
+
+    // -- Criterion sample: one RTT while the rest of the fleet idles ----
+    let mut group = c.benchmark_group("e14_concurrent_connections");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(if smoke { 300 } else { 1500 }));
+    group.warm_up_time(Duration::from_millis(if smoke { 50 } else { 300 }));
+    let idle = open_fleet(addr, conns);
+    let mut probe = EqClient::connect(addr).expect("probe client connects");
+    group.bench_function(BenchmarkId::new("ping_rtt_with_idle_fleet", conns), |b| {
+        b.iter(|| black_box(probe.ping()).expect("probe ping"))
+    });
+    group.finish();
+    drop(idle);
+    drop(probe);
+
+    if !smoke {
+        write_json(&RunResult {
+            conns,
+            total_requests: completed,
+            reqs_per_sec,
+            rss_before_kb,
+            rss_peak_kb,
+            pongs,
+            rejected,
+        });
+    }
+    net.shutdown();
+}
+
+/// Records the measurements in `BENCH_e14.json` at the workspace root
+/// (the committed copy tracks the trajectory across PRs).
+fn write_json(r: &RunResult) {
+    let json = format!(
+        "{{\n  \"experiment\": \"e14_concurrent_connections\",\n  \"acceptance\": \
+         \"the event loop sustains >= 1000 concurrent loopback connections with bounded \
+         resident growth; over-quota requests are rejected with typed Overloaded errors, \
+         never stalled\",\n  \"connections\": {},\n  \"client_threads\": {CLIENT_THREADS},\n  \
+         \"rounds\": {ROUNDS},\n  \"total_requests\": {},\n  \"requests_per_sec\": {:.0},\n  \
+         \"rss_before_kb\": {},\n  \"rss_peak_kb\": {},\n  \"rss_growth_kb\": {},\n  \
+         \"flood_requests\": {FLOOD},\n  \"flood_quota\": {QUOTA},\n  \"flood_served\": {},\n  \
+         \"flood_rejected_overloaded\": {}\n}}\n",
+        r.conns,
+        r.total_requests,
+        r.reqs_per_sec,
+        r.rss_before_kb,
+        r.rss_peak_kb,
+        r.rss_peak_kb.saturating_sub(r.rss_before_kb),
+        r.pongs,
+        r.rejected,
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_e14.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[E14] could not write {}: {e}", path.display());
+    } else {
+        println!("[E14] wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_concurrent_connections);
+criterion_main!(benches);

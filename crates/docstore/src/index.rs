@@ -42,8 +42,41 @@ struct PostingList {
 pub struct AttributeIndex {
     entries: BTreeMap<Value, PostingList>,
     elements: BTreeMap<Value, Bitmap>,
+    /// Exact-`==` postings for numeric scalar values, keyed by [`NumKey`]
+    /// so `Int(2)` and `Float(2.0)` — which share one `entries` key under
+    /// the total order — resolve to distinct bitmaps.
+    numeric: BTreeMap<NumKey, Bitmap>,
+    /// Exact-`==` postings for numeric *elements* of `Array` values.
+    numeric_elements: BTreeMap<NumKey, Bitmap>,
     present: Bitmap,
     len: usize,
+}
+
+/// Canonical exact-numeric posting key.  The index B-tree orders values by
+/// [`Value::cmp`], under which `Int(2)` and `Float(2.0)` collide on one
+/// key and `-0.0`/`+0.0` split into two — both the opposite of what the
+/// filter evaluator's `==` sees.  `NumKey` keys numeric postings the way
+/// `PartialEq` compares them: integers and floats apart, `-0.0`
+/// canonicalised onto `+0.0`, and `NaN` excluded entirely (it equals
+/// nothing, itself included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum NumKey {
+    Int(i64),
+    /// IEEE-754 bits of a non-NaN float, `-0.0` stored as `+0.0`.
+    Float(u64),
+}
+
+/// The canonical posting key of a numeric scalar; `None` for `NaN` (never
+/// posted) and for every non-numeric value.
+fn num_key(v: &Value) -> Option<NumKey> {
+    match v {
+        Value::Int(i) => Some(NumKey::Int(*i)),
+        Value::Float(f) if !f.is_nan() => {
+            let canonical = if *f == 0.0 { 0.0f64 } else { *f };
+            Some(NumKey::Float(canonical.to_bits()))
+        }
+        _ => None,
+    }
 }
 
 impl AttributeIndex {
@@ -70,8 +103,14 @@ impl AttributeIndex {
     /// Adds a posting.
     pub fn insert(&mut self, key: Value, doc: DocId) {
         for_each_element(&key, |element| {
+            if let Some(nk) = num_key(&element) {
+                self.numeric_elements.entry(nk).or_default().insert(doc);
+            }
             self.elements.entry(element).or_default().insert(doc);
         });
+        if let Some(nk) = num_key(&key) {
+            self.numeric.entry(nk).or_default().insert(doc);
+        }
         self.present.insert(doc);
         let posting = self.entries.entry(key).or_default();
         posting.docs.push(doc);
@@ -87,7 +126,23 @@ impl AttributeIndex {
                 list.bitmap.remove(doc);
                 self.len -= 1;
                 self.present.remove(doc);
+                if let Some(nk) = num_key(key) {
+                    if let Some(bm) = self.numeric.get_mut(&nk) {
+                        bm.remove(doc);
+                        if bm.is_empty() {
+                            self.numeric.remove(&nk);
+                        }
+                    }
+                }
                 for_each_element(key, |element| {
+                    if let Some(nk) = num_key(&element) {
+                        if let Some(bm) = self.numeric_elements.get_mut(&nk) {
+                            bm.remove(doc);
+                            if bm.is_empty() {
+                                self.numeric_elements.remove(&nk);
+                            }
+                        }
+                    }
                     if let Some(bm) = self.elements.get_mut(&element) {
                         bm.remove(doc);
                         if bm.is_empty() {
@@ -162,6 +217,36 @@ impl AttributeIndex {
     /// `Exists` compilation; also the base of `Contains*` supersets).
     pub fn present_bitmap(&self) -> &Bitmap {
         &self.present
+    }
+
+    /// The **exact** `==` equality bitmap for a numeric scalar query
+    /// value, resolved through the canonical numeric postings: `Int` and
+    /// `Float` postings are keyed apart, `±0.0` share one key, and a
+    /// `NaN` query resolves to the empty set (it `==` nothing).  Returns
+    /// `None` when `key` is not a numeric scalar — the caller then
+    /// decides via the ordered posting map instead.
+    pub fn numeric_eq_bitmap(&self, key: &Value) -> Option<Bitmap> {
+        match key {
+            Value::Float(f) if f.is_nan() => Some(Bitmap::new()),
+            _ => {
+                let nk = num_key(key)?;
+                Some(self.numeric.get(&nk).cloned().unwrap_or_default())
+            }
+        }
+    }
+
+    /// The exact `==` *element*-containment bitmap for a numeric scalar:
+    /// documents whose `Array` value holds an element `==` to `key`.
+    /// Same key canonicalisation and `None` contract as
+    /// [`numeric_eq_bitmap`](Self::numeric_eq_bitmap).
+    pub fn numeric_element_bitmap(&self, key: &Value) -> Option<Bitmap> {
+        match key {
+            Value::Float(f) if f.is_nan() => Some(Bitmap::new()),
+            _ => {
+                let nk = num_key(key)?;
+                Some(self.numeric_elements.get(&nk).cloned().unwrap_or_default())
+            }
+        }
     }
 }
 
@@ -390,6 +475,51 @@ mod tests {
         // Removing a non-existent posting is a no-op.
         idx.remove(&Value::Int(1), 99);
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn numeric_postings_key_ints_and_floats_apart() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(Value::Int(2), 1);
+        idx.insert(Value::Float(2.0), 2);
+        idx.insert(Value::Float(-0.0), 3);
+        idx.insert(Value::Float(0.0), 4);
+        idx.insert(Value::Float(f64::NAN), 5);
+        idx.insert(Value::Array(vec![Value::Int(7), Value::Float(7.0)]), 6);
+
+        // Int(2) and Float(2.0) share an `entries` key under the total
+        // order, but the numeric postings keep them apart.
+        let int2 = idx.numeric_eq_bitmap(&Value::Int(2)).unwrap();
+        assert_eq!(int2.iter().collect::<Vec<_>>(), vec![1]);
+        let float2 = idx.numeric_eq_bitmap(&Value::Float(2.0)).unwrap();
+        assert_eq!(float2.iter().collect::<Vec<_>>(), vec![2]);
+
+        // ±0.0 canonicalise onto one key (PartialEq agrees: -0.0 == 0.0).
+        let zero = idx.numeric_eq_bitmap(&Value::Float(-0.0)).unwrap();
+        assert_eq!(zero.iter().collect::<Vec<_>>(), vec![3, 4]);
+
+        // NaN == nothing, itself included: the exact bitmap is empty.
+        assert!(idx.numeric_eq_bitmap(&Value::Float(f64::NAN)).unwrap().is_empty());
+
+        // Array elements mirror into the numeric element postings.
+        let el7 = idx.numeric_element_bitmap(&Value::Int(7)).unwrap();
+        assert_eq!(el7.iter().collect::<Vec<_>>(), vec![6]);
+        let el7f = idx.numeric_element_bitmap(&Value::Float(7.0)).unwrap();
+        assert_eq!(el7f.iter().collect::<Vec<_>>(), vec![6]);
+
+        // Non-numeric queries decline (`None`): the caller falls back to
+        // the ordered posting map.
+        assert!(idx.numeric_eq_bitmap(&Value::Str("2".into())).is_none());
+
+        // Removal prunes the numeric maps symmetrically.
+        idx.remove(&Value::Int(2), 1);
+        assert!(idx.numeric_eq_bitmap(&Value::Int(2)).unwrap().is_empty());
+        assert_eq!(
+            idx.numeric_eq_bitmap(&Value::Float(2.0)).unwrap().iter().collect::<Vec<_>>(),
+            vec![2]
+        );
+        idx.remove(&Value::Array(vec![Value::Int(7), Value::Float(7.0)]), 6);
+        assert!(idx.numeric_element_bitmap(&Value::Int(7)).unwrap().is_empty());
     }
 
     #[test]

@@ -33,12 +33,16 @@
 //! `Contains*` use `==` (`PartialEq`), while posting lookup uses the index
 //! B-tree's total [`Value`] order — and the two disagree on numerics
 //! (`Int(2)` Ord-equals `Float(2.0)`; `0.0`/`-0.0` split the other way).
-//! Equality-family leaves therefore compile **only when every query value
-//! is free of `Int`/`Float`** (recursively); otherwise the leaf is left
-//! uncompiled.  The EarthQube workloads (countries, seasons, label codes,
-//! patch names — all strings; dates are `Date`) always compile.  The
-//! comparison operators are exempt: both the evaluator and the B-tree use
-//! [`Value::cmp`], so ranges are exact for every type.
+//! Numeric **scalar** query values therefore resolve through the index's
+//! canonical exact-numeric postings
+//! ([`AttributeIndex::numeric_eq_bitmap`]), which key postings the way
+//! `==` compares them — ints and floats apart, `±0.0` merged, `NaN`
+//! equal to nothing — so `Eq`/`In`/`Contains*` on numbers compile to
+//! exact bitmaps too.  Only numerics *nested* inside `Array`/`Doc` query
+//! values still force the leaf to stay uncompiled (composite `==` has no
+//! posting mirror).  The comparison operators never needed any of this:
+//! both the evaluator and the B-tree use [`Value::cmp`], so ranges are
+//! exact for every type straight off the ordered map.
 
 use std::ops::Bound;
 
@@ -46,6 +50,7 @@ use eq_hashindex::Bitmap;
 
 use crate::collection::Collection;
 use crate::filter::Filter;
+use crate::index::AttributeIndex;
 use crate::value::Value;
 
 /// The result of compiling a filter against a collection's posting
@@ -89,18 +94,19 @@ fn compile(c: &Collection, filter: &Filter) -> (Option<Bitmap>, Filter) {
         Filter::All => (None, Filter::All),
 
         Filter::Eq(field, v) => match c.attribute_index(field) {
-            Some(idx) if ord_eq_safe(v) => {
-                (Some(idx.value_bitmap(v).cloned().unwrap_or_default()), Filter::All)
-            }
-            _ => uncompiled(filter),
+            Some(idx) => match exact_value_bitmap(idx, v) {
+                Some(bm) => (Some(bm), Filter::All),
+                None => uncompiled(filter),
+            },
+            None => uncompiled(filter),
         },
 
         Filter::Ne(field, v) => match c.attribute_index(field) {
-            Some(idx) if ord_eq_safe(v) => {
-                let matching = idx.value_bitmap(v).cloned().unwrap_or_default();
-                (Some(c.live_bitmap().and_not(&matching)), Filter::All)
-            }
-            _ => uncompiled(filter),
+            Some(idx) => match exact_value_bitmap(idx, v) {
+                Some(matching) => (Some(c.live_bitmap().and_not(&matching)), Filter::All),
+                None => uncompiled(filter),
+            },
+            None => uncompiled(filter),
         },
 
         Filter::Lt(field, v) => range_leaf(c, field, Bound::Unbounded, Bound::Excluded(v), filter),
@@ -109,16 +115,17 @@ fn compile(c: &Collection, filter: &Filter) -> (Option<Bitmap>, Filter) {
         Filter::Gte(field, v) => range_leaf(c, field, Bound::Included(v), Bound::Unbounded, filter),
 
         Filter::In(field, values) => match c.attribute_index(field) {
-            Some(idx) if values.iter().all(ord_eq_safe) => {
+            Some(idx) => {
                 let mut out = Bitmap::new();
                 for v in values {
-                    if let Some(bm) = idx.value_bitmap(v) {
-                        out = out.or(bm);
-                    }
+                    let Some(bm) = exact_value_bitmap(idx, v) else {
+                        return uncompiled(filter);
+                    };
+                    out = out.or(&bm);
                 }
                 (Some(out), Filter::All)
             }
-            _ => uncompiled(filter),
+            None => uncompiled(filter),
         },
 
         Filter::Exists(field) => match c.attribute_index(field) {
@@ -136,10 +143,12 @@ fn compile(c: &Collection, filter: &Filter) -> (Option<Bitmap>, Filter) {
             // whose field is an array or string; `present` is a superset
             // (it also holds scalar-valued documents), so the leaf stays.
             Some(idx) if values.is_empty() => (Some(idx.present_bitmap().clone()), filter.clone()),
-            Some(idx) if values.iter().all(ord_eq_safe) => {
+            Some(idx) => {
                 let mut out: Option<Bitmap> = None;
                 for v in values {
-                    let bm = idx.element_bitmap(v).cloned().unwrap_or_default();
+                    let Some(bm) = exact_element_bitmap(idx, v) else {
+                        return uncompiled(filter);
+                    };
                     out = Some(match out {
                         Some(acc) => acc.and(&bm),
                         None => bm,
@@ -147,32 +156,35 @@ fn compile(c: &Collection, filter: &Filter) -> (Option<Bitmap>, Filter) {
                 }
                 (out, Filter::All)
             }
-            _ => uncompiled(filter),
+            None => uncompiled(filter),
         },
 
         Filter::ContainsAny(field, values) => match c.attribute_index(field) {
             // `any` over an empty list is false: the empty bitmap is exact.
             Some(_) if values.is_empty() => (Some(Bitmap::new()), Filter::All),
-            Some(idx) if values.iter().all(ord_eq_safe) => {
+            Some(idx) => {
                 let mut out = Bitmap::new();
                 for v in values {
-                    if let Some(bm) = idx.element_bitmap(v) {
-                        out = out.or(bm);
-                    }
+                    let Some(bm) = exact_element_bitmap(idx, v) else {
+                        return uncompiled(filter);
+                    };
+                    out = out.or(&bm);
                 }
                 (Some(out), Filter::All)
             }
-            _ => uncompiled(filter),
+            None => uncompiled(filter),
         },
 
         Filter::ContainsExactly(field, values) => match c.attribute_index(field) {
             // Supersets: element postings bound membership, but never the
             // multiset equality — the leaf always stays in the residual.
             Some(idx) if values.is_empty() => (Some(idx.present_bitmap().clone()), filter.clone()),
-            Some(idx) if values.iter().all(ord_eq_safe) => {
+            Some(idx) => {
                 let mut out: Option<Bitmap> = None;
                 for v in values {
-                    let bm = idx.element_bitmap(v).cloned().unwrap_or_default();
+                    let Some(bm) = exact_element_bitmap(idx, v) else {
+                        return uncompiled(filter);
+                    };
                     out = Some(match out {
                         Some(acc) => acc.and(&bm),
                         None => bm,
@@ -180,7 +192,7 @@ fn compile(c: &Collection, filter: &Filter) -> (Option<Bitmap>, Filter) {
                 }
                 (out, filter.clone())
             }
-            _ => uncompiled(filter),
+            None => uncompiled(filter),
         },
 
         Filter::GeoWithin(field, shape) => match c.geo_index() {
@@ -273,10 +285,42 @@ fn range_leaf(
     }
 }
 
+/// The **exact** `==` equality bitmap for one query value, when the index
+/// can supply one: numeric scalars go through the canonical numeric
+/// postings (`Int(2)` and `Float(2.0)` resolve to distinct sets, `NaN` to
+/// the empty set), every other `==`-faithful value through the ordered
+/// posting map.  `None` means no exact bitmap exists — numerics nested
+/// inside `Array`/`Doc` query values — and the leaf must stay uncompiled.
+fn exact_value_bitmap(idx: &AttributeIndex, v: &Value) -> Option<Bitmap> {
+    if let Some(bm) = idx.numeric_eq_bitmap(v) {
+        return Some(bm);
+    }
+    if ord_eq_safe(v) {
+        return Some(idx.value_bitmap(v).cloned().unwrap_or_default());
+    }
+    None
+}
+
+/// [`exact_value_bitmap`]'s counterpart for the `Contains*` family:
+/// documents whose indexed value *contains* an element `==` to `v`.
+fn exact_element_bitmap(idx: &AttributeIndex, v: &Value) -> Option<Bitmap> {
+    if let Some(bm) = idx.numeric_element_bitmap(v) {
+        return Some(bm);
+    }
+    if ord_eq_safe(v) {
+        return Some(idx.element_bitmap(v).cloned().unwrap_or_default());
+    }
+    None
+}
+
 /// Whether `==` and the index order's equality coincide for this value:
 /// `Int`/`Float` anywhere inside breaks the correspondence (`Int(2)`
 /// Ord-equals `Float(2.0)` but `!=` it; `NaN`/`±0.0` split the other
-/// way), so such values cannot drive an exact equality bitmap.
+/// way), so such values cannot drive an exact equality bitmap **through
+/// the ordered posting map**.  Numeric *scalars* are instead resolved
+/// through the canonical numeric postings before this check is consulted
+/// (see [`exact_value_bitmap`]); only composite values with numerics
+/// inside reach here and stay uncompiled.
 fn ord_eq_safe(v: &Value) -> bool {
     match v {
         Value::Int(_) | Value::Float(_) => false,
@@ -487,23 +531,79 @@ mod tests {
     }
 
     #[test]
-    fn numeric_values_never_drive_equality_bitmaps() {
+    fn numeric_equality_compiles_exactly_through_canonical_postings() {
         let mut c = Collection::new("t", "name");
         c.create_attribute_index("x");
         c.insert(Document::new().with("name", "a").with("x", Value::Float(2.0))).unwrap();
         c.insert(Document::new().with("name", "b").with("x", Value::Int(2))).unwrap();
+        c.insert(Document::new().with("name", "z").with("x", Value::Float(-0.0))).unwrap();
+        c.insert(
+            Document::new()
+                .with("name", "arr")
+                .with("x", Value::Array(vec![Value::Int(2), Value::Float(3.5)])),
+        )
+        .unwrap();
+        c.insert(Document::new().with("name", "bare")).unwrap();
+
         // Int(2) and Float(2.0) share a B-tree key under the index order
-        // but are `!=` to the evaluator: an "exact" bitmap would lie.
+        // but are `!=` to the evaluator; the canonical numeric postings
+        // keep them apart, so equality-family leaves compile *exactly*.
         for f in [
             Filter::Eq("x".into(), Value::Int(2)),
+            Filter::Eq("x".into(), Value::Float(2.0)),
+            Filter::Eq("x".into(), Value::Float(0.0)), // merges with the stored -0.0
+            Filter::Eq("x".into(), Value::Float(f64::NAN)), // == nothing: empty, still exact
             Filter::Ne("x".into(), Value::Int(2)),
-            Filter::In("x".into(), vec![Value::Int(2)]),
+            Filter::In("x".into(), vec![Value::Int(2), Value::Float(3.5), "y".into()]),
             Filter::ContainsAny("x".into(), vec![Value::Int(2)]),
+            Filter::ContainsAll("x".into(), vec![Value::Int(2), Value::Float(3.5)]),
+        ] {
+            let plan = c.compile_prefilter(&f);
+            assert!(plan.is_exact(), "{f:?} should compile exactly, got {plan:?}");
+            assert_invariant(&c, &f);
+        }
+        let eq_int = c.compile_prefilter(&Filter::Eq("x".into(), Value::Int(2)));
+        assert_eq!(eq_int.cardinality(), Some(1), "only doc b holds Int(2)");
+        let eq_float = c.compile_prefilter(&Filter::Eq("x".into(), Value::Float(2.0)));
+        assert_eq!(eq_float.cardinality(), Some(1), "only doc a holds Float(2.0)");
+        assert_eq!(
+            c.compile_prefilter(&Filter::Eq("x".into(), Value::Float(0.0))).cardinality(),
+            Some(1),
+            "-0.0 == 0.0 to the evaluator, so the stored -0.0 matches"
+        );
+        assert_eq!(
+            c.compile_prefilter(&Filter::Eq("x".into(), Value::Float(f64::NAN))).cardinality(),
+            Some(0)
+        );
+        // Ne keeps documents missing the field, like every other Ne.
+        assert_eq!(
+            c.compile_prefilter(&Filter::Ne("x".into(), Value::Int(2))).cardinality(),
+            Some(4)
+        );
+        // Array elements resolve through the numeric element postings.
+        assert_eq!(
+            c.compile_prefilter(&Filter::ContainsAny("x".into(), vec![Value::Float(3.5)]))
+                .cardinality(),
+            Some(1)
+        );
+        assert_eq!(
+            c.compile_prefilter(&Filter::ContainsAny("x".into(), vec![Value::Float(2.0)]))
+                .cardinality(),
+            Some(0),
+            "the array holds Int(2), which the evaluator's == keeps distinct from Float(2.0)"
+        );
+
+        // Composite query values with numerics inside have no posting
+        // mirror for `==` and must stay uncompiled.
+        for f in [
+            Filter::Eq("x".into(), Value::Array(vec![Value::Int(2), Value::Float(3.5)])),
+            Filter::In("x".into(), vec![Value::Array(vec![Value::Int(2)])]),
         ] {
             let plan = c.compile_prefilter(&f);
             assert!(plan.bitmap.is_none(), "{f:?} must stay uncompiled");
             assert_invariant(&c, &f);
         }
+
         // Ranges stay exact even for numerics (cmp on both sides).
         let f = Filter::Lte("x".into(), Value::Float(2.5));
         assert!(c.compile_prefilter(&f).is_exact());

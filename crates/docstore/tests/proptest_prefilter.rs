@@ -10,10 +10,11 @@
 //! for every live document — i.e. resolving the bitmap and then running
 //! the residual on its survivors yields exactly the naive full-scan match
 //! set.  The corpus deliberately includes documents with missing fields
-//! (`Ne` matches them, comparisons never do), numeric values on an indexed
-//! field (where index-order equality and `==` diverge, so equality leaves
-//! must refuse to compile) and multi-character element needles (which can
-//! never match the per-character string elements).
+//! (`Ne` matches them, comparisons never do), a mixed int/float numeric
+//! field whose values overlap numerically (where index-order equality and
+//! `==` diverge, so equality leaves must resolve through the canonical
+//! numeric postings to compile exactly) and multi-character element
+//! needles (which can never match the per-character string elements).
 //!
 //! Filter ASTs are built from a drawn token stream by a small
 //! recursive-descent constructor (the vendored proptest stub has no
@@ -239,6 +240,41 @@ proptest! {
                 }
             }
             assert_contract(&coll, &f)?;
+        }
+    }
+
+    #[test]
+    fn numeric_scalar_equality_always_compiles_exactly(
+        records in arb_records(),
+        nums in proptest::collection::vec((0i64..6, 0u8..2), 1..8),
+    ) {
+        // The `score` field mixes Int and Float postings that overlap
+        // numerically; equality on numeric *scalars* must nonetheless
+        // compile to an exact bitmap via the canonical numeric postings.
+        let coll = build_collection(&records);
+        let scalar = |&(n, as_float): &(i64, u8)| {
+            if as_float == 1 { Value::Float(n as f64) } else { Value::Int(n) }
+        };
+        for pair in &nums {
+            let v = scalar(pair);
+            for f in [
+                Filter::Eq("score".into(), v.clone()),
+                Filter::Ne("score".into(), v.clone()),
+                Filter::In("score".into(), nums.iter().map(scalar).collect()),
+                Filter::ContainsAny("score".into(), vec![v.clone()]),
+            ] {
+                let plan = coll.compile_prefilter(&f);
+                prop_assert!(plan.is_exact(), "{:?} should compile exactly, got {:?}", f, plan);
+                assert_contract(&coll, &f)?;
+            }
+            // Int(n) and Float(n.0) postings stay disjoint even though
+            // they share one ordered-map key.
+            let as_int = coll.compile_prefilter(&Filter::Eq("score".into(), Value::Int(pair.0)));
+            let as_float =
+                coll.compile_prefilter(&Filter::Eq("score".into(), Value::Float(pair.0 as f64)));
+            if let (Some(a), Some(b)) = (&as_int.bitmap, &as_float.bitmap) {
+                prop_assert!(a.and(b).is_empty(), "Int/Float postings must not overlap");
+            }
         }
     }
 

@@ -108,6 +108,11 @@ pub enum EarthQubeError {
     /// The network tier failed: a transport error, a malformed frame, or a
     /// protocol violation between [`net::EqClient`] and [`net::NetServer`].
     Net(String),
+    /// The server applied admission control: the request was rejected
+    /// (never stalled, never executed) because the client exceeded its
+    /// in-flight quota or the dispatch queue is full.  Retry after
+    /// draining responses, or back off.
+    Overloaded(String),
 }
 
 impl std::fmt::Display for EarthQubeError {
@@ -119,6 +124,7 @@ impl std::fmt::Display for EarthQubeError {
             EarthQubeError::BadRequest(m) => write!(f, "bad request: {m}"),
             EarthQubeError::Persist(m) => write!(f, "persistence error: {m}"),
             EarthQubeError::Net(m) => write!(f, "network error: {m}"),
+            EarthQubeError::Overloaded(m) => write!(f, "server overloaded: {m}"),
         }
     }
 }

@@ -4,15 +4,26 @@
 //! module can only be driven in-process.  This module puts the
 //! [`QueryServer`] behind a wire boundary:
 //!
-//! * [`NetServer`] — a TCP listener plus a **bounded worker pool**.  Each
-//!   accepted connection is handed to one pool thread, which serves the
-//!   connection's `eq_proto` request frames in order against the shared
-//!   `&self` read path of the wrapped [`QueryServer`].  Faults are
+//! * [`NetServer`] — a **readiness-driven event loop** multiplexing every
+//!   accepted connection over one poller thread (a vendored `poll(2)`
+//!   shim), plus a **bounded worker pool** that executes decoded requests
+//!   against the shared `&self` read path of the wrapped [`QueryServer`].
+//!   One process serves thousands of idle-or-slow sockets over K workers;
+//!   a connection no longer pins a thread for its lifetime.  Faults are
 //!   isolated per connection: a malformed frame (garbage preamble, torn
 //!   payload, checksum mismatch, hostile length prefix) errors *that*
 //!   connection — a best-effort error frame, then close — and every other
 //!   connection keeps being served.  [`NetServer::shutdown`] stops the
-//!   acceptor, kicks live connections and joins every thread.
+//!   poller, closes live connections and joins every thread.
+//! * **Admission control** — per-connection in-flight quotas and a
+//!   bounded dispatch queue.  An over-quota request, or one arriving
+//!   while the queue is full, is answered immediately with a typed
+//!   [`eq_proto::ErrorCode::Overloaded`] error frame instead of stalling
+//!   the connection; clients that stop draining their responses (slow
+//!   loris) are evicted on a write timeout or when their output backlog
+//!   exceeds a cap.  The [`eq_proto::RequestBody::MetricsText`] endpoint
+//!   renders the serving counters plus the net-tier counters
+//!   ([`NetTierStats`]) as Prometheus-style scrape text.
 //! * [`EqClient`] — a blocking client over one reused connection, with
 //!   one-shot calls mirroring the [`QueryServer`] API and a **pipelined**
 //!   [`run_batch`](EqClient::run_batch) that streams a whole workload of
@@ -32,24 +43,33 @@
 //! # Threading model
 //!
 //! ```text
-//! acceptor thread ──accept──▶ channel ──recv──▶ worker 0 ┐
-//!                                            ▶ worker 1 ├─▶ QueryServer (&self)
-//!                                            ▶ worker K ┘
+//!            ┌────────────── poller thread ──────────────┐
+//! sockets ──▶ poll(2) → read → FrameDecoder → admission ──▶ job queue
+//!            │        ◀─ ordered response write-back ─┐  │     │recv
+//!            └────────────────────▲───────────────────┼──┘     ▼
+//!                                 │ completions + wake pipe  worker 0..K ──▶ QueryServer (&self)
 //! ```
 //!
-//! A connection occupies its worker for the connection's lifetime, so the
-//! pool size bounds both concurrency and memory; idle clients holding
-//! connections open count against the pool (size it accordingly).  All
-//! workers share the *same* `QueryServer` by reference — the catalog
-//! read/write locking, the sharded CBIR index and the result cache behave
-//! exactly as they do for in-process threads.
+//! The poller owns the listener and the whole connection table (no locks
+//! on the socket path); workers own dispatch.  Each complete request
+//! frame takes a per-connection sequence number at decode time, and the
+//! poller releases response frames **strictly in that order** — so a
+//! pipelining client ([`EqClient::run_batch`]) observes exactly the
+//! blocking server's ordering even though requests of one connection may
+//! execute on different workers.  All workers share the *same*
+//! `QueryServer` by reference — the catalog read/write locking, the
+//! sharded CBIR index and the result cache behave exactly as they do for
+//! in-process threads.
 
-use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufReader, Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd as _;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use eq_bigearthnet::patch::Patch;
 use eq_docstore::QueryPlan;
@@ -226,6 +246,7 @@ pub fn error_to_payload(error: &EarthQubeError) -> eq_proto::ErrorPayload {
         EarthQubeError::BadRequest(m) => (eq_proto::ErrorCode::BadRequest, m.clone()),
         EarthQubeError::Persist(m) => (eq_proto::ErrorCode::Persist, m.clone()),
         EarthQubeError::Net(m) => (eq_proto::ErrorCode::Internal, m.clone()),
+        EarthQubeError::Overloaded(m) => (eq_proto::ErrorCode::Overloaded, m.clone()),
     };
     eq_proto::ErrorPayload { code, message }
 }
@@ -239,6 +260,7 @@ pub fn payload_to_error(payload: eq_proto::ErrorPayload) -> EarthQubeError {
         eq_proto::ErrorCode::BadRequest => EarthQubeError::BadRequest(payload.message),
         eq_proto::ErrorCode::Persist => EarthQubeError::Persist(payload.message),
         eq_proto::ErrorCode::Internal => EarthQubeError::Net(payload.message),
+        eq_proto::ErrorCode::Overloaded => EarthQubeError::Overloaded(payload.message),
     }
 }
 
@@ -246,60 +268,775 @@ pub fn payload_to_error(payload: eq_proto::ErrorPayload) -> EarthQubeError {
 // Server
 // ---------------------------------------------------------------------------
 
-/// Shared state of the serving threads.
+/// Tuning knobs of the event-driven serving tier.
+///
+/// [`NetServer::bind`] uses [`NetConfig::default`] with only the worker
+/// count overridden; [`NetServer::bind_with`] takes the full set.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Dispatch pool size (at least one).  Workers execute requests; the
+    /// poller thread owns all sockets, so this bounds CPU concurrency,
+    /// not connection count.
+    pub workers: usize,
+    /// Per-connection cap on requests concurrently at the dispatch tier.
+    /// A request arriving over quota is answered immediately with a
+    /// typed [`eq_proto::ErrorCode::Overloaded`] error.
+    pub max_inflight_per_conn: usize,
+    /// Bound of the poller→worker hand-off queue.  A request arriving
+    /// while the queue is full is rejected with `Overloaded` instead of
+    /// stalling the poller.
+    pub queue_capacity: usize,
+    /// A connection whose output backlog makes no write progress for
+    /// this long is evicted (slow-loris defence).
+    pub write_timeout: Duration,
+    /// A connection whose unsent output backlog exceeds this many bytes
+    /// is evicted regardless of progress, bounding per-connection memory.
+    pub write_buffer_cap: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_inflight_per_conn: 64,
+            queue_capacity: 256,
+            write_timeout: Duration::from_secs(30),
+            // Above the 64 MiB frame cap: a single legitimate maximum-size
+            // response must never trip the eviction sweep.
+            write_buffer_cap: 160 * 1024 * 1024,
+        }
+    }
+}
+
+/// Internal atomic counters of the network tier.
+#[derive(Debug, Default)]
+struct NetStats {
+    accepted: AtomicU64,
+    rejected_overload: AtomicU64,
+    evicted_slow: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+    acceptor_fatal: AtomicU64,
+    connections_failed: AtomicU64,
+}
+
+/// A snapshot of the network-tier counters ([`NetServer::net_stats`]);
+/// the same numbers the `MetricsText` endpoint renders as scrape text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetTierStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Requests rejected with `Overloaded` (quota or full queue).
+    pub rejected_overload: u64,
+    /// Connections evicted for not draining their responses.
+    pub evicted_slow: u64,
+    /// Payload bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Requests currently queued for the worker pool.
+    pub queue_depth: u64,
+    /// High-water mark of the dispatch queue depth.
+    pub queue_depth_high_water: u64,
+    /// Fatal listener errors (the acceptor stopped; connections live on).
+    pub acceptor_fatal: u64,
+    /// Connections that ended with a protocol or transport fault.
+    pub connections_failed: u64,
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetTierStats {
+        NetTierStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            evicted_slow: self.evicted_slow.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_high_water: self.queue_depth_hwm.load(Ordering::Relaxed),
+            acceptor_fatal: self.acceptor_fatal.load(Ordering::Relaxed),
+            connections_failed: self.connections_failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the poller, the workers and the [`NetServer`]
+/// handle.  The connection table is *not* here: the poller thread owns it
+/// exclusively, so the socket path takes no locks.
 struct Shared {
     server: Arc<QueryServer>,
-    /// Set once by shutdown; checked by the acceptor and the workers.
+    /// Set once by shutdown; checked by the poller and the workers.
     stop: AtomicBool,
-    /// Live connection sockets, keyed by connection id, kicked on
-    /// shutdown so blocked reads return and workers can be joined.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn_id: AtomicU64,
-    connections_failed: AtomicU64,
     /// Latched when a *mutating* request (ingest, feedback) panicked
     /// mid-dispatch: the write may be half-applied (locks here do not
     /// poison), so the server refuses all further work rather than serve
     /// possibly corrupt state.
     poisoned: AtomicBool,
+    stats: NetStats,
 }
 
-impl Shared {
-    /// Registers a live connection for the shutdown kick.  Refuses (and
-    /// the caller drops the stream) when shutdown already started — the
-    /// check runs under the same lock shutdown drains under, so a
-    /// registered connection is always either kicked or refused.
-    ///
-    /// A `try_clone` failure (fd exhaustion — the overload signal an
-    /// operator most needs to see) counts as a failed connection; a
-    /// shutdown-race refusal does not.
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let Ok(clone) = stream.try_clone() else {
-            self.connections_failed.fetch_add(1, Ordering::Relaxed);
-            return None;
-        };
-        let mut conns = self.conns.lock();
-        if self.stop.load(Ordering::SeqCst) {
-            return None;
+/// One decoded request frame on its way to the worker pool.
+struct Job {
+    conn_id: u64,
+    /// Per-connection sequence number; the poller releases responses in
+    /// this order so pipelined clients see the blocking server's ordering.
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+/// One finished response frame on its way back to the poller.
+struct Completion {
+    conn_id: u64,
+    seq: u64,
+    /// The fully framed response bytes, ready for the socket.
+    frame: Vec<u8>,
+    /// True when the connection must close after this frame (the request
+    /// payload was undecodable — a protocol fault).
+    fatal: bool,
+}
+
+type Completions = Arc<Mutex<Vec<Completion>>>;
+
+/// A response waiting in a connection's reorder buffer.
+struct PendingResponse {
+    frame: Vec<u8>,
+    fatal: bool,
+}
+
+/// The poller's per-connection state.
+struct Conn {
+    stream: TcpStream,
+    decoder: eq_wire::frame::FrameDecoder,
+    /// Unsent response bytes; `outpos` marks the consumed prefix.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Sequence number assigned to the next decoded request.
+    next_seq: u64,
+    /// Sequence number whose response goes out next.
+    next_to_send: u64,
+    /// Out-of-order completions waiting for `next_to_send` to catch up.
+    pending: BTreeMap<u64, PendingResponse>,
+    /// Requests of this connection currently at the dispatch tier.
+    inflight: usize,
+    /// Peer closed its write half (clean EOF observed).
+    read_closed: bool,
+    /// This connection was counted in `connections_failed`.
+    failed: bool,
+    /// Stop reading; close once the output backlog drains.
+    closing: bool,
+    /// The write side errored; close without waiting for the backlog.
+    write_dead: bool,
+    /// Last instant the output backlog shrank (or was empty).
+    last_write_progress: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            decoder: eq_wire::frame::FrameDecoder::new(
+                eq_proto::REQUEST_MAGIC,
+                eq_proto::MAX_FRAME_LEN,
+            ),
+            outbuf: Vec::new(),
+            outpos: 0,
+            next_seq: 0,
+            next_to_send: 0,
+            pending: BTreeMap::new(),
+            inflight: 0,
+            read_closed: false,
+            failed: false,
+            closing: false,
+            write_dead: false,
+            last_write_progress: Instant::now(),
         }
-        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        conns.insert(id, clone);
-        Some(id)
     }
 
-    fn deregister(&self, id: u64) {
-        self.conns.lock().remove(&id);
+    fn has_backlog(&self) -> bool {
+        self.outpos < self.outbuf.len()
     }
 }
 
-/// The TCP serving tier: a listener plus a bounded worker pool dispatching
-/// `eq_proto` requests onto a shared [`QueryServer`].
+/// The poll-interest mask for one connection: read while the connection
+/// is live, write only while there is a backlog to drain.
+fn want_events(conn: &Conn) -> i16 {
+    let mut events = 0;
+    if !conn.closing && !conn.read_closed {
+        events |= polling::POLLIN;
+    }
+    if conn.has_backlog() && !conn.write_dead {
+        events |= polling::POLLOUT;
+    }
+    events
+}
+
+/// Reads the request id out of raw frame-payload bytes (version `u16`,
+/// then id `u64`, little-endian) without a full decode — admission-control
+/// rejections need the id for the error frame before any worker sees the
+/// payload.  Returns 0 (the reserved "unknown request" id) for payloads
+/// too short to carry an envelope.
+fn peek_request_id(payload: &[u8]) -> u64 {
+    match payload.get(2..10) {
+        Some(bytes) => {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(bytes);
+            u64::from_le_bytes(raw)
+        }
+        None => 0,
+    }
+}
+
+/// Classifies an `accept(2)` error: transient per-connection failures
+/// (aborted handshakes, resource pressure) are retried on the next
+/// readiness event; anything else means the listener itself is broken and
+/// retrying forever would spin — the acceptor stops and the fatal counter
+/// surfaces it.  `WouldBlock` never reaches this (it ends the accept
+/// burst).
+fn accept_error_is_fatal(error: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    if matches!(
+        error.kind(),
+        ErrorKind::WouldBlock
+            | ErrorKind::Interrupted
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::TimedOut
+    ) {
+        return false;
+    }
+    // Resource exhaustion (EMFILE / ENFILE / ENOBUFS / ENOMEM): pressure,
+    // not a broken listener — connections closing will free capacity.
+    !matches!(error.raw_os_error(), Some(12) | Some(23) | Some(24) | Some(105))
+}
+
+/// The poll-loop tick: bounds eviction-sweep latency and is the fallback
+/// wake-up should a wake byte ever be lost.
+const POLL_TICK_MS: i32 = 25;
+
+/// Consumed-prefix threshold past which a connection's output buffer is
+/// compacted instead of growing unboundedly.
+const OUTBUF_COMPACT: usize = 64 * 1024;
+
+/// The event loop: owns the listener, the wake pipe's read end and the
+/// whole connection table; runs on the dedicated poller thread.
+struct EventLoop {
+    shared: Arc<Shared>,
+    config: NetConfig,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    tx: mpsc::SyncSender<Job>,
+    completions: Completions,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    /// Reused poll set and its parallel connection-id map.
+    fds: Vec<polling::PollFd>,
+    fd_conns: Vec<u64>,
+    readbuf: Vec<u8>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        self.readbuf.resize(64 * 1024, 0);
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            self.build_poll_set();
+            if polling::poll_fds(&mut self.fds, POLL_TICK_MS).is_err() {
+                // EINVAL/ENOMEM from poll(2) itself: the loop cannot make
+                // progress; treat it like a fatal listener error and stop.
+                self.shared.stats.acceptor_fatal.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.fds[0].readable_or_closed() {
+                self.drain_wake();
+            }
+            let conn_base = match &self.listener {
+                Some(_) => {
+                    if self.fds[1].readable_or_closed() {
+                        self.accept_ready();
+                    }
+                    2
+                }
+                None => 1,
+            };
+            for i in conn_base..self.fds.len() {
+                let fd = self.fds[i];
+                let id = self.fd_conns[i - conn_base];
+                if fd.has(polling::POLLOUT) {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        flush_conn(&self.shared.stats, conn);
+                    }
+                }
+                if fd.readable_or_closed() {
+                    self.read_ready(id);
+                }
+            }
+            self.drain_completions();
+            self.sweep();
+        }
+        // Shutdown: close every socket so blocked clients observe EOF.
+        for (_, conn) in self.conns.drain() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        // `self.tx` drops on return, which is what terminates the workers.
+    }
+
+    fn build_poll_set(&mut self) {
+        self.fds.clear();
+        self.fd_conns.clear();
+        self.fds.push(polling::PollFd::new(self.wake_rx.as_raw_fd(), polling::POLLIN));
+        if let Some(listener) = &self.listener {
+            self.fds.push(polling::PollFd::new(listener.as_raw_fd(), polling::POLLIN));
+        }
+        for (&id, conn) in &self.conns {
+            self.fds.push(polling::PollFd::new(conn.stream.as_raw_fd(), want_events(conn)));
+            self.fd_conns.push(id);
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut scratch = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut scratch) {
+                Ok(0) => break, // every writer gone (only during teardown)
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+
+    /// Accepts a bounded burst of pending connections.  Transient errors
+    /// are skipped; a fatal listener error stops the acceptor for good
+    /// (existing connections keep being served) and is surfaced through
+    /// the `acceptor_fatal` counter — retrying a broken listener forever
+    /// would turn the event loop into a busy spin.
+    fn accept_ready(&mut self) {
+        for _ in 0..128 {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // the socket died during the handshake
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    self.conns.insert(id, Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if !accept_error_is_fatal(&e) => continue,
+                Err(_) => {
+                    self.shared.stats.acceptor_fatal.fetch_add(1, Ordering::Relaxed);
+                    self.listener = None;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drains a readable connection: reads a bounded burst, feeds the
+    /// frame decoder, and admits every completed request frame.
+    fn read_ready(&mut self, conn_id: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        if conn.closing {
+            return;
+        }
+        // Bound the burst so one firehose connection cannot starve the
+        // rest of the poll set; level-triggered poll re-signals leftovers.
+        for _ in 0..16 {
+            match (&conn.stream).read(&mut self.readbuf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    if conn.decoder.has_partial_frame() {
+                        // Torn frame: the peer died mid-request.
+                        fault_conn(&self.shared.stats, conn, "connection closed mid-frame");
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    self.shared.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    conn.decoder.extend(&self.readbuf[..n]);
+                    pump_decoder(&self.shared, &self.config, &self.tx, conn_id, conn);
+                    if conn.closing || n < self.readbuf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transport fault (reset mid-stream): count and close.
+                    conn.read_closed = true;
+                    fault_conn(&self.shared.stats, conn, "transport error reading the connection");
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Moves finished responses from the workers into their connections'
+    /// reorder buffers, then releases everything that is next in line.
+    fn drain_completions(&mut self) {
+        let done = std::mem::take(&mut *self.completions.lock());
+        for completion in done {
+            let Some(conn) = self.conns.get_mut(&completion.conn_id) else {
+                continue; // the connection was evicted or died meanwhile
+            };
+            conn.inflight = conn.inflight.saturating_sub(1);
+            if completion.fatal {
+                mark_failed(&self.shared.stats, conn);
+                conn.closing = true;
+            }
+            conn.pending.insert(
+                completion.seq,
+                PendingResponse { frame: completion.frame, fatal: completion.fatal },
+            );
+        }
+        for conn in self.conns.values_mut() {
+            pump_out(conn);
+            if conn.has_backlog() && !conn.write_dead {
+                flush_conn(&self.shared.stats, conn);
+            }
+        }
+    }
+
+    /// Evicts connections that stopped draining their responses and
+    /// closes connections that finished (cleanly or after a fault).
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let stats = &self.shared.stats;
+        let config = &self.config;
+        self.conns.retain(|_, conn| {
+            if conn.write_dead {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                return false;
+            }
+            if conn.has_backlog() {
+                let backlog = conn.outbuf.len() - conn.outpos;
+                let stalled = now.duration_since(conn.last_write_progress) >= config.write_timeout;
+                if stalled || backlog > config.write_buffer_cap {
+                    stats.evicted_slow.fetch_add(1, Ordering::Relaxed);
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    return false;
+                }
+                return true; // still draining
+            }
+            let drained = conn.pending.is_empty() && conn.inflight == 0;
+            if (conn.closing || conn.read_closed) && drained {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                return false;
+            }
+            true
+        });
+    }
+}
+
+/// Counts a connection in `connections_failed` exactly once.
+fn mark_failed(stats: &NetStats, conn: &mut Conn) {
+    if !conn.failed {
+        conn.failed = true;
+        stats.connections_failed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fails a connection on a protocol or transport fault: counts it, queues
+/// a best-effort `BadRequest` error frame at the connection's next
+/// response slot (so responses to earlier pipelined requests still go out
+/// first), and stops reading.
+fn fault_conn(stats: &NetStats, conn: &mut Conn, message: &str) {
+    mark_failed(stats, conn);
+    conn.closing = true;
+    let response = eq_proto::Response {
+        id: 0,
+        body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+            code: eq_proto::ErrorCode::BadRequest,
+            message: message.to_string(),
+        }),
+    };
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    conn.pending
+        .insert(seq, PendingResponse { frame: encode_response_frame(&response), fatal: true });
+    pump_out(conn);
+}
+
+/// Decodes every complete frame buffered on the connection and runs
+/// admission control on each: poisoned server → typed internal error;
+/// over quota or full queue → typed `Overloaded`; otherwise hand the
+/// payload to the worker pool.
+fn pump_decoder(
+    shared: &Shared,
+    config: &NetConfig,
+    tx: &mpsc::SyncSender<Job>,
+    conn_id: u64,
+    conn: &mut Conn,
+) {
+    loop {
+        if conn.closing {
+            return;
+        }
+        match conn.decoder.next_frame() {
+            Ok(Some(payload)) => {
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                if shared.poisoned.load(Ordering::SeqCst) {
+                    let frame =
+                        encode_response_frame(&poisoned_response(peek_request_id(&payload)));
+                    conn.pending.insert(seq, PendingResponse { frame, fatal: false });
+                    continue;
+                }
+                if conn.inflight >= config.max_inflight_per_conn {
+                    reject_overloaded(
+                        &shared.stats,
+                        conn,
+                        seq,
+                        &payload,
+                        format!(
+                            "per-connection in-flight quota of {} exceeded; \
+                             read responses before sending more requests",
+                            config.max_inflight_per_conn
+                        ),
+                    );
+                    continue;
+                }
+                // Count the queue slot *before* the send: the worker's
+                // decrement happens-after its recv, so the depth gauge can
+                // never underflow.
+                let depth = shared.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.stats.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+                match tx.try_send(Job { conn_id, seq, payload }) {
+                    Ok(()) => conn.inflight += 1,
+                    Err(mpsc::TrySendError::Full(job)) => {
+                        shared.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        reject_overloaded(
+                            &shared.stats,
+                            conn,
+                            seq,
+                            &job.payload,
+                            "the server's request queue is full; retry later".to_string(),
+                        );
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => {
+                        // The pool is gone (shutdown tear-down): close.
+                        shared.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        conn.closing = true;
+                        return;
+                    }
+                }
+            }
+            Ok(None) => return,
+            Err(e) => {
+                // The decoder state is unspecified after an error: fault
+                // the connection and never feed the decoder again.
+                fault_conn(&shared.stats, conn, &format!("malformed frame: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+/// Queues a typed `Overloaded` rejection at the request's response slot —
+/// the client gets a definite answer instead of a stalled connection.
+fn reject_overloaded(stats: &NetStats, conn: &mut Conn, seq: u64, payload: &[u8], message: String) {
+    stats.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    let response = eq_proto::Response {
+        id: peek_request_id(payload),
+        body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+            code: eq_proto::ErrorCode::Overloaded,
+            message,
+        }),
+    };
+    conn.pending
+        .insert(seq, PendingResponse { frame: encode_response_frame(&response), fatal: false });
+    pump_out(conn);
+}
+
+/// Releases every response that is next in the connection's order into
+/// the output buffer.  A fatal response (protocol fault) is the last —
+/// later slots are dropped and the connection closes once it is flushed.
+fn pump_out(conn: &mut Conn) {
+    while let Some(next) = conn.pending.remove(&conn.next_to_send) {
+        if !conn.has_backlog() {
+            conn.last_write_progress = Instant::now();
+        }
+        conn.outbuf.extend_from_slice(&next.frame);
+        conn.next_to_send += 1;
+        if next.fatal {
+            conn.pending.clear();
+            break;
+        }
+    }
+}
+
+/// Writes as much of the connection's output backlog as the socket
+/// accepts right now, tracking progress for the eviction sweep.
+fn flush_conn(stats: &NetStats, conn: &mut Conn) {
+    while conn.has_backlog() {
+        match (&conn.stream).write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => {
+                conn.write_dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.outpos += n;
+                stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                conn.last_write_progress = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.write_dead = true;
+                break;
+            }
+        }
+    }
+    if !conn.has_backlog() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+    } else if conn.outpos > OUTBUF_COMPACT {
+        conn.outbuf.drain(..conn.outpos);
+        conn.outpos = 0;
+    }
+}
+
+/// Encodes a response as complete frame bytes.  A response over the frame
+/// cap is a *request* problem (result set bigger than any reader accepts),
+/// not a dead connection: it is replaced by a typed error under the same
+/// id, so the connection keeps being served.
+fn encode_response_frame(response: &eq_proto::Response) -> Vec<u8> {
+    let mut payload = response.encode();
+    if payload.len() > eq_proto::MAX_FRAME_LEN as usize {
+        let error = eq_proto::Response {
+            id: response.id,
+            body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+                code: eq_proto::ErrorCode::BadRequest,
+                message: format!(
+                    "response of {} bytes exceeds the {}-byte frame cap; \
+                     narrow the query or ingest in smaller batches",
+                    payload.len(),
+                    eq_proto::MAX_FRAME_LEN
+                ),
+            }),
+        };
+        payload = error.encode();
+    }
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    // Writing into a Vec cannot fail, and the length fits u32 by the cap
+    // check above.
+    let _ = eq_wire::frame::write_frame(&mut frame, &eq_proto::RESPONSE_MAGIC, &payload);
+    frame
+}
+
+/// The worker-pool thread body: take jobs, execute them against the
+/// shared [`QueryServer`], hand the framed response back to the poller.
+fn worker_loop(
+    shared: Arc<Shared>,
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    completions: Completions,
+    wake: UnixStream,
+) {
+    loop {
+        // The queue guard is a statement temporary: it drops before the
+        // job executes, so workers never serialise on the queue lock.
+        let job = rx.lock().recv();
+        match job {
+            Ok(job) => {
+                shared.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                if shared.stop.load(Ordering::SeqCst) {
+                    continue; // draining during shutdown: drop unserved
+                }
+                let (frame, fatal) = process_job(&shared, &job);
+                completions.lock().push(Completion {
+                    conn_id: job.conn_id,
+                    seq: job.seq,
+                    frame,
+                    fatal,
+                });
+                // Nonblocking one-byte wake; a full pipe already wakes the
+                // poller, so a WouldBlock here loses nothing.
+                let _ = (&wake).write(&[1]);
+            }
+            Err(_) => break, // poller gone: pool drains and exits
+        }
+    }
+}
+
+/// Decodes and dispatches one request payload, isolating panics.
+///
+/// A panic provoked by one connection's input (a bug this layer's input
+/// validation missed) fails that request instead of killing the pool
+/// worker — otherwise a hostile client could drain the whole pool one
+/// panic at a time.
+fn process_job(shared: &Shared, job: &Job) -> (Vec<u8>, bool) {
+    let request = match eq_proto::Request::decode(&job.payload) {
+        Ok(request) => request,
+        Err(e) => {
+            // The frame was well-formed but the payload is not a request
+            // (wrong version, unknown tag, corrupt fields): a protocol
+            // fault — best-effort error frame under id 0, then close.
+            let response = eq_proto::Response {
+                id: 0,
+                body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+                    code: eq_proto::ErrorCode::BadRequest,
+                    message: format!("malformed request: {e}"),
+                }),
+            };
+            return (encode_response_frame(&response), true);
+        }
+    };
+    let id = request.id;
+    let response = if shared.poisoned.load(Ordering::SeqCst) {
+        poisoned_response(id)
+    } else {
+        let mutating = matches!(
+            request.body,
+            eq_proto::RequestBody::Ingest { .. } | eq_proto::RequestBody::Feedback { .. }
+        );
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dispatch(&shared.server, &shared.stats, request)
+        })) {
+            Ok(response) => response,
+            Err(_) => {
+                // A panic in a *read-only* request mutated nothing (the
+                // engine read path takes only shared locks); report it
+                // and keep serving.  A panic in a mutating request may
+                // have left a half-applied write behind — these locks
+                // do not poison — so latch the server-wide poison flag:
+                // wrong answers forever are worse than refusing work.
+                if mutating {
+                    shared.poisoned.store(true, Ordering::SeqCst);
+                    poisoned_response(id)
+                } else {
+                    eq_proto::Response {
+                        id,
+                        body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
+                            code: eq_proto::ErrorCode::Internal,
+                            message: "internal panic while serving the request".to_string(),
+                        }),
+                    }
+                }
+            }
+        }
+    };
+    (encode_response_frame(&response), false)
+}
+
+/// The TCP serving tier: an event-loop poller thread multiplexing every
+/// connection, plus a bounded worker pool dispatching `eq_proto` requests
+/// onto a shared [`QueryServer`].
 ///
 /// Dropping the server performs the same graceful shutdown as
 /// [`shutdown`](Self::shutdown).
 pub struct NetServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    /// Write end of the poller's wake pipe (shutdown signalling).
+    wake: UnixStream,
+    poller: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -314,7 +1051,8 @@ impl std::fmt::Debug for NetServer {
 
 impl NetServer {
     /// Binds a listener and starts serving `server` on a pool of
-    /// `workers` threads (at least one).
+    /// `workers` threads (at least one), with every other knob at its
+    /// [`NetConfig`] default.
     ///
     /// Bind to port 0 for an ephemeral port; [`local_addr`](Self::local_addr)
     /// reports the actual address.
@@ -326,83 +1064,79 @@ impl NetServer {
         addr: impl ToSocketAddrs,
         workers: usize,
     ) -> Result<Self, EarthQubeError> {
+        Self::bind_with(server, addr, NetConfig { workers, ..NetConfig::default() })
+    }
+
+    /// Binds a listener and starts serving `server` with explicit
+    /// admission-control and eviction settings.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Net`] if the address cannot be bound
+    /// or the event loop's wake pipe cannot be created.
+    pub fn bind_with(
+        server: Arc<QueryServer>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<Self, EarthQubeError> {
         let listener = TcpListener::bind(addr).map_err(|e| net_err("binding the listener", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| net_err("switching the listener to nonblocking", e))?;
         let addr = listener.local_addr().map_err(|e| net_err("resolving the bound address", e))?;
+        let (wake_tx, wake_rx) =
+            UnixStream::pair().map_err(|e| net_err("creating the wake pipe", e))?;
+        wake_rx
+            .set_nonblocking(true)
+            .map_err(|e| net_err("switching the wake pipe to nonblocking", e))?;
+        let _ = wake_tx.set_nonblocking(true);
+
         let shared = Arc::new(Shared {
             server,
             stop: AtomicBool::new(false),
-            conns: Mutex::with_name(HashMap::new(), "conns"),
-            next_conn_id: AtomicU64::new(0),
-            connections_failed: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
+            stats: NetStats::default(),
         });
-
-        let pool = workers.max(1);
+        let pool = config.workers.max(1);
         // One warm search scratch per pool worker: a query dispatched by
         // this tier pops pooled top-k state instead of constructing it, so
         // steady-state remote serving never allocates on the search path.
         shared.server.prewarm_scratch(pool);
-        // A *bounded* hand-off queue: when every worker is pinned by a
-        // live connection and the queue is full, the acceptor blocks in
-        // `send` instead of accepting unboundedly — excess connections
-        // wait in the OS listen backlog (and are refused beyond it), so a
-        // connection flood cannot exhaust file descriptors.  This is what
-        // makes "the pool size bounds concurrency and memory" true.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool);
-        let rx = Arc::new(Mutex::with_name(rx, "accept-queue"));
+        // The *bounded* hand-off queue is the backpressure boundary: when
+        // it is full the poller rejects with `Overloaded` instead of
+        // queueing unboundedly, so a request flood cannot exhaust memory.
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::with_name(rx, "job-queue"));
+        let completions: Completions = Arc::new(Mutex::with_name(Vec::new(), "net-completions"));
         let workers = (0..pool)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let rx = Arc::clone(&rx);
-                std::thread::spawn(move || loop {
-                    // The channel guard is a statement temporary: it drops
-                    // before the connection is served, so workers never
-                    // serialise on the queue lock.
-                    let conn = rx.lock().recv();
-                    match conn {
-                        Ok(stream) if !shared.stop.load(Ordering::SeqCst) => {
-                            handle_connection(&shared, stream);
-                        }
-                        Ok(_) => {}      // draining during shutdown: drop unserved
-                        Err(_) => break, // acceptor gone: pool drains and exits
-                    }
-                })
+                let completions = Arc::clone(&completions);
+                let wake = wake_tx
+                    .try_clone()
+                    .map_err(|e| net_err("cloning the wake pipe for a worker", e))?;
+                Ok(std::thread::spawn(move || worker_loop(shared, rx, completions, wake)))
             })
-            .collect();
+            .collect::<Result<Vec<_>, EarthQubeError>>()?;
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            // The listener polls: shutdown must never depend on the
-            // process being able to connect to its own bound address (a
-            // wildcard bind or a local firewall can make the wake-up
-            // connection fail, and a blocking `accept` would then never
-            // return).  The wake-up connect in `stop_and_join` remains as
-            // a latency optimisation; this poll is the guarantee.
-            let _ = listener.set_nonblocking(true);
-            std::thread::spawn(move || {
-                while !shared.stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            // Accepted sockets must be blocking regardless
-                            // of what they inherit from the listener.
-                            if stream.set_nonblocking(false).is_err() {
-                                continue;
-                            }
-                            if tx.send(stream).is_err() {
-                                break;
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(10));
-                        }
-                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
-                    }
-                }
-                // `tx` drops here, which is what terminates the workers.
-            })
+        let poller = {
+            let event_loop = EventLoop {
+                shared: Arc::clone(&shared),
+                config,
+                listener: Some(listener),
+                wake_rx,
+                tx,
+                completions,
+                conns: HashMap::new(),
+                next_conn_id: 0,
+                fds: Vec::new(),
+                fd_conns: Vec::new(),
+                readbuf: Vec::new(),
+            };
+            std::thread::spawn(move || event_loop.run())
         };
 
-        Ok(Self { shared, addr, acceptor: Some(acceptor), workers })
+        Ok(Self { shared, addr, wake: wake_tx, poller: Some(poller), workers })
     }
 
     /// The address the server is listening on.
@@ -412,8 +1146,16 @@ impl NetServer {
 
     /// Number of connections that ended with a protocol or transport
     /// fault (and were closed without affecting any other connection).
+    /// Slow-reader evictions are counted separately
+    /// ([`NetTierStats::evicted_slow`]).
     pub fn connections_failed(&self) -> u64 {
-        self.shared.connections_failed.load(Ordering::Relaxed)
+        self.shared.stats.connections_failed.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the network-tier counters — the same numbers the
+    /// `MetricsText` endpoint renders.
+    pub fn net_stats(&self) -> NetTierStats {
+        self.shared.stats.snapshot()
     }
 
     /// Whether a mutating request panicked mid-dispatch, leaving the
@@ -424,8 +1166,8 @@ impl NetServer {
         self.shared.poisoned.load(Ordering::SeqCst)
     }
 
-    /// Gracefully shuts down: stops accepting, kicks live connections so
-    /// their workers unblock, and joins every serving thread.  In-flight
+    /// Gracefully shuts down: stops the poller (closing the listener and
+    /// every live connection) and joins every serving thread.  In-flight
     /// requests that already reached dispatch complete; their connections
     /// are then closed.
     pub fn shutdown(mut self) {
@@ -436,22 +1178,15 @@ impl NetServer {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return; // already shut down
         }
-        // Wake the acceptor promptly with a throwaway connection; if this
-        // fails the acceptor's poll loop still observes the stop flag
-        // within one poll interval.
-        let _ = TcpStream::connect(self.addr);
-        // Kick every live connection *before* joining the acceptor:
-        // blocked reads in the workers return, the workers drain the
-        // bounded hand-off queue (dropping unserved sockets now that the
-        // stop flag is set), and an acceptor blocked in a full-queue
-        // `send` gets unstuck.  Connections registering concurrently are
-        // refused under this same lock, so none can slip past the kick.
-        for (_, stream) in self.shared.conns.lock().drain() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        if let Some(handle) = self.acceptor.take() {
+        // Wake the poller; if the pipe write fails the poll tick still
+        // observes the stop flag within one interval.
+        let _ = (&self.wake).write(&[1]);
+        if let Some(handle) = self.poller.take() {
             let _ = handle.join();
         }
+        // The poller dropped the job sender on exit; workers drain the
+        // queue (dropping unserved jobs now that the stop flag is set)
+        // and exit on the disconnect.
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -471,121 +1206,31 @@ impl Drop for NetServer {
     }
 }
 
-/// Serves one connection to completion, isolating its faults.
-///
-/// Isolation covers panics too: dispatch runs behind `catch_unwind`, so a
-/// panic provoked by one connection's input (a bug this layer's input
-/// validation missed) fails that connection instead of killing the pool
-/// worker — otherwise a hostile client could drain the whole pool one
-/// panic at a time.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let Some(conn_id) = shared.register(&stream) else {
-        return; // shutdown raced the hand-off, or the socket is dead
-    };
-    let _ = stream.set_nodelay(true);
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        serve_connection(shared, &stream)
-    }));
-    if !matches!(outcome, Ok(Ok(()))) {
-        shared.connections_failed.fetch_add(1, Ordering::Relaxed);
+/// Renders the serving counters and the network-tier counters as
+/// Prometheus-style scrape text (one `name value` line per counter,
+/// shard occupancy with a `shard` label).
+fn render_metrics(stats: &ServerStats, net: &NetTierStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "eq_queries_served_total {}", stats.queries_served);
+    let _ = writeln!(out, "eq_cache_hits_total {}", stats.cache_hits);
+    let _ = writeln!(out, "eq_cache_misses_total {}", stats.cache_misses);
+    let _ = writeln!(out, "eq_cache_entries {}", stats.cache_entries);
+    let _ = writeln!(out, "eq_archive_size {}", stats.archive_size);
+    let _ = writeln!(out, "eq_ingested_images_total {}", stats.ingested_images);
+    for (shard, occupancy) in stats.shard_occupancy.iter().enumerate() {
+        let _ = writeln!(out, "eq_shard_occupancy{{shard=\"{shard}\"}} {occupancy}");
     }
-    shared.deregister(conn_id);
-}
-
-/// The per-connection serving loop: read a request frame, dispatch it on
-/// the shared [`QueryServer`], write the response frame; repeat until the
-/// peer closes cleanly or faults.
-fn serve_connection(shared: &Shared, stream: &TcpStream) -> Result<(), eq_proto::ProtoError> {
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let request = match eq_proto::read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => return Ok(()), // clean close on a frame boundary
-            Err(e) => {
-                // The frame (and with it any request id) is unrecoverable:
-                // send a best-effort error frame under id 0, then close
-                // *this* connection.  Other connections are untouched.
-                let response = eq_proto::Response {
-                    id: 0,
-                    body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
-                        code: eq_proto::ErrorCode::BadRequest,
-                        message: format!("malformed frame: {e}"),
-                    }),
-                };
-                let _ = eq_proto::write_response(&mut writer, &response);
-                let _ = writer.flush();
-                return Err(e);
-            }
-        };
-        let id = request.id;
-        let response = if shared.poisoned.load(Ordering::SeqCst) {
-            poisoned_response(id)
-        } else {
-            let mutating = matches!(
-                request.body,
-                eq_proto::RequestBody::Ingest { .. } | eq_proto::RequestBody::Feedback { .. }
-            );
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                dispatch(&shared.server, request)
-            })) {
-                Ok(response) => response,
-                Err(_) => {
-                    // A panic in a *read-only* request mutated nothing (the
-                    // engine read path takes only shared locks); report it
-                    // and keep serving.  A panic in a mutating request may
-                    // have left a half-applied write behind — these locks
-                    // do not poison — so latch the server-wide poison flag:
-                    // wrong answers forever are worse than refusing work.
-                    if mutating {
-                        shared.poisoned.store(true, Ordering::SeqCst);
-                        poisoned_response(id)
-                    } else {
-                        eq_proto::Response {
-                            id,
-                            body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
-                                code: eq_proto::ErrorCode::Internal,
-                                message: "internal panic while serving the request".to_string(),
-                            }),
-                        }
-                    }
-                }
-            }
-        };
-        match eq_proto::write_response(&mut writer, &response) {
-            Ok(()) => {}
-            // A response too large for any reader to accept is a *request*
-            // problem (result set bigger than the frame cap), not a dead
-            // connection: report it as a typed error under the request's
-            // id and keep serving.
-            Err(eq_proto::ProtoError::Frame(eq_wire::frame::FrameError::Oversized {
-                declared,
-                max,
-            })) => {
-                let error = eq_proto::Response {
-                    id: response.id,
-                    body: eq_proto::ResponseBody::Error(eq_proto::ErrorPayload {
-                        code: eq_proto::ErrorCode::BadRequest,
-                        message: format!(
-                            "response of {declared} bytes exceeds the {max}-byte frame cap; \
-                             narrow the query or ingest in smaller batches"
-                        ),
-                    }),
-                };
-                eq_proto::write_response(&mut writer, &error)?;
-            }
-            Err(e) => return Err(e),
-        }
-        // Pipelining-aware flushing: when the next request of a batch is
-        // already buffered, keep accumulating response frames and flush
-        // once the burst is drained — a pipelined batch then pays a few
-        // large writes instead of one syscall per response.  The check
-        // runs strictly before the next (possibly blocking) read, so the
-        // client always receives every response to what it has sent.
-        if reader.buffer().is_empty() {
-            writer.flush().map_err(|e| eq_proto::ProtoError::Frame(e.into()))?;
-        }
-    }
+    let _ = writeln!(out, "eq_net_accepted_total {}", net.accepted);
+    let _ = writeln!(out, "eq_net_rejected_overload_total {}", net.rejected_overload);
+    let _ = writeln!(out, "eq_net_evicted_slow_total {}", net.evicted_slow);
+    let _ = writeln!(out, "eq_net_bytes_in_total {}", net.bytes_in);
+    let _ = writeln!(out, "eq_net_bytes_out_total {}", net.bytes_out);
+    let _ = writeln!(out, "eq_net_queue_depth {}", net.queue_depth);
+    let _ = writeln!(out, "eq_net_queue_depth_high_water {}", net.queue_depth_high_water);
+    let _ = writeln!(out, "eq_net_connections_failed_total {}", net.connections_failed);
+    let _ = writeln!(out, "eq_net_acceptor_fatal_total {}", net.acceptor_fatal);
+    out
 }
 
 /// The answer every request gets once a mutating dispatch has panicked.
@@ -653,7 +1298,11 @@ fn validate_wire_patch(patch: &Patch) -> Result<(), EarthQubeError> {
 
 /// Executes one decoded request against the query server, mapping the
 /// outcome (including errors) onto the response body.
-fn dispatch(server: &QueryServer, request: eq_proto::Request) -> eq_proto::Response {
+fn dispatch(
+    server: &QueryServer,
+    net: &NetStats,
+    request: eq_proto::Request,
+) -> eq_proto::Response {
     use eq_proto::{RequestBody, ResponseBody};
     let search_outcome = |result: Result<SearchResponse, EarthQubeError>| match result {
         Ok(response) => ResponseBody::Search(response_to_payload(&response)),
@@ -684,6 +1333,9 @@ fn dispatch(server: &QueryServer, request: eq_proto::Request) -> eq_proto::Respo
             }
         }
         RequestBody::Stats => ResponseBody::Stats(stats_to_payload(&server.stats())),
+        RequestBody::MetricsText => {
+            ResponseBody::MetricsText(render_metrics(&server.stats(), &net.snapshot()))
+        }
     };
     eq_proto::Response { id: request.id, body }
 }
@@ -870,6 +1522,19 @@ impl EqClient {
             eq_proto::ResponseBody::Stats(payload) => Ok(payload_to_stats(payload)),
             eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
             other => Err(EarthQubeError::Net(format!("unexpected response {other:?} to stats"))),
+        }
+    }
+
+    /// Fetches the serving and network-tier counters rendered as
+    /// Prometheus-style scrape text.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn metrics_text(&mut self) -> Result<String, EarthQubeError> {
+        match self.call(eq_proto::RequestBody::MetricsText)? {
+            eq_proto::ResponseBody::MetricsText(text) => Ok(text),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => Err(EarthQubeError::Net(format!("unexpected response {other:?} to metrics"))),
         }
     }
 
@@ -1162,6 +1827,91 @@ mod tests {
         let requests = vec![QueryRequest::NewExample { patch: Box::new(huge), k: 3 }];
         assert!(matches!(client.run_batch(&requests), Err(EarthQubeError::Net(_))));
         net.shutdown();
+    }
+
+    /// The metrics endpoint renders the same numbers `stats()` reports:
+    /// parse the Prometheus-style text and reconcile it against a
+    /// [`ServerStats`] snapshot and the net-tier counters.
+    #[test]
+    fn metrics_text_matches_server_stats() {
+        let (net, server, archive) = served(18, 308);
+        let mut client = EqClient::connect(net.local_addr()).unwrap();
+
+        client.search(&ImageQuery::all()).unwrap();
+        client.search(&ImageQuery::all()).unwrap(); // cache hit
+        let name = &archive.patches()[0].meta.name;
+        client.similar_to(name, 4).unwrap();
+
+        let stats = server.stats();
+        let text = client.metrics_text().unwrap();
+        let metric = |name: &str| -> u64 {
+            text.lines()
+                .find_map(|line| {
+                    line.strip_prefix(name)
+                        .and_then(|rest| rest.strip_prefix(' ').and_then(|v| v.parse().ok()))
+                })
+                .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+        };
+        assert_eq!(metric("eq_queries_served_total"), stats.queries_served);
+        assert_eq!(metric("eq_cache_hits_total"), stats.cache_hits);
+        assert_eq!(metric("eq_cache_misses_total"), stats.cache_misses);
+        assert_eq!(metric("eq_cache_entries"), stats.cache_entries as u64);
+        assert_eq!(metric("eq_archive_size"), stats.archive_size as u64);
+        assert_eq!(metric("eq_net_accepted_total"), 1, "one client connected");
+        assert_eq!(metric("eq_net_rejected_overload_total"), 0);
+        assert_eq!(metric("eq_net_evicted_slow_total"), 0);
+        assert!(metric("eq_net_bytes_in_total") > 0);
+        assert!(metric("eq_net_bytes_out_total") > 0);
+        for (shard, &occupancy) in stats.shard_occupancy.iter().enumerate() {
+            let label = format!("eq_shard_occupancy{{shard=\"{shard}\"}}");
+            assert_eq!(metric(&label), occupancy as u64);
+        }
+
+        // The snapshot API reports the same counters the text renders.
+        let snap = net.net_stats();
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.connections_failed, 0);
+        assert!(snap.bytes_out > 0);
+        net.shutdown();
+    }
+
+    /// Satellite-3 regression: the acceptor classifies listener errors
+    /// instead of retrying everything forever.  Readiness and transient
+    /// per-connection failures (including fd exhaustion) are retried;
+    /// genuine listener breakage is fatal.
+    #[test]
+    fn accept_errors_are_classified() {
+        use std::io::{Error, ErrorKind};
+        for transient in [
+            Error::from(ErrorKind::WouldBlock),
+            Error::from(ErrorKind::Interrupted),
+            Error::from(ErrorKind::ConnectionAborted),
+            Error::from(ErrorKind::ConnectionReset),
+            Error::from(ErrorKind::TimedOut),
+            Error::from_raw_os_error(24),  // EMFILE
+            Error::from_raw_os_error(23),  // ENFILE
+            Error::from_raw_os_error(105), // ENOBUFS
+        ] {
+            assert!(!accept_error_is_fatal(&transient), "{transient:?} must be retried");
+        }
+        for fatal in [
+            Error::from_raw_os_error(9),  // EBADF: the listener fd is gone
+            Error::from_raw_os_error(22), // EINVAL: not listening
+            Error::from_raw_os_error(88), // ENOTSOCK
+        ] {
+            assert!(accept_error_is_fatal(&fatal), "{fatal:?} must stop the acceptor");
+        }
+    }
+
+    /// The envelope peek used by admission-control rejections reads the
+    /// id every `Request::encode` writes.
+    #[test]
+    fn peeked_request_ids_match_encoded_envelopes() {
+        for id in [0u64, 1, 77, u64::MAX] {
+            let payload = eq_proto::Request { id, body: eq_proto::RequestBody::Ping }.encode();
+            assert_eq!(peek_request_id(&payload), id);
+        }
+        assert_eq!(peek_request_id(&[0u8; 5]), 0, "short payloads fall back to id 0");
     }
 
     #[test]

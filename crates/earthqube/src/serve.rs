@@ -175,6 +175,23 @@ enum CacheKey {
     Metadata(ImageQuery),
     Similar(String, usize),
     ByCode(BinaryCode, usize),
+    /// Filtered k-NN: the query-panel filter (as the full `ImageQuery`)
+    /// and the prefilter mode are part of the request identity — two
+    /// modes may resolve the same mask through different plans, and the
+    /// cached response carries that plan.
+    SimilarFiltered {
+        name: String,
+        k: usize,
+        query: ImageQuery,
+        mode: PrefilterMode,
+    },
+    /// Filtered radius search; same identity rules as `SimilarFiltered`.
+    WithinFiltered {
+        name: String,
+        radius: u32,
+        query: ImageQuery,
+        mode: PrefilterMode,
+    },
 }
 
 fn fingerprint(key: &CacheKey) -> u64 {
@@ -197,14 +214,39 @@ fn fingerprint(key: &CacheKey) -> u64 {
             code.hash(&mut h);
             k.hash(&mut h);
         }
+        CacheKey::SimilarFiltered { name, k, query, mode } => {
+            3u8.hash(&mut h);
+            name.hash(&mut h);
+            k.hash(&mut h);
+            format!("{query:?}").hash(&mut h);
+            (*mode as u8).hash(&mut h);
+        }
+        CacheKey::WithinFiltered { name, radius, query, mode } => {
+            4u8.hash(&mut h);
+            name.hash(&mut h);
+            radius.hash(&mut h);
+            format!("{query:?}").hash(&mut h);
+            (*mode as u8).hash(&mut h);
+        }
     }
     h.finish()
+}
+
+/// What the cache stores: plain responses for the unfiltered paths, the
+/// full response-plus-plan for filtered queries (the plan is part of the
+/// response surface — `FilteredResponse` reports which strategy resolved
+/// the mask).  The `CacheKey` kinds map one-to-one onto the variants, so
+/// a lookup through the right key can only see its own shape.
+#[derive(Clone)]
+enum CachedResponse {
+    Plain(SearchResponse),
+    Filtered(FilteredResponse),
 }
 
 struct CacheEntry {
     key: CacheKey,
     last_used: u64,
-    response: SearchResponse,
+    response: CachedResponse,
 }
 
 /// One independently-locked slice of the result cache: a bounded LRU map
@@ -220,7 +262,7 @@ impl CacheShard {
         Self { capacity, tick: 0, entries: HashMap::with_capacity(capacity.min(1024)) }
     }
 
-    fn get(&mut self, fp: u64, key: &CacheKey) -> Option<SearchResponse> {
+    fn get(&mut self, fp: u64, key: &CacheKey) -> Option<CachedResponse> {
         self.tick += 1;
         let entry = self.entries.get_mut(&fp)?;
         if entry.key != *key {
@@ -230,7 +272,7 @@ impl CacheShard {
         Some(entry.response.clone())
     }
 
-    fn put(&mut self, fp: u64, key: CacheKey, response: SearchResponse) {
+    fn put(&mut self, fp: u64, key: CacheKey, response: CachedResponse) {
         if self.capacity == 0 {
             return;
         }
@@ -277,11 +319,11 @@ impl ResultCache {
         &self.shards[(fp % self.shards.len() as u64) as usize]
     }
 
-    fn get(&self, fp: u64, key: &CacheKey) -> Option<SearchResponse> {
+    fn get(&self, fp: u64, key: &CacheKey) -> Option<CachedResponse> {
         self.shard(fp).write().get(fp, key)
     }
 
-    fn put(&self, fp: u64, key: CacheKey, response: SearchResponse) {
+    fn put(&self, fp: u64, key: CacheKey, response: CachedResponse) {
         self.shard(fp).write().put(fp, key, response);
     }
 
@@ -738,8 +780,10 @@ impl QueryServer {
     ///
     /// The filter resolves to a dense-id mask under the catalog read lock
     /// (bitmap prefilter or post-filter scan, per `mode`), then the masked
-    /// bounded top-k runs across the index shards.  Filtered responses
-    /// carry a per-query plan and bypass the result cache.
+    /// bounded top-k runs across the index shards.  Filtered responses —
+    /// plan included — go through the result cache like every other query:
+    /// the filter, the mode, the image and `k` are all part of the cache
+    /// key, and ingest invalidation covers them the same way.
     ///
     /// # Errors
     /// Fails on an invalid query, an unknown image or a store error.
@@ -752,25 +796,28 @@ impl QueryServer {
     ) -> Result<FilteredResponse, EarthQubeError> {
         query.validate()?;
         let page_size = self.config.page_size;
-        let catalog = self.catalog.read();
-        let coll = catalog.database.collection(collections::METADATA)?;
-        let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
-        let code = catalog
-            .name_to_code
-            .get(name)
-            .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
-        let response = self.with_scratch(|scratch| {
-            // One extra hit in case the query image itself passes the
-            // filter — same policy as the unfiltered path.
-            let hits = self.index.knn_masked_with(code, k + 1, &mask, &mut scratch.search);
-            scratch.neighbors.clear();
-            scratch.neighbors.extend(hits.iter().copied().filter(|n| {
-                catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
-            }));
-            scratch.neighbors.truncate(k);
-            catalog.response_from_neighbors(&scratch.neighbors, page_size)
-        })?;
-        Ok(FilteredResponse { response, plan })
+        let key =
+            CacheKey::SimilarFiltered { name: name.to_string(), k, query: query.clone(), mode };
+        self.cached_filtered(key, |catalog| {
+            let coll = catalog.database.collection(collections::METADATA)?;
+            let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
+            let code = catalog
+                .name_to_code
+                .get(name)
+                .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+            let response = self.with_scratch(|scratch| {
+                // One extra hit in case the query image itself passes the
+                // filter — same policy as the unfiltered path.
+                let hits = self.index.knn_masked_with(code, k + 1, &mask, &mut scratch.search);
+                scratch.neighbors.clear();
+                scratch.neighbors.extend(hits.iter().copied().filter(|n| {
+                    catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
+                }));
+                scratch.neighbors.truncate(k);
+                catalog.response_from_neighbors(&scratch.neighbors, page_size)
+            })?;
+            Ok(FilteredResponse { response, plan })
+        })
     }
 
     /// Filtered radius search (the concurrent counterpart of
@@ -789,23 +836,26 @@ impl QueryServer {
     ) -> Result<FilteredResponse, EarthQubeError> {
         query.validate()?;
         let page_size = self.config.page_size;
-        let catalog = self.catalog.read();
-        let coll = catalog.database.collection(collections::METADATA)?;
-        let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
-        let code = catalog
-            .name_to_code
-            .get(name)
-            .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
-        let response = self.with_scratch(|scratch| {
-            scratch.neighbors.clear();
-            self.index.radius_search_masked_into(code, radius, &mask, &mut scratch.neighbors);
-            eq_hashindex::sort_neighbors(&mut scratch.neighbors);
-            scratch.neighbors.retain(|n| {
-                catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
-            });
-            catalog.response_from_neighbors(&scratch.neighbors, page_size)
-        })?;
-        Ok(FilteredResponse { response, plan })
+        let key =
+            CacheKey::WithinFiltered { name: name.to_string(), radius, query: query.clone(), mode };
+        self.cached_filtered(key, |catalog| {
+            let coll = catalog.database.collection(collections::METADATA)?;
+            let (mask, plan) = matching_item_mask(coll, &query.to_filter(), mode);
+            let code = catalog
+                .name_to_code
+                .get(name)
+                .ok_or_else(|| EarthQubeError::UnknownImage(name.to_string()))?;
+            let response = self.with_scratch(|scratch| {
+                scratch.neighbors.clear();
+                self.index.radius_search_masked_into(code, radius, &mask, &mut scratch.neighbors);
+                eq_hashindex::sort_neighbors(&mut scratch.neighbors);
+                scratch.neighbors.retain(|n| {
+                    catalog.id_to_name.get(n.id as usize).map(String::as_str) != Some(name)
+                });
+                catalog.response_from_neighbors(&scratch.neighbors, page_size)
+            })?;
+            Ok(FilteredResponse { response, plan })
+        })
     }
 
     /// Checks a scratch out of the pool for the duration of `f`.  The pool
@@ -1061,6 +1111,45 @@ impl QueryServer {
         catalog.feedback.list(&catalog.database)
     }
 
+    /// Cache-or-compute for the unfiltered query paths; see
+    /// [`cached_with`](Self::cached_with) for the locking contract.
+    fn cached<F>(&self, key: CacheKey, compute: F) -> Result<SearchResponse, EarthQubeError>
+    where
+        F: FnOnce(&Catalog) -> Result<SearchResponse, EarthQubeError>,
+    {
+        self.cached_with(
+            key,
+            CachedResponse::Plain,
+            |cached| match cached {
+                CachedResponse::Plain(r) => Some(r),
+                CachedResponse::Filtered(_) => None,
+            },
+            compute,
+        )
+    }
+
+    /// Cache-or-compute for the filtered query paths: the cache stores the
+    /// full [`FilteredResponse`] (response *and* plan — replaying a hit
+    /// reports the same strategy the original computation chose).
+    fn cached_filtered<F>(
+        &self,
+        key: CacheKey,
+        compute: F,
+    ) -> Result<FilteredResponse, EarthQubeError>
+    where
+        F: FnOnce(&Catalog) -> Result<FilteredResponse, EarthQubeError>,
+    {
+        self.cached_with(
+            key,
+            CachedResponse::Filtered,
+            |cached| match cached {
+                CachedResponse::Filtered(r) => Some(r),
+                CachedResponse::Plain(_) => None,
+            },
+            compute,
+        )
+    }
+
     /// Cache-or-compute: every cached query flows through here.
     ///
     /// The catalog read lock is held across both the computation *and* the
@@ -1068,14 +1157,25 @@ impl QueryServer {
     /// holding the catalog *write* lock, so any entry inserted here is
     /// either computed over the post-ingest catalog or cleared by the very
     /// ingest it predates — stale entries cannot survive.
-    fn cached<F>(&self, key: CacheKey, compute: F) -> Result<SearchResponse, EarthQubeError>
+    ///
+    /// `unwrap` maps a stored [`CachedResponse`] back to this path's
+    /// response shape; `CacheKey` equality already guarantees the shapes
+    /// match, so the `None` arm (treated as a miss) is pure defence.
+    fn cached_with<R, F>(
+        &self,
+        key: CacheKey,
+        wrap: fn(R) -> CachedResponse,
+        unwrap: fn(CachedResponse) -> Option<R>,
+        compute: F,
+    ) -> Result<R, EarthQubeError>
     where
-        F: FnOnce(&Catalog) -> Result<SearchResponse, EarthQubeError>,
+        R: Clone,
+        F: FnOnce(&Catalog) -> Result<R, EarthQubeError>,
     {
         let caching = self.serve.cache_capacity > 0;
         let fp = fingerprint(&key);
         if caching {
-            if let Some(hit) = self.cache.get(fp, &key) {
+            if let Some(hit) = self.cache.get(fp, &key).and_then(unwrap) {
                 let mut counters = self.counters.lock();
                 counters.served += 1;
                 counters.hits += 1;
@@ -1091,7 +1191,7 @@ impl QueryServer {
             // outcome updates all its counters under one lock acquisition,
             // which is what keeps `stats()` snapshots consistent.
             Ok(response) if caching => {
-                self.cache.put(fp, key, response.clone());
+                self.cache.put(fp, key, wrap(response.clone()));
                 let mut counters = self.counters.lock();
                 counters.served += 1;
                 counters.misses += 1;
@@ -1820,6 +1920,49 @@ mod tests {
         // A different k is a different fingerprint.
         let _ = srv.similar_to(name, 6).unwrap();
         assert_eq!(srv.stats().cache_entries, 2);
+    }
+
+    #[test]
+    fn filtered_queries_hit_the_cache_and_ingest_invalidates_them() {
+        let (srv, archive) = server(30, 96, ServeConfig::default());
+        let name = &archive.patches()[0].meta.name;
+        let filter = ImageQuery::all().with_seasons(vec![
+            eq_bigearthnet::patch::Season::Summer,
+            eq_bigearthnet::patch::Season::Winter,
+        ]);
+
+        // Second identical filtered query is a hit with an identical
+        // response, plan included.
+        let first = srv.similar_to_filtered(name, 5, &filter, PrefilterMode::Auto).unwrap();
+        let second = srv.similar_to_filtered(name, 5, &filter, PrefilterMode::Auto).unwrap();
+        assert_eq!(first, second);
+        let stats = srv.stats();
+        assert_eq!(stats.queries_served, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_entries, 1);
+
+        // The mode, k, filter and request kind are all part of the key.
+        srv.similar_to_filtered(name, 5, &filter, PrefilterMode::ForcePostFilter).unwrap();
+        srv.similar_to_filtered(name, 6, &filter, PrefilterMode::Auto).unwrap();
+        srv.similar_to_filtered(name, 5, &ImageQuery::all(), PrefilterMode::Auto).unwrap();
+        srv.similar_within_filtered(name, 24, &filter, PrefilterMode::Auto).unwrap();
+        assert_eq!(srv.stats().cache_entries, 5);
+        assert_eq!(srv.stats().cache_hits, 1, "distinct filtered keys must all miss");
+
+        // Radius queries replay from the cache too.
+        let within = srv.similar_within_filtered(name, 24, &filter, PrefilterMode::Auto).unwrap();
+        assert_eq!(srv.stats().cache_hits, 2);
+
+        // Ingest clears filtered entries like every other entry: the next
+        // filtered query recomputes over the post-ingest catalog.
+        let extra = ArchiveGenerator::new(GeneratorConfig::tiny(3, 778)).unwrap().generate();
+        srv.ingest(extra.patches()).unwrap();
+        assert_eq!(srv.stats().cache_entries, 0, "ingest must clear the cache");
+        let recomputed =
+            srv.similar_within_filtered(name, 24, &filter, PrefilterMode::Auto).unwrap();
+        assert_eq!(srv.stats().cache_hits, 2, "post-ingest filtered query must recompute");
+        assert!(recomputed.response.total() >= within.response.total());
     }
 
     #[test]

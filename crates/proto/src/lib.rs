@@ -42,6 +42,7 @@
 //! | `Ingest { patches }`             | `Ingest(IngestPayload)`          |
 //! | `Feedback { text, category }`    | `Feedback { id }`                |
 //! | `Stats`                          | `Stats(StatsPayload)`            |
+//! | `MetricsText`                    | `MetricsText(String)`            |
 //! | *(any, on failure)*              | `Error(ErrorPayload)`            |
 //!
 //! The payload structs mirror the serving-layer types (`SearchResponse`,
@@ -161,6 +162,10 @@ pub enum RequestBody {
     },
     /// Fetch a snapshot of the serving counters.
     Stats,
+    /// Fetch the serving and network-tier counters rendered as
+    /// Prometheus-style scrape text; answered with
+    /// [`ResponseBody::MetricsText`].
+    MetricsText,
 }
 
 const REQ_PING: u8 = 1;
@@ -170,6 +175,7 @@ const REQ_NEW_EXAMPLE: u8 = 4;
 const REQ_INGEST: u8 = 5;
 const REQ_FEEDBACK: u8 = 6;
 const REQ_STATS: u8 = 7;
+const REQ_METRICS_TEXT: u8 = 8;
 
 fn encode_envelope(w: &mut Writer, id: u64) {
     w.u16(PROTOCOL_VERSION);
@@ -236,6 +242,7 @@ impl Request {
                 encode_option_str(category.as_deref(), &mut w);
             }
             RequestBody::Stats => w.u8(REQ_STATS),
+            RequestBody::MetricsText => w.u8(REQ_METRICS_TEXT),
         }
         w.into_bytes()
     }
@@ -269,6 +276,7 @@ impl Request {
                 category: decode_option_str(&mut r)?,
             },
             REQ_STATS => RequestBody::Stats,
+            REQ_METRICS_TEXT => RequestBody::MetricsText,
             other => return Err(WireError::Corrupt(format!("unknown request tag {other}"))),
         };
         expect_empty(&r)?;
@@ -307,6 +315,9 @@ pub enum ResponseBody {
     Stats(StatsPayload),
     /// The request failed; carries the server-side error.
     Error(ErrorPayload),
+    /// Answer to [`RequestBody::MetricsText`]: the scrape text, one
+    /// `name value` metric per line (Prometheus text exposition style).
+    MetricsText(String),
 }
 
 const RESP_PONG: u8 = 1;
@@ -315,6 +326,7 @@ const RESP_INGEST: u8 = 3;
 const RESP_FEEDBACK: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_METRICS_TEXT: u8 = 7;
 
 impl Response {
     /// Serializes the response into frame-payload bytes.
@@ -344,6 +356,10 @@ impl Response {
                 w.u8(RESP_ERROR);
                 payload.encode(&mut w);
             }
+            ResponseBody::MetricsText(text) => {
+                w.u8(RESP_METRICS_TEXT);
+                w.str(text);
+            }
         }
         w.into_bytes()
     }
@@ -363,6 +379,7 @@ impl Response {
             RESP_FEEDBACK => ResponseBody::Feedback { id: r.i64()? },
             RESP_STATS => ResponseBody::Stats(StatsPayload::decode(&mut r)?),
             RESP_ERROR => ResponseBody::Error(ErrorPayload::decode(&mut r)?),
+            RESP_METRICS_TEXT => ResponseBody::MetricsText(r.str()?.to_string()),
             other => return Err(WireError::Corrupt(format!("unknown response tag {other}"))),
         };
         expect_empty(&r)?;
@@ -850,6 +867,10 @@ pub enum ErrorCode {
     Persist,
     /// Any other server-side failure.
     Internal,
+    /// The server shed this request under load (per-client quota or
+    /// worker-queue backpressure); the connection stays usable and the
+    /// client may retry later.
+    Overloaded,
 }
 
 /// A server-side error as it crosses the wire.
@@ -871,6 +892,7 @@ impl ErrorPayload {
             ErrorCode::BadRequest => 4,
             ErrorCode::Persist => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::Overloaded => 7,
         });
         w.str(&self.message);
     }
@@ -887,6 +909,7 @@ impl ErrorPayload {
             4 => ErrorCode::BadRequest,
             5 => ErrorCode::Persist,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::Overloaded,
             other => return Err(WireError::Corrupt(format!("unknown error code {other}"))),
         };
         Ok(Self { code, message: r.str()?.to_string() })
@@ -1042,6 +1065,7 @@ mod tests {
             },
             Request { id: 7, body: RequestBody::Feedback { text: "…".into(), category: None } },
             Request { id: u64::MAX, body: RequestBody::Stats },
+            Request { id: 8, body: RequestBody::MetricsText },
         ];
         for request in &requests {
             roundtrip_request(request);
@@ -1102,6 +1126,19 @@ mod tests {
                     code: ErrorCode::UnknownImage,
                     message: "unknown image: ghost".into(),
                 }),
+            },
+            Response {
+                id: 6,
+                body: ResponseBody::Error(ErrorPayload {
+                    code: ErrorCode::Overloaded,
+                    message: "per-client quota exceeded".into(),
+                }),
+            },
+            Response {
+                id: 7,
+                body: ResponseBody::MetricsText(
+                    "eq_queries_served_total 100\neq_net_accepted_total 3\n".into(),
+                ),
             },
         ];
         for response in &responses {

@@ -194,6 +194,11 @@ fn request_stats() {
 }
 
 #[test]
+fn request_metrics_text() {
+    check_request("request_metrics_text", &Request { id: 17, body: RequestBody::MetricsText });
+}
+
+#[test]
 fn response_pong() {
     check_response("response_pong", &Response { id: 1, body: ResponseBody::Pong });
 }
@@ -305,6 +310,7 @@ fn response_errors() {
         ("response_error_bad_request", ErrorCode::BadRequest, "inverted date range"),
         ("response_error_persist", ErrorCode::Persist, "disk full"),
         ("response_error_internal", ErrorCode::Internal, "boom"),
+        ("response_error_overloaded", ErrorCode::Overloaded, "per-client quota exceeded"),
     ] {
         check_response(
             name,
@@ -314,6 +320,19 @@ fn response_errors() {
             },
         );
     }
+}
+
+#[test]
+fn response_metrics_text() {
+    check_response(
+        "response_metrics_text",
+        &Response {
+            id: 18,
+            body: ResponseBody::MetricsText(
+                "eq_queries_served_total 600\neq_net_accepted_total 4\n".into(),
+            ),
+        },
+    );
 }
 
 // Orphan-fixture detection lives in eq_lint's `golden` rule now: the

@@ -153,6 +153,109 @@ pub fn read_frame<R: Read>(
     Ok(Some(payload))
 }
 
+/// Incremental frame decoder for readiness-driven servers.
+///
+/// The blocking [`read_frame`] owns its stream and can simply block until a
+/// frame completes; an event loop cannot — bytes arrive in whatever chunks
+/// a non-blocking socket yields, and a single chunk may hold half a frame
+/// or three and a half.  `FrameDecoder` buffers fed bytes and hands back
+/// complete payloads as they become available, enforcing the same
+/// validation order as the blocking reader: the magic is checked as soon
+/// as four bytes are buffered, the length bound as soon as the 12-byte
+/// header is — both *before* any payload accumulates, so a hostile length
+/// prefix still cannot drive a huge allocation — and the CRC-32 once the
+/// payload completes.
+///
+/// After a returned error the decoder's state is unspecified; the caller
+/// is expected to drop the connection (every error here is unrecoverable
+/// stream corruption, not a transient condition).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    magic: [u8; 4],
+    max_len: u32,
+    buf: Vec<u8>,
+    /// Start of undecoded bytes within `buf`; consumed prefixes are
+    /// compacted away once they outgrow a small threshold, so steady-state
+    /// decoding reuses one buffer instead of shifting bytes per frame.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// Consumed-prefix size beyond which the buffer is compacted.
+    const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+    /// Creates a decoder for frames tagged with `magic`, rejecting
+    /// payloads longer than `max_len`.
+    pub fn new(magic: [u8; 4], max_len: u32) -> Self {
+        Self { magic, max_len, buf: Vec::new(), pos: 0 }
+    }
+
+    /// Appends raw stream bytes (as read from a non-blocking socket).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame payload, if the buffered bytes
+    /// hold one.  `Ok(None)` means "feed me more"; call again after every
+    /// [`extend`](Self::extend) until it returns `None`, since one chunk
+    /// can complete several frames.
+    ///
+    /// # Errors
+    /// Returns [`FrameError::BadMagic`], [`FrameError::Oversized`] or
+    /// [`FrameError::CrcMismatch`] exactly where the blocking
+    /// [`read_frame`] would; the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let b = &self.buf[self.pos..];
+        if b.len() >= 4 {
+            // lint:allow(panic) infallible: the slice is exactly 4 bytes
+            let found: [u8; 4] = b[..4].try_into().expect("4 bytes");
+            if found != self.magic {
+                return Err(FrameError::BadMagic { found, expected: self.magic });
+            }
+        }
+        if b.len() < 12 {
+            return Ok(None);
+        }
+        // lint:allow(panic) infallible: both slices of the fixed 12-byte header are exactly 4 bytes
+        let len = u32::from_le_bytes(b[4..8].try_into().expect("4 bytes"));
+        // lint:allow(panic) infallible: both slices of the fixed 12-byte header are exactly 4 bytes
+        let stored = u32::from_le_bytes(b[8..12].try_into().expect("4 bytes"));
+        if len > self.max_len {
+            return Err(FrameError::Oversized { declared: len as u64, max: self.max_len as u64 });
+        }
+        let total = 12 + len as usize;
+        if b.len() < total {
+            return Ok(None);
+        }
+        let payload = b[12..total].to_vec();
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > Self::COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let computed = crc32(&payload);
+        if stored != computed {
+            return Err(FrameError::CrcMismatch { stored, computed });
+        }
+        Ok(Some(payload))
+    }
+
+    /// Whether undecoded bytes are buffered — i.e. the stream is *inside*
+    /// a frame.  An EOF while this is true is a torn frame (the peer died
+    /// mid-message); an EOF while it is false is a clean close.
+    pub fn has_partial_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Number of undecoded bytes currently buffered.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 /// How a buffered `read_exact`-like attempt ended.
 enum Eof {
     /// All requested bytes arrived.
@@ -265,6 +368,91 @@ mod tests {
             let result = read_frame(&mut Cursor::new(&bad), MAGIC, 64);
             assert!(result.is_err(), "flipping bit {bit} went undetected");
         }
+    }
+
+    #[test]
+    fn decoder_extracts_frames_fed_one_byte_at_a_time() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, MAGIC, b"hello").unwrap();
+        write_frame(&mut stream, MAGIC, b"").unwrap();
+        write_frame(&mut stream, MAGIC, &[0xAB; 300]).unwrap();
+        let mut dec = FrameDecoder::new(*MAGIC, 4096);
+        let mut frames = Vec::new();
+        for &byte in &stream {
+            dec.extend(&[byte]);
+            while let Some(payload) = dec.next_frame().unwrap() {
+                frames.push(payload);
+            }
+        }
+        assert_eq!(frames, vec![b"hello".to_vec(), Vec::new(), vec![0xAB; 300]]);
+        assert!(!dec.has_partial_frame(), "all bytes consumed on a frame boundary");
+        assert_eq!(dec.buffered_len(), 0);
+    }
+
+    #[test]
+    fn decoder_drains_multiple_frames_from_one_chunk() {
+        let mut stream = Vec::new();
+        for i in 0..5u8 {
+            write_frame(&mut stream, MAGIC, &[i; 3]).unwrap();
+        }
+        // Plus half of a sixth frame.
+        let tail = framed(b"torn");
+        stream.extend_from_slice(&tail[..tail.len() - 2]);
+        let mut dec = FrameDecoder::new(*MAGIC, 4096);
+        dec.extend(&stream);
+        let mut n = 0;
+        while let Some(payload) = dec.next_frame().unwrap() {
+            assert_eq!(payload, vec![n as u8; 3]);
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(dec.has_partial_frame(), "the torn sixth frame is still buffered");
+        // The missing bytes complete it.
+        dec.extend(&tail[tail.len() - 2..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"torn");
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_before_the_full_header_arrives() {
+        let mut dec = FrameDecoder::new(*MAGIC, 4096);
+        dec.extend(b"GET ");
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_lengths_before_buffering_any_payload() {
+        let mut dec = FrameDecoder::new(*MAGIC, 1024);
+        let mut header = Vec::new();
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        dec.extend(&header);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { declared, max: 1024 }) if declared == u32::MAX as u64
+        ));
+    }
+
+    #[test]
+    fn decoder_detects_payload_corruption() {
+        let mut bad = framed(b"checksummed");
+        *bad.last_mut().unwrap() ^= 0x01;
+        let mut dec = FrameDecoder::new(*MAGIC, 4096);
+        dec.extend(&bad);
+        assert!(matches!(dec.next_frame(), Err(FrameError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn decoder_compacts_its_buffer_across_many_frames() {
+        // Feed far more than the compaction threshold through the decoder;
+        // the internal buffer must not grow with the total stream size.
+        let frame = framed(&[0x5A; 1024]);
+        let mut dec = FrameDecoder::new(*MAGIC, 4096);
+        for _ in 0..256 {
+            dec.extend(&frame);
+            assert_eq!(dec.next_frame().unwrap().unwrap(), vec![0x5A; 1024]);
+        }
+        assert_eq!(dec.buffered_len(), 0);
     }
 
     #[test]

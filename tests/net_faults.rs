@@ -11,18 +11,21 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use agoraeo::bigearthnet::{ArchiveGenerator, GeneratorConfig};
-use agoraeo::earthqube::net::{EqClient, NetServer};
+use agoraeo::earthqube::net::{EqClient, NetConfig, NetServer};
 use agoraeo::earthqube::{EarthQubeConfig, ImageQuery, QueryServer, ServeConfig};
 use agoraeo::proto;
 
 fn serve(n: usize, seed: u64) -> (NetServer, Arc<QueryServer>) {
+    let (net, server) = serve_with(n, seed, NetConfig { workers: 3, ..NetConfig::default() });
+    (net, server)
+}
+
+fn serve_with(n: usize, seed: u64, net_config: NetConfig) -> (NetServer, Arc<QueryServer>) {
     let archive = ArchiveGenerator::new(GeneratorConfig::tiny(n, seed)).unwrap().generate();
     let mut config = EarthQubeConfig::fast(seed);
     config.train_model = false;
     let server = Arc::new(QueryServer::build(&archive, config, ServeConfig::default()).unwrap());
-    // Three workers: one may be pinned by the long-lived healthy client,
-    // leaving capacity for a faulty connection and a follow-up probe.
-    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", 3).unwrap();
+    let net = NetServer::bind_with(Arc::clone(&server), "127.0.0.1:0", net_config).unwrap();
     (net, server)
 }
 
@@ -159,6 +162,118 @@ fn every_fault_is_isolated_to_its_connection() {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(net.connections_failed(), 5, "every fault counted, the served trickle not");
+    net.shutdown();
+}
+
+/// Admission control under a request flood: a client that pipelines far
+/// past its in-flight quota gets typed `Overloaded` error frames for the
+/// excess — immediately, in request order, with the request ids echoed —
+/// and the connection is *not* stalled or killed.  Rejection must never
+/// count as a connection fault.
+#[test]
+fn over_quota_requests_are_rejected_with_typed_errors_not_stalled() {
+    let (net, _server) = serve_with(
+        16,
+        403,
+        NetConfig { workers: 1, max_inflight_per_conn: 4, ..NetConfig::default() },
+    );
+    let addr = net.local_addr();
+    let mut canary = EqClient::connect(addr).unwrap();
+    canary.ping().unwrap();
+
+    // Twelve pings in ONE write: they arrive as one burst, so the poller
+    // admits at most the quota before any response can retire in-flight
+    // slots.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut burst = Vec::new();
+    for id in 1..=12u64 {
+        proto::write_request(&mut burst, &proto::Request { id, body: proto::RequestBody::Ping })
+            .unwrap();
+    }
+    stream.write_all(&burst).unwrap();
+    stream.flush().unwrap();
+
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut pongs = 0u64;
+    let mut overloaded = 0u64;
+    for expected_id in 1..=12u64 {
+        let response = proto::read_response(&mut stream).unwrap().expect("a response per request");
+        assert_eq!(response.id, expected_id, "responses come back in request order");
+        match response.body {
+            proto::ResponseBody::Pong => pongs += 1,
+            proto::ResponseBody::Error(payload) => {
+                assert_eq!(payload.code, proto::ErrorCode::Overloaded);
+                assert!(!payload.message.is_empty());
+                overloaded += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(pongs >= 1, "requests within quota are served");
+    assert!(overloaded >= 1, "requests over quota are rejected, not stalled");
+    assert_eq!(pongs + overloaded, 12);
+
+    // The flooding connection survives rejection and is not a fault.
+    stream.write_all(&ping_frame()).unwrap();
+    let response = proto::read_response(&mut stream).unwrap().unwrap();
+    assert_eq!(response.id, 77);
+    assert!(matches!(response.body, proto::ResponseBody::Pong));
+
+    let stats = net.net_stats();
+    assert!(stats.rejected_overload >= 1);
+    assert_eq!(net.connections_failed(), 0, "rejection is not a connection fault");
+    canary.ping().unwrap();
+    net.shutdown();
+}
+
+/// Slow-loris defence: a client that floods queries and never reads its
+/// responses is evicted once its output backlog trips the write cap (or
+/// stalls past the write timeout) — it can no longer pin server memory —
+/// while a healthy client on the same server keeps being served.
+#[test]
+fn slow_readers_are_evicted_and_service_continues() {
+    let (net, server) = serve_with(
+        48,
+        404,
+        NetConfig {
+            workers: 2,
+            max_inflight_per_conn: 512,
+            queue_capacity: 1024,
+            write_timeout: Duration::from_millis(250),
+            write_buffer_cap: 64 * 1024,
+        },
+    );
+    let addr = net.local_addr();
+    let mut canary = EqClient::connect(addr).unwrap();
+    let expected = server.search(&ImageQuery::all()).unwrap();
+
+    // The loris: hundreds of pipelined searches, never reading a byte of
+    // the multi-megabyte response stream.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    let spec = agoraeo::earthqube::net::query_to_spec(&ImageQuery::all());
+    let mut burst = Vec::new();
+    for id in 1..=800u64 {
+        proto::write_request(
+            &mut burst,
+            &proto::Request { id, body: proto::RequestBody::Search(spec.clone()) },
+        )
+        .unwrap();
+    }
+    loris.write_all(&burst).unwrap();
+    loris.flush().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while net.net_stats().evicted_slow == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = net.net_stats();
+    assert!(stats.evicted_slow >= 1, "the non-reading client must be evicted: {stats:?}");
+    assert_eq!(net.connections_failed(), 0, "eviction is not a protocol fault");
+
+    // The evicted socket is dead; the healthy client is untouched.
+    assert_eq!(canary.search(&ImageQuery::all()).unwrap(), expected);
+    canary.ping().unwrap();
+    drop(loris);
     net.shutdown();
 }
 

@@ -1,0 +1,165 @@
+//! Offline stand-in for a `poll(2)` readiness shim.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors the *subset* of a polling API its network tier
+//! actually uses: a `#[repr(C)]` [`PollFd`] mirroring `struct pollfd`,
+//! the readiness flag constants, and a safe [`poll_fds`] wrapper around
+//! the raw syscall binding.  Swap this path dependency for a registry crate
+//! (`polling`, `mio`, …) in `[workspace.dependencies]` once network
+//! access is available.
+//!
+//! The wrapper is deliberately thin: it owns no file descriptors and
+//! keeps no registration state.  Callers rebuild the interest set per
+//! call — the level-triggered `poll(2)` model — which keeps the event
+//! loop's state machine entirely in the caller's connection table.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readiness event: data can be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Readiness event: data can be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Result-only event: an error condition on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// Result-only event: the peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// Result-only event: the descriptor is not open.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the interest set passed to [`poll_fds`], layout-compatible
+/// with the C `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative value is skipped by the
+    /// kernel, reporting `revents == 0`).
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT` ORed together).
+    pub events: i16,
+    /// Returned events; filled in by the kernel, may include the
+    /// result-only flags (`POLLERR`, `POLLHUP`, `POLLNVAL`).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch entry for `fd` with the given interest flags and cleared
+    /// `revents`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// True when the kernel reported any of `flags` for this entry.
+    pub fn has(&self, flags: i16) -> bool {
+        self.revents & flags != 0
+    }
+
+    /// True when the descriptor is readable *or* in a terminal state
+    /// (error / hang-up / invalid) — every case where a read attempt
+    /// will make progress instead of blocking.
+    pub fn readable_or_closed(&self) -> bool {
+        self.has(POLLIN | POLLERR | POLLHUP | POLLNVAL)
+    }
+}
+
+extern "C" {
+    /// The raw libc syscall wrapper; `nfds_t` is `c_ulong` on every
+    /// platform this workspace targets.
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// Blocks until at least one entry of `fds` is ready, `timeout_ms`
+/// elapses (`-1` blocks indefinitely, `0` polls), or a signal arrives.
+///
+/// Returns the number of entries with non-zero `revents`.  `EINTR` is
+/// folded into `Ok(0)` — an event loop treats a signal wake-up exactly
+/// like a timeout tick — so `Err` is reserved for genuine failures
+/// (`EINVAL`, `ENOMEM`).
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `PollFd` is #[repr(C)] and layout-compatible with the C
+    // `struct pollfd`; the pointer/length pair comes from a live slice.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        Ok(0)
+    } else {
+        Err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn pending_accept_reports_pollin() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLIN));
+        assert!(fds[0].readable_or_closed());
+    }
+
+    #[test]
+    fn connected_socket_reports_pollout_and_then_pollin() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+
+        // An idle connected socket with buffer space is writable but not
+        // readable.
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLIN | POLLOUT)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLOUT));
+        assert!(!fds[0].has(POLLIN));
+
+        served.write_all(b"x").unwrap();
+        served.flush().unwrap();
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn peer_hangup_is_readable_or_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        drop(served);
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        // Linux reports a closed peer as POLLIN (EOF read) and/or POLLHUP.
+        assert!(fds[0].readable_or_closed());
+    }
+
+    #[test]
+    fn negative_fd_entries_are_skipped() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        let n = poll_fds(&mut fds, 0).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+}
