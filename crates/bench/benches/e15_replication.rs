@@ -1,0 +1,279 @@
+//! Experiment E15 — replication & failover: one primary streaming its
+//! WAL to two loopback replicas through the `eq_proto` RPC protocol.
+//!
+//! Three properties are measured (and the correctness half asserted):
+//!
+//! * **steady-state lag** — ingest waves are acknowledged on the primary
+//!   and the time until *both* replicas have applied every record is
+//!   measured per wave.  Every wave must end caught-up with zero
+//!   re-seeds, and the replicas' responses must be byte-identical to the
+//!   primary's.
+//! * **read fan-out** — aggregate metadata-search throughput of client
+//!   threads driving `ClusterClient`s round-robining over all three
+//!   nodes, against the same thread count hammering the single primary.
+//!   Every fanned-out response must equal the primary's.
+//! * **failover time** — the primary dies; the clock runs from the kill
+//!   until a `ClusterClient` write has been re-routed, retried and
+//!   acknowledged by the promoted replica.  Zero acknowledged writes may
+//!   be lost, and the old generation must be fenced (its positions
+//!   answer `reseed`).
+//!
+//! Results land in `BENCH_e15.json` at the workspace root.
+//! `EQ_E15_SMOKE=1` shrinks the workload for CI smoke runs (the
+//! correctness assertions still run; the JSON record is for the full
+//! run).
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eq_bench::archive;
+use eq_earthqube::net::{EqClient, NetServer};
+use eq_earthqube::replicate::{ClusterClient, Replica, RetryPolicy};
+use eq_earthqube::{EarthQubeConfig, ImageQuery, QueryServer, ServeConfig};
+
+/// Client threads for both throughput variants.
+const CLIENT_THREADS: usize = 3;
+
+/// A scratch directory tree for the three nodes, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Self {
+        let root = std::env::temp_dir().join(format!("eq_e15_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("scratch root");
+        Scratch(root)
+    }
+
+    fn node(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 8,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(160),
+        jitter_seed: 0xE15,
+    }
+}
+
+fn attach_primary(server: &Arc<QueryServer>, dir: &Path) -> NetServer {
+    server.checkpoint(dir).expect("primary checkpoint attaches");
+    NetServer::bind(Arc::clone(server), "127.0.0.1:0", 2).expect("primary binds loopback")
+}
+
+/// `reads` searches per thread against `make_client`'s endpoint choice;
+/// every response must equal `reference`.  Returns aggregate req/s.
+fn read_throughput<F, C>(
+    reads: usize,
+    reference: &eq_earthqube::SearchResponse,
+    make_client: F,
+) -> f64
+where
+    F: Fn() -> C + Sync,
+    C: ReadClient,
+{
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENT_THREADS {
+            scope.spawn(|| {
+                let mut client = make_client();
+                for _ in 0..reads {
+                    let response = client.search_all().expect("fanned-out search succeeds");
+                    assert_eq!(&response, reference, "fan-out must not change results");
+                }
+            });
+        }
+    });
+    (CLIENT_THREADS * reads) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The two client shapes the throughput phase compares.
+trait ReadClient {
+    fn search_all(&mut self) -> Result<eq_earthqube::SearchResponse, eq_earthqube::EarthQubeError>;
+}
+
+impl ReadClient for EqClient {
+    fn search_all(&mut self) -> Result<eq_earthqube::SearchResponse, eq_earthqube::EarthQubeError> {
+        self.search(&ImageQuery::all())
+    }
+}
+
+impl ReadClient for ClusterClient {
+    fn search_all(&mut self) -> Result<eq_earthqube::SearchResponse, eq_earthqube::EarthQubeError> {
+        self.search(&ImageQuery::all())
+    }
+}
+
+struct RunResult {
+    waves: usize,
+    patches_per_wave: usize,
+    records_replicated: u64,
+    catchup_ms_mean: f64,
+    catchup_ms_max: f64,
+    single_reqs_per_sec: f64,
+    cluster_reqs_per_sec: f64,
+    failover_ms: f64,
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let smoke = std::env::var("EQ_E15_SMOKE").is_ok_and(|v| v == "1");
+    let (base, waves, patches_per_wave, reads) =
+        if smoke { (24, 3, 4, 40) } else { (64, 8, 8, 400) };
+
+    println!(
+        "[E15] replication: primary + 2 loopback replicas, {waves} ingest waves x \
+         {patches_per_wave} patches, {CLIENT_THREADS} reader threads{}",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    let scratch = Scratch::new();
+    let seed_archive = archive(base, 150);
+    let extra = archive(waves * patches_per_wave + 2, 151);
+    let mut config = EarthQubeConfig::fast(150);
+    config.train_model = false; // metadata workload: no CBIR model needed
+
+    let primary = Arc::new(
+        QueryServer::build(&seed_archive, config, ServeConfig::default()).expect("builds"),
+    );
+    let net = attach_primary(&primary, &scratch.node("primary"));
+    let addr = net.local_addr().to_string();
+
+    let mut r1 = Replica::bootstrap(&scratch.node("r1"), &addr, 1, policy()).expect("r1 seeds");
+    let mut r2 = Replica::bootstrap(&scratch.node("r2"), &addr, 2, policy()).expect("r2 seeds");
+    let net_r1 = NetServer::bind(Arc::clone(r1.server()), "127.0.0.1:0", 2).expect("r1 binds");
+    let net_r2 = NetServer::bind(Arc::clone(r2.server()), "127.0.0.1:0", 2).expect("r2 binds");
+    let endpoints =
+        [addr.clone(), net_r1.local_addr().to_string(), net_r2.local_addr().to_string()];
+
+    // -- steady-state lag: acked wave -> both replicas caught up ---------
+    let mut writer = EqClient::connect(net.local_addr()).expect("writer connects");
+    let mut catchup_ms = Vec::with_capacity(waves);
+    for wave in 0..waves {
+        let slice = &extra.patches()[wave * patches_per_wave..(wave + 1) * patches_per_wave];
+        writer.ingest(slice).expect("wave acked by the primary");
+        let start = Instant::now();
+        let s1 = r1.catch_up().expect("r1 catches up");
+        let s2 = r2.catch_up().expect("r2 catches up");
+        catchup_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(s1.caught_up() && s2.caught_up(), "waves must end caught-up");
+        assert_eq!(s1.reseeds + s2.reseeds, 0, "steady state must never re-seed");
+    }
+    let records_replicated = r1.sync_state().records_applied;
+    let catchup_ms_mean = catchup_ms.iter().sum::<f64>() / catchup_ms.len() as f64;
+    let catchup_ms_max = catchup_ms.iter().fold(0f64, |a, &b| a.max(b));
+    println!(
+        "[E15] lag: {records_replicated} records over {waves} waves, catch-up mean \
+         {catchup_ms_mean:.1} ms, max {catchup_ms_max:.1} ms"
+    );
+
+    // -- read fan-out throughput vs the single primary -------------------
+    let reference = primary.search(&ImageQuery::all()).expect("reference search");
+    let single_reqs_per_sec =
+        read_throughput(reads, &reference, || EqClient::connect(&addr[..]).expect("connects"));
+    let cluster_reqs_per_sec = read_throughput(reads, &reference, || {
+        ClusterClient::new(endpoints.clone(), policy()).expect("cluster client")
+    });
+    println!(
+        "[E15] fan-out: single node {single_reqs_per_sec:.0} req/s, cluster of 3 \
+         {cluster_reqs_per_sec:.0} req/s ({CLIENT_THREADS} threads x {reads} reads)"
+    );
+
+    // -- Criterion sample: one fanned-out read round ---------------------
+    let mut group = c.benchmark_group("e15_replication");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(if smoke { 300 } else { 1500 }));
+    group.warm_up_time(Duration::from_millis(if smoke { 50 } else { 300 }));
+    let mut probe = ClusterClient::new(endpoints.clone(), policy()).expect("probe cluster");
+    group.bench_function("cluster_search", |b| {
+        b.iter(|| black_box(probe.search(&ImageQuery::all())).expect("probe search"))
+    });
+    group.finish();
+    drop(probe);
+
+    // -- failover: kill the primary, promote r1, first re-routed write --
+    let acked_size = primary.stats().archive_size;
+    let old_generation = primary.repl_state().generation;
+    net.shutdown();
+    drop(writer);
+    drop(primary);
+    let failover_start = Instant::now();
+    let promoted = r1.promote().expect("r1 promotes");
+    let mut cluster = ClusterClient::new(endpoints.clone(), policy()).expect("cluster survives");
+    cluster.ingest(&extra.patches()[waves * patches_per_wave..]).expect("write lands after retry");
+    let failover_ms = failover_start.elapsed().as_secs_f64() * 1e3;
+
+    // Zero acknowledged-write loss, and the new write is on the new primary.
+    assert_eq!(promoted.stats().archive_size, acked_size + 2);
+    assert_ne!(promoted.repl_state().generation, old_generation, "promotion bumps the generation");
+    // The old generation is fenced: its positions are disowned.
+    let mut probe = EqClient::connect(net_r1.local_addr()).expect("probe promoted");
+    let verdict = probe.repl_pull(9, old_generation, 0, 16, 1 << 20).expect("pull answers");
+    assert!(verdict.reseed, "old-generation positions must answer reseed");
+    println!(
+        "[E15] failover: promote + re-routed write in {failover_ms:.1} ms, generation \
+         {old_generation:#x} fenced"
+    );
+
+    if !smoke {
+        write_json(&RunResult {
+            waves,
+            patches_per_wave,
+            records_replicated,
+            catchup_ms_mean,
+            catchup_ms_max,
+            single_reqs_per_sec,
+            cluster_reqs_per_sec,
+            failover_ms,
+        });
+    }
+    net_r1.shutdown();
+    net_r2.shutdown();
+    drop(r2);
+}
+
+/// Records the measurements in `BENCH_e15.json` at the workspace root
+/// (the committed copy tracks the trajectory across PRs).
+fn write_json(r: &RunResult) {
+    let json = format!(
+        "{{\n  \"experiment\": \"e15_replication\",\n  \"acceptance\": \
+         \"two loopback replicas stay caught-up with zero re-seeds across acked ingest \
+         waves and serve byte-identical reads; after the primary dies a replica promotes \
+         under a fresh generation, the first re-routed write is acknowledged with zero \
+         acked-write loss, and the old generation is fenced\",\n  \
+         \"replicas\": 2,\n  \"ingest_waves\": {},\n  \"patches_per_wave\": {},\n  \
+         \"records_replicated\": {},\n  \"catchup_ms_mean\": {:.2},\n  \
+         \"catchup_ms_max\": {:.2},\n  \"reader_threads\": {CLIENT_THREADS},\n  \
+         \"single_node_reqs_per_sec\": {:.0},\n  \"cluster_reqs_per_sec\": {:.0},\n  \
+         \"failover_ms\": {:.2}\n}}\n",
+        r.waves,
+        r.patches_per_wave,
+        r.records_replicated,
+        r.catchup_ms_mean,
+        r.catchup_ms_max,
+        r.single_reqs_per_sec,
+        r.cluster_reqs_per_sec,
+        r.failover_ms,
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_e15.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[E15] could not write {}: {e}", path.display());
+    } else {
+        println!("[E15] wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

@@ -25,7 +25,11 @@
 //!   LRU result cache invalidated on ingest,
 //! * [`net`] — the network tier: a TCP [`NetServer`] speaking the
 //!   `eq_proto` binary RPC protocol, and the blocking [`EqClient`] whose
-//!   remote results are byte-identical to in-process calls.
+//!   remote results are byte-identical to in-process calls,
+//! * [`replicate`] — the replication tier: read replicas pulling the
+//!   primary's WAL over the same RPC protocol, snapshot seeding,
+//!   promotion/fencing on failover, and a retrying [`ClusterClient`]
+//!   fanning reads across replicas while routing writes to the primary.
 //!
 //! # Example
 //!
@@ -68,6 +72,7 @@ pub mod ingest;
 pub mod net;
 mod persist;
 pub mod query;
+pub mod replicate;
 pub mod results;
 pub mod schema;
 pub mod serve;
@@ -80,6 +85,7 @@ pub use filtered::{FilterStrategy, FilteredPlan, FilteredResponse, PrefilterMode
 pub use ingest::{ingest_archive, ingest_metadata, ingest_patch, IngestReport};
 pub use net::{EqClient, NetServer};
 pub use query::{ImageQuery, LabelFilter, LabelOperator};
+pub use replicate::{ClusterClient, Replica, ReplicaSync, RetryPolicy, SyncStatus};
 pub use results::{DownloadCart, ResultEntry, ResultPage, ResultPanel};
 pub use schema::{collections, metadata_document, metadata_from_document};
 pub use serve::{
@@ -113,6 +119,10 @@ pub enum EarthQubeError {
     /// in-flight quota or the dispatch queue is full.  Retry after
     /// draining responses, or back off.
     Overloaded(String),
+    /// A write reached a read replica.  Replicas apply only records
+    /// replicated from the primary; the client should re-discover the
+    /// primary (it may have moved after a failover) and retry there.
+    NotPrimary(String),
 }
 
 impl std::fmt::Display for EarthQubeError {
@@ -125,6 +135,7 @@ impl std::fmt::Display for EarthQubeError {
             EarthQubeError::Persist(m) => write!(f, "persistence error: {m}"),
             EarthQubeError::Net(m) => write!(f, "network error: {m}"),
             EarthQubeError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            EarthQubeError::NotPrimary(m) => write!(f, "not the primary: {m}"),
         }
     }
 }

@@ -74,10 +74,13 @@ use std::time::{Duration, Instant};
 use eq_bigearthnet::patch::Patch;
 use eq_docstore::QueryPlan;
 use parking_lot::Mutex;
+use rand::SeedableRng as _;
 
 use crate::engine::SearchResponse;
+use crate::filtered::{FilterStrategy, FilteredPlan, FilteredResponse, PrefilterMode};
 use crate::ingest::IngestReport;
 use crate::query::{ImageQuery, LabelFilter, LabelOperator};
+use crate::replicate::{ReplBatch, ReplState, RetryPolicy};
 use crate::results::{ResultEntry, ResultPanel};
 use crate::serve::{QueryRequest, QueryServer, ServerStats};
 use crate::stats::LabelStatistics;
@@ -247,6 +250,7 @@ pub fn error_to_payload(error: &EarthQubeError) -> eq_proto::ErrorPayload {
         EarthQubeError::Persist(m) => (eq_proto::ErrorCode::Persist, m.clone()),
         EarthQubeError::Net(m) => (eq_proto::ErrorCode::Internal, m.clone()),
         EarthQubeError::Overloaded(m) => (eq_proto::ErrorCode::Overloaded, m.clone()),
+        EarthQubeError::NotPrimary(m) => (eq_proto::ErrorCode::NotPrimary, m.clone()),
     };
     eq_proto::ErrorPayload { code, message }
 }
@@ -261,6 +265,110 @@ pub fn payload_to_error(payload: eq_proto::ErrorPayload) -> EarthQubeError {
         eq_proto::ErrorCode::Persist => EarthQubeError::Persist(payload.message),
         eq_proto::ErrorCode::Internal => EarthQubeError::Net(payload.message),
         eq_proto::ErrorCode::Overloaded => EarthQubeError::Overloaded(payload.message),
+        eq_proto::ErrorCode::NotPrimary => EarthQubeError::NotPrimary(payload.message),
+    }
+}
+
+/// Translates a wire prefilter-mode knob into the serving-tier enum.
+pub fn spec_to_mode(mode: eq_proto::PrefilterModeSpec) -> PrefilterMode {
+    match mode {
+        eq_proto::PrefilterModeSpec::Auto => PrefilterMode::Auto,
+        eq_proto::PrefilterModeSpec::ForceBitmap => PrefilterMode::ForceBitmap,
+        eq_proto::PrefilterModeSpec::ForcePostFilter => PrefilterMode::ForcePostFilter,
+    }
+}
+
+/// Translates a serving-tier prefilter mode onto the wire (lossless).
+pub fn mode_to_spec(mode: PrefilterMode) -> eq_proto::PrefilterModeSpec {
+    match mode {
+        PrefilterMode::Auto => eq_proto::PrefilterModeSpec::Auto,
+        PrefilterMode::ForceBitmap => eq_proto::PrefilterModeSpec::ForceBitmap,
+        PrefilterMode::ForcePostFilter => eq_proto::PrefilterModeSpec::ForcePostFilter,
+    }
+}
+
+/// Translates a filtered search's response — result panel plus execution
+/// plan — onto the wire (lossless).
+pub fn filtered_to_payload(filtered: &FilteredResponse) -> eq_proto::FilteredPayload {
+    eq_proto::FilteredPayload {
+        search: response_to_payload(&filtered.response),
+        plan: eq_proto::FilteredPlanSpec {
+            strategy: match filtered.plan.strategy {
+                FilterStrategy::BitmapPrefilter => eq_proto::FilterStrategySpec::BitmapPrefilter,
+                FilterStrategy::PostFilter => eq_proto::FilterStrategySpec::PostFilter,
+            },
+            candidates: filtered.plan.candidates,
+            residual: filtered.plan.residual,
+            matching: filtered.plan.matching as u64,
+        },
+    }
+}
+
+/// Reconstructs the [`FilteredResponse`] a wire payload describes.
+pub fn payload_to_filtered(payload: eq_proto::FilteredPayload) -> FilteredResponse {
+    FilteredResponse {
+        response: payload_to_response(payload.search),
+        plan: FilteredPlan {
+            strategy: match payload.plan.strategy {
+                eq_proto::FilterStrategySpec::BitmapPrefilter => FilterStrategy::BitmapPrefilter,
+                eq_proto::FilterStrategySpec::PostFilter => FilterStrategy::PostFilter,
+            },
+            candidates: payload.plan.candidates,
+            residual: payload.plan.residual,
+            matching: payload.plan.matching as usize,
+        },
+    }
+}
+
+/// Translates a server's replication state onto the wire (lossless).
+pub fn repl_state_to_payload(state: &ReplState) -> eq_proto::ReplStatePayload {
+    eq_proto::ReplStatePayload {
+        primary: state.primary,
+        attached: state.attached,
+        generation: state.generation,
+        first_segment: state.first_segment,
+        segment: state.segment,
+        offset: state.offset,
+    }
+}
+
+/// Reconstructs the [`ReplState`] a wire payload describes.
+pub fn payload_to_repl_state(payload: eq_proto::ReplStatePayload) -> ReplState {
+    ReplState {
+        primary: payload.primary,
+        attached: payload.attached,
+        generation: payload.generation,
+        first_segment: payload.first_segment,
+        segment: payload.segment,
+        offset: payload.offset,
+    }
+}
+
+/// Translates a replication pull batch onto the wire (lossless).
+pub fn batch_to_payload(batch: ReplBatch) -> eq_proto::ReplRecordsPayload {
+    eq_proto::ReplRecordsPayload {
+        reseed: batch.reseed,
+        generation: batch.generation,
+        entries: batch.entries,
+        rotate: batch.rotate,
+        next_segment: batch.next_segment,
+        next_offset: batch.next_offset,
+        primary_segment: batch.primary_segment,
+        primary_offset: batch.primary_offset,
+    }
+}
+
+/// Reconstructs the [`ReplBatch`] a wire payload describes.
+pub fn payload_to_batch(payload: eq_proto::ReplRecordsPayload) -> ReplBatch {
+    ReplBatch {
+        reseed: payload.reseed,
+        generation: payload.generation,
+        entries: payload.entries,
+        rotate: payload.rotate,
+        next_segment: payload.next_segment,
+        next_offset: payload.next_offset,
+        primary_segment: payload.primary_segment,
+        primary_offset: payload.primary_offset,
     }
 }
 
@@ -1336,6 +1444,49 @@ fn dispatch(
         RequestBody::MetricsText => {
             ResponseBody::MetricsText(render_metrics(&server.stats(), &net.snapshot()))
         }
+        RequestBody::SimilarToFiltered { name, k, spec, mode } => {
+            match server.similar_to_filtered(
+                &name,
+                clamp_k(k),
+                &spec_to_query(spec),
+                spec_to_mode(mode),
+            ) {
+                Ok(filtered) => ResponseBody::Filtered(filtered_to_payload(&filtered)),
+                Err(e) => ResponseBody::Error(error_to_payload(&e)),
+            }
+        }
+        RequestBody::SimilarWithinFiltered { name, radius, spec, mode } => {
+            match server.similar_within_filtered(
+                &name,
+                radius,
+                &spec_to_query(spec),
+                spec_to_mode(mode),
+            ) {
+                Ok(filtered) => ResponseBody::Filtered(filtered_to_payload(&filtered)),
+                Err(e) => ResponseBody::Error(error_to_payload(&e)),
+            }
+        }
+        RequestBody::ReplState => {
+            ResponseBody::ReplState(repl_state_to_payload(&server.repl_state()))
+        }
+        RequestBody::ReplManifest => match server.repl_manifest_bytes() {
+            Ok(bytes) => ResponseBody::ReplManifest { bytes },
+            Err(e) => ResponseBody::Error(error_to_payload(&e)),
+        },
+        RequestBody::ReplChunk { file, offset, max_bytes } => {
+            match server.repl_chunk_bytes(&file, offset, max_bytes) {
+                Ok((total_len, bytes)) => {
+                    ResponseBody::ReplChunk(eq_proto::ReplChunkPayload { total_len, bytes })
+                }
+                Err(e) => ResponseBody::Error(error_to_payload(&e)),
+            }
+        }
+        RequestBody::ReplPull { replica_id, generation, segment, offset, max_bytes } => {
+            match server.repl_pull(replica_id, generation, segment, offset, max_bytes) {
+                Ok(batch) => ResponseBody::ReplRecords(batch_to_payload(batch)),
+                Err(e) => ResponseBody::Error(error_to_payload(&e)),
+            }
+        }
     };
     eq_proto::Response { id: request.id, body }
 }
@@ -1379,6 +1530,31 @@ impl EqClient {
         let reader =
             BufReader::new(stream.try_clone().map_err(|e| net_err("cloning the connection", e))?);
         Ok(Self { stream, reader, next_id: 1 })
+    }
+
+    /// Like [`connect`](Self::connect), but retries connection
+    /// establishment under `policy`'s capped, jittered exponential
+    /// backoff — the standard way to ride out a server that is still
+    /// binding (or briefly restarting) without hammering it.
+    ///
+    /// # Errors
+    /// The last connection error once the retry budget is exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        policy: &RetryPolicy,
+    ) -> Result<Self, EarthQubeError> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(policy.jitter_seed);
+        let mut last: Option<EarthQubeError> = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff_delay(attempt - 1, &mut rng));
+            }
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| EarthQubeError::Net("the retry budget is zero".into())))
     }
 
     fn send(&mut self, body: eq_proto::RequestBody) -> Result<u64, EarthQubeError> {
@@ -1535,6 +1711,145 @@ impl EqClient {
             eq_proto::ResponseBody::MetricsText(text) => Ok(text),
             eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
             other => Err(EarthQubeError::Net(format!("unexpected response {other:?} to metrics"))),
+        }
+    }
+
+    fn expect_filtered(body: eq_proto::ResponseBody) -> Result<FilteredResponse, EarthQubeError> {
+        match body {
+            eq_proto::ResponseBody::Filtered(payload) => Ok(payload_to_filtered(payload)),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => Err(EarthQubeError::Net(format!(
+                "unexpected response kind {other:?} to a filtered search"
+            ))),
+        }
+    }
+
+    /// Remote counterpart of [`QueryServer::similar_to_filtered`]: the
+    /// filtered k-nearest search, execution plan included.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn similar_to_filtered(
+        &mut self,
+        name: &str,
+        k: usize,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        let body = self.call(eq_proto::RequestBody::SimilarToFiltered {
+            name: name.to_string(),
+            k: k as u64,
+            spec: query_to_spec(query),
+            mode: mode_to_spec(mode),
+        })?;
+        Self::expect_filtered(body)
+    }
+
+    /// Remote counterpart of [`QueryServer::similar_within_filtered`]: the
+    /// filtered Hamming-radius search, execution plan included.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn similar_within_filtered(
+        &mut self,
+        name: &str,
+        radius: u32,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        let body = self.call(eq_proto::RequestBody::SimilarWithinFiltered {
+            name: name.to_string(),
+            radius,
+            spec: query_to_spec(query),
+            mode: mode_to_spec(mode),
+        })?;
+        Self::expect_filtered(body)
+    }
+
+    /// Fetches the server's replication role and durable WAL position —
+    /// the replication handshake, and how a cluster client discovers the
+    /// primary.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn repl_state(&mut self) -> Result<ReplState, EarthQubeError> {
+        match self.call(eq_proto::RequestBody::ReplState)? {
+            eq_proto::ResponseBody::ReplState(payload) => Ok(payload_to_repl_state(payload)),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => {
+                Err(EarthQubeError::Net(format!("unexpected response {other:?} to repl_state")))
+            }
+        }
+    }
+
+    /// Fetches the raw bytes of the server's published manifest, for
+    /// snapshot seeding.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn repl_manifest(&mut self) -> Result<Vec<u8>, EarthQubeError> {
+        match self.call(eq_proto::RequestBody::ReplManifest)? {
+            eq_proto::ResponseBody::ReplManifest { bytes } => Ok(bytes),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => {
+                Err(EarthQubeError::Net(format!("unexpected response {other:?} to repl_manifest")))
+            }
+        }
+    }
+
+    /// Fetches one slice of a checkpoint chunk file: `(total file length,
+    /// bytes at `offset`)`.  The server caps the slice length, so loop
+    /// until the accumulated bytes reach the total.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn repl_chunk(
+        &mut self,
+        file: &str,
+        offset: u64,
+        max_bytes: u64,
+    ) -> Result<(u64, Vec<u8>), EarthQubeError> {
+        let body = self.call(eq_proto::RequestBody::ReplChunk {
+            file: file.to_string(),
+            offset,
+            max_bytes,
+        })?;
+        match body {
+            eq_proto::ResponseBody::ReplChunk(payload) => Ok((payload.total_len, payload.bytes)),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => {
+                Err(EarthQubeError::Net(format!("unexpected response {other:?} to repl_chunk")))
+            }
+        }
+    }
+
+    /// Pulls WAL records at and after `(generation, segment, offset)` —
+    /// the replication transport primitive [`crate::replicate::Replica`]
+    /// is built on.
+    ///
+    /// # Errors
+    /// Propagates the server-side error, or [`EarthQubeError::Net`].
+    pub fn repl_pull(
+        &mut self,
+        replica_id: u64,
+        generation: u32,
+        segment: u32,
+        offset: u64,
+        max_bytes: u64,
+    ) -> Result<ReplBatch, EarthQubeError> {
+        let body = self.call(eq_proto::RequestBody::ReplPull {
+            replica_id,
+            generation,
+            segment,
+            offset,
+            max_bytes,
+        })?;
+        match body {
+            eq_proto::ResponseBody::ReplRecords(payload) => Ok(payload_to_batch(payload)),
+            eq_proto::ResponseBody::Error(e) => Err(payload_to_error(e)),
+            other => {
+                Err(EarthQubeError::Net(format!("unexpected response {other:?} to repl_pull")))
+            }
         }
     }
 

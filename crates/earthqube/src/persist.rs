@@ -735,7 +735,7 @@ pub(crate) fn encode_feedback_record(text: &str, category: Option<&str>) -> Vec<
     w.into_bytes()
 }
 
-fn decode_record(payload: &[u8]) -> Result<WalRecord, WireError> {
+pub(crate) fn decode_record(payload: &[u8]) -> Result<WalRecord, WireError> {
     let mut r = Reader::new(payload);
     let record = match r.u8()? {
         RECORD_INGEST => WalRecord::Ingest {
@@ -961,6 +961,48 @@ fn scan_records(bytes: &[u8], start: usize) -> (Vec<WalRecord>, u64) {
         valid_end = pos as u64;
     }
     (records, valid_end)
+}
+
+/// Scans the record stream of a segment from `start`, returning the raw
+/// record *payloads* (without the 8-byte frame) instead of decoding them —
+/// the replication pull path ships these bytes verbatim so the replica's
+/// mirrored WAL stays byte-identical to the primary's.  Stops at the
+/// first torn/corrupt frame, at `end` (the primary's synced length — a
+/// concurrent append may have written bytes past it), or once the summed
+/// payload bytes exceed `max_bytes` (always returning at least one intact
+/// record).  Returns the payloads and the end offset of the last one.
+pub(crate) fn scan_record_payloads(
+    bytes: &[u8],
+    start: u64,
+    end: u64,
+    max_bytes: u64,
+) -> (Vec<Vec<u8>>, u64) {
+    let end = (end.min(bytes.len() as u64)) as usize;
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut pos = start.min(end as u64) as usize;
+    let mut valid_end = pos as u64;
+    let mut total: u64 = 0;
+    while end - pos >= 8 {
+        // lint:allow(panic) infallible: the loop condition guarantees 8 remaining bytes
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        // lint:allow(panic) infallible: the loop condition guarantees 8 remaining bytes
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len).filter(|_| pos + 8 + len <= end)
+        else {
+            break; // the frame continues past the synced boundary
+        };
+        if crc32(payload) != stored_crc {
+            break; // torn or bit-flipped tail
+        }
+        if !payloads.is_empty() && total + payload.len() as u64 > max_bytes {
+            break; // batch is full; the replica pulls the rest next round
+        }
+        total += payload.len() as u64;
+        payloads.push(payload.to_vec());
+        pos += 8 + len;
+        valid_end = pos as u64;
+    }
+    (payloads, valid_end)
 }
 
 /// Reads one segment file, validating its header against the expected

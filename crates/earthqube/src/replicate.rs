@@ -1,0 +1,1039 @@
+//! Replication & failover: read replicas over the `eq_proto` wire.
+//!
+//! One **primary** [`QueryServer`] streams its write-ahead log to N
+//! replicas over the same framed RPC transport the query tier already
+//! speaks — replication needs no second port, no second protocol, and no
+//! second durability format:
+//!
+//! * **Pull-based log shipping.**  A [`Replica`] pulls raw WAL record
+//!   payloads from the primary by `(generation, segment, offset)` position
+//!   ([`eq_proto::RequestBody::ReplPull`]), applies them through the same
+//!   code path recovery uses, and appends them to its *own* WAL at the
+//!   same positions — the mirrored log is byte-identical, so the replica's
+//!   durable WAL position *is* its replication cursor and crash-resume
+//!   needs no extra bookkeeping.
+//! * **Snapshot seeding.**  A replica whose position the primary can no
+//!   longer serve (fresh directory, retired segments, or a foreign
+//!   generation after failover) ships the primary's checkpoint instead:
+//!   manifest bytes plus chunk files over
+//!   [`eq_proto::RequestBody::ReplChunk`], then recovers locally and
+//!   resumes pulling from the manifest's first segment.
+//! * **Read service, write fencing.**  Replicas serve every read
+//!   (search / similar / filtered / stats) with byte-identical responses;
+//!   writes are rejected with the typed
+//!   [`eq_proto::ErrorCode::NotPrimary`].
+//! * **Failover.**  [`Replica::promote`] cuts the applied state into a
+//!   full checkpoint under a **fresh WAL generation** and only then starts
+//!   accepting writes.  A resurrected old primary still carries the old
+//!   generation: its pulls answer `reseed`, and its unreplicated suffix is
+//!   discarded when it re-seeds — split-brain cannot merge.
+//! * **Cluster client.**  [`ClusterClient`] fans reads across every
+//!   endpoint round-robin (with per-endpoint failure cooldown), routes
+//!   writes to the discovered primary, and retries *safe* transient
+//!   failures — connection refused, [`EarthQubeError::Overloaded`],
+//!   [`EarthQubeError::NotPrimary`] after a promotion — under the capped,
+//!   jittered exponential backoff of [`RetryPolicy`].  A transport error
+//!   after a write was sent is **not** retried: the write may have
+//!   applied, and replaying it could duplicate state.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+use crate::engine::SearchResponse;
+use crate::filtered::{FilteredResponse, PrefilterMode};
+use crate::ingest::IngestReport;
+use crate::net::EqClient;
+use crate::persist;
+use crate::query::ImageQuery;
+use crate::serve::{QueryServer, ServerStats};
+use crate::EarthQubeError;
+
+use eq_bigearthnet::patch::Patch;
+
+/// Bytes a replica asks for per pull (the primary additionally caps the
+/// reply server-side).
+const REPL_PULL_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Bytes a seeding replica asks for per chunk slice.
+const SEED_SLICE_BYTES: u64 = 4 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Wire-adjacent data types
+// ---------------------------------------------------------------------------
+
+/// A server's replication role and durable WAL position — the payload of
+/// [`eq_proto::RequestBody::ReplState`], and the replication handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplState {
+    /// Whether the server accepts writes.
+    pub primary: bool,
+    /// Whether the server is attached to a persistence directory (a
+    /// detached server cannot serve or follow replication).
+    pub attached: bool,
+    /// The WAL generation of the current lineage (0 when detached).
+    pub generation: u32,
+    /// The first segment the published manifest still needs.
+    pub first_segment: u32,
+    /// The live (currently appended-to) segment.
+    pub segment: u32,
+    /// The durable byte length of the live segment.
+    pub offset: u64,
+}
+
+/// One replication pull's worth of WAL records — the payload of
+/// [`eq_proto::ResponseBody::ReplRecords`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplBatch {
+    /// The primary cannot serve the requested position; the replica must
+    /// discard its lineage and re-seed from a snapshot.  All other fields
+    /// except `generation` / `primary_*` are meaningless.
+    pub reseed: bool,
+    /// The primary's WAL generation.
+    pub generation: u32,
+    /// Raw record payloads, in log order (possibly empty when caught up).
+    pub entries: Vec<Vec<u8>>,
+    /// The batch reaches the end of a *sealed* segment: after applying,
+    /// the replica must rotate to `next_segment`.
+    pub rotate: bool,
+    /// The segment to pull from next.
+    pub next_segment: u32,
+    /// The offset to pull from next.
+    pub next_offset: u64,
+    /// The primary's live segment at reply time (for lag accounting).
+    pub primary_segment: u32,
+    /// The primary's durable live-segment length at reply time.
+    pub primary_offset: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Bounded retry with capped exponential backoff and deterministic jitter.
+///
+/// Shared by [`EqClient::connect_with_retry`], the [`Replica`] sync loop
+/// and [`ClusterClient`]: attempt `n` (zero-based) sleeps a uniformly
+/// jittered duration in `[d/2, d]` where `d = base_delay · 2ⁿ` capped at
+/// `max_delay`, so synchronised clients spread out instead of stampeding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (at least 1; 1 means no retry).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+            jitter_seed: 0xEA57_0B5E,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn no_retries() -> Self {
+        RetryPolicy { attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The jittered sleep before retry number `attempt` (zero-based):
+    /// uniform in `[d/2, d]` with `d = base_delay · 2^attempt`, capped at
+    /// `max_delay`.
+    pub fn backoff_delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let base = self.base_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap = self.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let exp = base.checked_shl(attempt.min(32)).unwrap_or(u64::MAX).min(cap);
+        if exp == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.gen_range(exp / 2..=exp))
+    }
+
+    /// Whether `error` is transient for an *idempotent* operation:
+    /// transport faults (the connection may simply be refused or broken)
+    /// and typed admission-control rejections.  Writes must apply a
+    /// narrower test — see the [`ClusterClient`] write path.
+    pub fn is_transient(error: &EarthQubeError) -> bool {
+        matches!(error, EarthQubeError::Net(_) | EarthQubeError::Overloaded(_))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------------
+
+/// A replica's sync progress snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaSync {
+    /// WAL records applied over this replica's lifetime.
+    pub records_applied: u64,
+    /// Pull round trips made.
+    pub batches: u64,
+    /// Times the primary answered `reseed`.
+    pub reseeds: u64,
+    /// The lineage generation being followed.
+    pub generation: u32,
+    /// The replica's durable segment position.
+    pub segment: u32,
+    /// The replica's durable offset within `segment`.
+    pub offset: u64,
+    /// The primary's live segment at the last pull.
+    pub primary_segment: u32,
+    /// The primary's durable live-segment length at the last pull.
+    pub primary_offset: u64,
+}
+
+impl ReplicaSync {
+    /// Whether the replica had fully caught up with the primary's durable
+    /// position as of the last pull.
+    pub fn caught_up(&self) -> bool {
+        self.segment == self.primary_segment && self.offset >= self.primary_offset
+    }
+
+    /// Whole segments the replica is behind the primary's live segment.
+    pub fn lag_segments(&self) -> u32 {
+        self.primary_segment.saturating_sub(self.segment)
+    }
+
+    /// Bytes behind within the live segment — exact only when
+    /// [`lag_segments`](Self::lag_segments) is zero.
+    pub fn lag_bytes(&self) -> u64 {
+        if self.segment == self.primary_segment {
+            self.primary_offset.saturating_sub(self.offset)
+        } else {
+            self.primary_offset
+        }
+    }
+}
+
+/// The outcome of one [`Replica::sync_once`] pull/apply round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStatus {
+    /// Applied this many records (and possibly rotated).
+    Applied(u64),
+    /// Nothing new: the replica is at the primary's durable position.
+    CaughtUp,
+    /// The primary can no longer serve this replica's position (retired
+    /// segments, or a foreign generation after failover).  Re-bootstrap
+    /// the replica — [`Replica::bootstrap`] re-seeds from a snapshot.
+    ReseedRequired,
+}
+
+/// A read replica: a local [`QueryServer`] in replica mode plus the sync
+/// cursor following one primary.
+///
+/// The replica's server serves reads (wrap it in a
+/// [`NetServer`](crate::net::NetServer) via [`server`](Self::server)) while
+/// the owner drives [`sync_once`](Self::sync_once) /
+/// [`run`](Self::run) — typically from a dedicated thread.  On failover,
+/// [`promote`](Self::promote) consumes the replica (ending its sync by
+/// construction) and turns the server into a fenced-off new primary.
+pub struct Replica {
+    server: Arc<QueryServer>,
+    primary_addr: String,
+    replica_id: u64,
+    policy: RetryPolicy,
+    rng: StdRng,
+    client: Option<EqClient>,
+    generation: u32,
+    segment: u32,
+    offset: u64,
+    records_applied: u64,
+    batches: u64,
+    reseeds: u64,
+    primary_segment: u32,
+    primary_offset: u64,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("primary_addr", &self.primary_addr)
+            .field("replica_id", &self.replica_id)
+            .field("generation", &self.generation)
+            .field("segment", &self.segment)
+            .field("offset", &self.offset)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replica {
+    /// Builds a replica of the primary at `primary_addr` over the local
+    /// directory `dir`: recovers locally when the directory already holds
+    /// a usable lineage, seeds a snapshot from the primary otherwise (or
+    /// when the primary disowns the recovered position), switches the
+    /// server to replica mode and applies a first catch-up batch.
+    ///
+    /// `replica_id` identifies this replica to the primary's WAL-retention
+    /// floor; give each replica of one primary a distinct id.
+    ///
+    /// # Errors
+    /// Fails with the connection error when the primary stays unreachable
+    /// past the retry budget, or with [`EarthQubeError::Persist`] when
+    /// neither local recovery nor snapshot seeding produces a server.
+    pub fn bootstrap(
+        dir: &Path,
+        primary_addr: &str,
+        replica_id: u64,
+        policy: RetryPolicy,
+    ) -> Result<Self, EarthQubeError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| persist::io_error("creating the replica directory", e))?;
+        let mut rng = StdRng::seed_from_u64(policy.jitter_seed ^ replica_id);
+        let mut client = EqClient::connect_with_retry(primary_addr, &policy)?;
+        // A usable local lineage spares the snapshot transfer entirely —
+        // the common case for a replica restarting after a crash.
+        let mut server = match QueryServer::recover(dir) {
+            Ok(server) => server,
+            Err(_) => {
+                seed_dir(&mut client, dir, &policy, &mut rng)?;
+                QueryServer::recover(dir)?
+            }
+        };
+        server.set_replica_mode();
+        let mut state = server.repl_state();
+        let probe = client.repl_pull(
+            replica_id,
+            state.generation,
+            state.segment,
+            state.offset,
+            REPL_PULL_BYTES,
+        )?;
+        let mut reseeds = 0;
+        let (applied, batch) = if probe.reseed {
+            // The recovered lineage is foreign (failover happened) or its
+            // position was retired: discard it and seed afresh.  Dropping
+            // the server releases the directory lock the re-recover needs.
+            reseeds = 1;
+            drop(server);
+            seed_dir(&mut client, dir, &policy, &mut rng)?;
+            server = QueryServer::recover(dir)?;
+            server.set_replica_mode();
+            state = server.repl_state();
+            let batch = client.repl_pull(
+                replica_id,
+                state.generation,
+                state.segment,
+                state.offset,
+                REPL_PULL_BYTES,
+            )?;
+            if batch.reseed {
+                return Err(EarthQubeError::Persist(
+                    "the primary disowned a snapshot it just served; is it checkpointing \
+                     faster than this replica can seed?"
+                        .into(),
+                ));
+            }
+            let applied = server.apply_replicated(&batch.entries, batch.rotate)?;
+            (applied, batch)
+        } else {
+            let applied = server.apply_replicated(&probe.entries, probe.rotate)?;
+            (applied, probe)
+        };
+        Ok(Replica {
+            server: Arc::new(server),
+            primary_addr: primary_addr.to_string(),
+            replica_id,
+            policy,
+            rng,
+            client: Some(client),
+            generation: batch.generation,
+            segment: batch.next_segment,
+            offset: batch.next_offset,
+            records_applied: applied,
+            batches: 1,
+            reseeds,
+            primary_segment: batch.primary_segment,
+            primary_offset: batch.primary_offset,
+        })
+    }
+
+    /// The replica's query server — share it with a serving front end
+    /// (e.g. [`NetServer::bind`](crate::net::NetServer::bind)); it serves
+    /// reads and rejects writes with [`EarthQubeError::NotPrimary`].
+    pub fn server(&self) -> &Arc<QueryServer> {
+        &self.server
+    }
+
+    /// This replica's id on the primary's retention floor.
+    pub fn replica_id(&self) -> u64 {
+        self.replica_id
+    }
+
+    /// The current sync progress snapshot.
+    pub fn sync_state(&self) -> ReplicaSync {
+        ReplicaSync {
+            records_applied: self.records_applied,
+            batches: self.batches,
+            reseeds: self.reseeds,
+            generation: self.generation,
+            segment: self.segment,
+            offset: self.offset,
+            primary_segment: self.primary_segment,
+            primary_offset: self.primary_offset,
+        }
+    }
+
+    /// Runs `op` against the primary connection, reconnecting and retrying
+    /// transient failures under the policy.  Pulls are idempotent, so the
+    /// broad transient test applies.
+    fn with_client<T>(
+        &mut self,
+        op: impl Fn(&mut EqClient) -> Result<T, EarthQubeError>,
+    ) -> Result<T, EarthQubeError> {
+        let mut last: Option<EarthQubeError> = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff_delay(attempt - 1, &mut self.rng));
+            }
+            if self.client.is_none() {
+                match EqClient::connect(self.primary_addr.as_str()) {
+                    Ok(client) => self.client = Some(client),
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let Some(client) = self.client.as_mut() else { continue };
+            match op(client) {
+                Ok(value) => return Ok(value),
+                Err(e) if RetryPolicy::is_transient(&e) => {
+                    // The connection state is suspect after any transport
+                    // fault; reconnect on the next attempt.
+                    self.client = None;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| EarthQubeError::Net("the retry budget is zero".into())))
+    }
+
+    /// One pull/apply round trip.
+    ///
+    /// # Errors
+    /// Transport failures past the retry budget surface as
+    /// [`EarthQubeError::Net`]; a local apply failure (WAL I/O, or records
+    /// that no longer fit this replica's state) as
+    /// [`EarthQubeError::Persist`] — the latter generally means the
+    /// replica should be re-bootstrapped.
+    pub fn sync_once(&mut self) -> Result<SyncStatus, EarthQubeError> {
+        let (id, generation, segment, offset) =
+            (self.replica_id, self.generation, self.segment, self.offset);
+        let batch =
+            self.with_client(|c| c.repl_pull(id, generation, segment, offset, REPL_PULL_BYTES))?;
+        self.batches += 1;
+        self.primary_segment = batch.primary_segment;
+        self.primary_offset = batch.primary_offset;
+        if batch.reseed {
+            self.reseeds += 1;
+            return Ok(SyncStatus::ReseedRequired);
+        }
+        if batch.entries.is_empty() && !batch.rotate {
+            self.segment = batch.next_segment;
+            self.offset = batch.next_offset;
+            return Ok(SyncStatus::CaughtUp);
+        }
+        let applied = self.server.apply_replicated(&batch.entries, batch.rotate)?;
+        self.records_applied += applied;
+        self.segment = batch.next_segment;
+        self.offset = batch.next_offset;
+        Ok(SyncStatus::Applied(applied))
+    }
+
+    /// Pulls until the replica reaches the primary's durable position.
+    ///
+    /// # Errors
+    /// Like [`sync_once`](Self::sync_once); a `reseed` verdict surfaces as
+    /// [`EarthQubeError::Persist`] (re-bootstrap to recover).
+    pub fn catch_up(&mut self) -> Result<ReplicaSync, EarthQubeError> {
+        loop {
+            match self.sync_once()? {
+                SyncStatus::Applied(_) => {}
+                SyncStatus::CaughtUp => return Ok(self.sync_state()),
+                SyncStatus::ReseedRequired => return Err(reseed_error()),
+            }
+        }
+    }
+
+    /// A continuous sync loop for a dedicated thread: pulls until `stop`
+    /// is set, sleeping `idle` whenever caught up, and riding out
+    /// transient pull failures beyond the per-call retry budget (the
+    /// primary being down is normal from a replica's point of view).
+    ///
+    /// # Errors
+    /// Returns early on a local apply failure or a `reseed` verdict; both
+    /// need the owner's intervention.
+    pub fn run(
+        &mut self,
+        stop: &AtomicBool,
+        idle: Duration,
+    ) -> Result<ReplicaSync, EarthQubeError> {
+        while !stop.load(Ordering::Acquire) {
+            match self.sync_once() {
+                Ok(SyncStatus::Applied(_)) => {}
+                Ok(SyncStatus::CaughtUp) => std::thread::sleep(idle),
+                Ok(SyncStatus::ReseedRequired) => return Err(reseed_error()),
+                Err(e) if RetryPolicy::is_transient(&e) => std::thread::sleep(idle),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.sync_state())
+    }
+
+    /// Promotes this replica to primary and returns its server, now
+    /// accepting writes under a fresh, fencing WAL generation (see
+    /// [`QueryServer::promote`]).  Consuming the replica ends its sync by
+    /// construction; call [`catch_up`](Self::catch_up) first when the old
+    /// primary is still reachable, so no acknowledged write is left
+    /// behind.
+    ///
+    /// A [`NetServer`](crate::net::NetServer) already serving this
+    /// replica's reads keeps working across the promotion — the returned
+    /// server is the same shared instance, now also taking writes.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Persist`] if the promotion checkpoint
+    /// fails; the server is then detached and **not** promoted.
+    pub fn promote(self) -> Result<Arc<QueryServer>, EarthQubeError> {
+        self.server.promote()?;
+        Ok(self.server)
+    }
+}
+
+fn reseed_error() -> EarthQubeError {
+    EarthQubeError::Persist(
+        "the primary can no longer serve this replica's position; re-bootstrap the replica \
+         to seed a fresh snapshot"
+            .into(),
+    )
+}
+
+/// Ships the primary's current checkpoint into `dir`: every chunk file the
+/// manifest references, then the manifest itself (tmp + rename, so a crash
+/// mid-seed never leaves a manifest pointing at missing chunks).  Existing
+/// WAL segments and the old manifest are removed first — the snapshot
+/// replaces the lineage wholesale.
+///
+/// A checkpoint completing on the primary mid-transfer invalidates chunk
+/// names we are still fetching; the primary answers those with
+/// `BadRequest`, and the whole transfer restarts against the new manifest
+/// (bounded by the retry budget).
+fn seed_dir(
+    client: &mut EqClient,
+    dir: &Path,
+    policy: &RetryPolicy,
+    rng: &mut StdRng,
+) -> Result<(), EarthQubeError> {
+    let mut last: Option<EarthQubeError> = None;
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff_delay(attempt - 1, rng));
+        }
+        match seed_dir_once(client, dir) {
+            Ok(()) => return Ok(()),
+            // BadRequest: a chunk vanished mid-transfer (the primary
+            // checkpointed); transient faults: the transport hiccuped.
+            // Both warrant a fresh attempt against the current manifest.
+            Err(e)
+                if matches!(e, EarthQubeError::BadRequest(_)) || RetryPolicy::is_transient(&e) =>
+            {
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| EarthQubeError::Net("the retry budget is zero".into())))
+}
+
+fn seed_dir_once(client: &mut EqClient, dir: &Path) -> Result<(), EarthQubeError> {
+    let manifest_bytes = client.repl_manifest()?;
+    let manifest = eq_wire::manifest::decode_manifest(&manifest_bytes).map_err(persist::corrupt)?;
+    // Invalidate the old lineage before touching its files: removing the
+    // manifest first means a crash at any later point leaves a directory
+    // that simply seeds from scratch again.
+    let old_manifest = dir.join(persist::MANIFEST_FILE);
+    if old_manifest.exists() {
+        std::fs::remove_file(&old_manifest)
+            .map_err(|e| persist::io_error("removing the superseded manifest", e))?;
+    }
+    for (_, path) in persist::list_segment_files(dir)? {
+        std::fs::remove_file(&path)
+            .map_err(|e| persist::io_error("removing a superseded WAL segment", e))?;
+    }
+    for chunk in &manifest.chunks {
+        let mut bytes = Vec::new();
+        loop {
+            let (total, part) =
+                client.repl_chunk(&chunk.file, bytes.len() as u64, SEED_SLICE_BYTES)?;
+            if part.is_empty() && (bytes.len() as u64) < total {
+                return Err(EarthQubeError::Net(format!(
+                    "chunk {} transfer stalled at {} of {total} bytes",
+                    chunk.file,
+                    bytes.len()
+                )));
+            }
+            bytes.extend_from_slice(&part);
+            if bytes.len() as u64 >= total {
+                break;
+            }
+        }
+        if bytes.len() as u64 != chunk.len {
+            // The chunk changed size under us — the manifest was replaced
+            // mid-transfer.  BadRequest triggers a re-fetch of the
+            // manifest in the caller's retry loop.
+            return Err(EarthQubeError::BadRequest(format!(
+                "chunk {} is {} bytes, the manifest promised {}",
+                chunk.file,
+                bytes.len(),
+                chunk.len
+            )));
+        }
+        let path = dir.join(&chunk.file);
+        std::fs::write(&path, &bytes)
+            .map_err(|e| persist::io_error("writing a seeded chunk", e))?;
+        let file = std::fs::File::open(&path)
+            .map_err(|e| persist::io_error("reopening a seeded chunk to sync", e))?;
+        file.sync_all().map_err(|e| persist::io_error("syncing a seeded chunk", e))?;
+    }
+    // Publish last: recovery trusts any directory whose manifest exists,
+    // so the manifest must only appear once every chunk it references is
+    // durable.  (Chunk content integrity is CRC-checked at recovery.)
+    persist::write_manifest_file(dir, &manifest)?;
+    persist::sweep_orphan_chunks(dir, &manifest)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Cluster client
+// ---------------------------------------------------------------------------
+
+/// How long a read endpoint sits out after a transport failure before the
+/// round-robin considers it again.
+const ENDPOINT_COOLDOWN: Duration = Duration::from_millis(500);
+
+struct Endpoint {
+    addr: String,
+    client: Option<EqClient>,
+    cooldown_until: Option<Instant>,
+}
+
+impl Endpoint {
+    fn cooling(&self, now: Instant) -> bool {
+        self.cooldown_until.is_some_and(|until| now < until)
+    }
+}
+
+/// A cluster-aware blocking client over a primary and its replicas.
+///
+/// Reads fan out **round-robin** across all endpoints (replicas serve them
+/// byte-identically); an endpoint that fails a transport-level call is put
+/// on a short cooldown and the read retries elsewhere.  Writes go to the
+/// discovered primary; [`EarthQubeError::NotPrimary`] triggers
+/// re-discovery (the primary moved — a failover), connection failures and
+/// [`EarthQubeError::Overloaded`] back off and retry under the
+/// [`RetryPolicy`].  A transport error *after* a write was sent is
+/// returned as-is: the write may have applied, and blind replay could
+/// duplicate it.
+pub struct ClusterClient {
+    endpoints: Vec<Endpoint>,
+    policy: RetryPolicy,
+    rng: StdRng,
+    primary: Option<usize>,
+    next_read: usize,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("endpoints", &self.endpoints.iter().map(|e| e.addr.as_str()).collect::<Vec<_>>())
+            .field("primary", &self.primary)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterClient {
+    /// Builds a client over `addrs` (primary and replicas, in any order).
+    /// Connections are opened lazily, so unreachable endpoints only cost
+    /// their first read attempt.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::BadRequest`] on an empty endpoint
+    /// list.
+    pub fn new<A: Into<String>>(
+        addrs: impl IntoIterator<Item = A>,
+        policy: RetryPolicy,
+    ) -> Result<Self, EarthQubeError> {
+        let endpoints: Vec<Endpoint> = addrs
+            .into_iter()
+            .map(|addr| Endpoint { addr: addr.into(), client: None, cooldown_until: None })
+            .collect();
+        if endpoints.is_empty() {
+            return Err(EarthQubeError::BadRequest(
+                "a cluster client needs at least one endpoint".into(),
+            ));
+        }
+        let rng = StdRng::seed_from_u64(policy.jitter_seed);
+        Ok(ClusterClient { endpoints, policy, rng, primary: None, next_read: 0 })
+    }
+
+    /// The configured endpoint addresses, in construction order.
+    pub fn addresses(&self) -> Vec<String> {
+        self.endpoints.iter().map(|e| e.addr.clone()).collect()
+    }
+
+    /// The address of the endpoint currently believed to be the primary,
+    /// probing the cluster if none is known yet.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Net`] when no reachable endpoint
+    /// reports itself primary.
+    pub fn primary_addr(&mut self) -> Result<String, EarthQubeError> {
+        let i = match self.primary {
+            Some(i) => i,
+            None => self.discover_primary()?,
+        };
+        Ok(self.endpoints[i].addr.clone())
+    }
+
+    /// Probes every endpoint's replication state and records which one is
+    /// primary.  Used automatically by the write path; public so a caller
+    /// can force re-discovery after orchestrating a failover.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Net`] when no reachable endpoint
+    /// reports itself primary.
+    pub fn discover_primary(&mut self) -> Result<usize, EarthQubeError> {
+        for i in 0..self.endpoints.len() {
+            if self.connect_endpoint(i).is_err() {
+                continue;
+            }
+            let Some(client) = self.endpoints[i].client.as_mut() else { continue };
+            match client.repl_state() {
+                Ok(state) if state.primary => {
+                    self.primary = Some(i);
+                    return Ok(i);
+                }
+                Ok(_) => {}
+                Err(_) => self.endpoints[i].client = None,
+            }
+        }
+        self.primary = None;
+        Err(EarthQubeError::Net(format!(
+            "no reachable endpoint of {} reports itself primary",
+            self.endpoints.len()
+        )))
+    }
+
+    fn connect_endpoint(&mut self, i: usize) -> Result<(), EarthQubeError> {
+        if self.endpoints[i].client.is_none() {
+            let client = EqClient::connect(self.endpoints[i].addr.as_str())?;
+            self.endpoints[i].client = Some(client);
+        }
+        Ok(())
+    }
+
+    /// The next endpoint for a read: round-robin, preferring endpoints not
+    /// on cooldown; when every endpoint is cooling, takes the next one
+    /// anyway (refusing to even try would turn a blip into an outage).
+    fn pick_read_endpoint(&mut self) -> usize {
+        let n = self.endpoints.len();
+        let now = Instant::now();
+        for step in 0..n {
+            let i = (self.next_read + step) % n;
+            if !self.endpoints[i].cooling(now) {
+                self.next_read = (i + 1) % n;
+                return i;
+            }
+        }
+        let i = self.next_read % n;
+        self.next_read = (i + 1) % n;
+        i
+    }
+
+    /// Runs an idempotent read, fanning across endpoints with bounded
+    /// retries.  Server-side answers — including typed errors like
+    /// [`EarthQubeError::UnknownImage`] — return immediately; only
+    /// transport faults and admission rejections rotate/retry.
+    fn read_call<T>(
+        &mut self,
+        mut op: impl FnMut(&mut EqClient) -> Result<T, EarthQubeError>,
+    ) -> Result<T, EarthQubeError> {
+        let mut last: Option<EarthQubeError> = None;
+        let attempts = self.policy.attempts.max(1).max(self.endpoints.len() as u32);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff_delay(attempt - 1, &mut self.rng));
+            }
+            let i = self.pick_read_endpoint();
+            if let Err(e) = self.connect_endpoint(i) {
+                self.endpoints[i].cooldown_until = Some(Instant::now() + ENDPOINT_COOLDOWN);
+                last = Some(e);
+                continue;
+            }
+            let Some(client) = self.endpoints[i].client.as_mut() else { continue };
+            match op(client) {
+                Ok(value) => {
+                    self.endpoints[i].cooldown_until = None;
+                    return Ok(value);
+                }
+                Err(e @ EarthQubeError::Net(_)) => {
+                    // Reads are idempotent: retrying a torn read elsewhere
+                    // is always safe.
+                    self.endpoints[i].client = None;
+                    self.endpoints[i].cooldown_until = Some(Instant::now() + ENDPOINT_COOLDOWN);
+                    last = Some(e);
+                }
+                Err(e @ EarthQubeError::Overloaded(_)) => {
+                    // The endpoint is healthy but shedding load; rotate
+                    // without benching it.
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| EarthQubeError::Net("the retry budget is zero".into())))
+    }
+
+    /// Runs a write against the primary with the *narrow* retry rule:
+    /// connection establishment failures, [`EarthQubeError::Overloaded`]
+    /// and [`EarthQubeError::NotPrimary`] (all guaranteed not to have
+    /// executed) retry; a transport error after the request was sent does
+    /// not — the write may have applied.
+    fn write_call<T>(
+        &mut self,
+        mut op: impl FnMut(&mut EqClient) -> Result<T, EarthQubeError>,
+    ) -> Result<T, EarthQubeError> {
+        let mut last: Option<EarthQubeError> = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff_delay(attempt - 1, &mut self.rng));
+            }
+            let i = match self.primary {
+                Some(i) => i,
+                None => match self.discover_primary() {
+                    Ok(i) => i,
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                },
+            };
+            if let Err(e) = self.connect_endpoint(i) {
+                // The believed primary is unreachable — it may have died;
+                // re-discover on the next attempt.
+                self.primary = None;
+                last = Some(e);
+                continue;
+            }
+            let Some(client) = self.endpoints[i].client.as_mut() else { continue };
+            match op(client) {
+                Ok(value) => return Ok(value),
+                Err(e @ EarthQubeError::NotPrimary(_)) => {
+                    // The primary moved (failover); rediscover and retry —
+                    // the write was typed-rejected, never executed.
+                    self.primary = None;
+                    last = Some(e);
+                }
+                Err(e @ EarthQubeError::Overloaded(_)) => {
+                    last = Some(e);
+                }
+                Err(e @ EarthQubeError::Net(_)) => {
+                    // Ambiguous: the request may have been executed before
+                    // the transport died.  Surface it; the caller owns the
+                    // dedup decision.
+                    self.endpoints[i].client = None;
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| EarthQubeError::Net("the retry budget is zero".into())))
+    }
+
+    /// Cluster counterpart of [`EqClient::search`] (read fan-out).
+    ///
+    /// # Errors
+    /// The server-side error, or [`EarthQubeError::Net`] past the budget.
+    pub fn search(&mut self, query: &ImageQuery) -> Result<SearchResponse, EarthQubeError> {
+        self.read_call(|c| c.search(query))
+    }
+
+    /// Cluster counterpart of [`EqClient::similar_to`] (read fan-out).
+    ///
+    /// # Errors
+    /// The server-side error, or [`EarthQubeError::Net`] past the budget.
+    pub fn similar_to(&mut self, name: &str, k: usize) -> Result<SearchResponse, EarthQubeError> {
+        self.read_call(|c| c.similar_to(name, k))
+    }
+
+    /// Cluster counterpart of [`EqClient::similar_to_filtered`] (read
+    /// fan-out).
+    ///
+    /// # Errors
+    /// The server-side error, or [`EarthQubeError::Net`] past the budget.
+    pub fn similar_to_filtered(
+        &mut self,
+        name: &str,
+        k: usize,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        self.read_call(|c| c.similar_to_filtered(name, k, query, mode))
+    }
+
+    /// Cluster counterpart of [`EqClient::similar_within_filtered`] (read
+    /// fan-out).
+    ///
+    /// # Errors
+    /// The server-side error, or [`EarthQubeError::Net`] past the budget.
+    pub fn similar_within_filtered(
+        &mut self,
+        name: &str,
+        radius: u32,
+        query: &ImageQuery,
+        mode: PrefilterMode,
+    ) -> Result<FilteredResponse, EarthQubeError> {
+        self.read_call(|c| c.similar_within_filtered(name, radius, query, mode))
+    }
+
+    /// Cluster counterpart of [`EqClient::stats`] (read fan-out — note the
+    /// counters are the *answering endpoint's*, not cluster-wide).
+    ///
+    /// # Errors
+    /// The server-side error, or [`EarthQubeError::Net`] past the budget.
+    pub fn stats(&mut self) -> Result<ServerStats, EarthQubeError> {
+        self.read_call(|c| c.stats())
+    }
+
+    /// Cluster counterpart of [`EqClient::ingest`]: routed to the primary
+    /// with failover-aware retry.
+    ///
+    /// # Errors
+    /// The server-side error; [`EarthQubeError::Net`] when the primary
+    /// stays undiscoverable past the budget, or when the transport failed
+    /// after the request was sent (the write may have applied — do not
+    /// blindly replay).
+    pub fn ingest(&mut self, patches: &[Patch]) -> Result<IngestReport, EarthQubeError> {
+        self.write_call(|c| c.ingest(patches))
+    }
+
+    /// Cluster counterpart of [`EqClient::submit_feedback`]: routed to the
+    /// primary with failover-aware retry.
+    ///
+    /// # Errors
+    /// As for [`ingest`](Self::ingest).
+    pub fn submit_feedback(
+        &mut self,
+        text: &str,
+        category: Option<&str>,
+    ) -> Result<i64, EarthQubeError> {
+        self.write_call(|c| c.submit_feedback(text, category))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter_seed: 7,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut prev_cap = Duration::ZERO;
+        for attempt in 0..8 {
+            let d = policy.backoff_delay(attempt, &mut rng);
+            let cap = Duration::from_millis(100).min(Duration::from_millis(10 * (1 << attempt)));
+            assert!(d <= cap, "attempt {attempt}: {d:?} over cap {cap:?}");
+            assert!(d >= cap / 2, "attempt {attempt}: {d:?} under half-cap {cap:?}");
+            assert!(cap >= prev_cap);
+            prev_cap = cap;
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for attempt in 0..6 {
+            assert_eq!(
+                policy.backoff_delay(attempt, &mut a),
+                policy.backoff_delay(attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(RetryPolicy::is_transient(&EarthQubeError::Net("refused".into())));
+        assert!(RetryPolicy::is_transient(&EarthQubeError::Overloaded("full".into())));
+        assert!(!RetryPolicy::is_transient(&EarthQubeError::NotPrimary("moved".into())));
+        assert!(!RetryPolicy::is_transient(&EarthQubeError::BadRequest("bad".into())));
+        assert!(!RetryPolicy::is_transient(&EarthQubeError::UnknownImage("x".into())));
+    }
+
+    #[test]
+    fn replica_sync_lag_accounting() {
+        let caught_up = ReplicaSync {
+            segment: 3,
+            offset: 400,
+            primary_segment: 3,
+            primary_offset: 400,
+            ..ReplicaSync::default()
+        };
+        assert!(caught_up.caught_up());
+        assert_eq!(caught_up.lag_segments(), 0);
+        assert_eq!(caught_up.lag_bytes(), 0);
+
+        let behind = ReplicaSync {
+            segment: 2,
+            offset: 900,
+            primary_segment: 3,
+            primary_offset: 250,
+            ..ReplicaSync::default()
+        };
+        assert!(!behind.caught_up());
+        assert_eq!(behind.lag_segments(), 1);
+        assert_eq!(behind.lag_bytes(), 250);
+
+        let same_segment = ReplicaSync {
+            segment: 3,
+            offset: 100,
+            primary_segment: 3,
+            primary_offset: 250,
+            ..ReplicaSync::default()
+        };
+        assert_eq!(same_segment.lag_bytes(), 150);
+    }
+
+    #[test]
+    fn cluster_client_rejects_empty_endpoint_list() {
+        let err = ClusterClient::new(Vec::<String>::new(), RetryPolicy::default());
+        assert!(matches!(err, Err(EarthQubeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn no_retries_policy_is_single_attempt() {
+        assert_eq!(RetryPolicy::no_retries().attempts, 1);
+    }
+}

@@ -45,7 +45,7 @@ use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use eq_agora::AssetRegistry;
 use eq_bigearthnet::patch::{Patch, PatchId, PatchMetadata};
@@ -62,6 +62,7 @@ use crate::filtered::{matching_item_mask, FilteredResponse, PrefilterMode};
 use crate::ingest::{insert_patch_docs, prepare_patch_docs, IngestReport};
 use crate::persist::{self, ChainTail, DirLock, WalRecord, WalWriter};
 use crate::query::ImageQuery;
+use crate::replicate::{ReplBatch, ReplState};
 use crate::schema::collections;
 use crate::EarthQubeError;
 
@@ -73,6 +74,27 @@ const DEFAULT_SEGMENT_LIMIT: u64 = 4 * 1024 * 1024;
 /// on top of its base — recovery cost stays bounded and superseded deltas
 /// get swept.
 const DELTA_COMPACT_THRESHOLD: usize = 8;
+
+/// Server-side cap on the summed record-payload bytes of one replication
+/// pull batch, regardless of what the replica asks for — comfortably
+/// under `eq_proto::MAX_FRAME_LEN` with framing overhead to spare.
+const REPL_MAX_BATCH_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Server-side cap on one chunk-fetch slice, same rationale.
+const REPL_MAX_SLICE_BYTES: u64 = 8 * 1024 * 1024;
+
+/// How long a replica's last pull keeps its WAL segments from being
+/// retired by checkpoints.  A replica silent for longer is presumed dead;
+/// if it comes back it re-seeds from the snapshot instead.
+const REPL_RETENTION_TTL: Duration = Duration::from_secs(120);
+
+/// A pulling replica's last-acknowledged segment, with the time it was
+/// seen — the retention floor prunes entries older than
+/// [`REPL_RETENTION_TTL`].
+struct ReplicaMark {
+    segment: u32,
+    seen: Instant,
+}
 
 /// Configuration of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -446,6 +468,19 @@ pub struct QueryServer {
     ckpt_completed: AtomicU64,
     ckpt_skipped: AtomicU64,
     ckpt_failures: AtomicU64,
+    /// `true` while this server accepts writes.  Cleared by
+    /// [`set_replica_mode`](Self::set_replica_mode), restored by
+    /// [`promote`](Self::promote); the network tier rejects ingest and
+    /// feedback with [`EarthQubeError::NotPrimary`] while it is `false`,
+    /// so every durable record originates on exactly one primary.
+    primary: AtomicBool,
+    /// Segments recently acknowledged by pulling replicas, keyed by
+    /// replica id.  Checkpoints clamp WAL segment retirement to the
+    /// minimum live mark so a briefly-lagging replica catches up from
+    /// retained segments instead of re-seeding.
+    /// Lock order: after `ckpt-serial` (the checkpoint paths consult the
+    /// floor); never held while taking any other server lock.
+    repl_floor: Mutex<HashMap<u64, ReplicaMark>>,
 }
 
 /// The server's live connection to a persistence directory: the exclusive
@@ -648,6 +683,8 @@ impl QueryServer {
             ckpt_completed: AtomicU64::new(0),
             ckpt_skipped: AtomicU64::new(0),
             ckpt_failures: AtomicU64::new(0),
+            primary: AtomicBool::new(true),
+            repl_floor: Mutex::with_name(HashMap::new(), "repl-floor"),
         })
     }
 
@@ -953,6 +990,11 @@ impl QueryServer {
     /// log: the server keeps serving from memory, but durability is lost
     /// until the next successful [`checkpoint`](Self::checkpoint).
     pub fn ingest(&self, patches: &[Patch]) -> Result<IngestReport, EarthQubeError> {
+        if !self.is_primary() {
+            return Err(EarthQubeError::NotPrimary(
+                "replicas only apply records replicated from the primary".into(),
+            ));
+        }
         // Cheap pre-screen under a short read lock, so a doomed batch does
         // not pay the heavy phase below.  The check under the write lock
         // stays authoritative (an ingest racing in between is still caught).
@@ -1072,6 +1114,11 @@ impl QueryServer {
         text: &str,
         category: Option<&str>,
     ) -> Result<i64, EarthQubeError> {
+        if !self.is_primary() {
+            return Err(EarthQubeError::NotPrimary(
+                "replicas only apply records replicated from the primary".into(),
+            ));
+        }
         let mut catalog = self.catalog.write();
         let catalog = &mut *catalog;
         let feedback = catalog.feedback;
@@ -1237,6 +1284,15 @@ impl QueryServer {
     /// before the manifest rename restores the drained dirty state, so the
     /// next checkpoint retries the same work over the old base.
     pub fn checkpoint(&self, dir: &Path) -> Result<CheckpointStats, EarthQubeError> {
+        // A replica never checkpoints: the incremental cut rotates the
+        // live segment, which would desynchronise the replica's mirrored
+        // WAL position from the primary's.  Promotion runs the one
+        // checkpoint a replica ever takes, through its own path.
+        if !self.is_primary() {
+            return Err(EarthQubeError::NotPrimary(
+                "a read replica never checkpoints; promote it first".into(),
+            ));
+        }
         std::fs::create_dir_all(dir)
             .map_err(|e| persist::io_error("creating the persistence directory", e))?;
         let _serial = self.ckpt_serial.lock();
@@ -1519,7 +1575,11 @@ impl QueryServer {
         // Post-publish GC.  Failures propagate but must NOT restore the
         // dirty state: the manifest is committed, and restoring would
         // re-apply the same deltas over the already-advanced base.
-        let segments_retired = persist::retire_segments(dir, cut.first_segment)?;
+        // Retirement is clamped to the replication floor: segments a
+        // recently-active replica still needs stay on disk even though
+        // the manifest no longer requires them for recovery.
+        let segments_retired =
+            persist::retire_segments(dir, self.replication_floor(cut.first_segment))?;
         persist::sweep_orphan_chunks(dir, &manifest)?;
         Ok(CheckpointStats {
             kind: CheckpointKind::Incremental,
@@ -1589,6 +1649,8 @@ impl QueryServer {
             ckpt_completed: AtomicU64::new(0),
             ckpt_skipped: AtomicU64::new(0),
             ckpt_failures: AtomicU64::new(0),
+            primary: AtomicBool::new(true),
+            repl_floor: Mutex::with_name(HashMap::new(), "repl-floor"),
         };
 
         let chain = persist::read_segment_chain(dir, manifest.generation, manifest.first_segment)?;
@@ -1782,6 +1844,12 @@ impl QueryServer {
     /// # Errors
     /// Propagates [`checkpoint`](Self::checkpoint) errors.
     pub fn checkpoint_if_dirty(&self) -> Result<Option<CheckpointStats>, EarthQubeError> {
+        // Replicas are always "dirty" (their state runs ahead of the
+        // seeded snapshot by design) but must never checkpoint — their
+        // durability is the mirrored WAL itself.
+        if !self.is_primary() {
+            return Ok(None);
+        }
         let attached_dir = self.wal.lock().as_ref().map(|att| att.dir.clone());
         let Some(dir) = attached_dir else { return Ok(None) };
         let stats = self.checkpoint(&dir)?;
@@ -1799,6 +1867,359 @@ impl QueryServer {
             skipped: self.ckpt_skipped.load(Ordering::Relaxed),
             failures: self.ckpt_failures.load(Ordering::Relaxed),
         }
+    }
+
+    // -- replication ------------------------------------------------------
+
+    /// Whether this server accepts writes.  Every server starts as a
+    /// primary; [`set_replica_mode`](Self::set_replica_mode) clears the
+    /// flag and [`promote`](Self::promote) restores it.
+    pub fn is_primary(&self) -> bool {
+        self.primary.load(Ordering::Acquire)
+    }
+
+    /// Turns the server into a read replica: the network tier rejects
+    /// ingest and feedback with [`EarthQubeError::NotPrimary`], checkpoints
+    /// are refused, and [`apply_replicated`](Self::apply_replicated)
+    /// becomes the only write path.
+    pub fn set_replica_mode(&self) {
+        self.primary.store(false, Ordering::Release);
+    }
+
+    /// The persistence directory this server is attached to, if any.
+    pub fn attached_dir(&self) -> Option<PathBuf> {
+        self.wal.lock().as_ref().map(|att| att.dir.clone())
+    }
+
+    /// The server's replication role and durable WAL position — the
+    /// replication handshake, and what a promoted replica reports to
+    /// clients probing for the primary.
+    pub fn repl_state(&self) -> ReplState {
+        let wal = self.wal.lock();
+        match wal.as_ref() {
+            Some(att) => ReplState {
+                primary: self.is_primary(),
+                attached: true,
+                generation: att.generation,
+                first_segment: att.first_segment,
+                segment: att.segment_index,
+                offset: att.segment_bytes,
+            },
+            None => ReplState {
+                primary: self.is_primary(),
+                attached: false,
+                generation: 0,
+                first_segment: 0,
+                segment: 0,
+                offset: 0,
+            },
+        }
+    }
+
+    /// The raw bytes of the published manifest, for shipping a snapshot to
+    /// a seeding replica.  The manifest is published by atomic rename, so
+    /// an unlocked read observes a complete old or new file, never a torn
+    /// one.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Persist`] when detached or on I/O.
+    pub fn repl_manifest_bytes(&self) -> Result<Vec<u8>, EarthQubeError> {
+        let dir = self.attached_dir().ok_or_else(|| {
+            EarthQubeError::Persist("serving replication requires a persistence attachment".into())
+        })?;
+        std::fs::read(dir.join(persist::MANIFEST_FILE))
+            .map_err(|e| persist::io_error("reading the manifest for replication", e))
+    }
+
+    /// One slice of a checkpoint chunk file, for snapshot seeding.  `file`
+    /// must be a chunk the *current* attachment's manifest references —
+    /// which both confines the read to real chunk files (no path
+    /// traversal) and turns a mid-seed checkpoint race into a clean error
+    /// the seeder answers by refetching the manifest.
+    ///
+    /// # Errors
+    /// [`EarthQubeError::BadRequest`] for an unreferenced file name,
+    /// [`EarthQubeError::Persist`] when detached or on I/O.
+    pub fn repl_chunk_bytes(
+        &self,
+        file: &str,
+        offset: u64,
+        max_bytes: u64,
+    ) -> Result<(u64, Vec<u8>), EarthQubeError> {
+        let dir = {
+            let wal = self.wal.lock();
+            let Some(att) = wal.as_ref() else {
+                return Err(EarthQubeError::Persist(
+                    "serving replication requires a persistence attachment".into(),
+                ));
+            };
+            if !att.chunks.iter().any(|c| c.file == file) {
+                return Err(EarthQubeError::BadRequest(format!(
+                    "{file:?} is not a chunk of the current manifest"
+                )));
+            }
+            att.dir.clone()
+        };
+        let bytes = std::fs::read(dir.join(file))
+            .map_err(|e| persist::io_error("reading a chunk for replication", e))?;
+        let total = bytes.len() as u64;
+        let start = offset.min(total) as usize;
+        let end = offset.saturating_add(max_bytes.min(REPL_MAX_SLICE_BYTES)).min(total) as usize;
+        Ok((total, bytes[start..end].to_vec()))
+    }
+
+    /// Serves one replication pull: WAL record payloads at and after the
+    /// replica's `(generation, segment, offset)` position.
+    ///
+    /// The attachment state is snapshotted under the wal lock; the segment
+    /// file is then read **unlocked** — safe because record bytes below
+    /// the snapshotted length are fully written (appends happen inside the
+    /// lock), segments only grow, and every reply position is re-validated
+    /// on the next pull.  A position this primary cannot serve (foreign
+    /// generation after a failover, or a segment already retired) is
+    /// answered with `reseed` rather than an error: the verdict is
+    /// authoritative, the replica must discard its lineage and re-seed.
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Persist`] when detached or on I/O
+    /// reading a segment that should exist.
+    pub fn repl_pull(
+        &self,
+        replica_id: u64,
+        generation: u32,
+        segment: u32,
+        offset: u64,
+        max_bytes: u64,
+    ) -> Result<ReplBatch, EarthQubeError> {
+        let (dir, att_generation, first_segment, live_segment, live_len) = {
+            let wal = self.wal.lock();
+            let Some(att) = wal.as_ref() else {
+                return Err(EarthQubeError::Persist(
+                    "serving replication requires a persistence attachment".into(),
+                ));
+            };
+            (
+                att.dir.clone(),
+                att.generation,
+                att.first_segment,
+                att.segment_index,
+                att.segment_bytes,
+            )
+        };
+        let reseed = ReplBatch {
+            reseed: true,
+            generation: att_generation,
+            entries: Vec::new(),
+            rotate: false,
+            next_segment: 0,
+            next_offset: 0,
+            primary_segment: live_segment,
+            primary_offset: live_len,
+        };
+        if generation != att_generation
+            || segment < first_segment
+            || segment > live_segment
+            || offset < persist::SEGMENT_HEADER_LEN
+        {
+            return Ok(reseed);
+        }
+        self.note_replica_position(replica_id, segment);
+        let bytes = match std::fs::read(dir.join(persist::segment_file_name(segment))) {
+            Ok(bytes) => bytes,
+            // Retired between the snapshot above and this read: a
+            // checkpoint raced us and the position is gone for good.
+            Err(_) => return Ok(reseed),
+        };
+        let sealed = segment < live_segment;
+        let end = if sealed { bytes.len() as u64 } else { live_len };
+        if offset > end {
+            return Ok(reseed);
+        }
+        let (entries, valid_end) =
+            persist::scan_record_payloads(&bytes, offset, end, max_bytes.min(REPL_MAX_BATCH_BYTES));
+        let rotate = sealed && valid_end >= end;
+        let (next_segment, next_offset) =
+            if rotate { (segment + 1, persist::SEGMENT_HEADER_LEN) } else { (segment, valid_end) };
+        Ok(ReplBatch {
+            reseed: false,
+            generation: att_generation,
+            entries,
+            rotate,
+            next_segment,
+            next_offset,
+            primary_segment: live_segment,
+            primary_offset: live_len,
+        })
+    }
+
+    /// Applies one pulled batch on a replica: every record runs through
+    /// the same apply path as recovery, then its raw payload is appended
+    /// to the replica's own WAL — re-framed deterministically, so the
+    /// mirrored log is byte-identical to the primary's and the replica's
+    /// durable position *is* its replication position (crash-resume needs
+    /// no extra bookkeeping).  With `rotate`, the live segment is sealed
+    /// and the next one opened after the batch, mirroring the primary's
+    /// rotation point exactly.
+    ///
+    /// # Errors
+    /// [`EarthQubeError::BadRequest`] on a primary (replicas only),
+    /// [`EarthQubeError::Persist`] on an undecodable or diverging record
+    /// (the caller should re-seed) or on WAL I/O failure (the attachment
+    /// detaches, same contract as [`ingest`](Self::ingest)).
+    pub fn apply_replicated(
+        &self,
+        entries: &[Vec<u8>],
+        rotate: bool,
+    ) -> Result<u64, EarthQubeError> {
+        if self.is_primary() {
+            return Err(EarthQubeError::BadRequest(
+                "apply_replicated is only legal in replica mode".into(),
+            ));
+        }
+        // Decode before taking any lock: a corrupt batch is rejected
+        // whole, so the applied state and the mirrored WAL never diverge.
+        let mut records = Vec::with_capacity(entries.len());
+        for payload in entries {
+            records.push(persist::decode_record(payload).map_err(|e| {
+                EarthQubeError::Persist(format!("invalid replicated WAL record: {e}"))
+            })?);
+        }
+        let mut catalog = self.catalog.write();
+        let catalog = &mut *catalog;
+        let mut wal = self.wal.lock();
+        let mut applied = 0u64;
+        let mut ingested = false;
+        let mut result = Ok(());
+        for (payload, record) in entries.iter().zip(records) {
+            match record {
+                WalRecord::Ingest { meta, code, image_doc, rendered_doc } => {
+                    if meta.id.0 as usize != catalog.metadata.len() {
+                        result = Err(EarthQubeError::Persist(format!(
+                            "replicated record for {} carries dense id {}, expected {}",
+                            meta.name,
+                            meta.id.0,
+                            catalog.metadata.len()
+                        )));
+                        break;
+                    }
+                    let name = meta.name.clone();
+                    if let Err(e) =
+                        apply_ingest(catalog, &self.index, meta, code, image_doc, rendered_doc)
+                    {
+                        result = Err(EarthQubeError::Persist(format!(
+                            "replicated record for {name} does not apply: {e}"
+                        )));
+                        break;
+                    }
+                    self.ingested_images.fetch_add(1, Ordering::Relaxed);
+                    ingested = true;
+                }
+                WalRecord::Feedback { text, category } => {
+                    let feedback = catalog.feedback;
+                    if let Err(e) =
+                        feedback.submit(&mut catalog.database, &text, category.as_deref())
+                    {
+                        result = Err(EarthQubeError::Persist(format!(
+                            "replicated feedback record does not apply: {e}"
+                        )));
+                        break;
+                    }
+                }
+            }
+            let Some(att) = wal.as_mut() else {
+                result = Err(EarthQubeError::Persist(
+                    "the replica lost its persistence attachment".into(),
+                ));
+                break;
+            };
+            match att.writer.append(payload) {
+                Ok(bytes) => att.segment_bytes += bytes,
+                Err(e) => {
+                    *wal = None;
+                    result = Err(e);
+                    break;
+                }
+            }
+            applied += 1;
+        }
+        if applied > 0 {
+            if let Some(att) = wal.as_mut() {
+                // lint:allow(lock) replicated records must be crash-durable before the pull is acknowledged, same contract as ingest
+                if let Err(e) = att.writer.sync() {
+                    *wal = None;
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+            }
+        }
+        // Rotate only after a fully-applied, synced batch — a partial
+        // batch stays on the live segment so the durable position matches
+        // exactly what was applied.
+        if result.is_ok() && rotate {
+            if let Some(att) = wal.as_mut() {
+                result = att.rotate();
+            }
+        }
+        if ingested {
+            self.cache.clear();
+        }
+        result.map(|_| applied)
+    }
+
+    /// Promotes a replica to primary.  The replica's applied state is cut
+    /// into a **full** checkpoint of its attached directory, which stamps
+    /// a *fresh* WAL generation and starts the segment numbering above
+    /// every file on disk — so a resurrected old primary (or a replica
+    /// still following it) presenting the old generation is fenced: its
+    /// pulls answer `reseed`, and its unreplicated suffix is discarded by
+    /// re-seeding.  Only then does the server start accepting writes.
+    ///
+    /// The caller must have stopped this replica's own pull loop first
+    /// (see `replicate::Replica::promote`, which does).
+    ///
+    /// # Errors
+    /// Fails with [`EarthQubeError::Persist`] when detached or if the
+    /// promotion checkpoint fails — the server then stays a replica and
+    /// is left *detached*; durability requires a successful retry.
+    pub fn promote(&self) -> Result<(), EarthQubeError> {
+        if self.is_primary() {
+            return Ok(());
+        }
+        let _serial = self.ckpt_serial.lock();
+        // Drop the attachment first: the full checkpoint re-locks the
+        // directory and replaces the lineage wholesale.  The replica has
+        // no other writer (its pull loop is stopped, and ingest is still
+        // rejected until the flag flips below), so nothing can slip into
+        // the gap.
+        let dir = match self.wal.lock().take() {
+            Some(att) => att.dir.clone(),
+            None => {
+                return Err(EarthQubeError::Persist(
+                    "promotion requires a persistence attachment".into(),
+                ))
+            }
+        };
+        self.checkpoint_full(&dir)?;
+        self.primary.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Records a replica's pull position for the retention floor.
+    fn note_replica_position(&self, replica_id: u64, segment: u32) {
+        let mut marks = self.repl_floor.lock();
+        marks.insert(replica_id, ReplicaMark { segment, seen: Instant::now() });
+    }
+
+    /// The lowest WAL segment a recently-active replica still needs, or
+    /// `fallback` when none are live.  Prunes marks older than
+    /// [`REPL_RETENTION_TTL`], so a dead replica cannot pin segments (and
+    /// thus disk) forever.
+    fn replication_floor(&self, fallback: u32) -> u32 {
+        let now = Instant::now();
+        let mut marks = self.repl_floor.lock();
+        marks.retain(|_, mark| now.duration_since(mark.seen) <= REPL_RETENTION_TTL);
+        marks.values().map(|mark| mark.segment).min().map_or(fallback, |min| min.min(fallback))
     }
 }
 

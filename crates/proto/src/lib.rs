@@ -43,7 +43,19 @@
 //! | `Feedback { text, category }`    | `Feedback { id }`                |
 //! | `Stats`                          | `Stats(StatsPayload)`            |
 //! | `MetricsText`                    | `MetricsText(String)`            |
+//! | `SimilarToFiltered { .. }`       | `Filtered(FilteredPayload)`      |
+//! | `SimilarWithinFiltered { .. }`   | `Filtered(FilteredPayload)`      |
+//! | `ReplState`                      | `ReplState(ReplStatePayload)`    |
+//! | `ReplManifest`                   | `ReplManifest { bytes }`         |
+//! | `ReplChunk { file, .. }`         | `ReplChunk(ReplChunkPayload)`    |
+//! | `ReplPull { position, .. }`      | `ReplRecords(ReplRecordsPayload)`|
 //! | *(any, on failure)*              | `Error(ErrorPayload)`            |
+//!
+//! The `Repl*` kinds are the replication plane: a read replica pulls raw
+//! WAL record payloads from the primary by `(generation, segment,
+//! offset)` position, seeding itself from the shipped manifest + chunk
+//! files when its position is too far behind the primary's retained
+//! segments (see `eq_earthqube::replicate`).
 //!
 //! The payload structs mirror the serving-layer types (`SearchResponse`,
 //! `ServerStats`, `IngestReport`) field for field, so the conversion in
@@ -166,6 +178,60 @@ pub enum RequestBody {
     /// Prometheus-style scrape text; answered with
     /// [`ResponseBody::MetricsText`].
     MetricsText,
+    /// "Retrieve similar images", restricted to archive images matching a
+    /// metadata filter; answered with [`ResponseBody::Filtered`].
+    SimilarToFiltered {
+        /// The query image's patch name.
+        name: String,
+        /// Number of neighbours to retrieve.
+        k: u64,
+        /// The metadata filter restricting the candidate set.
+        spec: QuerySpec,
+        /// Filter-execution strategy selection.
+        mode: PrefilterModeSpec,
+    },
+    /// All filtered matches within a Hamming radius of an archive image;
+    /// answered with [`ResponseBody::Filtered`].
+    SimilarWithinFiltered {
+        /// The query image's patch name.
+        name: String,
+        /// Inclusive Hamming radius.
+        radius: u32,
+        /// The metadata filter restricting the candidate set.
+        spec: QuerySpec,
+        /// Filter-execution strategy selection.
+        mode: PrefilterModeSpec,
+    },
+    /// Replication handshake: report the server's role and durable WAL
+    /// position; answered with [`ResponseBody::ReplState`].
+    ReplState,
+    /// Fetch the primary's current checkpoint manifest (raw file bytes);
+    /// answered with [`ResponseBody::ReplManifest`].
+    ReplManifest,
+    /// Fetch a slice of a checkpoint chunk file named by the manifest;
+    /// answered with [`ResponseBody::ReplChunk`].
+    ReplChunk {
+        /// Chunk file name, exactly as listed in the manifest.
+        file: String,
+        /// Byte offset into the chunk file.
+        offset: u64,
+        /// Maximum bytes to return in one response.
+        max_bytes: u64,
+    },
+    /// Pull WAL records at and after a replica's durable position;
+    /// answered with [`ResponseBody::ReplRecords`].
+    ReplPull {
+        /// Stable id of the pulling replica, for retention tracking.
+        replica_id: u64,
+        /// WAL generation the replica is following.
+        generation: u32,
+        /// Segment index the replica wants records from.
+        segment: u32,
+        /// Byte offset into that segment (first byte not yet applied).
+        offset: u64,
+        /// Soft cap on the summed record payload bytes in the response.
+        max_bytes: u64,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -176,6 +242,12 @@ const REQ_INGEST: u8 = 5;
 const REQ_FEEDBACK: u8 = 6;
 const REQ_STATS: u8 = 7;
 const REQ_METRICS_TEXT: u8 = 8;
+const REQ_SIMILAR_TO_FILTERED: u8 = 9;
+const REQ_SIMILAR_WITHIN_FILTERED: u8 = 10;
+const REQ_REPL_STATE: u8 = 11;
+const REQ_REPL_MANIFEST: u8 = 12;
+const REQ_REPL_CHUNK: u8 = 13;
+const REQ_REPL_PULL: u8 = 14;
 
 fn encode_envelope(w: &mut Writer, id: u64) {
     w.u16(PROTOCOL_VERSION);
@@ -243,6 +315,36 @@ impl Request {
             }
             RequestBody::Stats => w.u8(REQ_STATS),
             RequestBody::MetricsText => w.u8(REQ_METRICS_TEXT),
+            RequestBody::SimilarToFiltered { name, k, spec, mode } => {
+                w.u8(REQ_SIMILAR_TO_FILTERED);
+                w.str(name);
+                w.u64(*k);
+                spec.encode(&mut w);
+                mode.encode(&mut w);
+            }
+            RequestBody::SimilarWithinFiltered { name, radius, spec, mode } => {
+                w.u8(REQ_SIMILAR_WITHIN_FILTERED);
+                w.str(name);
+                w.u32(*radius);
+                spec.encode(&mut w);
+                mode.encode(&mut w);
+            }
+            RequestBody::ReplState => w.u8(REQ_REPL_STATE),
+            RequestBody::ReplManifest => w.u8(REQ_REPL_MANIFEST),
+            RequestBody::ReplChunk { file, offset, max_bytes } => {
+                w.u8(REQ_REPL_CHUNK);
+                w.str(file);
+                w.u64(*offset);
+                w.u64(*max_bytes);
+            }
+            RequestBody::ReplPull { replica_id, generation, segment, offset, max_bytes } => {
+                w.u8(REQ_REPL_PULL);
+                w.u64(*replica_id);
+                w.u32(*generation);
+                w.u32(*segment);
+                w.u64(*offset);
+                w.u64(*max_bytes);
+            }
         }
         w.into_bytes()
     }
@@ -277,6 +379,32 @@ impl Request {
             },
             REQ_STATS => RequestBody::Stats,
             REQ_METRICS_TEXT => RequestBody::MetricsText,
+            REQ_SIMILAR_TO_FILTERED => RequestBody::SimilarToFiltered {
+                name: r.str()?.to_string(),
+                k: r.u64()?,
+                spec: QuerySpec::decode(&mut r)?,
+                mode: PrefilterModeSpec::decode(&mut r)?,
+            },
+            REQ_SIMILAR_WITHIN_FILTERED => RequestBody::SimilarWithinFiltered {
+                name: r.str()?.to_string(),
+                radius: r.u32()?,
+                spec: QuerySpec::decode(&mut r)?,
+                mode: PrefilterModeSpec::decode(&mut r)?,
+            },
+            REQ_REPL_STATE => RequestBody::ReplState,
+            REQ_REPL_MANIFEST => RequestBody::ReplManifest,
+            REQ_REPL_CHUNK => RequestBody::ReplChunk {
+                file: r.str()?.to_string(),
+                offset: r.u64()?,
+                max_bytes: r.u64()?,
+            },
+            REQ_REPL_PULL => RequestBody::ReplPull {
+                replica_id: r.u64()?,
+                generation: r.u32()?,
+                segment: r.u32()?,
+                offset: r.u64()?,
+                max_bytes: r.u64()?,
+            },
             other => return Err(WireError::Corrupt(format!("unknown request tag {other}"))),
         };
         expect_empty(&r)?;
@@ -318,6 +446,21 @@ pub enum ResponseBody {
     /// Answer to [`RequestBody::MetricsText`]: the scrape text, one
     /// `name value` metric per line (Prometheus text exposition style).
     MetricsText(String),
+    /// Answer to the filtered similarity request kinds: the result panel
+    /// plus the filter-execution plan report.
+    Filtered(FilteredPayload),
+    /// Answer to [`RequestBody::ReplState`].
+    ReplState(ReplStatePayload),
+    /// Answer to [`RequestBody::ReplManifest`]: the manifest file's raw
+    /// bytes (decodable with `eq_wire::manifest::decode_manifest`).
+    ReplManifest {
+        /// The manifest file bytes.
+        bytes: Vec<u8>,
+    },
+    /// Answer to [`RequestBody::ReplChunk`].
+    ReplChunk(ReplChunkPayload),
+    /// Answer to [`RequestBody::ReplPull`].
+    ReplRecords(ReplRecordsPayload),
 }
 
 const RESP_PONG: u8 = 1;
@@ -327,6 +470,11 @@ const RESP_FEEDBACK: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_ERROR: u8 = 6;
 const RESP_METRICS_TEXT: u8 = 7;
+const RESP_FILTERED: u8 = 8;
+const RESP_REPL_STATE: u8 = 9;
+const RESP_REPL_MANIFEST: u8 = 10;
+const RESP_REPL_CHUNK: u8 = 11;
+const RESP_REPL_RECORDS: u8 = 12;
 
 impl Response {
     /// Serializes the response into frame-payload bytes.
@@ -360,6 +508,26 @@ impl Response {
                 w.u8(RESP_METRICS_TEXT);
                 w.str(text);
             }
+            ResponseBody::Filtered(payload) => {
+                w.u8(RESP_FILTERED);
+                payload.encode(&mut w);
+            }
+            ResponseBody::ReplState(payload) => {
+                w.u8(RESP_REPL_STATE);
+                payload.encode(&mut w);
+            }
+            ResponseBody::ReplManifest { bytes } => {
+                w.u8(RESP_REPL_MANIFEST);
+                w.bytes(bytes);
+            }
+            ResponseBody::ReplChunk(payload) => {
+                w.u8(RESP_REPL_CHUNK);
+                payload.encode(&mut w);
+            }
+            ResponseBody::ReplRecords(payload) => {
+                w.u8(RESP_REPL_RECORDS);
+                payload.encode(&mut w);
+            }
         }
         w.into_bytes()
     }
@@ -380,6 +548,11 @@ impl Response {
             RESP_STATS => ResponseBody::Stats(StatsPayload::decode(&mut r)?),
             RESP_ERROR => ResponseBody::Error(ErrorPayload::decode(&mut r)?),
             RESP_METRICS_TEXT => ResponseBody::MetricsText(r.str()?.to_string()),
+            RESP_FILTERED => ResponseBody::Filtered(FilteredPayload::decode(&mut r)?),
+            RESP_REPL_STATE => ResponseBody::ReplState(ReplStatePayload::decode(&mut r)?),
+            RESP_REPL_MANIFEST => ResponseBody::ReplManifest { bytes: r.bytes()?.to_vec() },
+            RESP_REPL_CHUNK => ResponseBody::ReplChunk(ReplChunkPayload::decode(&mut r)?),
+            RESP_REPL_RECORDS => ResponseBody::ReplRecords(ReplRecordsPayload::decode(&mut r)?),
             other => return Err(WireError::Corrupt(format!("unknown response tag {other}"))),
         };
         expect_empty(&r)?;
@@ -848,6 +1021,269 @@ impl StatsPayload {
 }
 
 // ---------------------------------------------------------------------------
+// Filtered similarity search
+// ---------------------------------------------------------------------------
+
+/// Filter-execution strategy selection, mirroring
+/// `eq_earthqube::PrefilterMode`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PrefilterModeSpec {
+    /// Let the planner choose by filter selectivity.
+    #[default]
+    Auto,
+    /// Always evaluate the filter first and scan only matching items.
+    ForceBitmap,
+    /// Always run plain CBIR and filter the ranked results afterwards.
+    ForcePostFilter,
+}
+
+impl PrefilterModeSpec {
+    /// Encodes the mode tag.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            PrefilterModeSpec::Auto => 1,
+            PrefilterModeSpec::ForceBitmap => 2,
+            PrefilterModeSpec::ForcePostFilter => 3,
+        });
+    }
+
+    /// Decodes the mode tag.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation or an unknown tag.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            1 => Ok(PrefilterModeSpec::Auto),
+            2 => Ok(PrefilterModeSpec::ForceBitmap),
+            3 => Ok(PrefilterModeSpec::ForcePostFilter),
+            other => Err(WireError::Corrupt(format!("unknown prefilter mode tag {other}"))),
+        }
+    }
+}
+
+/// The strategy a filtered search actually executed, mirroring
+/// `eq_earthqube::FilterStrategy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterStrategySpec {
+    /// The filter ran first; only matching items were scanned.
+    BitmapPrefilter,
+    /// Plain CBIR ran first; results were filtered afterwards.
+    PostFilter,
+}
+
+/// The filtered-search plan report as it crosses the wire, mirroring
+/// `eq_earthqube::FilteredPlan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilteredPlanSpec {
+    /// The strategy that executed.
+    pub strategy: FilterStrategySpec,
+    /// Candidates scanned under the bitmap strategy (`None` for
+    /// post-filtering, which scans the whole index).
+    pub candidates: Option<u64>,
+    /// Whether a post-filter residual pass still ran (bitmap strategy
+    /// falling back for unindexed predicates).
+    pub residual: bool,
+    /// Archive items matching the metadata filter.
+    pub matching: u64,
+}
+
+/// A filtered similarity response: the result panel plus the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilteredPayload {
+    /// The result panel, label statistics and (CBIR) distances.
+    pub search: SearchPayload,
+    /// How the filter was executed.
+    pub plan: FilteredPlanSpec,
+}
+
+impl FilteredPayload {
+    /// Encodes the filtered payload.
+    pub fn encode(&self, w: &mut Writer) {
+        self.search.encode(w);
+        w.u8(match self.plan.strategy {
+            FilterStrategySpec::BitmapPrefilter => 1,
+            FilterStrategySpec::PostFilter => 2,
+        });
+        match self.plan.candidates {
+            None => w.u8(0),
+            Some(n) => {
+                w.u8(1);
+                w.u64(n);
+            }
+        }
+        w.bool(self.plan.residual);
+        w.u64(self.plan.matching);
+    }
+
+    /// Decodes a filtered payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation or corrupt fields.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let search = SearchPayload::decode(r)?;
+        let strategy = match r.u8()? {
+            1 => FilterStrategySpec::BitmapPrefilter,
+            2 => FilterStrategySpec::PostFilter,
+            other => {
+                return Err(WireError::Corrupt(format!("unknown filter strategy tag {other}")))
+            }
+        };
+        let candidates = match r.bool()? {
+            false => None,
+            true => Some(r.u64()?),
+        };
+        let residual = r.bool()?;
+        let matching = r.u64()?;
+        Ok(Self { search, plan: FilteredPlanSpec { strategy, candidates, residual, matching } })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication plane
+// ---------------------------------------------------------------------------
+
+/// A server's replication role and durable WAL position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplStatePayload {
+    /// Whether this server accepts writes.
+    pub primary: bool,
+    /// Whether the server is attached to a durable directory (the
+    /// position fields are zero and meaningless when `false`).
+    pub attached: bool,
+    /// WAL generation of the current lineage.
+    pub generation: u32,
+    /// First segment of the current lineage (older segments may already
+    /// be retired).
+    pub first_segment: u32,
+    /// Segment currently appended to.
+    pub segment: u32,
+    /// Byte length of that segment (header included).
+    pub offset: u64,
+}
+
+impl ReplStatePayload {
+    /// Encodes the state payload.
+    pub fn encode(&self, w: &mut Writer) {
+        w.bool(self.primary);
+        w.bool(self.attached);
+        w.u32(self.generation);
+        w.u32(self.first_segment);
+        w.u32(self.segment);
+        w.u64(self.offset);
+    }
+
+    /// Decodes a state payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            primary: r.bool()?,
+            attached: r.bool()?,
+            generation: r.u32()?,
+            first_segment: r.u32()?,
+            segment: r.u32()?,
+            offset: r.u64()?,
+        })
+    }
+}
+
+/// One slice of a checkpoint chunk file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplChunkPayload {
+    /// Total size of the chunk file, so the fetcher knows when it has
+    /// everything.
+    pub total_len: u64,
+    /// The bytes at the requested offset (may be shorter than asked).
+    pub bytes: Vec<u8>,
+}
+
+impl ReplChunkPayload {
+    /// Encodes the chunk payload.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.total_len);
+        w.bytes(&self.bytes);
+    }
+
+    /// Decodes a chunk payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self { total_len: r.u64()?, bytes: r.bytes()?.to_vec() })
+    }
+}
+
+/// A batch of WAL records pulled from the primary.
+///
+/// `entries` holds raw record *payloads* (the bytes inside the WAL frame,
+/// exactly as `eq_earthqube` wrote them); the replica re-frames them into
+/// its own mirrored WAL, which keeps both logs byte-identical
+/// position-for-position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplRecordsPayload {
+    /// The replica's position is unserviceable (wrong generation, or its
+    /// segment was already retired): it must discard local state and
+    /// re-seed from the primary's snapshot.  All other fields except
+    /// `generation` are zero/empty.
+    pub reseed: bool,
+    /// The primary's current WAL generation.
+    pub generation: u32,
+    /// Raw WAL record payloads, in log order.
+    pub entries: Vec<Vec<u8>>,
+    /// The pulled segment is sealed and fully consumed by this batch: the
+    /// replica rotates to `next_segment` after applying.
+    pub rotate: bool,
+    /// Segment to pull from next.
+    pub next_segment: u32,
+    /// Offset to pull from next.
+    pub next_offset: u64,
+    /// The primary's live segment index, for lag measurement.
+    pub primary_segment: u32,
+    /// The primary's live segment length, for lag measurement.
+    pub primary_offset: u64,
+}
+
+impl ReplRecordsPayload {
+    /// Encodes the records payload.
+    pub fn encode(&self, w: &mut Writer) {
+        w.bool(self.reseed);
+        w.u32(self.generation);
+        w.seq_len(self.entries.len());
+        for entry in &self.entries {
+            w.bytes(entry);
+        }
+        w.bool(self.rotate);
+        w.u32(self.next_segment);
+        w.u64(self.next_offset);
+        w.u32(self.primary_segment);
+        w.u64(self.primary_offset);
+    }
+
+    /// Decodes a records payload.
+    ///
+    /// # Errors
+    /// Returns [`WireError`] on truncation.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let reseed = r.bool()?;
+        let generation = r.u32()?;
+        let n = r.seq_len(4)?;
+        let entries =
+            (0..n).map(|_| Ok(r.bytes()?.to_vec())).collect::<Result<Vec<_>, WireError>>()?;
+        Ok(Self {
+            reseed,
+            generation,
+            entries,
+            rotate: r.bool()?,
+            next_segment: r.u32()?,
+            next_offset: r.u64()?,
+            primary_segment: r.u32()?,
+            primary_offset: r.u64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Errors over the wire
 // ---------------------------------------------------------------------------
 
@@ -871,6 +1307,9 @@ pub enum ErrorCode {
     /// worker-queue backpressure); the connection stays usable and the
     /// client may retry later.
     Overloaded,
+    /// A write reached a read replica; the client should re-discover the
+    /// primary and retry there.
+    NotPrimary,
 }
 
 /// A server-side error as it crosses the wire.
@@ -893,6 +1332,7 @@ impl ErrorPayload {
             ErrorCode::Persist => 5,
             ErrorCode::Internal => 6,
             ErrorCode::Overloaded => 7,
+            ErrorCode::NotPrimary => 8,
         });
         w.str(&self.message);
     }
@@ -910,6 +1350,7 @@ impl ErrorPayload {
             5 => ErrorCode::Persist,
             6 => ErrorCode::Internal,
             7 => ErrorCode::Overloaded,
+            8 => ErrorCode::NotPrimary,
             other => return Err(WireError::Corrupt(format!("unknown error code {other}"))),
         };
         Ok(Self { code, message: r.str()?.to_string() })
@@ -1066,6 +1507,44 @@ mod tests {
             Request { id: 7, body: RequestBody::Feedback { text: "…".into(), category: None } },
             Request { id: u64::MAX, body: RequestBody::Stats },
             Request { id: 8, body: RequestBody::MetricsText },
+            Request {
+                id: 9,
+                body: RequestBody::SimilarToFiltered {
+                    name: "patch_y".into(),
+                    k: 12,
+                    spec: sample_query(),
+                    mode: PrefilterModeSpec::Auto,
+                },
+            },
+            Request {
+                id: 10,
+                body: RequestBody::SimilarWithinFiltered {
+                    name: "patch_z".into(),
+                    radius: 6,
+                    spec: QuerySpec::default(),
+                    mode: PrefilterModeSpec::ForcePostFilter,
+                },
+            },
+            Request { id: 11, body: RequestBody::ReplState },
+            Request { id: 12, body: RequestBody::ReplManifest },
+            Request {
+                id: 13,
+                body: RequestBody::ReplChunk {
+                    file: "chunk.0001.static.eqc".into(),
+                    offset: 4096,
+                    max_bytes: 1 << 22,
+                },
+            },
+            Request {
+                id: 14,
+                body: RequestBody::ReplPull {
+                    replica_id: 0xDEAD_BEEF,
+                    generation: 17,
+                    segment: 3,
+                    offset: 16,
+                    max_bytes: 1 << 20,
+                },
+            },
         ];
         for request in &requests {
             roundtrip_request(request);
@@ -1139,6 +1618,76 @@ mod tests {
                 body: ResponseBody::MetricsText(
                     "eq_queries_served_total 100\neq_net_accepted_total 3\n".into(),
                 ),
+            },
+            Response {
+                id: 8,
+                body: ResponseBody::Error(ErrorPayload {
+                    code: ErrorCode::NotPrimary,
+                    message: "writes must go to the primary".into(),
+                }),
+            },
+            Response {
+                id: 9,
+                body: ResponseBody::Filtered(FilteredPayload {
+                    search: SearchPayload {
+                        rows: vec![],
+                        page_size: 50,
+                        label_counts: vec![0; Label::COUNT],
+                        image_count: 0,
+                        plan: None,
+                    },
+                    plan: FilteredPlanSpec {
+                        strategy: FilterStrategySpec::BitmapPrefilter,
+                        candidates: Some(42),
+                        residual: true,
+                        matching: 120,
+                    },
+                }),
+            },
+            Response {
+                id: 10,
+                body: ResponseBody::ReplState(ReplStatePayload {
+                    primary: true,
+                    attached: true,
+                    generation: 9,
+                    first_segment: 2,
+                    segment: 5,
+                    offset: 8192,
+                }),
+            },
+            Response { id: 11, body: ResponseBody::ReplManifest { bytes: vec![1, 2, 3, 4] } },
+            Response {
+                id: 12,
+                body: ResponseBody::ReplChunk(ReplChunkPayload {
+                    total_len: 1 << 20,
+                    bytes: vec![0xAB; 64],
+                }),
+            },
+            Response {
+                id: 13,
+                body: ResponseBody::ReplRecords(ReplRecordsPayload {
+                    reseed: false,
+                    generation: 9,
+                    entries: vec![vec![7; 10], vec![8; 3]],
+                    rotate: true,
+                    next_segment: 6,
+                    next_offset: 16,
+                    primary_segment: 6,
+                    primary_offset: 16,
+                }),
+            },
+            Response {
+                id: 14,
+                body: ResponseBody::ReplRecords(ReplRecordsPayload {
+                    reseed: true,
+                    generation: 11,
+                    entries: vec![],
+                    rotate: false,
+                    next_segment: 0,
+                    next_offset: 0,
+                    primary_segment: 0,
+                    primary_offset: 0,
+                }),
             },
         ];
         for response in &responses {

@@ -20,8 +20,10 @@ use eq_bigearthnet::patch::{AcquisitionDate, Patch, PatchId, PatchMetadata, Sate
 use eq_bigearthnet::{Country, Label};
 use eq_geo::{BBox, Circle, GeoShape, Point, Polygon};
 use eq_proto::{
-    ErrorCode, ErrorPayload, IngestPayload, LabelFilterSpec, LabelOp, PlanSpec, QuerySpec, Request,
-    RequestBody, Response, ResponseBody, ResultRow, SearchPayload, StatsPayload,
+    ErrorCode, ErrorPayload, FilterStrategySpec, FilteredPayload, FilteredPlanSpec, IngestPayload,
+    LabelFilterSpec, LabelOp, PlanSpec, PrefilterModeSpec, QuerySpec, ReplChunkPayload,
+    ReplRecordsPayload, ReplStatePayload, Request, RequestBody, Response, ResponseBody, ResultRow,
+    SearchPayload, StatsPayload,
 };
 
 fn golden_dir() -> PathBuf {
@@ -199,6 +201,80 @@ fn request_metrics_text() {
 }
 
 #[test]
+fn request_similar_to_filtered() {
+    check_request(
+        "request_similar_to_filtered",
+        &Request {
+            id: 19,
+            body: RequestBody::SimilarToFiltered {
+                name: "patch_0".into(),
+                k: 10,
+                spec: sample_query(),
+                mode: PrefilterModeSpec::Auto,
+            },
+        },
+    );
+}
+
+#[test]
+fn request_similar_within_filtered() {
+    check_request(
+        "request_similar_within_filtered",
+        &Request {
+            id: 20,
+            body: RequestBody::SimilarWithinFiltered {
+                name: "patch_0".into(),
+                radius: 8,
+                spec: QuerySpec::default(),
+                mode: PrefilterModeSpec::ForceBitmap,
+            },
+        },
+    );
+}
+
+#[test]
+fn request_repl_state() {
+    check_request("request_repl_state", &Request { id: 21, body: RequestBody::ReplState });
+}
+
+#[test]
+fn request_repl_manifest() {
+    check_request("request_repl_manifest", &Request { id: 22, body: RequestBody::ReplManifest });
+}
+
+#[test]
+fn request_repl_chunk() {
+    check_request(
+        "request_repl_chunk",
+        &Request {
+            id: 23,
+            body: RequestBody::ReplChunk {
+                file: "chunk.000000002.images.eqc".into(),
+                offset: 8_388_608,
+                max_bytes: 8_388_608,
+            },
+        },
+    );
+}
+
+#[test]
+fn request_repl_pull() {
+    check_request(
+        "request_repl_pull",
+        &Request {
+            id: 24,
+            body: RequestBody::ReplPull {
+                replica_id: 0x00C0_FFEE,
+                generation: 3,
+                segment: 2,
+                offset: 16,
+                max_bytes: 1_048_576,
+            },
+        },
+    );
+}
+
+#[test]
 fn response_pong() {
     check_response("response_pong", &Response { id: 1, body: ResponseBody::Pong });
 }
@@ -311,6 +387,7 @@ fn response_errors() {
         ("response_error_persist", ErrorCode::Persist, "disk full"),
         ("response_error_internal", ErrorCode::Internal, "boom"),
         ("response_error_overloaded", ErrorCode::Overloaded, "per-client quota exceeded"),
+        ("response_error_not_primary", ErrorCode::NotPrimary, "this server is a read replica"),
     ] {
         check_response(
             name,
@@ -331,6 +408,147 @@ fn response_metrics_text() {
             body: ResponseBody::MetricsText(
                 "eq_queries_served_total 600\neq_net_accepted_total 4\n".into(),
             ),
+        },
+    );
+}
+
+#[test]
+fn response_filtered() {
+    let mut label_counts = vec![0u64; Label::COUNT];
+    label_counts[Label::SeaAndOcean.index()] = 1;
+    check_response(
+        "response_filtered",
+        &Response {
+            id: 25,
+            body: ResponseBody::Filtered(FilteredPayload {
+                search: SearchPayload {
+                    rows: vec![ResultRow {
+                        name: "patch_a".into(),
+                        country: "Portugal".into(),
+                        date: "2017-07-17".into(),
+                        labels: vec!["Sea and ocean".into()],
+                        distance: Some(5),
+                    }],
+                    page_size: 50,
+                    label_counts,
+                    image_count: 1,
+                    plan: None,
+                },
+                plan: FilteredPlanSpec {
+                    strategy: FilterStrategySpec::BitmapPrefilter,
+                    candidates: Some(17),
+                    residual: false,
+                    matching: 17,
+                },
+            }),
+        },
+    );
+}
+
+#[test]
+fn response_filtered_post_filter() {
+    check_response(
+        "response_filtered_post_filter",
+        &Response {
+            id: 26,
+            body: ResponseBody::Filtered(FilteredPayload {
+                search: SearchPayload {
+                    rows: vec![],
+                    page_size: 50,
+                    label_counts: vec![0; Label::COUNT],
+                    image_count: 0,
+                    plan: None,
+                },
+                plan: FilteredPlanSpec {
+                    strategy: FilterStrategySpec::PostFilter,
+                    candidates: None,
+                    residual: false,
+                    matching: 3,
+                },
+            }),
+        },
+    );
+}
+
+#[test]
+fn response_repl_state() {
+    check_response(
+        "response_repl_state",
+        &Response {
+            id: 27,
+            body: ResponseBody::ReplState(ReplStatePayload {
+                primary: true,
+                attached: true,
+                generation: 7,
+                first_segment: 2,
+                segment: 4,
+                offset: 2048,
+            }),
+        },
+    );
+}
+
+#[test]
+fn response_repl_manifest() {
+    check_response(
+        "response_repl_manifest",
+        &Response {
+            id: 28,
+            body: ResponseBody::ReplManifest { bytes: vec![0x45, 0x51, 0x4D, 0x41, 0x4E, 0x49] },
+        },
+    );
+}
+
+#[test]
+fn response_repl_chunk() {
+    check_response(
+        "response_repl_chunk",
+        &Response {
+            id: 29,
+            body: ResponseBody::ReplChunk(ReplChunkPayload {
+                total_len: 1_048_576,
+                bytes: vec![0x5A; 32],
+            }),
+        },
+    );
+}
+
+#[test]
+fn response_repl_records() {
+    check_response(
+        "response_repl_records",
+        &Response {
+            id: 30,
+            body: ResponseBody::ReplRecords(ReplRecordsPayload {
+                reseed: false,
+                generation: 7,
+                entries: vec![vec![1, 2, 3, 4, 5], vec![6, 7]],
+                rotate: true,
+                next_segment: 5,
+                next_offset: 16,
+                primary_segment: 5,
+                primary_offset: 16,
+            }),
+        },
+    );
+}
+
+#[test]
+fn response_repl_records_reseed() {
+    check_response(
+        "response_repl_records_reseed",
+        &Response {
+            id: 31,
+            body: ResponseBody::ReplRecords(ReplRecordsPayload {
+                reseed: true,
+                generation: 9,
+                entries: vec![],
+                rotate: false,
+                next_segment: 0,
+                next_offset: 0,
+                primary_segment: 0,
+                primary_offset: 0,
+            }),
         },
     );
 }

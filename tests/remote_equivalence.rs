@@ -10,8 +10,8 @@ use std::sync::Arc;
 use agoraeo::bigearthnet::{Archive, ArchiveGenerator, GeneratorConfig, Label};
 use agoraeo::earthqube::net::{response_to_payload, EqClient, NetServer};
 use agoraeo::earthqube::{
-    EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator, QueryRequest, QueryServer,
-    SearchResponse, ServeConfig,
+    EarthQubeConfig, ImageQuery, LabelFilter, LabelOperator, PrefilterMode, QueryRequest,
+    QueryServer, SearchResponse, ServeConfig,
 };
 use agoraeo::geo::GeoShape;
 
@@ -116,6 +116,51 @@ fn remote_workload_is_byte_identical_to_in_process() {
     // And the full post-workload snapshots, transported over the wire,
     // agree with the in-process view of the remote server itself.
     assert_eq!(remote_after, remote.stats());
+
+    net.shutdown();
+}
+
+/// Filtered similarity search crosses the wire unchanged: the response is
+/// byte-identical to the in-process call and the execution plan —
+/// strategy, candidate count, residual flag, matching population — is
+/// reported identically for every prefilter mode, for both the top-k and
+/// the radius variant.
+#[test]
+fn filtered_search_is_byte_identical_over_the_wire() {
+    let archive = ArchiveGenerator::new(GeneratorConfig::tiny(30, 503)).unwrap().generate();
+    let server = Arc::new(build_server(&archive, 503));
+    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+    let mut client = EqClient::connect(net.local_addr()).unwrap();
+
+    let query = ImageQuery::all().with_labels(LabelFilter::new(
+        LabelOperator::Some,
+        vec![Label::MixedForest, Label::SeaAndOcean, Label::Pastures],
+    ));
+    let name = &archive.patches()[2].meta.name;
+    for mode in [PrefilterMode::Auto, PrefilterMode::ForceBitmap, PrefilterMode::ForcePostFilter] {
+        let local = server.similar_to_filtered(name, 8, &query, mode).unwrap();
+        let remote = client.similar_to_filtered(name, 8, &query, mode).unwrap();
+        assert_eq!(remote.plan, local.plan, "top-k plan differs under {mode:?}");
+        assert_byte_identical(
+            &local.response,
+            &remote.response,
+            &format!("similar_to_filtered under {mode:?}"),
+        );
+
+        let local = server.similar_within_filtered(name, 24, &query, mode).unwrap();
+        let remote = client.similar_within_filtered(name, 24, &query, mode).unwrap();
+        assert_eq!(remote.plan, local.plan, "radius plan differs under {mode:?}");
+        assert_byte_identical(
+            &local.response,
+            &remote.response,
+            &format!("similar_within_filtered under {mode:?}"),
+        );
+    }
+
+    // Failing filtered requests reconstruct the same typed error too.
+    let local = server.similar_to_filtered("ghost", 3, &query, PrefilterMode::Auto);
+    let remote = client.similar_to_filtered("ghost", 3, &query, PrefilterMode::Auto);
+    assert_eq!(remote.unwrap_err(), local.unwrap_err());
 
     net.shutdown();
 }
